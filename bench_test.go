@@ -1,0 +1,258 @@
+package whilepar
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (regenerating the reported rows/series on the
+// simulated multiprocessor and reporting the headline speedups as custom
+// metrics), plus real-goroutine microbenchmarks of the run-time
+// primitives whose overheads the cost model charges.
+//
+// Regenerate everything textually with:  go run ./cmd/whilebench -all
+// Run these with:                        go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"whilepar/internal/bench"
+	"whilepar/internal/list"
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+	"whilepar/internal/pdtest"
+	"whilepar/internal/prefix"
+	"whilepar/internal/sched"
+	"whilepar/internal/tsmem"
+)
+
+// BenchmarkTable1Taxonomy regenerates Table 1.
+func BenchmarkTable1Taxonomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(Taxonomy()) != 8 {
+			b.Fatal("taxonomy incomplete")
+		}
+	}
+}
+
+// BenchmarkTable2Summary regenerates the Table 2 experimental summary.
+func BenchmarkTable2Summary(b *testing.B) {
+	var rows []bench.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table2()
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[0].Speedup, "spice-g1-speedup@8")
+	}
+}
+
+// BenchmarkFig06SpiceLoad regenerates Figure 6 (SPICE LOAD Loop 40).
+func BenchmarkFig06SpiceLoad(b *testing.B) {
+	var f bench.Figure
+	for i := 0; i < b.N; i++ {
+		f = bench.Fig6()
+	}
+	b.ReportMetric(f.Series[0].At(8), "general1-speedup@8")
+	b.ReportMetric(f.Series[1].At(8), "general3-speedup@8")
+}
+
+// BenchmarkFig07TrackFptrak regenerates Figure 7 (TRACK Loop 300).
+func BenchmarkFig07TrackFptrak(b *testing.B) {
+	var f bench.Figure
+	for i := 0; i < b.N; i++ {
+		f = bench.Fig7()
+	}
+	b.ReportMetric(f.Series[0].At(8), "induction1-speedup@8")
+	b.ReportMetric(f.Series[1].At(8), "ideal-speedup@8")
+}
+
+// BenchmarkFig08to11Mcsparse regenerates Figures 8-11 (MCSPARSE DFACT
+// Loop 500 as WHILE-DOANY over the four inputs).
+func BenchmarkFig08to11Mcsparse(b *testing.B) {
+	var figs []bench.Figure
+	for i := 0; i < b.N; i++ {
+		figs = bench.Figs8to11()
+	}
+	for _, f := range figs {
+		b.ReportMetric(f.Series[0].At(8), "fig"+f.ID+"-speedup@8")
+	}
+}
+
+// BenchmarkFig12to14Ma28 regenerates Figures 12-14 (MA28 MA30AD Loops
+// 270+320 over three inputs).
+func BenchmarkFig12to14Ma28(b *testing.B) {
+	var figs []bench.Figure
+	for i := 0; i < b.N; i++ {
+		figs = bench.Figs12to14()
+	}
+	for _, f := range figs {
+		b.ReportMetric(f.Series[0].At(8), "fig"+f.ID+"-loop270@8")
+		b.ReportMetric(f.Series[1].At(8), "fig"+f.ID+"-loop320@8")
+	}
+}
+
+// BenchmarkCostModelBounds regenerates the Section 7 worst-case sweep.
+func BenchmarkCostModelBounds(b *testing.B) {
+	var rows []bench.CostModelRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.CostModelSweep()
+	}
+	b.ReportMetric(rows[len(rows)-1].FracNoPD, "worst-frac-noPD")
+	b.ReportMetric(rows[len(rows)-1].FracPD, "worst-frac-PD")
+}
+
+// BenchmarkPDTestPassFail regenerates the Section 5 speculation
+// economics (pass speedup vs fail cost).
+func BenchmarkPDTestPassFail(b *testing.B) {
+	var rows []bench.PDCostRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.PDTestSweep()
+	}
+	b.ReportMetric(rows[2].SpeedupPass, "pass-speedup@8")
+	b.ReportMetric(rows[2].SlowdownFail, "fail-cost@8")
+}
+
+// BenchmarkStripVsWindow regenerates the Section 8 memory-vs-parallelism
+// ablation.
+func BenchmarkStripVsWindow(b *testing.B) {
+	var rows []bench.StripWindowRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.StripVsWindowSweep(2000, 8, 2)
+	}
+	b.ReportMetric(rows[0].SpeedupStrip, "strip16-speedup")
+	b.ReportMetric(rows[len(rows)-1].SpeedupStrip, "strip512-speedup")
+}
+
+// BenchmarkGeneralMethodsSweep regenerates the Section 3.3 crossover
+// ablation.
+func BenchmarkGeneralMethodsSweep(b *testing.B) {
+	var rows []bench.GeneralSweepRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.GeneralMethodSweep(2000, 8)
+	}
+	b.ReportMetric(rows[0].SpG1, "lowwork-g1")
+	b.ReportMetric(rows[0].SpG3, "lowwork-g3")
+}
+
+// --- Real-backend microbenchmarks of the run-time primitives ---
+
+// BenchmarkDOALLDynamic measures the goroutine DOALL substrate's
+// per-iteration overhead (dynamic self-scheduling).
+func BenchmarkDOALLDynamic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sched.DOALL(10_000, sched.Options{Procs: 4}, func(i, vpn int) sched.Control {
+			return sched.Continue
+		})
+	}
+}
+
+// BenchmarkTimeStampedStore measures the Td overhead: a stamped store
+// versus a direct one.
+func BenchmarkTimeStampedStore(b *testing.B) {
+	a := mem.NewArray("A", 1024)
+	ts := tsmem.New(a)
+	ts.Checkpoint()
+	tr := ts.Tracker()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Store(a, i&1023, 1.0, i, 0)
+	}
+}
+
+// BenchmarkDirectStore is the baseline for BenchmarkTimeStampedStore.
+func BenchmarkDirectStore(b *testing.B) {
+	a := mem.NewArray("A", 1024)
+	var tr mem.Direct
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Store(a, i&1023, 1.0, i, 0)
+	}
+}
+
+// BenchmarkPDTestMarking measures the shadow-marking overhead per
+// tracked access.
+func BenchmarkPDTestMarking(b *testing.B) {
+	a := mem.NewArray("A", 1024)
+	pd := pdtest.New(a, 4)
+	o := pd.Observer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.ObserveStore(a, i&1023, i, i&3)
+	}
+}
+
+// BenchmarkPDTestAnalyze measures the post-execution analysis over a
+// marked array (the a/p + log p term of Ta).
+func BenchmarkPDTestAnalyze(b *testing.B) {
+	a := mem.NewArray("A", 8192)
+	pd := pdtest.New(a, 4)
+	o := pd.Observer()
+	for i := 0; i < 8192; i++ {
+		o.ObserveStore(a, i, i, i&3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pd.Analyze(8192)
+	}
+}
+
+// BenchmarkParallelPrefix measures the associative-dispatcher
+// evaluation (Section 3.2) against its sequential form.
+func BenchmarkParallelPrefix(b *testing.B) {
+	d := loopir.Affine{A: 1.0001, B: 0.25, X0: 1}
+	b.Run("parallel-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prefix.AffineTerms(d, 100_000, 4)
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prefix.AffineTerms(d, 100_000, 1)
+		}
+	})
+}
+
+// BenchmarkGeneral3Traversal measures the real General-3 walk.
+func BenchmarkGeneral3Traversal(b *testing.B) {
+	head := list.Build(10_000, nil)
+	body := func(it *loopir.Iter, nd *list.Node) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunListBench(head, body)
+	}
+}
+
+// RunListBench is a tiny indirection so the benchmark exercises the
+// public RunList path without error plumbing in the hot loop.
+func RunListBench(head *list.Node, body ListBody) {
+	_, _ = RunList(head, body, Class{Dispatcher: GeneralRecurrence, Terminator: RI}, Options{Procs: 4})
+}
+
+// BenchmarkCheckpointRestore measures Tb/Ta: checkpoint plus full
+// restore of a 64k-word array.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	a := mem.NewArray("A", 65_536)
+	ts := tsmem.New(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Checkpoint()
+		if err := ts.RestoreAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelatedWork regenerates the Section 10 ablations: Harrison
+// chunked lists and Wu & Lewis WHILE-DOACROSS, both against General-3.
+func BenchmarkRelatedWork(b *testing.B) {
+	var cRows []bench.ChunkedRow
+	var dRows []bench.DoacrossRow
+	for i := 0; i < b.N; i++ {
+		cRows = bench.ChunkedSweep(4096, 8)
+		dRows = bench.DoacrossSweep(2000, 8)
+	}
+	best := 0.0
+	for _, r := range cRows {
+		if r.SpChunked > best {
+			best = r.SpChunked
+		}
+	}
+	b.ReportMetric(best, "chunked-best-speedup")
+	b.ReportMetric(dRows[0].SpDoacross, "doacross-lowwork")
+}

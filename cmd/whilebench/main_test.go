@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestFiguresCoverPaperRange(t *testing.T) {
+	figs := figures()
+	if len(figs) != 9 {
+		t.Fatalf("%d figure entries, want 9 (6..14)", len(figs))
+	}
+	seen := map[int]bool{}
+	for _, f := range figs {
+		if seen[f.id] {
+			t.Fatalf("duplicate figure id %d", f.id)
+		}
+		seen[f.id] = true
+		built := f.fn()
+		if built.ID == "" || len(built.Series) == 0 {
+			t.Fatalf("figure %d builds empty", f.id)
+		}
+	}
+	for id := 6; id <= 14; id++ {
+		if !seen[id] {
+			t.Fatalf("figure %d missing", id)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package whilepar
+
+import (
+	"whilepar/internal/doacross"
+	"whilepar/internal/genrec"
+	"whilepar/internal/list"
+	"whilepar/internal/mem"
+	"whilepar/internal/speculate"
+	"whilepar/internal/window"
+)
+
+// This file exposes the remaining parallel constructs the paper
+// proposes: WHILE-DOACROSS (pipelined execution of loops whose
+// dispatcher — or body — carries honoured cross-iteration dependences),
+// strip-mined speculation, and the Harrison-style chunked-list method.
+
+// DoacrossSync provides post/wait synchronization between pipelined
+// iterations.
+type DoacrossSync = doacross.Sync
+
+// DoacrossControl is a pipelined iteration's verdict.
+type DoacrossControl = doacross.Control
+
+// Doacross control verdicts.
+const (
+	DoacrossContinue = doacross.Continue
+	DoacrossQuit     = doacross.Quit
+)
+
+// DoacrossResult reports a pipelined execution.
+type DoacrossResult = doacross.Result
+
+// Doacross executes iterations [0, n) as a pipeline on procs virtual
+// processors: the body may Wait on earlier iterations' Posts to honour
+// cross-iteration dependences with explicit synchronization (the
+// WHILE-DOACROSS construct).
+func Doacross(n, procs int, body func(i, vpn int, s *DoacrossSync) DoacrossControl) DoacrossResult {
+	return doacross.Run(n, procs, body)
+}
+
+// WhileDoacross pipelines a WHILE loop whose dispatcher must be
+// evaluated sequentially: iteration i receives d(i) from its
+// predecessor, advances the recurrence, hands d(i+1) off, and then runs
+// its body concurrently with later iterations.  cont is the RI
+// termination condition (nil = none); max bounds the space.  It returns
+// the number of valid iterations.
+func WhileDoacross[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
+	body func(i int, d D) bool) int {
+	res := doacross.RunWhile(start, next, cont, max, procs, body)
+	return res.QuitIndex
+}
+
+// StripReport describes a strip-mined speculative execution.
+type StripReport = speculate.StripReport
+
+// StripPar / StripSeq are the per-strip runners of RunStripped.
+type (
+	StripPar = speculate.StripPar
+	StripSeq = speculate.StripSeq
+)
+
+// SpecSpec re-exports the speculation spec for the strip-mined protocol.
+type SpecSpec = speculate.Spec
+
+// RunStripped executes a speculative loop strip by strip: each strip is
+// checkpointed, run under fresh time-stamps and PD shadow structures,
+// and committed or re-executed sequentially on its own — bounding the
+// speculation memory by the strip size and containing the cost of a
+// failed PD test to one strip (Sections 4, 5.1, 8.1).
+func RunStripped(spec SpecSpec, total, strip int, par StripPar, seq StripSeq) (StripReport, error) {
+	return speculate.RunStripped(spec, total, strip, par, seq)
+}
+
+// WindowedReport describes a sliding-window speculative execution.
+type WindowedReport = speculate.WindowedReport
+
+// WindowConfig configures the resource-controlled sliding window
+// (Section 8.2): initial size, writes per iteration, and a memory budget
+// (static or dynamic) the window adapts to.
+type WindowConfig = window.Config
+
+// RunWindowed executes a speculative loop under a sliding window: the
+// live time-stamp memory is bounded by the window size times the writes
+// per iteration — without strip mining's global synchronization points.
+// body returns true when the iteration meets the termination condition;
+// seq re-executes the loop if the PD test fails.
+func RunWindowed(spec SpecSpec, n int, cfg WindowConfig, body speculate.WindowedBody, seq func() int) (WindowedReport, error) {
+	return speculate.RunWindowed(spec, n, cfg, body, seq)
+}
+
+// ChunkedList is a Harrison-style list of contiguously allocated chunks
+// with length headers (Section 10 related work).
+type ChunkedList = list.Chunked
+
+// BuildChunkedList builds an n-element chunked list.
+func BuildChunkedList(n, chunkSize int, f func(i int) (val, work float64)) ChunkedList {
+	return list.BuildChunked(n, chunkSize, f)
+}
+
+// RunChunked traverses a chunked list in parallel: a sequential prefix
+// over the chunk headers assigns global offsets, then chunks are
+// processed concurrently with direct indexing inside each chunk.  It
+// returns the number of valid iterations.
+func RunChunked(c ChunkedList, body ListBody, procs int) int {
+	res := genrec.Chunked(c, body, genrec.Config{Procs: procs})
+	return res.Valid
+}
+
+// SharedArrays is a convenience for building speculation specs.
+func SharedArrays(arrays ...*mem.Array) []*Array { return arrays }

@@ -1,0 +1,73 @@
+// Linked-list traversal: the loop the paper's title is really about.
+//
+// A device-model list (as in SPICE's LOAD subroutine) is walked by a
+// pointer — a general recurrence no compiler can evaluate in parallel —
+// while the per-node work is independent.  This example runs the same
+// loop under all three Section 3.3 methods and checks each against the
+// sequential traversal: General-1 serializes next() behind a lock;
+// General-2 statically assigns iterations mod p and privately traverses
+// the whole list on every processor; General-3 assigns dynamically with
+// private cursors.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"whilepar"
+)
+
+func main() {
+	const n = 50_000
+	const procs = 8
+
+	// The "circuit": each node owns one output slot, so the remainder
+	// is fully parallel and the RI terminator (nil) cannot overshoot —
+	// no backups, no time-stamps (the Table 2 row for SPICE Loop 40).
+	build := func() (*whilepar.Node, *whilepar.Array) {
+		out := whilepar.NewArray("stamps", n)
+		head := whilepar.BuildList(n, func(i int) (float64, float64) {
+			return float64(i) * 0.001, 1
+		})
+		return head, out
+	}
+	body := func(out *whilepar.Array) whilepar.ListBody {
+		return func(it *whilepar.Iter, nd *whilepar.Node) bool {
+			it.Store(out, nd.Key, math.Sqrt(1+nd.Val*nd.Val))
+			return true
+		}
+	}
+	class := whilepar.Class{Dispatcher: whilepar.GeneralRecurrence, Terminator: whilepar.RI}
+
+	// Sequential reference.
+	seqHead, seqOut := build()
+	for pt := seqHead; pt != nil; pt = pt.Next {
+		seqOut.Data[pt.Key] = math.Sqrt(1 + pt.Val*pt.Val)
+	}
+
+	methods := []struct {
+		name string
+		sel  whilepar.Options
+	}{
+		{"General-1 (lock-serialized next)", whilepar.Options{Procs: procs, ListMethod: whilepar.General1}},
+		{"General-2 (static mod-p, private traversals)", whilepar.Options{Procs: procs, ListMethod: whilepar.General2}},
+		{"General-3 (dynamic, private cursors)", whilepar.Options{Procs: procs, ListMethod: whilepar.General3}},
+	}
+	for _, m := range methods {
+		head, out := build()
+		rep, err := whilepar.RunList(head, body(out), class, m.sel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := out.Equal(seqOut)
+		fmt.Printf("%-46s valid=%d parallel=%v matches-sequential=%v\n",
+			m.name, rep.Valid, rep.UsedParallel, match)
+		if !match {
+			log.Fatalf("%s diverged from the sequential traversal", m.name)
+		}
+	}
+	fmt.Println("\nAll three methods processed every node exactly once with identical results.")
+	fmt.Println("On the simulated Alliant (cmd/whilebench -fig 6), General-3 reaches ~4.9x on")
+	fmt.Println("8 processors while General-1 saturates near 3x behind its serialized next().")
+}

@@ -1,0 +1,3 @@
+module whilepar
+
+go 1.22

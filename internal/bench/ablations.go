@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"whilepar/internal/costmodel"
+	"whilepar/internal/genrec"
+	"whilepar/internal/loopir"
+	"whilepar/internal/simproc"
+	"whilepar/internal/stripmine"
+)
+
+// CostModelRow is one row of the Section 7 analysis sweep.
+type CostModelRow struct {
+	Procs    int
+	SpId     float64
+	SpAtNoPD float64
+	SpAtPD   float64
+	FracNoPD float64 // Sp_at/Sp_id without the PD test
+	FracPD   float64
+	FailSlow float64 // failed-test slowdown 5/p
+}
+
+// CostModelSweep evaluates the worst-case analysis of Section 7 over a
+// processor sweep: the attainable fraction of ideal speedup (>= 1/4
+// without the PD test, >= 1/5 with it) and the failed-test slowdown
+// (proportional to 1/p).
+func CostModelSweep() []CostModelRow {
+	var rows []CostModelRow
+	for _, p := range []int{2, 4, 8, 16, 64, 256, 1024} {
+		lt := costmodel.LoopTimes{Trem: 1e6, Trec: 0, Accesses: 1e6}
+		spid := costmodel.IdealSpeedup(lt, loopir.MonotonicInduction, p)
+		oNo := costmodel.WorstCase(lt, spid, p, false)
+		oPD := costmodel.WorstCase(lt, spid, p, true)
+		spNo := costmodel.AttainableSpeedup(lt, loopir.MonotonicInduction, p, oNo)
+		spPD := costmodel.AttainableSpeedup(lt, loopir.MonotonicInduction, p, oPD)
+		rows = append(rows, CostModelRow{
+			Procs: p, SpId: spid, SpAtNoPD: spNo, SpAtPD: spPD,
+			FracNoPD: spNo / spid, FracPD: spPD / spid,
+			FailSlow: costmodel.FailureSlowdown(p),
+		})
+	}
+	return rows
+}
+
+// RenderCostModel prints the sweep.
+func RenderCostModel(rows []CostModelRow) string {
+	var b strings.Builder
+	b.WriteString("Section 7 worst-case analysis: attainable fraction of ideal speedup\n")
+	fmt.Fprintf(&b, "%6s %10s %10s %10s %9s %9s %9s\n",
+		"procs", "Sp_id", "Sp_at", "Sp_at(PD)", "frac", "frac(PD)", "failslow")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %10.1f %10.1f %10.1f %9.3f %9.3f %9.3f\n",
+			r.Procs, r.SpId, r.SpAtNoPD, r.SpAtPD, r.FracNoPD, r.FracPD, r.FailSlow)
+	}
+	return b.String()
+}
+
+// GeneralSweepRow compares the three general-recurrence methods at one
+// work-per-node level (the Section 3.3 ablation: where do the methods
+// cross over?).
+type GeneralSweepRow struct {
+	WorkPerNode float64
+	SpG1        float64
+	SpG2        float64
+	SpG3        float64
+	// SpDist is the naive loop-distribution baseline (sequential term
+	// precomputation + DOALL) the paper argues against for RV loops.
+	SpDist float64
+}
+
+// GeneralMethodSweep sweeps work-per-node for a fixed list length on 8
+// simulated processors.  With little work, General-1's lock serializes
+// everything; as work grows all three approach the work-bound limit,
+// with General-2/3 paying their redundant traversals.
+func GeneralMethodSweep(n, procs int) []GeneralSweepRow {
+	var rows []GeneralSweepRow
+	for _, w := range []float64{1, 2, 5, 10, 20, 50, 100, 200} {
+		c := genrec.SimCosts{Hop: 1, Lock: 3, Dispatch: 0.5, Work: func(int) float64 { return w }}
+		seq := c.SeqTime(n)
+		sp := func(sim func(*simproc.Machine, int, genrec.SimCosts) simproc.Trace) float64 {
+			return simproc.Speedup(seq, sim(simproc.New(procs), n, c).Makespan)
+		}
+		rows = append(rows, GeneralSweepRow{
+			WorkPerNode: w,
+			SpG1:        sp(genrec.SimGeneral1),
+			SpG2:        sp(genrec.SimGeneral2),
+			SpG3:        sp(genrec.SimGeneral3),
+			SpDist: simproc.Speedup(seq,
+				genrec.SimDistributed(simproc.New(procs), n, c, 1).Makespan),
+		})
+	}
+	return rows
+}
+
+// RenderGeneralSweep prints the ablation.
+func RenderGeneralSweep(rows []GeneralSweepRow, n, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 3.3 ablation: General-1/2/3 speedup vs work per node (n=%d, p=%d)\n", n, procs)
+	fmt.Fprintf(&b, "%10s %10s %10s %10s %12s\n", "work/node", "General-1", "General-2", "General-3", "distributed")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.0f %10.2f %10.2f %10.2f %12.2f\n", r.WorkPerNode, r.SpG1, r.SpG2, r.SpG3, r.SpDist)
+	}
+	return b.String()
+}
+
+// StripWindowRow compares strip-mined execution against an unstripped
+// DOALL at one strip size (the Section 8 memory-vs-parallelism
+// trade-off; the sliding window achieves the same memory bound without
+// the barriers).
+type StripWindowRow struct {
+	Strip        int
+	MemBound     int // time-stamp entries held at once
+	SpeedupStrip float64
+	SpeedupFull  float64 // unstripped (memory unbounded)
+}
+
+// StripVsWindowSweep sweeps strip sizes for a TRACK-like RV loop on the
+// simulated machine.
+func StripVsWindowSweep(n, procs, writesPerIter int) []StripWindowRow {
+	work := func(int) float64 { return 24 }
+	exit := n * 96 / 100
+	full := simproc.New(procs)
+	full.DynamicDOALL(n, work, 0.5, exit, false)
+	full.Barrier(3)
+	seq := simproc.SeqTime(exit, work)
+	spFull := simproc.Speedup(seq, full.Makespan())
+
+	var rows []StripWindowRow
+	for _, strip := range []int{16, 32, 64, 128, 256, 512} {
+		t := stripmine.Simulate(simproc.New(procs), stripmine.SimSpec{
+			Total: n, Strip: strip, Exit: exit, Work: work, Dispatch: 0.5, Barrier: 50,
+		})
+		rows = append(rows, StripWindowRow{
+			Strip:        strip,
+			MemBound:     stripmine.MemoryBound(strip, writesPerIter),
+			SpeedupStrip: simproc.Speedup(seq, t),
+			SpeedupFull:  spFull,
+		})
+	}
+	return rows
+}
+
+// RenderStripVsWindow prints the sweep.
+func RenderStripVsWindow(rows []StripWindowRow) string {
+	var b strings.Builder
+	b.WriteString("Section 8 ablation: strip-mined speedup vs memory bound (8 procs)\n")
+	fmt.Fprintf(&b, "%8s %10s %12s %12s\n", "strip", "mem bound", "sp(strip)", "sp(full)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %10d %12.2f %12.2f\n", r.Strip, r.MemBound, r.SpeedupStrip, r.SpeedupFull)
+	}
+	return b.String()
+}
+
+// PDCostRow quantifies the PD-test speculation outcomes of Section 5.
+type PDCostRow struct {
+	Procs        int
+	SpeedupPass  float64 // test passes: speculative win
+	SlowdownFail float64 // test fails: total time / sequential time
+}
+
+// PDTestSweep computes, for a loop whose accesses dominate (worst case),
+// the pass-speedup and fail-slowdown over a processor sweep — the "large
+// expected gain, small bounded loss" argument.
+func PDTestSweep() []PDCostRow {
+	var rows []PDCostRow
+	tseq := 1e6
+	lt := costmodel.LoopTimes{Trem: tseq, Accesses: tseq / 4}
+	for _, p := range []int{2, 4, 8, 16, 64} {
+		spid := costmodel.IdealSpeedup(lt, loopir.MonotonicInduction, p)
+		o := costmodel.WorstCase(lt, spid, p, true)
+		pass := costmodel.AttainableSpeedup(lt, loopir.MonotonicInduction, p, o)
+		fail := costmodel.FailureTime(tseq, p) / tseq
+		rows = append(rows, PDCostRow{Procs: p, SpeedupPass: pass, SlowdownFail: fail})
+	}
+	return rows
+}
+
+// RenderPDTestSweep prints the sweep.
+func RenderPDTestSweep(rows []PDCostRow) string {
+	var b strings.Builder
+	b.WriteString("Section 5 speculation economics: PD-test pass speedup vs fail cost\n")
+	fmt.Fprintf(&b, "%6s %12s %14s\n", "procs", "pass speedup", "fail time/Tseq")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %12.2f %14.3f\n", r.Procs, r.SpeedupPass, r.SlowdownFail)
+	}
+	return b.String()
+}
+
+// SchedulingRow compares iteration-assignment policies at one dispatch
+// cost.
+type SchedulingRow struct {
+	Dispatch  float64
+	SpDynamic float64
+	SpStatic  float64
+	SpGuided  float64
+}
+
+// SchedulingSweep sweeps the self-scheduling dispatch cost for a DOALL
+// with mildly irregular iteration costs: dynamic pays dispatch per
+// iteration, static pays none but balances worst, guided amortizes
+// dispatch over decreasing chunks (an extension beyond the paper's
+// dynamic/static pair).
+func SchedulingSweep(n, procs int) []SchedulingRow {
+	cost := func(i int) float64 { return float64(i%9) + 4 }
+	seq := simproc.SeqTime(n, cost)
+	var rows []SchedulingRow
+	for _, d := range []float64{0, 0.5, 1, 2, 4, 8} {
+		md, ms, mg := simproc.New(procs), simproc.New(procs), simproc.New(procs)
+		dyn := md.DynamicDOALL(n, func(i int) float64 { return cost(i) }, d, -1, false)
+		st := ms.StaticDOALL(n, cost, -1)
+		gu := mg.GuidedDOALL(n, cost, d, -1, false)
+		rows = append(rows, SchedulingRow{
+			Dispatch:  d,
+			SpDynamic: simproc.Speedup(seq, dyn.Makespan),
+			SpStatic:  simproc.Speedup(seq, st.Makespan),
+			SpGuided:  simproc.Speedup(seq, gu.Makespan),
+		})
+	}
+	return rows
+}
+
+// RenderSchedulingSweep prints the policy comparison.
+func RenderSchedulingSweep(rows []SchedulingRow, n, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheduling ablation: assignment policy vs dispatch cost (n=%d, p=%d)\n", n, procs)
+	fmt.Fprintf(&b, "%10s %10s %10s %10s\n", "dispatch", "dynamic", "static", "guided")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.1f %10.2f %10.2f %10.2f\n", r.Dispatch, r.SpDynamic, r.SpStatic, r.SpGuided)
+	}
+	return b.String()
+}
+
+// PrefixRow compares associative-dispatcher evaluation strategies at one
+// recurrence-to-remainder cost ratio.
+type PrefixRow struct {
+	RecFrac    float64 // Trec / (Trec + Trem)
+	SpPrefix   float64 // parallel prefix + DOALL (Section 3.2)
+	SpSeqTerms float64 // sequential term evaluation + DOALL (naive)
+}
+
+// PrefixSweep quantifies Section 3.2: as the dispatcher's share of the
+// loop's work grows, evaluating the recurrence by parallel prefix keeps
+// scaling while the naive sequential evaluation saturates (Amdahl on
+// the term loop).
+func PrefixSweep(n, procs int) []PrefixRow {
+	var rows []PrefixRow
+	total := 40.0 // per-iteration cost budget: recurrence + remainder
+	for _, frac := range []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8} {
+		rec := total * frac
+		rem := total - rec
+		seq := float64(n) * total
+		// Parallel prefix: O(2n/p + log p) recurrence evaluation, then a
+		// DOALL over the remainder.
+		mp := simproc.New(procs)
+		local := 2 * rec * float64(n) / float64(procs)
+		if procs == 1 {
+			local = rec * float64(n)
+		}
+		for k := 0; k < procs; k++ {
+			mp.Run(k, local)
+		}
+		mp.Barrier(rec * 4)
+		mp.DynamicDOALL(n, func(int) float64 { return rem }, 0.5, -1, false)
+		spPrefix := simproc.Speedup(seq, mp.Makespan())
+		// Naive: one processor evaluates all terms, then the DOALL.
+		ms := simproc.New(procs)
+		ms.Run(0, rec*float64(n))
+		ms.Barrier(0)
+		ms.DynamicDOALL(n, func(int) float64 { return rem }, 0.5, -1, false)
+		spNaive := simproc.Speedup(seq, ms.Makespan())
+		rows = append(rows, PrefixRow{RecFrac: frac, SpPrefix: spPrefix, SpSeqTerms: spNaive})
+	}
+	return rows
+}
+
+// RenderPrefixSweep prints the comparison.
+func RenderPrefixSweep(rows []PrefixRow, n, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 3.2 ablation: parallel prefix vs sequential term evaluation (n=%d, p=%d)\n", n, procs)
+	fmt.Fprintf(&b, "%10s %12s %12s\n", "Trec frac", "sp(prefix)", "sp(seq terms)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.2f %12.2f %12.2f\n", r.RecFrac, r.SpPrefix, r.SpSeqTerms)
+	}
+	return b.String()
+}

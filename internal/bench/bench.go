@@ -1,0 +1,93 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (Section 9) on the simulated
+// multiprocessor, and validates each experiment's transformation against
+// its sequential execution on the real goroutine backend.
+//
+// Measurement substrate: the paper's numbers are speedups on an 8-CPU
+// Alliant FX/80.  Here the *correctness* of each transformed loop is
+// established by real concurrent execution (the package tests and the
+// Verify functions), while the *speedup curves* come from
+// internal/simproc schedules whose cost parameters are calibrated to
+// Alliant-like ratios (see the constants below and EXPERIMENTS.md).
+// Only the shapes — which method wins, by roughly what factor, how the
+// curve bends with processors and inputs — are claimed, not absolute
+// times.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one measurement of a speedup-vs-processors curve.
+type Point struct {
+	Procs   int
+	Speedup float64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// At returns the speedup at a given processor count (0 if absent).
+func (s Series) At(p int) float64 {
+	for _, pt := range s.Points {
+		if pt.Procs == p {
+			return pt.Speedup
+		}
+	}
+	return 0
+}
+
+// Figure is a reproduced figure: a set of curves plus provenance.
+type Figure struct {
+	ID    string // "6", "7", ... matching the paper
+	Title string
+	// PaperAt8 records the paper's headline speedups at 8 processors,
+	// keyed by series name, for the paper-vs-measured comparison.
+	PaperAt8 map[string]float64
+	Series   []Series
+}
+
+// Procs is the processor sweep of every figure (the Alliant had 8).
+var Procs = []int{1, 2, 3, 4, 5, 6, 7, 8}
+
+// Render prints the figure as aligned text rows (one per processor
+// count), the way the harness regenerates the paper's plots.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%6s", "procs")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, p := range Procs {
+		fmt.Fprintf(&b, "%6d", p)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, " %14.2f", s.At(p))
+		}
+		b.WriteByte('\n')
+	}
+	if len(f.PaperAt8) > 0 {
+		fmt.Fprintf(&b, "paper@8:")
+		for _, s := range f.Series {
+			if v, ok := f.PaperAt8[s.Name]; ok {
+				fmt.Fprintf(&b, " %s=%.1f", s.Name, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sweep builds a Series by evaluating speedup(p) over Procs.
+func sweep(name string, speedup func(p int) float64) Series {
+	s := Series{Name: name}
+	for _, p := range Procs {
+		s.Points = append(s.Points, Point{Procs: p, Speedup: speedup(p)})
+	}
+	return s
+}

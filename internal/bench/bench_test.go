@@ -1,0 +1,414 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// within asserts |got-paper| <= tol*paper.
+func within(t *testing.T, what string, got, paper, tol float64) {
+	t.Helper()
+	if math.Abs(got-paper) > tol*paper {
+		t.Errorf("%s: measured %.2f vs paper %.2f (tolerance %.0f%%)", what, got, paper, tol*100)
+	}
+}
+
+func TestFig6ShapeMatchesPaper(t *testing.T) {
+	f := Fig6()
+	g1, g3 := f.Series[0], f.Series[1]
+	within(t, "fig6 General-1 @8", g1.At(8), 2.9, 0.15)
+	within(t, "fig6 General-3 @8", g3.At(8), 4.9, 0.15)
+	if g3.At(8) <= g1.At(8) {
+		t.Error("fig6: General-3 must beat General-1 at 8 processors")
+	}
+	// General-1 saturates (lock-bound) while General-3 keeps climbing.
+	if g1.At(8)-g1.At(5) > 0.3 {
+		t.Error("fig6: General-1 should saturate by p=5")
+	}
+	if g3.At(8)-g3.At(5) < 0.5 {
+		t.Error("fig6: General-3 should still scale past p=5")
+	}
+}
+
+func TestFig7ShapeMatchesPaper(t *testing.T) {
+	f := Fig7()
+	ind, ideal := f.Series[0], f.Series[1]
+	within(t, "fig7 Induction-1 @8", ind.At(8), 5.8, 0.15)
+	// The speculative version tracks below the hand-parallelized ideal.
+	for _, p := range Procs {
+		if ind.At(p) > ideal.At(p)+1e-9 {
+			t.Errorf("fig7: speculative speedup above ideal at p=%d", p)
+		}
+	}
+	if ideal.At(8) < 7 {
+		t.Errorf("fig7: ideal @8 = %.2f, want near-linear", ideal.At(8))
+	}
+}
+
+func TestFigs8to11ShapesMatchPaper(t *testing.T) {
+	figs := Figs8to11()
+	if len(figs) != 4 {
+		t.Fatalf("%d MCSPARSE figures", len(figs))
+	}
+	at8 := map[string]float64{}
+	for _, f := range figs {
+		s := f.Series[0]
+		name := f.Title[strings.Index(f.Title, ", ")+2 : len(f.Title)-1]
+		at8[name] = s.At(8)
+		// Generous tolerance: the input is synthetic; the claim is the
+		// ordering and rough magnitude.
+		for series, paper := range f.PaperAt8 {
+			within(t, "fig"+f.ID+" "+series+" @8", s.At(8), paper, 0.30)
+		}
+	}
+	// Paper ordering: gematt11 >= gematt12 > saylr4 > orsreg1.
+	if !(at8["gematt11"] >= at8["gematt12"] && at8["gematt12"] > at8["saylr4"] && at8["saylr4"] > at8["orsreg1"]) {
+		t.Errorf("fig8-11 input ordering broken: %v", at8)
+	}
+}
+
+func TestFigs12to14ShapesMatchPaper(t *testing.T) {
+	figs := Figs12to14()
+	if len(figs) != 3 {
+		t.Fatalf("%d MA28 figures", len(figs))
+	}
+	// gematt inputs: Loop 320 outperforms Loop 270 (paper: 3.5/4.8 and
+	// 3.4/4.5); orsreg1 flips (5.3/2.8).
+	for i, f := range figs[:2] {
+		l270, l320 := f.Series[0].At(8), f.Series[1].At(8)
+		if l320 <= l270 {
+			t.Errorf("fig%d: Loop 320 (%.2f) should beat Loop 270 (%.2f) on gematt", 12+i, l320, l270)
+		}
+		within(t, "fig"+f.ID+" Loop 320 @8", l320, f.PaperAt8["Loop 320"], 0.15)
+		within(t, "fig"+f.ID+" Loop 270 @8", l270, f.PaperAt8["Loop 270"], 0.35)
+	}
+	ors := figs[2]
+	l270, l320 := ors.Series[0].At(8), ors.Series[1].At(8)
+	if l270 <= l320 {
+		t.Errorf("fig14: Loop 270 (%.2f) should beat Loop 320 (%.2f) on orsreg1", l270, l320)
+	}
+	within(t, "fig14 Loop 320 @8", l320, 2.8, 0.30)
+}
+
+func TestSpeedupsMonotonicEnough(t *testing.T) {
+	// Every reproduced curve should be (weakly) increasing in p, within
+	// the quantization noise of short searches.
+	var figs []Figure
+	figs = append(figs, Fig6(), Fig7())
+	figs = append(figs, Figs8to11()...)
+	figs = append(figs, Figs12to14()...)
+	for _, f := range figs {
+		for _, s := range f.Series {
+			for i := 1; i < len(s.Points); i++ {
+				if s.Points[i].Speedup < s.Points[i-1].Speedup-0.45 {
+					t.Errorf("fig%s %s: speedup drops at p=%d (%.2f -> %.2f)",
+						f.ID, s.Name, s.Points[i].Procs, s.Points[i-1].Speedup, s.Points[i].Speedup)
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyFunctionsPass(t *testing.T) {
+	if errs := VerifyFig6(8); len(errs) != 0 {
+		t.Errorf("fig6 verification: %v", errs)
+	}
+	if errs := VerifyFig7(8); len(errs) != 0 {
+		t.Errorf("fig7 verification: %v", errs)
+	}
+	if errs := VerifySparse(4); len(errs) != 0 {
+		t.Errorf("sparse verification: %v", errs)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"RI", "RV", "general recurrence", "YES-PP", "overshoot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Complete(t *testing.T) {
+	rows := Table2()
+	// 2 SPICE + 1 TRACK + 4 MCSPARSE + 6 MA28 = 13 rows.
+	if len(rows) != 13 {
+		t.Fatalf("Table 2 has %d rows, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 || r.PaperSpeed <= 0 {
+			t.Errorf("row %+v has empty measurements", r)
+		}
+	}
+	// MCSPARSE rows carry input names and need no backups.
+	mc := 0
+	for _, r := range rows {
+		if r.Benchmark == "MCSPARSE" {
+			mc++
+			if r.Backups || r.TimeStamps {
+				t.Error("MCSPARSE needs no backups or time-stamps")
+			}
+			if r.Input == "-" {
+				t.Error("MCSPARSE rows should name their input")
+			}
+		}
+	}
+	if mc != 4 {
+		t.Errorf("%d MCSPARSE rows", mc)
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "MA30AD/320") || !strings.Contains(out, "WHILE-DOANY") {
+		t.Errorf("Table 2 rendering incomplete:\n%s", out)
+	}
+}
+
+func TestCostModelSweepBounds(t *testing.T) {
+	rows := CostModelSweep()
+	for _, r := range rows {
+		if r.FracNoPD < 0.24 || r.FracPD < 0.19 {
+			t.Errorf("p=%d: worst-case fractions %.3f/%.3f below the paper's bounds", r.Procs, r.FracNoPD, r.FracPD)
+		}
+		if r.FracNoPD <= r.FracPD {
+			t.Errorf("p=%d: PD test should cost extra", r.Procs)
+		}
+	}
+	if s := RenderCostModel(rows); !strings.Contains(s, "failslow") {
+		t.Error("cost model rendering incomplete")
+	}
+}
+
+func TestGeneralMethodSweepCrossover(t *testing.T) {
+	rows := GeneralMethodSweep(2000, 8)
+	first, last := rows[0], rows[len(rows)-1]
+	// Tiny work: the lock hurts General-1 most.
+	if first.SpG1 >= first.SpG3 {
+		t.Errorf("low-work: General-1 %.2f should trail General-3 %.2f", first.SpG1, first.SpG3)
+	}
+	// Huge work: all methods converge toward p.
+	for _, sp := range []float64{last.SpG1, last.SpG2, last.SpG3} {
+		if sp < 6.5 {
+			t.Errorf("high-work speedups should approach p: %+v", last)
+		}
+	}
+	if s := RenderGeneralSweep(rows, 2000, 8); !strings.Contains(s, "General-2") {
+		t.Error("sweep rendering incomplete")
+	}
+}
+
+func TestStripVsWindowTradeoff(t *testing.T) {
+	rows := StripVsWindowSweep(2000, 8, 2)
+	// Memory bound grows with strip; speedup should improve (fewer
+	// barriers) and stay below the unstripped run.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MemBound <= rows[i-1].MemBound {
+			t.Error("memory bound must grow with strip size")
+		}
+		if rows[i].SpeedupStrip < rows[i-1].SpeedupStrip-1e-9 {
+			t.Errorf("speedup should not fall as strips coarsen: %+v", rows)
+		}
+	}
+	for _, r := range rows {
+		if r.SpeedupStrip > r.SpeedupFull+1e-9 {
+			t.Errorf("strip %d: strip-mined speedup exceeds unbounded", r.Strip)
+		}
+	}
+	if s := RenderStripVsWindow(rows); !strings.Contains(s, "mem bound") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestPDTestSweepEconomics(t *testing.T) {
+	rows := PDTestSweep()
+	for i, r := range rows {
+		if want := 1 + 5/float64(r.Procs); math.Abs(r.SlowdownFail-want) > 1e-9 {
+			t.Errorf("fail cost should be 1 + 5/p = %.3f: %+v", want, r)
+		}
+		if i > 0 && r.SpeedupPass <= rows[i-1].SpeedupPass {
+			t.Error("pass speedup should grow with p")
+		}
+		if i > 0 && r.SlowdownFail >= rows[i-1].SlowdownFail {
+			t.Error("fail cost should shrink with p")
+		}
+	}
+	if s := RenderPDTestSweep(rows); !strings.Contains(s, "fail time") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFigureRenderIncludesPaperLine(t *testing.T) {
+	out := Fig6().Render()
+	if !strings.Contains(out, "paper@8") || !strings.Contains(out, "General-3") {
+		t.Errorf("figure rendering incomplete:\n%s", out)
+	}
+	// Series.At on a missing processor count returns 0.
+	if (Series{Name: "x"}).At(3) != 0 {
+		t.Error("At on empty series should be 0")
+	}
+}
+
+func TestChunkedSweepShape(t *testing.T) {
+	rows := ChunkedSweep(4096, 8)
+	// The extremes degenerate; some interior chunk size must beat both
+	// and approach General-3 or better.
+	first, last := rows[0], rows[len(rows)-1]
+	bestMid := 0.0
+	for _, r := range rows[1 : len(rows)-1] {
+		if r.SpChunked > bestMid {
+			bestMid = r.SpChunked
+		}
+	}
+	if bestMid <= first.SpChunked || bestMid <= last.SpChunked {
+		t.Fatalf("chunk sweet spot missing: first=%.2f best=%.2f last=%.2f",
+			first.SpChunked, bestMid, last.SpChunked)
+	}
+	if last.SpChunked > 1.2 {
+		t.Fatalf("single-chunk run should be sequential-ish: %.2f", last.SpChunked)
+	}
+	if s := RenderChunkedSweep(rows, 4096, 8); !strings.Contains(s, "chunked") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestDoacrossSweepShape(t *testing.T) {
+	rows := DoacrossSweep(2000, 8)
+	first, last := rows[0], rows[len(rows)-1]
+	// Little work: the pipeline's hand-off chain throttles it below
+	// General-3.
+	if first.SpDoacross >= first.SpG3 {
+		t.Fatalf("low-work: doacross %.2f should trail General-3 %.2f",
+			first.SpDoacross, first.SpG3)
+	}
+	// Heavy work: both approach p and the gap closes.
+	if last.SpDoacross < 6 || last.SpG3 < 6 {
+		t.Fatalf("high-work speedups should approach p: %+v", last)
+	}
+	if s := RenderDoacrossSweep(rows, 2000, 8); !strings.Contains(s, "doacross") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestSchedulingSweepShape(t *testing.T) {
+	rows := SchedulingSweep(4000, 8)
+	// Static ignores dispatch: constant across the sweep.
+	for _, r := range rows[1:] {
+		if r.SpStatic != rows[0].SpStatic {
+			t.Fatalf("static speedup should not depend on dispatch: %+v", rows)
+		}
+	}
+	// At high dispatch cost, guided beats dynamic.
+	last := rows[len(rows)-1]
+	if last.SpGuided <= last.SpDynamic {
+		t.Fatalf("guided should win under heavy dispatch: %+v", last)
+	}
+	// At zero dispatch, dynamic balances at least as well as static.
+	if rows[0].SpDynamic < rows[0].SpStatic-0.2 {
+		t.Fatalf("free dynamic should balance >= static: %+v", rows[0])
+	}
+	if s := RenderSchedulingSweep(rows, 4000, 8); !strings.Contains(s, "guided") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	out := Fig6().Plot()
+	for _, want := range []string{"procs", "* = General-1", "o = General-3", "paper@8: 4.9", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The General-3 curve must place glyphs at distinct heights as it
+	// scales (a flat plot would indicate a broken y mapping).
+	lines := strings.Split(out, "\n")
+	rowsWithO := 0
+	for _, l := range lines {
+		if strings.Contains(l, "o") && strings.Contains(l, "|") {
+			rowsWithO++
+		}
+	}
+	if rowsWithO < 4 {
+		t.Errorf("General-3 curve too flat (%d rows):\n%s", rowsWithO, out)
+	}
+}
+
+func TestPrefixSweepShape(t *testing.T) {
+	rows := PrefixSweep(4000, 8)
+	for i, r := range rows {
+		if r.SpPrefix < r.SpSeqTerms-1e-9 {
+			t.Fatalf("prefix should never lose to sequential terms: %+v", r)
+		}
+		if i > 0 && r.SpSeqTerms > rows[i-1].SpSeqTerms+1e-9 {
+			t.Fatalf("naive speedup should fall as the recurrence share grows: %+v", rows)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// With the recurrence at 80%% of the work the gap must be large.
+	if last.SpPrefix < 2*last.SpSeqTerms {
+		t.Fatalf("recurrence-dominated: prefix %.2f vs naive %.2f", last.SpPrefix, last.SpSeqTerms)
+	}
+	if first.SpPrefix < 5 {
+		t.Fatalf("remainder-dominated case should scale well: %+v", first)
+	}
+	if s := RenderPrefixSweep(rows, 4000, 8); !strings.Contains(s, "prefix") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestSpiceAppProjection(t *testing.T) {
+	rows := SpiceAppProjection()
+	last := rows[len(rows)-1]
+	// Amdahl with a 40% share: app speedup bounded by 1/0.6 ~ 1.67.
+	if last.AppSpeedup >= 1.0/0.6 {
+		t.Fatalf("app speedup %v exceeds the Amdahl bound", last.AppSpeedup)
+	}
+	if last.AppSpeedup < 1.3 {
+		t.Fatalf("app speedup %v too low for loop speedup %v", last.AppSpeedup, last.LoopSp)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AppSpeedup < rows[i-1].AppSpeedup-1e-9 {
+			t.Fatal("app speedup should be monotone in procs")
+		}
+	}
+	if s := RenderSpiceApp(rows); !strings.Contains(s, "app sp") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFig6Gantt(t *testing.T) {
+	out := Fig6Gantt()
+	for _, want := range []string{"General-1", "General-3", "P0 ", "P7 ", "#", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q", want)
+		}
+	}
+	// The convoy: General-1's rows must show markedly lower utilization
+	// than General-3's.  Extract the percentages and compare means.
+	mean := func(section string) float64 {
+		var sum, n float64
+		for _, line := range strings.Split(section, "\n") {
+			var proc int
+			var pct float64
+			if _, err := fmt.Sscanf(line, "P%d |", &proc); err == nil {
+				if i := strings.LastIndex(line, "|"); i >= 0 {
+					fmt.Sscanf(strings.TrimSpace(line[i+1:]), "%f", &pct)
+					sum += pct
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / n
+	}
+	parts := strings.SplitN(out, "General-3", 2)
+	if len(parts) != 2 {
+		t.Fatal("sections missing")
+	}
+	u1, u3 := mean(parts[0]), mean(parts[1])
+	if u1 >= u3 {
+		t.Fatalf("General-1 utilization %.0f%% should be below General-3's %.0f%%", u1, u3)
+	}
+}

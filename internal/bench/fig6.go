@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"whilepar/internal/genrec"
+	"whilepar/internal/simproc"
+	"whilepar/internal/spice"
+)
+
+// SPICE LOAD Loop 40 (Figure 6): a linked-list traversal with an RI
+// terminator and little work per node, parallelized by General-1
+// (serialized next()) and General-3 (dynamic, private cursors).  No
+// backups, no time-stamps.  Paper speedups on 8 processors: General-1
+// 2.9x, General-3 4.9x.
+//
+// Cost calibration (abstract units ~ simple operations): one list hop
+// costs spiceHop; the capacitor-model evaluation costs spiceWork; a
+// lock acquire/release pair costs spiceLock (bus-locked RMW plus
+// coherence traffic on the FX/80 — several times a hop); dynamic
+// dispatch costs spiceDispatch.
+const (
+	spiceDevices  = 3000
+	spiceHop      = 1.0
+	spiceWork     = 11.0
+	spiceLock     = 3.0
+	spiceDispatch = 0.5
+)
+
+// Fig6 regenerates Figure 6.
+func Fig6() Figure {
+	costs := genrec.SimCosts{
+		Hop:      spiceHop,
+		Lock:     spiceLock,
+		Dispatch: spiceDispatch,
+		Work:     func(int) float64 { return spiceWork },
+	}
+	seq := costs.SeqTime(spiceDevices)
+	return Figure{
+		ID:       "6",
+		Title:    "SPICE LOAD Loop 40 (linked-list traversal, RI terminator)",
+		PaperAt8: map[string]float64{"General-1": 2.9, "General-3": 4.9},
+		Series: []Series{
+			sweep("General-1", func(p int) float64 {
+				tr := genrec.SimGeneral1(simproc.New(p), spiceDevices, costs)
+				return simproc.Speedup(seq, tr.Makespan)
+			}),
+			sweep("General-3", func(p int) float64 {
+				tr := genrec.SimGeneral3(simproc.New(p), spiceDevices, costs)
+				return simproc.Speedup(seq, tr.Makespan)
+			}),
+		},
+	}
+}
+
+// VerifyFig6 establishes the experiment's functional claim on the real
+// goroutine backend: both methods produce stamps identical to the
+// sequential LOAD loop, with no overshoot.  It returns an error message
+// list (empty = pass).
+func VerifyFig6(procs int) []string {
+	var errs []string
+	run := func(name string, method func(*spice.Circuit) genrec.Result) {
+		seqC := spice.New(256, 2000, 0, 0, 40)
+		parC := spice.New(256, 2000, 0, 0, 40)
+		seqC.LoadSequential(spice.Capacitor)
+		res := method(parC)
+		if res.Valid != 2000 || res.Overshot != 0 {
+			errs = append(errs, fmt.Sprintf("fig6 %s: result %+v", name, res))
+		}
+		if !parC.Stamps.Equal(seqC.Stamps) {
+			errs = append(errs, fmt.Sprintf("fig6 %s: stamps diverged", name))
+		}
+	}
+	run("General-1", func(c *spice.Circuit) genrec.Result {
+		return genrec.General1(c.Models(spice.Capacitor), c.LoadBody(), genrec.Config{Procs: procs})
+	})
+	run("General-3", func(c *spice.Circuit) genrec.Result {
+		return genrec.General3(c.Models(spice.Capacitor), c.LoadBody(), genrec.Config{Procs: procs})
+	})
+	return errs
+}
+
+// SpiceAppRow is one row of the whole-application projection.
+type SpiceAppRow struct {
+	Procs      int
+	LoopSp     float64 // General-3 speedup of the model-evaluation loops
+	AppSpeedup float64 // whole-SPICE speedup via Amdahl
+}
+
+// SpiceAppProjection quantifies the paper's closing remark on the SPICE
+// experiment: the LOAD subroutine (with the structurally identical BJT
+// and MOSFET loops it calls) accounts for about 40% of SPICE's
+// sequential execution time, so parallelizing those loops with
+// General-3 bounds the whole-application speedup by Amdahl's law:
+// app = 1 / (0.6 + 0.4/k) for loop speedup k.
+func SpiceAppProjection() []SpiceAppRow {
+	const loadShare = 0.40
+	costs := genrec.SimCosts{
+		Hop:      spiceHop,
+		Lock:     spiceLock,
+		Dispatch: spiceDispatch,
+		Work:     func(int) float64 { return spiceWork },
+	}
+	seq := costs.SeqTime(spiceDevices)
+	var rows []SpiceAppRow
+	for _, p := range Procs {
+		tr := genrec.SimGeneral3(simproc.New(p), spiceDevices, costs)
+		k := simproc.Speedup(seq, tr.Makespan)
+		app := 1 / ((1 - loadShare) + loadShare/k)
+		rows = append(rows, SpiceAppRow{Procs: p, LoopSp: k, AppSpeedup: app})
+	}
+	return rows
+}
+
+// RenderSpiceApp prints the projection.
+func RenderSpiceApp(rows []SpiceAppRow) string {
+	var b strings.Builder
+	b.WriteString("SPICE whole-application projection (LOAD+BJT+MOSFET ~= 40% of runtime)\n")
+	fmt.Fprintf(&b, "%6s %12s %12s\n", "procs", "loop sp", "app sp")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %12.2f %12.2f\n", r.Procs, r.LoopSp, r.AppSpeedup)
+	}
+	return b.String()
+}
+
+// Fig6Gantt renders the actual simulated schedules of General-1 and
+// General-3 on 8 processors as Gantt charts — the lock convoy versus
+// the overlapped traversal, visible segment by segment.
+func Fig6Gantt() string {
+	costs := genrec.SimCosts{
+		Hop:      spiceHop,
+		Lock:     spiceLock,
+		Dispatch: spiceDispatch,
+		Work:     func(int) float64 { return spiceWork },
+	}
+	const n, p, width = 120, 8, 72
+	var b strings.Builder
+	m1 := simproc.New(p)
+	var tl1 simproc.Timeline
+	m1.Attach(&tl1)
+	genrec.SimGeneral1(m1, n, costs)
+	b.WriteString("General-1 (lock-serialized next): the convoy\n")
+	b.WriteString(tl1.Gantt(p, width))
+	b.WriteByte('\n')
+	m3 := simproc.New(p)
+	var tl3 simproc.Timeline
+	m3.Attach(&tl3)
+	genrec.SimGeneral3(m3, n, costs)
+	b.WriteString("General-3 (dynamic, private cursors): overlapped\n")
+	b.WriteString(tl3.Gantt(p, width))
+	return b.String()
+}

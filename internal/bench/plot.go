@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure as a text chart — speedup on the y axis,
+// processor count on the x axis, one glyph per series — so the
+// regenerated figures can be eyeballed against the paper's plots
+// straight from the terminal (cmd/whilebench -plot).
+func (f Figure) Plot() string {
+	const height = 16
+	glyphs := []byte{'*', 'o', '+', 'x', '#'}
+
+	maxY := 1.0
+	for _, s := range f.Series {
+		for _, pt := range s.Points {
+			if pt.Speedup > maxY {
+				maxY = pt.Speedup
+			}
+		}
+	}
+	for _, v := range f.PaperAt8 {
+		if v > maxY {
+			maxY = v
+		}
+	}
+	maxY = math.Ceil(maxY)
+
+	// grid[row][col]: row 0 is the top.
+	cols := len(Procs)
+	colW := 6
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colW))
+	}
+	rowOf := func(v float64) int {
+		r := height - 1 - int(math.Round(v/maxY*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for ci, p := range Procs {
+			v := s.At(p)
+			if v <= 0 {
+				continue
+			}
+			grid[rowOf(v)][ci*colW+colW/2] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	for r := 0; r < height; r++ {
+		yv := maxY * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%5.1f |%s\n", yv, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "      +%s\n", strings.Repeat("-", cols*colW))
+	fmt.Fprintf(&b, "       ")
+	for _, p := range Procs {
+		fmt.Fprintf(&b, "%*d", colW, p)
+	}
+	b.WriteString("  procs\n")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "       %c = %s", glyphs[si%len(glyphs)], s.Name)
+		if v, ok := f.PaperAt8[s.Name]; ok {
+			fmt.Fprintf(&b, " (paper@8: %.1f)", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

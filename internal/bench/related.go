@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"whilepar/internal/doacross"
+	"whilepar/internal/genrec"
+	"whilepar/internal/simproc"
+)
+
+// Related-work ablations (Section 10): Harrison's chunked-list scheme
+// and the Wu & Lewis pipelined (DOACROSS) execution, both quantified
+// against General-3 under the same cost model.
+
+// ChunkedRow is one chunk-size point of the Harrison ablation.
+type ChunkedRow struct {
+	Chunk     int
+	SpChunked float64
+	SpG3      float64 // General-3 baseline (chunk-independent)
+}
+
+// ChunkedSweep sweeps chunk sizes for a fixed list on 8 simulated
+// processors.  Harrison's own caveat reproduces at the extremes: with
+// one element per chunk (FORTRAN static allocation) the header walk is
+// the whole list and the scheme degenerates; with one chunk there is no
+// parallelism at all; in between it beats the pointer-chasing methods
+// because elements are contiguous.
+func ChunkedSweep(n, procs int) []ChunkedRow {
+	c := genrec.SimCosts{Hop: 1, Lock: 3, Dispatch: 0.5, Work: func(int) float64 { return 8 }}
+	seq := c.SeqTime(n)
+	g3 := simproc.Speedup(seq, genrec.SimGeneral3(simproc.New(procs), n, c).Makespan)
+	var rows []ChunkedRow
+	for _, chunk := range []int{1, 4, 16, 64, 256, 1024, n} {
+		tr := genrec.SimChunked(simproc.New(procs), n, chunk, c)
+		rows = append(rows, ChunkedRow{
+			Chunk:     chunk,
+			SpChunked: simproc.Speedup(seq, tr.Makespan),
+			SpG3:      g3,
+		})
+	}
+	return rows
+}
+
+// RenderChunkedSweep prints the ablation.
+func RenderChunkedSweep(rows []ChunkedRow, n, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 10 ablation: Harrison chunked lists vs General-3 (n=%d, p=%d)\n", n, procs)
+	fmt.Fprintf(&b, "%8s %12s %12s\n", "chunk", "sp(chunked)", "sp(General-3)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %12.2f %12.2f\n", r.Chunk, r.SpChunked, r.SpG3)
+	}
+	return b.String()
+}
+
+// DoacrossRow is one work-level point of the Wu & Lewis comparison.
+type DoacrossRow struct {
+	WorkPerNode float64
+	SpDoacross  float64
+	SpG3        float64
+}
+
+// DoacrossSweep compares the pipelined WHILE-DOACROSS (each iteration
+// hands the dispatcher value to its successor) against General-3 (each
+// processor privately re-traverses) as the remainder work grows.  The
+// pipeline never traverses redundantly but serializes on the hand-off;
+// General-3 pays ~p hops per iteration but never blocks — so General-3
+// wins when the hand-off is expensive relative to the work, and the two
+// converge as work dominates.
+func DoacrossSweep(n, procs int) []DoacrossRow {
+	var rows []DoacrossRow
+	for _, w := range []float64{1, 2, 5, 10, 20, 50, 100} {
+		gc := genrec.SimCosts{Hop: 1, Dispatch: 0.5, Work: func(int) float64 { return w }}
+		seq := gc.SeqTime(n)
+		g3 := simproc.Speedup(seq, genrec.SimGeneral3(simproc.New(procs), n, gc).Makespan)
+		// Pipeline: the chain cost is the hop plus a post/wait hand-off
+		// (modelled at 3 units of synchronization).
+		dc := doacross.SimCosts{Chain: 1 + 3, Dispatch: 0.5, Work: func(int) float64 { return w }}
+		da := simproc.Speedup(seq, doacross.Simulate(simproc.New(procs), n, dc).Makespan)
+		rows = append(rows, DoacrossRow{WorkPerNode: w, SpDoacross: da, SpG3: g3})
+	}
+	return rows
+}
+
+// RenderDoacrossSweep prints the comparison.
+func RenderDoacrossSweep(rows []DoacrossRow, n, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 10 ablation: WHILE-DOACROSS (Wu & Lewis) vs General-3 (n=%d, p=%d)\n", n, procs)
+	fmt.Fprintf(&b, "%10s %14s %12s\n", "work/node", "sp(doacross)", "sp(General-3)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.0f %14.2f %12.2f\n", r.WorkPerNode, r.SpDoacross, r.SpG3)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"whilepar/internal/loopir"
+)
+
+// Table1 renders the taxonomy of Table 1 from the loopir encoding.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: taxonomy of WHILE loops (dispatcher kind x terminator kind)\n")
+	fmt.Fprintf(&b, "%-12s %-26s %-10s %-10s\n", "terminator", "dispatcher", "overshoot", "parallel")
+	for _, row := range loopir.TaxonomyTable() {
+		over := "NO"
+		if row.Overshoot {
+			over = "YES"
+		}
+		fmt.Fprintf(&b, "%-12v %-26v %-10s %-10v\n",
+			row.Class.Terminator, row.Class.Dispatcher, over, row.Parallelism)
+	}
+	return b.String()
+}
+
+// Table2Row is one line of the experimental summary.
+type Table2Row struct {
+	Benchmark  string
+	Loop       string
+	Technique  string
+	Input      string
+	Speedup    float64 // measured on the simulated 8-processor machine
+	PaperSpeed float64
+	Terminator string
+	Backups    bool
+	TimeStamps bool
+}
+
+// Table2 regenerates the Table 2 summary: for every loop/technique/input
+// combination the paper reports, the simulated 8-processor speedup next
+// to the paper's, plus the backup/time-stamp requirements.
+func Table2() []Table2Row {
+	var rows []Table2Row
+	f6 := Fig6()
+	rows = append(rows,
+		Table2Row{"SPICE", "LOAD/40", "General-1 (locks)", "-", f6.Series[0].At(8), 2.9, "RI", false, false},
+		Table2Row{"SPICE", "LOAD/40", "General-3 (no locks)", "-", f6.Series[1].At(8), 4.9, "RI", false, false},
+	)
+	f7 := Fig7()
+	rows = append(rows,
+		Table2Row{"TRACK", "FPTRAK/300", "Induction-1", "-", f7.Series[0].At(8), 5.8, "RV", true, true},
+	)
+	for _, f := range Figs8to11() {
+		input := strings.TrimSuffix(strings.TrimPrefix(f.Title[strings.Index(f.Title, ", ")+2:], ""), ")")
+		rows = append(rows, Table2Row{
+			"MCSPARSE", "DFACT/500", "WHILE-DOANY (Induction-1)", input,
+			f.Series[0].At(8), f.PaperAt8["WHILE-DOANY"], "RV", false, false,
+		})
+	}
+	for _, f := range Figs12to14() {
+		input := strings.TrimSuffix(f.Title[strings.Index(f.Title, ", ")+2:], ")")
+		rows = append(rows,
+			Table2Row{"MA28", "MA30AD/270", "Induction-1 + General-3", input,
+				f.Series[0].At(8), f.PaperAt8["Loop 270"], "RV", true, true},
+			Table2Row{"MA28", "MA30AD/320", "Induction-1 + General-3", input,
+				f.Series[1].At(8), f.PaperAt8["Loop 320"], "RV", true, true},
+		)
+	}
+	return rows
+}
+
+// RenderTable2 prints the summary in the paper's layout.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: summary of experimental results (8 simulated processors)\n")
+	fmt.Fprintf(&b, "%-9s %-11s %-26s %-9s %8s %8s %5s %8s %11s\n",
+		"benchmark", "loop", "technique", "input", "speedup", "paper", "term", "backups", "time-stamps")
+	yn := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %-11s %-26s %-9s %8.2f %8.1f %5s %8s %11s\n",
+			r.Benchmark, r.Loop, r.Technique, r.Input, r.Speedup, r.PaperSpeed,
+			r.Terminator, yn(r.Backups), yn(r.TimeStamps))
+	}
+	return b.String()
+}

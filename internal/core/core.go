@@ -1,0 +1,477 @@
+// Package core is the orchestration layer — the paper's "compiler plus
+// run-time system" in library form.  Given a WHILE loop in loopir form
+// plus the annotations a compiler pass would have produced (which arrays
+// are written in place, which have unanalyzable access patterns, which
+// may be privatized), it:
+//
+//  1. classifies the loop against the Table 1 taxonomy;
+//  2. consults the Section 7 cost model on whether to parallelize at
+//     all;
+//  3. selects the transformation — Induction-1/2 for closed-form
+//     dispatchers, parallel-prefix distribution for associative
+//     recurrences, General-1/2/3 for linked-list traversals;
+//  4. wraps the execution in the Section 4/5 speculation protocol
+//     (checkpoint, time-stamps, PD test, undo or sequential
+//     re-execution) whenever overshoot or unknown dependences make it
+//     necessary.
+package core
+
+import (
+	"fmt"
+
+	"whilepar/internal/costmodel"
+	"whilepar/internal/doacross"
+	"whilepar/internal/genrec"
+	"whilepar/internal/induction"
+	"whilepar/internal/list"
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+	"whilepar/internal/pdtest"
+	"whilepar/internal/prefix"
+	"whilepar/internal/sched"
+	"whilepar/internal/speculate"
+)
+
+// ListMethod selects among the Section 3.3 techniques.
+type ListMethod int
+
+const (
+	// AutoList picks General-3, the paper's overall winner (dynamic
+	// assignment, no serialization, modest redundant traversal).
+	AutoList ListMethod = iota
+	// General1 serializes next() behind a lock.
+	General1
+	// General2 statically assigns iterations mod nproc.
+	General2
+	// General3 dynamically assigns iterations with private cursors.
+	General3
+	// DoacrossList pipelines the traversal (WHILE-DOACROSS): iteration i
+	// receives its node from iteration i-1's dispatcher hand-off and
+	// overlaps only the remainder — no redundant traversal, but the
+	// hand-off chain is the critical path.
+	DoacrossList
+)
+
+// String names the method as in the paper.
+func (m ListMethod) String() string {
+	switch m {
+	case General1:
+		return "General-1"
+	case General2:
+		return "General-2"
+	case General3:
+		return "General-3"
+	case DoacrossList:
+		return "WHILE-DOACROSS"
+	}
+	return "General-3 (auto)"
+}
+
+// Options configures an orchestrated execution.
+type Options struct {
+	// Procs is the number of virtual processors (default 1).
+	Procs int
+	// Induction method (Induction-2/QUIT by default).
+	InductionMethod induction.Method
+	// ListMethod for general-recurrence loops.
+	ListMethod ListMethod
+	// Schedule for the DOALLs.
+	Schedule sched.Schedule
+	// Shared lists arrays the loop writes in place (checkpoint + stamp
+	// + undo when overshoot is possible).
+	Shared []*mem.Array
+	// Tested lists arrays with unanalyzable access patterns (PD test).
+	Tested []*mem.Array
+	// Privatized lists arrays to run against private copies.
+	Privatized []speculate.PrivSpec
+	// Times, if non-zero, feeds the Section 7 decision; a loop the
+	// model rejects is executed sequentially.
+	Times costmodel.LoopTimes
+	// Stats, if set, supplies the branch-statistics trip-count estimate
+	// and enables the Section 8.1 stamp threshold.
+	Stats *costmodel.BranchStats
+	// MinIters is the profitability floor for the trip-count check.
+	MinIters int
+	// SparseUndo selects the hash-table undo scheme (Section 4) instead
+	// of full checkpointing — for loops whose writes touch a sparse
+	// subset of large arrays.
+	SparseUndo bool
+	// RunTwice selects Section 4's time-stamp-free alternative for
+	// induction loops: run the parallel loop once purely to learn the
+	// iteration count, restore the checkpoint, then run exactly the
+	// valid iterations as a plain DOALL.  Requires statically known
+	// dependences (no Tested/Privatized arrays).
+	RunTwice bool
+}
+
+func (o Options) procs() int {
+	if o.Procs < 1 {
+		return 1
+	}
+	return o.Procs
+}
+
+// Report describes what the orchestrator did.
+type Report struct {
+	// Valid iterations (matches the sequential loop).
+	Valid int
+	// Strategy is the human-readable transformation name.
+	Strategy string
+	// UsedParallel is false if the loop ran (or re-ran) sequentially.
+	UsedParallel bool
+	// Decision is the cost model's verdict (zero if no Times given).
+	Decision costmodel.Decision
+	// Failure explains a speculative fallback, "" otherwise.
+	Failure string
+	// PD holds per-tested-array verdicts when speculation ran.
+	PD []pdtest.Result
+	// Undone counts restored locations.
+	Undone int
+	// Executed and Overshot iterations in the parallel attempt.
+	Executed, Overshot int
+	// StampThreshold is the Section 8.1 statistics-enhanced threshold
+	// used (0 = every store stamped).
+	StampThreshold int
+}
+
+// decide runs the Section 7 analysis if the caller supplied timing
+// estimates; with no estimates the loop is assumed profitable (the
+// paper's default stance: "they should almost always be applied").
+func decide(opt Options, kind loopir.DispatcherKind) (costmodel.Decision, bool) {
+	if opt.Times.Tseq() <= 0 {
+		return costmodel.Decision{Parallelize: true, Reason: "no estimates: default to parallelize"}, true
+	}
+	ps := costmodel.Params{
+		Kind:        kind,
+		Times:       opt.Times,
+		Procs:       opt.procs(),
+		NeedsPDTest: len(opt.Tested) > 0,
+		// With no run-time history assume iterations are likely
+		// independent — the compiler chose speculation for a reason.
+		ProbParallel: 0.75,
+		MinIters:     float64(opt.MinIters),
+	}
+	if opt.Stats != nil {
+		ni, _ := opt.Stats.Estimate()
+		ps.EstimatedIters = ni
+	}
+	d := costmodel.ShouldParallelize(ps)
+	return d, d.Parallelize
+}
+
+// needsSpeculation reports whether the execution must run under the
+// checkpoint/undo + PD protocol.
+func needsSpeculation(class loopir.Class, opt Options) bool {
+	return len(opt.Tested) > 0 || len(opt.Privatized) > 0 ||
+		(class.CanOvershoot() && len(opt.Shared) > 0)
+}
+
+// stampThreshold derives the Section 8.1 threshold from branch stats.
+func stampThreshold(opt Options) int {
+	if opt.Stats == nil {
+		return 0
+	}
+	return opt.Stats.StampThreshold()
+}
+
+// RunInduction orchestrates a WHILE loop whose dispatcher is an
+// induction (Section 3.1).  l.Max must bound the iteration space.
+func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
+	d, ok := decide(opt, l.Class.Dispatcher)
+	rep := Report{Decision: d, Strategy: opt.InductionMethod.String()}
+	if !ok {
+		res := loopir.RunSequential(l)
+		rep.Valid = res.Iterations
+		rep.Strategy = "sequential (cost model)"
+		recordStats(opt, rep.Valid)
+		return rep, nil
+	}
+
+	cfg := induction.Config{Procs: opt.procs(), Method: opt.InductionMethod, Schedule: opt.Schedule}
+
+	if opt.RunTwice {
+		if len(opt.Tested) > 0 || len(opt.Privatized) > 0 {
+			return rep, fmt.Errorf("core: RunTwice requires statically known dependences (no Tested/Privatized arrays)")
+		}
+		valid, err := speculate.RunTwice(opt.Shared,
+			func() (int, error) {
+				r, rerr := induction.Run(l, cfg)
+				rep.Executed = r.Executed
+				return r.Valid, rerr
+			},
+			func(valid int) error {
+				second := *l
+				second.Max = valid
+				_, rerr := induction.Run(&second, cfg)
+				return rerr
+			})
+		if err != nil {
+			return rep, err
+		}
+		rep.Valid = valid
+		rep.UsedParallel = true
+		rep.Strategy = fmt.Sprintf("%s, run-twice (no time-stamps)", opt.InductionMethod)
+		recordStats(opt, valid)
+		return rep, nil
+	}
+
+	if !needsSpeculation(l.Class, opt) {
+		res, err := induction.Run(l, cfg)
+		if err != nil {
+			return rep, err
+		}
+		rep.Valid, rep.Executed, rep.Overshot = res.Valid, res.Executed, res.Overshot
+		rep.UsedParallel = true
+		recordStats(opt, rep.Valid)
+		return rep, nil
+	}
+
+	var parRes induction.Result
+	rep.StampThreshold = stampThreshold(opt)
+	srep, err := speculate.Run(
+		speculate.Spec{
+			Procs:          opt.procs(),
+			Shared:         opt.Shared,
+			Tested:         opt.Tested,
+			Privatized:     opt.Privatized,
+			StampThreshold: rep.StampThreshold,
+			SparseUndo:     opt.SparseUndo,
+		},
+		func(tr mem.Tracker) (int, error) {
+			c := cfg
+			c.Tracker = tr
+			r, err := induction.Run(l, c)
+			parRes = r
+			return r.Valid, err
+		},
+		func() int { return loopir.RunSequential(l).Iterations },
+	)
+	if err != nil {
+		return rep, err
+	}
+	rep.Valid = srep.Valid
+	rep.UsedParallel = srep.UsedParallel
+	rep.Failure = srep.Failure
+	rep.PD = srep.PD
+	rep.Undone = srep.Undone
+	rep.Executed, rep.Overshot = parRes.Executed, parRes.Overshot
+	rep.Strategy = fmt.Sprintf("%s + speculation", opt.InductionMethod)
+	recordStats(opt, rep.Valid)
+	return rep, nil
+}
+
+// RunAssociative orchestrates a WHILE loop whose dispatcher is an
+// associative recurrence (Section 3.2, Figure 3): the loop is
+// distributed into a parallel-prefix evaluation of the dispatcher terms
+// and a DOALL over the remainder.  The RI condition (l.Cond) terminates
+// the term generation; l.Max caps it (strip-mined generation handles an
+// absent bound).
+func RunAssociative(l *loopir.Loop[float64], opt Options) (Report, error) {
+	aff, ok := l.Disp.(loopir.Affine)
+	if !ok {
+		return Report{}, fmt.Errorf("core: associative path requires an Affine dispatcher, got %T", l.Disp)
+	}
+	d, okDecide := decide(opt, loopir.AssociativeRecurrence)
+	rep := Report{Decision: d, Strategy: "parallel prefix + DOALL"}
+	if !okDecide {
+		res := loopir.RunSequential(l)
+		rep.Valid = res.Iterations
+		rep.Strategy = "sequential (cost model)"
+		recordStats(opt, rep.Valid)
+		return rep, nil
+	}
+	maxTerms := l.Max
+	if maxTerms <= 0 {
+		return rep, fmt.Errorf("core: associative loop needs Max (or strip-mine externally)")
+	}
+
+	// Loop 1 (distributed): evaluate the dispatcher terms by parallel
+	// prefix, stopping at the RI condition.
+	cond := l.Cond
+	if cond == nil {
+		cond = func(float64) bool { return true }
+	}
+	strip := maxTerms
+	if strip > 4096 {
+		strip = 4096
+	}
+	terms, _ := prefix.TermsUntil(aff, cond, strip, opt.procs(), maxTerms)
+	return runOverTerms(l, terms, opt, rep)
+}
+
+// RunGeneralNumeric orchestrates a WHILE loop whose dispatcher is an
+// opaque numeric recurrence (a loopir.Func).  It first attempts the
+// run-time recognition of the recurrence as an affine map — promoting
+// the loop from the taxonomy's sequential column to the parallel-prefix
+// one — and otherwise falls back to the naive loop distribution of
+// Section 3.3: evaluate the dispatcher terms sequentially, then run the
+// remainder as a DOALL over the stored values.
+func RunGeneralNumeric(l *loopir.Loop[float64], opt Options) (Report, error) {
+	if _, ok := l.Disp.(loopir.Affine); ok {
+		return RunAssociative(l, opt)
+	}
+	if l.Max <= 0 {
+		return Report{}, fmt.Errorf("core: numeric loop needs Max (or strip-mine externally)")
+	}
+	if f, ok := l.Disp.(loopir.Func[float64]); ok {
+		if aff, rec := loopir.RecognizeAffine(f.NextFn, f.StartFn()); rec {
+			promoted := *l
+			promoted.Disp = aff
+			promoted.Class.Dispatcher = loopir.AssociativeRecurrence
+			rep, err := RunAssociative(&promoted, opt)
+			if err == nil {
+				rep.Strategy = "recognized affine: " + rep.Strategy
+			}
+			return rep, err
+		}
+	}
+	// Naive distribution (Section 3.3 baseline): sequential term loop.
+	d, okDecide := decide(opt, loopir.GeneralRecurrence)
+	rep := Report{Decision: d, Strategy: "sequential dispatcher + DOALL (naive distribution)"}
+	if !okDecide {
+		res := loopir.RunSequential(l)
+		rep.Valid = res.Iterations
+		rep.Strategy = "sequential (cost model)"
+		recordStats(opt, rep.Valid)
+		return rep, nil
+	}
+	var terms []float64
+	x := l.Disp.Start()
+	for i := 0; i < l.Max; i++ {
+		if l.Cond != nil && !l.Cond(x) {
+			break
+		}
+		terms = append(terms, x)
+		x = l.Disp.Next(x)
+	}
+	return runOverTerms(l, terms, opt, rep)
+}
+
+// runOverTerms runs the remainder loop as a DOALL over precomputed
+// dispatcher terms, with the speculation protocol when needed.
+func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Report) (Report, error) {
+	n := len(terms)
+	run := func(tr mem.Tracker) (int, error) {
+		res := sched.DOALL(n, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule}, func(i, vpn int) sched.Control {
+			it := loopir.Iter{Index: i, VPN: vpn, Tracker: tr}
+			if !l.Body(&it, terms[i]) {
+				return sched.Quit
+			}
+			return sched.Continue
+		})
+		return res.QuitIndex, nil
+	}
+
+	if !needsSpeculation(l.Class, opt) {
+		valid, _ := run(nil)
+		rep.Valid = valid
+		rep.UsedParallel = true
+		rep.Executed = n
+		recordStats(opt, rep.Valid)
+		return rep, nil
+	}
+	srep, err := speculate.Run(
+		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
+			Privatized: opt.Privatized, StampThreshold: stampThreshold(opt),
+			SparseUndo: opt.SparseUndo},
+		run,
+		func() int { return loopir.RunSequential(l).Iterations },
+	)
+	if err != nil {
+		return rep, err
+	}
+	rep.Valid, rep.UsedParallel, rep.Failure = srep.Valid, srep.UsedParallel, srep.Failure
+	rep.PD, rep.Undone = srep.PD, srep.Undone
+	rep.Strategy += " + speculation"
+	recordStats(opt, rep.Valid)
+	return rep, nil
+}
+
+// RunList orchestrates a WHILE loop traversing a linked list (the
+// general-recurrence case, Section 3.3).
+func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options) (Report, error) {
+	d, ok := decide(opt, loopir.GeneralRecurrence)
+	method := opt.ListMethod
+	if method == AutoList {
+		method = General3
+	}
+	rep := Report{Decision: d, Strategy: method.String()}
+	if !ok {
+		rep.Valid = runListSequential(head, body)
+		rep.Strategy = "sequential (cost model)"
+		recordStats(opt, rep.Valid)
+		return rep, nil
+	}
+
+	cfg := genrec.Config{Procs: opt.procs()}
+	runner := func(tr mem.Tracker) (int, error) {
+		c := cfg
+		c.Tracker = tr
+		var r genrec.Result
+		switch method {
+		case General1:
+			r = genrec.General1(head, body, c)
+		case General2:
+			r = genrec.General2(head, body, c)
+		case DoacrossList:
+			bound := list.Len(head)
+			res := doacross.RunWhile(head,
+				func(n *list.Node) *list.Node { return n.Next },
+				func(n *list.Node) bool { return n != nil },
+				bound, opt.procs(),
+				func(i int, nd *list.Node) bool {
+					it := loopir.Iter{Index: i, VPN: 0, Tracker: c.Tracker}
+					return body(&it, nd)
+				})
+			r = genrec.Result{Valid: res.QuitIndex, Executed: res.Executed}
+		default:
+			r = genrec.General3(head, body, c)
+		}
+		rep.Executed, rep.Overshot = r.Executed, r.Overshot
+		return r.Valid, nil
+	}
+
+	if !needsSpeculation(class, opt) {
+		valid, _ := runner(nil)
+		rep.Valid = valid
+		rep.UsedParallel = true
+		recordStats(opt, rep.Valid)
+		return rep, nil
+	}
+	srep, err := speculate.Run(
+		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
+			Privatized: opt.Privatized, StampThreshold: stampThreshold(opt),
+			SparseUndo: opt.SparseUndo},
+		runner,
+		func() int { return runListSequential(head, body) },
+	)
+	if err != nil {
+		return rep, err
+	}
+	rep.Valid, rep.UsedParallel, rep.Failure = srep.Valid, srep.UsedParallel, srep.Failure
+	rep.PD, rep.Undone = srep.PD, srep.Undone
+	rep.Strategy = fmt.Sprintf("%s + speculation", method)
+	recordStats(opt, rep.Valid)
+	return rep, nil
+}
+
+// runListSequential is the sequential reference traversal.
+func runListSequential(head *list.Node, body genrec.Body) int {
+	i := 0
+	for pt := head; pt != nil; pt = pt.Next {
+		it := loopir.Iter{Index: i, VPN: 0}
+		if !body(&it, pt) {
+			return i
+		}
+		i++
+	}
+	return i
+}
+
+// recordStats feeds the observed trip count back into the branch
+// statistics, closing the Section 7 feedback loop.
+func recordStats(opt Options, valid int) {
+	if opt.Stats != nil {
+		opt.Stats.Record(valid)
+	}
+}

@@ -1,0 +1,83 @@
+package costmodel
+
+import (
+	"math"
+	"sync"
+)
+
+// BranchStats predicts a WHILE loop's trip count from statistics
+// collected on previous executions, the branch-statistics idea of
+// Sections 7 and 8.1 (the branch being the loop's termination
+// condition).  The prediction feeds both the parallelize/don't decision
+// (enough iterations?) and the statistics-enhanced time-stamp threshold
+// n'_i: if the compiler's trip-count estimate n_i carries confidence x%,
+// only iterations above ~x%*n_i are time-stamped.
+type BranchStats struct {
+	mu     sync.Mutex
+	counts []int
+}
+
+// Record logs the observed trip count of one execution of the loop.
+func (b *BranchStats) Record(iterations int) {
+	if iterations < 0 {
+		iterations = 0
+	}
+	b.mu.Lock()
+	b.counts = append(b.counts, iterations)
+	b.mu.Unlock()
+}
+
+// Samples returns how many executions have been recorded.
+func (b *BranchStats) Samples() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.counts)
+}
+
+// Estimate returns the predicted trip count n_i (the sample mean) and a
+// confidence in [0,1] derived from the relative dispersion of the
+// samples: confidence = max(0, 1 - cv) where cv is the coefficient of
+// variation.  With no samples it returns (0, 0).
+func (b *BranchStats) Estimate() (ni, confidence float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.counts)
+	if n == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, c := range b.counts {
+		sum += float64(c)
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return mean, 0.5 // a single observation: weak evidence
+	}
+	var ss float64
+	for _, c := range b.counts {
+		d := float64(c) - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	if mean <= 0 {
+		return mean, 0
+	}
+	cv := sd / mean
+	conf := 1 - cv
+	if conf < 0 {
+		conf = 0
+	}
+	return mean, conf
+}
+
+// StampThreshold returns n'_i, the iteration below which stores need not
+// be time-stamped (Section 8.1): about confidence% of the estimated trip
+// count, floored at zero.  With no usable estimate it returns 0 (stamp
+// everything).
+func (b *BranchStats) StampThreshold() int {
+	ni, conf := b.Estimate()
+	if ni <= 0 || conf <= 0 {
+		return 0
+	}
+	return int(conf * ni)
+}

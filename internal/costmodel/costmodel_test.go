@@ -1,0 +1,200 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"whilepar/internal/loopir"
+)
+
+func TestIdealParallelTimeByDispatcher(t *testing.T) {
+	lt := LoopTimes{Trem: 900, Trec: 100}
+	p := 10
+	if got := IdealParallelTime(lt, loopir.MonotonicInduction, p); got != 100 {
+		t.Fatalf("induction T_ipar = %v, want 100", got)
+	}
+	if got := IdealParallelTime(lt, loopir.GeneralRecurrence, p); got != 190 {
+		t.Fatalf("general T_ipar = %v, want Trem/p + Trec = 190", got)
+	}
+	assoc := IdealParallelTime(lt, loopir.AssociativeRecurrence, p)
+	if assoc <= 100 || assoc >= 110 {
+		t.Fatalf("associative T_ipar = %v, want 100 + log2(10)", assoc)
+	}
+	// p coerced to >= 1.
+	if got := IdealParallelTime(lt, loopir.MonotonicInduction, 0); got != 1000 {
+		t.Fatalf("p=0 T_ipar = %v", got)
+	}
+}
+
+func TestIdealSpeedup(t *testing.T) {
+	lt := LoopTimes{Trem: 1000, Trec: 0}
+	if sp := IdealSpeedup(lt, loopir.MonotonicInduction, 8); sp != 8 {
+		t.Fatalf("Sp_id = %v, want 8", sp)
+	}
+	// A general recurrence with Trem == Trec: Sp_id approaches 2 as p
+	// grows (Amdahl on the sequential dispatcher).
+	lt2 := LoopTimes{Trem: 500, Trec: 500}
+	sp := IdealSpeedup(lt2, loopir.GeneralRecurrence, 1000)
+	if sp < 1.9 || sp > 2.0 {
+		t.Fatalf("Sp_id = %v, want just under 2", sp)
+	}
+}
+
+func TestWorstCaseBounds(t *testing.T) {
+	// The paper's worst case: Sp_id ~= p, Tb = Ta = a/p, Td = a/Sp_id.
+	// With T_ipar ~= a/p dominated (all time is accesses), Sp_at should
+	// be ~Sp_id/4 without PD test and ~Sp_id/5 with it.
+	p := 16
+	a := 100000.0
+	lt := LoopTimes{Trem: a, Trec: 0, Accesses: a}
+	spid := IdealSpeedup(lt, loopir.MonotonicInduction, p)
+
+	o := WorstCase(lt, spid, p, false)
+	spat := AttainableSpeedup(lt, loopir.MonotonicInduction, p, o)
+	if r := spat / spid; math.Abs(r-WorstCaseFraction(false)) > 0.01 {
+		t.Fatalf("no-PD worst-case fraction = %v, want ~1/4", r)
+	}
+
+	oPD := WorstCase(lt, spid, p, true)
+	spatPD := AttainableSpeedup(lt, loopir.MonotonicInduction, p, oPD)
+	if r := spatPD / spid; math.Abs(r-WorstCaseFraction(true)) > 0.01 {
+		t.Fatalf("PD worst-case fraction = %v, want ~1/5", r)
+	}
+	if oPD.Ta <= o.Ta {
+		t.Fatal("PD test must add post-execution analysis to Ta")
+	}
+	if o.Total() != o.Tb+o.Td+o.Ta {
+		t.Fatal("Total broken")
+	}
+}
+
+func TestFailureCosts(t *testing.T) {
+	tseq := 1000.0
+	if got := FailureTime(tseq, 10); got != 1500 {
+		t.Fatalf("FailureTime = %v, want Tseq + 5Tseq/p = 1500", got)
+	}
+	if got := FailureSlowdown(10); got != 0.5 {
+		t.Fatalf("FailureSlowdown = %v", got)
+	}
+	// Slowdown shrinks with more processors.
+	if FailureSlowdown(100) >= FailureSlowdown(10) {
+		t.Fatal("failure slowdown should be proportional to 1/p")
+	}
+	if FailureTime(tseq, 0) != 6000 {
+		t.Fatal("p coercion broken")
+	}
+}
+
+func TestShouldParallelizeDecisions(t *testing.T) {
+	base := Params{
+		Kind:  loopir.MonotonicInduction,
+		Times: LoopTimes{Trem: 10000, Trec: 10, Accesses: 1000},
+		Procs: 8,
+	}
+	if d := ShouldParallelize(base); !d.Parallelize || d.ExpectedSpeedup <= 1 {
+		t.Fatalf("plainly parallel loop rejected: %+v", d)
+	}
+
+	// Dispatcher-dominated general recurrence: sequential.
+	seq := base
+	seq.Kind = loopir.GeneralRecurrence
+	seq.Times = LoopTimes{Trem: 10, Trec: 10000}
+	if d := ShouldParallelize(seq); d.Parallelize {
+		t.Fatalf("dispatcher-dominated loop accepted: %+v", d)
+	}
+
+	// Too few predicted iterations.
+	small := base
+	small.EstimatedIters = 3
+	small.MinIters = 16
+	if d := ShouldParallelize(small); d.Parallelize {
+		t.Fatalf("tiny loop accepted: %+v", d)
+	}
+
+	// Speculation with good odds: accept.
+	spec := base
+	spec.NeedsPDTest = true
+	spec.ProbParallel = 0.9
+	if d := ShouldParallelize(spec); !d.Parallelize {
+		t.Fatalf("profitable speculation rejected: %+v", d)
+	}
+
+	// Speculation on a loop known to be sequential: reject.
+	spec.ProbParallel = 0.01
+	if d := ShouldParallelize(spec); d.Parallelize {
+		t.Fatalf("hopeless speculation accepted: %+v", d)
+	}
+}
+
+func TestAttainableNeverExceedsIdeal(t *testing.T) {
+	f := func(tremRaw, trecRaw, accRaw uint16, pRaw uint8, pd bool) bool {
+		lt := LoopTimes{
+			Trem:     float64(tremRaw%10000) + 1,
+			Trec:     float64(trecRaw % 1000),
+			Accesses: float64(accRaw % 5000),
+		}
+		p := int(pRaw)%32 + 1
+		for _, k := range []loopir.DispatcherKind{loopir.MonotonicInduction, loopir.AssociativeRecurrence, loopir.GeneralRecurrence} {
+			spid := IdealSpeedup(lt, k, p)
+			o := WorstCase(lt, spid, p, pd)
+			spat := AttainableSpeedup(lt, k, p, o)
+			if spat > spid+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchStats(t *testing.T) {
+	var b BranchStats
+	if ni, conf := b.Estimate(); ni != 0 || conf != 0 {
+		t.Fatal("empty stats should estimate (0,0)")
+	}
+	if b.StampThreshold() != 0 {
+		t.Fatal("empty stats threshold should be 0 (stamp everything)")
+	}
+	b.Record(100)
+	if ni, conf := b.Estimate(); ni != 100 || conf != 0.5 {
+		t.Fatalf("single sample: (%v,%v)", ni, conf)
+	}
+	// Tight samples: high confidence, threshold near the mean.
+	for i := 0; i < 20; i++ {
+		b.Record(100)
+	}
+	ni, conf := b.Estimate()
+	if ni != 100 || conf < 0.95 {
+		t.Fatalf("tight samples: (%v,%v)", ni, conf)
+	}
+	th := b.StampThreshold()
+	if th < 90 || th > 100 {
+		t.Fatalf("threshold = %d, want ~x%% of n_i", th)
+	}
+	if b.Samples() != 21 {
+		t.Fatalf("Samples = %d", b.Samples())
+	}
+}
+
+func TestBranchStatsNoisy(t *testing.T) {
+	var b BranchStats
+	for _, c := range []int{1, 1000, 2, 999, 3, 998} {
+		b.Record(c)
+	}
+	_, conf := b.Estimate()
+	if conf > 0.2 {
+		t.Fatalf("wildly dispersed samples should have low confidence, got %v", conf)
+	}
+	// Negative counts clamp to zero.
+	var b2 BranchStats
+	b2.Record(-5)
+	if ni, _ := b2.Estimate(); ni != 0 {
+		t.Fatal("negative record should clamp")
+	}
+	if b2.StampThreshold() != 0 {
+		t.Fatal("zero-mean threshold should be 0")
+	}
+}

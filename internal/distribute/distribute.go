@@ -1,0 +1,345 @@
+// Package distribute implements the transformation of arbitrary WHILE
+// loops with multiple recurrences (Section 6): given the data dependence
+// graph of the loop body, it recursively extracts the hierarchically
+// top-level recurrences, distributes the loop into per-recurrence and
+// remainder loops, classifies each distributed loop (parallel /
+// parallel-prefix / sequential / unknown-access), and then fuses
+// contiguous loops bottom-up to maximize granularity and the code
+// executed in parallel.
+//
+// The statement-level dependence graph is the package's input IR; SCC
+// condensation (Tarjan) yields the recurrences — a strongly connected
+// component with more than one statement, or a self-dependent statement,
+// is a recurrence, whose kind (induction / associative / general) the
+// "compiler" annotates on the statement.
+package distribute
+
+import (
+	"fmt"
+	"sort"
+
+	"whilepar/internal/loopir"
+)
+
+// StmtKind classifies a statement for distribution purposes.
+type StmtKind int
+
+const (
+	// Plain statements form the remainder; they are parallel across
+	// iterations unless marked Unknown.
+	Plain StmtKind = iota
+	// InductionRec is a self-recurrence with a closed form.
+	InductionRec
+	// AssociativeRec is a self-recurrence evaluable by parallel prefix.
+	AssociativeRec
+	// GeneralRec is an inherently sequential self-recurrence.
+	GeneralRec
+	// Unknown marks a statement whose access pattern cannot be analyzed
+	// statically; loops containing it need the PD test.
+	Unknown
+)
+
+// String names the kind.
+func (k StmtKind) String() string {
+	switch k {
+	case Plain:
+		return "plain"
+	case InductionRec:
+		return "induction"
+	case AssociativeRec:
+		return "associative"
+	case GeneralRec:
+		return "general"
+	case Unknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("StmtKind(%d)", int(k))
+}
+
+// Stmt is one statement of the loop body.
+type Stmt struct {
+	ID   int
+	Name string
+	Kind StmtKind
+	// Cost is the statement's per-iteration cost, used by the fusion
+	// profitability heuristic.
+	Cost float64
+	// SelfDep marks a statement that depends on itself across
+	// iterations (a one-statement recurrence).
+	SelfDep bool
+}
+
+// Graph is the loop body's statement dependence graph.  An edge u -> v
+// means v depends on (must follow) u.
+type Graph struct {
+	Stmts []*Stmt
+	succ  map[int][]int
+}
+
+// NewGraph creates a graph over the given statements.
+func NewGraph(stmts ...*Stmt) *Graph {
+	g := &Graph{Stmts: stmts, succ: make(map[int][]int)}
+	return g
+}
+
+// AddDep records that `to` depends on `from`.
+func (g *Graph) AddDep(from, to int) { g.succ[from] = append(g.succ[from], to) }
+
+// stmt returns the statement with the given ID.
+func (g *Graph) stmt(id int) *Stmt {
+	for _, s := range g.Stmts {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// scc computes strongly connected components with Tarjan's algorithm,
+// returned in reverse topological order (dependents after dependencies
+// once reversed by the caller).
+func (g *Graph) scc() [][]int {
+	index := make(map[int]int)
+	lowlink := make(map[int]int)
+	onStack := make(map[int]bool)
+	var stack []int
+	var comps [][]int
+	counter := 0
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = counter
+		lowlink[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(comp)
+			comps = append(comps, comp)
+		}
+	}
+
+	// Deterministic visit order by statement ID.
+	ids := make([]int, 0, len(g.Stmts))
+	for _, s := range g.Stmts {
+		ids = append(ids, s.ID)
+	}
+	sort.Ints(ids)
+	for _, v := range ids {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// BlockKind classifies a distributed loop.
+type BlockKind int
+
+const (
+	// ParallelBlock: a fully parallel loop (DOALL).
+	ParallelBlock BlockKind = iota
+	// PrefixBlock: an associative recurrence evaluated by parallel
+	// prefix.
+	PrefixBlock
+	// SequentialBlock: an inherently sequential loop (general
+	// recurrence or undetectable dependence structure); candidates for
+	// DOACROSS scheduling against their successors.
+	SequentialBlock
+	// PDTestBlock: a loop whose access pattern is unknown, to be
+	// speculatively executed under the PD test.
+	PDTestBlock
+)
+
+// String names the block kind.
+func (k BlockKind) String() string {
+	switch k {
+	case ParallelBlock:
+		return "parallel"
+	case PrefixBlock:
+		return "prefix"
+	case SequentialBlock:
+		return "sequential"
+	case PDTestBlock:
+		return "pd-test"
+	}
+	return fmt.Sprintf("BlockKind(%d)", int(k))
+}
+
+// Block is one loop after distribution (and possibly fusion).
+type Block struct {
+	Kind  BlockKind
+	Stmts []*Stmt
+	// Doacross marks a sequential block that the scheduler may pipeline
+	// against its successor blocks (Section 6's closing remark).
+	Doacross bool
+}
+
+// Cost sums the per-iteration costs of the block's statements.
+func (b Block) Cost() float64 {
+	var c float64
+	for _, s := range b.Stmts {
+		c += s.Cost
+	}
+	return c
+}
+
+// classify determines a single SCC's block kind.
+func (g *Graph) classify(comp []int) BlockKind {
+	multi := len(comp) > 1
+	kind := ParallelBlock
+	for _, id := range comp {
+		s := g.stmt(id)
+		switch s.Kind {
+		case Unknown:
+			return PDTestBlock
+		case GeneralRec:
+			return SequentialBlock
+		case AssociativeRec:
+			kind = PrefixBlock
+		case InductionRec:
+			// closed form: stays parallel
+		case Plain:
+			if s.SelfDep {
+				return SequentialBlock
+			}
+		}
+	}
+	if multi {
+		// A multi-statement SCC is a recurrence the compiler cannot
+		// reduce to a known form unless every statement is part of an
+		// annotated induction/associative chain.
+		if kind == ParallelBlock {
+			return SequentialBlock
+		}
+	}
+	return kind
+}
+
+// Distribute performs the recursive recurrence extraction of Section 6:
+// SCC condensation followed by a topological emission, one block per
+// SCC.  The result is maximally distributed — Fuse merges blocks back.
+func Distribute(g *Graph) []Block {
+	comps := g.scc()
+	// Tarjan emits components in reverse topological order of the
+	// condensation; reverse to get dependencies first (the
+	// "hierarchically top level recurrences" extracted ahead of their
+	// dependents).
+	var blocks []Block
+	for i := len(comps) - 1; i >= 0; i-- {
+		comp := comps[i]
+		var stmts []*Stmt
+		for _, id := range comp {
+			stmts = append(stmts, g.stmt(id))
+		}
+		blocks = append(blocks, Block{Kind: g.classify(comp), Stmts: stmts})
+	}
+	return blocks
+}
+
+// FuseOptions tunes the fusion heuristics.
+type FuseOptions struct {
+	// ParallelOverhead is the fixed cost of spawning one parallel loop;
+	// a parallel block whose Cost does not exceed it is demoted to
+	// sequential and fused with its sequential neighbours (the
+	// "balance the overhead of parallelization" criterion).
+	ParallelOverhead float64
+	// FusePDTest permits fusing PD-test blocks with the parallel blocks
+	// they dominate; the paper advises against it (a failed test's
+	// re-execution cost grows), so it defaults to off.
+	FusePDTest bool
+	// Doacross marks residual sequential blocks for DOACROSS
+	// scheduling.
+	Doacross bool
+}
+
+// Fuse merges contiguous distributed blocks bottom-up per Section 6:
+// runs of sequential blocks fuse together; runs of parallel blocks fuse
+// together; an under-provisioned parallel block (cost below the
+// parallelization overhead) is demoted and fused into the preceding
+// sequential block.  Prefix and PD-test blocks fuse only with their own
+// kind (and PD-test blocks only if FusePDTest).
+func Fuse(blocks []Block, opt FuseOptions) []Block {
+	// Demote unprofitable parallel blocks first.
+	demoted := make([]Block, len(blocks))
+	copy(demoted, blocks)
+	for i, b := range demoted {
+		if b.Kind == ParallelBlock && b.Cost() <= opt.ParallelOverhead {
+			demoted[i].Kind = SequentialBlock
+		}
+	}
+
+	var out []Block
+	canFuse := func(a, b Block) bool {
+		if a.Kind != b.Kind {
+			return false
+		}
+		switch a.Kind {
+		case PDTestBlock:
+			return opt.FusePDTest
+		case PrefixBlock:
+			// Fusing associative recurrences is legal only without data
+			// flow between them; the distribution already separated
+			// flow-connected recurrences into one SCC, so contiguous
+			// prefix blocks here are independent and may fuse.
+			return true
+		default:
+			return true
+		}
+	}
+	for _, b := range demoted {
+		if len(out) > 0 && canFuse(out[len(out)-1], b) {
+			last := &out[len(out)-1]
+			last.Stmts = append(last.Stmts, b.Stmts...)
+			continue
+		}
+		out = append(out, b)
+	}
+	if opt.Doacross {
+		for i := range out {
+			if out[i].Kind == SequentialBlock && i+1 < len(out) {
+				out[i].Doacross = true
+			}
+		}
+	}
+	return out
+}
+
+// Plan runs Distribute then Fuse and returns the final block sequence —
+// the complete Section 6 pipeline.
+func Plan(g *Graph, opt FuseOptions) []Block {
+	return Fuse(Distribute(g), opt)
+}
+
+// DispatcherKindOf maps a block kind to the Table 1 dispatcher kind its
+// recurrence corresponds to, for the downstream strategy choice.
+func DispatcherKindOf(b Block) loopir.DispatcherKind {
+	switch b.Kind {
+	case PrefixBlock:
+		return loopir.AssociativeRecurrence
+	case SequentialBlock:
+		return loopir.GeneralRecurrence
+	default:
+		return loopir.MonotonicInduction
+	}
+}

@@ -1,0 +1,227 @@
+package distribute
+
+import (
+	"testing"
+
+	"whilepar/internal/loopir"
+)
+
+// figure1b builds the dependence graph of the canonical list-traversal
+// WHILE loop: a general-recurrence dispatcher feeding a parallel body.
+func figure1b() *Graph {
+	disp := &Stmt{ID: 0, Name: "tmp = next(tmp)", Kind: GeneralRec, SelfDep: true, Cost: 1}
+	work := &Stmt{ID: 1, Name: "WORK(tmp)", Kind: Plain, Cost: 10}
+	g := NewGraph(disp, work)
+	g.AddDep(0, 0) // recurrence
+	g.AddDep(0, 1) // work uses the dispatcher value
+	return g
+}
+
+func TestDistributeExtractsDispatcherFirst(t *testing.T) {
+	blocks := Distribute(figure1b())
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	if blocks[0].Kind != SequentialBlock || blocks[0].Stmts[0].ID != 0 {
+		t.Fatalf("first block should be the sequential dispatcher: %+v", blocks[0])
+	}
+	if blocks[1].Kind != ParallelBlock || blocks[1].Stmts[0].ID != 1 {
+		t.Fatalf("second block should be the parallel remainder: %+v", blocks[1])
+	}
+}
+
+func TestMultiStatementSCCIsSequential(t *testing.T) {
+	// Two mutually dependent plain statements: a recurrence the
+	// compiler cannot reduce — one sequential block.
+	a := &Stmt{ID: 0, Name: "a", Kind: Plain, Cost: 1}
+	b := &Stmt{ID: 1, Name: "b", Kind: Plain, Cost: 1}
+	g := NewGraph(a, b)
+	g.AddDep(0, 1)
+	g.AddDep(1, 0)
+	blocks := Distribute(g)
+	if len(blocks) != 1 || blocks[0].Kind != SequentialBlock || len(blocks[0].Stmts) != 2 {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	cases := []struct {
+		kind StmtKind
+		self bool
+		want BlockKind
+	}{
+		{Plain, false, ParallelBlock},
+		{Plain, true, SequentialBlock},
+		{InductionRec, true, ParallelBlock},
+		{AssociativeRec, true, PrefixBlock},
+		{GeneralRec, true, SequentialBlock},
+		{Unknown, false, PDTestBlock},
+	}
+	for _, c := range cases {
+		s := &Stmt{ID: 0, Kind: c.kind, SelfDep: c.self}
+		g := NewGraph(s)
+		if c.self {
+			g.AddDep(0, 0)
+		}
+		blocks := Distribute(g)
+		if blocks[0].Kind != c.want {
+			t.Errorf("%v/self=%v -> %v, want %v", c.kind, c.self, blocks[0].Kind, c.want)
+		}
+	}
+}
+
+func TestTopologicalOrderRespectsDependences(t *testing.T) {
+	// Chain: induction -> plain -> associative -> plain.
+	s0 := &Stmt{ID: 0, Kind: InductionRec, SelfDep: true}
+	s1 := &Stmt{ID: 1, Kind: Plain}
+	s2 := &Stmt{ID: 2, Kind: AssociativeRec, SelfDep: true}
+	s3 := &Stmt{ID: 3, Kind: Plain}
+	g := NewGraph(s0, s1, s2, s3)
+	g.AddDep(0, 0)
+	g.AddDep(0, 1)
+	g.AddDep(1, 2)
+	g.AddDep(2, 2)
+	g.AddDep(2, 3)
+	blocks := Distribute(g)
+	pos := map[int]int{}
+	for bi, b := range blocks {
+		for _, s := range b.Stmts {
+			pos[s.ID] = bi
+		}
+	}
+	if !(pos[0] < pos[1] && pos[1] < pos[2] && pos[2] < pos[3]) {
+		t.Fatalf("topological order violated: %v", pos)
+	}
+}
+
+func TestFuseMergesContiguousSameKind(t *testing.T) {
+	blocks := []Block{
+		{Kind: SequentialBlock, Stmts: []*Stmt{{ID: 0, Cost: 5}}},
+		{Kind: SequentialBlock, Stmts: []*Stmt{{ID: 1, Cost: 5}}},
+		{Kind: ParallelBlock, Stmts: []*Stmt{{ID: 2, Cost: 100}}},
+		{Kind: ParallelBlock, Stmts: []*Stmt{{ID: 3, Cost: 100}}},
+		{Kind: SequentialBlock, Stmts: []*Stmt{{ID: 4, Cost: 5}}},
+	}
+	out := Fuse(blocks, FuseOptions{})
+	if len(out) != 3 {
+		t.Fatalf("fused to %d blocks: %+v", len(out), out)
+	}
+	if len(out[0].Stmts) != 2 || out[0].Kind != SequentialBlock {
+		t.Fatalf("first fused block: %+v", out[0])
+	}
+	if len(out[1].Stmts) != 2 || out[1].Kind != ParallelBlock {
+		t.Fatalf("second fused block: %+v", out[1])
+	}
+}
+
+func TestFuseDemotesUnprofitableParallelBlocks(t *testing.T) {
+	blocks := []Block{
+		{Kind: SequentialBlock, Stmts: []*Stmt{{ID: 0, Cost: 5}}},
+		{Kind: ParallelBlock, Stmts: []*Stmt{{ID: 1, Cost: 2}}}, // below overhead
+		{Kind: SequentialBlock, Stmts: []*Stmt{{ID: 2, Cost: 5}}},
+	}
+	out := Fuse(blocks, FuseOptions{ParallelOverhead: 10})
+	if len(out) != 1 || out[0].Kind != SequentialBlock || len(out[0].Stmts) != 3 {
+		t.Fatalf("demotion+fusion failed: %+v", out)
+	}
+	// With negligible overhead the parallel block survives.
+	out2 := Fuse(blocks, FuseOptions{ParallelOverhead: 1})
+	if len(out2) != 3 {
+		t.Fatalf("profitable parallel block demoted: %+v", out2)
+	}
+}
+
+func TestFusePDTestBlocksOnlyWhenAllowed(t *testing.T) {
+	blocks := []Block{
+		{Kind: PDTestBlock, Stmts: []*Stmt{{ID: 0, Cost: 50}}},
+		{Kind: PDTestBlock, Stmts: []*Stmt{{ID: 1, Cost: 50}}},
+	}
+	if out := Fuse(blocks, FuseOptions{}); len(out) != 2 {
+		t.Fatalf("PD-test blocks fused by default: %+v", out)
+	}
+	if out := Fuse(blocks, FuseOptions{FusePDTest: true}); len(out) != 1 {
+		t.Fatalf("PD-test fusion not honoured: %+v", out)
+	}
+}
+
+func TestDoacrossMarking(t *testing.T) {
+	blocks := []Block{
+		{Kind: SequentialBlock, Stmts: []*Stmt{{ID: 0, Cost: 5}}},
+		{Kind: ParallelBlock, Stmts: []*Stmt{{ID: 1, Cost: 100}}},
+		{Kind: SequentialBlock, Stmts: []*Stmt{{ID: 2, Cost: 5}}},
+	}
+	out := Fuse(blocks, FuseOptions{Doacross: true})
+	if !out[0].Doacross {
+		t.Fatal("interior sequential block should be DOACROSS-schedulable")
+	}
+	if out[len(out)-1].Doacross {
+		t.Fatal("final block has no successor to pipeline against")
+	}
+}
+
+func TestPlanEndToEnd(t *testing.T) {
+	// A realistic multi-recurrence loop: general dispatcher, induction
+	// counter, parallel work, a tiny parallel tail that should demote.
+	disp := &Stmt{ID: 0, Name: "p=next(p)", Kind: GeneralRec, SelfDep: true, Cost: 1}
+	cnt := &Stmt{ID: 1, Name: "i=i+1", Kind: InductionRec, SelfDep: true, Cost: 1}
+	work := &Stmt{ID: 2, Name: "work", Kind: Plain, Cost: 100}
+	tail := &Stmt{ID: 3, Name: "tail", Kind: Plain, Cost: 1}
+	g := NewGraph(disp, cnt, work, tail)
+	g.AddDep(0, 0)
+	g.AddDep(1, 1)
+	g.AddDep(0, 2)
+	g.AddDep(1, 2)
+	g.AddDep(2, 3)
+	out := Plan(g, FuseOptions{ParallelOverhead: 5, Doacross: true})
+	if len(out) < 2 {
+		t.Fatalf("plan = %+v", out)
+	}
+	// The dispatcher must come out sequential and before the work.
+	if out[0].Kind != SequentialBlock {
+		t.Fatalf("plan[0] = %+v", out[0])
+	}
+	if DispatcherKindOf(out[0]) != loopir.GeneralRecurrence {
+		t.Fatal("sequential block should map to a general recurrence")
+	}
+	var foundWork bool
+	for _, b := range out {
+		if b.Kind == ParallelBlock {
+			for _, s := range b.Stmts {
+				if s.ID == 2 {
+					foundWork = true
+				}
+			}
+		}
+	}
+	if !foundWork {
+		t.Fatalf("work statement lost its parallel block: %+v", out)
+	}
+}
+
+func TestBlockKindStrings(t *testing.T) {
+	for k, want := range map[BlockKind]string{
+		ParallelBlock: "parallel", PrefixBlock: "prefix",
+		SequentialBlock: "sequential", PDTestBlock: "pd-test",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	for k, want := range map[StmtKind]string{
+		Plain: "plain", InductionRec: "induction", AssociativeRec: "associative",
+		GeneralRec: "general", Unknown: "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("kind string = %q, want %q", k.String(), want)
+		}
+	}
+}
+
+func TestDispatcherKindOfPrefix(t *testing.T) {
+	if DispatcherKindOf(Block{Kind: PrefixBlock}) != loopir.AssociativeRecurrence {
+		t.Fatal("prefix block should map to associative recurrence")
+	}
+	if DispatcherKindOf(Block{Kind: ParallelBlock}) != loopir.MonotonicInduction {
+		t.Fatal("parallel block should map to induction")
+	}
+}

@@ -1,0 +1,233 @@
+// Package doacross implements the WHILE-DOACROSS construct: pipelined
+// parallel execution of loops whose iterations carry cross-iteration
+// dependences that can be honoured with explicit synchronization, the
+// execution style the paper names for loops whose recurrences cannot be
+// evaluated in parallel (Section 1: "the iterations of the loop must be
+// started sequentially, leading in the best case to a pipelined
+// execution (also known as a DOACROSS)") and the method of Wu & Lewis
+// the paper's Section 10 compares against.
+//
+// Two entry points:
+//
+//   - Run executes a counted iteration space under post/wait
+//     synchronization: iteration i may Wait for any earlier iteration's
+//     Post before consuming its value.
+//   - RunWhile pipelines a WHILE loop itself: iteration i receives the
+//     dispatcher value produced by iteration i-1, advances the
+//     recurrence, posts the successor value, and only then executes the
+//     (overlappable) remainder — the dispatcher forms the pipeline's
+//     critical path while remainders run concurrently.
+package doacross
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"whilepar/internal/simproc"
+)
+
+// Sync provides post/wait synchronization across iterations.
+type Sync struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	posted map[int]bool
+	// lowAll: every iteration < lowAll has posted (compact common case).
+	lowAll int
+}
+
+// NewSync returns an empty synchronization structure.
+func NewSync() *Sync {
+	s := &Sync{posted: make(map[int]bool)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Post marks iteration i's value as produced, releasing any waiters.
+func (s *Sync) Post(i int) {
+	s.mu.Lock()
+	s.posted[i] = true
+	for s.posted[s.lowAll] {
+		delete(s.posted, s.lowAll)
+		s.lowAll++
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Wait blocks until iteration j has posted.  Iterations may only wait on
+// strictly earlier iterations; waiting on yourself or the future would
+// deadlock the pipeline and panics instead.
+func (s *Sync) Wait(self, j int) {
+	if j >= self {
+		panic("doacross: iteration may only wait on earlier iterations")
+	}
+	if j < 0 {
+		return // dependence out of range: nothing to wait for
+	}
+	s.mu.Lock()
+	for !(j < s.lowAll || s.posted[j]) {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Posted reports whether iteration j has posted (for tests).
+func (s *Sync) Posted(j int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j < s.lowAll || s.posted[j]
+}
+
+// Control is the body verdict.
+type Control int
+
+const (
+	Continue Control = iota
+	// Quit: this iteration met the termination condition; later
+	// iterations are not started (in-flight ones complete).
+	Quit
+)
+
+// Result reports a DOACROSS execution.
+type Result struct {
+	Executed  int
+	QuitIndex int // smallest quitting iteration; n if none
+}
+
+// Run executes iterations [0, n) on procs goroutines.  The body may use
+// the Sync to wait for earlier iterations' posts; the runtime posts each
+// iteration automatically on completion (a body may also Post
+// intermediate events under its own index).  Iterations are issued in
+// order (a DOACROSS requirement — iteration i's waiters must already be
+// running or done).
+func Run(n, procs int, body func(i, vpn int, s *Sync) Control) Result {
+	if procs < 1 {
+		procs = 1
+	}
+	if n <= 0 {
+		return Result{QuitIndex: 0}
+	}
+	s := NewSync()
+	var (
+		next   atomic.Int64
+		quit   atomic.Int64
+		execed atomic.Int64
+		wg     sync.WaitGroup
+	)
+	quit.Store(int64(n))
+
+	worker := func(vpn int) {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n || int64(i) > quit.Load() {
+				return
+			}
+			c := body(i, vpn, s)
+			// The runtime's completion post: even a quitting iteration
+			// posts, so pipelines drain rather than deadlock.
+			s.Post(i)
+			execed.Add(1)
+			if c == Quit {
+				for {
+					cur := quit.Load()
+					if int64(i) >= cur || quit.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+			}
+		}
+	}
+	wg.Add(procs)
+	for k := 0; k < procs; k++ {
+		go worker(k)
+	}
+	wg.Wait()
+	return Result{Executed: int(execed.Load()), QuitIndex: int(quit.Load())}
+}
+
+// RunWhile pipelines a WHILE loop with a sequential dispatcher: start is
+// d(0); each iteration i computes d(i+1) = next(d(i)), posts it, then
+// runs body(i, d(i)).  cont(d) is the RI termination condition (the
+// loop covers at most max iterations).  The dispatcher chain is the
+// pipeline's critical path; remainders overlap.  Returns the number of
+// valid iterations.
+//
+// This is the Wu & Lewis-style WHILE-DOACROSS: compared with General-3,
+// no traversal is redundant, but every iteration serializes on its
+// predecessor's dispatcher hand-off.
+func RunWhile[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
+	body func(i int, d D) bool) Result {
+	if procs < 1 {
+		procs = 1
+	}
+	vals := make([]D, max+1)
+	ok := make([]bool, max+1)
+	vals[0] = start
+	ok[0] = true
+
+	return Run(max, procs, func(i, vpn int, s *Sync) Control {
+		s.Wait(i, i-1) // dispatcher value d(i) produced by iteration i-1
+		if !ok[i] {
+			return Quit // predecessor already terminated the recurrence
+		}
+		d := vals[i]
+		if cont != nil && !cont(d) {
+			return Quit
+		}
+		// Advance the recurrence, publish d(i+1), and post the hand-off
+		// immediately so iteration i+1 starts while this iteration's
+		// remainder is still running — the overlap is the whole point.
+		if i+1 <= max {
+			vals[i+1] = next(d)
+			ok[i+1] = true
+		}
+		s.Post(i)
+		if !body(i, d) {
+			return Quit
+		}
+		return Continue
+	})
+}
+
+// SimCosts parameterizes the simulated-time DOACROSS model.
+type SimCosts struct {
+	// Chain is the per-iteration critical-path cost (the dispatcher
+	// advancement plus the post/wait hand-off).
+	Chain float64
+	// Work(i) is the overlappable remainder cost.
+	Work func(i int) float64
+	// Dispatch is the per-iteration issue overhead.
+	Dispatch float64
+}
+
+// Simulate models the pipeline on machine m: iteration i's chain phase
+// cannot start before iteration i-1's chain phase completed; the
+// remainder then runs on the assigned processor.  Returns the trace.
+func Simulate(m *simproc.Machine, n int, c SimCosts) simproc.Trace {
+	var tr simproc.Trace
+	chainFree := 0.0
+	for i := 0; i < n; i++ {
+		k := m.EarliestFree()
+		start := m.Clock(k) + c.Dispatch
+		if start < chainFree {
+			start = chainFree
+		}
+		m.WaitUntil(k, start)
+		m.Run(k, c.Chain)
+		chainFree = m.Clock(k)
+		m.Run(k, c.Work(i))
+		tr.Executed++
+	}
+	tr.Makespan = m.Makespan()
+	return tr
+}
+
+// SeqTime is the sequential loop under the same model.
+func (c SimCosts) SeqTime(n int) float64 {
+	t := c.Chain * float64(n)
+	for i := 0; i < n; i++ {
+		t += c.Work(i)
+	}
+	return t
+}

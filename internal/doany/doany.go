@@ -1,0 +1,110 @@
+// Package doany implements the WHILE-DOANY construct used by the
+// MCSPARSE experiment (Section 9): a WHILE loop whose iterations may
+// execute in *any* order because the program is, by design, insensitive
+// to the order in which the search space is examined — in MCSPARSE, the
+// order in which the rows and columns of the matrix are searched for a
+// pivot.
+//
+// Order-insensitivity is what makes this the cheapest speculative
+// construct in the paper: even though the termination condition is
+// remainder variant and the parallel execution *does* overshoot, no
+// backups and no time-stamps are needed — overshot iterations only
+// examined more of the search space, which is harmless.  The loop's
+// result is a reduction (e.g. "best pivot seen") over whatever the
+// executed iterations produced.
+package doany
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Verdict is an iteration's report.
+type Verdict int
+
+const (
+	// Nothing: the iteration found no contribution.
+	Nothing Verdict = iota
+	// Found: the iteration produced a value to fold into the result.
+	Found
+	// Satisfied: the iteration produced a value AND met the termination
+	// condition — further iterations need not be issued (though
+	// in-flight ones may still contribute; order does not matter).
+	Satisfied
+)
+
+// Stats reports a WHILE-DOANY execution.
+type Stats struct {
+	// Executed iterations (includes any overshoot — harmless here).
+	Executed int
+	// Overshot counts iterations issued after the termination condition
+	// was first met.  They cost time but never correctness.
+	Overshot int
+	// SatisfiedAt is the first (in completion order) iteration index
+	// that met the termination condition, or -1 if the space was
+	// exhausted.
+	SatisfiedAt int
+}
+
+// Run executes iterations [0, n) of body on procs goroutines in
+// arbitrary order, folding every Found/Satisfied value into an
+// accumulator with combine (which must be associative and commutative —
+// order-insensitivity is the construct's contract).  zero is combine's
+// identity.  Once any iteration reports Satisfied, no further iterations
+// are issued.
+func Run[T any](n, procs int, zero T, combine func(T, T) T, body func(i, vpn int) (T, Verdict)) (T, Stats) {
+	if procs < 1 {
+		procs = 1
+	}
+	var (
+		next      atomic.Int64
+		stop      atomic.Bool
+		executed  atomic.Int64
+		overshot  atomic.Int64
+		satisfied atomic.Int64
+		mu        sync.Mutex
+		acc       = zero
+		wg        sync.WaitGroup
+	)
+	satisfied.Store(-1)
+
+	wg.Add(procs)
+	for k := 0; k < procs; k++ {
+		go func(vpn int) {
+			defer wg.Done()
+			local := zero
+			for {
+				if stop.Load() {
+					break
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					break
+				}
+				wasStopped := stop.Load()
+				v, verdict := body(i, vpn)
+				executed.Add(1)
+				if wasStopped {
+					overshot.Add(1)
+				}
+				if verdict != Nothing {
+					local = combine(local, v)
+				}
+				if verdict == Satisfied {
+					satisfied.CompareAndSwap(-1, int64(i))
+					stop.Store(true)
+				}
+			}
+			mu.Lock()
+			acc = combine(acc, local)
+			mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+
+	return acc, Stats{
+		Executed:    int(executed.Load()),
+		Overshot:    int(overshot.Load()),
+		SatisfiedAt: int(satisfied.Load()),
+	}
+}

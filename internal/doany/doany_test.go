@@ -1,0 +1,137 @@
+package doany
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func minCombine(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+const inf = int(^uint(0) >> 1)
+
+func TestExhaustiveSearchFindsGlobalMin(t *testing.T) {
+	// No iteration satisfies the terminator: the whole space is
+	// searched and the reduction sees every contribution.
+	vals := []int{9, 4, 7, 1, 8, 2, 6}
+	got, st := Run(len(vals), 4, inf, minCombine, func(i, vpn int) (int, Verdict) {
+		return vals[i], Found
+	})
+	if got != 1 {
+		t.Fatalf("min = %d", got)
+	}
+	if st.Executed != len(vals) || st.SatisfiedAt != -1 || st.Overshot != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSatisfiedStopsIssue(t *testing.T) {
+	n := 100000
+	var executed atomic.Int64
+	_, st := Run(n, 4, inf, minCombine, func(i, vpn int) (int, Verdict) {
+		executed.Add(1)
+		if i == 50 {
+			return i, Satisfied
+		}
+		return inf, Nothing
+	})
+	if st.SatisfiedAt != 50 {
+		t.Fatalf("SatisfiedAt = %d", st.SatisfiedAt)
+	}
+	if st.Executed >= n {
+		t.Fatalf("satisfaction did not stop issue: %d executed", st.Executed)
+	}
+}
+
+func TestOvershootIsHarmlessToResult(t *testing.T) {
+	// Iterations after satisfaction may run and contribute; because the
+	// reduction is order-insensitive the result must still be the
+	// minimum over everything contributed — never corrupted state.
+	got, _ := Run(1000, 8, inf, minCombine, func(i, vpn int) (int, Verdict) {
+		if i == 10 {
+			return 5, Satisfied
+		}
+		return 1000 + i, Found
+	})
+	if got > 1000 {
+		t.Fatalf("result %d lost the satisfying contribution", got)
+	}
+	if got != 5 && got < 1000 {
+		t.Fatalf("result %d is not a value any iteration produced", got)
+	}
+}
+
+func TestNothingVerdictContributesNothing(t *testing.T) {
+	got, st := Run(50, 3, inf, minCombine, func(i, vpn int) (int, Verdict) {
+		return -999, Nothing // value must be ignored
+	})
+	if got != inf {
+		t.Fatalf("Nothing verdicts contributed: %d", got)
+	}
+	if st.Executed != 50 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestProcsCoercionAndEmpty(t *testing.T) {
+	got, st := Run(0, 0, 42, minCombine, func(i, vpn int) (int, Verdict) {
+		t.Fatal("body must not run")
+		return 0, Nothing
+	})
+	if got != 42 || st.Executed != 0 {
+		t.Fatalf("empty run: %d %+v", got, st)
+	}
+}
+
+// Property: the result always equals the sequential min over the
+// executed iterations' contributions, for any satisfaction point.
+func TestReductionMatchesContributions(t *testing.T) {
+	f := func(nRaw, pRaw, satRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		p := int(pRaw)%6 + 1
+		sat := int(satRaw) % (2 * n)
+		var contributed sync32set
+		got, _ := Run(n, p, inf, minCombine, func(i, vpn int) (int, Verdict) {
+			contributed.add(int32(i))
+			if i == sat {
+				return i, Satisfied
+			}
+			return i, Found
+		})
+		// The result must be the min over contributed values.
+		want := contributed.min()
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+type sync32set struct {
+	mu  sync.Mutex
+	val int
+	set bool
+}
+
+func (s *sync32set) add(v int32) {
+	s.mu.Lock()
+	if !s.set || int(v) < s.val {
+		s.val, s.set = int(v), true
+	}
+	s.mu.Unlock()
+}
+
+func (s *sync32set) min() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.set {
+		return inf
+	}
+	return s.val
+}

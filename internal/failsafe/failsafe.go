@@ -1,0 +1,56 @@
+// Package failsafe implements the one-processor / (p-1)-processor
+// solution of Section 8.3: to minimize the risk of parallelizing a WHILE
+// loop, one processor executes the original sequential loop while the
+// remaining p-1 processors execute the speculative parallel version —
+// on separate copies of the loop's output data.  If the speculation
+// succeeds first, its result is used; if it fails (or the sequential
+// racer finishes first), the sequential result is used.  The worst case
+// is thus (nearly) the sequential time plus the cost of creating the
+// data copies, while the best case keeps most of the parallel speedup.
+package failsafe
+
+import (
+	"math"
+	"sync"
+)
+
+// Outcome reports which execution produced the adopted result.
+type Outcome struct {
+	// UsedParallel is true if the speculative parallel execution was
+	// valid and its result was adopted.
+	UsedParallel bool
+}
+
+// Run executes seq and par concurrently (modelling the disjoint
+// processor sets) and returns the adopted result: par's if it reports
+// validity, seq's otherwise.  Both functions must operate on their own
+// copies of the data; the caller commits the returned value.
+func Run[T any](seq func() T, par func() (T, bool)) (T, Outcome) {
+	var (
+		wg     sync.WaitGroup
+		seqRes T
+		parRes T
+		parOK  bool
+	)
+	wg.Add(2)
+	go func() { defer wg.Done(); seqRes = seq() }()
+	go func() { defer wg.Done(); parRes, parOK = par() }()
+	wg.Wait()
+	if parOK {
+		return parRes, Outcome{UsedParallel: true}
+	}
+	return seqRes, Outcome{}
+}
+
+// SimTime models the scheme's completion time: the sequential loop runs
+// on 1 processor (tseq1), the parallel version on p-1 processors
+// (tparP1), both after paying copyCost to duplicate the output data.
+// If the parallel execution is valid, the result is available at the
+// earlier of the two finish times (whichever produces the same, correct
+// answer first); if invalid, only the sequential racer's result counts.
+func SimTime(tseq1, tparP1, copyCost float64, parValid bool) float64 {
+	if parValid {
+		return copyCost + math.Min(tseq1, tparP1)
+	}
+	return copyCost + tseq1
+}

@@ -1,0 +1,51 @@
+package failsafe
+
+import "testing"
+
+func TestRunAdoptsParallelWhenValid(t *testing.T) {
+	got, out := Run(
+		func() int { return 1 },
+		func() (int, bool) { return 2, true },
+	)
+	if got != 2 || !out.UsedParallel {
+		t.Fatalf("got %d, %+v", got, out)
+	}
+}
+
+func TestRunFallsBackToSequential(t *testing.T) {
+	got, out := Run(
+		func() int { return 1 },
+		func() (int, bool) { return 999, false },
+	)
+	if got != 1 || out.UsedParallel {
+		t.Fatalf("got %d, %+v", got, out)
+	}
+}
+
+func TestRunExecutesBothOnSeparateCopies(t *testing.T) {
+	// Both closures mutate their own state; both must have run.
+	seqRan, parRan := false, false
+	Run(
+		func() struct{} { seqRan = true; return struct{}{} },
+		func() (struct{}, bool) { parRan = true; return struct{}{}, true },
+	)
+	if !seqRan || !parRan {
+		t.Fatal("both executions must run")
+	}
+}
+
+func TestSimTime(t *testing.T) {
+	// Valid speculation: earlier finisher wins.
+	if got := SimTime(1000, 200, 50, true); got != 250 {
+		t.Fatalf("valid SimTime = %v, want 250", got)
+	}
+	// Parallel slower than sequential but valid: sequential racer's
+	// finish bounds the time.
+	if got := SimTime(1000, 3000, 50, true); got != 1050 {
+		t.Fatalf("valid-slow SimTime = %v, want 1050", got)
+	}
+	// Invalid speculation: only the copy cost is lost beyond sequential.
+	if got := SimTime(1000, 200, 50, false); got != 1050 {
+		t.Fatalf("invalid SimTime = %v, want 1050", got)
+	}
+}

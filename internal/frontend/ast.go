@@ -1,0 +1,129 @@
+package frontend
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an expression node.
+type Expr interface {
+	// String renders the expression (for diagnostics and tests).
+	String() string
+}
+
+// Num is a numeric literal.
+type Num struct{ Val float64 }
+
+// Var is a scalar variable reference, or the special identifier `nil`.
+type Var struct{ Name string }
+
+// Index is an array element reference base[sub].
+type Index struct {
+	Base string
+	Sub  Expr
+}
+
+// Call is a function application f(args...) — an opaque operation.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string // + - * / < > <= >= == != && ||
+	L, R Expr
+}
+
+func (n Num) String() string { return trimFloat(n.Val) }
+func (v Var) String() string { return v.Name }
+func (x Index) String() string {
+	return fmt.Sprintf("%s[%s]", x.Base, x.Sub)
+}
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, strings.Join(parts, ", "))
+}
+func (b Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// Stmt is one body statement.
+type Stmt interface{ stmt() }
+
+// Assign is `lhs = expr` or `lhs[sub] = expr`.
+type Assign struct {
+	LHS  string // base variable name
+	Sub  Expr   // nil for scalar assignment
+	RHS  Expr
+	Line int // 1-based statement position, used as the statement ID
+}
+
+// ExitIf is `if (cond) exit` — a termination condition in the body.
+type ExitIf struct {
+	Cond Expr
+	Line int
+}
+
+func (Assign) stmt() {}
+func (ExitIf) stmt() {}
+
+// LoopAST is a parsed WHILE loop.
+type LoopAST struct {
+	// Cond is the loop-header condition (the loop continues while it
+	// holds).  nil for `while (true)`.
+	Cond Expr
+	Body []Stmt
+}
+
+// vars collects every scalar variable and array base referenced by e,
+// excluding function names (opaque operators).
+func vars(e Expr, out map[string]bool) {
+	switch t := e.(type) {
+	case Num:
+	case Var:
+		if t.Name != "nil" && t.Name != "true" && t.Name != "false" {
+			out[t.Name] = true
+		}
+	case Index:
+		out[t.Base] = true
+		vars(t.Sub, out)
+	case Call:
+		for _, a := range t.Args {
+			vars(a, out)
+		}
+	case Binary:
+		vars(t.L, out)
+		vars(t.R, out)
+	}
+}
+
+// hasNestedIndex reports whether e contains an array reference inside an
+// array subscript — the "subscripted subscripts" pattern that defeats
+// static dependence analysis (Section 5).
+func hasNestedIndex(e Expr, inSub bool) bool {
+	switch t := e.(type) {
+	case Index:
+		if inSub {
+			return true
+		}
+		return hasNestedIndex(t.Sub, true)
+	case Call:
+		for _, a := range t.Args {
+			if hasNestedIndex(a, inSub) {
+				return true
+			}
+		}
+	case Binary:
+		return hasNestedIndex(t.L, inSub) || hasNestedIndex(t.R, inSub)
+	}
+	return false
+}

@@ -1,0 +1,264 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"whilepar/internal/distribute"
+	"whilepar/internal/loopir"
+)
+
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	ast, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	an, err := Analyze(ast)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return an
+}
+
+func TestListTraversalLoop(t *testing.T) {
+	// Figure 1(b): general recurrence, RI terminator.
+	an := analyze(t, `
+		while (p != nil) {
+			y[i] = work(p)
+			i = i + 1
+			p = next(p)
+		}`)
+	if an.Class.Dispatcher != loopir.GeneralRecurrence {
+		t.Fatalf("dispatcher = %v", an.Class.Dispatcher)
+	}
+	if an.DispatcherVar != "p" {
+		t.Fatalf("dispatcher var = %q", an.DispatcherVar)
+	}
+	if an.Class.Terminator != loopir.RI {
+		t.Fatalf("terminator = %v", an.Class.Terminator)
+	}
+	if an.Class.CanOvershoot() {
+		t.Fatal("RI list walk must not overshoot")
+	}
+}
+
+func TestConditionalExitDOLoop(t *testing.T) {
+	// Figure 1(d): induction dispatcher, RV exit on remainder data.
+	an := analyze(t, `
+		while (i < 1000) {
+			err = residual(obs[i], i)
+			if (err > eps) exit
+			state[i] = smooth(obs[i])
+			i = i + 1
+		}`)
+	if an.Class.Dispatcher != loopir.MonotonicInduction {
+		t.Fatalf("dispatcher = %v", an.Class.Dispatcher)
+	}
+	if an.Class.Terminator != loopir.RV {
+		t.Fatalf("terminator = %v", an.Class.Terminator)
+	}
+	if !an.Class.CanOvershoot() {
+		t.Fatal("RV loop must be able to overshoot")
+	}
+	// Exactly two conditions: the RI header threshold and the RV exit.
+	if len(an.Conds) != 2 {
+		t.Fatalf("conds = %+v", an.Conds)
+	}
+	if an.Conds[0].Kind != loopir.RI || !an.Conds[0].Threshold {
+		t.Fatalf("header cond = %+v", an.Conds[0])
+	}
+	if an.Conds[1].Kind != loopir.RV || !an.Conds[1].FromExit {
+		t.Fatalf("exit cond = %+v", an.Conds[1])
+	}
+}
+
+func TestMonotonicThresholdException(t *testing.T) {
+	an := analyze(t, `
+		while (i < n) {
+			y[i] = f(i)
+			i = i + 2
+		}`)
+	if !an.Class.ThresholdOnMonotonic {
+		t.Fatalf("threshold exception not detected: %+v", an.Class)
+	}
+	if an.Class.CanOvershoot() {
+		t.Fatal("monotonic threshold loop must not overshoot")
+	}
+}
+
+func TestAssociativeRecurrence(t *testing.T) {
+	an := analyze(t, `
+		while (x < 1000000) {
+			y[i] = x
+			i = i + 1
+			x = 0.5*x + 2
+		}`)
+	if an.Class.Dispatcher != loopir.AssociativeRecurrence {
+		t.Fatalf("dispatcher = %v", an.Class.Dispatcher)
+	}
+	var xinfo *StmtInfo
+	for i := range an.Stmts {
+		if an.Stmts[i].LHS == "x" {
+			xinfo = &an.Stmts[i]
+		}
+	}
+	if xinfo == nil || xinfo.Kind != distribute.AssociativeRec || xinfo.A != 0.5 || xinfo.B != 2 {
+		t.Fatalf("x statement = %+v", xinfo)
+	}
+}
+
+func TestSubscriptedSubscriptsNeedPDTest(t *testing.T) {
+	an := analyze(t, `
+		while (i < n) {
+			a[idx[i]] = a[idx[i]] + w[i]
+			i = i + 1
+		}`)
+	if len(an.Unknown) != 1 || an.Unknown[0] != "a" {
+		t.Fatalf("Unknown = %v", an.Unknown)
+	}
+	// The plan must carry a PD-test block.
+	plan := distribute.Plan(an.Graph, distribute.FuseOptions{})
+	found := false
+	for _, b := range plan {
+		if b.Kind == distribute.PDTestBlock {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no PD-test block in plan: %+v", plan)
+	}
+}
+
+func TestDispatcherIsTopLevelRecurrence(t *testing.T) {
+	// Both a general recurrence and an induction: the general one feeds
+	// the work, so it is the hierarchically top-level dispatcher here
+	// (it precedes the remainder in the dependence graph).
+	an := analyze(t, `
+		while (p != nil) {
+			p = advance(p)
+			out[k] = load(p)
+			k = k + 1
+		}`)
+	if an.Class.Dispatcher != loopir.GeneralRecurrence {
+		t.Fatalf("dispatcher = %v (%q)", an.Class.Dispatcher, an.DispatcherVar)
+	}
+}
+
+func TestNoRecurrenceMeansImplicitCounter(t *testing.T) {
+	an := analyze(t, `
+		while (i < n) {
+			b[i] = 2*a[i]
+		}`)
+	if an.DispatcherVar != "" || an.Class.Dispatcher != loopir.MonotonicInduction {
+		t.Fatalf("%+v", an)
+	}
+}
+
+func TestGeneralRecurrenceViaNonAffine(t *testing.T) {
+	an := analyze(t, `
+		while (x < 100) {
+			x = x*x + 1
+		}`)
+	if an.Class.Dispatcher != loopir.GeneralRecurrence {
+		t.Fatalf("x*x+1 should be a general recurrence, got %v", an.Class.Dispatcher)
+	}
+	// Division by a constant stays affine.
+	an2 := analyze(t, `
+		while (x > 1) {
+			x = x/2 + 3
+		}`)
+	if an2.Class.Dispatcher != loopir.AssociativeRecurrence {
+		t.Fatalf("x/2+3 should be associative, got %v", an2.Class.Dispatcher)
+	}
+	// Division BY the recurrence variable is not affine.
+	an3 := analyze(t, `
+		while (x > 1) {
+			x = 2/x
+		}`)
+	if an3.Class.Dispatcher != loopir.GeneralRecurrence {
+		t.Fatalf("2/x should be general, got %v", an3.Class.Dispatcher)
+	}
+}
+
+func TestRVHeaderCondition(t *testing.T) {
+	// The header reads a remainder-computed value: RV.
+	an := analyze(t, `
+		while (s < limit) {
+			s = s + a[i]
+			i = i + 1
+		}`)
+	// s = s + a[i] is self-dependent but reads a[i] too -> not affine in
+	// numbers only -> general recurrence... the dispatcher is whichever
+	// tops the graph; the condition on s is a recurrence variable so RI.
+	if an.Class.Terminator != loopir.RI {
+		t.Fatalf("condition on recurrence variable should be RI, got %v", an.Class.Terminator)
+	}
+	an2 := analyze(t, `
+		while (err < eps) {
+			err = compute(a[i])
+			i = i + 1
+		}`)
+	if an2.Class.Terminator != loopir.RV {
+		t.Fatalf("condition on remainder value should be RV, got %v", an2.Class.Terminator)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`for (i<n) {}`,
+		`while (i<n) { i = }`,
+		`while i<n { }`,
+		`while (i<n) { i = i+1`,
+		`while (i<n) { if (x) continue }`,
+		`while (i<n) { } trailing`,
+		`while (i<n) { a[i = 3 }`,
+		`while (i $ n) { }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseExpressionShapes(t *testing.T) {
+	ast, err := Parse(`while (true) { y = -x + f(a, b[i]) * 2 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Cond != nil {
+		t.Fatal("while(true) should have nil cond")
+	}
+	a := ast.Body[0].(Assign)
+	got := a.RHS.String()
+	if !strings.Contains(got, "f(a, b[i])") {
+		t.Fatalf("RHS = %s", got)
+	}
+	// Unary minus folds into literals.
+	ast2, _ := Parse(`while (true) { y = -3 }`)
+	if n, ok := ast2.Body[0].(Assign).RHS.(Num); !ok || n.Val != -3 {
+		t.Fatalf("unary minus: %+v", ast2.Body[0])
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	an := analyze(t, `
+		while (p != nil) {
+			a[idx[j]] = work(p)
+			j = j + 1
+			p = next(p)
+			if (bad > 0) exit
+			bad = check(a[idx[j]])
+		}`)
+	rep := an.Report()
+	for _, want := range []string{
+		"general recurrence", "RV", "PD test needed", "distribution plan",
+		"in-body exit", "self-dependent",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package frontend is a small source-level front end for the library: it
+// parses a Fortran-ish WHILE-loop description, analyzes its statements
+// the way the paper's compiler phases would — finding recurrences,
+// classifying their kinds, classifying the termination conditions as
+// remainder invariant or variant, and spotting unanalyzable subscripted
+// subscripts — and hands the result to the Table 1 taxonomy and the
+// Section 6 distribution planner.
+//
+// The input language (see Parse) is deliberately tiny:
+//
+//	while (p != nil && x < limit) {
+//	    p = next(p)           # general recurrence
+//	    i = i + 1             # induction
+//	    x = 0.5*x + 2         # associative recurrence
+//	    if (err > eps) exit   # remainder-variant termination
+//	    a[idx[i]] = f(p)      # subscripted subscript: PD test needed
+//	}
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexer token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // punctuation and operators, Text holds the exact symbol
+)
+
+type token struct {
+	Kind tokKind
+	Text string
+	Pos  int // byte offset, for error messages
+}
+
+// lex splits src into tokens.  Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{Kind: tokIdent, Text: src[i:j], Pos: i})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			seenDot := false
+			for j < n && (unicode.IsDigit(rune(src[j])) || (src[j] == '.' && !seenDot)) {
+				if src[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{Kind: tokNumber, Text: src[i:j], Pos: i})
+			i = j
+		default:
+			// Multi-character operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "!=", "==", "<=", ">=", "&&", "||":
+				toks = append(toks, token{Kind: tokSymbol, Text: two, Pos: i})
+				i += 2
+				continue
+			}
+			if strings.ContainsRune("()+-*/=<>{}[],", rune(c)) {
+				toks = append(toks, token{Kind: tokSymbol, Text: string(c), Pos: i})
+				i++
+				continue
+			}
+			return nil, fmt.Errorf("frontend: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{Kind: tokEOF, Pos: n})
+	return toks, nil
+}

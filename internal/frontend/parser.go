@@ -1,0 +1,242 @@
+package frontend
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().Kind == tokEOF }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("frontend: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.Kind != tokSymbol || t.Text != s {
+		return fmt.Errorf("frontend: expected %q, got %q (offset %d)", s, t.Text, t.Pos)
+	}
+	return nil
+}
+
+func (p *parser) acceptSym(s string) bool {
+	t := p.peek()
+	if t.Kind == tokSymbol && t.Text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent(name string) error {
+	t := p.next()
+	if t.Kind != tokIdent || t.Text != name {
+		return fmt.Errorf("frontend: expected %q, got %q (offset %d)", name, t.Text, t.Pos)
+	}
+	return nil
+}
+
+// Parse parses a WHILE-loop description:
+//
+//	loop  := "while" "(" expr ")" "{" stmt* "}"
+//	stmt  := ident ("[" expr "]")? "=" expr
+//	       | "if" "(" expr ")" "exit"
+//	expr  := orExpr with the usual precedence:
+//	         || < && < comparisons < +- < */ < unary - < atoms
+//	atom  := number | ident | ident "(" args ")" | ident "[" expr "]"
+//	       | "(" expr ")"
+func Parse(src string) (*LoopAST, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectIdent("while"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	ast := &LoopAST{Cond: cond}
+	line := 0
+	for !p.acceptSym("}") {
+		if p.atEOF() {
+			return nil, p.errf("unterminated loop body")
+		}
+		line++
+		st, err := p.parseStmt(line)
+		if err != nil {
+			return nil, err
+		}
+		ast.Body = append(ast.Body, st)
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input after loop")
+	}
+	if v, ok := ast.Cond.(Var); ok && v.Name == "true" {
+		ast.Cond = nil
+	}
+	return ast, nil
+}
+
+func (p *parser) parseStmt(line int) (Stmt, error) {
+	t := p.peek()
+	if t.Kind == tokIdent && t.Text == "if" {
+		p.next()
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("exit"); err != nil {
+			return nil, err
+		}
+		return ExitIf{Cond: cond, Line: line}, nil
+	}
+	if t.Kind != tokIdent {
+		return nil, p.errf("expected statement, got %q", t.Text)
+	}
+	lhs := p.next().Text
+	var sub Expr
+	if p.acceptSym("[") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("]"); err != nil {
+			return nil, err
+		}
+		sub = e
+	}
+	if err := p.expectSym("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return Assign{LHS: lhs, Sub: sub, RHS: rhs, Line: line}, nil
+}
+
+// Precedence-climbing expression parser.
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, ">": 3, "<=": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5,
+}
+
+func (p *parser) parseBin(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != tokSymbol {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next().Text
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = Binary{Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSym("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := e.(Num); ok {
+			return Num{Val: -n.Val}, nil
+		}
+		return Binary{Op: "-", L: Num{0}, R: e}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case tokNumber:
+		var v float64
+		if _, err := fmt.Sscanf(t.Text, "%g", &v); err != nil {
+			return nil, fmt.Errorf("frontend: bad number %q", t.Text)
+		}
+		return Num{Val: v}, nil
+	case tokIdent:
+		name := t.Text
+		if p.acceptSym("(") {
+			var args []Expr
+			if !p.acceptSym(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.acceptSym(")") {
+						break
+					}
+					if err := p.expectSym(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return Call{Fn: name, Args: args}, nil
+		}
+		if p.acceptSym("[") {
+			sub, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym("]"); err != nil {
+				return nil, err
+			}
+			return Index{Base: name, Sub: sub}, nil
+		}
+		return Var{Name: name}, nil
+	case tokSymbol:
+		if t.Text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("frontend: unexpected token %q (offset %d)", t.Text, t.Pos)
+}

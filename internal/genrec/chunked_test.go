@@ -1,0 +1,114 @@
+package genrec
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"whilepar/internal/list"
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+	"whilepar/internal/simproc"
+)
+
+func TestChunkedProcessesEveryElementOnce(t *testing.T) {
+	for _, chunk := range []int{1, 7, 64, 1000} {
+		n := 500
+		c := list.BuildChunked(n, chunk, func(i int) (float64, float64) { return float64(i), 1 })
+		counts := make([]atomic.Int32, n)
+		res := Chunked(c, func(it *loopir.Iter, nd *list.Node) bool {
+			counts[nd.Key].Add(1)
+			if nd.Key != it.Index {
+				t.Errorf("chunk=%d: element %d ran as iteration %d", chunk, nd.Key, it.Index)
+			}
+			return true
+		}, Config{Procs: 4})
+		if res.Valid != n || res.Executed != n || res.Overshot != 0 {
+			t.Fatalf("chunk=%d: %+v", chunk, res)
+		}
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("chunk=%d: element %d ran %d times", chunk, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+func TestChunkedMatchesSequentialResult(t *testing.T) {
+	n := 300
+	seq := mem.NewArray("A", n)
+	par := mem.NewArray("A", n)
+	for i := 0; i < n; i++ {
+		seq.Data[i] = float64(i) * 3
+	}
+	c := list.BuildChunked(n, 16, func(i int) (float64, float64) { return float64(i), 1 })
+	Chunked(c, func(it *loopir.Iter, nd *list.Node) bool {
+		it.Store(par, nd.Key, nd.Val*3)
+		return true
+	}, Config{Procs: 8})
+	if !par.Equal(seq) {
+		t.Fatal("chunked traversal diverged")
+	}
+}
+
+func TestChunkedRVExit(t *testing.T) {
+	n := 400
+	c := list.BuildChunked(n, 32, nil)
+	counts := make([]atomic.Int32, n)
+	res := Chunked(c, func(it *loopir.Iter, nd *list.Node) bool {
+		if nd.Key == 150 {
+			return false
+		}
+		counts[nd.Key].Add(1)
+		return true
+	}, Config{Procs: 4})
+	if res.Valid != 150 {
+		t.Fatalf("Valid = %d", res.Valid)
+	}
+	for i := 0; i < 150; i++ {
+		if counts[i].Load() != 1 {
+			t.Fatalf("valid element %d ran %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestChunkedHeaderHops(t *testing.T) {
+	c := list.BuildChunked(100, 10, nil)
+	res := Chunked(c, func(*loopir.Iter, *list.Node) bool { return true }, Config{Procs: 2})
+	if res.Hops != 10 {
+		t.Fatalf("header hops = %d, want one per chunk", res.Hops)
+	}
+}
+
+func TestChunkedEmpty(t *testing.T) {
+	res := Chunked(list.BuildChunked(0, 8, nil), func(*loopir.Iter, *list.Node) bool {
+		t.Fatal("body must not run")
+		return true
+	}, Config{Procs: 2})
+	if res.Valid != 0 || res.Executed != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestSimChunkedSweetSpot(t *testing.T) {
+	// Tiny chunks: the sequential header walk dominates ("inefficient
+	// restructured version...").  Huge chunks: too few units to balance.
+	// A mid-size chunk should beat both.
+	n := 10_000
+	c := SimCosts{Hop: 1, Dispatch: 0.5, Work: func(int) float64 { return 4 }}
+	seq := c.SeqTime(n)
+	sp := func(chunk int) float64 {
+		tr := SimChunked(simproc.New(8), n, chunk, c)
+		return simproc.Speedup(seq, tr.Makespan)
+	}
+	tiny, mid, huge := sp(1), sp(128), sp(n)
+	if mid <= tiny || mid <= huge {
+		t.Fatalf("chunk sweet spot missing: tiny=%.2f mid=%.2f huge=%.2f", tiny, mid, huge)
+	}
+	if huge > 1.3 {
+		t.Fatalf("single chunk should be nearly sequential, got %.2f", huge)
+	}
+	// Degenerate chunk size coerces.
+	if got := SimChunked(simproc.New(2), 10, 0, c); got.Executed != 10 {
+		t.Fatalf("chunk=0 executed %d", got.Executed)
+	}
+}

@@ -1,0 +1,95 @@
+package genrec
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"whilepar/internal/list"
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+	"whilepar/internal/simproc"
+)
+
+func TestDistributedProcessesEveryNodeOnce(t *testing.T) {
+	n := 400
+	head := list.Build(n, nil)
+	counts := make([]atomic.Int32, n)
+	res := Distributed(head, func(it *loopir.Iter, nd *list.Node) bool {
+		counts[nd.Key].Add(1)
+		return true
+	}, Config{Procs: 6})
+	if res.Valid != n || res.Executed != n || res.Hops != int64(n) {
+		t.Fatalf("%+v", res)
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("node %d ran %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	n := 200
+	seq := mem.NewArray("A", n)
+	par := mem.NewArray("A", n)
+	for i := 0; i < n; i++ {
+		seq.Data[i] = float64(i) + 0.5
+	}
+	head := list.Build(n, func(i int) (float64, float64) { return float64(i), 1 })
+	Distributed(head, func(it *loopir.Iter, nd *list.Node) bool {
+		it.Store(par, nd.Key, nd.Val+0.5)
+		return true
+	}, Config{Procs: 8})
+	if !par.Equal(seq) {
+		t.Fatal("distributed traversal diverged")
+	}
+}
+
+func TestDistributedRVExitAndBound(t *testing.T) {
+	head := list.Build(300, nil)
+	res := Distributed(head, func(it *loopir.Iter, nd *list.Node) bool {
+		return nd.Key != 42
+	}, Config{Procs: 4})
+	if res.Valid != 42 {
+		t.Fatalf("Valid = %d", res.Valid)
+	}
+	// With an RV terminator the sequential dispatcher loop computed ALL
+	// 300 values anyway — the superfluous-terms cost the paper charges
+	// against this method.
+	if res.Hops != 300 {
+		t.Fatalf("hops = %d: distribution must precompute the whole recurrence", res.Hops)
+	}
+	// U bounds the precomputation.
+	res2 := Distributed(head, func(*loopir.Iter, *list.Node) bool { return true }, Config{Procs: 2, U: 50})
+	if res2.Valid != 50 || res2.Hops != 50 {
+		t.Fatalf("%+v", res2)
+	}
+	// Empty list.
+	res3 := Distributed(nil, func(*loopir.Iter, *list.Node) bool { return true }, Config{Procs: 2})
+	if res3.Valid != 0 {
+		t.Fatalf("%+v", res3)
+	}
+}
+
+func TestSimDistributedVsGeneral3(t *testing.T) {
+	// With an RI terminator and plentiful work, distribution performs
+	// comparably to General-3 (the paper's "likely to be similar");
+	// storage costs make it strictly worse per term.
+	n := 4000
+	c := SimCosts{Hop: 1, Dispatch: 0.5, Work: func(int) float64 { return 30 }}
+	seq := c.SeqTime(n)
+	spD := simproc.Speedup(seq, SimDistributed(simproc.New(8), n, c, 1).Makespan)
+	spG3 := simproc.Speedup(seq, SimGeneral3(simproc.New(8), n, c).Makespan)
+	if spD < 0.6*spG3 {
+		t.Fatalf("RI: distribution %.2f should be in General-3's ballpark %.2f", spD, spG3)
+	}
+	// With little work, the sequential precompute pass dominates and
+	// distribution falls behind.
+	cSmall := SimCosts{Hop: 1, Dispatch: 0.5, Work: func(int) float64 { return 2 }}
+	seqS := cSmall.SeqTime(n)
+	spDs := simproc.Speedup(seqS, SimDistributed(simproc.New(8), n, cSmall, 1).Makespan)
+	spG3s := simproc.Speedup(seqS, SimGeneral3(simproc.New(8), n, cSmall).Makespan)
+	if spDs >= spG3s {
+		t.Fatalf("low work: distribution %.2f should trail General-3 %.2f", spDs, spG3s)
+	}
+}

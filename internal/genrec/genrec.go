@@ -1,0 +1,242 @@
+// Package genrec implements the General-1, General-2 and General-3
+// methods of Section 3.3 (Figure 4) for WHILE loops whose dispatcher is
+// a general recurrence — canonically, a pointer traversing a linked
+// list.  The dispatcher itself is inherently sequential (a continuous
+// chain of flow dependences), so these methods speed the loop up by
+// overlapping the *remainder* work of different iterations:
+//
+//   - General-1 serializes accesses to next() in a critical section: the
+//     list is traversed once, cooperatively, but every dispatcher
+//     advancement contends for the lock.
+//   - General-2 avoids the lock by giving each processor a private
+//     cursor that traverses the *entire* list; processor k statically
+//     executes the iterations congruent to k mod nproc.
+//   - General-3 also avoids the lock and also privately traverses, but
+//     assigns iterations dynamically: a processor assigned iteration i
+//     advances its private cursor by i - prev hops from the last
+//     iteration it processed.
+//
+// All three execute the same set of iterations as the sequential loop
+// when the terminator is RI (pt == nil); with an RV terminator they
+// speculate and report the overshoot for the undo machinery.
+package genrec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"whilepar/internal/list"
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+)
+
+// Body is the remainder executed for each list node; it returns false if
+// the iteration met a remainder-variant termination condition (and, by
+// the package convention, did so before performing any stores).
+type Body func(it *loopir.Iter, node *list.Node) bool
+
+// Config configures a general-recurrence parallel execution.
+type Config struct {
+	// Procs is the number of virtual processors.
+	Procs int
+	// Tracker interposes on managed-memory accesses; nil for direct.
+	Tracker mem.Tracker
+	// U is an upper bound on iterations for the dynamically scheduled
+	// methods (the `u` of Figure 4's DOALLs); 0 means "the list length
+	// is the bound" (pure RI traversal).
+	U int
+}
+
+func (c Config) procs() int {
+	if c.Procs < 1 {
+		return 1
+	}
+	return c.Procs
+}
+
+// Result reports a general-method execution.
+type Result struct {
+	// Valid is the number of valid iterations (list length if no RV
+	// exit fired).
+	Valid int
+	// Executed is the number of iterations whose body ran.
+	Executed int
+	// Overshot is the number of executed iterations at or beyond Valid.
+	Overshot int
+	// Hops is the total number of next() advancements performed across
+	// all processors: ~n for General-1, ~n*p for General-2, and between
+	// n and n*p for General-3 — the redundancy the cost model charges.
+	Hops int64
+}
+
+// quitMin tracks the smallest iteration index that signalled an RV exit.
+type quitMin struct{ v atomic.Int64 }
+
+func newQuitMin(def int) *quitMin {
+	q := &quitMin{}
+	q.v.Store(int64(def))
+	return q
+}
+
+func (q *quitMin) record(i int) {
+	for {
+		cur := q.v.Load()
+		if int64(i) >= cur || q.v.CompareAndSwap(cur, int64(i)) {
+			return
+		}
+	}
+}
+
+func (q *quitMin) get() int { return int(q.v.Load()) }
+
+// General1 runs the loop with lock-serialized next() (Figure 4,
+// *General-1*): processors cooperatively traverse the list once, each
+// dispatcher advancement inside a critical section.
+func General1(head *list.Node, body Body, cfg Config) Result {
+	p := cfg.procs()
+	var (
+		mu       sync.Mutex
+		cur      = head
+		idx      int
+		hops     atomic.Int64
+		executed atomic.Int64
+		overshot atomic.Int64
+	)
+	bound := cfg.U
+	if bound <= 0 {
+		bound = int(^uint(0) >> 1) // effectively unbounded; nil ends it
+	}
+	quit := newQuitMin(bound)
+
+	sched.ForEachProc(p, func(vpn int) {
+		for {
+			mu.Lock()
+			if cur == nil || idx >= bound || idx > quit.get() {
+				mu.Unlock()
+				return
+			}
+			pt := cur
+			i := idx
+			cur = cur.Next
+			idx++
+			hops.Add(1)
+			mu.Unlock()
+
+			it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
+			if !body(&it, pt) {
+				quit.record(i)
+			}
+			executed.Add(1)
+			if i > quit.get() {
+				overshot.Add(1)
+			}
+		}
+	})
+	valid := quit.get()
+	if valid >= bound {
+		valid = idxClamp(idx, bound)
+	}
+	return Result{Valid: valid, Executed: int(executed.Load()), Overshot: int(overshot.Load()), Hops: hops.Load()}
+}
+
+func idxClamp(n, bound int) int {
+	if n > bound {
+		return bound
+	}
+	return n
+}
+
+// General2 runs the loop with static mod-p assignment (Figure 4,
+// *General-2*): each processor traverses the entire list with a private
+// cursor and executes the iterations congruent to its vpn mod nproc.  No
+// lock is taken; the list is traversed p times in total.
+func General2(head *list.Node, body Body, cfg Config) Result {
+	p := cfg.procs()
+	var (
+		hops     atomic.Int64
+		executed atomic.Int64
+		overshot atomic.Int64
+	)
+	n := list.Len(head) // headers walk; counted as hops below per processor
+	quit := newQuitMin(n)
+
+	sched.ForEachProc(p, func(vpn int) {
+		pt := head
+		// Initial advance to this processor's first iteration.
+		for j := 0; j < vpn && pt != nil; j++ {
+			pt = pt.Next
+			hops.Add(1)
+		}
+		for i := vpn; pt != nil; i += p {
+			if i > quit.get() {
+				return
+			}
+			it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
+			if !body(&it, pt) {
+				quit.record(i)
+			}
+			executed.Add(1)
+			if i > quit.get() {
+				overshot.Add(1)
+			}
+			for j := 0; j < p && pt != nil; j++ {
+				pt = pt.Next
+				hops.Add(1)
+			}
+		}
+	})
+	valid := quit.get()
+	return Result{Valid: valid, Executed: int(executed.Load()), Overshot: int(overshot.Load()), Hops: hops.Load()}
+}
+
+// General3 runs the loop with dynamic assignment and private cursors
+// (Figure 4, *General-3*): a processor assigned iteration i advances its
+// private cursor i - prev hops.  No lock is taken; the total hop count
+// lies between n (perfect locality) and n*p.
+func General3(head *list.Node, body Body, cfg Config) Result {
+	p := cfg.procs()
+	bound := cfg.U
+	if bound <= 0 {
+		bound = list.Len(head)
+	}
+	var (
+		next     atomic.Int64
+		hops     atomic.Int64
+		executed atomic.Int64
+		overshot atomic.Int64
+	)
+	quit := newQuitMin(bound)
+
+	sched.ForEachProc(p, func(vpn int) {
+		pt := head
+		prev := 0 // pt currently points at iteration index `prev`
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= bound || i > quit.get() {
+				return
+			}
+			for j := 0; j < i-prev && pt != nil; j++ {
+				pt = pt.Next
+				hops.Add(1)
+			}
+			prev = i
+			if pt == nil {
+				// Fell off the list: the RI terminator fired at or
+				// before i; the list length caps validity.
+				quit.record(i)
+				return
+			}
+			it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
+			if !body(&it, pt) {
+				quit.record(i)
+			}
+			executed.Add(1)
+			if i > quit.get() {
+				overshot.Add(1)
+			}
+		}
+	})
+	valid := quit.get()
+	return Result{Valid: valid, Executed: int(executed.Load()), Overshot: int(overshot.Load()), Hops: hops.Load()}
+}

@@ -1,0 +1,97 @@
+package genrec
+
+import (
+	"whilepar/internal/simproc"
+)
+
+// SimCosts parameterizes the simulated-time models of the three general-
+// recurrence methods.  Units are abstract; only ratios matter.
+type SimCosts struct {
+	// Hop is the cost of one next() advancement (a pointer dereference
+	// plus loop overhead).
+	Hop float64
+	// Lock is the overhead of one lock acquire/release pair (General-1
+	// only) — on bus-based machines like the Alliant this is large
+	// relative to Hop and grows effectively with contention.
+	Lock float64
+	// Dispatch is the per-iteration dynamic self-scheduling overhead
+	// (General-1 and General-3).
+	Dispatch float64
+	// Work(i) is the remainder cost of iteration i.
+	Work func(i int) float64
+}
+
+// SimGeneral1 simulates General-1 on machine m over n iterations: every
+// dispatcher advancement is a critical section of length Lock+Hop on a
+// single shared lock, after which the owning processor performs the
+// iteration's work.  Iterations are granted in lock-acquisition order.
+// Returns the trace; the makespan includes nothing beyond the loop
+// itself (undo costs are the caller's to add, as in induction.Simulate).
+func SimGeneral1(m *simproc.Machine, n int, c SimCosts) simproc.Trace {
+	var l simproc.Lock
+	var tr simproc.Trace
+	for i := 0; i < n; i++ {
+		// The processor that will be free soonest contends next; with a
+		// FIFO lock this matches grant order on a real machine.
+		k := m.EarliestFree()
+		g := l.Acquire(m.Clock(k) + c.Dispatch)
+		crit := c.Lock + c.Hop
+		l.Release(g + crit)
+		m.WaitUntil(k, g)
+		m.Run(k, crit+c.Work(i))
+		tr.Executed++
+	}
+	tr.Makespan = m.Makespan()
+	return tr
+}
+
+// SimGeneral2 simulates General-2 on machine m over n iterations:
+// processor k privately traverses the whole list (n hops in total per
+// processor, interleaved with its work) and executes iterations k, k+p,
+// k+2p, ....  No lock, no dispatch overhead — assignment is static.
+func SimGeneral2(m *simproc.Machine, n int, c SimCosts) simproc.Trace {
+	p := m.P()
+	var tr simproc.Trace
+	for k := 0; k < p; k++ {
+		pos := 0 // private cursor index
+		for i := k; i < n; i += p {
+			m.Run(k, c.Hop*float64(i-pos)+c.Work(i))
+			pos = i
+			tr.Executed++
+		}
+		// Trailing hops to the nil that terminates the traversal.
+		if pos < n {
+			m.Run(k, c.Hop*float64(n-pos))
+		}
+	}
+	tr.Makespan = m.Makespan()
+	return tr
+}
+
+// SimGeneral3 simulates General-3 on machine m over n iterations:
+// dynamic self-scheduling (Dispatch per iteration), and a processor
+// assigned iteration i pays (i - prev) hops from its previous position
+// before doing the work.
+func SimGeneral3(m *simproc.Machine, n int, c SimCosts) simproc.Trace {
+	p := m.P()
+	prev := make([]int, p)
+	var tr simproc.Trace
+	for i := 0; i < n; i++ {
+		k := m.EarliestFree()
+		m.Run(k, c.Dispatch+c.Hop*float64(i-prev[k])+c.Work(i))
+		prev[k] = i
+		tr.Executed++
+	}
+	tr.Makespan = m.Makespan()
+	return tr
+}
+
+// SeqTime is the sequential WHILE loop's execution time under the same
+// model: n hops plus the per-iteration work, with no locks or dispatch.
+func (c SimCosts) SeqTime(n int) float64 {
+	t := c.Hop * float64(n)
+	for i := 0; i < n; i++ {
+		t += c.Work(i)
+	}
+	return t
+}

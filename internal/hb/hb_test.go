@@ -1,0 +1,167 @@
+package hb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"whilepar/internal/sparse"
+)
+
+func TestRoundTrip(t *testing.T) {
+	m := sparse.Generate("rt", 60, 300, 0, 42)
+	var buf bytes.Buffer
+	if err := Write(&buf, m, "round trip test matrix", "RT1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != m.N || got.NNZ() != m.NNZ() {
+		t.Fatalf("shape changed: %v vs %v", got, m)
+	}
+	for i := 0; i < m.N; i++ {
+		if len(got.Rows[i]) != len(m.Rows[i]) {
+			t.Fatalf("row %d length changed", i)
+		}
+		for k, e := range m.Rows[i] {
+			g := got.Rows[i][k]
+			if g.Col != e.Col {
+				t.Fatalf("row %d entry %d column %d vs %d", i, k, g.Col, e.Col)
+			}
+			if diff := g.Val - e.Val; diff > 1e-11 || diff < -1e-11 {
+				t.Fatalf("row %d entry %d value %v vs %v", i, k, g.Val, e.Val)
+			}
+		}
+		if got.RowCount[i] != m.RowCount[i] {
+			t.Fatalf("row count desync at %d", i)
+		}
+	}
+	for j := 0; j < m.N; j++ {
+		if got.ColCount[j] != m.ColCount[j] {
+			t.Fatalf("col count desync at %d", j)
+		}
+	}
+}
+
+func TestHeaderLayout(t *testing.T) {
+	m := sparse.Generate("h", 10, 40, 0, 7)
+	var buf bytes.Buffer
+	if err := Write(&buf, m, "title goes here", "KEY"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	if len(lines[0]) != 80 {
+		t.Fatalf("header line 1 width = %d, want 80", len(lines[0]))
+	}
+	if !strings.HasPrefix(lines[0], "title goes here") || !strings.Contains(lines[0], "KEY") {
+		t.Fatalf("header line 1 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "RUA") {
+		t.Fatalf("type line = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "(10I8)") || !strings.Contains(lines[3], "(4E20.12)") {
+		t.Fatalf("formats line = %q", lines[3])
+	}
+}
+
+func TestParseFmt(t *testing.T) {
+	good := map[string][2]int{
+		"(10I8)":     {10, 8},
+		"(4E20.12)":  {4, 20},
+		"( 5D16.8 )": {5, 16},
+		"(3F10.3)":   {3, 10},
+	}
+	for s, want := range good {
+		per, w, err := parseFmt(s)
+		if err != nil || per != want[0] || w != want[1] {
+			t.Errorf("parseFmt(%q) = %d,%d,%v", s, per, w, err)
+		}
+	}
+	for _, s := range []string{"", "(I8)", "(10X8)", "garbage", "(0I8)"} {
+		if _, _, err := parseFmt(s); err == nil {
+			t.Errorf("parseFmt(%q) accepted", s)
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"no counts": "title\n",
+		"bad type": "title\n 1 1 1 1 1\nPSA" + strings.Repeat(" ", 11) +
+			"             3             3             4             0\n(10I8)          (10I8)          (4E20.12)           \n",
+		"bad dims": "title\n 1 1 1 1 1\nRUA" + strings.Repeat(" ", 11) + " x y z 0\n",
+	}
+	for what, src := range cases {
+		if _, err := Read(strings.NewReader(src), "x"); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}
+}
+
+func TestReadFortranDExponents(t *testing.T) {
+	// A 2x2 matrix with D-exponent values, hand-written.
+	src := strings.Join([]string{
+		"tiny" + strings.Repeat(" ", 68) + "TINY    ",
+		"             3             1             1             1             0",
+		"RUA" + strings.Repeat(" ", 11) + "             2             2             3             0",
+		"(10I8)          (10I8)          (4D20.12)           ",
+		"       1       3       4",
+		"       1       2       2",
+		"  0.100000000000D+01  0.250000000000D+01  0.400000000000D+01",
+	}, "\n") + "\n"
+	m, err := Read(strings.NewReader(src), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 || m.At(1, 0) != 2.5 || m.At(1, 1) != 4 {
+		t.Fatalf("values wrong: %v %v %v", m.At(0, 0), m.At(1, 0), m.At(1, 1))
+	}
+}
+
+func TestExportedPresetUsableAfterReload(t *testing.T) {
+	// The pivot search must behave identically on a matrix that went
+	// through the file format.
+	m := sparse.Generate("p", 80, 420, 0, 99)
+	var buf bytes.Buffer
+	if err := Write(&buf, m, "preset", "P"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sparse.SearchParams{CostCap: 30, Stab: 0.5}
+	p1, ok1, it1 := sparse.SeqPivotRows(m, params)
+	p2, ok2, it2 := sparse.SeqPivotRows(back, params)
+	if ok1 != ok2 || it1 != it2 || p1.Row != p2.Row || p1.Col != p2.Col {
+		t.Fatalf("pivot search diverged after round trip: %+v vs %+v", p1, p2)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		m := sparse.Generate("prop", 30+int(seed)*7, 150+int(seed)*20, int(seed%3)*10, seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, m, "prop", "P"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf, "prop")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.NNZ() != m.NNZ() || got.N != m.N {
+			t.Fatalf("seed %d: shape changed", seed)
+		}
+		for i := 0; i < m.N; i++ {
+			for k, e := range m.Rows[i] {
+				g := got.Rows[i][k]
+				if g.Col != e.Col || g.Val-e.Val > 1e-11 || e.Val-g.Val > 1e-11 {
+					t.Fatalf("seed %d: entry (%d,%d) changed", seed, i, e.Col)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package induction implements the Induction-1 and Induction-2 methods
+// of Section 3.1 (Figure 2): parallel execution of a WHILE loop whose
+// dispatcher is an induction d(i) = c*i + b.
+//
+// Because the dispatcher has a closed form, every processor evaluates
+// its iterations' dispatcher values independently — no loop distribution
+// or precomputation is needed — and the loop runs as a DOALL with the
+// WHILE loop's termination test folded into the body:
+//
+//   - Induction-1 runs all u iterations; each processor records in
+//     L[vpn] the lowest iteration it executed that met the termination
+//     condition, and the last valid iteration is found afterwards by a
+//     minimum reduction over L.
+//   - Induction-2 exploits in-order issue and the machine's QUIT
+//     operation: an iteration that meets the termination condition stops
+//     further iterations from being issued, so far fewer iterations
+//     overshoot.
+//
+// The identified last valid iteration is what the undo machinery of
+// Section 4 (internal/tsmem) needs to restore overshot writes.
+package induction
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+	"whilepar/internal/simproc"
+)
+
+// Method selects between the two variants of Figure 2.
+type Method int
+
+const (
+	// Induction1 runs the full iteration space and finds the exit by a
+	// post-loop minimum reduction.
+	Induction1 Method = iota
+	// Induction2 uses QUIT to stop issuing iterations once an exit is
+	// found (the "optimized version" of Figure 2).
+	Induction2
+)
+
+// String names the method as in the paper.
+func (m Method) String() string {
+	if m == Induction1 {
+		return "Induction-1"
+	}
+	return "Induction-2"
+}
+
+// Config configures a parallel induction-loop execution.
+type Config struct {
+	// Procs is the number of virtual processors.
+	Procs int
+	// Method selects Induction-1 or Induction-2.
+	Method Method
+	// Tracker interposes on the body's managed-memory accesses
+	// (time-stamping, PD-test marking); nil for direct access.
+	Tracker mem.Tracker
+	// Schedule selects dynamic or static iteration assignment
+	// (Induction-2's QUIT argument assumes in-order issue, which both
+	// provide per processor).
+	Schedule sched.Schedule
+}
+
+// Result reports the parallel execution's outcome.
+type Result struct {
+	// Valid is the number of valid iterations (the last valid iteration
+	// is Valid-1); it equals what the sequential loop would have run.
+	Valid int
+	// Executed is the number of iterations whose body ran.
+	Executed int
+	// Overshot is the number of executed iterations at or beyond Valid
+	// — the work that may need undoing.
+	Overshot int
+}
+
+// Run executes loop l, whose dispatcher must provide a closed form
+// (loopir.ClosedForm[int]), in parallel.  l.Max must be a positive upper
+// bound u on the iteration count.  The iteration space [0, u) is
+// executed speculatively; each iteration evaluates the dispatcher from
+// the closed form, tests the RI condition, runs the body, and treats
+// either failing as "met the termination condition".
+func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
+	cf, ok := l.Disp.(loopir.ClosedForm[int])
+	if !ok {
+		return Result{}, fmt.Errorf("induction: dispatcher %T has no closed form", l.Disp)
+	}
+	if l.Max <= 0 {
+		return Result{}, fmt.Errorf("induction: loop needs an iteration upper bound (Max), got %d", l.Max)
+	}
+	if err := sched.Validate(cfg.Schedule); err != nil {
+		return Result{}, err
+	}
+	u := l.Max
+
+	iter := func(i, vpn int) bool { // returns true if the iteration hit the exit
+		d := cf.At(i)
+		if l.Cond != nil && !l.Cond(d) {
+			return true
+		}
+		it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
+		return !l.Body(&it, d)
+	}
+
+	switch cfg.Method {
+	case Induction2:
+		res := sched.DOALL(u, sched.Options{Procs: cfg.Procs, Schedule: cfg.Schedule}, func(i, vpn int) sched.Control {
+			if iter(i, vpn) {
+				return sched.Quit
+			}
+			return sched.Continue
+		})
+		return Result{Valid: res.QuitIndex, Executed: res.Executed, Overshot: res.Executed - min(res.Executed, res.QuitIndex)}, nil
+
+	default: // Induction1: run everything, reduce afterwards.
+		procs := cfg.Procs
+		if procs < 1 {
+			procs = 1
+		}
+		L := make([]atomic.Int64, procs)
+		for k := range L {
+			L[k].Store(int64(u))
+		}
+		res := sched.DOALL(u, sched.Options{Procs: procs, Schedule: cfg.Schedule}, func(i, vpn int) sched.Control {
+			if iter(i, vpn) && int64(i) < L[vpn].Load() {
+				L[vpn].Store(int64(i))
+			}
+			return sched.Continue
+		})
+		// LI = min(L[0:nproc-1]).
+		mins := make([]int, procs)
+		for k := range L {
+			mins[k] = int(L[k].Load())
+		}
+		li := sched.MinReduce(mins, u)
+		return Result{Valid: li, Executed: res.Executed, Overshot: res.Executed - min(res.Executed, li)}, nil
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SimSpec parameterizes the simulated-time model of an induction-method
+// execution, including the speculation overheads of Sections 4 and 7.
+type SimSpec struct {
+	// U is the iteration-space upper bound; Exit the first iteration
+	// meeting the termination condition (-1 if none within U).
+	U, Exit int
+	// Work(i) is the body cost of iteration i; overshot iterations do
+	// the same speculative work unless the caller's Work says otherwise.
+	Work func(i int) float64
+	// ExitCost is the cost of the exit-signalling iteration itself
+	// (test + record, no work).
+	ExitCost float64
+	// Dispatch is the per-iteration self-scheduling overhead.
+	Dispatch float64
+	// Method selects Induction-1 (full space + reduction) or
+	// Induction-2 (QUIT).
+	Method Method
+	// CheckpointWords is the state saved before the loop (Tb); CopyCost
+	// the per-word save/restore cost.  Zero for loops needing no
+	// backups.
+	CheckpointWords int
+	CopyCost        float64
+	// WritesPerIter is the number of stamped writes an overshot
+	// iteration must undo (Ta); TSCost is the per-write time-stamping
+	// overhead added to executing iterations (Td).
+	WritesPerIter int
+	TSCost        float64
+	// ReduceStep is the per-tree-level cost of the post-loop minimum
+	// reduction.
+	ReduceStep float64
+}
+
+// Simulate runs the method on a simulated p-processor machine and
+// returns the trace and the total makespan including checkpointing, the
+// post-loop reduction, and undo of overshot iterations.
+func Simulate(m *simproc.Machine, s SimSpec) (simproc.Trace, float64) {
+	cost := func(i int) float64 {
+		c := s.Work(i) + s.TSCost*float64(s.WritesPerIter)
+		if s.Exit >= 0 && i == s.Exit {
+			c = s.ExitCost
+		}
+		return c
+	}
+	// Tb: checkpoint in parallel.
+	if s.CheckpointWords > 0 {
+		m.Reduce(s.CheckpointWords, s.CopyCost, 0)
+	}
+	tr := m.DynamicDOALL(s.U, cost, s.Dispatch, s.Exit, s.Method == Induction2)
+	// Post-loop minimum reduction over the per-processor L values.
+	m.Reduce(m.P(), s.ReduceStep, s.ReduceStep)
+	// Ta: undo overshot writes, in parallel.
+	if undo := tr.Overshot * s.WritesPerIter; undo > 0 {
+		m.Reduce(undo, s.CopyCost, 0)
+	}
+	return tr, m.Makespan()
+}
+
+// SeqTime returns the sequential execution time of the original WHILE
+// loop under the same cost model: valid iterations' work plus the final
+// exit test, with no parallelization overheads.
+func (s SimSpec) SeqTime() float64 {
+	n := s.U
+	if s.Exit >= 0 && s.Exit < n {
+		n = s.Exit
+	}
+	t := simproc.SeqTime(n, s.Work)
+	if s.Exit >= 0 && s.Exit < s.U {
+		t += s.ExitCost
+	}
+	return t
+}
+
+// IdealSpeedup is Sp_id for this loop: Trem/p with the (fully parallel)
+// induction dispatcher folded into the iterations, per Section 7.
+func (s SimSpec) IdealSpeedup(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return math.Min(float64(p), float64(max(1, s.validCount())))
+}
+
+func (s SimSpec) validCount() int {
+	if s.Exit >= 0 && s.Exit < s.U {
+		return s.Exit
+	}
+	return s.U
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

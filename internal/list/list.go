@@ -1,0 +1,159 @@
+// Package list is the linked-list substrate over which the general-
+// recurrence methods (General-1/2/3, Section 3.3) operate.  The
+// dispatcher of a list-traversing WHILE loop is the pointer `tmp` of
+// Figure 1(b): tmp = head; while tmp != nil { WORK(tmp); tmp = next(tmp) }.
+//
+// The package also provides Harrison-style chunked lists (Section 10):
+// lists made of contiguously allocated chunks whose headers record their
+// lengths, enabling a sequential prefix over chunk lengths to assign
+// chunk-sized portions of the recurrence to processors.  They are used
+// by the related-work ablation benchmark.
+package list
+
+// Node is one element of a singly linked list.  Key identifies the node
+// (its creation index, used by tests to check traversal order); Val is
+// mutable payload; Work is the abstract cost of processing this node,
+// consumed by the simulated-multiprocessor workloads.
+type Node struct {
+	Next *Node
+	Key  int
+	Val  float64
+	Work float64
+}
+
+// Build constructs a list of n nodes with keys 0..n-1 and values/work
+// from f (f may be nil for zero values), returning the head.  Nodes are
+// allocated in one slice so construction is cheap, but the *traversal*
+// still follows Next pointers one at a time — the dispatcher remains a
+// general recurrence.
+func Build(n int, f func(i int) (val, work float64)) *Node {
+	if n <= 0 {
+		return nil
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i].Key = i
+		if f != nil {
+			nodes[i].Val, nodes[i].Work = f(i)
+		}
+		if i+1 < n {
+			nodes[i].Next = &nodes[i+1]
+		}
+	}
+	return &nodes[0]
+}
+
+// FromValues builds a list holding the given values with unit work.
+func FromValues(vals []float64) *Node {
+	return Build(len(vals), func(i int) (float64, float64) { return vals[i], 1 })
+}
+
+// Len walks the list and returns its length.
+func Len(head *Node) int {
+	n := 0
+	for p := head; p != nil; p = p.Next {
+		n++
+	}
+	return n
+}
+
+// Collect returns the nodes in traversal order.
+func Collect(head *Node) []*Node {
+	var out []*Node
+	for p := head; p != nil; p = p.Next {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Values returns the node values in traversal order.
+func Values(head *Node) []float64 {
+	var out []float64
+	for p := head; p != nil; p = p.Next {
+		out = append(out, p.Val)
+	}
+	return out
+}
+
+// Advance follows Next k times from p, stopping early at nil.  It is the
+// "hop" primitive whose cost dominates General-2/3; the simulator charges
+// per-hop cost for each pointer dereference it represents.
+func Advance(p *Node, k int) *Node {
+	for i := 0; i < k && p != nil; i++ {
+		p = p.Next
+	}
+	return p
+}
+
+// Chunk is a contiguously allocated run of list elements with a header
+// recording its length, as in Harrison's allocation scheme.
+type Chunk struct {
+	Next  *Chunk
+	Elems []Node // Node.Next pointers are not used within chunks
+}
+
+// Chunked is a list represented as linked chunks.
+type Chunked struct {
+	Head *Chunk
+}
+
+// BuildChunked builds a chunked list of n elements with the given chunk
+// size (the final chunk may be shorter).  chunkSize < 1 is treated as 1.
+func BuildChunked(n, chunkSize int, f func(i int) (val, work float64)) Chunked {
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	var head, tail *Chunk
+	for base := 0; base < n; base += chunkSize {
+		sz := chunkSize
+		if base+sz > n {
+			sz = n - base
+		}
+		c := &Chunk{Elems: make([]Node, sz)}
+		for j := range c.Elems {
+			c.Elems[j].Key = base + j
+			if f != nil {
+				c.Elems[j].Val, c.Elems[j].Work = f(base + j)
+			}
+		}
+		if tail == nil {
+			head = c
+		} else {
+			tail.Next = c
+		}
+		tail = c
+	}
+	return Chunked{Head: head}
+}
+
+// Len returns the total element count by summing chunk headers — a walk
+// over chunks, not elements, which is the source of Harrison's speedup.
+func (c Chunked) Len() int {
+	n := 0
+	for ch := c.Head; ch != nil; ch = ch.Next {
+		n += len(ch.Elems)
+	}
+	return n
+}
+
+// Chunks returns the number of chunks.
+func (c Chunked) Chunks() int {
+	n := 0
+	for ch := c.Head; ch != nil; ch = ch.Next {
+		n++
+	}
+	return n
+}
+
+// Offsets returns, for each chunk, the global index of its first element
+// — the sequential prefix computation over chunk headers that assigns
+// chunk portions of the recurrence to processors.
+func (c Chunked) Offsets() []int {
+	var offs []int
+	n := 0
+	for ch := c.Head; ch != nil; ch = ch.Next {
+		offs = append(offs, n)
+		n += len(ch.Elems)
+	}
+	return offs
+}

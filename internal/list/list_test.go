@@ -1,0 +1,84 @@
+package list
+
+import "testing"
+
+func TestBuildAndTraverse(t *testing.T) {
+	h := Build(5, func(i int) (float64, float64) { return float64(i * 10), float64(i) })
+	if Len(h) != 5 {
+		t.Fatalf("Len = %d", Len(h))
+	}
+	nodes := Collect(h)
+	for i, n := range nodes {
+		if n.Key != i || n.Val != float64(i*10) || n.Work != float64(i) {
+			t.Fatalf("node %d = %+v", i, *n)
+		}
+	}
+	if vals := Values(h); len(vals) != 5 || vals[3] != 30 {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if Build(0, nil) != nil || Build(-1, nil) != nil {
+		t.Fatal("empty build should be nil")
+	}
+	if Len(nil) != 0 || Collect(nil) != nil {
+		t.Fatal("nil list should have length 0")
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	h := FromValues([]float64{1, 2, 3})
+	if Len(h) != 3 || h.Next.Val != 2 || h.Work != 1 {
+		t.Fatal("FromValues broken")
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	h := Build(10, nil)
+	if Advance(h, 0) != h {
+		t.Fatal("Advance 0 should be identity")
+	}
+	if n := Advance(h, 4); n == nil || n.Key != 4 {
+		t.Fatalf("Advance 4 = %+v", n)
+	}
+	if Advance(h, 10) != nil {
+		t.Fatal("Advance past end should be nil")
+	}
+	if Advance(nil, 3) != nil {
+		t.Fatal("Advance from nil should be nil")
+	}
+}
+
+func TestChunked(t *testing.T) {
+	c := BuildChunked(10, 3, func(i int) (float64, float64) { return float64(i), 1 })
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Chunks() != 4 { // 3+3+3+1
+		t.Fatalf("Chunks = %d", c.Chunks())
+	}
+	offs := c.Offsets()
+	want := []int{0, 3, 6, 9}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("Offsets = %v", offs)
+		}
+	}
+	// Keys are globally numbered.
+	second := c.Head.Next
+	if second.Elems[0].Key != 3 || second.Elems[0].Val != 3 {
+		t.Fatalf("chunk element mislabeled: %+v", second.Elems[0])
+	}
+}
+
+func TestChunkedDegenerate(t *testing.T) {
+	c := BuildChunked(4, 0, nil) // chunkSize coerced to 1
+	if c.Chunks() != 4 || c.Len() != 4 {
+		t.Fatalf("chunks=%d len=%d", c.Chunks(), c.Len())
+	}
+	e := BuildChunked(0, 8, nil)
+	if e.Head != nil || e.Len() != 0 {
+		t.Fatal("empty chunked list should have nil head")
+	}
+}

@@ -1,0 +1,78 @@
+package loopir
+
+// IntInduction is the induction dispatcher d(i) = C*i + B of Section 3.1.
+// It has a closed form, so every processor can evaluate any term
+// independently (Figure 2's Induction-1/2 methods rely on this).
+type IntInduction struct {
+	C, B int
+}
+
+// Start returns d(0) = B.
+func (d IntInduction) Start() int { return d.B }
+
+// Next returns the successor term.
+func (d IntInduction) Next(x int) int { return x + d.C }
+
+// At evaluates the closed form d(i) = C*i + B.
+func (d IntInduction) At(i int) int { return d.C*i + d.B }
+
+// Monotonic reports whether the induction is monotonic (C != 0).
+func (d IntInduction) Monotonic() bool { return d.C != 0 }
+
+var _ Dispatcher[int] = IntInduction{}
+var _ ClosedForm[int] = IntInduction{}
+
+// Affine is the associative recurrence dispatcher
+//
+//	x(i) = A*x(i-1) + B,  x(0) = X0
+//
+// of Section 3.2.  Its terms are not independently computable term by
+// term at O(1) each without the recurrence — but composition of affine
+// maps is associative, so the whole prefix x(0..n-1) is computable by a
+// parallel prefix computation in O(n/p + log p) (internal/prefix).
+type Affine struct {
+	A, B float64
+	X0   float64
+}
+
+// Start returns x(0).
+func (d Affine) Start() float64 { return d.X0 }
+
+// Next applies one recurrence step.
+func (d Affine) Next(x float64) float64 { return d.A*x + d.B }
+
+var _ Dispatcher[float64] = Affine{}
+
+// AffineMap is one composable step of an Affine recurrence: y = A*x + B.
+// The prefix package scans over these; Compose is the associative
+// operator.
+type AffineMap struct {
+	A, B float64
+}
+
+// Apply evaluates the map at x.
+func (m AffineMap) Apply(x float64) float64 { return m.A*x + m.B }
+
+// Compose returns the map equivalent to applying m first, then n —
+// i.e. (n ∘ m)(x) = n(m(x)).  Composition of affine maps is associative,
+// which is what makes the dispatcher a Table 1 "YES-PP" case.
+func Compose(m, n AffineMap) AffineMap {
+	return AffineMap{A: n.A * m.A, B: n.A*m.B + n.B}
+}
+
+// IdentityMap is the neutral element of Compose.
+var IdentityMap = AffineMap{A: 1, B: 0}
+
+// Func adapts a pair of closures to the Dispatcher interface, for
+// general recurrences that are not linked lists (e.g. x = a*x + b with a
+// data-dependent coefficient, or any opaque next function).
+type Func[D any] struct {
+	StartFn func() D
+	NextFn  func(D) D
+}
+
+// Start calls StartFn.
+func (f Func[D]) Start() D { return f.StartFn() }
+
+// Next calls NextFn.
+func (f Func[D]) Next(d D) D { return f.NextFn(d) }

@@ -1,0 +1,156 @@
+package loopir
+
+import (
+	"whilepar/internal/mem"
+)
+
+// Dispatcher produces the sequence of values that controls the WHILE
+// loop: d(0), d(1), ... .  Start returns d(0); Next(d(i)) returns d(i+1).
+// D is the dispatcher value type — int for inductions, a list node for a
+// pointer chase, a float64 for a numeric recurrence.
+type Dispatcher[D any] interface {
+	Start() D
+	Next(D) D
+}
+
+// ClosedForm is the capability of evaluating the i-th dispatcher term
+// directly, without the i-1 preceding terms.  Inductions implement it;
+// it is what makes the Induction-1/2 methods (Fig. 2) fully parallel.
+type ClosedForm[D any] interface {
+	At(i int) D
+}
+
+// Body is the remainder of the WHILE loop for one iteration: it receives
+// the iteration context and the dispatcher value for this iteration, and
+// returns true if the iteration completed (is valid), or false if it hit
+// a remainder-variant termination condition.
+//
+// Convention: a body that returns false must do so *before* performing
+// any stores — the common `if cond then exit` shape — so that an
+// exit-signalling iteration is entirely invalid.  The sequential
+// reference executor and the parallel methods both adopt this
+// convention; the undo machinery (internal/tsmem) restores every store
+// of every iteration at or beyond the first exit-signalling one.
+type Body[D any] func(it *Iter, d D) bool
+
+// Iter is the per-iteration execution context handed to a Body.  All
+// accesses to managed shared memory go through it so the run-time system
+// (time-stamping, PD-test shadow marking) can interpose.
+type Iter struct {
+	// Index is the zero-based iteration number.
+	Index int
+	// VPN is the virtual processor number executing this iteration.
+	VPN int
+	// Tracker interposes on managed-memory accesses; nil means direct.
+	Tracker mem.Tracker
+	// Work accumulates abstract work units charged by the body via
+	// Charge; the simulated-multiprocessor backend uses it to cost the
+	// iteration.
+	Work float64
+}
+
+// Load reads element idx of managed array a through the tracker.
+func (it *Iter) Load(a *mem.Array, idx int) float64 {
+	if it.Tracker == nil {
+		return a.Data[idx]
+	}
+	return it.Tracker.Load(a, idx, it.Index, it.VPN)
+}
+
+// Store writes v to element idx of managed array a through the tracker.
+func (it *Iter) Store(a *mem.Array, idx int, v float64) {
+	if it.Tracker == nil {
+		a.Data[idx] = v
+		return
+	}
+	it.Tracker.Store(a, idx, v, it.Index, it.VPN)
+}
+
+// Charge adds abstract work units to the iteration's cost.  Workloads
+// call it to tell the simulated multiprocessor how expensive the
+// iteration's computation is; it has no effect on real execution.
+func (it *Iter) Charge(units float64) { it.Work += units }
+
+// Loop is the runtime representation of a WHILE loop in the paper's
+// general form.
+//
+//	d := Disp.Start()
+//	for Cond(d) {
+//	    if !Body(it, d) { break }   // RV exit
+//	    d = Disp.Next(d)
+//	}
+//
+// Cond is the remainder-invariant part of the terminator (it may inspect
+// only d and loop-invariant state); a Body returning false is the
+// remainder-variant part.  Either may be absent (Cond nil means "true";
+// a body that never returns false has a pure-RI loop).
+type Loop[D any] struct {
+	// Class is the loop's taxonomy cell, as a compiler's analysis would
+	// have annotated it.
+	Class Class
+	// Disp is the dispatching recurrence.
+	Disp Dispatcher[D]
+	// Cond is the RI termination condition: the loop continues while
+	// Cond(d) holds.  nil means no RI condition.
+	Cond func(D) bool
+	// Body is the remainder.
+	Body Body[D]
+	// Max is an upper bound on the number of iterations (the `u` of the
+	// DOALLs in Figs. 2 and 4).  It may come from the body (e.g. an
+	// array extent) or from strip-mining.  Max <= 0 means unknown.
+	Max int
+}
+
+// SeqResult is what a sequential execution of the loop produced.
+type SeqResult struct {
+	// Iterations is the number of *valid* iterations executed (the body
+	// ran and returned true).
+	Iterations int
+	// ExitRV reports whether the loop ended on a remainder-variant exit
+	// (body returned false) rather than on the RI condition or Max.
+	ExitRV bool
+	// Work is the total abstract work charged by valid iterations.
+	Work float64
+	// DispatcherWork counts dispatcher advancements performed
+	// (sequential-chain length), used by the cost model.
+	DispatcherWork int
+}
+
+// RunSequential executes the loop exactly as the original sequential
+// WHILE loop would, with direct (untracked) memory access.  It is the
+// semantic oracle every parallel method is validated against.
+func RunSequential[D any](l *Loop[D]) SeqResult {
+	return RunSequentialTracked(l, nil)
+}
+
+// RunSequentialTracked is RunSequential with an explicit memory tracker,
+// used when the sequential re-execution after a failed PD test must
+// still observe accesses (e.g. to collect statistics).
+func RunSequentialTracked[D any](l *Loop[D], t mem.Tracker) SeqResult {
+	var res SeqResult
+	d := l.Disp.Start()
+	for i := 0; l.Max <= 0 || i < l.Max; i++ {
+		if l.Cond != nil && !l.Cond(d) {
+			return res
+		}
+		it := Iter{Index: i, VPN: 0, Tracker: t}
+		if !l.Body(&it, d) {
+			res.ExitRV = true
+			return res
+		}
+		res.Iterations++
+		res.Work += it.Work
+		d = l.Disp.Next(d)
+		res.DispatcherWork++
+	}
+	return res
+}
+
+// LastValid computes, sequentially and with no side effects beyond the
+// body's own stores, the index of the first iteration that fails (RI or
+// RV); equivalently the number of valid iterations.  It is used by the
+// run-twice scheme of Section 4 and by tests.
+func LastValid[D any](l *Loop[D]) int {
+	r := RunSequential(l)
+	return r.Iterations
+}

@@ -1,0 +1,209 @@
+// Package loopir defines the runtime intermediate representation of a
+// WHILE loop and the taxonomy of Section 2 / Table 1 of the paper.
+//
+// A WHILE loop, in the paper's general form, consists of
+//
+//   - one or more recurrences detectable at compile time, the dominating
+//     one being the *dispatcher*;
+//   - a *remainder* (the rest of the body), whose dependence structure is
+//     either statically known or unknown;
+//   - one or more *termination conditions* (the terminator), classified
+//     as remainder invariant (RI: depends only on the dispatcher and
+//     loop-invariant values) or remainder variant (RV: depends on values
+//     computed by the remainder).
+//
+// The taxonomy determines two things for each (dispatcher, terminator)
+// pair: whether a parallel execution can *overshoot* (execute iterations
+// the sequential loop would not have), and whether the dispatcher itself
+// can be evaluated in parallel (fully, via a parallel prefix computation,
+// or not at all).
+package loopir
+
+import "fmt"
+
+// DispatcherKind classifies the dominating recurrence of a WHILE loop,
+// matching the columns of Table 1.
+type DispatcherKind int
+
+const (
+	// MonotonicInduction is an induction d(i) = c*i + b (or any closed
+	// form) that is monotonic in i.  Each term is independently
+	// computable; all iterations can start simultaneously.
+	MonotonicInduction DispatcherKind = iota
+
+	// NonMonotonicInduction has a closed form but is not monotonic
+	// (e.g. a wrapping counter), so a threshold terminator cannot be
+	// localized and overshoot is always possible.
+	NonMonotonicInduction
+
+	// AssociativeRecurrence is a recurrence such as x(i) = a*x(i-k) + b
+	// whose terms can be evaluated with a parallel prefix computation in
+	// O(n/p + log p) time.
+	AssociativeRecurrence
+
+	// GeneralRecurrence must be evaluated sequentially, term by term;
+	// the canonical example is a pointer traversing a linked list.
+	GeneralRecurrence
+)
+
+// String returns the Table 1 column header for the kind.
+func (k DispatcherKind) String() string {
+	switch k {
+	case MonotonicInduction:
+		return "monotonic induction"
+	case NonMonotonicInduction:
+		return "non-monotonic induction"
+	case AssociativeRecurrence:
+		return "associative recurrence"
+	case GeneralRecurrence:
+		return "general recurrence"
+	}
+	return fmt.Sprintf("DispatcherKind(%d)", int(k))
+}
+
+// TerminatorKind classifies the loop's termination condition(s), matching
+// the rows of Table 1.
+type TerminatorKind int
+
+const (
+	// RI (remainder invariant): the terminator depends only on the
+	// dispatcher and values computed outside the loop.
+	RI TerminatorKind = iota
+	// RV (remainder variant): the terminator depends on a value computed
+	// by the remainder, so iteration i cannot decide whether some
+	// iteration i' < i already satisfied it.
+	RV
+)
+
+// String returns "RI" or "RV".
+func (k TerminatorKind) String() string {
+	if k == RI {
+		return "RI"
+	}
+	return "RV"
+}
+
+// Parallelism describes how the dispatcher's terms can be evaluated.
+type Parallelism int
+
+const (
+	// Sequential: the terms form a flow-dependence chain and must be
+	// evaluated one by one.
+	Sequential Parallelism = iota
+	// ParallelPrefix: terms computable by a parallel prefix computation
+	// (Table 1's "YES-PP").
+	ParallelPrefix
+	// FullyParallel: every term computable independently from a closed
+	// form; all iterations may start simultaneously.
+	FullyParallel
+)
+
+// String returns the Table 1 cell notation.
+func (p Parallelism) String() string {
+	switch p {
+	case Sequential:
+		return "NO"
+	case ParallelPrefix:
+		return "YES-PP"
+	case FullyParallel:
+		return "YES"
+	}
+	return fmt.Sprintf("Parallelism(%d)", int(p))
+}
+
+// Class is a cell of Table 1: one (dispatcher, terminator) combination,
+// possibly refined by the monotonic-threshold exception.
+type Class struct {
+	Dispatcher DispatcherKind
+	Terminator TerminatorKind
+
+	// ThresholdOnMonotonic marks the exception discussed in Section 2:
+	// the dispatcher is a monotonic function and the terminator is a
+	// threshold on it (e.g. d(i)=i^2, tc(i) = d(i) < V), in which case
+	// no overshoot occurs even though the dispatcher is an induction.
+	// Only meaningful for MonotonicInduction with an RI terminator.
+	ThresholdOnMonotonic bool
+}
+
+// DispatcherParallelism returns how the dispatcher's terms can be
+// evaluated, per Table 1.
+func (c Class) DispatcherParallelism() Parallelism {
+	switch c.Dispatcher {
+	case MonotonicInduction, NonMonotonicInduction:
+		return FullyParallel
+	case AssociativeRecurrence:
+		return ParallelPrefix
+	default:
+		return Sequential
+	}
+}
+
+// CanOvershoot reports whether a parallel execution of the loop may
+// execute iterations beyond the last valid one, per Table 1.
+//
+// With an RV terminator overshoot is always possible: iteration i cannot
+// know that the remainder of some iteration i' < i satisfied the exit.
+// With an RI terminator, overshoot is possible only when iterations are
+// dispatched eagerly from a closed form without being able to localize
+// the exit — i.e. for inductions — except in the monotonic-threshold
+// case.  A general recurrence with an RI terminator (the linked-list
+// walk ending at nil) never overshoots because the dispatcher values are
+// produced in order and the exit is checked as each is produced; the
+// same holds for an associative recurrence, whose terms are produced by
+// the (distributed) recurrence loop that also evaluates the exit.
+func (c Class) CanOvershoot() bool {
+	if c.Terminator == RV {
+		return true
+	}
+	switch c.Dispatcher {
+	case MonotonicInduction:
+		return !c.ThresholdOnMonotonic
+	case NonMonotonicInduction:
+		return true
+	case AssociativeRecurrence, GeneralRecurrence:
+		return false
+	}
+	return true
+}
+
+// String renders the class like "general recurrence / RI".
+func (c Class) String() string {
+	return fmt.Sprintf("%v / %v", c.Dispatcher, c.Terminator)
+}
+
+// TaxonomyRow is one cell of Table 1 rendered with its derived
+// properties; TaxonomyTable regenerates the whole table.
+type TaxonomyRow struct {
+	Class       Class
+	Overshoot   bool
+	Parallelism Parallelism
+}
+
+// TaxonomyTable reproduces Table 1 of the paper: for every
+// (terminator, dispatcher) pair, whether overshoot can occur and whether
+// the dispatcher is parallelizable.  Rows are ordered RI then RV, columns
+// in DispatcherKind order, matching the paper's layout.
+func TaxonomyTable() []TaxonomyRow {
+	var rows []TaxonomyRow
+	for _, t := range []TerminatorKind{RI, RV} {
+		for _, d := range []DispatcherKind{
+			MonotonicInduction, NonMonotonicInduction,
+			AssociativeRecurrence, GeneralRecurrence,
+		} {
+			c := Class{Dispatcher: d, Terminator: t}
+			// Table 1's "Monotonic Induction / RI" row entry is the
+			// threshold case (Overshoot NO): a monotonic induction whose
+			// RI exit is not a threshold behaves like the non-monotonic
+			// column.
+			if d == MonotonicInduction && t == RI {
+				c.ThresholdOnMonotonic = true
+			}
+			rows = append(rows, TaxonomyRow{
+				Class:       c,
+				Overshoot:   c.CanOvershoot(),
+				Parallelism: c.DispatcherParallelism(),
+			})
+		}
+	}
+	return rows
+}

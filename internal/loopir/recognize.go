@@ -1,0 +1,72 @@
+package loopir
+
+import "math"
+
+// RecognizeAffine attempts run-time recognition of an opaque numeric
+// recurrence as an affine map x' = A*x + B — the kind of dynamic
+// classification Section 7 gestures at when static analysis fails
+// ("the compiler should use both static analysis and run-time
+// statistics").  It samples a handful of terms from next, solves for
+// (A, B) from the first two steps, and verifies the hypothesis on the
+// remaining samples.  On success the dispatcher can be promoted from
+// "general recurrence" (sequential) to "associative recurrence"
+// (parallel prefix) in the Table 1 taxonomy.
+//
+// Recognition is conservative: any mismatch, non-finite value, or a
+// degenerate sample set (constant or numerically indistinguishable
+// steps) returns ok=false and the loop stays on the sequential path.
+func RecognizeAffine(next func(float64) float64, x0 float64) (Affine, bool) {
+	const samples = 6
+	xs := make([]float64, samples)
+	xs[0] = x0
+	for i := 1; i < samples; i++ {
+		xs[i] = next(xs[i-1])
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+			return Affine{}, false
+		}
+	}
+	// Two steps give two equations:
+	//   x1 = A*x0 + B
+	//   x2 = A*x1 + B  =>  A = (x2-x1)/(x1-x0), B = x1 - A*x0.
+	den := xs[1] - xs[0]
+	var a, b float64
+	if den == 0 {
+		// A constant sequence is affine with A=0 only if B = x1 = x0...
+		// any (A, B) with A*x0+B = x0 fits; choose the fixed point.
+		a, b = 0, xs[1]
+	} else {
+		a = (xs[2] - xs[1]) / den
+		b = xs[1] - a*xs[0]
+	}
+	if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+		return Affine{}, false
+	}
+	// Verify on every sampled step with a relative tolerance.
+	for i := 1; i < samples; i++ {
+		want := a*xs[i-1] + b
+		tol := 1e-9 * (1 + math.Abs(want))
+		if math.Abs(xs[i]-want) > tol {
+			return Affine{}, false
+		}
+	}
+	return Affine{A: a, B: b, X0: x0}, true
+}
+
+// RecognizeInduction attempts run-time recognition of an opaque integer
+// recurrence as the induction d' = d + C.  Same sampling discipline as
+// RecognizeAffine; on success the dispatcher is fully parallel.
+func RecognizeInduction(next func(int) int, d0 int) (IntInduction, bool) {
+	const samples = 6
+	ds := make([]int, samples)
+	ds[0] = d0
+	for i := 1; i < samples; i++ {
+		ds[i] = next(ds[i-1])
+	}
+	c := ds[1] - ds[0]
+	for i := 1; i < samples; i++ {
+		if ds[i]-ds[i-1] != c {
+			return IntInduction{}, false
+		}
+	}
+	return IntInduction{C: c, B: d0}, true
+}

@@ -1,0 +1,84 @@
+package loopir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecognizeAffine(t *testing.T) {
+	d := Affine{A: 1.5, B: -2, X0: 10}
+	got, ok := RecognizeAffine(d.Next, d.X0)
+	if !ok {
+		t.Fatal("affine recurrence not recognized")
+	}
+	if math.Abs(got.A-1.5) > 1e-12 || math.Abs(got.B+2) > 1e-12 || got.X0 != 10 {
+		t.Fatalf("recognized %+v", got)
+	}
+}
+
+func TestRecognizeAffineRejectsNonAffine(t *testing.T) {
+	cases := map[string]func(float64) float64{
+		"quadratic": func(x float64) float64 { return x*x + 1 },
+		"sqrt":      func(x float64) float64 { return math.Sqrt(x + 2) },
+		"nan":       func(x float64) float64 { return math.NaN() },
+		"inf":       func(x float64) float64 { return x * 1e308 * 10 },
+	}
+	for name, next := range cases {
+		if _, ok := RecognizeAffine(next, 3); ok {
+			t.Errorf("%s recurrence wrongly recognized as affine", name)
+		}
+	}
+}
+
+func TestRecognizeAffineConstantSequence(t *testing.T) {
+	got, ok := RecognizeAffine(func(x float64) float64 { return 7 }, 7)
+	if !ok {
+		t.Fatal("fixed point not recognized")
+	}
+	if v := got.A*7 + got.B; v != 7 {
+		t.Fatalf("fixed point broken: %+v", got)
+	}
+}
+
+func TestRecognizeAffineProperty(t *testing.T) {
+	// Every genuine affine map must be recognized with matching terms.
+	f := func(aRaw, bRaw, x0Raw int16) bool {
+		a := float64(aRaw%7) / 2
+		b := float64(bRaw % 50)
+		x0 := float64(x0Raw % 100)
+		d := Affine{A: a, B: b, X0: x0}
+		got, ok := RecognizeAffine(d.Next, x0)
+		if !ok {
+			return false
+		}
+		// Compare on the first 10 terms rather than coefficients (a
+		// constant sequence has many valid parameterizations).
+		xw, xg := d.Start(), got.Start()
+		for i := 0; i < 10; i++ {
+			if math.Abs(xw-xg) > 1e-6*(1+math.Abs(xw)) {
+				return false
+			}
+			xw, xg = d.Next(xw), got.Next(xg)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecognizeInduction(t *testing.T) {
+	got, ok := RecognizeInduction(func(d int) int { return d + 4 }, 3)
+	if !ok || got.C != 4 || got.B != 3 {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+	if _, ok := RecognizeInduction(func(d int) int { return d * 2 }, 3); ok {
+		t.Fatal("geometric recurrence wrongly recognized as induction")
+	}
+	// Constant (C=0).
+	got, ok = RecognizeInduction(func(d int) int { return d }, 9)
+	if !ok || got.C != 0 {
+		t.Fatalf("constant induction: %+v ok=%v", got, ok)
+	}
+}

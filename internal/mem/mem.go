@@ -1,0 +1,112 @@
+// Package mem provides the managed shared-memory substrate through which
+// speculatively executed loop bodies perform their data accesses.
+//
+// The paper's run-time techniques (time-stamping for undo, the PD test's
+// shadow-array marking, privatization) all interpose on the loads and
+// stores the remainder loop performs.  In a compiler setting that
+// interposition is code generated around each unanalyzable reference; in
+// this runtime library it is a Tracker implementation bound into the
+// iteration context.  A nil Tracker means direct, untracked access, which
+// is what a loop with compile-time-provable independence would use.
+package mem
+
+import "fmt"
+
+// Array is a managed shared array of float64.  All cross-iteration state a
+// transformed WHILE loop mutates lives in Arrays so the run-time system can
+// checkpoint, time-stamp, shadow and restore it.
+type Array struct {
+	Name string
+	Data []float64
+}
+
+// NewArray returns a managed array of n elements, all zero.
+func NewArray(name string, n int) *Array {
+	return &Array{Name: name, Data: make([]float64, n)}
+}
+
+// FromSlice wraps an existing slice (not copied) as a managed array.
+func FromSlice(name string, data []float64) *Array {
+	return &Array{Name: name, Data: data}
+}
+
+// Len returns the number of elements.
+func (a *Array) Len() int { return len(a.Data) }
+
+// Clone returns a deep copy of the array, used for checkpointing and for
+// comparing parallel against sequential executions.
+func (a *Array) Clone() *Array {
+	d := make([]float64, len(a.Data))
+	copy(d, a.Data)
+	return &Array{Name: a.Name, Data: d}
+}
+
+// Equal reports whether two arrays hold identical contents.
+func (a *Array) Equal(b *Array) bool {
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Array) String() string {
+	return fmt.Sprintf("Array(%s)[%d]", a.Name, len(a.Data))
+}
+
+// Tracker interposes on every load and store a loop body performs against
+// managed arrays.  Implementations must be safe for concurrent use by
+// iterations running on different virtual processors.
+//
+// iter is the (zero-based) iteration performing the access and vpn the
+// virtual processor executing it.  Trackers compose: see Chain.
+type Tracker interface {
+	Load(a *Array, idx, iter, vpn int) float64
+	Store(a *Array, idx int, v float64, iter, vpn int)
+}
+
+// Direct performs raw, untracked accesses.  It is the Tracker a fully
+// analyzed (compile-time provably parallel) loop would use.
+type Direct struct{}
+
+// Load returns a.Data[idx].
+func (Direct) Load(a *Array, idx, _, _ int) float64 { return a.Data[idx] }
+
+// Store assigns a.Data[idx] = v.
+func (Direct) Store(a *Array, idx int, v float64, _, _ int) { a.Data[idx] = v }
+
+// Chain composes several trackers over the same underlying memory: all
+// observers see each access, the final element performs it.  Observers
+// (every tracker except the last) receive the access via Observe; the last
+// tracker's Load/Store result is authoritative.  This is how the PD test's
+// shadow marking stacks on top of time-stamped memory.
+type Chain struct {
+	Observers []Observer
+	Sink      Tracker
+}
+
+// Observer sees accesses without owning the memory semantics.
+type Observer interface {
+	ObserveLoad(a *Array, idx, iter, vpn int)
+	ObserveStore(a *Array, idx, iter, vpn int)
+}
+
+// Load notifies all observers, then performs the load through the sink.
+func (c Chain) Load(a *Array, idx, iter, vpn int) float64 {
+	for _, o := range c.Observers {
+		o.ObserveLoad(a, idx, iter, vpn)
+	}
+	return c.Sink.Load(a, idx, iter, vpn)
+}
+
+// Store notifies all observers, then performs the store through the sink.
+func (c Chain) Store(a *Array, idx int, v float64, iter, vpn int) {
+	for _, o := range c.Observers {
+		o.ObserveStore(a, idx, iter, vpn)
+	}
+	c.Sink.Store(a, idx, v, iter, vpn)
+}

@@ -1,0 +1,60 @@
+package mem
+
+import "testing"
+
+func TestArrayBasics(t *testing.T) {
+	a := NewArray("A", 8)
+	if a.Len() != 8 || a.Name != "A" {
+		t.Fatalf("unexpected array: %v len=%d", a, a.Len())
+	}
+	a.Data[3] = 42
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone should equal original")
+	}
+	b.Data[3] = 0
+	if a.Equal(b) {
+		t.Fatal("mutated clone should differ")
+	}
+	if a.Equal(NewArray("A", 4)) {
+		t.Fatal("different lengths should not be equal")
+	}
+	s := FromSlice("S", []float64{1, 2})
+	if s.Len() != 2 || s.Data[1] != 2 {
+		t.Fatal("FromSlice broken")
+	}
+	if got := a.String(); got != "Array(A)[8]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestDirectTracker(t *testing.T) {
+	a := NewArray("A", 4)
+	var d Direct
+	d.Store(a, 2, 9, 0, 0)
+	if got := d.Load(a, 2, 1, 1); got != 9 {
+		t.Fatalf("Load = %v, want 9", got)
+	}
+}
+
+// recorder counts observed accesses.
+type recorder struct{ loads, stores int }
+
+func (r *recorder) ObserveLoad(*Array, int, int, int)  { r.loads++ }
+func (r *recorder) ObserveStore(*Array, int, int, int) { r.stores++ }
+
+func TestChainNotifiesObserversAndSinks(t *testing.T) {
+	a := NewArray("A", 4)
+	r1, r2 := &recorder{}, &recorder{}
+	c := Chain{Observers: []Observer{r1, r2}, Sink: Direct{}}
+	c.Store(a, 1, 5, 3, 0)
+	if got := c.Load(a, 1, 4, 1); got != 5 {
+		t.Fatalf("chained load = %v, want 5", got)
+	}
+	if r1.loads != 1 || r1.stores != 1 || r2.loads != 1 || r2.stores != 1 {
+		t.Fatalf("observers missed accesses: %+v %+v", r1, r2)
+	}
+	if a.Data[1] != 5 {
+		t.Fatal("sink did not perform store")
+	}
+}

@@ -1,0 +1,81 @@
+package pdtest
+
+// Access is one element access in a loop's dynamic access trace, used by
+// the Oracle reference analyzer.
+type Access struct {
+	// Iter is the iteration performing the access.
+	Iter int
+	// Elem is the array element index accessed.
+	Elem int
+	// Write is true for a store, false for a load.
+	Write bool
+}
+
+// Oracle is the exact, trace-based dependence analyzer the PD test is
+// validated against.  accesses must list each iteration's accesses in
+// its program order (the relative order of different iterations is
+// irrelevant to the dependence definitions used here).  Marks from
+// iterations >= valid are ignored, mirroring Analyze.
+//
+// It is deliberately the "textbook" computation — O(trace length) with
+// full per-iteration write sets — so that any disagreement with the
+// shadow-array implementation indicts the latter.
+func Oracle(accesses []Access, valid int) Result {
+	type key struct{ iter, elem int }
+	writtenInIter := make(map[key]bool)
+
+	// writers[e] = set of valid iterations writing e;
+	// exposed[e] = set of valid iterations exposed-reading e.
+	writers := make(map[int]map[int]bool)
+	exposed := make(map[int]map[int]bool)
+	count := 0
+
+	for _, a := range accesses {
+		count++
+		if a.Iter >= valid {
+			// Still track same-iteration writes for exposedness of that
+			// iteration's own later reads, but record nothing.
+			if a.Write {
+				writtenInIter[key{a.Iter, a.Elem}] = true
+			}
+			continue
+		}
+		if a.Write {
+			writtenInIter[key{a.Iter, a.Elem}] = true
+			if writers[a.Elem] == nil {
+				writers[a.Elem] = make(map[int]bool)
+			}
+			writers[a.Elem][a.Iter] = true
+		} else if !writtenInIter[key{a.Iter, a.Elem}] {
+			if exposed[a.Elem] == nil {
+				exposed[a.Elem] = make(map[int]bool)
+			}
+			exposed[a.Elem][a.Iter] = true
+		}
+	}
+
+	var res Result
+	res.Accesses = count
+	res.PrivatizableStrict = true
+	for _, rs := range exposed {
+		if len(rs) > 0 {
+			res.PrivatizableStrict = false
+			break
+		}
+	}
+	for e, ws := range writers {
+		if len(ws) >= 2 {
+			res.OutputDep = true
+		}
+		for r := range exposed[e] {
+			for w := range ws {
+				if w != r {
+					res.FlowAntiDep = true
+				}
+			}
+		}
+	}
+	res.DOALL = !res.OutputDep && !res.FlowAntiDep
+	res.DOALLWithPriv = !res.FlowAntiDep
+	return res
+}

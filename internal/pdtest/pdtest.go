@@ -1,0 +1,228 @@
+// Package pdtest implements the PRIVATIZING DOALL test (PD test) of
+// Section 5.1: a run-time technique that decides, after a speculative
+// parallel execution, whether the loop actually had cross-iteration data
+// dependences — and if so, whether privatization would have removed
+// them.
+//
+// For each shared array under test the loop's accesses are traversed
+// into shadow structures while the speculative DOALL runs; a fully
+// parallel post-execution analysis then checks for:
+//
+//   - cross-iteration flow/anti dependences: some element is written by
+//     one iteration and *exposed-read* (read before being written within
+//     its own iteration) by a different iteration;
+//   - output dependences: some element is written by two or more
+//     distinct iterations.
+//
+// A loop is a valid DOALL with respect to the array iff neither occurs.
+// Privatization (private per-processor copies, Section 5's Privatization
+// Criterion) removes output dependences but not cross-iteration flow,
+// so "valid if privatized" requires only the absence of flow/anti
+// dependences.
+//
+// WHILE-loop integration (Section 5.1): every shadow mark carries the
+// iteration that made it, and the analysis takes the last valid
+// iteration as a parameter — marks made by overshot iterations are
+// simply ignored, exactly as the paper prescribes ("those marks in the
+// shadow arrays with minimum time-stamps greater than the last valid
+// iteration will be ignored").
+//
+// Shadow structures are per virtual processor, so marking is
+// contention-free; iterations on one processor run sequentially, which
+// is what makes the exposed-read determination (did *this* iteration
+// already write the element?) exact.
+package pdtest
+
+import (
+	"math"
+	"sync/atomic"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+)
+
+const never = int64(math.MaxInt64)
+
+// shadow is one virtual processor's private marking state for one array.
+type shadow struct {
+	// lastWriter[e] is the most recent iteration *on this processor*
+	// that wrote e (-1 if none): the same-iteration write detector that
+	// decides whether a read is exposed.
+	lastWriter []int64
+	// w1 <= w2 are the two smallest distinct iterations on this
+	// processor that wrote e; r1 <= r2 likewise for exposed reads.
+	w1, w2, r1, r2 []int64
+}
+
+func newShadow(n int) *shadow {
+	s := &shadow{
+		lastWriter: make([]int64, n),
+		w1:         make([]int64, n),
+		w2:         make([]int64, n),
+		r1:         make([]int64, n),
+		r2:         make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.lastWriter[i] = -1
+		s.w1[i], s.w2[i] = never, never
+		s.r1[i], s.r2[i] = never, never
+	}
+	return s
+}
+
+// insert2 maintains the two smallest distinct values.
+func insert2(a, b *int64, v int64) {
+	switch {
+	case v == *a || v == *b:
+	case v < *a:
+		*b = *a
+		*a = v
+	case v < *b:
+		*b = v
+	}
+}
+
+// Test is a PD test instance for one shared array.
+type Test struct {
+	arr      *mem.Array
+	shadows  []*shadow
+	accesses atomic.Int64
+}
+
+// New creates a PD test for array a with marking state for procs virtual
+// processors.
+func New(a *mem.Array, procs int) *Test {
+	if procs < 1 {
+		procs = 1
+	}
+	t := &Test{arr: a, shadows: make([]*shadow, procs)}
+	for k := range t.shadows {
+		t.shadows[k] = newShadow(a.Len())
+	}
+	return t
+}
+
+// Array returns the array under test.
+func (t *Test) Array() *mem.Array { return t.arr }
+
+// Accesses returns the number of accesses marked so far (the `a` of the
+// cost model's overhead terms).
+func (t *Test) Accesses() int { return int(t.accesses.Load()) }
+
+// Observer returns the mem.Observer to be chained into the speculative
+// DOALL's tracker.  Accesses to other arrays are ignored.
+func (t *Test) Observer() mem.Observer { return observer{t} }
+
+type observer struct{ t *Test }
+
+func (o observer) ObserveLoad(a *mem.Array, idx, iter, vpn int) {
+	if a != o.t.arr {
+		return
+	}
+	o.t.accesses.Add(1)
+	s := o.t.shadows[vpn]
+	if s.lastWriter[idx] == int64(iter) {
+		return // read covered by this iteration's own earlier write
+	}
+	insert2(&s.r1[idx], &s.r2[idx], int64(iter))
+}
+
+func (o observer) ObserveStore(a *mem.Array, idx, iter, vpn int) {
+	if a != o.t.arr {
+		return
+	}
+	o.t.accesses.Add(1)
+	s := o.t.shadows[vpn]
+	if s.lastWriter[idx] != int64(iter) {
+		insert2(&s.w1[idx], &s.w2[idx], int64(iter))
+		s.lastWriter[idx] = int64(iter)
+	}
+}
+
+// Result is the verdict of the post-execution analysis.
+type Result struct {
+	// DOALL: the speculative parallel execution was valid as-is — no
+	// cross-iteration flow/anti or output dependences among iterations
+	// below the valid bound.
+	DOALL bool
+	// DOALLWithPriv: valid had the array been privatized (output
+	// dependences removed by private copies; still requires no
+	// cross-iteration flow/anti dependence).
+	DOALLWithPriv bool
+	// PrivatizableStrict: the paper's Privatization Criterion holds
+	// verbatim — every read was preceded by a same-iteration write, so
+	// no copy-in mechanism is needed.
+	PrivatizableStrict bool
+	// OutputDep: some element was written by two distinct valid
+	// iterations.
+	OutputDep bool
+	// FlowAntiDep: some element was written by one valid iteration and
+	// exposed-read by a different valid iteration.
+	FlowAntiDep bool
+	// Accesses marked during the run (for overhead accounting).
+	Accesses int
+}
+
+// Analyze runs the post-execution analysis, ignoring all marks made by
+// iterations with index >= valid (the time-stamped-marks rule for
+// overshooting WHILE loops).  The element scan is itself executed as a
+// DOALL over the shadow arrays — the analysis is fully parallel
+// regardless of the nature of the original loop.
+func (t *Test) Analyze(valid int) Result {
+	n := t.arr.Len()
+	v := int64(valid)
+	var outputDep, flowAnti, exposed atomic.Bool
+
+	sched.DOALL(n, sched.Options{Procs: len(t.shadows)}, func(e, _ int) sched.Control {
+		// Merge per-processor marks for element e: the two smallest
+		// distinct writer iterations and exposed-read iterations.
+		w1, w2, r1, r2 := never, never, never, never
+		for _, s := range t.shadows {
+			insert2(&w1, &w2, s.w1[e])
+			insert2(&w1, &w2, s.w2[e])
+			insert2(&r1, &r2, s.r1[e])
+			insert2(&r1, &r2, s.r2[e])
+		}
+		if r1 < v {
+			exposed.Store(true)
+		}
+		if w2 < v {
+			outputDep.Store(true)
+		}
+		if w1 < v && r1 < v {
+			// A flow/anti dependence needs a writer and an exposed
+			// reader in different valid iterations.  Only if the sole
+			// valid writer and sole valid exposed reader are the same
+			// iteration is the element clean.
+			clean := w1 == r1 && w2 >= v && r2 >= v
+			if !clean {
+				flowAnti.Store(true)
+			}
+		}
+		return sched.Continue
+	})
+
+	return Result{
+		DOALL:              !outputDep.Load() && !flowAnti.Load(),
+		DOALLWithPriv:      !flowAnti.Load(),
+		PrivatizableStrict: !exposed.Load(),
+		OutputDep:          outputDep.Load(),
+		FlowAntiDep:        flowAnti.Load(),
+		Accesses:           t.Accesses(),
+	}
+}
+
+// Reset clears all marks for reuse across strips (Section 5.1 suggests
+// strip-mining and running the PD test on each strip when the terminator
+// itself depends on a variable with unknown dependences).
+func (t *Test) Reset() {
+	n := t.arr.Len()
+	for _, s := range t.shadows {
+		for i := 0; i < n; i++ {
+			s.lastWriter[i] = -1
+			s.w1[i], s.w2[i] = never, never
+			s.r1[i], s.r2[i] = never, never
+		}
+	}
+	t.accesses.Store(0)
+}

@@ -1,0 +1,236 @@
+package pdtest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+)
+
+// replay drives a trace through a Test the way a speculative DOALL
+// would: iterations are assigned to processors round-robin, and each
+// processor's iterations are marked in increasing order (per-processor
+// sequentiality is what the marking relies on).
+func replay(t *Test, trace []Access, procs int) {
+	// Group accesses by iteration, preserving intra-iteration order.
+	byIter := make(map[int][]Access)
+	maxIter := -1
+	for _, a := range trace {
+		byIter[a.Iter] = append(byIter[a.Iter], a)
+		if a.Iter > maxIter {
+			maxIter = a.Iter
+		}
+	}
+	o := t.Observer()
+	for i := 0; i <= maxIter; i++ {
+		vpn := i % procs
+		for _, a := range byIter[i] {
+			if a.Write {
+				o.ObserveStore(t.arr, a.Elem, a.Iter, vpn)
+			} else {
+				o.ObserveLoad(t.arr, a.Elem, a.Iter, vpn)
+			}
+		}
+	}
+}
+
+func TestCleanLoopIsDOALL(t *testing.T) {
+	// Figure 5(a): A[i] = 2*A[i] — each iteration reads then writes its
+	// own element.  No cross-iteration dependence; the loop is a DOALL
+	// (the same-iteration read-then-write must NOT trip the test).
+	a := mem.NewArray("A", 32)
+	pd := New(a, 4)
+	var trace []Access
+	for i := 0; i < 32; i++ {
+		trace = append(trace, Access{Iter: i, Elem: i, Write: false}, Access{Iter: i, Elem: i, Write: true})
+	}
+	replay(pd, trace, 4)
+	res := pd.Analyze(32)
+	if !res.DOALL {
+		t.Fatalf("clean loop rejected: %+v", res)
+	}
+	if res.PrivatizableStrict {
+		t.Fatal("read-before-write is an exposed read; strict privatization must fail")
+	}
+	if res.Accesses != 64 {
+		t.Fatalf("accesses = %d, want 64", res.Accesses)
+	}
+}
+
+func TestFlowDependenceDetected(t *testing.T) {
+	// Figure 5(c): A[i] = A[i] + A[i-1] — iteration i exposed-reads
+	// element i-1 written by iteration i-1.
+	a := mem.NewArray("A", 16)
+	pd := New(a, 4)
+	var trace []Access
+	for i := 1; i < 16; i++ {
+		trace = append(trace,
+			Access{Iter: i, Elem: i, Write: false},
+			Access{Iter: i, Elem: i - 1, Write: false},
+			Access{Iter: i, Elem: i, Write: true})
+	}
+	replay(pd, trace, 4)
+	res := pd.Analyze(16)
+	if res.DOALL || !res.FlowAntiDep {
+		t.Fatalf("flow dependence missed: %+v", res)
+	}
+	if res.DOALLWithPriv {
+		t.Fatal("privatization cannot fix a cross-iteration flow dependence")
+	}
+}
+
+func TestOutputDepRemovedByPrivatization(t *testing.T) {
+	// Figure 5(b) shape: a temporary written (then read) by every
+	// iteration — output dependences only, removable by privatization.
+	a := mem.NewArray("tmp", 4)
+	pd := New(a, 4)
+	var trace []Access
+	for i := 0; i < 20; i++ {
+		trace = append(trace,
+			Access{Iter: i, Elem: 0, Write: true},
+			Access{Iter: i, Elem: 0, Write: false})
+	}
+	replay(pd, trace, 4)
+	res := pd.Analyze(20)
+	if res.DOALL {
+		t.Fatal("output dependence missed")
+	}
+	if !res.OutputDep || res.FlowAntiDep {
+		t.Fatalf("wrong dependence kinds: %+v", res)
+	}
+	if !res.DOALLWithPriv {
+		t.Fatal("privatization should validate the loop")
+	}
+	if !res.PrivatizableStrict {
+		t.Fatal("every read is write-first; strict criterion should hold")
+	}
+}
+
+func TestOvershotMarksIgnored(t *testing.T) {
+	// The dependence exists only between iterations 10 and 12; with
+	// valid = 11 (iterations 0..10), iteration 12's marks are ignored
+	// and the test passes.
+	a := mem.NewArray("A", 8)
+	pd := New(a, 2)
+	trace := []Access{
+		{Iter: 10, Elem: 3, Write: true},
+		{Iter: 12, Elem: 3, Write: false}, // exposed read of 10's write
+	}
+	replay(pd, trace, 2)
+	if res := pd.Analyze(13); res.DOALL {
+		t.Fatalf("full analysis should fail: %+v", res)
+	}
+	pd.Reset()
+	replay(pd, trace, 2)
+	if res := pd.Analyze(11); !res.DOALL {
+		t.Fatalf("marks from overshot iteration 12 not ignored: %+v", res)
+	}
+}
+
+func TestResetClearsMarks(t *testing.T) {
+	a := mem.NewArray("A", 4)
+	pd := New(a, 2)
+	replay(pd, []Access{{Iter: 0, Elem: 1, Write: true}, {Iter: 1, Elem: 1, Write: true}}, 2)
+	if res := pd.Analyze(2); !res.OutputDep {
+		t.Fatal("setup failed")
+	}
+	pd.Reset()
+	if pd.Accesses() != 0 {
+		t.Fatal("Reset should clear access count")
+	}
+	if res := pd.Analyze(2); res.OutputDep || !res.DOALL {
+		t.Fatalf("marks survived Reset: %+v", res)
+	}
+}
+
+func TestIgnoresOtherArrays(t *testing.T) {
+	a, b := mem.NewArray("A", 4), mem.NewArray("B", 4)
+	pd := New(a, 2)
+	o := pd.Observer()
+	o.ObserveStore(b, 0, 0, 0)
+	o.ObserveLoad(b, 0, 1, 0)
+	if pd.Accesses() != 0 {
+		t.Fatal("accesses to other arrays must not be marked")
+	}
+	if res := pd.Analyze(2); !res.DOALL {
+		t.Fatalf("unrelated accesses affected verdict: %+v", res)
+	}
+}
+
+func TestAnalyzeMatchesOracleOnRandomTraces(t *testing.T) {
+	// Property: on random access traces the shadow-array test agrees
+	// exactly with the trace-based Oracle, for every verdict field and
+	// every valid cutoff.
+	f := func(seed int64, procsRaw, validRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		iters := rng.Intn(20) + 2
+		elems := rng.Intn(6) + 1
+		procs := int(procsRaw)%4 + 1
+		valid := int(validRaw)%(iters+2) - 1
+		if valid < 0 {
+			valid = iters
+		}
+		var trace []Access
+		for i := 0; i < iters; i++ {
+			na := rng.Intn(5)
+			for j := 0; j < na; j++ {
+				trace = append(trace, Access{
+					Iter:  i,
+					Elem:  rng.Intn(elems),
+					Write: rng.Intn(2) == 0,
+				})
+			}
+		}
+		a := mem.NewArray("A", elems)
+		pd := New(a, procs)
+		replay(pd, trace, procs)
+		got := pd.Analyze(valid)
+		want := Oracle(trace, valid)
+		return got.DOALL == want.DOALL &&
+			got.DOALLWithPriv == want.DOALLWithPriv &&
+			got.PrivatizableStrict == want.PrivatizableStrict &&
+			got.OutputDep == want.OutputDep &&
+			got.FlowAntiDep == want.FlowAntiDep
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentMarkingUnderRealDOALL(t *testing.T) {
+	// Marking is per-processor; under a real concurrent DOALL (each
+	// iteration reads its element, writes its element) the verdict must
+	// still be DOALL-valid and deterministic.
+	n := 2000
+	a := mem.NewArray("A", n)
+	pd := New(a, 8)
+	tracker := mem.Chain{Observers: []mem.Observer{pd.Observer()}, Sink: mem.Direct{}}
+	sched.DOALL(n, sched.Options{Procs: 8}, func(i, vpn int) sched.Control {
+		v := tracker.Load(a, i, i, vpn)
+		tracker.Store(a, i, v+1, i, vpn)
+		return sched.Continue
+	})
+	res := pd.Analyze(n)
+	if !res.DOALL || res.Accesses != 2*n {
+		t.Fatalf("concurrent clean loop: %+v", res)
+	}
+}
+
+func TestNewCoercesProcs(t *testing.T) {
+	pd := New(mem.NewArray("A", 1), 0)
+	if len(pd.shadows) != 1 {
+		t.Fatal("procs < 1 should coerce to 1")
+	}
+	if pd.Array().Name != "A" {
+		t.Fatal("Array accessor broken")
+	}
+}
+
+func TestOracleEmptyTrace(t *testing.T) {
+	res := Oracle(nil, 10)
+	if !res.DOALL || !res.DOALLWithPriv || !res.PrivatizableStrict || res.Accesses != 0 {
+		t.Fatalf("empty trace verdict: %+v", res)
+	}
+}

@@ -1,0 +1,181 @@
+// Package prefix implements parallel prefix (scan) computations, the
+// technique of Section 3.2 for evaluating the terms of an associative
+// dispatching recurrence in O(n/p + log p) time.
+//
+// The classic use in the paper is the dispatcher x(i) = a*x(i-1) + b:
+// each step is an affine map, affine-map composition is associative, so
+// an inclusive scan over the per-step maps applied to x(0) yields every
+// term.  The scan here is the standard blocked two-pass algorithm:
+//
+//  1. split the input into p blocks; each worker scans its block locally;
+//  2. exclusive-scan the p block totals (a p-element sequential scan —
+//     the "log p" term on a machine with a combining tree);
+//  3. each worker folds its block's carry-in into its local results.
+//
+// The same Scan primitive also powers the time-stamp-ordered reductions
+// used by the MA28 pivot experiments.
+package prefix
+
+import (
+	"whilepar/internal/loopir"
+	"whilepar/internal/sched"
+	"whilepar/internal/simproc"
+)
+
+// Scan computes the inclusive prefix combination of xs under the
+// associative operator op, sequentially: out[i] = xs[0] op ... op xs[i].
+// It is the reference implementation the parallel version is checked
+// against.
+func Scan[T any](xs []T, op func(T, T) T) []T {
+	out := make([]T, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	out[0] = xs[0]
+	for i := 1; i < len(xs); i++ {
+		out[i] = op(out[i-1], xs[i])
+	}
+	return out
+}
+
+// ParallelScan computes the inclusive prefix combination of xs under op
+// using procs goroutines.  id must be the identity of op.  op must be
+// associative (commutativity is not required).  The result equals
+// Scan(xs, op) for any associative op.
+func ParallelScan[T any](xs []T, id T, op func(T, T) T, procs int) []T {
+	n := len(xs)
+	if procs < 1 {
+		procs = 1
+	}
+	if n == 0 {
+		return make([]T, 0)
+	}
+	if procs == 1 || n < 2*procs {
+		return Scan(xs, op)
+	}
+	out := make([]T, n)
+	blocks := procs
+	sz := (n + blocks - 1) / blocks
+	totals := make([]T, blocks)
+
+	// Pass 1: local inclusive scans.
+	sched.ForEachProc(blocks, func(b int) {
+		lo, hi := b*sz, (b+1)*sz
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			totals[b] = id
+			return
+		}
+		acc := xs[lo]
+		out[lo] = acc
+		for i := lo + 1; i < hi; i++ {
+			acc = op(acc, xs[i])
+			out[i] = acc
+		}
+		totals[b] = acc
+	})
+
+	// Pass 2: exclusive scan of block totals (p elements, sequential).
+	carry := make([]T, blocks)
+	acc := id
+	for b := 0; b < blocks; b++ {
+		carry[b] = acc
+		acc = op(acc, totals[b])
+	}
+
+	// Pass 3: fold carries into blocks (block 0 needs none).
+	sched.ForEachProc(blocks, func(b int) {
+		if b == 0 {
+			return
+		}
+		lo, hi := b*sz, (b+1)*sz
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = op(carry[b], out[i])
+		}
+	})
+	return out
+}
+
+// AffineTerms evaluates the first n terms x(0), ..., x(n-1) of the
+// associative dispatcher d (x(i) = A*x(i-1) + B, x(0) = X0) with a
+// parallel prefix computation over the step maps, as in Figure 3(c)'s
+// parallel-prefix(r, a, b, ...) call.
+func AffineTerms(d loopir.Affine, n, procs int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	terms := make([]float64, n)
+	terms[0] = d.X0
+	if n == 1 {
+		return terms
+	}
+	// maps[i] is the composition step producing x(i+1) from x(i); the
+	// scan yields the composite map from x(0) to each x(i+1).
+	maps := make([]loopir.AffineMap, n-1)
+	step := loopir.AffineMap{A: d.A, B: d.B}
+	for i := range maps {
+		maps[i] = step
+	}
+	scanned := ParallelScan(maps, loopir.IdentityMap, loopir.Compose, procs)
+	for i, m := range scanned {
+		terms[i+1] = m.Apply(d.X0)
+	}
+	return terms
+}
+
+// TermsUntil evaluates terms of d until cond fails, in strips of the
+// given length: each strip's terms are produced by AffineTerms and then
+// scanned for the first failing term.  It returns all valid terms (those
+// for which cond held) plus, in extra, the count of superfluous terms
+// computed past the failure — the waste Section 3.2 attributes to
+// strip-mining an RV/thresholded associative dispatcher.  maxTerms
+// bounds the total in case cond never fails.
+func TermsUntil(d loopir.Affine, cond func(float64) bool, strip, procs, maxTerms int) (terms []float64, extra int) {
+	if strip < 1 {
+		strip = 1
+	}
+	cur := d
+	for len(terms) < maxTerms {
+		n := strip
+		if len(terms)+n > maxTerms {
+			n = maxTerms - len(terms)
+		}
+		batch := AffineTerms(cur, n, procs)
+		for i, x := range batch {
+			if !cond(x) {
+				terms = append(terms, batch[:i]...)
+				extra = len(batch) - i
+				return terms, extra
+			}
+		}
+		terms = append(terms, batch...)
+		if n > 0 {
+			last := batch[n-1]
+			cur = loopir.Affine{A: d.A, B: d.B, X0: d.A*last + d.B}
+		}
+	}
+	return terms, 0
+}
+
+// SimScanTime charges a machine for a parallel prefix over n elements at
+// perOp cost per combine: each processor does ~2*(n/p) combines (local
+// scan + carry fold) plus a log2(p)-step tree for the block totals, per
+// the O(n/p + log p) bound of Section 3.2.  All clocks advance to the
+// completion time, which is returned.
+func SimScanTime(m *simproc.Machine, n int, perOp float64) float64 {
+	p := m.P()
+	local := 2 * perOp * float64((n+p-1)/p)
+	if p == 1 {
+		local = perOp * float64(n)
+	}
+	m.Barrier(0)
+	for k := 0; k < p; k++ {
+		m.Run(k, local)
+	}
+	return m.Reduce(0, 0, perOp) // log-tree combine of block totals
+}

@@ -1,0 +1,149 @@
+package prefix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"whilepar/internal/loopir"
+	"whilepar/internal/simproc"
+)
+
+func addOp(a, b float64) float64 { return a + b }
+
+func TestScanSequential(t *testing.T) {
+	got := Scan([]float64{1, 2, 3, 4}, addOp)
+	want := []float64{1, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan = %v", got)
+		}
+	}
+	if len(Scan(nil, addOp)) != 0 {
+		t.Fatal("empty scan should be empty")
+	}
+}
+
+func TestParallelScanMatchesSequentialSum(t *testing.T) {
+	f := func(raw []float64, procsRaw uint8) bool {
+		procs := int(procsRaw)%8 + 1
+		// Use integers-in-float to make equality exact.
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = math.Trunc(math.Mod(v, 100))
+			if math.IsNaN(xs[i]) {
+				xs[i] = 1
+			}
+		}
+		want := Scan(xs, addOp)
+		got := ParallelScan(xs, 0, addOp, procs)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelScanNonCommutativeOp(t *testing.T) {
+	// Affine-map composition is associative but NOT commutative: a
+	// block-order bug would be exposed immediately.
+	n := 1000
+	maps := make([]loopir.AffineMap, n)
+	for i := range maps {
+		maps[i] = loopir.AffineMap{A: 1 + float64(i%3)*0.001, B: float64(i % 5)}
+	}
+	want := Scan(maps, loopir.Compose)
+	for procs := 1; procs <= 9; procs++ {
+		got := ParallelScan(maps, loopir.IdentityMap, loopir.Compose, procs)
+		for i := range want {
+			if math.Abs(got[i].A-want[i].A) > 1e-9*math.Abs(want[i].A) ||
+				math.Abs(got[i].B-want[i].B) > 1e-6*(1+math.Abs(want[i].B)) {
+				t.Fatalf("procs=%d: element %d = %+v, want %+v", procs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParallelScanSmallInputs(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		got := ParallelScan(xs, 0, addOp, 4)
+		want := Scan(xs, addOp)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: got %v want %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestAffineTermsMatchDispatcherWalk(t *testing.T) {
+	d := loopir.Affine{A: 1.001, B: 0.5, X0: 1}
+	n := 5000
+	got := AffineTerms(d, n, 8)
+	x := d.Start()
+	for i := 0; i < n; i++ {
+		if math.Abs(got[i]-x) > 1e-6*(1+math.Abs(x)) {
+			t.Fatalf("term %d = %v, walk = %v", i, got[i], x)
+		}
+		x = d.Next(x)
+	}
+	if AffineTerms(d, 0, 4) != nil {
+		t.Fatal("zero terms should be nil")
+	}
+	one := AffineTerms(d, 1, 4)
+	if len(one) != 1 || one[0] != 1 {
+		t.Fatalf("one term = %v", one)
+	}
+}
+
+func TestTermsUntil(t *testing.T) {
+	// x doubles from 1; condition x < 1000 holds for x = 1..512 (10 terms).
+	d := loopir.Affine{A: 2, B: 0, X0: 1}
+	terms, extra := TermsUntil(d, func(x float64) bool { return x < 1000 }, 8, 4, 100)
+	if len(terms) != 10 {
+		t.Fatalf("got %d terms (%v), want 10", len(terms), terms)
+	}
+	if terms[9] != 512 {
+		t.Fatalf("last term = %v", terms[9])
+	}
+	if extra < 1 {
+		t.Fatalf("strip-mining should compute superfluous terms, extra = %d", extra)
+	}
+	// Exact strip boundary: 10 valid terms, strip 5 — failure found at
+	// start of third strip.
+	terms2, _ := TermsUntil(d, func(x float64) bool { return x < 1000 }, 5, 2, 100)
+	if len(terms2) != 10 || terms2[9] != 512 {
+		t.Fatalf("strip=5: %v", terms2)
+	}
+	// maxTerms cap respected when cond never fails.
+	terms3, extra3 := TermsUntil(loopir.Affine{A: 1, B: 1, X0: 0}, func(float64) bool { return true }, 7, 3, 23)
+	if len(terms3) != 23 || extra3 != 0 {
+		t.Fatalf("cap: len=%d extra=%d", len(terms3), extra3)
+	}
+}
+
+func TestSimScanTimeScalesAsNOverP(t *testing.T) {
+	n := 100000
+	t1 := SimScanTime(simproc.New(1), n, 1)
+	t8 := SimScanTime(simproc.New(8), n, 1)
+	if t1 != float64(n) {
+		t.Fatalf("1-proc scan time = %v, want %v", t1, n)
+	}
+	// 8-proc: 2*n/8 local plus small log term; speedup ~4 (two passes).
+	sp := t1 / t8
+	if sp < 3.5 || sp > 4.5 {
+		t.Fatalf("8-proc scan speedup = %v, want ~4", sp)
+	}
+}

@@ -1,0 +1,141 @@
+// Package priv implements array privatization for speculative parallel
+// loops (Section 5): each virtual processor cooperating on the loop gets
+// a private copy of a variable that gives rise to anti or output
+// dependences, removing those memory-related dependences.
+//
+// Privatization Criterion (paper, Section 5): a shared array A may be
+// privatized iff every read access to an element of A is preceded by a
+// write to that same element within the same iteration.  A variable
+// initialized from a value computed outside the loop additionally needs
+// a *copy-in* mechanism; a privatized variable that is live after the
+// loop needs *last-value copy-out* — and because a private location may
+// legitimately be written by many iterations of a valid parallel loop,
+// copy-out uses a time-stamped write trail (internal/tsmem.Trail) to
+// select, per element, the value written by the largest valid iteration.
+//
+// A useful side effect noted in Section 4: privatized variables need no
+// checkpoint — the shared original is never altered during the parallel
+// execution, so it *is* the backup.
+package priv
+
+import (
+	"whilepar/internal/mem"
+	"whilepar/internal/tsmem"
+)
+
+// Options configures a privatized array.
+type Options struct {
+	// CopyIn initializes each private copy from the shared array, for
+	// variables whose first read in an iteration may legally precede
+	// any write (requires the copy-in mechanism the paper describes).
+	CopyIn bool
+	// Live marks the array live after the loop: writes are logged to a
+	// time-stamped trail and CopyOut must be called after the last
+	// valid iteration is known.
+	Live bool
+}
+
+// Private is one privatized shared array across p virtual processors.
+type Private struct {
+	shared *mem.Array
+	copies []*mem.Array
+	trail  *tsmem.Trail
+	opts   Options
+}
+
+// New privatizes shared across procs processors.
+func New(shared *mem.Array, procs int, opts Options) *Private {
+	if procs < 1 {
+		procs = 1
+	}
+	p := &Private{shared: shared, opts: opts}
+	for k := 0; k < procs; k++ {
+		var c *mem.Array
+		if opts.CopyIn {
+			c = shared.Clone()
+		} else {
+			c = mem.NewArray(shared.Name, shared.Len())
+		}
+		p.copies = append(p.copies, c)
+	}
+	if opts.Live {
+		p.trail = tsmem.NewTrail()
+	}
+	return p
+}
+
+// Shared returns the original array.
+func (p *Private) Shared() *mem.Array { return p.shared }
+
+// Copy returns processor vpn's private copy (mainly for tests and
+// diagnostics).
+func (p *Private) Copy(vpn int) *mem.Array { return p.copies[vpn] }
+
+// Trail returns the write trail (nil unless Live).
+func (p *Private) Trail() *tsmem.Trail { return p.trail }
+
+// Tracker wraps next so that accesses to the privatized array are
+// redirected to the accessing processor's private copy, while accesses
+// to every other array flow through next unchanged.  next may be nil
+// for direct access to other arrays.
+func (p *Private) Tracker(next mem.Tracker) mem.Tracker {
+	if next == nil {
+		next = mem.Direct{}
+	}
+	return privTracker{p: p, next: next}
+}
+
+type privTracker struct {
+	p    *Private
+	next mem.Tracker
+}
+
+func (t privTracker) Load(a *mem.Array, idx, iter, vpn int) float64 {
+	if a != t.p.shared {
+		return t.next.Load(a, idx, iter, vpn)
+	}
+	return t.p.copies[vpn].Data[idx]
+}
+
+func (t privTracker) Store(a *mem.Array, idx int, v float64, iter, vpn int) {
+	if a != t.p.shared {
+		t.next.Store(a, idx, v, iter, vpn)
+		return
+	}
+	t.p.copies[vpn].Data[idx] = v
+	if t.p.trail != nil {
+		t.p.trail.Record(vpn, iter, idx, v)
+	}
+}
+
+// CopyOut writes, for every element written by a valid iteration
+// (index < valid), the value with the largest valid time-stamp back to
+// the shared array, and returns the number of elements copied out.  It
+// is a no-op (returning 0) unless the array was created Live.
+func (p *Private) CopyOut(valid int) int {
+	if p.trail == nil {
+		return 0
+	}
+	vals := p.trail.LastValues(valid)
+	for idx, v := range vals {
+		p.shared.Data[idx] = v
+	}
+	return len(vals)
+}
+
+// Reset re-initializes the private copies (and trail) for re-execution,
+// e.g. after a failed PD test or across strips.
+func (p *Private) Reset() {
+	for _, c := range p.copies {
+		if p.opts.CopyIn {
+			copy(c.Data, p.shared.Data)
+		} else {
+			for i := range c.Data {
+				c.Data[i] = 0
+			}
+		}
+	}
+	if p.opts.Live {
+		p.trail = tsmem.NewTrail()
+	}
+}

@@ -1,0 +1,162 @@
+package priv
+
+import (
+	"testing"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+)
+
+func TestPrivatizedTemporaryFigure5b(t *testing.T) {
+	// Figure 5(b): each iteration swaps A[2i] and A[2i+1] through a
+	// shared temporary.  The temporary carries anti dependences;
+	// privatizing it makes the loop a valid DOALL.
+	n := 64
+	seqA := mem.NewArray("A", 2*n)
+	parA := mem.NewArray("A", 2*n)
+	for i := range seqA.Data {
+		seqA.Data[i] = float64(i)
+		parA.Data[i] = float64(i)
+	}
+	// Sequential reference.
+	for i := 0; i < n; i++ {
+		tmp := seqA.Data[2*i]
+		seqA.Data[2*i] = seqA.Data[2*i+1]
+		seqA.Data[2*i+1] = tmp
+	}
+	// Parallel with privatized tmp.
+	tmp := mem.NewArray("tmp", 1)
+	p := New(tmp, 8, Options{})
+	tr := p.Tracker(nil)
+	sched.DOALL(n, sched.Options{Procs: 8}, func(i, vpn int) sched.Control {
+		tr.Store(tmp, 0, tr.Load(parA, 2*i, i, vpn), i, vpn)
+		tr.Store(parA, 2*i, tr.Load(parA, 2*i+1, i, vpn), i, vpn)
+		tr.Store(parA, 2*i+1, tr.Load(tmp, 0, i, vpn), i, vpn)
+		return sched.Continue
+	})
+	if !parA.Equal(seqA) {
+		t.Fatal("privatized parallel swap diverged from sequential")
+	}
+}
+
+func TestCopyIn(t *testing.T) {
+	shared := mem.FromSlice("S", []float64{5, 6, 7})
+	p := New(shared, 3, Options{CopyIn: true})
+	for k := 0; k < 3; k++ {
+		if !p.Copy(k).Equal(shared) {
+			t.Fatalf("copy %d not initialized from shared", k)
+		}
+	}
+	// Without copy-in the copies are zero.
+	p0 := New(shared, 2, Options{})
+	if p0.Copy(1).Data[0] != 0 {
+		t.Fatal("no-copy-in private copy should start zero")
+	}
+	if p0.Trail() != nil {
+		t.Fatal("non-live array should have no trail")
+	}
+}
+
+func TestLastValueCopyOut(t *testing.T) {
+	shared := mem.NewArray("V", 4)
+	shared.Data[2] = -9 // pre-loop value, must survive if only overshot writes hit it
+	p := New(shared, 4, Options{Live: true, CopyIn: true})
+	tr := p.Tracker(nil)
+	// Iterations write element 0 with their own index; element 2 only
+	// written by iteration 9 (overshoot if valid < 10).
+	sched.DOALL(12, sched.Options{Procs: 4}, func(i, vpn int) sched.Control {
+		tr.Store(shared, 0, float64(100+i), i, vpn)
+		if i == 9 {
+			tr.Store(shared, 2, 777, i, vpn)
+		}
+		return sched.Continue
+	})
+	// Shared must be untouched before copy-out — the original is the
+	// backup (Section 4).
+	if shared.Data[0] != 0 || shared.Data[2] != -9 {
+		t.Fatal("privatized execution altered shared array before copy-out")
+	}
+	n := p.CopyOut(8) // iterations 0..7 valid
+	if n != 1 {
+		t.Fatalf("copied out %d elements, want 1", n)
+	}
+	if shared.Data[0] != 107 {
+		t.Fatalf("last value = %v, want 107 (iteration 7's write)", shared.Data[0])
+	}
+	if shared.Data[2] != -9 {
+		t.Fatal("overshot-only element must keep its pre-loop value")
+	}
+}
+
+func TestCopyOutNonLiveIsNoop(t *testing.T) {
+	shared := mem.NewArray("V", 2)
+	p := New(shared, 2, Options{})
+	tr := p.Tracker(nil)
+	tr.Store(shared, 0, 5, 0, 0)
+	if p.CopyOut(10) != 0 {
+		t.Fatal("non-live CopyOut should be a no-op")
+	}
+	if shared.Data[0] != 0 {
+		t.Fatal("non-live privatized writes must never reach shared")
+	}
+}
+
+func TestTrackerPassesThroughOtherArrays(t *testing.T) {
+	shared := mem.NewArray("P", 2)
+	other := mem.NewArray("O", 2)
+	p := New(shared, 2, Options{})
+	tr := p.Tracker(nil)
+	tr.Store(other, 1, 42, 0, 0)
+	if other.Data[1] != 42 {
+		t.Fatal("store to other array did not pass through")
+	}
+	if got := tr.Load(other, 1, 0, 1); got != 42 {
+		t.Fatalf("load from other array = %v", got)
+	}
+}
+
+func TestPrivateCopiesAreIsolated(t *testing.T) {
+	shared := mem.NewArray("P", 1)
+	p := New(shared, 2, Options{})
+	tr := p.Tracker(nil)
+	tr.Store(shared, 0, 11, 0, 0) // vpn 0
+	tr.Store(shared, 0, 22, 1, 1) // vpn 1
+	if got := tr.Load(shared, 0, 2, 0); got != 11 {
+		t.Fatalf("vpn 0 sees %v, want its own 11", got)
+	}
+	if got := tr.Load(shared, 0, 3, 1); got != 22 {
+		t.Fatalf("vpn 1 sees %v, want its own 22", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	shared := mem.FromSlice("P", []float64{3})
+	p := New(shared, 2, Options{CopyIn: true, Live: true})
+	tr := p.Tracker(nil)
+	tr.Store(shared, 0, 99, 0, 0)
+	p.Reset()
+	if p.Copy(0).Data[0] != 3 {
+		t.Fatal("Reset should re-copy-in")
+	}
+	if p.Trail().Len() != 0 {
+		t.Fatal("Reset should clear the trail")
+	}
+	// Without copy-in, Reset zeroes.
+	p2 := New(shared, 1, Options{})
+	tr2 := p2.Tracker(nil)
+	tr2.Store(shared, 0, 1, 0, 0)
+	p2.Reset()
+	if p2.Copy(0).Data[0] != 0 {
+		t.Fatal("Reset without copy-in should zero")
+	}
+}
+
+func TestProcsCoercion(t *testing.T) {
+	p := New(mem.NewArray("x", 1), 0, Options{})
+	if len(p.copies) != 1 {
+		t.Fatal("procs < 1 should coerce to 1")
+	}
+	if p.Shared().Name != "x" {
+		t.Fatal("Shared accessor broken")
+	}
+}

@@ -1,0 +1,248 @@
+// Package sched is the goroutine-backed DOALL substrate: it executes the
+// iteration space of a transformed WHILE loop on p virtual processors
+// with either dynamic (self-scheduled) or static (mod-p, General-2
+// style) assignment, and implements the Alliant-style QUIT semantics of
+// Section 3.1: once an iteration signals QUIT, iterations with larger
+// indices are never begun, while all iterations with smaller indices are
+// executed; if several iterations signal QUIT, the smallest controls the
+// exit.
+//
+// This executor establishes the *functional correctness* of every loop
+// transformation under true concurrency.  Timing/speedup measurement is
+// the job of internal/simproc — the host running the test suite may have
+// a single CPU, whereas the paper's curves need 1..8 processors with
+// controlled cost ratios.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Control is a loop body's verdict for one iteration.
+type Control int
+
+const (
+	// Continue: the iteration completed normally.
+	Continue Control = iota
+	// Quit: the iteration met a termination condition; iterations with
+	// larger indices must not be started (they may already be running).
+	Quit
+)
+
+// Schedule selects how iterations are assigned to virtual processors.
+type Schedule int
+
+const (
+	// Dynamic self-scheduling: each free processor grabs the next
+	// unissued iteration (the paper's dynamically scheduled DOALL,
+	// used by Induction-1/2 and General-1/3).
+	Dynamic Schedule = iota
+	// Static mod-p assignment: processor k runs iterations congruent to
+	// k modulo p (the assignment of General-2).
+	Static
+	// Guided self-scheduling: each free processor claims a chunk of
+	// ceil(remaining/(2p)) iterations, amortizing the dispatch overhead
+	// over early (large) chunks while keeping late (small) chunks for
+	// load balance.  An extension beyond the paper's dynamic/static
+	// pair, used by the scheduling-overhead ablation.
+	Guided
+)
+
+// Options configures a DOALL execution.
+type Options struct {
+	// Procs is the number of virtual processors (goroutines). Values
+	// below 1 are treated as 1.
+	Procs int
+	// Schedule selects dynamic or static iteration assignment.
+	Schedule Schedule
+}
+
+func (o Options) procs() int {
+	if o.Procs < 1 {
+		return 1
+	}
+	return o.Procs
+}
+
+// Result reports what a DOALL execution did.
+type Result struct {
+	// Executed is the number of iterations whose body ran.
+	Executed int
+	// QuitIndex is the smallest iteration index that returned Quit, or
+	// n if none did.  All iterations below it were executed; it and
+	// anything above it that ran speculatively counts as overshoot for
+	// RV loops.
+	QuitIndex int
+	// Overshot is the number of executed iterations with index >=
+	// QuitIndex (including the quitting iteration itself only if other
+	// iterations above the minimum also ran; the quitting iteration's
+	// own body is assumed to have exited before writing).
+	Overshot int
+}
+
+// DOALL executes iterations [0, n) of body on opts.procs() goroutines
+// with QUIT semantics.  body receives the iteration index and the
+// virtual processor number and must be safe for concurrent invocation on
+// distinct iterations.
+//
+// Guarantee: every iteration with index below the final QuitIndex is
+// executed exactly once.  No iteration is executed twice.  Iterations
+// above the final QuitIndex may or may not be executed (speculative
+// overshoot), mirroring a machine where in-flight iterations complete
+// after a QUIT.
+func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
+	p := opts.procs()
+	if n <= 0 {
+		return Result{QuitIndex: 0}
+	}
+
+	var (
+		next     atomic.Int64 // dynamic issue counter
+		quitAt   atomic.Int64 // min index that returned Quit
+		executed atomic.Int64
+		overshot atomic.Int64
+		wg       sync.WaitGroup
+	)
+	quitAt.Store(int64(n))
+
+	runIter := func(i, vpn int) {
+		if body(i, vpn) == Quit {
+			// CAS-min on quitAt.
+			for {
+				cur := quitAt.Load()
+				if int64(i) >= cur || quitAt.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+		}
+		executed.Add(1)
+		if int64(i) > quitAt.Load() {
+			overshot.Add(1)
+		}
+	}
+
+	worker := func(vpn int) {
+		defer wg.Done()
+		switch opts.Schedule {
+		case Static:
+			for i := vpn; i < n; i += p {
+				if int64(i) > quitAt.Load() {
+					// A smaller iteration already quit; do not begin
+					// larger ones.  Smaller ones on this processor have
+					// already run (we go in order), so stop entirely.
+					break
+				}
+				runIter(i, vpn)
+			}
+		case Guided:
+			for {
+				// Claim a chunk of ceil(remaining/(2p)) iterations.
+				var lo, hi int
+				for {
+					cur := next.Load()
+					if cur >= int64(n) {
+						return
+					}
+					size := (int64(n) - cur + int64(2*p) - 1) / int64(2*p)
+					if size < 1 {
+						size = 1
+					}
+					if next.CompareAndSwap(cur, cur+size) {
+						lo, hi = int(cur), int(cur+size)
+						break
+					}
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if int64(i) > quitAt.Load() {
+						return
+					}
+					runIter(i, vpn)
+				}
+			}
+		default: // Dynamic
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || int64(i) > quitAt.Load() {
+					return
+				}
+				runIter(i, vpn)
+			}
+		}
+	}
+
+	wg.Add(p)
+	for k := 0; k < p; k++ {
+		go worker(k)
+	}
+	wg.Wait()
+
+	return Result{
+		Executed:  int(executed.Load()),
+		QuitIndex: int(quitAt.Load()),
+		Overshot:  int(overshot.Load()),
+	}
+}
+
+// Dilemma with dynamic scheduling and QUIT: iterations strictly below the
+// minimum quitting index must all run even if they are issued after the
+// QUIT.  DOALL guarantees this because the issue counter is monotone: by
+// the time iteration q returns Quit, every index below q has already
+// been issued (dynamic) or is owned by a processor that will reach it
+// before breaking (static, in-order per processor).
+
+// ForEachProc runs fn(vpn) on procs goroutines and waits; it is the
+// "doall i = 1, nproc" idiom of General-2 (Fig. 4).
+func ForEachProc(procs int, fn func(vpn int)) {
+	if procs < 1 {
+		procs = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	for k := 0; k < procs; k++ {
+		go func(vpn int) {
+			defer wg.Done()
+			fn(vpn)
+		}(k)
+	}
+	wg.Wait()
+}
+
+// MinReduce computes the minimum over per-processor values, the
+// post-DOALL "LI = min(L[0:nproc-1])" reduction of Fig. 2.  It returns
+// def if vals is empty.
+func MinReduce(vals []int, def int) int {
+	m := def
+	for _, v := range vals {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MinReduceFloat is MinReduce over float64 values with identity +Inf.
+func MinReduceFloat(vals []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range vals {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Validate panics if a schedule constant is out of range; used by
+// callers that accept user-provided options.
+func Validate(s Schedule) error {
+	switch s {
+	case Dynamic, Static, Guided:
+		return nil
+	}
+	return fmt.Errorf("sched: unknown schedule %d", int(s))
+}

@@ -1,0 +1,252 @@
+package sched
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDOALLExecutesAllIterationsOnce(t *testing.T) {
+	for _, s := range []Schedule{Dynamic, Static} {
+		n := 1000
+		counts := make([]atomic.Int32, n)
+		res := DOALL(n, Options{Procs: 7, Schedule: s}, func(i, vpn int) Control {
+			counts[i].Add(1)
+			return Continue
+		})
+		if res.Executed != n || res.QuitIndex != n || res.Overshot != 0 {
+			t.Fatalf("schedule %v: result %+v", s, res)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("schedule %v: iteration %d ran %d times", s, i, c)
+			}
+		}
+	}
+}
+
+func TestDOALLQuitSemantics(t *testing.T) {
+	// Iteration 100 quits.  Every iteration below 100 must run exactly
+	// once; no iteration may run twice; the quit index must be exact.
+	for _, s := range []Schedule{Dynamic, Static} {
+		n := 5000
+		counts := make([]atomic.Int32, n)
+		res := DOALL(n, Options{Procs: 8, Schedule: s}, func(i, vpn int) Control {
+			counts[i].Add(1)
+			if i == 100 {
+				return Quit
+			}
+			return Continue
+		})
+		if res.QuitIndex != 100 {
+			t.Fatalf("schedule %v: QuitIndex = %d, want 100", s, res.QuitIndex)
+		}
+		for i := 0; i < 100; i++ {
+			if counts[i].Load() != 1 {
+				t.Fatalf("schedule %v: valid iteration %d ran %d times", s, i, counts[i].Load())
+			}
+		}
+		for i := range counts {
+			if counts[i].Load() > 1 {
+				t.Fatalf("schedule %v: iteration %d ran twice", s, i)
+			}
+		}
+		if res.Executed >= n {
+			t.Fatalf("schedule %v: quit did not curb execution (%d)", s, res.Executed)
+		}
+	}
+}
+
+func TestDOALLMultipleQuitsSmallestWins(t *testing.T) {
+	// Several iterations quit; the smallest controls the exit.
+	quitters := map[int]bool{50: true, 200: true, 75: true}
+	res := DOALL(1000, Options{Procs: 4}, func(i, vpn int) Control {
+		if quitters[i] {
+			return Quit
+		}
+		return Continue
+	})
+	if res.QuitIndex != 50 {
+		t.Fatalf("QuitIndex = %d, want 50", res.QuitIndex)
+	}
+}
+
+func TestDOALLZeroAndNegativeN(t *testing.T) {
+	ran := false
+	res := DOALL(0, Options{Procs: 4}, func(i, vpn int) Control { ran = true; return Continue })
+	if ran || res.Executed != 0 || res.QuitIndex != 0 {
+		t.Fatalf("empty loop misbehaved: %+v", res)
+	}
+	res = DOALL(-5, Options{Procs: 4}, func(i, vpn int) Control { ran = true; return Continue })
+	if ran || res.Executed != 0 {
+		t.Fatalf("negative-n loop misbehaved: %+v", res)
+	}
+}
+
+func TestDOALLDefaultsToOneProc(t *testing.T) {
+	order := []int{}
+	res := DOALL(10, Options{}, func(i, vpn int) Control {
+		if vpn != 0 {
+			t.Fatalf("vpn = %d on 1-proc run", vpn)
+		}
+		order = append(order, i) // safe: single goroutine
+		return Continue
+	})
+	if res.Executed != 10 {
+		t.Fatalf("executed %d", res.Executed)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("1-proc dynamic order not sequential: %v", order)
+		}
+	}
+}
+
+func TestDOALLVPNRange(t *testing.T) {
+	var bad atomic.Bool
+	DOALL(500, Options{Procs: 5}, func(i, vpn int) Control {
+		if vpn < 0 || vpn >= 5 {
+			bad.Store(true)
+		}
+		return Continue
+	})
+	if bad.Load() {
+		t.Fatal("vpn out of range")
+	}
+}
+
+func TestDOALLQuitProperty(t *testing.T) {
+	// Property: for a random quit set, the final QuitIndex is the
+	// minimum of the set (if any quitter <= all executed indices gets
+	// executed — guaranteed because everything below the running
+	// minimum is executed).
+	f := func(seed uint16, procsRaw uint8) bool {
+		n := 300
+		q1 := int(seed) % n
+		q2 := (int(seed) * 7) % n
+		procs := int(procsRaw)%6 + 1
+		want := q1
+		if q2 < q1 {
+			want = q2
+		}
+		res := DOALL(n, Options{Procs: procs, Schedule: Dynamic}, func(i, vpn int) Control {
+			if i == q1 || i == q2 {
+				return Quit
+			}
+			return Continue
+		})
+		return res.QuitIndex == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachProc(t *testing.T) {
+	var mask atomic.Int64
+	ForEachProc(6, func(vpn int) { mask.Add(1 << vpn) })
+	if mask.Load() != (1<<6)-1 {
+		t.Fatalf("mask = %b", mask.Load())
+	}
+	// procs < 1 coerces to 1.
+	calls := 0
+	ForEachProc(0, func(vpn int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("ForEachProc(0) ran %d times", calls)
+	}
+}
+
+func TestMinReduce(t *testing.T) {
+	if MinReduce([]int{9, 3, 7}, 100) != 3 {
+		t.Error("MinReduce broken")
+	}
+	if MinReduce(nil, 42) != 42 {
+		t.Error("MinReduce default broken")
+	}
+	if MinReduceFloat([]float64{2.5, 1.5}) != 1.5 {
+		t.Error("MinReduceFloat broken")
+	}
+	if !math.IsInf(MinReduceFloat(nil), 1) {
+		t.Error("MinReduceFloat identity broken")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if Validate(Dynamic) != nil || Validate(Static) != nil {
+		t.Error("valid schedules rejected")
+	}
+	if Validate(Schedule(99)) == nil {
+		t.Error("invalid schedule accepted")
+	}
+}
+
+func TestGuidedScheduleCorrectness(t *testing.T) {
+	n := 3000
+	counts := make([]atomic.Int32, n)
+	res := DOALL(n, Options{Procs: 6, Schedule: Guided}, func(i, vpn int) Control {
+		counts[i].Add(1)
+		return Continue
+	})
+	if res.Executed != n || res.QuitIndex != n {
+		t.Fatalf("result %+v", res)
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestGuidedScheduleQuit(t *testing.T) {
+	n := 5000
+	counts := make([]atomic.Int32, n)
+	res := DOALL(n, Options{Procs: 8, Schedule: Guided}, func(i, vpn int) Control {
+		counts[i].Add(1)
+		if i == 321 {
+			return Quit
+		}
+		return Continue
+	})
+	if res.QuitIndex != 321 {
+		t.Fatalf("QuitIndex = %d", res.QuitIndex)
+	}
+	for i := 0; i < 321; i++ {
+		if counts[i].Load() != 1 {
+			t.Fatalf("valid iteration %d ran %d times", i, counts[i].Load())
+		}
+	}
+	for i := range counts {
+		if counts[i].Load() > 1 {
+			t.Fatalf("iteration %d ran twice", i)
+		}
+	}
+}
+
+func TestGuidedQuitProperty(t *testing.T) {
+	f := func(qRaw, pRaw uint8) bool {
+		n := 800
+		q := int(qRaw) * 3 % n
+		procs := int(pRaw)%8 + 1
+		var ran [800]atomic.Bool
+		res := DOALL(n, Options{Procs: procs, Schedule: Guided}, func(i, vpn int) Control {
+			ran[i].Store(true)
+			if i == q {
+				return Quit
+			}
+			return Continue
+		})
+		if res.QuitIndex != q {
+			return false
+		}
+		for i := 0; i < q; i++ {
+			if !ran[i].Load() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package simproc
+
+import "math"
+
+// Trace summarizes a simulated parallel loop execution.
+type Trace struct {
+	// Makespan is the completion time of the whole loop (before any
+	// post-loop reduction/undo the caller may add).
+	Makespan float64
+	// Executed is the number of iterations that actually ran.
+	Executed int
+	// Overshot is the number of executed iterations with index greater
+	// than the exit iteration — work the sequential loop would not have
+	// done, which may need to be undone (Section 4).
+	Overshot int
+	// Span is the largest difference between the highest and lowest
+	// in-flight iteration indices observed, the quantity Section 3.3
+	// argues is larger for static than for dynamic assignment.
+	Span int
+}
+
+// DynamicDOALL simulates a self-scheduled DOALL with in-order issue, the
+// scheduling regime of the Alliant FX/80 assumed throughout the paper:
+// iterations are handed out in index order, each to the earliest-free
+// processor, at a per-iteration cost of dispatch.
+//
+// cost(i) is the full execution cost of iteration i (body plus any
+// tracking overheads the caller folds in).  exit is the index of the
+// first iteration that satisfies the termination condition (-1 if the
+// loop runs all n iterations).  If quit is true, the exit iteration
+// issues a QUIT when it completes (Induction-2, Fig. 2): iterations with
+// larger indices are not begun afterwards, though those already issued
+// run to completion.  If quit is false (Induction-1), all n iterations
+// execute and the exit is only discovered in the post-loop minimum
+// reduction.
+func (m *Machine) DynamicDOALL(n int, cost func(int) float64, dispatch float64, exit int, quit bool) Trace {
+	var tr Trace
+	exitKnown := math.Inf(1)
+	lowDone := -1 // all iterations <= lowDone finished (approximation via issue order)
+	for i := 0; i < n; i++ {
+		k := m.EarliestFree()
+		if quit && exit >= 0 && i > exit && m.Clock(k) >= exitKnown {
+			break
+		}
+		m.Run(k, dispatch)
+		end := m.Run(k, cost(i))
+		tr.Executed++
+		if exit >= 0 && i > exit {
+			tr.Overshot++
+		}
+		if i == exit && end < exitKnown {
+			exitKnown = end
+		}
+		if span := i - lowDone; span > tr.Span {
+			tr.Span = span
+		}
+		if i == lowDone+1 {
+			lowDone = i
+		}
+	}
+	tr.Makespan = m.Makespan()
+	return tr
+}
+
+// StaticDOALL simulates a statically scheduled DOALL: processor k runs
+// iterations k, k+p, k+2p, ... in order (the assignment General-2 uses).
+// A shared exit flag is set when the exit iteration completes on its
+// owner; a processor abandons only iterations *beyond* the exit whose
+// start time is after the flag was set — iterations at or below the exit
+// always execute, as correctness requires.
+func (m *Machine) StaticDOALL(n int, cost func(int) float64, exit int) Trace {
+	p := m.P()
+	exitKnown := math.Inf(1)
+	if exit >= 0 && exit < n {
+		// First pass: the exit iteration's completion time depends only
+		// on its owner's earlier iterations.
+		owner := exit % p
+		t := m.Clock(owner)
+		for i := owner; i <= exit; i += p {
+			t += cost(i)
+		}
+		exitKnown = t
+	}
+	var tr Trace
+	maxStarted := -1
+	for k := 0; k < p; k++ {
+		for i := k; i < n; i += p {
+			if exit >= 0 && i > exit && m.Clock(k) >= exitKnown {
+				break
+			}
+			m.Run(k, cost(i))
+			tr.Executed++
+			if exit >= 0 && i > exit {
+				tr.Overshot++
+			}
+			if i > maxStarted {
+				maxStarted = i
+			}
+		}
+	}
+	// Span for static assignment: the lowest-indexed processor is still
+	// on iteration ~i while the highest may be p-1 further multiples on;
+	// report the observed max minus the smallest first assignment.
+	tr.Span = maxStarted
+	if tr.Span < 0 {
+		tr.Span = 0
+	}
+	tr.Makespan = m.Makespan()
+	return tr
+}
+
+// GuidedDOALL simulates guided self-scheduling: a free processor claims
+// ceil(remaining/(2p)) iterations at once, paying one dispatch per
+// *chunk* rather than per iteration.  exit/quit semantics follow
+// DynamicDOALL (chunks are claimed in order).
+func (m *Machine) GuidedDOALL(n int, cost func(int) float64, dispatch float64, exit int, quit bool) Trace {
+	var tr Trace
+	p := m.P()
+	exitKnown := math.Inf(1)
+	i := 0
+	for i < n {
+		k := m.EarliestFree()
+		if quit && exit >= 0 && i > exit && m.Clock(k) >= exitKnown {
+			break
+		}
+		size := (n - i + 2*p - 1) / (2 * p)
+		if size < 1 {
+			size = 1
+		}
+		m.Run(k, dispatch)
+		for j := 0; j < size && i < n; j++ {
+			end := m.Run(k, cost(i))
+			tr.Executed++
+			if exit >= 0 && i > exit {
+				tr.Overshot++
+			}
+			if i == exit && end < exitKnown {
+				exitKnown = end
+			}
+			i++
+		}
+	}
+	tr.Makespan = m.Makespan()
+	return tr
+}
+
+// SeqTime returns the sequential execution time of iterations [0, n):
+// the sum of their costs (no dispatch overhead — the sequential loop has
+// none).
+func SeqTime(n int, cost func(int) float64) float64 {
+	var t float64
+	for i := 0; i < n; i++ {
+		t += cost(i)
+	}
+	return t
+}
+
+// Speedup is a convenience: sequential time divided by parallel
+// makespan.  It returns 0 if makespan is 0.
+func Speedup(seq, makespan float64) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return seq / makespan
+}

@@ -1,0 +1,158 @@
+// Package simproc is a deterministic discrete-event simulator of a small
+// shared-memory multiprocessor, in the spirit of the 8-processor Alliant
+// FX/80 on which the paper's experiments were run.
+//
+// The paper's evaluation consists of speedup-versus-processor-count
+// curves.  Reproducing those *shapes* requires a machine with a variable
+// processor count and controllable cost ratios (work per iteration,
+// critical-section length, list-hop cost, synchronization cost).  This
+// package provides virtual processors with per-processor clocks, locks
+// whose grant times serialize contenders, and barriers; the loop-
+// transformation packages build their schedules on top of these
+// primitives and measure makespans.  Everything is deterministic: the
+// same inputs always produce the same schedule, so the figures are
+// exactly regenerable.
+//
+// Time is in abstract units; only ratios matter.  The convention used by
+// the calibrated experiments is one unit ~= one simple operation
+// (roughly, one Alliant FX/80 register-register instruction).
+package simproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Machine is a set of P virtual processors, each with its own clock.
+type Machine struct {
+	clocks []float64
+	busy   []float64 // accumulated busy time per processor
+	tl     *Timeline // optional schedule recorder (see Attach)
+}
+
+// New returns a machine with p processors, all clocks at zero.
+// It panics if p < 1.
+func New(p int) *Machine {
+	if p < 1 {
+		panic(fmt.Sprintf("simproc: machine needs at least 1 processor, got %d", p))
+	}
+	return &Machine{clocks: make([]float64, p), busy: make([]float64, p)}
+}
+
+// P returns the processor count.
+func (m *Machine) P() int { return len(m.clocks) }
+
+// Clock returns processor k's current time.
+func (m *Machine) Clock(k int) float64 { return m.clocks[k] }
+
+// Run advances processor k's clock by dur of busy work and returns the
+// completion time.
+func (m *Machine) Run(k int, dur float64) float64 {
+	start := m.clocks[k]
+	m.clocks[k] += dur
+	m.busy[k] += dur
+	if m.tl != nil {
+		m.tl.record(k, start, m.clocks[k])
+	}
+	return m.clocks[k]
+}
+
+// WaitUntil idles processor k until time t (no-op if already past t).
+func (m *Machine) WaitUntil(k int, t float64) {
+	if t > m.clocks[k] {
+		m.clocks[k] = t
+	}
+}
+
+// EarliestFree returns the processor with the smallest clock, breaking
+// ties toward the lowest index so schedules are deterministic.
+func (m *Machine) EarliestFree() int {
+	best := 0
+	for k := 1; k < len(m.clocks); k++ {
+		if m.clocks[k] < m.clocks[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// Makespan returns the largest processor clock.
+func (m *Machine) Makespan() float64 {
+	t := m.clocks[0]
+	for _, c := range m.clocks[1:] {
+		t = math.Max(t, c)
+	}
+	return t
+}
+
+// BusyTime returns processor k's accumulated busy (non-idle) time.
+func (m *Machine) BusyTime(k int) float64 { return m.busy[k] }
+
+// TotalBusy returns the machine-wide busy time (the work actually done).
+func (m *Machine) TotalBusy() float64 {
+	var s float64
+	for _, b := range m.busy {
+		s += b
+	}
+	return s
+}
+
+// Barrier synchronizes all processors: every clock is advanced to the
+// latest clock plus cost.  It models the global synchronization points
+// that strip-mining introduces (Section 4) and the joins after DOALLs.
+func (m *Machine) Barrier(cost float64) float64 {
+	t := m.Makespan() + cost
+	for k := range m.clocks {
+		m.clocks[k] = t
+	}
+	return t
+}
+
+// Reduce models a parallel reduction (e.g. the min over the per-processor
+// last-exit iterations in Induction-1, or the PD test's post-execution
+// analysis over a elements): each processor first does perElem*elems/p of
+// local work, then a log2(p)-step combining tree of perStep each.  All
+// clocks end at the completion time, which is returned.
+func (m *Machine) Reduce(elems int, perElem, perStep float64) float64 {
+	p := float64(m.P())
+	local := perElem * float64(elems) / p
+	tree := perStep * math.Ceil(math.Log2(math.Max(2, p)))
+	if m.P() == 1 {
+		tree = 0
+	}
+	start := m.Makespan()
+	for k := range m.clocks {
+		m.clocks[k] = start + local + tree
+		m.busy[k] += local + tree
+	}
+	return start + local + tree
+}
+
+// Lock is a simulated mutex.  Acquire returns the time at which a
+// processor asking at time `at` is granted the lock; contenders are
+// serialized in request order (FIFO by grant computation).
+type Lock struct {
+	freeAt float64
+}
+
+// Acquire returns the grant time for a request arriving at time at.
+func (l *Lock) Acquire(at float64) float64 {
+	if l.freeAt > at {
+		return l.freeAt
+	}
+	return at
+}
+
+// Release marks the lock free at time t.
+func (l *Lock) Release(t float64) { l.freeAt = t }
+
+// Hold is Acquire+Release around a critical section of length dur
+// starting no earlier than at; it returns the release time.
+func (l *Lock) Hold(at, dur float64) float64 {
+	g := l.Acquire(at)
+	l.freeAt = g + dur
+	return l.freeAt
+}
+
+// FreeAt returns the time the lock next becomes free.
+func (l *Lock) FreeAt() float64 { return l.freeAt }

@@ -1,0 +1,284 @@
+package simproc
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMachineBasics(t *testing.T) {
+	m := New(3)
+	if m.P() != 3 {
+		t.Fatalf("P = %d", m.P())
+	}
+	m.Run(0, 5)
+	m.Run(1, 2)
+	if m.EarliestFree() != 2 {
+		t.Fatalf("EarliestFree = %d, want 2", m.EarliestFree())
+	}
+	if m.Makespan() != 5 {
+		t.Fatalf("Makespan = %v, want 5", m.Makespan())
+	}
+	m.WaitUntil(2, 4)
+	if m.Clock(2) != 4 || m.BusyTime(2) != 0 {
+		t.Fatal("WaitUntil should idle, not add busy time")
+	}
+	m.WaitUntil(2, 1) // no-op: already past
+	if m.Clock(2) != 4 {
+		t.Fatal("WaitUntil must not move clocks backwards")
+	}
+	if m.TotalBusy() != 7 {
+		t.Fatalf("TotalBusy = %v, want 7", m.TotalBusy())
+	}
+}
+
+func TestNewPanicsOnZeroProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestBarrier(t *testing.T) {
+	m := New(2)
+	m.Run(0, 10)
+	m.Run(1, 3)
+	end := m.Barrier(2)
+	if end != 12 || m.Clock(0) != 12 || m.Clock(1) != 12 {
+		t.Fatalf("Barrier end = %v, clocks = %v/%v", end, m.Clock(0), m.Clock(1))
+	}
+}
+
+func TestReduce(t *testing.T) {
+	m := New(4)
+	m.Run(0, 10)
+	end := m.Reduce(400, 1, 5)
+	// local = 400/4 = 100, tree = 5*log2(4) = 10, start = 10.
+	if end != 120 {
+		t.Fatalf("Reduce end = %v, want 120", end)
+	}
+	// Single-processor reduce has no tree term.
+	m1 := New(1)
+	if got := m1.Reduce(100, 1, 5); got != 100 {
+		t.Fatalf("1-proc Reduce = %v, want 100", got)
+	}
+}
+
+func TestLockSerializes(t *testing.T) {
+	var l Lock
+	r1 := l.Hold(0, 10)  // granted at 0, releases 10
+	r2 := l.Hold(3, 10)  // must wait until 10, releases 20
+	r3 := l.Hold(25, 10) // lock free at 20, granted at 25
+	if r1 != 10 || r2 != 20 || r3 != 35 {
+		t.Fatalf("releases = %v %v %v, want 10 20 35", r1, r2, r3)
+	}
+	if l.FreeAt() != 35 {
+		t.Fatalf("FreeAt = %v", l.FreeAt())
+	}
+	if g := l.Acquire(100); g != 100 {
+		t.Fatalf("Acquire after free = %v, want 100", g)
+	}
+	l.Release(101)
+	if l.FreeAt() != 101 {
+		t.Fatal("Release did not update freeAt")
+	}
+}
+
+func unitCost(int) float64 { return 1 }
+
+func TestDynamicDOALLPerfectSpeedup(t *testing.T) {
+	// 100 unit iterations, no dispatch cost, 4 procs: makespan 25.
+	m := New(4)
+	tr := m.DynamicDOALL(100, unitCost, 0, -1, false)
+	if tr.Makespan != 25 || tr.Executed != 100 || tr.Overshot != 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	seq := SeqTime(100, unitCost)
+	if sp := Speedup(seq, tr.Makespan); sp != 4 {
+		t.Fatalf("speedup = %v, want 4", sp)
+	}
+}
+
+func TestDynamicDOALLQuitStopsIssue(t *testing.T) {
+	// Exit at iteration 10 of 1000.  With QUIT, only iterations in
+	// flight when the exit completes can overshoot: far fewer than 989.
+	m := New(4)
+	tr := m.DynamicDOALL(1000, unitCost, 0, 10, true)
+	if tr.Executed >= 1000 {
+		t.Fatalf("QUIT did not stop issue: executed %d", tr.Executed)
+	}
+	if tr.Overshot > 3*4 {
+		t.Fatalf("too much overshoot under QUIT: %d", tr.Overshot)
+	}
+	// Without QUIT everything runs (Induction-1).
+	m2 := New(4)
+	tr2 := m2.DynamicDOALL(1000, unitCost, 0, 10, false)
+	if tr2.Executed != 1000 || tr2.Overshot != 989 {
+		t.Fatalf("no-QUIT trace = %+v", tr2)
+	}
+}
+
+func TestStaticDOALLExecutesAllValidIterations(t *testing.T) {
+	// Even with the exit flag set early, iterations at or below the exit
+	// must all run.
+	m := New(4)
+	tr := m.StaticDOALL(100, unitCost, 20)
+	if tr.Executed < 21 {
+		t.Fatalf("static DOALL skipped valid iterations: executed %d", tr.Executed)
+	}
+}
+
+func TestStaticOvershootsAtLeastDynamic(t *testing.T) {
+	// Section 3.3: the span of in-flight iterations — and hence likely
+	// undo work — is larger for static than dynamic assignment.
+	f := func(nRaw, pRaw, eRaw uint8) bool {
+		n := int(nRaw)%400 + 50
+		p := int(pRaw)%8 + 2
+		e := int(eRaw) % (n / 2)
+		md, ms := New(p), New(p)
+		dyn := md.DynamicDOALL(n, unitCost, 0, e, true)
+		st := ms.StaticDOALL(n, unitCost, e)
+		return st.Overshot >= dyn.Overshot
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDOALLConservesWork(t *testing.T) {
+	// Total busy time equals the sum of executed iteration costs plus
+	// dispatch overhead.
+	cost := func(i int) float64 { return float64(i%7) + 1 }
+	m := New(3)
+	tr := m.DynamicDOALL(50, cost, 0.5, -1, false)
+	var want float64
+	for i := 0; i < 50; i++ {
+		want += cost(i) + 0.5
+	}
+	if math.Abs(m.TotalBusy()-want) > 1e-9 {
+		t.Fatalf("busy = %v, want %v", m.TotalBusy(), want)
+	}
+	if tr.Executed != 50 {
+		t.Fatalf("executed = %d", tr.Executed)
+	}
+}
+
+func TestMakespanMonotonicInProcs(t *testing.T) {
+	// More processors never lengthens a dynamic self-scheduled loop.
+	cost := func(i int) float64 { return float64(i%13) + 2 }
+	prev := math.Inf(1)
+	for p := 1; p <= 16; p *= 2 {
+		m := New(p)
+		tr := m.DynamicDOALL(500, cost, 0.25, -1, false)
+		if tr.Makespan > prev+1e-9 {
+			t.Fatalf("makespan grew with p=%d: %v > %v", p, tr.Makespan, prev)
+		}
+		prev = tr.Makespan
+	}
+}
+
+func TestSeqTimeAndSpeedupEdges(t *testing.T) {
+	if SeqTime(0, unitCost) != 0 {
+		t.Error("empty SeqTime should be 0")
+	}
+	if Speedup(10, 0) != 0 {
+		t.Error("Speedup with zero makespan should be 0")
+	}
+	if Speedup(10, 5) != 2 {
+		t.Error("Speedup(10,5) should be 2")
+	}
+}
+
+func TestDynamicDOALLSingleProcMatchesSeq(t *testing.T) {
+	cost := func(i int) float64 { return float64(i%5) + 1 }
+	m := New(1)
+	tr := m.DynamicDOALL(200, cost, 0, -1, false)
+	if tr.Makespan != SeqTime(200, cost) {
+		t.Fatalf("1-proc makespan %v != seq %v", tr.Makespan, SeqTime(200, cost))
+	}
+}
+
+func TestGuidedDOALLAmortizesDispatch(t *testing.T) {
+	// With an expensive dispatch, guided scheduling (one dispatch per
+	// chunk) beats per-iteration dynamic scheduling.
+	n := 10_000
+	dispatch := 5.0
+	md, mg := New(8), New(8)
+	dyn := md.DynamicDOALL(n, unitCost, dispatch, -1, false)
+	gui := mg.GuidedDOALL(n, unitCost, dispatch, -1, false)
+	if gui.Executed != n || dyn.Executed != n {
+		t.Fatalf("executed %d/%d", gui.Executed, dyn.Executed)
+	}
+	if gui.Makespan >= dyn.Makespan {
+		t.Fatalf("guided %v should beat dynamic %v under heavy dispatch", gui.Makespan, dyn.Makespan)
+	}
+	// With free dispatch the two are comparable (guided may round up).
+	md2, mg2 := New(8), New(8)
+	d2 := md2.DynamicDOALL(n, unitCost, 0, -1, false)
+	g2 := mg2.GuidedDOALL(n, unitCost, 0, -1, false)
+	if g2.Makespan > 1.2*d2.Makespan {
+		t.Fatalf("guided %v far worse than dynamic %v without dispatch cost", g2.Makespan, d2.Makespan)
+	}
+}
+
+func TestGuidedDOALLQuit(t *testing.T) {
+	m := New(4)
+	tr := m.GuidedDOALL(10_000, unitCost, 1, 50, true)
+	if tr.Executed >= 10_000 {
+		t.Fatalf("quit did not curb guided execution: %d", tr.Executed)
+	}
+	// All valid iterations counted.
+	if tr.Executed < 51 {
+		t.Fatalf("guided skipped valid iterations: %d", tr.Executed)
+	}
+}
+
+func TestTimelineGantt(t *testing.T) {
+	m := New(2)
+	var tl Timeline
+	m.Attach(&tl)
+	// P0 busy for the whole span; P1 busy for the second half only.
+	m.Run(0, 100)
+	m.WaitUntil(1, 50)
+	m.Run(1, 50)
+	if tl.Segments() != 2 {
+		t.Fatalf("segments = %d", tl.Segments())
+	}
+	if f := tl.BusyFraction(0); f < 0.99 {
+		t.Fatalf("P0 busy fraction = %v", f)
+	}
+	if f := tl.BusyFraction(1); f < 0.45 || f > 0.55 {
+		t.Fatalf("P1 busy fraction = %v", f)
+	}
+	g := tl.Gantt(2, 20)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt:\n%s", g)
+	}
+	// P1's first half must be idle dots, second half busy.
+	if !strings.Contains(lines[2], ".") || !strings.Contains(lines[2], "#") {
+		t.Fatalf("P1 row should mix idle and busy:\n%s", g)
+	}
+	if strings.Contains(lines[1], ".#") || strings.Count(lines[1], ".") > 1 {
+		t.Fatalf("P0 row should be solid busy:\n%s", g)
+	}
+	// A General-1 schedule shows the convoy: low utilization at p=8.
+	m8 := New(8)
+	var tl8 Timeline
+	m8.Attach(&tl8)
+	m8.DynamicDOALL(100, unitCost, 0, -1, false)
+	if tl8.Segments() == 0 {
+		t.Fatal("DOALL recorded nothing")
+	}
+	// Empty timeline renders without panicking.
+	var empty Timeline
+	if out := empty.Gantt(2, 4); !strings.Contains(out, "P0") {
+		t.Fatalf("empty gantt:\n%s", out)
+	}
+	if empty.BusyFraction(0) != 0 {
+		t.Fatal("empty busy fraction should be 0")
+	}
+}

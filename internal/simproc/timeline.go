@@ -1,0 +1,92 @@
+package simproc
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Timeline records per-processor busy segments so a simulated schedule
+// can be rendered as a text Gantt chart — useful for inspecting how the
+// methods' schedules actually differ (e.g. General-1's lock convoy vs
+// General-3's overlap).  Attach with Machine.Attach; Run records every
+// busy segment automatically.
+type Timeline struct {
+	segs []segment
+}
+
+type segment struct {
+	proc       int
+	start, end float64
+}
+
+// Attach starts recording this machine's busy segments.
+func (m *Machine) Attach(tl *Timeline) { m.tl = tl }
+
+// record is called from Machine.Run.
+func (tl *Timeline) record(proc int, start, end float64) {
+	if end > start {
+		tl.segs = append(tl.segs, segment{proc: proc, start: start, end: end})
+	}
+}
+
+// Segments returns the number of recorded busy segments.
+func (tl *Timeline) Segments() int { return len(tl.segs) }
+
+// BusyFraction returns processor k's busy time divided by the overall
+// makespan — the utilization a Gantt row visualizes.
+func (tl *Timeline) BusyFraction(k int) float64 {
+	var busy, span float64
+	for _, s := range tl.segs {
+		if s.proc == k {
+			busy += s.end - s.start
+		}
+		if s.end > span {
+			span = s.end
+		}
+	}
+	if span == 0 {
+		return 0
+	}
+	return busy / span
+}
+
+// Gantt renders the timeline as one row per processor, width columns
+// wide: '#' marks busy time, '.' idle.
+func (tl *Timeline) Gantt(procs, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	var span float64
+	for _, s := range tl.segs {
+		if s.end > span {
+			span = s.end
+		}
+	}
+	if span == 0 {
+		span = 1
+	}
+	rows := make([][]byte, procs)
+	for k := range rows {
+		rows[k] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range tl.segs {
+		if s.proc < 0 || s.proc >= procs {
+			continue
+		}
+		lo := int(math.Floor(s.start / span * float64(width)))
+		hi := int(math.Ceil(s.end / span * float64(width)))
+		if hi > width {
+			hi = width
+		}
+		for c := lo; c < hi; c++ {
+			rows[s.proc][c] = '#'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline (span %.0f units, %d segments)\n", span, len(tl.segs))
+	for k := 0; k < procs; k++ {
+		fmt.Fprintf(&b, "P%-2d |%s| %4.0f%%\n", k, rows[k], 100*tl.BusyFraction(k))
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU is a recorded sparse LU factorization with Markowitz pivoting, the
+// MA28-shaped driver that the paper's loops 270/320 live inside: at each
+// step a pivot is searched for (sequentially or with the parallelized,
+// sequentially consistent search), recorded, and eliminated.
+type LU struct {
+	n     int
+	steps []luStep
+}
+
+type luStep struct {
+	pivot   Pivot
+	row     []Entry  // the pivot row at elimination time
+	factors []factor // rows eliminated against the pivot
+}
+
+type factor struct {
+	row int
+	f   float64
+}
+
+// FactorOptions configures a factorization.
+type FactorOptions struct {
+	// Params is the pivot acceptance criterion; zero value means a
+	// permissive search (cost cap +inf, stability 0.01).
+	Params SearchParams
+	// Procs > 1 uses the parallel, sequentially consistent pivot search
+	// (ParPivotRows) at every step; otherwise the sequential search.
+	Procs int
+}
+
+// Factorize computes an LU factorization of a (which is cloned, not
+// mutated) using row-search Markowitz pivoting.  It fails if at some
+// step no acceptable pivot exists (structural or numerical breakdown).
+func Factorize(a *Matrix, opt FactorOptions) (*LU, error) {
+	p := opt.Params
+	if p.CostCap == 0 && p.Stab == 0 {
+		p = SearchParams{CostCap: math.Inf(1), Stab: 0.01}
+	}
+	m := a.Clone()
+	lu := &LU{n: m.N}
+	for step := 0; step < m.N; step++ {
+		var pv Pivot
+		var ok bool
+		if opt.Procs > 1 {
+			res := ParPivotRows(m, p, opt.Procs)
+			pv, ok = res.Pivot, res.OK
+		} else {
+			pv, ok, _ = SeqPivotRows(m, p)
+		}
+		if !ok {
+			return nil, fmt.Errorf("sparse: factorization breakdown at step %d of %d", step, m.N)
+		}
+		s := luStep{
+			pivot: pv,
+			row:   append([]Entry(nil), m.Rows[pv.Row]...),
+		}
+		for _, i := range m.ColRows(pv.Col) {
+			if i == pv.Row {
+				continue
+			}
+			if v := m.At(i, pv.Col); v != 0 {
+				s.factors = append(s.factors, factor{row: i, f: v / pv.Val})
+			}
+		}
+		lu.steps = append(lu.steps, s)
+		m.Eliminate(pv)
+	}
+	return lu, nil
+}
+
+// Steps returns the number of elimination steps recorded.
+func (lu *LU) Steps() int { return len(lu.steps) }
+
+// Solve computes x with A*x = b from the recorded factorization.
+func (lu *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != lu.n {
+		return nil, fmt.Errorf("sparse: rhs length %d != %d", len(b), lu.n)
+	}
+	if len(lu.steps) != lu.n {
+		return nil, fmt.Errorf("sparse: incomplete factorization (%d of %d steps)", len(lu.steps), lu.n)
+	}
+	// Forward elimination: replay the row updates on the rhs.
+	y := append([]float64(nil), b...)
+	for _, s := range lu.steps {
+		for _, f := range s.factors {
+			y[f.row] -= f.f * y[s.pivot.Row]
+		}
+	}
+	// Back substitution in reverse elimination order: step k's pivot row
+	// involves only variables eliminated at steps >= k.
+	x := make([]float64, lu.n)
+	for k := len(lu.steps) - 1; k >= 0; k-- {
+		s := lu.steps[k]
+		sum := y[s.pivot.Row]
+		for _, e := range s.row {
+			if e.Col != s.pivot.Col {
+				sum -= e.Val * x[e.Col]
+			}
+		}
+		x[s.pivot.Col] = sum / s.pivot.Val
+	}
+	return x, nil
+}
+
+// Residual returns the relative residual ||A*x - b||_inf / ||b||_inf,
+// used to validate Solve against the original matrix.
+func Residual(a *Matrix, x, b []float64) float64 {
+	var worst, bmax float64
+	for i := 0; i < a.N; i++ {
+		var ax float64
+		for _, e := range a.Rows[i] {
+			ax += e.Val * x[e.Col]
+		}
+		if r := math.Abs(ax - b[i]); r > worst {
+			worst = r
+		}
+		if v := math.Abs(b[i]); v > bmax {
+			bmax = v
+		}
+	}
+	if bmax == 0 {
+		return worst
+	}
+	return worst / bmax
+}

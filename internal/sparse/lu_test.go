@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func rhsFor(m *Matrix, xTrue []float64) []float64 {
+	b := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		for _, e := range m.Rows[i] {
+			b[i] += e.Val * xTrue[e.Col]
+		}
+	}
+	return b
+}
+
+func TestFactorizeAndSolve(t *testing.T) {
+	m := Generate("lu", 120, 700, 0, 77)
+	xTrue := make([]float64, m.N)
+	for i := range xTrue {
+		xTrue[i] = float64(i%13) - 6
+	}
+	b := rhsFor(m, xTrue)
+
+	lu, err := Factorize(m, FactorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.Steps() != m.N {
+		t.Fatalf("steps = %d", lu.Steps())
+	}
+	x, err := lu.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(m, x, b); r > 1e-8 {
+		t.Fatalf("relative residual %g too large", r)
+	}
+}
+
+func TestFactorizeParallelSearchIsConsistent(t *testing.T) {
+	// The parallel pivot search is sequentially consistent, so the
+	// factorization — every pivot, every factor — is identical.
+	m := Generate("lu-par", 80, 480, 0, 31)
+	seqLU, err := Factorize(m, FactorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parLU, err := Factorize(m, FactorOptions{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqLU.Steps() != parLU.Steps() {
+		t.Fatalf("step counts differ: %d vs %d", seqLU.Steps(), parLU.Steps())
+	}
+	for k := range seqLU.steps {
+		sp, pp := seqLU.steps[k].pivot, parLU.steps[k].pivot
+		if sp.Row != pp.Row || sp.Col != pp.Col {
+			t.Fatalf("step %d: pivot (%d,%d) vs (%d,%d)", k, sp.Row, sp.Col, pp.Row, pp.Col)
+		}
+	}
+	// And the solutions agree bit for bit.
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	xs, _ := seqLU.Solve(b)
+	xp, _ := parLU.Solve(b)
+	for i := range xs {
+		if xs[i] != xp[i] {
+			t.Fatalf("solutions differ at %d", i)
+		}
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	m := Generate("lu-bad", 20, 90, 0, 5)
+	lu, err := Factorize(m, FactorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lu.Solve(make([]float64, 3)); err == nil {
+		t.Fatal("wrong rhs length must be rejected")
+	}
+	incomplete := &LU{n: 20}
+	if _, err := incomplete.Solve(make([]float64, 20)); err == nil {
+		t.Fatal("incomplete factorization must be rejected")
+	}
+}
+
+func TestFactorizeBreakdownReported(t *testing.T) {
+	// A matrix with an unconditionally unacceptable search (cost cap
+	// negative) cannot factorize.
+	m := Generate("lu-break", 30, 140, 0, 9)
+	_, err := Factorize(m, FactorOptions{Params: SearchParams{CostCap: -1, Stab: 0.5}})
+	if err == nil {
+		t.Fatal("breakdown must be reported")
+	}
+}
+
+func TestResidualEdgeCases(t *testing.T) {
+	m := Generate("r", 10, 40, 0, 3)
+	x := make([]float64, 10)
+	b := make([]float64, 10)
+	if Residual(m, x, b) != 0 {
+		t.Fatal("zero everything should have zero residual")
+	}
+	b[0] = 1
+	if r := Residual(m, x, b); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("residual = %v, want 1", r)
+	}
+}
+
+func TestFactorizeDoesNotMutateInput(t *testing.T) {
+	m := Generate("lu-im", 40, 200, 0, 21)
+	before := m.Clone()
+	if _, err := Factorize(m, FactorOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != before.NNZ() {
+		t.Fatal("Factorize mutated its input")
+	}
+	for i := 0; i < m.N; i++ {
+		for k, e := range m.Rows[i] {
+			if before.Rows[i][k] != e {
+				t.Fatal("Factorize mutated its input entries")
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package sparse
+
+import (
+	"math"
+	"sort"
+
+	"whilepar/internal/doany"
+	"whilepar/internal/sched"
+)
+
+// Pivot is a pivot candidate.
+type Pivot struct {
+	Row, Col int
+	Val      float64
+	Cost     float64 // Markowitz cost at selection time
+	// Iter is the search iteration that selected it (its time-stamp).
+	Iter int
+}
+
+// Acceptable reports whether a candidate passes MA28's combined test: a
+// Markowitz cost not above costCap and numerical stability |val| >=
+// stab * max|column| (the growth bound for row-wise elimination).
+func (m *Matrix) Acceptable(i, j int, costCap, stab float64) (Pivot, bool) {
+	v := m.At(i, j)
+	if v == 0 {
+		return Pivot{}, false
+	}
+	if math.Abs(v) < stab*m.MaxAbsInCol(j) {
+		return Pivot{}, false
+	}
+	c := m.MarkowitzCost(i, j)
+	if c > costCap {
+		return Pivot{}, false
+	}
+	return Pivot{Row: i, Col: j, Val: v, Cost: c}, true
+}
+
+// SearchOrder returns the rows (or columns, by count array) sorted by
+// ascending live count — MA28 examines sparser rows first because they
+// bound the Markowitz cost.
+func SearchOrder(counts []int) []int {
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] < counts[order[b]] })
+	return order
+}
+
+// SearchParams bundle the search thresholds.
+type SearchParams struct {
+	// CostCap is the Markowitz cost threshold below which a candidate
+	// terminates the search (the loop's RV termination condition).
+	CostCap float64
+	// Stab is the partial-pivoting stability factor (MA28's u).
+	Stab float64
+}
+
+// SeqPivotRows is the sequential reference for MA30AD Loop 270: examine
+// rows in ascending-count order; within each row take the best-cost
+// acceptable entry; exit as soon as a candidate meets the cost cap.  It
+// returns the selected pivot (ok=false if none acceptable anywhere) and
+// the number of loop iterations the sequential WHILE loop performed.
+func SeqPivotRows(m *Matrix, p SearchParams) (Pivot, bool, int) {
+	order := SearchOrder(m.RowCount)
+	for it, i := range order {
+		if pv, ok := bestInRow(m, i, p); ok {
+			pv.Iter = it
+			return pv, true, it + 1
+		}
+	}
+	return Pivot{}, false, len(order)
+}
+
+// bestInRow scans one row for its lowest-cost acceptable entry.
+func bestInRow(m *Matrix, i int, p SearchParams) (Pivot, bool) {
+	best := Pivot{Cost: math.Inf(1)}
+	found := false
+	for _, e := range m.Rows[i] {
+		if pv, ok := m.Acceptable(i, e.Col, p.CostCap, p.Stab); ok && pv.Cost < best.Cost {
+			best = pv
+			found = true
+		}
+	}
+	return best, found
+}
+
+// bestInCol scans one column (Loop 320's orientation).
+func bestInCol(m *Matrix, j int, p SearchParams) (Pivot, bool) {
+	best := Pivot{Cost: math.Inf(1)}
+	found := false
+	for _, i := range m.ColRows(j) {
+		if pv, ok := m.Acceptable(i, j, p.CostCap, p.Stab); ok && pv.Cost < best.Cost {
+			best = pv
+			found = true
+		}
+	}
+	return best, found
+}
+
+// SeqPivotCols is the sequential reference for MA30AD Loop 320: the
+// column-oriented search.
+func SeqPivotCols(m *Matrix, p SearchParams) (Pivot, bool, int) {
+	order := SearchOrder(m.ColCount)
+	for it, j := range order {
+		if pv, ok := bestInCol(m, j, p); ok {
+			pv.Iter = it
+			return pv, true, it + 1
+		}
+	}
+	return Pivot{}, false, len(order)
+}
+
+// ParPivotResult reports a parallel pivot search.
+type ParPivotResult struct {
+	Pivot    Pivot
+	OK       bool
+	Valid    int // last valid iteration bound (exclusive)
+	Executed int
+	Overshot int
+}
+
+// ParPivot parallelizes a pivot search (Loop 270 or 320) preserving
+// MA28's sequential consistency, exactly as Section 9 describes: the
+// candidate space is run as a speculative DOALL; every processor
+// time-stamps the pivots it finds into privatized storage; after
+// termination, a time-stamp-ordered reduction selects the pivot the
+// sequential search would have chosen — the acceptable candidate with
+// the minimum iteration number.  Overshot iterations only produced
+// discarded candidates, so the only state needing backup IS the
+// privatized, time-stamped candidate list.
+//
+// scan(i) evaluates candidate order[i] and reports an acceptable pivot
+// if it holds one.  The search exits (RV) at the first acceptable
+// candidate in iteration order.
+func ParPivot(n, procs int, scan func(i int) (Pivot, bool)) ParPivotResult {
+	if procs < 1 {
+		procs = 1
+	}
+	// Privatized, time-stamped candidate storage: one slice per virtual
+	// processor, appended to only by that processor's iterations.
+	type stamped struct{ pivots []Pivot }
+	perVP := make([]stamped, procs)
+
+	res := sched.DOALL(n, sched.Options{Procs: procs}, func(i, vpn int) sched.Control {
+		if pv, ok := scan(i); ok {
+			pv.Iter = i
+			perVP[vpn].pivots = append(perVP[vpn].pivots, pv)
+			return sched.Quit
+		}
+		return sched.Continue
+	})
+
+	// Time-stamp-ordered reduction: minimum iteration among candidates
+	// stamped at or below the quit bound.
+	out := ParPivotResult{Valid: res.QuitIndex + 1, Executed: res.Executed, Overshot: res.Overshot}
+	best := Pivot{Iter: int(^uint(0) >> 1)}
+	for _, s := range perVP {
+		for _, pv := range s.pivots {
+			if pv.Iter <= res.QuitIndex && pv.Iter < best.Iter {
+				best = pv
+				out.OK = true
+			}
+		}
+	}
+	if out.OK {
+		out.Pivot = best
+	} else {
+		out.Valid = n
+	}
+	return out
+}
+
+// ParPivotRows runs Loop 270 in parallel.
+func ParPivotRows(m *Matrix, p SearchParams, procs int) ParPivotResult {
+	order := SearchOrder(m.RowCount)
+	return ParPivot(len(order), procs, func(i int) (Pivot, bool) {
+		return bestInRow(m, order[i], p)
+	})
+}
+
+// ParPivotCols runs Loop 320 in parallel.
+func ParPivotCols(m *Matrix, p SearchParams, procs int) ParPivotResult {
+	order := SearchOrder(m.ColCount)
+	return ParPivot(len(order), procs, func(i int) (Pivot, bool) {
+		return bestInCol(m, order[i], p)
+	})
+}
+
+// DoanyPivot implements MCSPARSE DFACT Loop 500 as a WHILE-DOANY
+// (Section 9): the program is insensitive to the order in which rows and
+// columns are searched, so the row loop and the column WHILE loop fuse
+// into one unordered search over 2N candidates — candidate i < N is row
+// i, candidate i >= N is column i-N.  The first acceptable pivot found
+// (in any order) satisfies the terminator; overshot iterations need no
+// backups and no time-stamps because extra searching is harmless.
+func DoanyPivot(m *Matrix, p SearchParams, procs int) (Pivot, bool, doany.Stats) {
+	n2 := 2 * m.N
+	better := func(a, b Pivot) Pivot {
+		// Order-insensitive combiner: lowest cost wins; ties by
+		// position for determinism of the *reduction* (not the search).
+		if !validPivot(a) {
+			return b
+		}
+		if !validPivot(b) {
+			return a
+		}
+		if b.Cost < a.Cost || (b.Cost == a.Cost && (b.Row < a.Row || (b.Row == a.Row && b.Col < a.Col))) {
+			return b
+		}
+		return a
+	}
+	zero := Pivot{Cost: math.Inf(1), Row: -1}
+	pv, st := doany.Run(n2, procs, zero, better, func(i, vpn int) (Pivot, doany.Verdict) {
+		var cand Pivot
+		var ok bool
+		if i < m.N {
+			cand, ok = bestInRow(m, i, p)
+		} else {
+			cand, ok = bestInCol(m, i-m.N, p)
+		}
+		if !ok {
+			return zero, doany.Nothing
+		}
+		return cand, doany.Satisfied
+	})
+	return pv, validPivot(pv), st
+}
+
+func validPivot(p Pivot) bool { return p.Row >= 0 && !math.IsInf(p.Cost, 1) }
+
+// Eliminate performs one step of structural Gaussian elimination with
+// the given pivot: it removes the pivot row and column from the live
+// structure and adds fill-in entries (structurally) for every (i, j)
+// with i in the pivot column and j in the pivot row.  Values are updated
+// with the Schur-complement formula on stored entries.  It keeps the
+// pivot searches honest: successive searches see evolving counts.
+func (m *Matrix) Eliminate(p Pivot) {
+	if p.Row < 0 || p.Row >= m.N || p.Val == 0 {
+		return
+	}
+	// Column entries: rows i != p.Row with a stored (i, p.Col).
+	var colRows []int
+	for i := 0; i < m.N; i++ {
+		if i != p.Row && m.At(i, p.Col) != 0 {
+			colRows = append(colRows, i)
+		}
+	}
+	pivotRow := append([]Entry(nil), m.Rows[p.Row]...)
+	for _, i := range colRows {
+		f := m.At(i, p.Col) / p.Val
+		for _, e := range pivotRow {
+			if e.Col == p.Col {
+				continue
+			}
+			if m.has(i, e.Col) {
+				for k := range m.Rows[i] {
+					if m.Rows[i][k].Col == e.Col {
+						m.Rows[i][k].Val -= f * e.Val
+					}
+				}
+			} else {
+				m.Rows[i] = append(m.Rows[i], Entry{Col: e.Col, Val: -f * e.Val})
+				m.RowCount[i]++
+				m.ColCount[e.Col]++
+			}
+		}
+		// Remove the eliminated (i, p.Col) entry.
+		m.removeEntry(i, p.Col)
+	}
+	// Retire the pivot row.
+	for _, e := range m.Rows[p.Row] {
+		m.ColCount[e.Col]--
+	}
+	m.Rows[p.Row] = nil
+	m.RowCount[p.Row] = 0
+	m.InvalidateIndex()
+}
+
+func (m *Matrix) removeEntry(i, j int) {
+	row := m.Rows[i]
+	for k := range row {
+		if row[k].Col == j {
+			m.Rows[i] = append(row[:k], row[k+1:]...)
+			m.RowCount[i]--
+			m.ColCount[j]--
+			return
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShape(t *testing.T) {
+	m := Generate("t", 100, 500, 0, 7)
+	if m.N != 100 {
+		t.Fatalf("N = %d", m.N)
+	}
+	nnz := m.NNZ()
+	if nnz < 300 || nnz > 500 {
+		t.Fatalf("nnz = %d, want near 500", nnz)
+	}
+	// Diagonal present and counts consistent.
+	totalRC, totalCC := 0, 0
+	for i := 0; i < m.N; i++ {
+		if m.At(i, i) == 0 {
+			t.Fatalf("missing diagonal at %d", i)
+		}
+		if m.RowCount[i] != len(m.Rows[i]) {
+			t.Fatalf("row count mismatch at %d", i)
+		}
+		totalRC += m.RowCount[i]
+		totalCC += m.ColCount[i]
+	}
+	if totalRC != nnz || totalCC != nnz {
+		t.Fatalf("count totals %d/%d != nnz %d", totalRC, totalCC, nnz)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate("x", 50, 200, 10, 42)
+	b := Generate("x", 50, 200, 10, 42)
+	for i := 0; i < 50; i++ {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			t.Fatal("generation not deterministic")
+		}
+		for k := range a.Rows[i] {
+			if a.Rows[i][k] != b.Rows[i][k] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestBandRestrictsSpread(t *testing.T) {
+	m := Generate("banded", 200, 1000, 5, 3)
+	for i := 0; i < m.N; i++ {
+		for _, e := range m.Rows[i] {
+			if d := e.Col - i; d < -5 || d > 5 {
+				t.Fatalf("entry (%d,%d) outside band", i, e.Col)
+			}
+		}
+	}
+}
+
+func TestPresetsLoad(t *testing.T) {
+	wantDims := map[string]int{"gematt11": 4929, "gematt12": 4929, "orsreg1": 2205, "saylr4": 3564}
+	for _, name := range Inputs() {
+		m := Load(name)
+		if m.N != wantDims[name] {
+			t.Fatalf("%s: N = %d", name, m.N)
+		}
+		if m.Name != name {
+			t.Fatalf("name = %q", m.Name)
+		}
+		if m.String() == "" {
+			t.Fatal("String empty")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown preset should panic")
+		}
+	}()
+	Load("nosuch")
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Generate("c", 20, 80, 0, 5)
+	c := m.Clone()
+	c.Rows[3][0].Val = 999
+	c.RowCount[3] = 0
+	if m.Rows[3][0].Val == 999 || m.RowCount[3] == 0 {
+		t.Fatal("clone aliased original")
+	}
+}
+
+func TestMarkowitzAndStability(t *testing.T) {
+	m := Generate("mk", 30, 120, 0, 9)
+	i := 0
+	j := m.Rows[i][0].Col
+	want := float64(m.RowCount[i]-1) * float64(m.ColCount[j]-1)
+	if got := m.MarkowitzCost(i, j); got != want {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+	// Acceptable rejects zero entries, unstable entries, costly entries.
+	if _, ok := m.Acceptable(0, 0, -1, 0); ok {
+		t.Fatal("cost cap -1 should reject everything")
+	}
+	if _, ok := m.Acceptable(0, 0, math.Inf(1), 0); !ok {
+		t.Fatal("diagonal with infinite cap must be acceptable")
+	}
+	// A value below stab*maxrow fails.
+	if mx := m.MaxAbsInRow(0); mx <= 0 {
+		t.Fatal("row 0 should have entries")
+	}
+}
+
+func TestSearchOrderSorts(t *testing.T) {
+	order := SearchOrder([]int{5, 1, 3, 1})
+	if order[0] != 1 || order[1] != 3 { // stable: index 1 before 3
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestParPivotMatchesSequential(t *testing.T) {
+	p := SearchParams{CostCap: 60, Stab: 0.1}
+	for _, name := range []string{"orsreg1", "saylr4"} {
+		m := Load(name)
+		seqPv, seqOK, seqIters := SeqPivotRows(m, p)
+		for _, procs := range []int{1, 2, 4, 8} {
+			res := ParPivotRows(m, p, procs)
+			if res.OK != seqOK {
+				t.Fatalf("%s p=%d: ok mismatch", name, procs)
+			}
+			if seqOK && (res.Pivot.Row != seqPv.Row || res.Pivot.Col != seqPv.Col) {
+				t.Fatalf("%s p=%d: pivot (%d,%d) != sequential (%d,%d)",
+					name, procs, res.Pivot.Row, res.Pivot.Col, seqPv.Row, seqPv.Col)
+			}
+			if seqOK && res.Valid != seqIters {
+				t.Fatalf("%s p=%d: valid %d != sequential iterations %d", name, procs, res.Valid, seqIters)
+			}
+		}
+		// Column search too.
+		seqPvC, seqOKC, _ := SeqPivotCols(m, p)
+		resC := ParPivotCols(m, p, 4)
+		if resC.OK != seqOKC || (seqOKC && (resC.Pivot.Row != seqPvC.Row || resC.Pivot.Col != seqPvC.Col)) {
+			t.Fatalf("%s: column search mismatch", name)
+		}
+	}
+}
+
+func TestParPivotNoAcceptableCandidate(t *testing.T) {
+	m := Generate("none", 40, 160, 0, 2)
+	p := SearchParams{CostCap: -1, Stab: 0} // nothing acceptable
+	res := ParPivotRows(m, p, 4)
+	if res.OK {
+		t.Fatal("no candidate should be found")
+	}
+	if res.Valid != m.N {
+		t.Fatalf("valid = %d, want full space", res.Valid)
+	}
+}
+
+func TestDoanyPivotFindsAcceptable(t *testing.T) {
+	m := Load("orsreg1")
+	p := SearchParams{CostCap: 100, Stab: 0.05}
+	pv, ok, st := DoanyPivot(m, p, 4)
+	if !ok {
+		t.Fatal("doany search found nothing")
+	}
+	// The pivot must actually be acceptable.
+	if _, acc := m.Acceptable(pv.Row, pv.Col, p.CostCap, p.Stab); !acc {
+		t.Fatalf("doany produced unacceptable pivot %+v", pv)
+	}
+	if st.Executed == 0 {
+		t.Fatal("stats empty")
+	}
+	// With an impossible threshold the space is exhausted.
+	_, ok2, st2 := DoanyPivot(m, SearchParams{CostCap: -1, Stab: 0}, 4)
+	if ok2 || st2.SatisfiedAt != -1 {
+		t.Fatalf("impossible search: ok=%v stats=%+v", ok2, st2)
+	}
+}
+
+func TestEliminateMaintainsCounts(t *testing.T) {
+	m := Generate("elim", 60, 300, 0, 13)
+	p := SearchParams{CostCap: math.Inf(1), Stab: 0.01}
+	pv, ok, _ := SeqPivotRows(m, p)
+	if !ok {
+		t.Fatal("setup: no pivot")
+	}
+	m.Eliminate(pv)
+	// Pivot row retired.
+	if m.RowCount[pv.Row] != 0 || len(m.Rows[pv.Row]) != 0 {
+		t.Fatal("pivot row not retired")
+	}
+	// Counts must equal structure.
+	colCount := make([]int, m.N)
+	for i := 0; i < m.N; i++ {
+		if m.RowCount[i] != len(m.Rows[i]) {
+			t.Fatalf("row count desync at %d: %d != %d", i, m.RowCount[i], len(m.Rows[i]))
+		}
+		for _, e := range m.Rows[i] {
+			colCount[e.Col]++
+		}
+	}
+	for j := 0; j < m.N; j++ {
+		if m.ColCount[j] != colCount[j] {
+			t.Fatalf("col count desync at %d: %d != %d", j, m.ColCount[j], colCount[j])
+		}
+	}
+	// Pivot column emptied of live entries.
+	for i := 0; i < m.N; i++ {
+		if i != pv.Row && m.At(i, pv.Col) != 0 {
+			t.Fatalf("column entry (%d,%d) survived elimination", i, pv.Col)
+		}
+	}
+}
+
+func TestEliminateSchurUpdate(t *testing.T) {
+	// 2x2 dense check: eliminating (0,0) must set A[1][1] -= A[1][0]*A[0][1]/A[0][0].
+	m := &Matrix{Name: "s", N: 2,
+		Rows: [][]Entry{
+			{{Col: 0, Val: 2}, {Col: 1, Val: 4}},
+			{{Col: 0, Val: 1}, {Col: 1, Val: 10}},
+		},
+		RowCount: []int{2, 2}, ColCount: []int{2, 2},
+	}
+	m.Eliminate(Pivot{Row: 0, Col: 0, Val: 2})
+	if got := m.At(1, 1); got != 8 { // 10 - (1/2)*4
+		t.Fatalf("Schur update = %v, want 8", got)
+	}
+	if m.At(1, 0) != 0 {
+		t.Fatal("eliminated entry survived")
+	}
+}
+
+func TestEliminateIgnoresDegeneratePivot(t *testing.T) {
+	m := Generate("d", 10, 40, 0, 1)
+	before := m.NNZ()
+	m.Eliminate(Pivot{Row: -1})
+	m.Eliminate(Pivot{Row: 0, Col: 0, Val: 0})
+	if m.NNZ() != before {
+		t.Fatal("degenerate pivots must be no-ops")
+	}
+}
+
+// Property: parallel pivot search is sequentially consistent for random
+// small matrices and thresholds.
+func TestParPivotSequentialConsistencyProperty(t *testing.T) {
+	f := func(seed uint64, capRaw, procsRaw uint8) bool {
+		m := Generate("prop", 40, 200, 0, seed)
+		p := SearchParams{CostCap: float64(capRaw % 50), Stab: 0.05}
+		procs := int(procsRaw)%6 + 1
+		seqPv, seqOK, _ := SeqPivotRows(m, p)
+		res := ParPivotRows(m, p, procs)
+		if res.OK != seqOK {
+			return false
+		}
+		if !seqOK {
+			return true
+		}
+		return res.Pivot.Row == seqPv.Row && res.Pivot.Col == seqPv.Col && res.Pivot.Iter == seqPv.Iter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package speculate is the run-time engine for speculative parallel
+// execution of WHILE loops with unknown cross-iteration dependences
+// (Section 5): checkpoint the affected state, execute the loop in
+// parallel under time-stamping, shadow marking and (optionally)
+// privatization, then validate — undoing overshot iterations and
+// committing on success, or restoring everything and re-executing the
+// loop sequentially on failure (a failed PD test or an exception).
+//
+// The engine is method-agnostic: the caller supplies the parallel
+// runner (built from internal/induction, internal/genrec, a strip-mined
+// or windowed schedule, ...) and the sequential fallback; the engine
+// owns the protocol around them.
+package speculate
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/pdtest"
+	"whilepar/internal/priv"
+	"whilepar/internal/tsmem"
+)
+
+// PrivSpec names an array to privatize for the speculative run.
+type PrivSpec struct {
+	Arr *mem.Array
+	// CopyIn initializes private copies from the shared array.
+	CopyIn bool
+	// Live requests last-value copy-out after a valid run.
+	Live bool
+}
+
+// Spec describes the speculative execution.
+type Spec struct {
+	// Procs is the number of virtual processors.
+	Procs int
+	// Shared lists the arrays the loop may write in place; they are
+	// checkpointed and their stores time-stamped so overshoot can be
+	// undone.  Privatized arrays must NOT be listed here — the shared
+	// original is their backup.
+	Shared []*mem.Array
+	// Tested lists the arrays whose dependence structure is unknown;
+	// each gets a PD test.
+	Tested []*mem.Array
+	// Privatized lists arrays executed against private per-processor
+	// copies.
+	Privatized []PrivSpec
+	// StampThreshold enables Section 8.1 statistics-enhanced stamping
+	// (iterations below it are not stamped).
+	StampThreshold int
+	// SparseUndo selects the hash-table undo scheme of Section 4 for
+	// arrays with sparse access patterns: instead of cloning whole
+	// arrays and keeping a stamp per element, the overwritten value and
+	// writing iteration are saved per *touched* location.  Memory is
+	// proportional to the accesses, not the array extents.  Incompatible
+	// with StampThreshold (every store must be logged).
+	SparseUndo bool
+}
+
+// ParallelRunner executes the loop in parallel using the supplied
+// tracker for every managed-memory access, and returns the number of
+// valid iterations it determined (e.g. via Induction-1's minimum
+// reduction).  A returned error is treated like an exception: the
+// parallel execution is abandoned and the loop re-executed
+// sequentially.
+type ParallelRunner func(tracker mem.Tracker) (valid int, err error)
+
+// SequentialRunner re-executes the original loop sequentially against
+// the (restored) shared state and returns the number of valid
+// iterations.
+type SequentialRunner func() int
+
+// Report describes what the engine did.
+type Report struct {
+	// Valid is the final number of valid iterations.
+	Valid int
+	// UsedParallel is true if the speculative parallel execution was
+	// kept; false if the loop was re-executed sequentially.
+	UsedParallel bool
+	// Failure explains a sequential fallback ("" if none).
+	Failure string
+	// PD holds the per-tested-array verdicts (index-aligned with
+	// Spec.Tested).
+	PD []pdtest.Result
+	// Undone is the number of memory locations restored by the
+	// overshoot undo.
+	Undone int
+	// CopiedOut counts last-value copy-out elements.
+	CopiedOut int
+}
+
+// Run executes the speculation protocol.
+func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
+	if par == nil || seq == nil {
+		return Report{}, fmt.Errorf("speculate: both parallel and sequential runners are required")
+	}
+	procs := spec.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	if spec.SparseUndo && spec.StampThreshold > 0 {
+		return Report{}, fmt.Errorf("speculate: SparseUndo is incompatible with a stamp threshold")
+	}
+
+	// Tb: checkpoint the in-place arrays — or, with SparseUndo, defer
+	// to first-touch logging (no up-front copies at all).
+	var undoer interface {
+		Tracker() mem.Tracker
+	}
+	ts := tsmem.New(spec.Shared...)
+	var sp *tsmem.SparseMemory
+	if spec.SparseUndo {
+		sp = tsmem.NewSparse()
+		undoer = sp
+	} else {
+		ts.Checkpoint()
+		ts.SetStampThreshold(spec.StampThreshold)
+		undoer = ts
+	}
+
+	// Shadow structures for the PD tests.
+	var tests []*pdtest.Test
+	var observers []mem.Observer
+	for _, a := range spec.Tested {
+		t := pdtest.New(a, procs)
+		tests = append(tests, t)
+		observers = append(observers, t.Observer())
+	}
+
+	// Privatized arrays: redirect through private copies; the undo
+	// tracker remains the sink for everything else.
+	var sink mem.Tracker = undoer.Tracker()
+	var privs []*priv.Private
+	for _, ps := range spec.Privatized {
+		p := priv.New(ps.Arr, procs, priv.Options{CopyIn: ps.CopyIn, Live: ps.Live})
+		privs = append(privs, p)
+		sink = p.Tracker(sink)
+	}
+	tracker := mem.Tracker(mem.Chain{Observers: observers, Sink: sink})
+	if len(observers) == 0 {
+		tracker = sink
+	}
+
+	fallback := func(reason string) (Report, error) {
+		if sp != nil {
+			sp.RestoreAll()
+		} else if err := ts.RestoreAll(); err != nil {
+			return Report{}, fmt.Errorf("speculate: restore failed: %w", err)
+		}
+		valid := seq()
+		return Report{Valid: valid, Failure: reason, PD: snapshots(tests, valid)}, nil
+	}
+
+	valid, err := par(tracker)
+	if err != nil {
+		// Exceptions are treated as an invalid parallel execution.
+		return fallback(fmt.Sprintf("exception during parallel execution: %v", err))
+	}
+	if valid < 0 {
+		return fallback(fmt.Sprintf("parallel runner reported invalid count %d", valid))
+	}
+
+	// Post-execution analysis: every tested array must pass — as a
+	// plain DOALL if it was run in place, or as a privatized DOALL if
+	// it was privatized.
+	privSet := make(map[*mem.Array]bool, len(privs))
+	for _, p := range privs {
+		privSet[p.Shared()] = true
+	}
+	var results []pdtest.Result
+	for i, t := range tests {
+		r := t.Analyze(valid)
+		results = append(results, r)
+		ok := r.DOALL
+		if privSet[t.Array()] {
+			ok = r.DOALLWithPriv
+		}
+		if !ok {
+			rep, ferr := fallback(fmt.Sprintf("PD test failed on array %q", spec.Tested[i].Name))
+			rep.PD = results
+			return rep, ferr
+		}
+	}
+
+	// Valid speculation: undo overshoot, copy out privatized last
+	// values, commit.
+	var undone int
+	if sp != nil {
+		undone = sp.Undo(valid)
+	} else {
+		var err error
+		undone, err = ts.Undo(valid)
+		if err != nil {
+			// The statistics-enhanced threshold was optimistic: stamps
+			// for the overshoot region were never made.  Fall back.
+			return fallback(fmt.Sprintf("undo impossible: %v", err))
+		}
+		ts.Commit()
+	}
+	copied := 0
+	for _, p := range privs {
+		copied += p.CopyOut(valid)
+	}
+	return Report{Valid: valid, UsedParallel: true, PD: results, Undone: undone, CopiedOut: copied}, nil
+}
+
+// snapshots analyzes all tests for reporting after a fallback (the
+// verdicts are informational; state has already been restored).
+func snapshots(tests []*pdtest.Test, valid int) []pdtest.Result {
+	var out []pdtest.Result
+	for _, t := range tests {
+		out = append(out, t.Analyze(valid))
+	}
+	return out
+}
+
+// RunTwice implements Section 4's time-stamp-free alternative: run the
+// parallel loop once (with writes, but no stamps) purely to learn the
+// iteration count, restore the checkpoint, then run exactly the valid
+// iterations as a plain DOALL.  It costs a second execution instead of
+// per-write stamps.
+//
+// firstRun executes the full speculative space and returns the valid
+// count; secondRun executes exactly [0, valid) with direct memory
+// access.
+func RunTwice(shared []*mem.Array, firstRun func() (int, error), secondRun func(valid int) error) (int, error) {
+	ts := tsmem.New(shared...)
+	ts.Checkpoint()
+	valid, err := firstRun()
+	if err != nil {
+		if rerr := ts.RestoreAll(); rerr != nil {
+			return 0, rerr
+		}
+		return 0, err
+	}
+	if err := ts.RestoreAll(); err != nil {
+		return 0, err
+	}
+	if err := secondRun(valid); err != nil {
+		return 0, err
+	}
+	return valid, nil
+}
+
+// ExceptionLog supports the exception-hazard handling of Section 5.1:
+// loop bodies wrap risky work in Guard, which converts a panic into a
+// recorded exception instead of crashing the worker; the parallel
+// runner then reports an error, triggering the sequential fallback.
+type ExceptionLog struct {
+	n     atomic.Int64
+	first atomic.Value // string
+}
+
+// Guard runs f, recovering a panic into the log.  It returns true if f
+// completed normally.
+func (e *ExceptionLog) Guard(f func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.n.Add(1)
+			e.first.CompareAndSwap(nil, fmt.Sprint(r))
+			ok = false
+		}
+	}()
+	f()
+	return true
+}
+
+// Count returns the number of exceptions recorded.
+func (e *ExceptionLog) Count() int { return int(e.n.Load()) }
+
+// Err returns an error describing the first exception, or nil.
+func (e *ExceptionLog) Err() error {
+	if e.Count() == 0 {
+		return nil
+	}
+	return fmt.Errorf("speculate: %d exception(s), first: %v", e.Count(), e.first.Load())
+}

@@ -1,0 +1,120 @@
+package speculate
+
+import (
+	"fmt"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/pdtest"
+	"whilepar/internal/tsmem"
+)
+
+// StripReport describes a strip-mined speculative execution.
+type StripReport struct {
+	// Valid is the global number of valid iterations.
+	Valid int
+	// Strips executed; SeqStrips of them fell back to sequential
+	// re-execution after a failed PD test or exception.
+	Strips, SeqStrips int
+	// Undone counts locations restored across all strips.
+	Undone int
+	// Done reports whether the loop terminated within the bound (vs
+	// exhausting Total iterations).
+	Done bool
+}
+
+// StripPar executes one strip [lo, hi) in parallel under the given
+// tracker and returns the number of valid iterations *within the strip*
+// and whether the termination condition was met in it.  An error is an
+// exception (triggers the strip's sequential fallback).
+type StripPar func(tr mem.Tracker, lo, hi int) (valid int, done bool, err error)
+
+// StripSeq re-executes one strip sequentially (after a failed strip) and
+// returns the same.
+type StripSeq func(lo, hi int) (valid int, done bool)
+
+// RunStripped is the strip-mined speculation protocol of Sections 4, 5.1
+// and 8.1: the iteration space is executed strip by strip; each strip is
+// checkpointed, run speculatively under time-stamps and fresh PD-test
+// shadow structures, validated, and then either committed (with its
+// overshoot undone) or restored and re-executed sequentially.
+//
+// Two properties the paper wants from this shape:
+//
+//   - memory: time-stamps and shadow marks exist only for the current
+//     strip, bounding the overhead memory by O(strip * writes/iter);
+//   - safety: if the termination condition depends on a variable with
+//     unknown dependences, an un-strip-mined speculative run could
+//     mis-identify the last valid iteration or never terminate; here
+//     every strip's dependences are tested before its values are
+//     trusted, and a failed strip costs one strip's re-execution, not
+//     the whole loop's.
+func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (StripReport, error) {
+	if par == nil || seq == nil {
+		return StripReport{}, fmt.Errorf("speculate: both strip runners are required")
+	}
+	if strip < 1 {
+		return StripReport{}, fmt.Errorf("speculate: strip size must be positive, got %d", strip)
+	}
+	procs := spec.Procs
+	if procs < 1 {
+		procs = 1
+	}
+
+	var rep StripReport
+	for lo := 0; lo < total; lo += strip {
+		hi := lo + strip
+		if hi > total {
+			hi = total
+		}
+		rep.Strips++
+
+		// Fresh per-strip machinery: bounded memory by construction.
+		ts := tsmem.New(spec.Shared...)
+		ts.Checkpoint()
+		var tests []*pdtest.Test
+		var observers []mem.Observer
+		for _, a := range spec.Tested {
+			t := pdtest.New(a, procs)
+			tests = append(tests, t)
+			observers = append(observers, t.Observer())
+		}
+		var tracker mem.Tracker = ts.Tracker()
+		if len(observers) > 0 {
+			tracker = mem.Chain{Observers: observers, Sink: tracker}
+		}
+
+		valid, done, err := par(tracker, lo, hi)
+		ok := err == nil && valid >= 0 && valid <= hi-lo
+		if ok {
+			for _, t := range tests {
+				// Iterations are stamped with their global indices.
+				r := t.Analyze(lo + valid)
+				if !r.DOALL {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			if rerr := ts.RestoreAll(); rerr != nil {
+				return rep, rerr
+			}
+			rep.SeqStrips++
+			valid, done = seq(lo, hi)
+		} else if valid < hi-lo || done {
+			// Undo the strip's overshoot (stamps carry global indices).
+			undone, uerr := ts.Undo(lo + valid)
+			if uerr != nil {
+				return rep, uerr
+			}
+			rep.Undone += undone
+			done = true
+		}
+		rep.Valid += valid
+		if done {
+			rep.Done = true
+			return rep, nil
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,86 @@
+package speculate
+
+import (
+	"fmt"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/pdtest"
+	"whilepar/internal/tsmem"
+	"whilepar/internal/window"
+)
+
+// WindowedReport describes a sliding-window speculative execution.
+type WindowedReport struct {
+	// Valid iterations (matches the sequential loop).
+	Valid int
+	// UsedParallel is false if a failed PD test forced a sequential
+	// re-execution of the whole loop.
+	UsedParallel bool
+	// MaxSpan is the largest in-flight iteration span observed — the
+	// live time-stamp footprint is bounded by MaxSpan * writes/iter.
+	MaxSpan int
+	// Undone locations restored after the exit was found.
+	Undone int
+}
+
+// WindowedBody executes one iteration under the tracker and reports
+// whether it met the termination condition.
+type WindowedBody func(tr mem.Tracker, i, vpn int) (quit bool)
+
+// RunWindowed is the resource-controlled variant of the speculation
+// protocol (Section 8.2 applied to Section 4/5): iterations are issued
+// under a sliding window — bounding the live time-stamp memory without
+// strip mining's global barriers — while stores are stamped and shadow-
+// marked exactly as in Run.  On a passed PD test the overshoot beyond
+// the discovered exit is undone; on a failure the checkpoint is restored
+// and seq re-executes the loop.
+func RunWindowed(spec Spec, n int, cfg window.Config, body WindowedBody, seq SequentialRunner) (WindowedReport, error) {
+	if body == nil || seq == nil {
+		return WindowedReport{}, fmt.Errorf("speculate: body and sequential runner are required")
+	}
+	procs := spec.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	cfg.Procs = procs
+
+	ts := tsmem.New(spec.Shared...)
+	ts.Checkpoint()
+	var tests []*pdtest.Test
+	var observers []mem.Observer
+	for _, a := range spec.Tested {
+		t := pdtest.New(a, procs)
+		tests = append(tests, t)
+		observers = append(observers, t.Observer())
+	}
+	var tracker mem.Tracker = ts.Tracker()
+	if len(observers) > 0 {
+		tracker = mem.Chain{Observers: observers, Sink: tracker}
+	}
+
+	res := window.Run(n, cfg, func(i, vpn int) window.Control {
+		if body(tracker, i, vpn) {
+			return window.Quit
+		}
+		return window.Continue
+	})
+	valid := res.QuitIndex
+
+	for _, t := range tests {
+		if r := t.Analyze(valid); !r.DOALL {
+			if err := ts.RestoreAll(); err != nil {
+				return WindowedReport{}, err
+			}
+			return WindowedReport{Valid: seq(), MaxSpan: res.MaxSpan}, nil
+		}
+	}
+	undone, err := ts.Undo(valid)
+	if err != nil {
+		if rerr := ts.RestoreAll(); rerr != nil {
+			return WindowedReport{}, rerr
+		}
+		return WindowedReport{Valid: seq(), MaxSpan: res.MaxSpan}, nil
+	}
+	ts.Commit()
+	return WindowedReport{Valid: valid, UsedParallel: true, MaxSpan: res.MaxSpan, Undone: undone}, nil
+}

@@ -1,0 +1,181 @@
+// Package spice is the synthetic stand-in for the SPICE circuit
+// simulator's LOAD subroutine from the PERFECT Benchmarks (Section 9,
+// Loop 40): the loop that traverses the linked list of device models of
+// one kind (capacitors in Loop 40; the structurally identical loops in
+// subroutines BJT and MOSFET handle transistors) and, for each device,
+// evaluates the model and stamps its contribution into the circuit
+// matrix.
+//
+// The loop's shape is exactly Figure 1(b): a general-recurrence
+// dispatcher (the model-list pointer), an RI terminator (null pointer),
+// and a parallel remainder — for the PERFECT input the paper used, the
+// devices' stamp locations are disjoint, so the loop is fully parallel
+// with no backups and no time-stamps.  The synthetic circuit preserves
+// that: every device owns two dedicated stamp slots.
+//
+// Substitution note (DESIGN.md): the real SPICE input deck is not
+// available; the synthetic netlist reproduces the loop structure (list
+// length, disjoint stamps, little work per node) that the experiment's
+// behaviour depends on.
+package spice
+
+import (
+	"math"
+
+	"whilepar/internal/list"
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+)
+
+// DeviceKind distinguishes the model lists.
+type DeviceKind int
+
+const (
+	Capacitor DeviceKind = iota
+	BJT
+	MOSFET
+)
+
+// String names the kind as SPICE's subroutines do.
+func (k DeviceKind) String() string {
+	switch k {
+	case Capacitor:
+		return "capacitor"
+	case BJT:
+		return "BJT"
+	}
+	return "MOSFET"
+}
+
+// Device is one device model instance.  NodeA/NodeB are the circuit
+// nodes it connects; P1/P2 its model parameters (capacitance, gain,
+// threshold...).
+type Device struct {
+	Kind   DeviceKind
+	NodeA  int
+	NodeB  int
+	P1, P2 float64
+}
+
+// Circuit is a synthetic netlist: per-kind device model linked lists
+// plus the shared arrays the LOAD loop reads and writes.
+type Circuit struct {
+	Nodes   int
+	Devices []Device
+	// heads[kind] is the device-model linked list; node Key indexes
+	// Devices.
+	heads map[DeviceKind]*list.Node
+	// Voltages is the node-voltage vector (read-only in LOAD).
+	Voltages *mem.Array
+	// Stamps is the matrix-stamp target: device d owns slots 2d and
+	// 2d+1, so stamps are disjoint across devices.
+	Stamps *mem.Array
+}
+
+// New builds a circuit with the given numbers of devices per kind over
+// `nodes` circuit nodes, deterministically from seed.
+func New(nodes, nCap, nBJT, nMOS int, seed uint64) *Circuit {
+	total := nCap + nBJT + nMOS
+	c := &Circuit{
+		Nodes:    nodes,
+		Devices:  make([]Device, 0, total),
+		heads:    make(map[DeviceKind]*list.Node),
+		Voltages: mem.NewArray("V", nodes),
+		Stamps:   mem.NewArray("stamps", 2*total),
+	}
+	s := seed ^ 0xabcdef123
+	rnd := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64((s>>11)%1_000_000) / 1_000_000
+	}
+	for i := 0; i < nodes; i++ {
+		c.Voltages.Data[i] = rnd()*5 - 2.5
+	}
+	add := func(kind DeviceKind, n int) {
+		base := len(c.Devices)
+		for i := 0; i < n; i++ {
+			c.Devices = append(c.Devices, Device{
+				Kind:  kind,
+				NodeA: int(rnd() * float64(nodes)),
+				NodeB: int(rnd() * float64(nodes)),
+				P1:    rnd()*1e-6 + 1e-9,
+				P2:    rnd() + 0.1,
+			})
+		}
+		// Build the model list: Node.Key is the index within this kind's
+		// list; Node.Val carries the *global* device-table index.  The
+		// per-node Work mirrors the model's evaluation cost (transistor
+		// models cost more than capacitors).
+		work := 1.0
+		if kind != Capacitor {
+			work = 4.0
+		}
+		c.heads[kind] = list.Build(n, func(i int) (float64, float64) {
+			return float64(base + i), work
+		})
+	}
+	add(Capacitor, nCap)
+	add(BJT, nBJT)
+	add(MOSFET, nMOS)
+	return c
+}
+
+// Models returns the head of the device-model list for a kind (nil if
+// the circuit has none).
+func (c *Circuit) Models(kind DeviceKind) *list.Node { return c.heads[kind] }
+
+// Evaluate computes a device's two stamp values from the node voltages
+// — a few transcendental operations standing in for the companion-model
+// evaluation SPICE performs.
+func (c *Circuit) Evaluate(d Device, va, vb float64) (g, i float64) {
+	dv := va - vb
+	switch d.Kind {
+	case Capacitor:
+		g = d.P1 * 1e6 // geq = C/dt
+		i = g * dv
+	case BJT:
+		e := math.Exp(math.Min(dv*d.P2, 30))
+		g = d.P1 * e
+		i = d.P1 * (e - 1)
+	default: // MOSFET
+		vov := dv - d.P2
+		if vov < 0 {
+			vov = 0
+		}
+		g = d.P1 * vov
+		i = 0.5 * d.P1 * vov * vov
+	}
+	return g, i
+}
+
+// LoadBody returns the remainder of the LOAD loop (Loop 40) as a genrec
+// body: evaluate the model for the node's device and stamp it into the
+// device's dedicated matrix slots.
+func (c *Circuit) LoadBody() func(it *loopir.Iter, nd *list.Node) bool {
+	return func(it *loopir.Iter, nd *list.Node) bool {
+		dev := int(nd.Val)
+		d := c.Devices[dev]
+		va := it.Load(c.Voltages, d.NodeA)
+		vb := it.Load(c.Voltages, d.NodeB)
+		g, i := c.Evaluate(d, va, vb)
+		it.Charge(nd.Work)
+		it.Store(c.Stamps, 2*dev, g)
+		it.Store(c.Stamps, 2*dev+1, i)
+		return true
+	}
+}
+
+// LoadSequential runs the original sequential LOAD loop over one model
+// list; it is the reference the parallel methods are validated against.
+func (c *Circuit) LoadSequential(kind DeviceKind) int {
+	n := 0
+	for pt := c.heads[kind]; pt != nil; pt = pt.Next {
+		dev := int(pt.Val)
+		d := c.Devices[dev]
+		g, i := c.Evaluate(d, c.Voltages.Data[d.NodeA], c.Voltages.Data[d.NodeB])
+		c.Stamps.Data[2*dev] = g
+		c.Stamps.Data[2*dev+1] = i
+		n++
+	}
+	return n
+}

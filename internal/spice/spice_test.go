@@ -1,0 +1,100 @@
+package spice
+
+import (
+	"testing"
+
+	"whilepar/internal/genrec"
+	"whilepar/internal/list"
+	"whilepar/internal/loopir"
+)
+
+func TestNewCircuitShape(t *testing.T) {
+	c := New(50, 100, 20, 30, 7)
+	if len(c.Devices) != 150 {
+		t.Fatalf("devices = %d", len(c.Devices))
+	}
+	if list.Len(c.Models(Capacitor)) != 100 ||
+		list.Len(c.Models(BJT)) != 20 ||
+		list.Len(c.Models(MOSFET)) != 30 {
+		t.Fatal("model list lengths wrong")
+	}
+	if c.Stamps.Len() != 300 {
+		t.Fatalf("stamps = %d", c.Stamps.Len())
+	}
+	// Node values index the global device table; kinds segment it.
+	for pt := c.Models(BJT); pt != nil; pt = pt.Next {
+		if dev := int(pt.Val); c.Devices[dev].Kind != BJT {
+			t.Fatalf("device %d has kind %v", dev, c.Devices[dev].Kind)
+		}
+	}
+	for _, k := range []DeviceKind{Capacitor, BJT, MOSFET} {
+		if k.String() == "" {
+			t.Fatal("kind name empty")
+		}
+	}
+}
+
+func TestEvaluateModels(t *testing.T) {
+	c := New(4, 1, 1, 1, 3)
+	// Capacitor: linear in dv.
+	g, i := c.Evaluate(Device{Kind: Capacitor, P1: 2e-6}, 3, 1)
+	if g != 2 || i != 4 {
+		t.Fatalf("capacitor stamp = %v,%v", g, i)
+	}
+	// BJT: exponential is clamped (no overflow) and positive.
+	g, i = c.Evaluate(Device{Kind: BJT, P1: 1e-9, P2: 1}, 1000, 0)
+	if g <= 0 || i <= 0 || g > 1e6 {
+		t.Fatalf("BJT stamp = %v,%v", g, i)
+	}
+	// MOSFET below threshold conducts nothing.
+	g, i = c.Evaluate(Device{Kind: MOSFET, P1: 1, P2: 5}, 1, 0)
+	if g != 0 || i != 0 {
+		t.Fatalf("cut-off MOSFET stamp = %v,%v", g, i)
+	}
+}
+
+func TestLoadLoopParallelMatchesSequential(t *testing.T) {
+	// Loop 40: run LOAD over the capacitor list with General-1 and
+	// General-3; stamps must match the sequential run exactly.
+	for _, method := range []func(*list.Node, genrec.Body, genrec.Config) genrec.Result{
+		genrec.General1, genrec.General3,
+	} {
+		seqC := New(64, 500, 0, 0, 99)
+		parC := New(64, 500, 0, 0, 99)
+		n := seqC.LoadSequential(Capacitor)
+		if n != 500 {
+			t.Fatalf("sequential processed %d devices", n)
+		}
+		res := method(parC.Models(Capacitor), parC.LoadBody(), genrec.Config{Procs: 8})
+		if res.Valid != 500 || res.Overshot != 0 {
+			t.Fatalf("parallel result %+v", res)
+		}
+		if !parC.Stamps.Equal(seqC.Stamps) {
+			t.Fatal("parallel stamps diverged from sequential")
+		}
+	}
+}
+
+func TestLoadBodyChargesModelCost(t *testing.T) {
+	c := New(16, 1, 1, 0, 5)
+	body := c.LoadBody()
+	itCap := loopir.Iter{Index: 0}
+	body(&itCap, c.Models(Capacitor))
+	itBJT := loopir.Iter{Index: 0}
+	body(&itBJT, c.Models(BJT))
+	if itBJT.Work <= itCap.Work {
+		t.Fatalf("transistor evaluation should cost more: %v vs %v", itBJT.Work, itCap.Work)
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a, b := New(32, 50, 10, 10, 42), New(32, 50, 10, 10, 42)
+	for i := range a.Devices {
+		if a.Devices[i] != b.Devices[i] {
+			t.Fatal("construction not deterministic")
+		}
+	}
+	if !a.Voltages.Equal(b.Voltages) {
+		t.Fatal("voltages not deterministic")
+	}
+}

@@ -1,0 +1,119 @@
+// Package track is the synthetic stand-in for TRACK's FPTRAK subroutine
+// from the PERFECT Benchmarks (Section 9, Loop 300): a DO loop with a
+// conditional exit, taken when an error condition is detected, whose
+// body updates an array indexed through a run-time-computed subscript
+// array — the "subscripted subscripts" case the compiler cannot
+// analyze.
+//
+// Taxonomy: induction dispatcher (the loop counter), RV terminator (the
+// error test depends on data computed in the remainder), so the parallel
+// execution overshoots and needs backups and time-stamps (Table 2's row
+// for this loop).  The subscript array makes the state array's access
+// pattern unknown at compile time, so the speculative run carries the PD
+// test.
+//
+// Substitution note (DESIGN.md): the PERFECT input tape is not
+// available; the scenario generator reproduces the loop's structure — a
+// permutation-valued subscript array (the input the paper's run
+// exhibited: each track updated once, hence fully parallel) and a
+// plantable error observation that sets the exit iteration.
+package track
+
+import (
+	"math"
+
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+)
+
+// Scenario is one FPTRAK-like smoothing pass.
+type Scenario struct {
+	// N is the number of candidate observations (the DO loop bound).
+	N int
+	// Subs is the run-time-computed subscript array: observation i
+	// updates State[Subs[i]].
+	Subs []int
+	// Obs holds the observed positions; Predicted the extrapolations.
+	Obs, Predicted []float64
+	// State is the track-state array updated through Subs (the array
+	// under test).
+	State *mem.Array
+	// Limit is the residual threshold whose violation is the error
+	// condition (the conditional exit).
+	Limit float64
+	// ErrorAt is the iteration whose observation was planted to violate
+	// the limit (-1: no error in this pass).
+	ErrorAt int
+}
+
+// New builds a scenario with n observations, a deterministic
+// permutation subscript array, and an error planted at errorAt
+// (errorAt < 0 for a clean pass).
+func New(n, errorAt int, seed uint64) *Scenario {
+	s := &Scenario{
+		N:         n,
+		Subs:      make([]int, n),
+		Obs:       make([]float64, n),
+		Predicted: make([]float64, n),
+		State:     mem.NewArray("track-state", n),
+		Limit:     1.0,
+		ErrorAt:   errorAt,
+	}
+	st := seed ^ 0x5deece66d
+	rnd := func() float64 {
+		st = st*6364136223846793005 + 1442695040888963407
+		return float64((st>>11)%1_000_000) / 1_000_000
+	}
+	// Permutation via Fisher-Yates on the identity.
+	for i := range s.Subs {
+		s.Subs[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(rnd() * float64(i+1))
+		s.Subs[i], s.Subs[j] = s.Subs[j], s.Subs[i]
+	}
+	for i := 0; i < n; i++ {
+		s.Predicted[i] = rnd() * 100
+		s.Obs[i] = s.Predicted[i] + (rnd()-0.5)*s.Limit // within limit
+		s.State.Data[i] = s.Predicted[i]
+	}
+	if errorAt >= 0 && errorAt < n {
+		s.Obs[errorAt] = s.Predicted[errorAt] + 50*s.Limit // blows the residual
+	}
+	return s
+}
+
+// Loop returns Loop 300 in loopir form: do i = 0..N-1 { if residual(i) >
+// limit then exit; State[Subs[i]] = smooth(...) }.
+func (s *Scenario) Loop() *loopir.Loop[int] {
+	return &loopir.Loop[int]{
+		Class: loopir.Class{Dispatcher: loopir.MonotonicInduction, Terminator: loopir.RV},
+		Disp:  loopir.IntInduction{C: 1},
+		Body: func(it *loopir.Iter, i int) bool {
+			residual := math.Abs(s.Obs[i] - s.Predicted[i])
+			if residual > s.Limit {
+				return false // error condition: conditional exit
+			}
+			k := s.Subs[i]
+			old := it.Load(s.State, k)
+			it.Charge(12)
+			it.Store(s.State, k, 0.5*(old+s.Obs[i]))
+			return true
+		},
+		Max: s.N,
+	}
+}
+
+// RunSequential executes the original loop and returns the number of
+// valid iterations — the oracle for the speculative runs.
+func (s *Scenario) RunSequential() int {
+	return loopir.RunSequential(s.Loop()).Iterations
+}
+
+// ExpectedValid returns the trip count the sequential loop will make.
+func (s *Scenario) ExpectedValid() int {
+	if s.ErrorAt >= 0 && s.ErrorAt < s.N {
+		return s.ErrorAt
+	}
+	return s.N
+}

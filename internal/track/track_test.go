@@ -1,0 +1,120 @@
+package track
+
+import (
+	"testing"
+
+	"whilepar/internal/core"
+	whilecost "whilepar/internal/costmodel"
+	"whilepar/internal/induction"
+	"whilepar/internal/mem"
+)
+
+func TestScenarioShape(t *testing.T) {
+	s := New(200, 77, 5)
+	if s.N != 200 || s.ErrorAt != 77 || s.ExpectedValid() != 77 {
+		t.Fatalf("scenario %+v", s)
+	}
+	// Subs is a permutation.
+	seen := make([]bool, s.N)
+	for _, k := range s.Subs {
+		if k < 0 || k >= s.N || seen[k] {
+			t.Fatalf("Subs is not a permutation at %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSequentialStopsAtError(t *testing.T) {
+	s := New(100, 40, 9)
+	if got := s.RunSequential(); got != 40 {
+		t.Fatalf("sequential trip count = %d, want 40", got)
+	}
+	clean := New(100, -1, 9)
+	if got := clean.RunSequential(); got != 100 {
+		t.Fatalf("clean pass trip count = %d", got)
+	}
+}
+
+func TestSpeculativeRunMatchesSequentialState(t *testing.T) {
+	// The full Loop 300 experiment in miniature: Induction-1 (so the
+	// space genuinely overshoots), backups + time-stamps, PD test on
+	// the state array.
+	seqS := New(300, 123, 31)
+	parS := New(300, 123, 31)
+	seqS.RunSequential()
+
+	rep, err := core.RunInduction(parS.Loop(), core.Options{
+		Procs:           8,
+		InductionMethod: induction.Induction1,
+		Shared:          []*mem.Array{parS.State},
+		Tested:          []*mem.Array{parS.State},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.UsedParallel {
+		t.Fatalf("speculation fell back: %+v", rep)
+	}
+	if rep.Valid != 123 {
+		t.Fatalf("valid = %d", rep.Valid)
+	}
+	if rep.Overshot == 0 {
+		t.Fatal("Induction-1 over a planted exit must overshoot")
+	}
+	if !parS.State.Equal(seqS.State) {
+		t.Fatal("speculative state diverged from sequential")
+	}
+}
+
+func TestCleanPassNeedsNoUndo(t *testing.T) {
+	s := New(150, -1, 8)
+	rep, err := core.RunInduction(s.Loop(), core.Options{
+		Procs:  4,
+		Shared: []*mem.Array{s.State},
+		Tested: []*mem.Array{s.State},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.UsedParallel || rep.Valid != 150 || rep.Undone != 0 {
+		t.Fatalf("clean pass report %+v", rep)
+	}
+}
+
+func TestErrorAtZero(t *testing.T) {
+	s := New(50, 0, 2)
+	if s.RunSequential() != 0 {
+		t.Fatal("error at iteration 0 should run nothing")
+	}
+}
+
+func TestStatisticsEnhancedStamping(t *testing.T) {
+	// Repeated passes with stable trip counts: later runs use a
+	// statistics-derived stamp threshold (Section 8.1) and still match
+	// the sequential state.
+	var stats whilecost.BranchStats
+	for pass := 0; pass < 5; pass++ {
+		seqS := New(400, 380, uint64(100+pass))
+		parS := New(400, 380, uint64(100+pass))
+		seqS.RunSequential()
+		rep, err := core.RunInduction(parS.Loop(), core.Options{
+			Procs:           6,
+			InductionMethod: induction.Induction1,
+			Shared:          []*mem.Array{parS.State},
+			Tested:          []*mem.Array{parS.State},
+			Stats:           &stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Valid != 380 || !parS.State.Equal(seqS.State) {
+			t.Fatalf("pass %d: %+v", pass, rep)
+		}
+		if pass >= 2 && rep.StampThreshold == 0 {
+			t.Fatalf("pass %d: stable history should produce a nonzero stamp threshold", pass)
+		}
+		if rep.StampThreshold > 380 {
+			t.Fatalf("pass %d: threshold %d beyond the trip count", pass, rep.StampThreshold)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package tsmem
+
+import (
+	"fmt"
+	"sync"
+
+	"whilepar/internal/mem"
+)
+
+// SparseMemory is the hash-table variant of the undo scheme suggested in
+// Section 4 for arrays with sparse access patterns: instead of cloning
+// whole arrays and keeping a stamp per element, it saves, on the first
+// store to each location, the overwritten value together with the
+// writing iteration.  Memory use is proportional to the number of
+// *accessed* elements, not the array extent.
+//
+// The hash table is sharded by element index to keep concurrent stores
+// from serializing on one mutex.
+type SparseMemory struct {
+	shards [nShards]sparseShard
+}
+
+const nShards = 16
+
+type sparseShard struct {
+	mu sync.Mutex
+	m  map[sparseKey]sparseEntry
+}
+
+type sparseKey struct {
+	arr *mem.Array
+	idx int
+}
+
+type sparseEntry struct {
+	old   float64 // value before the loop's first write
+	stamp int64   // minimum iteration that wrote
+}
+
+// NewSparse returns an empty sparse undo log.
+func NewSparse() *SparseMemory {
+	s := &SparseMemory{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[sparseKey]sparseEntry)
+	}
+	return s
+}
+
+func (s *SparseMemory) shard(idx int) *sparseShard {
+	return &s.shards[idx&(nShards-1)]
+}
+
+// Tracker returns the mem.Tracker the speculative DOALL uses: stores
+// save the overwritten value on first touch and keep the minimum writing
+// iteration; loads pass through.
+func (s *SparseMemory) Tracker() mem.Tracker { return sparseTracker{s} }
+
+type sparseTracker struct{ s *SparseMemory }
+
+func (t sparseTracker) Load(a *mem.Array, idx, _, _ int) float64 { return a.Data[idx] }
+
+func (t sparseTracker) Store(a *mem.Array, idx int, v float64, iter, _ int) {
+	sh := t.s.shard(idx)
+	k := sparseKey{a, idx}
+	sh.mu.Lock()
+	e, ok := sh.m[k]
+	if !ok {
+		sh.m[k] = sparseEntry{old: a.Data[idx], stamp: int64(iter)}
+	} else if int64(iter) < e.stamp {
+		e.stamp = int64(iter)
+		sh.m[k] = e
+	}
+	a.Data[idx] = v
+	sh.mu.Unlock()
+}
+
+// Undo restores every location first written by an iteration >= valid
+// (where iterations 0..valid-1 are the valid ones) and returns how many
+// locations it restored.
+func (s *SparseMemory) Undo(valid int) int {
+	restored := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if e.stamp >= int64(valid) {
+				k.arr.Data[k.idx] = e.old
+				restored++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return restored
+}
+
+// RestoreAll rewinds every touched location to its pre-loop value.
+func (s *SparseMemory) RestoreAll() int {
+	return s.Undo(0)
+}
+
+// Touched returns how many distinct locations the loop wrote — the
+// sparse scheme's memory footprint in entries.
+func (s *SparseMemory) Touched() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Reset clears the log for reuse across strips.
+func (s *SparseMemory) Reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[sparseKey]sparseEntry)
+		sh.mu.Unlock()
+	}
+}
+
+// String summarizes the log for diagnostics.
+func (s *SparseMemory) String() string {
+	return fmt.Sprintf("SparseMemory(%d touched)", s.Touched())
+}

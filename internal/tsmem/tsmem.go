@@ -1,0 +1,246 @@
+// Package tsmem implements the time-stamped memory of Section 4: the
+// machinery that lets a speculatively parallelized WHILE loop *undo* the
+// work of iterations that overshot the termination condition.
+//
+// The scheme is the paper's: checkpoint the affected arrays before the
+// DOALL, record for every memory location the iteration that wrote it
+// during the loop, and, once the last valid iteration is known, restore
+// the checkpointed value of every location whose stamp exceeds it.  This
+// costs up to three times the loop's own memory (data + checkpoint +
+// stamps), which Stats exposes so the resource-controlled strategies of
+// Section 8 can react.
+//
+// The package also provides the write Trail needed when a privatized
+// array under test is live after the loop (Section 5.1): a privatized
+// location may legitimately be written by several iterations of a valid
+// parallel loop, so last-value copy-out must pick, per location, the
+// value with the largest stamp not exceeding the last valid iteration.
+package tsmem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"whilepar/internal/mem"
+)
+
+// NoStamp is the stamp value of a location never written in the loop.
+const NoStamp = int64(-1)
+
+// Memory tracks a set of managed arrays through one speculative loop
+// execution: checkpoint -> (stamped stores during the DOALL) -> undo or
+// commit.
+type Memory struct {
+	arrays      []*mem.Array
+	checkpoints []*mem.Array
+	stamps      map[*mem.Array][]atomic.Int64
+	// threshold is the statistics-enhanced strip-mining cutoff n'_i of
+	// Section 8.1: stores by iterations below it are NOT stamped (they
+	// are predicted valid).  Undo below the threshold is impossible.
+	threshold int
+	stamped   atomic.Int64 // stores that recorded a stamp
+}
+
+// New creates a Memory over the given arrays.  Checkpoint must be called
+// before the speculative execution begins.
+func New(arrays ...*mem.Array) *Memory {
+	m := &Memory{stamps: make(map[*mem.Array][]atomic.Int64, len(arrays))}
+	for _, a := range arrays {
+		m.arrays = append(m.arrays, a)
+		m.stamps[a] = make([]atomic.Int64, a.Len())
+	}
+	m.resetStamps()
+	return m
+}
+
+func (m *Memory) resetStamps() {
+	for _, s := range m.stamps {
+		for i := range s {
+			s[i].Store(NoStamp)
+		}
+	}
+	m.stamped.Store(0)
+}
+
+// Checkpoint snapshots every tracked array (the overhead Tb of the cost
+// model).  Calling it again discards the previous snapshot.
+func (m *Memory) Checkpoint() {
+	m.checkpoints = m.checkpoints[:0]
+	for _, a := range m.arrays {
+		m.checkpoints = append(m.checkpoints, a.Clone())
+	}
+	m.resetStamps()
+}
+
+// SetStampThreshold enables Section 8.1's statistics-enhanced stamping:
+// stores by iterations with index < n are not stamped.  Must be set
+// before the parallel execution.  n <= 0 stamps everything.
+func (m *Memory) SetStampThreshold(n int) { m.threshold = n }
+
+// Tracker returns the mem.Tracker that the speculative DOALL's
+// iterations must use: loads pass through; stores record the writing
+// iteration in the location's stamp (keeping the minimum if, due to a
+// cross-iteration dependence, several iterations write the same
+// location) and then perform the write.
+func (m *Memory) Tracker() mem.Tracker { return stampTracker{m} }
+
+type stampTracker struct{ m *Memory }
+
+func (t stampTracker) Load(a *mem.Array, idx, _, _ int) float64 { return a.Data[idx] }
+
+func (t stampTracker) Store(a *mem.Array, idx int, v float64, iter, _ int) {
+	if iter >= t.m.threshold {
+		if s := t.m.stamps[a]; s != nil {
+			for {
+				cur := s[idx].Load()
+				if cur != NoStamp && cur <= int64(iter) {
+					break
+				}
+				if s[idx].CompareAndSwap(cur, int64(iter)) {
+					if cur == NoStamp {
+						t.m.stamped.Add(1)
+					}
+					break
+				}
+			}
+		}
+	}
+	a.Data[idx] = v
+}
+
+// Undo restores, from the checkpoint, every location whose stamp exceeds
+// lastValid (i.e. written only by overshot iterations), completing the
+// "undo iterations that overshot" step.  It returns the number of
+// locations restored.  It fails if Checkpoint was not called, or if
+// lastValid falls below the stamp threshold — in that case the stamps
+// needed to undo were never recorded and the caller must restore the
+// full checkpoint (RestoreAll) and re-execute.
+func (m *Memory) Undo(lastValid int) (int, error) {
+	if len(m.checkpoints) != len(m.arrays) {
+		return 0, fmt.Errorf("tsmem: Undo without Checkpoint")
+	}
+	if lastValid < m.threshold {
+		return 0, fmt.Errorf("tsmem: last valid iteration %d below stamp threshold %d; stamps missing", lastValid, m.threshold)
+	}
+	restored := 0
+	for ai, a := range m.arrays {
+		cp := m.checkpoints[ai]
+		s := m.stamps[a]
+		for i := range s {
+			if st := s[i].Load(); st != NoStamp && st >= int64(lastValid) {
+				// Stamps are zero-based iteration indices; iterations
+				// 0..lastValid-1 are valid, so any stamp >= lastValid
+				// is overshoot.
+				a.Data[i] = cp.Data[i]
+				restored++
+			}
+		}
+	}
+	return restored, nil
+}
+
+// RestoreAll rewinds every tracked array to its checkpoint (used when a
+// PD test fails, or when an exception abandons the parallel execution).
+func (m *Memory) RestoreAll() error {
+	if len(m.checkpoints) != len(m.arrays) {
+		return fmt.Errorf("tsmem: RestoreAll without Checkpoint")
+	}
+	for ai, a := range m.arrays {
+		copy(a.Data, m.checkpoints[ai].Data)
+	}
+	return nil
+}
+
+// Commit discards checkpoints and stamps after a fully valid execution.
+func (m *Memory) Commit() {
+	m.checkpoints = nil
+	m.resetStamps()
+}
+
+// Stamp returns the stamp recorded for a location (NoStamp if unwritten
+// or below the threshold).
+func (m *Memory) Stamp(a *mem.Array, idx int) int64 {
+	s, ok := m.stamps[a]
+	if !ok {
+		return NoStamp
+	}
+	return s[idx].Load()
+}
+
+// Stats reports the scheme's memory footprint in words: live data,
+// checkpoint copies, and stamps — the "as much as three times the actual
+// memory" of Section 4 — plus how many stores were stamped.
+func (m *Memory) Stats() (dataWords, checkpointWords, stampWords, stampedStores int) {
+	for _, a := range m.arrays {
+		dataWords += a.Len()
+		stampWords += a.Len()
+	}
+	for _, c := range m.checkpoints {
+		checkpointWords += c.Len()
+	}
+	return dataWords, checkpointWords, stampWords, int(m.stamped.Load())
+}
+
+// TrailEntry is one logged write to a live privatized array.
+type TrailEntry struct {
+	Iter int
+	Idx  int
+	Val  float64
+}
+
+// Trail is the time-stamped log of all writes to a privatized array that
+// is live after the loop (Section 5.1).  Each virtual processor appends
+// to its own buffer, so recording is contention-free; LastValues merges.
+type Trail struct {
+	mu   sync.Mutex
+	byVP map[int][]TrailEntry
+}
+
+// NewTrail returns an empty trail.
+func NewTrail() *Trail { return &Trail{byVP: make(map[int][]TrailEntry)} }
+
+// Record logs a write by iteration iter on processor vpn.
+func (t *Trail) Record(vpn, iter, idx int, val float64) {
+	t.mu.Lock()
+	t.byVP[vpn] = append(t.byVP[vpn], TrailEntry{Iter: iter, Idx: idx, Val: val})
+	t.mu.Unlock()
+}
+
+// Len returns the total number of logged writes.
+func (t *Trail) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, es := range t.byVP {
+		n += len(es)
+	}
+	return n
+}
+
+// LastValues returns, for every written location, the value carrying the
+// largest stamp that does not exceed lastValid-1 — the value the
+// sequential loop would have left there.  Locations written only by
+// overshot iterations are absent from the result.
+func (t *Trail) LastValues(lastValid int) map[int]float64 {
+	t.mu.Lock()
+	var all []TrailEntry
+	for _, es := range t.byVP {
+		all = append(all, es...)
+	}
+	t.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Idx != all[j].Idx {
+			return all[i].Idx < all[j].Idx
+		}
+		return all[i].Iter < all[j].Iter
+	})
+	out := make(map[int]float64)
+	for _, e := range all {
+		if e.Iter < lastValid {
+			out[e.Idx] = e.Val // sorted ascending by iter: last write wins
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package window implements the resource-controlled self-scheduling of
+// Section 8.2: iterations are issued under a sliding window of size w —
+// at any time, the difference between the highest iteration started (h)
+// and the lowest iteration not yet completed (l) is at most w — which
+// bounds the time-stamp memory by w times the writes per iteration
+// *without* the rigid global synchronization points of strip mining.
+//
+// The window size is dynamically determined at the application level:
+// the loop monitors its own memory use (entries currently tracked) and
+// grows the window when more memory can be used without degrading
+// performance, shrinking it when the budget is exceeded — the paper's
+// application-level self-monitoring, as opposed to OS-level monitors.
+package window
+
+import (
+	"sync"
+)
+
+// Config configures a windowed execution.
+type Config struct {
+	// Procs is the number of virtual processors.
+	Procs int
+	// Window is the initial window size w (>= 1; coerced).
+	Window int
+	// WritesPerIter is the number of time-stamped writes an in-flight
+	// iteration holds; used to translate the memory budget into a
+	// window size.
+	WritesPerIter int
+	// MemBudget, if set, is the maximum number of time-stamp entries
+	// the loop may hold at once; the window adapts to it dynamically.
+	// Budget, if non-nil, is consulted instead on every adaptation —
+	// modelling a budget that changes with system load.
+	MemBudget int
+	Budget    func() int
+	// MinWindow floors adaptation (default: Procs, below which
+	// processors would starve).
+	MinWindow int
+}
+
+// Result reports a windowed execution.
+type Result struct {
+	// Executed iterations.
+	Executed int
+	// QuitIndex: smallest iteration that signalled the termination
+	// condition (n if none).
+	QuitIndex int
+	// MaxSpan is the largest h-l+1 observed — it must never exceed the
+	// largest window size in effect.
+	MaxSpan int
+	// MaxWindow / MinWindowSeen record the adaptation range.
+	MaxWindow, MinWindowSeen int
+}
+
+// Control is the body verdict, as in sched.
+type Control int
+
+const (
+	Continue Control = iota
+	Quit
+)
+
+// Run executes iterations [0, n) of body on cfg.Procs goroutines under
+// the sliding-window invariant.  body must be safe for concurrent
+// invocation.  Iterations below the final QuitIndex are all executed.
+func Run(n int, cfg Config, body func(i, vpn int) Control) Result {
+	procs := cfg.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	w := cfg.Window
+	if w < 1 {
+		w = 1
+	}
+	minW := cfg.MinWindow
+	if minW < 1 {
+		minW = procs
+	}
+	if w < minW {
+		w = minW
+	}
+	budget := cfg.Budget
+	if budget == nil && cfg.MemBudget > 0 {
+		budget = func() int { return cfg.MemBudget }
+	}
+
+	var (
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		next   int // next iteration to issue
+		done   = map[int]bool{}
+		low    int // lowest incomplete iteration
+		quitAt = n // min quitting iteration
+		res    Result
+	)
+	res.QuitIndex = n
+	res.MaxWindow, res.MinWindowSeen = w, w
+
+	adapt := func() {
+		if budget == nil {
+			return
+		}
+		wpi := cfg.WritesPerIter
+		if wpi < 1 {
+			wpi = 1
+		}
+		target := budget() / wpi
+		if target < minW {
+			target = minW
+		}
+		// Move gradually toward the target: grow/shrink by half the gap,
+		// the application-level controller reacting to memory pressure.
+		if target > w {
+			w += (target - w + 1) / 2
+		} else if target < w {
+			w -= (w - target + 1) / 2
+		}
+		if w < minW {
+			w = minW
+		}
+		if w > res.MaxWindow {
+			res.MaxWindow = w
+		}
+		if w < res.MinWindowSeen {
+			res.MinWindowSeen = w
+		}
+	}
+
+	var wg sync.WaitGroup
+	worker := func(vpn int) {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			// Wait until the window admits the next iteration.
+			for next < n && next <= quitAt && next-low >= w {
+				cond.Wait()
+			}
+			if next >= n || next > quitAt {
+				mu.Unlock()
+				cond.Broadcast()
+				return
+			}
+			i := next
+			next++
+			if span := i - low + 1; span > res.MaxSpan {
+				res.MaxSpan = span
+			}
+			mu.Unlock()
+
+			verdict := body(i, vpn)
+
+			mu.Lock()
+			if verdict == Quit && i < quitAt {
+				quitAt = i
+				res.QuitIndex = i
+			}
+			res.Executed++
+			done[i] = true
+			for done[low] {
+				delete(done, low)
+				low++
+			}
+			adapt()
+			mu.Unlock()
+			cond.Broadcast()
+		}
+	}
+
+	wg.Add(procs)
+	for k := 0; k < procs; k++ {
+		go worker(k)
+	}
+	wg.Wait()
+	return res
+}

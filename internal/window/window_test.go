@@ -1,0 +1,130 @@
+package window
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunExecutesAllIterations(t *testing.T) {
+	n := 500
+	counts := make([]atomic.Int32, n)
+	res := Run(n, Config{Procs: 6, Window: 16}, func(i, vpn int) Control {
+		counts[i].Add(1)
+		return Continue
+	})
+	if res.Executed != n || res.QuitIndex != n {
+		t.Fatalf("result %+v", res)
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestSpanNeverExceedsWindow(t *testing.T) {
+	f := func(nRaw, wRaw, procsRaw uint8) bool {
+		n := int(nRaw)%300 + 10
+		procs := int(procsRaw)%6 + 1
+		w := int(wRaw)%40 + procs // window at least procs
+		res := Run(n, Config{Procs: procs, Window: w, MinWindow: procs}, func(i, vpn int) Control {
+			return Continue
+		})
+		return res.MaxSpan <= res.MaxWindow && res.Executed == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuitExecutesAllValidIterations(t *testing.T) {
+	n := 400
+	counts := make([]atomic.Int32, n)
+	res := Run(n, Config{Procs: 5, Window: 8}, func(i, vpn int) Control {
+		counts[i].Add(1)
+		if i == 100 {
+			return Quit
+		}
+		return Continue
+	})
+	if res.QuitIndex != 100 {
+		t.Fatalf("QuitIndex = %d", res.QuitIndex)
+	}
+	for i := 0; i <= 100; i++ {
+		if counts[i].Load() != 1 {
+			t.Fatalf("valid iteration %d ran %d times", i, counts[i].Load())
+		}
+	}
+	if res.Executed > 100+8+1 {
+		t.Fatalf("window should bound overshoot: executed %d", res.Executed)
+	}
+}
+
+func TestWindowBoundsOvershootTighterThanUnbounded(t *testing.T) {
+	// With a quit at iteration 10 and a tiny window, at most ~window
+	// iterations can be in flight past the exit.
+	res := Run(10000, Config{Procs: 8, Window: 8}, func(i, vpn int) Control {
+		if i == 10 {
+			return Quit
+		}
+		return Continue
+	})
+	if res.Executed > 10+8+1 {
+		t.Fatalf("executed %d, want <= window past the exit", res.Executed)
+	}
+}
+
+func TestDynamicAdaptationShrinksWindow(t *testing.T) {
+	// Budget shrinks after 100 completions: the window must come down.
+	var completions atomic.Int64
+	res := Run(2000, Config{
+		Procs:         4,
+		Window:        64,
+		WritesPerIter: 2,
+		Budget: func() int {
+			if completions.Load() > 100 {
+				return 16 // -> window target 8
+			}
+			return 256 // -> window target 128
+		},
+	}, func(i, vpn int) Control {
+		completions.Add(1)
+		return Continue
+	})
+	if res.MaxWindow <= 64 {
+		t.Fatalf("window never grew toward the large budget: max %d", res.MaxWindow)
+	}
+	if res.MinWindowSeen >= 64 {
+		t.Fatalf("window never shrank toward the small budget: min %d", res.MinWindowSeen)
+	}
+	if res.Executed != 2000 {
+		t.Fatalf("executed %d", res.Executed)
+	}
+}
+
+func TestStaticMemBudget(t *testing.T) {
+	res := Run(500, Config{Procs: 2, Window: 100, WritesPerIter: 4, MemBudget: 32}, func(i, vpn int) Control {
+		return Continue
+	})
+	// Budget 32 entries / 4 writes = window 8; it should shrink there.
+	if res.MinWindowSeen > 8 {
+		t.Fatalf("window did not shrink to the budget: min %d", res.MinWindowSeen)
+	}
+}
+
+func TestDegenerateConfigs(t *testing.T) {
+	// Zero procs, zero window: coerced, still correct.
+	res := Run(50, Config{}, func(i, vpn int) Control { return Continue })
+	if res.Executed != 50 {
+		t.Fatalf("degenerate config executed %d", res.Executed)
+	}
+	// Empty space.
+	res = Run(0, Config{Procs: 3, Window: 4}, func(i, vpn int) Control {
+		t.Fatal("body must not run")
+		return Continue
+	})
+	if res.Executed != 0 || res.QuitIndex != 0 {
+		t.Fatalf("empty run %+v", res)
+	}
+}

@@ -1,0 +1,221 @@
+// Package whilepar parallelizes WHILE loops and DO loops with
+// conditional exits, implementing the framework of Rauchwerger & Padua,
+// "Parallelizing WHILE Loops for Multiprocessor Systems".
+//
+// A WHILE loop is modelled as a dispatching recurrence (the dominating
+// recurrence controlling the loop), a remainder body, and termination
+// conditions that are either remainder invariant (RI — they depend only
+// on the dispatcher) or remainder variant (RV — they depend on values
+// the body computes).  Depending on the dispatcher's kind the library
+// transforms the loop with:
+//
+//   - Induction-1 / Induction-2 (closed-form dispatchers): the loop runs
+//     as a DOALL with the termination test folded into the body, the
+//     last valid iteration recovered by a minimum reduction or QUIT;
+//   - parallel-prefix distribution (associative recurrences);
+//   - General-1/2/3 (linked-list and other general recurrences):
+//     lock-serialized, statically assigned, or dynamically assigned
+//     private-cursor traversals.
+//
+// When a parallel execution can overshoot the termination condition, or
+// when the body's memory accesses cannot be analyzed, the execution is
+// speculative: shared arrays are checkpointed and time-stamped, the PD
+// test watches for cross-iteration dependences, and on success the
+// overshot iterations are undone (on failure the loop re-executes
+// sequentially).  See RunInduction, RunAssociative, RunList and DoAny.
+//
+// The managed-memory requirement: the run-time techniques interpose on
+// the body's loads and stores, so loop state that other iterations might
+// conflict on must live in *Array values accessed through the iteration
+// context (Iter.Load / Iter.Store).
+package whilepar
+
+import (
+	"whilepar/internal/core"
+	"whilepar/internal/costmodel"
+	"whilepar/internal/doany"
+	"whilepar/internal/genrec"
+	"whilepar/internal/induction"
+	"whilepar/internal/list"
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+	"whilepar/internal/speculate"
+)
+
+// Array is a managed shared array; all loop state the run-time system
+// must be able to checkpoint, stamp and restore lives in Arrays.
+type Array = mem.Array
+
+// NewArray allocates a managed array of n float64 elements.
+func NewArray(name string, n int) *Array { return mem.NewArray(name, n) }
+
+// FromSlice wraps an existing slice (not copied) as a managed array.
+func FromSlice(name string, data []float64) *Array { return mem.FromSlice(name, data) }
+
+// Tracker interposes on managed-array loads and stores; the run-time
+// system hands one to custom parallel runners (e.g. RunStripped's
+// per-strip executor) so their accesses are time-stamped and shadowed.
+type Tracker = mem.Tracker
+
+// Iter is the per-iteration context handed to loop bodies; bodies access
+// managed arrays through it and may charge abstract work units for the
+// simulated-machine backend.
+type Iter = loopir.Iter
+
+// IntLoop is a WHILE loop whose dispatcher yields ints (inductions).
+type IntLoop = loopir.Loop[int]
+
+// FloatLoop is a WHILE loop whose dispatcher yields float64s
+// (associative recurrences such as x = a*x + b).
+type FloatLoop = loopir.Loop[float64]
+
+// Node is a linked-list node, the dispatcher value of a general-
+// recurrence loop.
+type Node = list.Node
+
+// BuildList constructs an n-node list with values/work from f (nil for
+// zeros), returning the head.
+func BuildList(n int, f func(i int) (val, work float64)) *Node { return list.Build(n, f) }
+
+// Dispatcher constructors and taxonomy.
+type (
+	// IntInduction is the dispatcher d(i) = C*i + B.
+	IntInduction = loopir.IntInduction
+	// Affine is the associative dispatcher x(i) = A*x(i-1)+B, x(0)=X0.
+	Affine = loopir.Affine
+	// Class is a loop's taxonomy cell (dispatcher kind x terminator
+	// kind), as Table 1 of the paper classifies it.
+	Class = loopir.Class
+	// TaxonomyRow is one rendered cell of Table 1.
+	TaxonomyRow = loopir.TaxonomyRow
+)
+
+// Dispatcher and terminator kinds (Table 1).
+const (
+	MonotonicInduction    = loopir.MonotonicInduction
+	NonMonotonicInduction = loopir.NonMonotonicInduction
+	AssociativeRecurrence = loopir.AssociativeRecurrence
+	GeneralRecurrence     = loopir.GeneralRecurrence
+	RI                    = loopir.RI
+	RV                    = loopir.RV
+)
+
+// Taxonomy reproduces Table 1: for each dispatcher/terminator pair,
+// whether parallel execution can overshoot and how the dispatcher can be
+// evaluated.
+func Taxonomy() []TaxonomyRow { return loopir.TaxonomyTable() }
+
+// Options configures an orchestrated execution (processors, method
+// selection, speculation annotations, cost-model inputs).
+type Options = core.Options
+
+// Report describes what an execution did: valid iteration count, chosen
+// strategy, speculation outcome, undo statistics.
+type Report = core.Report
+
+// Induction method selection.
+const (
+	// Induction1 runs the whole iteration space and finds the exit by a
+	// post-loop minimum reduction.
+	Induction1 = induction.Induction1
+	// Induction2 stops issuing iterations once an exit is found (QUIT).
+	Induction2 = induction.Induction2
+)
+
+// List (general recurrence) method selection.
+const (
+	AutoList = core.AutoList
+	General1 = core.General1
+	General2 = core.General2
+	General3 = core.General3
+	// DoacrossList runs the traversal as a WHILE-DOACROSS pipeline.
+	DoacrossList = core.DoacrossList
+)
+
+// Schedules for the DOALL substrate.
+const (
+	Dynamic = sched.Dynamic
+	Static  = sched.Static
+	// Guided self-scheduling: chunked claims of decreasing size.
+	Guided = sched.Guided
+)
+
+// PrivSpec marks an array for privatization during speculation.
+type PrivSpec = speculate.PrivSpec
+
+// BranchStats predicts a loop's trip count from prior executions
+// (Section 7); pass it in Options to drive the parallelize decision and
+// the statistics-enhanced time-stamp threshold.
+type BranchStats = costmodel.BranchStats
+
+// LoopTimes characterizes a loop for the Section 7 cost model.
+type LoopTimes = costmodel.LoopTimes
+
+// RunInduction executes a WHILE loop whose dispatcher is an induction
+// (closed form).  l.Max must bound the iteration space.  If the loop can
+// overshoot and writes shared arrays (Options.Shared), or has
+// unanalyzable accesses (Options.Tested), the execution is speculative
+// with undo/fallback.
+func RunInduction(l *IntLoop, opt Options) (Report, error) { return core.RunInduction(l, opt) }
+
+// RunAssociative executes a WHILE loop whose dispatcher is an Affine
+// associative recurrence: the dispatcher terms are evaluated by a
+// parallel prefix computation and the remainder runs as a DOALL.
+func RunAssociative(l *FloatLoop, opt Options) (Report, error) { return core.RunAssociative(l, opt) }
+
+// RunGeneralNumeric executes a WHILE loop whose dispatcher is an opaque
+// numeric recurrence (a FuncDispatcher): the runtime first tries to
+// recognize the recurrence as affine — promoting the loop to the
+// parallel-prefix path — and otherwise falls back to the naive loop
+// distribution (sequential term evaluation + DOALL remainder).
+func RunGeneralNumeric(l *FloatLoop, opt Options) (Report, error) {
+	return core.RunGeneralNumeric(l, opt)
+}
+
+// FuncDispatcher adapts opaque start/next closures to a dispatcher.
+type FuncDispatcher = loopir.Func[float64]
+
+// RecognizeAffine samples an opaque numeric recurrence and reports
+// whether it is the affine map x' = A*x + B (run-time classification).
+func RecognizeAffine(next func(float64) float64, x0 float64) (Affine, bool) {
+	return loopir.RecognizeAffine(next, x0)
+}
+
+// ListBody is the remainder of a list-traversing loop; returning false
+// signals a remainder-variant exit (before any stores, by convention).
+type ListBody = genrec.Body
+
+// RunList executes a WHILE loop traversing a linked list with one of
+// the General-1/2/3 methods (General-3 by default).
+func RunList(head *Node, body ListBody, class Class, opt Options) (Report, error) {
+	return core.RunList(head, body, class, opt)
+}
+
+// Sequential reference execution (the semantic oracle).
+func RunSequentialInt(l *IntLoop) int     { return loopir.LastValid(l) }
+func RunSequentialFloat(l *FloatLoop) int { return loopir.LastValid(l) }
+
+// DoAnyVerdict is an iteration's report under WHILE-DOANY.
+type DoAnyVerdict = doany.Verdict
+
+// WHILE-DOANY verdicts.
+const (
+	// Nothing: no contribution.
+	Nothing = doany.Nothing
+	// Found: fold the returned value into the result.
+	Found = doany.Found
+	// Satisfied: fold the value AND stop issuing iterations.
+	Satisfied = doany.Satisfied
+)
+
+// DoAnyStats reports a WHILE-DOANY execution.
+type DoAnyStats = doany.Stats
+
+// DoAny executes iterations [0, n) in arbitrary order on procs virtual
+// processors, folding contributions with the associative+commutative
+// combine — the WHILE-DOANY construct (order-insensitive search loops
+// need no backups or time-stamps even though they overshoot).
+func DoAny[T any](n, procs int, zero T, combine func(T, T) T, body func(i, vpn int) (T, DoAnyVerdict)) (T, DoAnyStats) {
+	return doany.Run(n, procs, zero, combine, body)
+}

@@ -1,0 +1,241 @@
+package whilepar
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The integration tests exercise the library exactly as a user would:
+// through the public API only.
+
+func TestQuickstartShape(t *testing.T) {
+	// do i = 0..999 { if A[i] < 0 exit; B[i] = sqrt-ish(A[i]) } with the
+	// error planted at 700.
+	n := 1000
+	a := NewArray("A", n)
+	b := NewArray("B", n)
+	for i := 0; i < n; i++ {
+		a.Data[i] = float64(i + 1)
+	}
+	a.Data[700] = -1
+	loop := &IntLoop{
+		Class: Class{Dispatcher: MonotonicInduction, Terminator: RV},
+		Disp:  IntInduction{C: 1},
+		Body: func(it *Iter, i int) bool {
+			v := it.Load(a, i)
+			if v < 0 {
+				return false
+			}
+			it.Store(b, i, v*v)
+			return true
+		},
+		Max: n,
+	}
+	rep, err := RunInduction(loop, Options{
+		Procs:           8,
+		InductionMethod: Induction1,
+		Shared:          []*Array{b},
+		Tested:          []*Array{b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.UsedParallel || rep.Valid != 700 {
+		t.Fatalf("report %+v", rep)
+	}
+	for i := 0; i < n; i++ {
+		want := 0.0
+		if i < 700 {
+			want = float64(i+1) * float64(i+1)
+		}
+		if b.Data[i] != want {
+			t.Fatalf("B[%d] = %v, want %v", i, b.Data[i], want)
+		}
+	}
+}
+
+func TestPublicListTraversal(t *testing.T) {
+	n := 400
+	out := NewArray("out", n)
+	head := BuildList(n, func(i int) (float64, float64) { return float64(i), 1 })
+	rep, err := RunList(head, func(it *Iter, nd *Node) bool {
+		it.Store(out, nd.Key, nd.Val+1)
+		return true
+	}, Class{Dispatcher: GeneralRecurrence, Terminator: RI}, Options{Procs: 4, ListMethod: General2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != n || !rep.UsedParallel {
+		t.Fatalf("report %+v", rep)
+	}
+	for i := 0; i < n; i++ {
+		if out.Data[i] != float64(i+1) {
+			t.Fatalf("out[%d] = %v", i, out.Data[i])
+		}
+	}
+}
+
+func TestPublicAssociative(t *testing.T) {
+	// x = 1.5x + 1 from 1 while x < 1e6.
+	xs := NewArray("xs", 64)
+	loop := &FloatLoop{
+		Class: Class{Dispatcher: AssociativeRecurrence, Terminator: RI},
+		Disp:  Affine{A: 1.5, B: 1, X0: 1},
+		Cond:  func(x float64) bool { return x < 1e6 },
+		Body: func(it *Iter, x float64) bool {
+			it.Store(xs, it.Index, x)
+			return true
+		},
+		Max: 64,
+	}
+	want := RunSequentialFloat(&FloatLoop{
+		Class: loop.Class, Disp: loop.Disp, Cond: loop.Cond,
+		Body: func(*Iter, float64) bool { return true }, Max: 64,
+	})
+	rep, err := RunAssociative(loop, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != want {
+		t.Fatalf("parallel valid %d != sequential %d", rep.Valid, want)
+	}
+}
+
+func TestPublicDoAny(t *testing.T) {
+	// Find any index whose value is divisible by 97; order-insensitive.
+	vals := make([]int, 10000)
+	for i := range vals {
+		vals[i] = i * 31
+	}
+	best, st := DoAny(len(vals), 4, -1, func(a, b int) int {
+		if a == -1 {
+			return b
+		}
+		return a
+	}, func(i, vpn int) (int, DoAnyVerdict) {
+		if vals[i]%97 == 0 && i > 0 {
+			return i, Satisfied
+		}
+		return 0, Nothing
+	})
+	if best <= 0 || vals[best]%97 != 0 {
+		t.Fatalf("best = %d (stats %+v)", best, st)
+	}
+}
+
+func TestTaxonomyPublic(t *testing.T) {
+	rows := Taxonomy()
+	if len(rows) != 8 {
+		t.Fatalf("%d taxonomy rows", len(rows))
+	}
+}
+
+func TestBranchStatsDrivenRun(t *testing.T) {
+	var stats BranchStats
+	n := 300
+	for run := 0; run < 3; run++ {
+		a := NewArray("A", n)
+		loop := &IntLoop{
+			Class: Class{Dispatcher: MonotonicInduction, Terminator: RV},
+			Disp:  IntInduction{C: 1},
+			Body: func(it *Iter, i int) bool {
+				if i == 250 {
+					return false
+				}
+				it.Store(a, i, 1)
+				return true
+			},
+			Max: n,
+		}
+		rep, err := RunInduction(loop, Options{Procs: 4, Stats: &stats, Shared: []*Array{a}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Valid != 250 {
+			t.Fatalf("run %d: %+v", run, rep)
+		}
+	}
+	if stats.Samples() != 3 {
+		t.Fatalf("stats samples = %d", stats.Samples())
+	}
+	if ni, conf := stats.Estimate(); ni != 250 || conf < 0.9 {
+		t.Fatalf("estimate (%v, %v)", ni, conf)
+	}
+}
+
+// Property: the full speculative pipeline through the public API matches
+// sequential execution for random exits and processor counts.
+func TestEndToEndSpeculationProperty(t *testing.T) {
+	f := func(exitRaw, procsRaw uint8, method bool) bool {
+		n := 128
+		exit := int(exitRaw) % n
+		procs := int(procsRaw)%6 + 1
+		m := Induction2
+		if method {
+			m = Induction1
+		}
+		par := NewArray("A", n)
+		seq := NewArray("A", n)
+		mk := func(a *Array) *IntLoop {
+			return &IntLoop{
+				Class: Class{Dispatcher: MonotonicInduction, Terminator: RV},
+				Disp:  IntInduction{C: 1},
+				Body: func(it *Iter, i int) bool {
+					if i == exit {
+						return false
+					}
+					it.Store(a, (i*7)%n, float64(i))
+					return true
+				},
+				Max: n,
+			}
+		}
+		// Sequential oracle.
+		for i := 0; i < exit; i++ {
+			seq.Data[(i*7)%n] = float64(i)
+		}
+		rep, err := RunInduction(mk(par), Options{
+			Procs: procs, InductionMethod: m,
+			Shared: []*Array{par}, Tested: []*Array{par},
+		})
+		if err != nil || rep.Valid != exit {
+			return false
+		}
+		return par.Equal(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunGeneralNumericPublic(t *testing.T) {
+	// Opaque recurrence secretly affine: promoted to parallel prefix.
+	out := NewArray("out", 64)
+	l := &FloatLoop{
+		Class: Class{Dispatcher: GeneralRecurrence, Terminator: RI},
+		Disp: FuncDispatcher{
+			StartFn: func() float64 { return 2 },
+			NextFn:  func(x float64) float64 { return 3 * x },
+		},
+		Cond: func(x float64) bool { return x < 1e6 },
+		Body: func(it *Iter, x float64) bool {
+			it.Store(out, it.Index, x)
+			return true
+		},
+		Max: 64,
+	}
+	rep, err := RunGeneralNumeric(l, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2, 6, 18, ... 2*3^k < 1e6 -> k <= 11 -> 12 terms.
+	if rep.Valid != 12 {
+		t.Fatalf("valid = %d (%+v)", rep.Valid, rep)
+	}
+	if out.Data[11] != 2*177147 { // 2*3^11
+		t.Fatalf("out[11] = %v", out.Data[11])
+	}
+	if aff, ok := RecognizeAffine(func(x float64) float64 { return 3 * x }, 2); !ok || aff.A != 3 {
+		t.Fatalf("RecognizeAffine: %+v ok=%v", aff, ok)
+	}
+}
