@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all fmt vet build test race check bench tables
+
+all: check
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI gate: formatting, static analysis, build, race-enabled tests.
+check: fmt vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+tables:
+	$(GO) run ./cmd/whilebench -all

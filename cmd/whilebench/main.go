@@ -12,6 +12,10 @@
 //	whilebench -costmodel      # Section 7 worst-case sweep
 //	whilebench -ablations      # General-1/2/3, strip-vs-window, PD sweeps
 //	whilebench -verify         # run the goroutine-backend validations
+//	whilebench -metrics        # run an instrumented speculative demo and
+//	                           # print its runtime counters
+//	whilebench -trace out.json # same demo, writing a Chrome trace
+//	                           # (open in chrome://tracing or Perfetto)
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"whilepar"
 	"whilepar/internal/bench"
 )
 
@@ -31,7 +36,9 @@ func main() {
 		costmodel = flag.Bool("costmodel", false, "print the Section 7 worst-case sweep")
 		ablations = flag.Bool("ablations", false, "print the design-choice ablations")
 		verify    = flag.Bool("verify", false, "validate transformations on the goroutine backend")
-		procs     = flag.Int("procs", 8, "virtual processors for -verify")
+		procs     = flag.Int("procs", 8, "virtual processors for -verify and the -metrics/-trace demo")
+		metrics   = flag.Bool("metrics", false, "run the instrumented speculative demo and print its counters")
+		trace     = flag.String("trace", "", "write the demo's Chrome trace-event JSON to this file")
 		plot      = flag.Bool("plot", false, "render figures as text charts instead of tables")
 		gantt     = flag.Bool("gantt", false, "render the General-1 vs General-3 schedules as Gantt charts")
 	)
@@ -110,10 +117,77 @@ func main() {
 		}
 		ran = true
 	}
+	if *metrics || *trace != "" {
+		if err := obsDemo(*procs, *metrics, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, "whilebench:", err)
+			os.Exit(1)
+		}
+		ran = true
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// obsDemo runs an instrumented speculative execution through the public
+// API — a DO loop with a conditional exit planted mid-way, writing a
+// shared array with an unanalyzable (PD-tested) access pattern — and
+// reports what the runtime observed.
+func obsDemo(procs int, printMetrics bool, tracePath string) error {
+	const n, exitAt = 4000, 2718
+	a := whilepar.NewArray("A", n)
+	b := whilepar.NewArray("B", n)
+	for i := 0; i < n; i++ {
+		a.Data[i] = float64(i + 1)
+	}
+	a.Data[exitAt] = -1
+
+	m := whilepar.NewMetrics()
+	var tr *whilepar.ChromeTracer
+	opt := whilepar.Options{
+		Procs:           procs,
+		InductionMethod: whilepar.Induction2,
+		Schedule:        whilepar.Guided,
+		Shared:          []*whilepar.Array{b},
+		Tested:          []*whilepar.Array{b},
+		Metrics:         m,
+	}
+	if tracePath != "" {
+		tr = whilepar.NewChromeTracer()
+		opt.Tracer = tr
+	}
+
+	loop := &whilepar.IntLoop{
+		Class: whilepar.Class{Dispatcher: whilepar.MonotonicInduction, Terminator: whilepar.RV},
+		Disp:  whilepar.IntInduction{C: 1},
+		Body: func(it *whilepar.Iter, i int) bool {
+			v := it.Load(a, i)
+			if v < 0 {
+				return false
+			}
+			it.Store(b, i, v*v)
+			return true
+		},
+		Max: n,
+	}
+	rep, err := whilepar.RunInduction(loop, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("demo: %s — valid %d of %d iterations (parallel: %v, undone: %d)\n",
+		rep.Strategy, rep.Valid, n, rep.UsedParallel, rep.Undone)
+	if printMetrics {
+		fmt.Println()
+		fmt.Print(rep.Metrics.String())
+	}
+	if tracePath != "" {
+		if err := tr.WriteFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events written to %s\n", tr.Len(), tracePath)
+	}
+	return nil
 }
 
 type figEntry struct {

@@ -26,6 +26,7 @@ import (
 	"whilepar/internal/list"
 	"whilepar/internal/loopir"
 	"whilepar/internal/mem"
+	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
 	"whilepar/internal/prefix"
 	"whilepar/internal/sched"
@@ -102,6 +103,12 @@ type Options struct {
 	// valid iterations as a plain DOALL.  Requires statically known
 	// dependences (no Tested/Privatized arrays).
 	RunTwice bool
+	// Metrics, if non-nil, accumulates runtime counters across every
+	// layer of the execution (scheduling, speculation, undo memory, PD
+	// tests); the Report carries a snapshot.  Tracer, if non-nil,
+	// receives structured events suitable for Chrome's trace viewer.
+	Metrics *obs.Metrics
+	Tracer  obs.Tracer
 }
 
 func (o Options) procs() int {
@@ -109,6 +116,13 @@ func (o Options) procs() int {
 		return 1
 	}
 	return o.Procs
+}
+
+func (o Options) hooks() obs.Hooks { return obs.Hooks{M: o.Metrics, T: o.Tracer} }
+
+// validate rejects malformed options before any goroutine is started.
+func (o Options) validate() error {
+	return sched.Validate(o.Schedule)
 }
 
 // Report describes what the orchestrator did.
@@ -132,6 +146,19 @@ type Report struct {
 	// StampThreshold is the Section 8.1 statistics-enhanced threshold
 	// used (0 = every store stamped).
 	StampThreshold int
+	// Metrics is a snapshot of the run's counters, taken as the
+	// orchestrator returns; nil unless Options.Metrics was set.
+	Metrics *obs.Snapshot
+}
+
+// finish stamps the report with a metrics snapshot (when requested)
+// just before the orchestrator hands it back.
+func finish(rep Report, opt Options) Report {
+	if opt.Metrics != nil {
+		s := opt.Metrics.Snapshot()
+		rep.Metrics = &s
+	}
+	return rep
 }
 
 // decide runs the Section 7 analysis if the caller supplied timing
@@ -177,6 +204,9 @@ func stampThreshold(opt Options) int {
 // RunInduction orchestrates a WHILE loop whose dispatcher is an
 // induction (Section 3.1).  l.Max must bound the iteration space.
 func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
+	if err := opt.validate(); err != nil {
+		return Report{}, err
+	}
 	d, ok := decide(opt, l.Class.Dispatcher)
 	rep := Report{Decision: d, Strategy: opt.InductionMethod.String()}
 	if !ok {
@@ -184,16 +214,17 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 		rep.Valid = res.Iterations
 		rep.Strategy = "sequential (cost model)"
 		recordStats(opt, rep.Valid)
-		return rep, nil
+		return finish(rep, opt), nil
 	}
 
-	cfg := induction.Config{Procs: opt.procs(), Method: opt.InductionMethod, Schedule: opt.Schedule}
+	cfg := induction.Config{Procs: opt.procs(), Method: opt.InductionMethod, Schedule: opt.Schedule,
+		Metrics: opt.Metrics, Tracer: opt.Tracer}
 
 	if opt.RunTwice {
 		if len(opt.Tested) > 0 || len(opt.Privatized) > 0 {
 			return rep, fmt.Errorf("core: RunTwice requires statically known dependences (no Tested/Privatized arrays)")
 		}
-		valid, err := speculate.RunTwice(opt.Shared,
+		valid, err := speculate.RunTwiceObs(opt.Shared, opt.hooks(),
 			func() (int, error) {
 				r, rerr := induction.Run(l, cfg)
 				rep.Executed = r.Executed
@@ -212,7 +243,7 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 		rep.UsedParallel = true
 		rep.Strategy = fmt.Sprintf("%s, run-twice (no time-stamps)", opt.InductionMethod)
 		recordStats(opt, valid)
-		return rep, nil
+		return finish(rep, opt), nil
 	}
 
 	if !needsSpeculation(l.Class, opt) {
@@ -223,7 +254,7 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 		rep.Valid, rep.Executed, rep.Overshot = res.Valid, res.Executed, res.Overshot
 		rep.UsedParallel = true
 		recordStats(opt, rep.Valid)
-		return rep, nil
+		return finish(rep, opt), nil
 	}
 
 	var parRes induction.Result
@@ -236,6 +267,8 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 			Privatized:     opt.Privatized,
 			StampThreshold: rep.StampThreshold,
 			SparseUndo:     opt.SparseUndo,
+			Metrics:        opt.Metrics,
+			Tracer:         opt.Tracer,
 		},
 		func(tr mem.Tracker) (int, error) {
 			c := cfg
@@ -257,7 +290,7 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 	rep.Executed, rep.Overshot = parRes.Executed, parRes.Overshot
 	rep.Strategy = fmt.Sprintf("%s + speculation", opt.InductionMethod)
 	recordStats(opt, rep.Valid)
-	return rep, nil
+	return finish(rep, opt), nil
 }
 
 // RunAssociative orchestrates a WHILE loop whose dispatcher is an
@@ -267,6 +300,9 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 // the term generation; l.Max caps it (strip-mined generation handles an
 // absent bound).
 func RunAssociative(l *loopir.Loop[float64], opt Options) (Report, error) {
+	if err := opt.validate(); err != nil {
+		return Report{}, err
+	}
 	aff, ok := l.Disp.(loopir.Affine)
 	if !ok {
 		return Report{}, fmt.Errorf("core: associative path requires an Affine dispatcher, got %T", l.Disp)
@@ -278,7 +314,7 @@ func RunAssociative(l *loopir.Loop[float64], opt Options) (Report, error) {
 		rep.Valid = res.Iterations
 		rep.Strategy = "sequential (cost model)"
 		recordStats(opt, rep.Valid)
-		return rep, nil
+		return finish(rep, opt), nil
 	}
 	maxTerms := l.Max
 	if maxTerms <= 0 {
@@ -307,6 +343,9 @@ func RunAssociative(l *loopir.Loop[float64], opt Options) (Report, error) {
 // Section 3.3: evaluate the dispatcher terms sequentially, then run the
 // remainder as a DOALL over the stored values.
 func RunGeneralNumeric(l *loopir.Loop[float64], opt Options) (Report, error) {
+	if err := opt.validate(); err != nil {
+		return Report{}, err
+	}
 	if _, ok := l.Disp.(loopir.Affine); ok {
 		return RunAssociative(l, opt)
 	}
@@ -333,7 +372,7 @@ func RunGeneralNumeric(l *loopir.Loop[float64], opt Options) (Report, error) {
 		rep.Valid = res.Iterations
 		rep.Strategy = "sequential (cost model)"
 		recordStats(opt, rep.Valid)
-		return rep, nil
+		return finish(rep, opt), nil
 	}
 	var terms []float64
 	x := l.Disp.Start()
@@ -351,29 +390,31 @@ func RunGeneralNumeric(l *loopir.Loop[float64], opt Options) (Report, error) {
 // dispatcher terms, with the speculation protocol when needed.
 func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Report) (Report, error) {
 	n := len(terms)
+	var doallRes sched.Result
 	run := func(tr mem.Tracker) (int, error) {
-		res := sched.DOALL(n, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule}, func(i, vpn int) sched.Control {
+		doallRes = sched.DOALL(n, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule,
+			Metrics: opt.Metrics, Tracer: opt.Tracer}, func(i, vpn int) sched.Control {
 			it := loopir.Iter{Index: i, VPN: vpn, Tracker: tr}
 			if !l.Body(&it, terms[i]) {
 				return sched.Quit
 			}
 			return sched.Continue
 		})
-		return res.QuitIndex, nil
+		return doallRes.QuitIndex, nil
 	}
 
 	if !needsSpeculation(l.Class, opt) {
 		valid, _ := run(nil)
 		rep.Valid = valid
 		rep.UsedParallel = true
-		rep.Executed = n
+		rep.Executed, rep.Overshot = doallRes.Executed, doallRes.Overshot
 		recordStats(opt, rep.Valid)
-		return rep, nil
+		return finish(rep, opt), nil
 	}
 	srep, err := speculate.Run(
 		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
 			Privatized: opt.Privatized, StampThreshold: stampThreshold(opt),
-			SparseUndo: opt.SparseUndo},
+			SparseUndo: opt.SparseUndo, Metrics: opt.Metrics, Tracer: opt.Tracer},
 		run,
 		func() int { return loopir.RunSequential(l).Iterations },
 	)
@@ -382,14 +423,18 @@ func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Rep
 	}
 	rep.Valid, rep.UsedParallel, rep.Failure = srep.Valid, srep.UsedParallel, srep.Failure
 	rep.PD, rep.Undone = srep.PD, srep.Undone
+	rep.Executed, rep.Overshot = doallRes.Executed, doallRes.Overshot
 	rep.Strategy += " + speculation"
 	recordStats(opt, rep.Valid)
-	return rep, nil
+	return finish(rep, opt), nil
 }
 
 // RunList orchestrates a WHILE loop traversing a linked list (the
 // general-recurrence case, Section 3.3).
 func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options) (Report, error) {
+	if err := opt.validate(); err != nil {
+		return Report{}, err
+	}
 	d, ok := decide(opt, loopir.GeneralRecurrence)
 	method := opt.ListMethod
 	if method == AutoList {
@@ -400,10 +445,10 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 		rep.Valid = runListSequential(head, body)
 		rep.Strategy = "sequential (cost model)"
 		recordStats(opt, rep.Valid)
-		return rep, nil
+		return finish(rep, opt), nil
 	}
 
-	cfg := genrec.Config{Procs: opt.procs()}
+	cfg := genrec.Config{Procs: opt.procs(), Metrics: opt.Metrics, Tracer: opt.Tracer}
 	runner := func(tr mem.Tracker) (int, error) {
 		c := cfg
 		c.Tracker = tr
@@ -415,10 +460,10 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 			r = genrec.General2(head, body, c)
 		case DoacrossList:
 			bound := list.Len(head)
-			res := doacross.RunWhile(head,
+			res := doacross.RunWhileObs(head,
 				func(n *list.Node) *list.Node { return n.Next },
 				func(n *list.Node) bool { return n != nil },
-				bound, opt.procs(),
+				bound, opt.procs(), opt.hooks(),
 				func(i int, nd *list.Node) bool {
 					it := loopir.Iter{Index: i, VPN: 0, Tracker: c.Tracker}
 					return body(&it, nd)
@@ -436,12 +481,12 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 		rep.Valid = valid
 		rep.UsedParallel = true
 		recordStats(opt, rep.Valid)
-		return rep, nil
+		return finish(rep, opt), nil
 	}
 	srep, err := speculate.Run(
 		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
 			Privatized: opt.Privatized, StampThreshold: stampThreshold(opt),
-			SparseUndo: opt.SparseUndo},
+			SparseUndo: opt.SparseUndo, Metrics: opt.Metrics, Tracer: opt.Tracer},
 		runner,
 		func() int { return runListSequential(head, body) },
 	)
@@ -452,7 +497,7 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 	rep.PD, rep.Undone = srep.PD, srep.Undone
 	rep.Strategy = fmt.Sprintf("%s + speculation", method)
 	recordStats(opt, rep.Valid)
-	return rep, nil
+	return finish(rep, opt), nil
 }
 
 // runListSequential is the sequential reference traversal.

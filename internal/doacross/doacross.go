@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"whilepar/internal/obs"
 	"whilepar/internal/simproc"
 )
 
@@ -101,6 +102,13 @@ type Result struct {
 // order (a DOACROSS requirement — iteration i's waiters must already be
 // running or done).
 func Run(n, procs int, body func(i, vpn int, s *Sync) Control) Result {
+	return RunObs(n, procs, obs.Hooks{}, body)
+}
+
+// RunObs is Run with observability hooks: iteration spans (whose
+// duration includes the pipeline's Wait stalls — the critical path is
+// visible in the trace), QUIT posts, and issue/execute/busy counters.
+func RunObs(n, procs int, h obs.Hooks, body func(i, vpn int, s *Sync) Control) Result {
 	if procs < 1 {
 		procs = 1
 	}
@@ -120,20 +128,33 @@ func Run(n, procs int, body func(i, vpn int, s *Sync) Control) Result {
 		defer wg.Done()
 		for {
 			i := int(next.Add(1) - 1)
-			if i >= n || int64(i) > quit.Load() {
+			if i >= n {
 				return
 			}
+			h.M.IterIssued(1)
+			if int64(i) > quit.Load() {
+				return
+			}
+			ts := obs.Start(h.T)
 			c := body(i, vpn, s)
 			// The runtime's completion post: even a quitting iteration
 			// posts, so pipelines drain rather than deadlock.
 			s.Post(i)
 			execed.Add(1)
+			h.M.IterExecuted(vpn)
+			if h.T != nil {
+				obs.Span(h.T, ts, "iter", "doacross", vpn, map[string]any{"i": i})
+			}
 			if c == Quit {
 				for {
 					cur := quit.Load()
 					if int64(i) >= cur || quit.CompareAndSwap(cur, int64(i)) {
 						break
 					}
+				}
+				h.M.QuitPosted()
+				if h.T != nil {
+					obs.Instant(h.T, "QUIT", "doacross", vpn, map[string]any{"i": i})
 				}
 			}
 		}
@@ -158,6 +179,13 @@ func Run(n, procs int, body func(i, vpn int, s *Sync) Control) Result {
 // predecessor's dispatcher hand-off.
 func RunWhile[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
 	body func(i int, d D) bool) Result {
+	return RunWhileObs(start, next, cont, max, procs, obs.Hooks{}, body)
+}
+
+// RunWhileObs is RunWhile with observability hooks, forwarded to the
+// underlying pipelined executor.
+func RunWhileObs[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
+	h obs.Hooks, body func(i int, d D) bool) Result {
 	if procs < 1 {
 		procs = 1
 	}
@@ -166,7 +194,7 @@ func RunWhile[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
 	vals[0] = start
 	ok[0] = true
 
-	return Run(max, procs, func(i, vpn int, s *Sync) Control {
+	return RunObs(max, procs, h, func(i, vpn int, s *Sync) Control {
 		s.Wait(i, i-1) // dispatcher value d(i) produced by iteration i-1
 		if !ok[i] {
 			return Quit // predecessor already terminated the recurrence

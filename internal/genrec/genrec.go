@@ -28,6 +28,7 @@ import (
 	"whilepar/internal/list"
 	"whilepar/internal/loopir"
 	"whilepar/internal/mem"
+	"whilepar/internal/obs"
 	"whilepar/internal/sched"
 )
 
@@ -46,6 +47,39 @@ type Config struct {
 	// methods (the `u` of Figure 4's DOALLs); 0 means "the list length
 	// is the bound" (pure RI traversal).
 	U int
+	// Metrics, if non-nil, accumulates runtime counters; Tracer, if
+	// non-nil, receives iteration spans and QUIT events.
+	Metrics *obs.Metrics
+	Tracer  obs.Tracer
+}
+
+func (c Config) hooks() obs.Hooks { return obs.Hooks{M: c.Metrics, T: c.Tracer} }
+
+// execLog records which iterations each virtual processor executed.
+// Each worker appends only to its own slice (no locking); the merge in
+// finish happens after ForEachProc's wait, which orders it after every
+// append.  Counting overshoot afterwards, against the *final* quit
+// index, makes the accounting exact — a per-iteration `i > quit`
+// check would race against a concurrently-lowering quit minimum.
+type execLog struct {
+	byVP [][]int
+}
+
+func newExecLog(procs int) *execLog { return &execLog{byVP: make([][]int, procs)} }
+
+func (e *execLog) record(vpn, i int) { e.byVP[vpn] = append(e.byVP[vpn], i) }
+
+// finish counts executed iterations and those at or beyond valid.
+func (e *execLog) finish(valid int) (executed, overshot int) {
+	for _, idxs := range e.byVP {
+		executed += len(idxs)
+		for _, i := range idxs {
+			if i >= valid {
+				overshot++
+			}
+		}
+	}
+	return executed, overshot
 }
 
 func (c Config) procs() int {
@@ -96,20 +130,19 @@ func (q *quitMin) get() int { return int(q.v.Load()) }
 func General1(head *list.Node, body Body, cfg Config) Result {
 	p := cfg.procs()
 	var (
-		mu       sync.Mutex
-		cur      = head
-		idx      int
-		hops     atomic.Int64
-		executed atomic.Int64
-		overshot atomic.Int64
+		mu   sync.Mutex
+		cur  = head
+		idx  int
+		hops atomic.Int64
 	)
 	bound := cfg.U
 	if bound <= 0 {
 		bound = int(^uint(0) >> 1) // effectively unbounded; nil ends it
 	}
 	quit := newQuitMin(bound)
+	log := newExecLog(p)
 
-	sched.ForEachProc(p, func(vpn int) {
+	sched.ForEachProcObs(p, cfg.hooks(), func(vpn int) {
 		for {
 			mu.Lock()
 			if cur == nil || idx >= bound || idx > quit.get() {
@@ -122,14 +155,22 @@ func General1(head *list.Node, body Body, cfg Config) Result {
 			idx++
 			hops.Add(1)
 			mu.Unlock()
+			cfg.Metrics.IterIssued(1)
 
+			ts := obs.Start(cfg.Tracer)
 			it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
-			if !body(&it, pt) {
-				quit.record(i)
+			q := !body(&it, pt)
+			log.record(vpn, i)
+			cfg.Metrics.IterExecuted(vpn)
+			if cfg.Tracer != nil {
+				obs.Span(cfg.Tracer, ts, "iter", "general-1", vpn, map[string]any{"i": i})
 			}
-			executed.Add(1)
-			if i > quit.get() {
-				overshot.Add(1)
+			if q {
+				quit.record(i)
+				cfg.Metrics.QuitPosted()
+				if cfg.Tracer != nil {
+					obs.Instant(cfg.Tracer, "QUIT", "general-1", vpn, map[string]any{"i": i})
+				}
 			}
 		}
 	})
@@ -137,7 +178,9 @@ func General1(head *list.Node, body Body, cfg Config) Result {
 	if valid >= bound {
 		valid = idxClamp(idx, bound)
 	}
-	return Result{Valid: valid, Executed: int(executed.Load()), Overshot: int(overshot.Load()), Hops: hops.Load()}
+	executed, overshot := log.finish(valid)
+	cfg.Metrics.OvershotAdd(overshot)
+	return Result{Valid: valid, Executed: executed, Overshot: overshot, Hops: hops.Load()}
 }
 
 func idxClamp(n, bound int) int {
@@ -153,15 +196,12 @@ func idxClamp(n, bound int) int {
 // lock is taken; the list is traversed p times in total.
 func General2(head *list.Node, body Body, cfg Config) Result {
 	p := cfg.procs()
-	var (
-		hops     atomic.Int64
-		executed atomic.Int64
-		overshot atomic.Int64
-	)
+	var hops atomic.Int64
 	n := list.Len(head) // headers walk; counted as hops below per processor
 	quit := newQuitMin(n)
+	log := newExecLog(p)
 
-	sched.ForEachProc(p, func(vpn int) {
+	sched.ForEachProcObs(p, cfg.hooks(), func(vpn int) {
 		pt := head
 		// Initial advance to this processor's first iteration.
 		for j := 0; j < vpn && pt != nil; j++ {
@@ -169,16 +209,24 @@ func General2(head *list.Node, body Body, cfg Config) Result {
 			hops.Add(1)
 		}
 		for i := vpn; pt != nil; i += p {
+			cfg.Metrics.IterIssued(1)
 			if i > quit.get() {
 				return
 			}
+			ts := obs.Start(cfg.Tracer)
 			it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
-			if !body(&it, pt) {
-				quit.record(i)
+			q := !body(&it, pt)
+			log.record(vpn, i)
+			cfg.Metrics.IterExecuted(vpn)
+			if cfg.Tracer != nil {
+				obs.Span(cfg.Tracer, ts, "iter", "general-2", vpn, map[string]any{"i": i})
 			}
-			executed.Add(1)
-			if i > quit.get() {
-				overshot.Add(1)
+			if q {
+				quit.record(i)
+				cfg.Metrics.QuitPosted()
+				if cfg.Tracer != nil {
+					obs.Instant(cfg.Tracer, "QUIT", "general-2", vpn, map[string]any{"i": i})
+				}
 			}
 			for j := 0; j < p && pt != nil; j++ {
 				pt = pt.Next
@@ -187,7 +235,9 @@ func General2(head *list.Node, body Body, cfg Config) Result {
 		}
 	})
 	valid := quit.get()
-	return Result{Valid: valid, Executed: int(executed.Load()), Overshot: int(overshot.Load()), Hops: hops.Load()}
+	executed, overshot := log.finish(valid)
+	cfg.Metrics.OvershotAdd(overshot)
+	return Result{Valid: valid, Executed: executed, Overshot: overshot, Hops: hops.Load()}
 }
 
 // General3 runs the loop with dynamic assignment and private cursors
@@ -201,19 +251,22 @@ func General3(head *list.Node, body Body, cfg Config) Result {
 		bound = list.Len(head)
 	}
 	var (
-		next     atomic.Int64
-		hops     atomic.Int64
-		executed atomic.Int64
-		overshot atomic.Int64
+		next atomic.Int64
+		hops atomic.Int64
 	)
 	quit := newQuitMin(bound)
+	log := newExecLog(p)
 
-	sched.ForEachProc(p, func(vpn int) {
+	sched.ForEachProcObs(p, cfg.hooks(), func(vpn int) {
 		pt := head
 		prev := 0 // pt currently points at iteration index `prev`
 		for {
 			i := int(next.Add(1) - 1)
-			if i >= bound || i > quit.get() {
+			if i >= bound {
+				return
+			}
+			cfg.Metrics.IterIssued(1)
+			if i > quit.get() {
 				return
 			}
 			for j := 0; j < i-prev && pt != nil; j++ {
@@ -227,16 +280,25 @@ func General3(head *list.Node, body Body, cfg Config) Result {
 				quit.record(i)
 				return
 			}
+			ts := obs.Start(cfg.Tracer)
 			it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
-			if !body(&it, pt) {
-				quit.record(i)
+			q := !body(&it, pt)
+			log.record(vpn, i)
+			cfg.Metrics.IterExecuted(vpn)
+			if cfg.Tracer != nil {
+				obs.Span(cfg.Tracer, ts, "iter", "general-3", vpn, map[string]any{"i": i})
 			}
-			executed.Add(1)
-			if i > quit.get() {
-				overshot.Add(1)
+			if q {
+				quit.record(i)
+				cfg.Metrics.QuitPosted()
+				if cfg.Tracer != nil {
+					obs.Instant(cfg.Tracer, "QUIT", "general-3", vpn, map[string]any{"i": i})
+				}
 			}
 		}
 	})
 	valid := quit.get()
-	return Result{Valid: valid, Executed: int(executed.Load()), Overshot: int(overshot.Load()), Hops: hops.Load()}
+	executed, overshot := log.finish(valid)
+	cfg.Metrics.OvershotAdd(overshot)
+	return Result{Valid: valid, Executed: executed, Overshot: overshot, Hops: hops.Load()}
 }

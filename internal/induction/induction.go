@@ -27,6 +27,7 @@ import (
 
 	"whilepar/internal/loopir"
 	"whilepar/internal/mem"
+	"whilepar/internal/obs"
 	"whilepar/internal/sched"
 	"whilepar/internal/simproc"
 )
@@ -64,6 +65,11 @@ type Config struct {
 	// (Induction-2's QUIT argument assumes in-order issue, which both
 	// provide per processor).
 	Schedule sched.Schedule
+	// Metrics, if non-nil, accumulates runtime counters; Tracer, if
+	// non-nil, receives structured events.  Both pass through to the
+	// DOALL substrate.
+	Metrics *obs.Metrics
+	Tracer  obs.Tracer
 }
 
 // Result reports the parallel execution's outcome.
@@ -108,13 +114,15 @@ func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
 
 	switch cfg.Method {
 	case Induction2:
-		res := sched.DOALL(u, sched.Options{Procs: cfg.Procs, Schedule: cfg.Schedule}, func(i, vpn int) sched.Control {
+		res := sched.DOALL(u, sched.Options{Procs: cfg.Procs, Schedule: cfg.Schedule, Metrics: cfg.Metrics, Tracer: cfg.Tracer}, func(i, vpn int) sched.Control {
 			if iter(i, vpn) {
 				return sched.Quit
 			}
 			return sched.Continue
 		})
-		return Result{Valid: res.QuitIndex, Executed: res.Executed, Overshot: res.Executed - min(res.Executed, res.QuitIndex)}, nil
+		// The substrate's Overshot is exact (computed after all workers
+		// finished, against the final quit index), so use it directly.
+		return Result{Valid: res.QuitIndex, Executed: res.Executed, Overshot: res.Overshot}, nil
 
 	default: // Induction1: run everything, reduce afterwards.
 		procs := cfg.Procs
@@ -125,7 +133,7 @@ func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
 		for k := range L {
 			L[k].Store(int64(u))
 		}
-		res := sched.DOALL(u, sched.Options{Procs: procs, Schedule: cfg.Schedule}, func(i, vpn int) sched.Control {
+		res := sched.DOALL(u, sched.Options{Procs: procs, Schedule: cfg.Schedule, Metrics: cfg.Metrics, Tracer: cfg.Tracer}, func(i, vpn int) sched.Control {
 			if iter(i, vpn) && int64(i) < L[vpn].Load() {
 				L[vpn].Store(int64(i))
 			}
@@ -137,7 +145,14 @@ func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
 			mins[k] = int(L[k].Load())
 		}
 		li := sched.MinReduce(mins, u)
-		return Result{Valid: li, Executed: res.Executed, Overshot: res.Executed - min(res.Executed, li)}, nil
+		// Induction-1 never QUITs the substrate, so overshoot is only
+		// known after the reduction; mirror it into the metrics here.
+		overshot := res.Executed - min(res.Executed, li)
+		cfg.Metrics.OvershotAdd(overshot)
+		if cfg.Tracer != nil {
+			obs.Instant(cfg.Tracer, "min-reduce", "induction", 0, map[string]any{"li": li})
+		}
+		return Result{Valid: li, Executed: res.Executed, Overshot: overshot}, nil
 	}
 }
 

@@ -1,0 +1,387 @@
+// Package obs is the runtime observability layer: execution-scoped
+// metrics and optional structured event tracing for the speculative
+// WHILE-loop runtime.
+//
+// The paper's profitability argument (Section 7) hinges on quantities
+// the runtime itself produces — overshoot, undo volume, speculation
+// aborts, PD-test verdicts — and the related work (taskloop-style
+// speculation studies) shows abort/commit rates are the deciding signal
+// for whether speculative execution pays.  This package makes those
+// quantities observable without perturbing the hot path:
+//
+//   - Metrics is a set of atomic counters an execution accumulates
+//     into.  Every recording method is safe on a nil *Metrics and
+//     compiles down to a single predictable branch in that case, so the
+//     substrates (internal/sched, internal/tsmem, ...) call them
+//     unconditionally.
+//   - Tracer receives structured events (iteration spans, QUIT posts,
+//     checkpoint/undo, PD verdicts).  A nil Tracer costs one branch per
+//     potential event; ChromeTracer (trace.go) buffers events and
+//     exports them in the Chrome trace-event JSON format, loadable in
+//     chrome://tracing or https://ui.perfetto.dev.
+//
+// Metrics is execution-scoped, not global: callers allocate one per
+// orchestrated run (whilepar Options.Metrics) and read a consistent
+// Snapshot after the run completes.  Counters may be read while the
+// run is still in flight — they are individually atomic — but only a
+// post-completion Snapshot is guaranteed to satisfy the cross-counter
+// identities (Executed == valid + overshot, and so on).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics accumulates counters for one orchestrated loop execution.
+// All methods are safe for concurrent use and for a nil receiver (a
+// nil *Metrics records nothing).
+type Metrics struct {
+	// DOALL substrate.
+	issued   atomic.Int64
+	executed atomic.Int64
+	overshot atomic.Int64
+	quits    atomic.Int64
+
+	// Guided-schedule chunking.
+	chunks     atomic.Int64
+	chunkIters atomic.Int64
+	maxChunk   atomic.Int64
+	minChunk   atomic.Int64 // 0 = unset
+
+	// Time-stamped memory (internal/tsmem).
+	trackedStores atomic.Int64
+	stampedStores atomic.Int64
+	checkpoints   atomic.Int64
+	checkpointWds atomic.Int64
+	restores      atomic.Int64
+	undone        atomic.Int64
+
+	// PD tests.
+	pdTests atomic.Int64
+	pdPass  atomic.Int64
+	pdFail  atomic.Int64
+
+	// Speculation protocol.
+	specAttempts atomic.Int64
+	specCommits  atomic.Int64
+	specAborts   atomic.Int64
+
+	mu           sync.Mutex
+	vpnBusy      []*atomic.Int64
+	abortReasons map[string]int64
+	pdVerdicts   []PDVerdict
+}
+
+// PDVerdict is one recorded PD-test outcome.
+type PDVerdict struct {
+	// Array names the tested array.
+	Array string
+	// DOALL reports whether the execution was valid as-is.
+	DOALL bool
+	// DOALLWithPriv reports validity under privatization.
+	DOALLWithPriv bool
+	// Accesses is the number of marked accesses.
+	Accesses int
+}
+
+// NewMetrics returns an empty Metrics.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// IterIssued records n iterations handed to a worker by the issue
+// mechanism (claimed, whether or not QUIT later suppressed them).
+func (m *Metrics) IterIssued(n int) {
+	if m == nil {
+		return
+	}
+	m.issued.Add(int64(n))
+}
+
+// IterExecuted records one iteration whose body ran on processor vpn.
+func (m *Metrics) IterExecuted(vpn int) {
+	if m == nil {
+		return
+	}
+	m.executed.Add(1)
+	m.busySlot(vpn).Add(1)
+}
+
+// busySlot returns the per-vpn executed counter, growing the table on
+// first use of a processor number.
+func (m *Metrics) busySlot(vpn int) *atomic.Int64 {
+	if vpn < 0 {
+		vpn = 0
+	}
+	m.mu.Lock()
+	for len(m.vpnBusy) <= vpn {
+		m.vpnBusy = append(m.vpnBusy, new(atomic.Int64))
+	}
+	s := m.vpnBusy[vpn]
+	m.mu.Unlock()
+	return s
+}
+
+// OvershotAdd records n iterations that executed at or beyond the final
+// quit index.
+func (m *Metrics) OvershotAdd(n int) {
+	if m == nil {
+		return
+	}
+	m.overshot.Add(int64(n))
+}
+
+// QuitPosted records one QUIT signalled by an iteration.
+func (m *Metrics) QuitPosted() {
+	if m == nil {
+		return
+	}
+	m.quits.Add(1)
+}
+
+// GuidedChunk records one chunk of the given size claimed by the Guided
+// schedule.
+func (m *Metrics) GuidedChunk(size int) {
+	if m == nil {
+		return
+	}
+	m.chunks.Add(1)
+	m.chunkIters.Add(int64(size))
+	casMax(&m.maxChunk, int64(size))
+	casMinNonzero(&m.minChunk, int64(size))
+}
+
+func casMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func casMinNonzero(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if (cur != 0 && v >= cur) || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// TrackedStore records one store performed through a time-stamping
+// tracker.
+func (m *Metrics) TrackedStore() {
+	if m == nil {
+		return
+	}
+	m.trackedStores.Add(1)
+}
+
+// StampedStore records the first stamp taken on a memory location.
+func (m *Metrics) StampedStore() {
+	if m == nil {
+		return
+	}
+	m.stampedStores.Add(1)
+}
+
+// CheckpointDone records one checkpoint of the given size in words.
+func (m *Metrics) CheckpointDone(words int) {
+	if m == nil {
+		return
+	}
+	m.checkpoints.Add(1)
+	m.checkpointWds.Add(int64(words))
+}
+
+// RestoreDone records one full checkpoint restore (a speculation
+// abort's rewind).
+func (m *Metrics) RestoreDone() {
+	if m == nil {
+		return
+	}
+	m.restores.Add(1)
+}
+
+// UndoneAdd records n memory locations restored by the overshoot undo.
+func (m *Metrics) UndoneAdd(n int) {
+	if m == nil {
+		return
+	}
+	m.undone.Add(int64(n))
+}
+
+// RecordPD records one PD-test verdict.
+func (m *Metrics) RecordPD(v PDVerdict) {
+	if m == nil {
+		return
+	}
+	m.pdTests.Add(1)
+	if v.DOALL {
+		m.pdPass.Add(1)
+	} else {
+		m.pdFail.Add(1)
+	}
+	m.mu.Lock()
+	m.pdVerdicts = append(m.pdVerdicts, v)
+	m.mu.Unlock()
+}
+
+// SpecAttempt records the start of one speculative execution (a whole
+// loop, a strip, or a window).
+func (m *Metrics) SpecAttempt() {
+	if m == nil {
+		return
+	}
+	m.specAttempts.Add(1)
+}
+
+// SpecCommit records a speculative execution whose results were kept.
+func (m *Metrics) SpecCommit() {
+	if m == nil {
+		return
+	}
+	m.specCommits.Add(1)
+}
+
+// SpecAbort records a speculative execution abandoned for the given
+// reason (sequential fallback).
+func (m *Metrics) SpecAbort(reason string) {
+	if m == nil {
+		return
+	}
+	m.specAborts.Add(1)
+	m.mu.Lock()
+	if m.abortReasons == nil {
+		m.abortReasons = make(map[string]int64)
+	}
+	m.abortReasons[reason]++
+	m.mu.Unlock()
+}
+
+// Snapshot is a plain-value copy of all counters, safe to retain after
+// the Metrics keeps accumulating.
+type Snapshot struct {
+	// Issued counts iterations claimed from the issue mechanism;
+	// Issued - Executed is the claims QUIT suppressed.
+	Issued int64
+	// Executed counts iterations whose body ran.
+	Executed int64
+	// Overshot counts executed iterations at or beyond the final quit
+	// index.
+	Overshot int64
+	// QuitsPosted counts QUIT verdicts returned by iteration bodies.
+	QuitsPosted int64
+
+	// GuidedChunks/GuidedChunkIters/MaxGuidedChunk/MinGuidedChunk
+	// describe the Guided schedule's claim sizes (zero when unused).
+	GuidedChunks, GuidedChunkIters, MaxGuidedChunk, MinGuidedChunk int64
+
+	// TrackedStores counts stores through time-stamping trackers;
+	// StampedStores counts distinct locations that took a stamp.
+	TrackedStores, StampedStores int64
+	// Checkpoints/CheckpointWords/Restores/Undone describe the undo
+	// machinery's work.
+	Checkpoints, CheckpointWords, Restores, Undone int64
+
+	// PDTests = PDPass + PDFail; PDVerdicts holds the individual
+	// outcomes in recording order.
+	PDTests, PDPass, PDFail int64
+	PDVerdicts              []PDVerdict
+
+	// SpecAttempts/SpecCommits/SpecAborts describe the speculation
+	// protocol; AbortReasons tallies fallback causes.
+	SpecAttempts, SpecCommits, SpecAborts int64
+	AbortReasons                          map[string]int64
+
+	// VPNBusy[k] is the number of iterations processor k executed.
+	VPNBusy []int64
+}
+
+// Snapshot returns a consistent copy of the counters.  Call it after
+// the instrumented execution has completed.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Issued:           m.issued.Load(),
+		Executed:         m.executed.Load(),
+		Overshot:         m.overshot.Load(),
+		QuitsPosted:      m.quits.Load(),
+		GuidedChunks:     m.chunks.Load(),
+		GuidedChunkIters: m.chunkIters.Load(),
+		MaxGuidedChunk:   m.maxChunk.Load(),
+		MinGuidedChunk:   m.minChunk.Load(),
+		TrackedStores:    m.trackedStores.Load(),
+		StampedStores:    m.stampedStores.Load(),
+		Checkpoints:      m.checkpoints.Load(),
+		CheckpointWords:  m.checkpointWds.Load(),
+		Restores:         m.restores.Load(),
+		Undone:           m.undone.Load(),
+		PDTests:          m.pdTests.Load(),
+		PDPass:           m.pdPass.Load(),
+		PDFail:           m.pdFail.Load(),
+		SpecAttempts:     m.specAttempts.Load(),
+		SpecCommits:      m.specCommits.Load(),
+		SpecAborts:       m.specAborts.Load(),
+	}
+	m.mu.Lock()
+	s.VPNBusy = make([]int64, len(m.vpnBusy))
+	for k, c := range m.vpnBusy {
+		s.VPNBusy[k] = c.Load()
+	}
+	if len(m.abortReasons) > 0 {
+		s.AbortReasons = make(map[string]int64, len(m.abortReasons))
+		for k, v := range m.abortReasons {
+			s.AbortReasons[k] = v
+		}
+	}
+	s.PDVerdicts = append([]PDVerdict(nil), m.pdVerdicts...)
+	m.mu.Unlock()
+	return s
+}
+
+// String renders the snapshot as an aligned human-readable summary.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iterations: issued=%d executed=%d overshot=%d quits=%d\n",
+		s.Issued, s.Executed, s.Overshot, s.QuitsPosted)
+	if s.GuidedChunks > 0 {
+		fmt.Fprintf(&b, "guided:     chunks=%d iters=%d min=%d max=%d avg=%.1f\n",
+			s.GuidedChunks, s.GuidedChunkIters, s.MinGuidedChunk, s.MaxGuidedChunk,
+			float64(s.GuidedChunkIters)/float64(s.GuidedChunks))
+	}
+	fmt.Fprintf(&b, "memory:     stores=%d stamped=%d checkpoints=%d (%d words) restores=%d undone=%d\n",
+		s.TrackedStores, s.StampedStores, s.Checkpoints, s.CheckpointWords, s.Restores, s.Undone)
+	fmt.Fprintf(&b, "pd-test:    runs=%d pass=%d fail=%d\n", s.PDTests, s.PDPass, s.PDFail)
+	for _, v := range s.PDVerdicts {
+		fmt.Fprintf(&b, "  %-12s doall=%v priv=%v accesses=%d\n", v.Array, v.DOALL, v.DOALLWithPriv, v.Accesses)
+	}
+	fmt.Fprintf(&b, "speculation: attempts=%d commits=%d aborts=%d\n", s.SpecAttempts, s.SpecCommits, s.SpecAborts)
+	if len(s.AbortReasons) > 0 {
+		reasons := make([]string, 0, len(s.AbortReasons))
+		for r := range s.AbortReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Fprintf(&b, "  abort x%d: %s\n", s.AbortReasons[r], r)
+		}
+	}
+	if len(s.VPNBusy) > 0 {
+		fmt.Fprintf(&b, "vpn busy:   %v\n", s.VPNBusy)
+	}
+	return b.String()
+}
+
+// Hooks bundles a Metrics and a Tracer for substrates whose entry
+// points take one optional observability argument.  The zero value is
+// fully inert.
+type Hooks struct {
+	M *Metrics
+	T Tracer
+}

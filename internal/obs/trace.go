@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace event, shaped after the Chrome
+// trace-event format (the "JSON Array Format" of the Trace Event
+// specification) so a buffered stream of Events serializes directly
+// into something chrome://tracing and Perfetto load.
+type Event struct {
+	// Name labels the event ("iter", "QUIT", "checkpoint", ...).
+	Name string `json:"name"`
+	// Cat is the event category ("doall", "tsmem", "speculate", ...).
+	Cat string `json:"cat,omitempty"`
+	// Phase is the trace-event phase: "X" complete (with Dur), "i"
+	// instant, "B"/"E" begin/end.
+	Phase string `json:"ph"`
+	// TS is the event timestamp in microseconds since tracer start.
+	TS int64 `json:"ts"`
+	// Dur is the duration in microseconds (phase "X" only).
+	Dur int64 `json:"dur,omitempty"`
+	// PID is the trace process id (always 1: one runtime).
+	PID int `json:"pid"`
+	// TID is the trace thread id; the runtime uses the virtual
+	// processor number so per-vpn lanes appear in the viewer.
+	TID int `json:"tid"`
+	// Args carries event-specific payload (iteration index, undo
+	// count, PD verdict, ...).
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer receives structured events from an instrumented execution.
+// Implementations must be safe for concurrent use.  Substrates always
+// guard emission with a nil check, so tracing costs one branch when
+// disabled.
+type Tracer interface {
+	// Now returns the current trace clock in microseconds.
+	Now() int64
+	// Emit records one event.
+	Emit(Event)
+}
+
+// Start returns the current trace clock, or 0 for a nil tracer; pair
+// with Span.
+func Start(t Tracer) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.Now()
+}
+
+// Span emits a complete ("X") event covering start..now.
+func Span(t Tracer, start int64, name, cat string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	now := t.Now()
+	dur := now - start
+	if dur < 1 {
+		dur = 1 // sub-microsecond spans still render in the viewer
+	}
+	t.Emit(Event{Name: name, Cat: cat, Phase: "X", TS: start, Dur: dur, PID: 1, TID: tid, Args: args})
+}
+
+// Instant emits an instant ("i") event at the current trace clock.
+func Instant(t Tracer, name, cat string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Name: name, Cat: cat, Phase: "i", TS: t.Now(), PID: 1, TID: tid, Args: args})
+}
+
+// ChromeTracer buffers events in memory and exports them as Chrome
+// trace-event JSON.  The zero value is not usable; call
+// NewChromeTracer.
+type ChromeTracer struct {
+	start time.Time
+	mu    sync.Mutex
+	evs   []Event
+}
+
+// NewChromeTracer returns a tracer whose clock starts now.
+func NewChromeTracer() *ChromeTracer {
+	return &ChromeTracer{start: time.Now()}
+}
+
+// Now returns microseconds since the tracer was created.
+func (c *ChromeTracer) Now() int64 { return time.Since(c.start).Microseconds() }
+
+// Emit buffers one event.
+func (c *ChromeTracer) Emit(ev Event) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (c *ChromeTracer) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.evs)
+}
+
+// Events returns a copy of the buffered events.
+func (c *ChromeTracer) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.evs...)
+}
+
+// chromeTrace is the JSON Object Format wrapper, which lets viewers
+// pick the display unit and tolerates trailing metadata.
+type chromeTrace struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteTo serializes the buffered events as Chrome trace-event JSON.
+func (c *ChromeTracer) WriteTo(w io.Writer) (int64, error) {
+	c.mu.Lock()
+	doc := chromeTrace{TraceEvents: c.evs, DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []Event{}
+	}
+	data, err := json.Marshal(doc)
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// WriteFile writes the trace to path (0644).
+func (c *ChromeTracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"whilepar/internal/mem"
+	"whilepar/internal/obs"
 	"whilepar/internal/sched"
 )
 
@@ -87,7 +88,15 @@ type Test struct {
 	arr      *mem.Array
 	shadows  []*shadow
 	accesses atomic.Int64
+
+	// Optional observability hooks (nil-safe).
+	obsM *obs.Metrics
+	obsT obs.Tracer
 }
+
+// SetObs attaches observability hooks: every Analyze records its
+// verdict into m and emits a "pd-test" event to t.  Either may be nil.
+func (t *Test) SetObs(mx *obs.Metrics, tr obs.Tracer) { t.obsM, t.obsT = mx, tr }
 
 // New creates a PD test for array a with marking state for procs virtual
 // processors.
@@ -168,7 +177,15 @@ type Result struct {
 // overshooting WHILE loops).  The element scan is itself executed as a
 // DOALL over the shadow arrays — the analysis is fully parallel
 // regardless of the nature of the original loop.
-func (t *Test) Analyze(valid int) Result {
+func (t *Test) Analyze(valid int) Result { return t.analyze(valid, true) }
+
+// AnalyzeQuiet is Analyze without recording into the observability
+// hooks — for informational re-analysis (e.g. reporting verdicts after
+// a fallback has already been decided), so metrics count each protocol
+// decision exactly once.
+func (t *Test) AnalyzeQuiet(valid int) Result { return t.analyze(valid, false) }
+
+func (t *Test) analyze(valid int, record bool) Result {
 	n := t.arr.Len()
 	v := int64(valid)
 	var outputDep, flowAnti, exposed atomic.Bool
@@ -202,7 +219,7 @@ func (t *Test) Analyze(valid int) Result {
 		return sched.Continue
 	})
 
-	return Result{
+	res := Result{
 		DOALL:              !outputDep.Load() && !flowAnti.Load(),
 		DOALLWithPriv:      !flowAnti.Load(),
 		PrivatizableStrict: !exposed.Load(),
@@ -210,6 +227,17 @@ func (t *Test) Analyze(valid int) Result {
 		FlowAntiDep:        flowAnti.Load(),
 		Accesses:           t.Accesses(),
 	}
+	if record {
+		t.obsM.RecordPD(obs.PDVerdict{
+			Array: t.arr.Name, DOALL: res.DOALL, DOALLWithPriv: res.DOALLWithPriv, Accesses: res.Accesses,
+		})
+		if t.obsT != nil {
+			obs.Instant(t.obsT, "pd-test", "pdtest", 0, map[string]any{
+				"array": t.arr.Name, "doall": res.DOALL, "priv": res.DOALLWithPriv, "accesses": res.Accesses,
+			})
+		}
+	}
+	return res
 }
 
 // Reset clears all marks for reuse across strips (Section 5.1 suggests

@@ -19,6 +19,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"whilepar/internal/obs"
 )
 
 // Control is a loop body's verdict for one iteration.
@@ -58,6 +60,12 @@ type Options struct {
 	Procs int
 	// Schedule selects dynamic or static iteration assignment.
 	Schedule Schedule
+	// Metrics, if non-nil, accumulates issue/execute/overshoot counts,
+	// per-vpn busy counts and Guided chunk sizes.  nil records nothing.
+	Metrics *obs.Metrics
+	// Tracer, if non-nil, receives iteration spans and QUIT events.
+	// nil costs one branch per potential event.
+	Tracer obs.Tracer
 }
 
 func (o Options) procs() int {
@@ -76,10 +84,13 @@ type Result struct {
 	// anything above it that ran speculatively counts as overshoot for
 	// RV loops.
 	QuitIndex int
-	// Overshot is the number of executed iterations with index >=
-	// QuitIndex (including the quitting iteration itself only if other
-	// iterations above the minimum also ran; the quitting iteration's
-	// own body is assumed to have exited before writing).
+	// Overshot is the number of executed iterations with index >= the
+	// final QuitIndex — the quitting iteration itself plus every
+	// speculative iteration above it that ran.  The accounting is exact:
+	// it is computed after all workers have finished, against the final
+	// quit index, so Executed == min(QuitIndex, n) + Overshot always
+	// holds (every iteration below the final QuitIndex runs exactly
+	// once).
 	Overshot int
 }
 
@@ -99,17 +110,32 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 		return Result{QuitIndex: 0}
 	}
 
+	m, tr := opts.Metrics, opts.Tracer
+
 	var (
-		next     atomic.Int64 // dynamic issue counter
-		quitAt   atomic.Int64 // min index that returned Quit
-		executed atomic.Int64
-		overshot atomic.Int64
-		wg       sync.WaitGroup
+		next   atomic.Int64 // dynamic issue counter
+		quitAt atomic.Int64 // min index that returned Quit
+		wg     sync.WaitGroup
 	)
 	quitAt.Store(int64(n))
 
+	// ran records which iterations actually executed.  Every index has
+	// exactly one owner (the worker that claimed it), so plain bools
+	// suffice; the reads below happen after wg.Wait(), which orders them
+	// after every write.  Overshoot is then computed against the *final*
+	// quit index — the per-iteration check `i > quitAt` used previously
+	// raced against a concurrently-lowering quitAt and undercounted.
+	ran := make([]bool, n)
+
 	runIter := func(i, vpn int) {
-		if body(i, vpn) == Quit {
+		ts := obs.Start(tr)
+		c := body(i, vpn)
+		ran[i] = true
+		m.IterExecuted(vpn)
+		if tr != nil {
+			obs.Span(tr, ts, "iter", "doall", vpn, map[string]any{"i": i})
+		}
+		if c == Quit {
 			// CAS-min on quitAt.
 			for {
 				cur := quitAt.Load()
@@ -117,10 +143,10 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 					break
 				}
 			}
-		}
-		executed.Add(1)
-		if int64(i) > quitAt.Load() {
-			overshot.Add(1)
+			m.QuitPosted()
+			if tr != nil {
+				obs.Instant(tr, "QUIT", "doall", vpn, map[string]any{"i": i})
+			}
 		}
 	}
 
@@ -129,6 +155,7 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 		switch opts.Schedule {
 		case Static:
 			for i := vpn; i < n; i += p {
+				m.IterIssued(1)
 				if int64(i) > quitAt.Load() {
 					// A smaller iteration already quit; do not begin
 					// larger ones.  Smaller ones on this processor have
@@ -143,7 +170,11 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 				var lo, hi int
 				for {
 					cur := next.Load()
-					if cur >= int64(n) {
+					if cur >= int64(n) || cur > quitAt.Load() {
+						// Either the space is exhausted or a QUIT at an
+						// index below the next chunk has been posted —
+						// claiming further chunks could only produce
+						// overshoot, so stop issuing promptly.
 						return
 					}
 					size := (int64(n) - cur + int64(2*p) - 1) / int64(2*p)
@@ -158,6 +189,8 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 				if hi > n {
 					hi = n
 				}
+				m.IterIssued(hi - lo)
+				m.GuidedChunk(hi - lo)
 				for i := lo; i < hi; i++ {
 					if int64(i) > quitAt.Load() {
 						return
@@ -168,7 +201,11 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 		default: // Dynamic
 			for {
 				i := int(next.Add(1) - 1)
-				if i >= n || int64(i) > quitAt.Load() {
+				if i >= n {
+					return
+				}
+				m.IterIssued(1)
+				if int64(i) > quitAt.Load() {
 					return
 				}
 				runIter(i, vpn)
@@ -182,10 +219,23 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 	}
 	wg.Wait()
 
+	// Exact accounting against the final quit index.
+	q := int(quitAt.Load())
+	executed, overshot := 0, 0
+	for i, r := range ran {
+		if r {
+			executed++
+			if i >= q {
+				overshot++
+			}
+		}
+	}
+	m.OvershotAdd(overshot)
+
 	return Result{
-		Executed:  int(executed.Load()),
-		QuitIndex: int(quitAt.Load()),
-		Overshot:  int(overshot.Load()),
+		Executed:  executed,
+		QuitIndex: q,
+		Overshot:  overshot,
 	}
 }
 
@@ -199,6 +249,13 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 // ForEachProc runs fn(vpn) on procs goroutines and waits; it is the
 // "doall i = 1, nproc" idiom of General-2 (Fig. 4).
 func ForEachProc(procs int, fn func(vpn int)) {
+	ForEachProcObs(procs, obs.Hooks{}, fn)
+}
+
+// ForEachProcObs is ForEachProc with observability hooks: each virtual
+// processor's whole activation is traced as one span, so the per-vpn
+// lanes of a Chrome trace show when workers were alive.
+func ForEachProcObs(procs int, h obs.Hooks, fn func(vpn int)) {
 	if procs < 1 {
 		procs = 1
 	}
@@ -207,7 +264,11 @@ func ForEachProc(procs int, fn func(vpn int)) {
 	for k := 0; k < procs; k++ {
 		go func(vpn int) {
 			defer wg.Done()
+			ts := obs.Start(h.T)
 			fn(vpn)
+			if h.T != nil {
+				obs.Span(h.T, ts, "worker", "foreachproc", vpn, nil)
+			}
 		}(k)
 	}
 	wg.Wait()
@@ -237,8 +298,10 @@ func MinReduceFloat(vals []float64) float64 {
 	return m
 }
 
-// Validate panics if a schedule constant is out of range; used by
-// callers that accept user-provided options.
+// Validate returns an error if a schedule constant is out of range (it
+// never panics); callers that accept user-provided options check it
+// before executing so an unknown schedule is rejected rather than
+// silently treated as Dynamic.
 func Validate(s Schedule) error {
 	switch s {
 	case Dynamic, Static, Guided:

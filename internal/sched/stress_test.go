@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"whilepar/internal/obs"
+)
+
+// TestDOALLStressGuarantee is the randomized stress test of the DOALL
+// guarantee, meant to run under -race in CI: for every schedule and a
+// spread of shapes (iteration counts, processor counts, quit sets),
+//
+//   - every iteration below the final QuitIndex executes exactly once,
+//   - no iteration executes twice,
+//   - the final QuitIndex is exactly the smallest planted quit index
+//     (iterations below it all run, so the minimum quitter always
+//     fires),
+//   - Overshot is exact against the per-iteration execution log, and
+//   - Executed == min(QuitIndex, n) + Overshot.
+func TestDOALLStressGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	schedules := []Schedule{Dynamic, Static, Guided}
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + rng.Intn(500)
+		p := 1 + rng.Intn(8)
+		schedule := schedules[trial%len(schedules)]
+
+		// Plant quits: usually a sparse random set, sometimes none,
+		// sometimes many (adversarial for the CAS-min).
+		quits := make([]bool, n)
+		q0 := n
+		switch trial % 4 {
+		case 0: // none
+		case 1: // dense
+			for i := range quits {
+				if rng.Intn(4) == 0 {
+					quits[i] = true
+				}
+			}
+		default: // sparse
+			for i := range quits {
+				if rng.Intn(64) == 0 {
+					quits[i] = true
+				}
+			}
+		}
+		for i, q := range quits {
+			if q {
+				q0 = i
+				break
+			}
+		}
+
+		execCount := make([]atomic.Int32, n)
+		m := obs.NewMetrics()
+		res := DOALL(n, Options{Procs: p, Schedule: schedule, Metrics: m}, func(i, vpn int) Control {
+			execCount[i].Add(1)
+			if i%17 == 0 {
+				runtime.Gosched() // shake interleavings
+			}
+			if quits[i] {
+				return Quit
+			}
+			return Continue
+		})
+
+		if res.QuitIndex != q0 {
+			t.Fatalf("[%d %v n=%d p=%d] QuitIndex = %d, want %d", trial, schedule, n, p, res.QuitIndex, q0)
+		}
+		totalExec, overshot := 0, 0
+		for i := range execCount {
+			c := int(execCount[i].Load())
+			if c > 1 {
+				t.Fatalf("[%d %v n=%d p=%d] iteration %d executed %d times", trial, schedule, n, p, i, c)
+			}
+			if i < q0 && c != 1 {
+				t.Fatalf("[%d %v n=%d p=%d] iteration %d below QuitIndex %d executed %d times", trial, schedule, n, p, i, q0, c)
+			}
+			totalExec += c
+			if c == 1 && i >= q0 {
+				overshot++
+			}
+		}
+		if res.Executed != totalExec {
+			t.Fatalf("[%d %v] Executed = %d, log says %d", trial, schedule, res.Executed, totalExec)
+		}
+		if res.Overshot != overshot {
+			t.Fatalf("[%d %v] Overshot = %d, log says %d", trial, schedule, res.Overshot, overshot)
+		}
+		lower := res.QuitIndex
+		if lower > n {
+			lower = n
+		}
+		if res.Executed != lower+res.Overshot {
+			t.Fatalf("[%d %v] identity violated: Executed %d != min(QuitIndex,n) %d + Overshot %d",
+				trial, schedule, res.Executed, lower, res.Overshot)
+		}
+
+		s := m.Snapshot()
+		if s.Executed != int64(res.Executed) || s.Overshot != int64(res.Overshot) {
+			t.Fatalf("[%d %v] metrics disagree with result: %+v vs %+v", trial, schedule, s, res)
+		}
+		if s.Issued < s.Executed {
+			t.Fatalf("[%d %v] issued %d < executed %d", trial, schedule, s.Issued, s.Executed)
+		}
+		var busy int64
+		for _, v := range s.VPNBusy {
+			busy += v
+		}
+		if busy != s.Executed {
+			t.Fatalf("[%d %v] per-vpn busy sum %d != executed %d", trial, schedule, busy, s.Executed)
+		}
+	}
+}
+
+// TestGuidedStopsIssuingAfterQuit is the regression test for the
+// Guided claim loop: before the fix, workers kept claiming and
+// scanning chunks long after a QUIT was posted, so the number of
+// issued iterations approached n even for an early exit.  With the
+// quitAt check in the claim loop, a single processor stops after the
+// chunk that contained the quitting iteration.
+func TestGuidedStopsIssuingAfterQuit(t *testing.T) {
+	const n, quitAt = 10_000, 5
+	m := obs.NewMetrics()
+	res := DOALL(n, Options{Procs: 1, Schedule: Guided, Metrics: m}, func(i, _ int) Control {
+		if i == quitAt {
+			return Quit
+		}
+		return Continue
+	})
+	if res.QuitIndex != quitAt {
+		t.Fatalf("QuitIndex = %d", res.QuitIndex)
+	}
+	s := m.Snapshot()
+	// One processor's first chunk is ceil(n/2) = 5000 iterations and
+	// contains the quit; no further chunk may be claimed.
+	if s.GuidedChunks != 1 || s.Issued != 5000 {
+		t.Fatalf("guided kept claiming after QUIT: chunks=%d issued=%d", s.GuidedChunks, s.Issued)
+	}
+	if res.Executed != quitAt+1 || res.Overshot != 1 {
+		t.Fatalf("executed=%d overshot=%d", res.Executed, res.Overshot)
+	}
+}
+
+// TestDynamicOvershootCountsQuittingIteration pins the exact-accounting
+// semantics deterministically: with one processor, iterations run in
+// order, the quitting iteration is the only one at or beyond the final
+// quit index, and Overshot is exactly 1.
+func TestDynamicOvershootCountsQuittingIteration(t *testing.T) {
+	for _, schedule := range []Schedule{Dynamic, Static, Guided} {
+		res := DOALL(100, Options{Procs: 1, Schedule: schedule}, func(i, _ int) Control {
+			if i == 40 {
+				return Quit
+			}
+			return Continue
+		})
+		if res.QuitIndex != 40 || res.Executed != 41 || res.Overshot != 1 {
+			t.Fatalf("%v: %+v", schedule, res)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"whilepar/internal/mem"
+	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
 	"whilepar/internal/priv"
 	"whilepar/internal/tsmem"
@@ -56,6 +57,12 @@ type Spec struct {
 	// proportional to the accesses, not the array extents.  Incompatible
 	// with StampThreshold (every store must be logged).
 	SparseUndo bool
+	// Metrics, if non-nil, accumulates speculation attempts/commits/
+	// aborts, stamped stores, undo counts and PD verdicts; Tracer, if
+	// non-nil, receives the corresponding events.  Both propagate to
+	// the undo memory and the PD tests.
+	Metrics *obs.Metrics
+	Tracer  obs.Tracer
 }
 
 // ParallelRunner executes the loop in parallel using the supplied
@@ -103,15 +110,21 @@ func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
 		return Report{}, fmt.Errorf("speculate: SparseUndo is incompatible with a stamp threshold")
 	}
 
+	mx, tr := spec.Metrics, spec.Tracer
+	mx.SpecAttempt()
+	specStart := obs.Start(tr)
+
 	// Tb: checkpoint the in-place arrays — or, with SparseUndo, defer
 	// to first-touch logging (no up-front copies at all).
 	var undoer interface {
 		Tracker() mem.Tracker
 	}
 	ts := tsmem.New(spec.Shared...)
+	ts.SetObs(mx, tr)
 	var sp *tsmem.SparseMemory
 	if spec.SparseUndo {
 		sp = tsmem.NewSparse()
+		sp.SetObs(mx, tr)
 		undoer = sp
 	} else {
 		ts.Checkpoint()
@@ -124,6 +137,7 @@ func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
 	var observers []mem.Observer
 	for _, a := range spec.Tested {
 		t := pdtest.New(a, procs)
+		t.SetObs(mx, tr)
 		tests = append(tests, t)
 		observers = append(observers, t.Observer())
 	}
@@ -143,6 +157,10 @@ func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
 	}
 
 	fallback := func(reason string) (Report, error) {
+		mx.SpecAbort(reason)
+		if tr != nil {
+			obs.Instant(tr, "spec-abort", "speculate", 0, map[string]any{"reason": reason})
+		}
 		if sp != nil {
 			sp.RestoreAll()
 		} else if err := ts.RestoreAll(); err != nil {
@@ -202,15 +220,20 @@ func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
 	for _, p := range privs {
 		copied += p.CopyOut(valid)
 	}
+	mx.SpecCommit()
+	if tr != nil {
+		obs.Span(tr, specStart, "speculation", "speculate", 0, map[string]any{"valid": valid, "undone": undone})
+	}
 	return Report{Valid: valid, UsedParallel: true, PD: results, Undone: undone, CopiedOut: copied}, nil
 }
 
 // snapshots analyzes all tests for reporting after a fallback (the
-// verdicts are informational; state has already been restored).
+// verdicts are informational; state has already been restored, so the
+// quiet variant keeps them out of the metrics).
 func snapshots(tests []*pdtest.Test, valid int) []pdtest.Result {
 	var out []pdtest.Result
 	for _, t := range tests {
-		out = append(out, t.Analyze(valid))
+		out = append(out, t.AnalyzeQuiet(valid))
 	}
 	return out
 }
@@ -225,10 +248,20 @@ func snapshots(tests []*pdtest.Test, valid int) []pdtest.Result {
 // count; secondRun executes exactly [0, valid) with direct memory
 // access.
 func RunTwice(shared []*mem.Array, firstRun func() (int, error), secondRun func(valid int) error) (int, error) {
+	return RunTwiceObs(shared, obs.Hooks{}, firstRun, secondRun)
+}
+
+// RunTwiceObs is RunTwice with observability hooks: the discovery run
+// counts as a speculation attempt, the re-execution as its commit.
+func RunTwiceObs(shared []*mem.Array, h obs.Hooks, firstRun func() (int, error), secondRun func(valid int) error) (int, error) {
+	h.M.SpecAttempt()
+	start := obs.Start(h.T)
 	ts := tsmem.New(shared...)
+	ts.SetObs(h.M, h.T)
 	ts.Checkpoint()
 	valid, err := firstRun()
 	if err != nil {
+		h.M.SpecAbort(fmt.Sprintf("run-twice discovery failed: %v", err))
 		if rerr := ts.RestoreAll(); rerr != nil {
 			return 0, rerr
 		}
@@ -238,7 +271,12 @@ func RunTwice(shared []*mem.Array, firstRun func() (int, error), secondRun func(
 		return 0, err
 	}
 	if err := secondRun(valid); err != nil {
+		h.M.SpecAbort(fmt.Sprintf("run-twice re-execution failed: %v", err))
 		return 0, err
+	}
+	h.M.SpecCommit()
+	if h.T != nil {
+		obs.Span(h.T, start, "run-twice", "speculate", 0, map[string]any{"valid": valid})
 	}
 	return valid, nil
 }

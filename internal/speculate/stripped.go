@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"whilepar/internal/mem"
+	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
 	"whilepar/internal/tsmem"
 )
@@ -60,6 +61,8 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 		procs = 1
 	}
 
+	mx, tr := spec.Metrics, spec.Tracer
+
 	var rep StripReport
 	for lo := 0; lo < total; lo += strip {
 		hi := lo + strip
@@ -67,14 +70,18 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 			hi = total
 		}
 		rep.Strips++
+		mx.SpecAttempt()
+		stripStart := obs.Start(tr)
 
 		// Fresh per-strip machinery: bounded memory by construction.
 		ts := tsmem.New(spec.Shared...)
+		ts.SetObs(mx, tr)
 		ts.Checkpoint()
 		var tests []*pdtest.Test
 		var observers []mem.Observer
 		for _, a := range spec.Tested {
 			t := pdtest.New(a, procs)
+			t.SetObs(mx, tr)
 			tests = append(tests, t)
 			observers = append(observers, t.Observer())
 		}
@@ -96,6 +103,11 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 			}
 		}
 		if !ok {
+			reason := fmt.Sprintf("strip [%d,%d) failed validation", lo, hi)
+			if err != nil {
+				reason = fmt.Sprintf("strip [%d,%d) exception: %v", lo, hi, err)
+			}
+			mx.SpecAbort(reason)
 			if rerr := ts.RestoreAll(); rerr != nil {
 				return rep, rerr
 			}
@@ -109,6 +121,12 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 			}
 			rep.Undone += undone
 			done = true
+		}
+		if ok {
+			mx.SpecCommit()
+		}
+		if tr != nil {
+			obs.Span(tr, stripStart, "strip", "speculate", 0, map[string]any{"lo": lo, "hi": hi, "valid": valid, "committed": ok})
 		}
 		rep.Valid += valid
 		if done {

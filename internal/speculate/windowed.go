@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"whilepar/internal/mem"
+	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
 	"whilepar/internal/tsmem"
 	"whilepar/internal/window"
@@ -44,12 +45,18 @@ func RunWindowed(spec Spec, n int, cfg window.Config, body WindowedBody, seq Seq
 	}
 	cfg.Procs = procs
 
+	mx, tr := spec.Metrics, spec.Tracer
+	mx.SpecAttempt()
+	start := obs.Start(tr)
+
 	ts := tsmem.New(spec.Shared...)
+	ts.SetObs(mx, tr)
 	ts.Checkpoint()
 	var tests []*pdtest.Test
 	var observers []mem.Observer
 	for _, a := range spec.Tested {
 		t := pdtest.New(a, procs)
+		t.SetObs(mx, tr)
 		tests = append(tests, t)
 		observers = append(observers, t.Observer())
 	}
@@ -68,6 +75,7 @@ func RunWindowed(spec Spec, n int, cfg window.Config, body WindowedBody, seq Seq
 
 	for _, t := range tests {
 		if r := t.Analyze(valid); !r.DOALL {
+			mx.SpecAbort(fmt.Sprintf("PD test failed on array %q", t.Array().Name))
 			if err := ts.RestoreAll(); err != nil {
 				return WindowedReport{}, err
 			}
@@ -76,11 +84,16 @@ func RunWindowed(spec Spec, n int, cfg window.Config, body WindowedBody, seq Seq
 	}
 	undone, err := ts.Undo(valid)
 	if err != nil {
+		mx.SpecAbort(fmt.Sprintf("undo impossible: %v", err))
 		if rerr := ts.RestoreAll(); rerr != nil {
 			return WindowedReport{}, rerr
 		}
 		return WindowedReport{Valid: seq(), MaxSpan: res.MaxSpan}, nil
 	}
 	ts.Commit()
+	mx.SpecCommit()
+	if tr != nil {
+		obs.Span(tr, start, "windowed-speculation", "speculate", 0, map[string]any{"valid": valid, "maxSpan": res.MaxSpan, "undone": undone})
+	}
 	return WindowedReport{Valid: valid, UsedParallel: true, MaxSpan: res.MaxSpan, Undone: undone}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"whilepar/internal/mem"
+	"whilepar/internal/obs"
 )
 
 // SparseMemory is the hash-table variant of the undo scheme suggested in
@@ -18,7 +19,15 @@ import (
 // from serializing on one mutex.
 type SparseMemory struct {
 	shards [nShards]sparseShard
+
+	// Optional observability hooks (nil-safe).
+	obsM *obs.Metrics
+	obsT obs.Tracer
 }
+
+// SetObs attaches observability hooks: m accumulates tracked/stamped
+// store counts and undo/restore counts; t receives undo events.
+func (s *SparseMemory) SetObs(mx *obs.Metrics, t obs.Tracer) { s.obsM, s.obsT = mx, t }
 
 const nShards = 16
 
@@ -60,12 +69,14 @@ type sparseTracker struct{ s *SparseMemory }
 func (t sparseTracker) Load(a *mem.Array, idx, _, _ int) float64 { return a.Data[idx] }
 
 func (t sparseTracker) Store(a *mem.Array, idx int, v float64, iter, _ int) {
+	t.s.obsM.TrackedStore()
 	sh := t.s.shard(idx)
 	k := sparseKey{a, idx}
 	sh.mu.Lock()
 	e, ok := sh.m[k]
 	if !ok {
 		sh.m[k] = sparseEntry{old: a.Data[idx], stamp: int64(iter)}
+		t.s.obsM.StampedStore()
 	} else if int64(iter) < e.stamp {
 		e.stamp = int64(iter)
 		sh.m[k] = e
@@ -78,6 +89,16 @@ func (t sparseTracker) Store(a *mem.Array, idx int, v float64, iter, _ int) {
 // (where iterations 0..valid-1 are the valid ones) and returns how many
 // locations it restored.
 func (s *SparseMemory) Undo(valid int) int {
+	ts := obs.Start(s.obsT)
+	restored := s.rewind(valid)
+	s.obsM.UndoneAdd(restored)
+	if s.obsT != nil {
+		obs.Span(s.obsT, ts, "undo", "tsmem", 0, map[string]any{"restored": restored, "lastValid": valid})
+	}
+	return restored
+}
+
+func (s *SparseMemory) rewind(valid int) int {
 	restored := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -93,9 +114,17 @@ func (s *SparseMemory) Undo(valid int) int {
 	return restored
 }
 
-// RestoreAll rewinds every touched location to its pre-loop value.
+// RestoreAll rewinds every touched location to its pre-loop value (an
+// abort's rewind, accounted as a restore rather than an overshoot
+// undo).
 func (s *SparseMemory) RestoreAll() int {
-	return s.Undo(0)
+	ts := obs.Start(s.obsT)
+	restored := s.rewind(0)
+	s.obsM.RestoreDone()
+	if s.obsT != nil {
+		obs.Span(s.obsT, ts, "restore-all", "tsmem", 0, map[string]any{"restored": restored})
+	}
+	return restored
 }
 
 // Touched returns how many distinct locations the loop wrote — the

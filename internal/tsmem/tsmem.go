@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"whilepar/internal/mem"
+	"whilepar/internal/obs"
 )
 
 // NoStamp is the stamp value of a location never written in the loop.
@@ -41,7 +42,17 @@ type Memory struct {
 	// are predicted valid).  Undo below the threshold is impossible.
 	threshold int
 	stamped   atomic.Int64 // stores that recorded a stamp
+
+	// Optional observability hooks (nil-safe).
+	obsM *obs.Metrics
+	obsT obs.Tracer
 }
+
+// SetObs attaches observability hooks: m accumulates tracked/stamped
+// store counts, checkpoint words, undo and restore counts; t receives
+// checkpoint/undo/restore events.  Either may be nil.  Must be set
+// before the speculative execution begins.
+func (m *Memory) SetObs(mx *obs.Metrics, t obs.Tracer) { m.obsM, m.obsT = mx, t }
 
 // New creates a Memory over the given arrays.  Checkpoint must be called
 // before the speculative execution begins.
@@ -67,11 +78,18 @@ func (m *Memory) resetStamps() {
 // Checkpoint snapshots every tracked array (the overhead Tb of the cost
 // model).  Calling it again discards the previous snapshot.
 func (m *Memory) Checkpoint() {
+	ts := obs.Start(m.obsT)
 	m.checkpoints = m.checkpoints[:0]
+	words := 0
 	for _, a := range m.arrays {
 		m.checkpoints = append(m.checkpoints, a.Clone())
+		words += a.Len()
 	}
 	m.resetStamps()
+	m.obsM.CheckpointDone(words)
+	if m.obsT != nil {
+		obs.Span(m.obsT, ts, "checkpoint", "tsmem", 0, map[string]any{"words": words})
+	}
 }
 
 // SetStampThreshold enables Section 8.1's statistics-enhanced stamping:
@@ -91,6 +109,7 @@ type stampTracker struct{ m *Memory }
 func (t stampTracker) Load(a *mem.Array, idx, _, _ int) float64 { return a.Data[idx] }
 
 func (t stampTracker) Store(a *mem.Array, idx int, v float64, iter, _ int) {
+	t.m.obsM.TrackedStore()
 	if iter >= t.m.threshold {
 		if s := t.m.stamps[a]; s != nil {
 			for {
@@ -101,6 +120,7 @@ func (t stampTracker) Store(a *mem.Array, idx int, v float64, iter, _ int) {
 				if s[idx].CompareAndSwap(cur, int64(iter)) {
 					if cur == NoStamp {
 						t.m.stamped.Add(1)
+						t.m.obsM.StampedStore()
 					}
 					break
 				}
@@ -124,6 +144,7 @@ func (m *Memory) Undo(lastValid int) (int, error) {
 	if lastValid < m.threshold {
 		return 0, fmt.Errorf("tsmem: last valid iteration %d below stamp threshold %d; stamps missing", lastValid, m.threshold)
 	}
+	ts := obs.Start(m.obsT)
 	restored := 0
 	for ai, a := range m.arrays {
 		cp := m.checkpoints[ai]
@@ -138,6 +159,10 @@ func (m *Memory) Undo(lastValid int) (int, error) {
 			}
 		}
 	}
+	m.obsM.UndoneAdd(restored)
+	if m.obsT != nil {
+		obs.Span(m.obsT, ts, "undo", "tsmem", 0, map[string]any{"restored": restored, "lastValid": lastValid})
+	}
 	return restored, nil
 }
 
@@ -147,8 +172,13 @@ func (m *Memory) RestoreAll() error {
 	if len(m.checkpoints) != len(m.arrays) {
 		return fmt.Errorf("tsmem: RestoreAll without Checkpoint")
 	}
+	ts := obs.Start(m.obsT)
 	for ai, a := range m.arrays {
 		copy(a.Data, m.checkpoints[ai].Data)
+	}
+	m.obsM.RestoreDone()
+	if m.obsT != nil {
+		obs.Span(m.obsT, ts, "restore-all", "tsmem", 0, nil)
 	}
 	return nil
 }

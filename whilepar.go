@@ -39,6 +39,7 @@ import (
 	"whilepar/internal/list"
 	"whilepar/internal/loopir"
 	"whilepar/internal/mem"
+	"whilepar/internal/obs"
 	"whilepar/internal/sched"
 	"whilepar/internal/speculate"
 )
@@ -143,6 +144,37 @@ const (
 
 // PrivSpec marks an array for privatization during speculation.
 type PrivSpec = speculate.PrivSpec
+
+// Observability: pass a *Metrics (and optionally a Tracer) in Options to
+// collect runtime counters and structured events from every layer of an
+// execution — iterations issued/executed/overshot, Guided chunk sizes,
+// stamped stores and undo counts, PD-test verdicts, speculation
+// attempts/commits/aborts.  Both are optional; nil costs nothing.
+type (
+	// Metrics accumulates counters across one or more executions; safe
+	// for concurrent use, and usable across sequential runs to aggregate.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a plain-value copy of the counters (also
+	// attached to Report.Metrics when Options.Metrics is set).
+	MetricsSnapshot = obs.Snapshot
+	// Tracer receives structured runtime events (iteration spans, QUIT
+	// posts, checkpoints, undos, PD verdicts).
+	Tracer = obs.Tracer
+	// TraceEvent is one Chrome trace-event-format record.
+	TraceEvent = obs.Event
+	// ChromeTracer buffers events and writes Chrome's trace-event JSON
+	// (load the file in chrome://tracing or Perfetto).
+	ChromeTracer = obs.ChromeTracer
+	// PDVerdict is one recorded PD-test outcome.
+	PDVerdict = obs.PDVerdict
+)
+
+// NewMetrics returns an empty metrics accumulator.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewChromeTracer returns a tracer that buffers events in memory; call
+// WriteFile to emit Chrome trace-event JSON.
+func NewChromeTracer() *ChromeTracer { return obs.NewChromeTracer() }
 
 // BranchStats predicts a loop's trip count from prior executions
 // (Section 7); pass it in Options to drive the parallelize decision and
