@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race check bench tables
+.PHONY: all fmt vet build test race check bench gobench bench-smoke tables
 
 all: check
 
@@ -22,7 +22,17 @@ race:
 # The CI gate: formatting, static analysis, build, race-enabled tests.
 check: fmt vet build race
 
+# Stamped-store microbenchmark (atomic baseline vs sharded vs batched),
+# recorded as machine-readable JSON.
 bench:
+	$(GO) run ./cmd/whilebench -membench -json -procs 8 > BENCH_2.json
+	@cat BENCH_2.json
+
+# A fast variant for CI smoke: small workload, human-readable.
+bench-smoke:
+	$(GO) run ./cmd/whilebench -membench -procs 8 -elems 65536 -rounds 8
+
+gobench:
 	$(GO) test -bench=. -benchmem ./...
 
 tables:

@@ -16,6 +16,10 @@
 //	                           # print its runtime counters
 //	whilebench -trace out.json # same demo, writing a Chrome trace
 //	                           # (open in chrome://tracing or Perfetto)
+//	whilebench -membench       # stamped-store microbenchmark: atomic
+//	                           # baseline vs sharded vs sharded+batched
+//	whilebench -membench -json # same, as machine-readable JSON
+//	                           # (the Makefile bench target's BENCH_2.json)
 package main
 
 import (
@@ -41,6 +45,10 @@ func main() {
 		trace     = flag.String("trace", "", "write the demo's Chrome trace-event JSON to this file")
 		plot      = flag.Bool("plot", false, "render figures as text charts instead of tables")
 		gantt     = flag.Bool("gantt", false, "render the General-1 vs General-3 schedules as Gantt charts")
+		membench  = flag.Bool("membench", false, "run the stamped-store microbenchmark (atomic vs sharded vs batched)")
+		jsonOut   = flag.Bool("json", false, "emit -membench results as machine-readable JSON")
+		elems     = flag.Int("elems", 1<<20, "elements in the -membench array")
+		rounds    = flag.Int("rounds", 32, "store rounds in -membench")
 	)
 	flag.Parse()
 
@@ -121,6 +129,20 @@ func main() {
 		if err := obsDemo(*procs, *metrics, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "whilebench:", err)
 			os.Exit(1)
+		}
+		ran = true
+	}
+	if *membench {
+		rep := bench.MemBench(*procs, *elems, *rounds)
+		if *jsonOut {
+			out, err := bench.MemBenchJSON(rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.RenderMemBench(rep))
 		}
 		ran = true
 	}

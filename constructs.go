@@ -42,10 +42,11 @@ func Doacross(n, procs int, body func(i, vpn int, s *DoacrossSync) DoacrossContr
 // evaluated sequentially: iteration i receives d(i) from its
 // predecessor, advances the recurrence, hands d(i+1) off, and then runs
 // its body concurrently with later iterations.  cont is the RI
-// termination condition (nil = none); max bounds the space.  It returns
-// the number of valid iterations.
+// termination condition (nil = none); max bounds the space.  The body
+// receives the virtual processor number executing it (for per-worker
+// memory substrates).  It returns the number of valid iterations.
 func WhileDoacross[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
-	body func(i int, d D) bool) int {
+	body func(i, vpn int, d D) bool) int {
 	res := doacross.RunWhile(start, next, cont, max, procs, body)
 	return res.QuitIndex
 }

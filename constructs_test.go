@@ -12,7 +12,7 @@ func TestWhileDoacrossPublic(t *testing.T) {
 	var out [64]int64
 	valid := WhileDoacross(1, func(d int) int { return d*2 + 1 },
 		func(d int) bool { return d < 100 }, 64, 4,
-		func(i, d int) bool {
+		func(i, _ int, d int) bool {
 			atomic.StoreInt64(&out[i], int64(d))
 			return true
 		})

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+	"whilepar/internal/tsmem"
+)
+
+// This file measures the speculative memory substrate itself — the
+// stamped-store hot path every speculative strategy funnels writes
+// through — rather than a whole transformed loop.  Three variants run
+// the same store workload:
+//
+//   - atomic-element: the per-element CAS baseline (tsmem.AtomicMemory),
+//     one atomic min-update per store against stamp words shared by all
+//     workers;
+//   - sharded-element: the sharded fast path (tsmem.Memory), one plain
+//     single-writer min-update per store into the worker's private
+//     stamp shard;
+//   - sharded-batched: the sharded fast path driven through StoreRange,
+//     one tracker interposition per contiguous strip.
+//
+// Workers write disjoint contiguous blocks (race-free), the block
+// assignment rotating every round so the shared stamp words of the
+// atomic baseline keep migrating between caches — the contention the
+// sharding removes.  Iteration numbers decrease every round, so every
+// store takes the stamp-update slow path in all variants.
+
+// MemBenchResult is one variant's measurement.
+type MemBenchResult struct {
+	Name       string  `json:"name"`
+	Stores     int64   `json:"stores"`
+	Seconds    float64 `json:"seconds"`
+	MStoresSec float64 `json:"mstores_per_sec"`
+	// SpeedupVsAtomic is throughput relative to atomic-element.
+	SpeedupVsAtomic float64 `json:"speedup_vs_atomic"`
+}
+
+// MemBenchReport is the full stamped-store + checkpoint measurement,
+// the payload of BENCH_2.json.
+type MemBenchReport struct {
+	Bench    string           `json:"bench"`
+	Procs    int              `json:"procs"`
+	Elements int              `json:"elements"`
+	Rounds   int              `json:"rounds"`
+	Results  []MemBenchResult `json:"results"`
+	// CheckpointSpeedup is parallel (procs-worker) checkpoint+restore
+	// throughput over the single-worker copy, on Elements words.
+	CheckpointSpeedup float64 `json:"checkpoint_speedup"`
+}
+
+// storeLoop drives one variant: each of procs workers writes one block
+// of elems/procs elements every round, the block assignment rotating
+// between rounds (each round is a ForEachProc, so its join is the
+// barrier that keeps concurrent writers on disjoint blocks), iteration
+// numbers decreasing so every store updates its stamp.
+func storeLoop(procs, elems, rounds, iterBase int, tr mem.Tracker, batched bool, a *mem.Array) int64 {
+	block := elems / procs
+	var bufs [][]float64
+	if batched {
+		bufs = make([][]float64, procs)
+		for k := range bufs {
+			bufs[k] = make([]float64, block)
+			for i := range bufs[k] {
+				bufs[k][i] = float64(i)
+			}
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		iter := iterBase + rounds - r // decreasing: always the min-update path
+		sched.ForEachProc(procs, func(vpn int) {
+			lo := ((vpn + r) % procs) * block
+			if batched {
+				tr.(mem.RangeTracker).StoreRange(a, lo, bufs[vpn], iter, vpn)
+				return
+			}
+			for i := lo; i < lo+block; i++ {
+				tr.Store(a, i, float64(i), iter, vpn)
+			}
+		})
+	}
+	return int64(procs) * int64(block) * int64(rounds)
+}
+
+// MemBench runs the stamped-store microbenchmark at the given worker
+// count.  elems and rounds size the workload (elems is rounded down to
+// a multiple of procs).
+func MemBench(procs, elems, rounds int) MemBenchReport {
+	if procs < 1 {
+		procs = 1
+	}
+	elems = elems / procs * procs
+	rep := MemBenchReport{Bench: "membench", Procs: procs, Elements: elems, Rounds: rounds}
+
+	run := func(name string, mk func(a *mem.Array) mem.Tracker, batched bool) {
+		a := mem.NewArray("A", elems)
+		tr := mk(a)
+		// Warm up one round so first-touch costs are off the clock; its
+		// iteration base sits above the measured range, so every measured
+		// store still lowers its stamp (the slow path under test).
+		storeLoop(procs, elems, 1, rounds, tr, batched, a)
+		start := time.Now()
+		stores := storeLoop(procs, elems, rounds, 0, tr, batched, a)
+		secs := time.Since(start).Seconds()
+		rep.Results = append(rep.Results, MemBenchResult{
+			Name: name, Stores: stores, Seconds: secs,
+			MStoresSec: float64(stores) / secs / 1e6,
+		})
+	}
+
+	run("atomic-element", func(a *mem.Array) mem.Tracker {
+		m := tsmem.NewAtomic(a)
+		m.Checkpoint()
+		return m.Tracker()
+	}, false)
+	run("sharded-element", func(a *mem.Array) mem.Tracker {
+		m := tsmem.NewSharded(procs, a)
+		m.Checkpoint()
+		return m.Tracker()
+	}, false)
+	run("sharded-batched", func(a *mem.Array) mem.Tracker {
+		m := tsmem.NewSharded(procs, a)
+		m.Checkpoint()
+		return m.Tracker()
+	}, true)
+
+	base := rep.Results[0].MStoresSec
+	for i := range rep.Results {
+		rep.Results[i].SpeedupVsAtomic = rep.Results[i].MStoresSec / base
+	}
+
+	rep.CheckpointSpeedup = checkpointSpeedup(procs, elems)
+	return rep
+}
+
+// checkpointSpeedup times Checkpoint+RestoreAll with procs workers
+// against the single-worker copy on the same array.
+func checkpointSpeedup(procs, elems int) float64 {
+	const reps = 5
+	timeIt := func(p int) float64 {
+		a := mem.NewArray("A", elems)
+		m := tsmem.NewSharded(p, a)
+		m.Checkpoint() // warm-up allocation of the checkpoint buffers
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			m.Checkpoint()
+			_ = m.RestoreAll()
+		}
+		return time.Since(start).Seconds()
+	}
+	seq := timeIt(1)
+	par := timeIt(procs)
+	if par <= 0 {
+		return 0
+	}
+	return seq / par
+}
+
+// RenderMemBench formats the report as an aligned text table.
+func RenderMemBench(rep MemBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Stamped-store microbenchmark — %d procs, %d elements, %d rounds\n",
+		rep.Procs, rep.Elements, rep.Rounds)
+	fmt.Fprintf(&b, "%-18s %12s %10s %14s %10s\n", "variant", "stores", "seconds", "Mstores/sec", "vs atomic")
+	for _, r := range rep.Results {
+		fmt.Fprintf(&b, "%-18s %12d %10.4f %14.1f %9.2fx\n",
+			r.Name, r.Stores, r.Seconds, r.MStoresSec, r.SpeedupVsAtomic)
+	}
+	fmt.Fprintf(&b, "parallel checkpoint+restore speedup (%d workers): %.2fx\n",
+		rep.Procs, rep.CheckpointSpeedup)
+	return b.String()
+}
+
+// MemBenchJSON renders the report as indented JSON (the BENCH_2.json
+// payload).
+func MemBenchJSON(rep MemBenchReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

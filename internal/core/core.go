@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"whilepar/internal/costmodel"
 	"whilepar/internal/doacross"
@@ -70,7 +71,9 @@ func (m ListMethod) String() string {
 
 // Options configures an orchestrated execution.
 type Options struct {
-	// Procs is the number of virtual processors (default 1).
+	// Procs is the number of virtual processors.  Zero defaults to
+	// runtime.GOMAXPROCS(0); an explicit 1 requests sequential
+	// execution; negative values are rejected by Validate.
 	Procs int
 	// Induction method (Induction-2/QUIT by default).
 	InductionMethod induction.Method
@@ -112,18 +115,16 @@ type Options struct {
 }
 
 func (o Options) procs() int {
+	if o.Procs == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
 	if o.Procs < 1 {
-		return 1
+		return 1 // negative: Validate rejects; clamp defensively
 	}
 	return o.Procs
 }
 
 func (o Options) hooks() obs.Hooks { return obs.Hooks{M: o.Metrics, T: o.Tracer} }
-
-// validate rejects malformed options before any goroutine is started.
-func (o Options) validate() error {
-	return sched.Validate(o.Schedule)
-}
 
 // Report describes what the orchestrator did.
 type Report struct {
@@ -204,7 +205,7 @@ func stampThreshold(opt Options) int {
 // RunInduction orchestrates a WHILE loop whose dispatcher is an
 // induction (Section 3.1).  l.Max must bound the iteration space.
 func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
-	if err := opt.validate(); err != nil {
+	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
 	d, ok := decide(opt, l.Class.Dispatcher)
@@ -222,9 +223,9 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 
 	if opt.RunTwice {
 		if len(opt.Tested) > 0 || len(opt.Privatized) > 0 {
-			return rep, fmt.Errorf("core: RunTwice requires statically known dependences (no Tested/Privatized arrays)")
+			return rep, ErrRunTwiceUnanalyzable
 		}
-		valid, err := speculate.RunTwiceObs(opt.Shared, opt.hooks(),
+		valid, err := speculate.RunTwiceObs(opt.Shared, opt.procs(), opt.hooks(),
 			func() (int, error) {
 				r, rerr := induction.Run(l, cfg)
 				rep.Executed = r.Executed
@@ -300,12 +301,12 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 // the term generation; l.Max caps it (strip-mined generation handles an
 // absent bound).
 func RunAssociative(l *loopir.Loop[float64], opt Options) (Report, error) {
-	if err := opt.validate(); err != nil {
+	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
 	aff, ok := l.Disp.(loopir.Affine)
 	if !ok {
-		return Report{}, fmt.Errorf("core: associative path requires an Affine dispatcher, got %T", l.Disp)
+		return Report{}, fmt.Errorf("%w: associative path requires an Affine dispatcher, got %T", ErrBadDispatcher, l.Disp)
 	}
 	d, okDecide := decide(opt, loopir.AssociativeRecurrence)
 	rep := Report{Decision: d, Strategy: "parallel prefix + DOALL"}
@@ -318,7 +319,7 @@ func RunAssociative(l *loopir.Loop[float64], opt Options) (Report, error) {
 	}
 	maxTerms := l.Max
 	if maxTerms <= 0 {
-		return rep, fmt.Errorf("core: associative loop needs Max (or strip-mine externally)")
+		return rep, fmt.Errorf("%w: associative loop", ErrMissingBound)
 	}
 
 	// Loop 1 (distributed): evaluate the dispatcher terms by parallel
@@ -343,14 +344,14 @@ func RunAssociative(l *loopir.Loop[float64], opt Options) (Report, error) {
 // Section 3.3: evaluate the dispatcher terms sequentially, then run the
 // remainder as a DOALL over the stored values.
 func RunGeneralNumeric(l *loopir.Loop[float64], opt Options) (Report, error) {
-	if err := opt.validate(); err != nil {
+	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
 	if _, ok := l.Disp.(loopir.Affine); ok {
 		return RunAssociative(l, opt)
 	}
 	if l.Max <= 0 {
-		return Report{}, fmt.Errorf("core: numeric loop needs Max (or strip-mine externally)")
+		return Report{}, fmt.Errorf("%w: numeric loop", ErrMissingBound)
 	}
 	if f, ok := l.Disp.(loopir.Func[float64]); ok {
 		if aff, rec := loopir.RecognizeAffine(f.NextFn, f.StartFn()); rec {
@@ -432,7 +433,7 @@ func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Rep
 // RunList orchestrates a WHILE loop traversing a linked list (the
 // general-recurrence case, Section 3.3).
 func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options) (Report, error) {
-	if err := opt.validate(); err != nil {
+	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
 	d, ok := decide(opt, loopir.GeneralRecurrence)
@@ -464,8 +465,8 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 				func(n *list.Node) *list.Node { return n.Next },
 				func(n *list.Node) bool { return n != nil },
 				bound, opt.procs(), opt.hooks(),
-				func(i int, nd *list.Node) bool {
-					it := loopir.Iter{Index: i, VPN: 0, Tracker: c.Tracker}
+				func(i, vpn int, nd *list.Node) bool {
+					it := loopir.Iter{Index: i, VPN: vpn, Tracker: c.Tracker}
 					return body(&it, nd)
 				})
 			r = genrec.Result{Valid: res.QuitIndex, Executed: res.Executed}

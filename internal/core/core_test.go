@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -528,5 +529,21 @@ func TestRunInductionRunTwice(t *testing.T) {
 		Procs: 2, RunTwice: true, Tested: []*mem.Array{a},
 	}); err == nil {
 		t.Fatal("RunTwice with Tested arrays must be rejected")
+	}
+}
+
+func TestProcsDefaulting(t *testing.T) {
+	if got := (Options{}).procs(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Procs=0 -> procs() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Options{Procs: 1}).procs(); got != 1 {
+		t.Fatalf("Procs=1 -> procs() = %d, want 1 (explicit sequential)", got)
+	}
+	if got := (Options{Procs: 6}).procs(); got != 6 {
+		t.Fatalf("Procs=6 -> procs() = %d", got)
+	}
+	// Validate rejects negatives; procs() still clamps defensively.
+	if got := (Options{Procs: -3}).procs(); got != 1 {
+		t.Fatalf("Procs=-3 -> procs() = %d, want clamp to 1", got)
 	}
 }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"whilepar/internal/induction"
+	"whilepar/internal/sched"
+)
+
+// Typed sentinel errors for option and loop validation.  Every entry
+// point validates its Options before starting any goroutine and wraps
+// the matching sentinel, so callers can branch with errors.Is instead
+// of matching message strings.
+var (
+	// ErrBadProcs: Options.Procs is negative.  Zero means "use
+	// runtime.GOMAXPROCS(0)"; explicit 1 means sequential.
+	ErrBadProcs = errors.New("core: invalid Procs")
+	// ErrBadSchedule: Options.Schedule is not a known sched constant.
+	ErrBadSchedule = errors.New("core: invalid Schedule")
+	// ErrBadInductionMethod: Options.InductionMethod is out of range.
+	ErrBadInductionMethod = errors.New("core: invalid InductionMethod")
+	// ErrBadListMethod: Options.ListMethod is out of range.
+	ErrBadListMethod = errors.New("core: invalid ListMethod")
+	// ErrSparseStampThreshold: SparseUndo was combined with a
+	// statistics-enhanced stamp threshold; the sparse log must record
+	// every store, so the two are incompatible.
+	ErrSparseStampThreshold = errors.New("core: SparseUndo is incompatible with a stamp threshold")
+	// ErrRunTwiceUnanalyzable: RunTwice requires statically known
+	// dependences (no Tested or Privatized arrays).
+	ErrRunTwiceUnanalyzable = errors.New("core: RunTwice requires statically known dependences")
+	// ErrMissingBound: the loop needs Max (an iteration-space bound) for
+	// the chosen transformation.
+	ErrMissingBound = errors.New("core: loop needs Max (or strip-mine externally)")
+	// ErrBadDispatcher: the dispatcher's type does not fit the chosen
+	// entry point (e.g. the associative path needs an Affine).
+	ErrBadDispatcher = errors.New("core: dispatcher does not fit the chosen method")
+	// ErrUnsupportedLoop: the unified front door was handed a loop value
+	// it cannot classify.
+	ErrUnsupportedLoop = errors.New("core: unsupported loop type")
+)
+
+// Validate rejects malformed Options before any goroutine is started.
+// Each failure wraps one of the typed sentinels above, so callers can
+// test with errors.Is(err, core.ErrBadSchedule) etc.  All entry points
+// call it; callers constructing Options programmatically may call it
+// early to fail fast.
+func (o Options) Validate() error {
+	if o.Procs < 0 {
+		return fmt.Errorf("%w: %d (0 defaults to GOMAXPROCS, 1 is sequential)", ErrBadProcs, o.Procs)
+	}
+	if err := sched.Validate(o.Schedule); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSchedule, err)
+	}
+	switch o.InductionMethod {
+	case induction.Induction1, induction.Induction2:
+	default:
+		return fmt.Errorf("%w: %d", ErrBadInductionMethod, int(o.InductionMethod))
+	}
+	switch o.ListMethod {
+	case AutoList, General1, General2, General3, DoacrossList:
+	default:
+		return fmt.Errorf("%w: %d", ErrBadListMethod, int(o.ListMethod))
+	}
+	if o.SparseUndo && o.Stats != nil && o.Stats.StampThreshold() > 0 {
+		return ErrSparseStampThreshold
+	}
+	if o.RunTwice && (len(o.Tested) > 0 || len(o.Privatized) > 0) {
+		return ErrRunTwiceUnanalyzable
+	}
+	return nil
+}

@@ -178,14 +178,16 @@ func RunObs(n, procs int, h obs.Hooks, body func(i, vpn int, s *Sync) Control) R
 // no traversal is redundant, but every iteration serializes on its
 // predecessor's dispatcher hand-off.
 func RunWhile[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
-	body func(i int, d D) bool) Result {
+	body func(i, vpn int, d D) bool) Result {
 	return RunWhileObs(start, next, cont, max, procs, obs.Hooks{}, body)
 }
 
 // RunWhileObs is RunWhile with observability hooks, forwarded to the
-// underlying pipelined executor.
+// underlying pipelined executor.  The body receives the virtual
+// processor number so per-worker (sharded) memory substrates can
+// attribute its stores to single-writer slots.
 func RunWhileObs[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
-	h obs.Hooks, body func(i int, d D) bool) Result {
+	h obs.Hooks, body func(i, vpn int, d D) bool) Result {
 	if procs < 1 {
 		procs = 1
 	}
@@ -211,7 +213,7 @@ func RunWhileObs[D any](start D, next func(D) D, cont func(D) bool, max, procs i
 			ok[i+1] = true
 		}
 		s.Post(i)
-		if !body(i, d) {
+		if !body(i, vpn, d) {
 			return Quit
 		}
 		return Continue

@@ -113,7 +113,7 @@ func TestRunWhilePipelinesRecurrence(t *testing.T) {
 	limit := 500
 	out := make([]int64, 1000)
 	res := RunWhile(0, func(d int) int { return d + 7 }, func(d int) bool { return d < limit },
-		1000, 6, func(i int, d int) bool {
+		1000, 6, func(i, _ int, d int) bool {
 			atomic.StoreInt64(&out[i], int64(d))
 			return true
 		})
@@ -136,7 +136,7 @@ func TestRunWhilePipelinesRecurrence(t *testing.T) {
 func TestRunWhileRVExit(t *testing.T) {
 	// The body itself terminates at iteration 40.
 	res := RunWhile(0, func(d int) int { return d + 1 }, nil, 200, 4,
-		func(i, d int) bool { return i != 40 })
+		func(i, _, d int) bool { return i != 40 })
 	if res.QuitIndex != 40 {
 		t.Fatalf("QuitIndex = %d", res.QuitIndex)
 	}
@@ -157,7 +157,7 @@ func TestRunWhileMatchesSequentialProperty(t *testing.T) {
 		}
 		res := RunWhile(0, func(d int) int { return d + step },
 			func(d int) bool { return d < limit }, max, procs,
-			func(int, int) bool { return true })
+			func(int, int, int) bool { return true })
 		return res.QuitIndex == want || (want == max && res.QuitIndex == max)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {

@@ -66,6 +66,52 @@ func (it *Iter) Store(a *mem.Array, idx int, v float64) {
 	it.Tracker.Store(a, idx, v, it.Index, it.VPN)
 }
 
+// LoadRange reads elements [lo, hi) of managed array a into dst with a
+// single tracker interposition when the bound tracker supports batched
+// access (mem.RangeTracker), and element by element otherwise.  dst is
+// grown (or allocated when nil) to hi-lo elements and returned; bodies
+// that process strips should reuse the returned slice across calls.
+func (it *Iter) LoadRange(a *mem.Array, lo, hi int, dst []float64) []float64 {
+	n := hi - lo
+	if n <= 0 {
+		return dst[:0]
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	switch tr := it.Tracker.(type) {
+	case nil:
+		copy(dst, a.Data[lo:hi])
+	case mem.RangeTracker:
+		tr.LoadRange(a, lo, hi, dst, it.Index, it.VPN)
+	default:
+		for i := lo; i < hi; i++ {
+			dst[i-lo] = it.Tracker.Load(a, i, it.Index, it.VPN)
+		}
+	}
+	return dst
+}
+
+// StoreRange writes src over elements [lo, lo+len(src)) of managed
+// array a with a single tracker interposition when the bound tracker
+// supports batched access, and element by element otherwise.
+func (it *Iter) StoreRange(a *mem.Array, lo int, src []float64) {
+	if len(src) == 0 {
+		return
+	}
+	switch tr := it.Tracker.(type) {
+	case nil:
+		copy(a.Data[lo:lo+len(src)], src)
+	case mem.RangeTracker:
+		tr.StoreRange(a, lo, src, it.Index, it.VPN)
+	default:
+		for k, v := range src {
+			it.Tracker.Store(a, lo+k, v, it.Index, it.VPN)
+		}
+	}
+}
+
 // Charge adds abstract work units to the iteration's cost.  Workloads
 // call it to tell the simulated multiprocessor how expensive the
 // iteration's computation is; it has no effect on real execution.

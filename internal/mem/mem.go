@@ -69,6 +69,31 @@ type Tracker interface {
 	Store(a *Array, idx int, v float64, iter, vpn int)
 }
 
+// RangeTracker is the batched extension of Tracker: one interposition
+// covers a whole contiguous range of elements, so strip-mined and
+// windowed runners pay one tracker call per strip instead of one per
+// element.  Implementations must be semantically identical to the
+// element-wise calls they replace — LoadRange(a, lo, hi, ...) behaves
+// like hi-lo Loads, StoreRange(a, lo, src, ...) like len(src) Stores,
+// all attributed to the same iteration and virtual processor.
+//
+// Trackers implement it optionally; Iter.LoadRange/StoreRange fall back
+// to the element-wise path when the bound tracker does not.
+type RangeTracker interface {
+	// LoadRange copies elements [lo, hi) of a into dst (len >= hi-lo).
+	LoadRange(a *Array, lo, hi int, dst []float64, iter, vpn int)
+	// StoreRange writes src over elements [lo, lo+len(src)) of a.
+	StoreRange(a *Array, lo int, src []float64, iter, vpn int)
+}
+
+// RangeObserver is the batched extension of Observer, mirroring
+// RangeTracker for chained observers (e.g. the PD test's shadow
+// marking).
+type RangeObserver interface {
+	ObserveLoadRange(a *Array, lo, hi, iter, vpn int)
+	ObserveStoreRange(a *Array, lo, hi, iter, vpn int)
+}
+
 // Direct performs raw, untracked accesses.  It is the Tracker a fully
 // analyzed (compile-time provably parallel) loop would use.
 type Direct struct{}
@@ -78,6 +103,16 @@ func (Direct) Load(a *Array, idx, _, _ int) float64 { return a.Data[idx] }
 
 // Store assigns a.Data[idx] = v.
 func (Direct) Store(a *Array, idx int, v float64, _, _ int) { a.Data[idx] = v }
+
+// LoadRange copies [lo, hi) into dst.
+func (Direct) LoadRange(a *Array, lo, hi int, dst []float64, _, _ int) {
+	copy(dst, a.Data[lo:hi])
+}
+
+// StoreRange copies src over [lo, lo+len(src)).
+func (Direct) StoreRange(a *Array, lo int, src []float64, _, _ int) {
+	copy(a.Data[lo:lo+len(src)], src)
+}
 
 // Chain composes several trackers over the same underlying memory: all
 // observers see each access, the final element performs it.  Observers
@@ -109,4 +144,48 @@ func (c Chain) Store(a *Array, idx int, v float64, iter, vpn int) {
 		o.ObserveStore(a, idx, iter, vpn)
 	}
 	c.Sink.Store(a, idx, v, iter, vpn)
+}
+
+// LoadRange notifies observers (batched when they support it) and loads
+// through the sink's range path, falling back element-wise otherwise.
+func (c Chain) LoadRange(a *Array, lo, hi int, dst []float64, iter, vpn int) {
+	for _, o := range c.Observers {
+		if ro, ok := o.(RangeObserver); ok {
+			ro.ObserveLoadRange(a, lo, hi, iter, vpn)
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			o.ObserveLoad(a, i, iter, vpn)
+		}
+	}
+	if rt, ok := c.Sink.(RangeTracker); ok {
+		rt.LoadRange(a, lo, hi, dst, iter, vpn)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = c.Sink.Load(a, i, iter, vpn)
+	}
+}
+
+// StoreRange notifies observers (batched when they support it) and
+// stores through the sink's range path, falling back element-wise
+// otherwise.
+func (c Chain) StoreRange(a *Array, lo int, src []float64, iter, vpn int) {
+	hi := lo + len(src)
+	for _, o := range c.Observers {
+		if ro, ok := o.(RangeObserver); ok {
+			ro.ObserveStoreRange(a, lo, hi, iter, vpn)
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			o.ObserveStore(a, i, iter, vpn)
+		}
+	}
+	if rt, ok := c.Sink.(RangeTracker); ok {
+		rt.StoreRange(a, lo, src, iter, vpn)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		c.Sink.Store(a, i, src[i-lo], iter, vpn)
+	}
 }

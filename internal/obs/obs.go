@@ -60,6 +60,14 @@ type Metrics struct {
 	restores      atomic.Int64
 	undone        atomic.Int64
 
+	// Sharded/batched memory fast path.
+	batchedRanges atomic.Int64
+	batchedElems  atomic.Int64
+	shardMerges   atomic.Int64
+	shardMergeWds atomic.Int64
+	parCopies     atomic.Int64
+	parCopyMaxWk  atomic.Int64
+
 	// PD tests.
 	pdTests atomic.Int64
 	pdPass  atomic.Int64
@@ -180,12 +188,62 @@ func (m *Metrics) TrackedStore() {
 	m.trackedStores.Add(1)
 }
 
+// TrackedStoresAdd records n stores performed through a time-stamping
+// tracker in one batched (range) call.
+func (m *Metrics) TrackedStoresAdd(n int) {
+	if m == nil {
+		return
+	}
+	m.trackedStores.Add(int64(n))
+}
+
 // StampedStore records the first stamp taken on a memory location.
 func (m *Metrics) StampedStore() {
 	if m == nil {
 		return
 	}
 	m.stampedStores.Add(1)
+}
+
+// StampedStoresAdd records n distinct stamped locations at once — the
+// sharded time-stamp memory counts them during the post-barrier merge
+// rather than store by store.
+func (m *Metrics) StampedStoresAdd(n int) {
+	if m == nil {
+		return
+	}
+	m.stampedStores.Add(int64(n))
+}
+
+// BatchedRange records one batched LoadRange/StoreRange of elems
+// elements: a single tracker interposition covering a whole strip.
+func (m *Metrics) BatchedRange(elems int) {
+	if m == nil {
+		return
+	}
+	m.batchedRanges.Add(1)
+	m.batchedElems.Add(int64(elems))
+}
+
+// ShardMergeDone records one post-barrier merge of per-worker stamp (or
+// sparse-undo) shards into the authoritative view: shards were combined
+// over words locations.
+func (m *Metrics) ShardMergeDone(shards, words int) {
+	if m == nil {
+		return
+	}
+	m.shardMerges.Add(1)
+	m.shardMergeWds.Add(int64(words))
+}
+
+// ParallelCopy records one checkpoint/restore span executed by workers
+// concurrent workers instead of a single sequential copy.
+func (m *Metrics) ParallelCopy(workers int) {
+	if m == nil {
+		return
+	}
+	m.parCopies.Add(1)
+	casMax(&m.parCopyMaxWk, int64(workers))
 }
 
 // CheckpointDone records one checkpoint of the given size in words.
@@ -287,6 +345,17 @@ type Snapshot struct {
 	// machinery's work.
 	Checkpoints, CheckpointWords, Restores, Undone int64
 
+	// BatchedRanges counts batched LoadRange/StoreRange tracker calls;
+	// BatchedElems the elements they covered (one interposition per
+	// range instead of per element).
+	BatchedRanges, BatchedElems int64
+	// ShardMerges counts post-barrier merges of per-worker stamp
+	// shards; ShardMergeWords the locations merged.
+	ShardMerges, ShardMergeWords int64
+	// ParallelCopies counts checkpoint/restore spans split across
+	// workers; ParallelCopyMaxWorkers is the widest such span.
+	ParallelCopies, ParallelCopyMaxWorkers int64
+
 	// PDTests = PDPass + PDFail; PDVerdicts holds the individual
 	// outcomes in recording order.
 	PDTests, PDPass, PDFail int64
@@ -308,26 +377,32 @@ func (m *Metrics) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	s := Snapshot{
-		Issued:           m.issued.Load(),
-		Executed:         m.executed.Load(),
-		Overshot:         m.overshot.Load(),
-		QuitsPosted:      m.quits.Load(),
-		GuidedChunks:     m.chunks.Load(),
-		GuidedChunkIters: m.chunkIters.Load(),
-		MaxGuidedChunk:   m.maxChunk.Load(),
-		MinGuidedChunk:   m.minChunk.Load(),
-		TrackedStores:    m.trackedStores.Load(),
-		StampedStores:    m.stampedStores.Load(),
-		Checkpoints:      m.checkpoints.Load(),
-		CheckpointWords:  m.checkpointWds.Load(),
-		Restores:         m.restores.Load(),
-		Undone:           m.undone.Load(),
-		PDTests:          m.pdTests.Load(),
-		PDPass:           m.pdPass.Load(),
-		PDFail:           m.pdFail.Load(),
-		SpecAttempts:     m.specAttempts.Load(),
-		SpecCommits:      m.specCommits.Load(),
-		SpecAborts:       m.specAborts.Load(),
+		Issued:                 m.issued.Load(),
+		Executed:               m.executed.Load(),
+		Overshot:               m.overshot.Load(),
+		QuitsPosted:            m.quits.Load(),
+		GuidedChunks:           m.chunks.Load(),
+		GuidedChunkIters:       m.chunkIters.Load(),
+		MaxGuidedChunk:         m.maxChunk.Load(),
+		MinGuidedChunk:         m.minChunk.Load(),
+		TrackedStores:          m.trackedStores.Load(),
+		StampedStores:          m.stampedStores.Load(),
+		Checkpoints:            m.checkpoints.Load(),
+		CheckpointWords:        m.checkpointWds.Load(),
+		Restores:               m.restores.Load(),
+		Undone:                 m.undone.Load(),
+		BatchedRanges:          m.batchedRanges.Load(),
+		BatchedElems:           m.batchedElems.Load(),
+		ShardMerges:            m.shardMerges.Load(),
+		ShardMergeWords:        m.shardMergeWds.Load(),
+		ParallelCopies:         m.parCopies.Load(),
+		ParallelCopyMaxWorkers: m.parCopyMaxWk.Load(),
+		PDTests:                m.pdTests.Load(),
+		PDPass:                 m.pdPass.Load(),
+		PDFail:                 m.pdFail.Load(),
+		SpecAttempts:           m.specAttempts.Load(),
+		SpecCommits:            m.specCommits.Load(),
+		SpecAborts:             m.specAborts.Load(),
 	}
 	m.mu.Lock()
 	s.VPNBusy = make([]int64, len(m.vpnBusy))
@@ -357,6 +432,11 @@ func (s Snapshot) String() string {
 	}
 	fmt.Fprintf(&b, "memory:     stores=%d stamped=%d checkpoints=%d (%d words) restores=%d undone=%d\n",
 		s.TrackedStores, s.StampedStores, s.Checkpoints, s.CheckpointWords, s.Restores, s.Undone)
+	if s.BatchedRanges > 0 || s.ShardMerges > 0 || s.ParallelCopies > 0 {
+		fmt.Fprintf(&b, "fast path:  ranges=%d (%d elems) shard-merges=%d (%d words) par-copies=%d (max %d workers)\n",
+			s.BatchedRanges, s.BatchedElems, s.ShardMerges, s.ShardMergeWords,
+			s.ParallelCopies, s.ParallelCopyMaxWorkers)
+	}
 	fmt.Fprintf(&b, "pd-test:    runs=%d pass=%d fail=%d\n", s.PDTests, s.PDPass, s.PDFail)
 	for _, v := range s.PDVerdicts {
 		fmt.Fprintf(&b, "  %-12s doall=%v priv=%v accesses=%d\n", v.Array, v.DOALL, v.DOALLWithPriv, v.Accesses)

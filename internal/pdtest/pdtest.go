@@ -148,6 +148,40 @@ func (o observer) ObserveStore(a *mem.Array, idx, iter, vpn int) {
 	}
 }
 
+// ObserveLoadRange marks hi-lo loads with one access-counter update; the
+// per-element shadow marking is unchanged, so verdicts are identical to
+// the element-wise path.
+func (o observer) ObserveLoadRange(a *mem.Array, lo, hi, iter, vpn int) {
+	if a != o.t.arr {
+		return
+	}
+	o.t.accesses.Add(int64(hi - lo))
+	s := o.t.shadows[vpn]
+	it := int64(iter)
+	for idx := lo; idx < hi; idx++ {
+		if s.lastWriter[idx] == it {
+			continue
+		}
+		insert2(&s.r1[idx], &s.r2[idx], it)
+	}
+}
+
+// ObserveStoreRange marks hi-lo stores with one access-counter update.
+func (o observer) ObserveStoreRange(a *mem.Array, lo, hi, iter, vpn int) {
+	if a != o.t.arr {
+		return
+	}
+	o.t.accesses.Add(int64(hi - lo))
+	s := o.t.shadows[vpn]
+	it := int64(iter)
+	for idx := lo; idx < hi; idx++ {
+		if s.lastWriter[idx] != it {
+			insert2(&s.w1[idx], &s.w2[idx], it)
+			s.lastWriter[idx] = it
+		}
+	}
+}
+
 // Result is the verdict of the post-execution analysis.
 type Result struct {
 	// DOALL: the speculative parallel execution was valid as-is — no
@@ -228,6 +262,9 @@ func (t *Test) analyze(valid int, record bool) Result {
 		Accesses:           t.Accesses(),
 	}
 	if record {
+		// The verdict is computed by merging the per-processor shadow
+		// shards element-wise; account that like a stamp-shard merge.
+		t.obsM.ShardMergeDone(len(t.shadows), n)
 		t.obsM.RecordPD(obs.PDVerdict{
 			Array: t.arr.Name, DOALL: res.DOALL, DOALLWithPriv: res.DOALLWithPriv, Accesses: res.Accesses,
 		})

@@ -1,0 +1,58 @@
+package pdtest
+
+import (
+	"math/rand"
+	"testing"
+
+	"whilepar/internal/mem"
+)
+
+// Batched shadow marking (ObserveLoadRange/ObserveStoreRange) must
+// produce verdicts bit-identical to the element-wise observer on the
+// same access sequence — the PD test's soundness cannot depend on how
+// the accesses were chunked.
+func TestRangeObserverVerdictsMatchElementwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(128) + 16
+		procs := rng.Intn(8) + 1
+		a := mem.NewArray("A", n)
+
+		tEl := New(a, procs)
+		tRg := New(a, procs)
+		el := tEl.Observer()
+		rg := tRg.Observer().(mem.RangeObserver)
+
+		// A random access script: loads and stores over random ranges,
+		// random iterations, random vpns.  The element path replays each
+		// range element by element.
+		for k := 0; k < 60; k++ {
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo) + 1
+			iter := rng.Intn(n)
+			vpn := rng.Intn(procs)
+			if rng.Intn(2) == 0 {
+				rg.ObserveLoadRange(a, lo, hi, iter, vpn)
+				for i := lo; i < hi; i++ {
+					el.ObserveLoad(a, i, iter, vpn)
+				}
+			} else {
+				rg.ObserveStoreRange(a, lo, hi, iter, vpn)
+				for i := lo; i < hi; i++ {
+					el.ObserveStore(a, i, iter, vpn)
+				}
+			}
+		}
+
+		if tEl.Accesses() != tRg.Accesses() {
+			t.Fatalf("trial %d: accesses element %d != range %d", trial, tEl.Accesses(), tRg.Accesses())
+		}
+		for _, valid := range []int{0, n / 3, n} {
+			rEl := tEl.AnalyzeQuiet(valid)
+			rRg := tRg.AnalyzeQuiet(valid)
+			if rEl != rRg {
+				t.Fatalf("trial %d valid %d: verdicts diverge\nelement: %+v\nrange:   %+v", trial, valid, rEl, rRg)
+			}
+		}
+	}
+}

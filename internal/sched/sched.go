@@ -15,6 +15,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -22,6 +23,11 @@ import (
 
 	"whilepar/internal/obs"
 )
+
+// ErrUnknownSchedule is the typed sentinel Validate wraps when handed a
+// Schedule constant outside the known set; callers test for it with
+// errors.Is.
+var ErrUnknownSchedule = errors.New("sched: unknown schedule")
 
 // Control is a loop body's verdict for one iteration.
 type Control int
@@ -307,5 +313,5 @@ func Validate(s Schedule) error {
 	case Dynamic, Static, Guided:
 		return nil
 	}
-	return fmt.Errorf("sched: unknown schedule %d", int(s))
+	return fmt.Errorf("%w: %d", ErrUnknownSchedule, int(s))
 }

@@ -119,11 +119,11 @@ func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
 	var undoer interface {
 		Tracker() mem.Tracker
 	}
-	ts := tsmem.New(spec.Shared...)
+	ts := tsmem.NewSharded(procs, spec.Shared...)
 	ts.SetObs(mx, tr)
 	var sp *tsmem.SparseMemory
 	if spec.SparseUndo {
-		sp = tsmem.NewSparse()
+		sp = tsmem.NewSparseSharded(procs)
 		sp.SetObs(mx, tr)
 		undoer = sp
 	} else {
@@ -248,15 +248,16 @@ func snapshots(tests []*pdtest.Test, valid int) []pdtest.Result {
 // count; secondRun executes exactly [0, valid) with direct memory
 // access.
 func RunTwice(shared []*mem.Array, firstRun func() (int, error), secondRun func(valid int) error) (int, error) {
-	return RunTwiceObs(shared, obs.Hooks{}, firstRun, secondRun)
+	return RunTwiceObs(shared, 1, obs.Hooks{}, firstRun, secondRun)
 }
 
-// RunTwiceObs is RunTwice with observability hooks: the discovery run
-// counts as a speculation attempt, the re-execution as its commit.
-func RunTwiceObs(shared []*mem.Array, h obs.Hooks, firstRun func() (int, error), secondRun func(valid int) error) (int, error) {
+// RunTwiceObs is RunTwice with observability hooks and a worker count
+// for the checkpoint/restore copies: the discovery run counts as a
+// speculation attempt, the re-execution as its commit.
+func RunTwiceObs(shared []*mem.Array, procs int, h obs.Hooks, firstRun func() (int, error), secondRun func(valid int) error) (int, error) {
 	h.M.SpecAttempt()
 	start := obs.Start(h.T)
-	ts := tsmem.New(shared...)
+	ts := tsmem.NewSharded(procs, shared...)
 	ts.SetObs(h.M, h.T)
 	ts.Checkpoint()
 	valid, err := firstRun()

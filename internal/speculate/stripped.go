@@ -74,7 +74,7 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 		stripStart := obs.Start(tr)
 
 		// Fresh per-strip machinery: bounded memory by construction.
-		ts := tsmem.New(spec.Shared...)
+		ts := tsmem.NewSharded(procs, spec.Shared...)
 		ts.SetObs(mx, tr)
 		ts.Checkpoint()
 		var tests []*pdtest.Test

@@ -49,7 +49,7 @@ func RunWindowed(spec Spec, n int, cfg window.Config, body WindowedBody, seq Seq
 	mx.SpecAttempt()
 	start := obs.Start(tr)
 
-	ts := tsmem.New(spec.Shared...)
+	ts := tsmem.NewSharded(procs, spec.Shared...)
 	ts.SetObs(mx, tr)
 	ts.Checkpoint()
 	var tests []*pdtest.Test

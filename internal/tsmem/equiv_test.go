@@ -1,0 +1,187 @@
+package tsmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+)
+
+// The sharding refactor must be invisible: the sharded Memory's merged
+// stamps, undo results and stamped-store counts must be bit-identical
+// to the per-element atomic (CAS) baseline on the same store sequence.
+// These tests run under -race in CI; the concurrent phase writes
+// per-iteration-unique locations (a bijection) so the only sharing is
+// the stamp machinery itself, and the sequential phase mixes vpns and
+// colliding indices to exercise the cross-shard minimum merge.
+
+func TestShardedStampsMatchAtomicRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(200) + 32
+		procs := rng.Intn(8) + 1
+		init := make([]float64, n)
+		for i := range init {
+			init[i] = rng.Float64() * 100
+		}
+		aSh := mem.FromSlice("A", append([]float64(nil), init...))
+		aAt := mem.FromSlice("A", append([]float64(nil), init...))
+
+		msh := NewSharded(procs, aSh)
+		mat := NewAtomic(aAt)
+		msh.Checkpoint()
+		mat.Checkpoint()
+		trSh, trAt := msh.Tracker(), mat.Tracker()
+
+		// Concurrent phase: iteration i writes the unique location
+		// perm[i] on whatever vpn the DOALL hands it.
+		perm := rng.Perm(n)
+		sched.DOALL(n, sched.Options{Procs: procs}, func(i, vpn int) sched.Control {
+			trSh.Store(aSh, perm[i], float64(i)+0.5, i, vpn)
+			return sched.Continue
+		})
+		sched.DOALL(n, sched.Options{Procs: procs}, func(i, vpn int) sched.Control {
+			trAt.Store(aAt, perm[i], float64(i)+0.5, i, vpn)
+			return sched.Continue
+		})
+
+		// Sequential phase: colliding indices, shuffled vpns (including
+		// out-of-range ones, which fold onto a shard), random iters —
+		// the cross-shard minimum must match the CAS minimum exactly.
+		for k := 0; k < 3*n; k++ {
+			idx := rng.Intn(n)
+			iter := rng.Intn(n)
+			vpn := rng.Intn(2*procs+1) - procs
+			v := rng.Float64()
+			trSh.Store(aSh, idx, v, iter, vpn)
+			trAt.Store(aAt, idx, v, iter, vpn)
+		}
+
+		for idx := 0; idx < n; idx++ {
+			if got, want := msh.Stamp(aSh, idx), mat.Stamp(aAt, idx); got != want {
+				t.Fatalf("trial %d: stamp[%d] sharded %d != atomic %d (procs=%d)", trial, idx, got, want, procs)
+			}
+		}
+		_, _, _, stSh := msh.Stats()
+		_, _, _, stAt := mat.Stats()
+		if stSh != stAt {
+			t.Fatalf("trial %d: stamped-store count sharded %d != atomic %d", trial, stSh, stAt)
+		}
+
+		valid := rng.Intn(n + 1)
+		uSh, err := msh.Undo(valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uAt, err := mat.Undo(valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uSh != uAt {
+			t.Fatalf("trial %d: undo restored sharded %d != atomic %d", trial, uSh, uAt)
+		}
+		if !aSh.Equal(aAt) {
+			t.Fatalf("trial %d: arrays diverge after Undo(%d)", trial, valid)
+		}
+	}
+}
+
+// The sparse log must agree with the dense sharded memory: after the
+// same store sequence, Undo(valid) leaves the array in the same state.
+func TestSparseShardedMatchesDenseRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(200) + 32
+		procs := rng.Intn(8) + 1
+		init := make([]float64, n)
+		for i := range init {
+			init[i] = rng.Float64() * 100
+		}
+		aSp := mem.FromSlice("A", append([]float64(nil), init...))
+		aDn := mem.FromSlice("A", append([]float64(nil), init...))
+
+		sp := NewSparseSharded(procs)
+		dn := NewSharded(procs, aDn)
+		dn.Checkpoint()
+		trSp, trDn := sp.Tracker(), dn.Tracker()
+
+		perm := rng.Perm(n)
+		sched.DOALL(n, sched.Options{Procs: procs}, func(i, vpn int) sched.Control {
+			trSp.Store(aSp, perm[i], float64(i)+0.25, i, vpn)
+			return sched.Continue
+		})
+		sched.DOALL(n, sched.Options{Procs: procs}, func(i, vpn int) sched.Control {
+			trDn.Store(aDn, perm[i], float64(i)+0.25, i, vpn)
+			return sched.Continue
+		})
+		for k := 0; k < 2*n; k++ {
+			idx := rng.Intn(n)
+			iter := rng.Intn(n)
+			vpn := rng.Intn(procs)
+			v := rng.Float64()
+			trSp.Store(aSp, idx, v, iter, vpn)
+			trDn.Store(aDn, idx, v, iter, vpn)
+		}
+
+		valid := rng.Intn(n + 1)
+		uSp := sp.Undo(valid)
+		uDn, err := dn.Undo(valid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uSp != uDn {
+			t.Fatalf("trial %d: sparse restored %d, dense %d", trial, uSp, uDn)
+		}
+		if !aSp.Equal(aDn) {
+			t.Fatalf("trial %d: sparse and dense diverge after Undo(%d)", trial, valid)
+		}
+	}
+}
+
+// Batched StoreRange must be semantically identical to element-wise
+// stores: same stamps, same data, same undo — including under
+// concurrency (each worker owns a disjoint contiguous strip).
+func TestStoreRangeMatchesElementwise(t *testing.T) {
+	const n, procs, strip = 512, 8, 64
+	aR := mem.NewArray("A", n)
+	aE := mem.NewArray("A", n)
+	mr := NewSharded(procs, aR)
+	me := NewSharded(procs, aE)
+	mr.Checkpoint()
+	me.Checkpoint()
+	trR, trE := mr.Tracker().(mem.RangeTracker), me.Tracker()
+
+	sched.ForEachProc(procs, func(vpn int) {
+		lo := vpn * strip
+		buf := make([]float64, strip)
+		for i := range buf {
+			buf[i] = float64(lo + i)
+		}
+		iter := n - lo // varied per worker
+		trR.StoreRange(aR, lo, buf, iter, vpn)
+		for i := 0; i < strip; i++ {
+			trE.Store(aE, lo+i, buf[i], iter, vpn)
+		}
+	})
+
+	for idx := 0; idx < n; idx++ {
+		if mr.Stamp(aR, idx) != me.Stamp(aE, idx) {
+			t.Fatalf("stamp[%d]: range %d != element %d", idx, mr.Stamp(aR, idx), me.Stamp(aE, idx))
+		}
+	}
+	if !aR.Equal(aE) {
+		t.Fatal("data diverges between range and element-wise stores")
+	}
+	uR, err := mr.Undo(n / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uE, err := me.Undo(n / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uR != uE || !aR.Equal(aE) {
+		t.Fatalf("undo diverges: range %d, element %d", uR, uE)
+	}
+}

@@ -3,6 +3,7 @@ package tsmem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
@@ -15,10 +16,24 @@ import (
 // writing iteration.  Memory use is proportional to the number of
 // *accessed* elements, not the array extent.
 //
-// The hash table is sharded by element index to keep concurrent stores
-// from serializing on one mutex.
+// Throughput: stamps are sharded per virtual processor — worker k keeps
+// its minimum writing iteration per location in a private map with no
+// locking, and the per-location minimum is taken only when Undo needs
+// it, after the DOALL barrier.  Only the pre-loop value capture crosses
+// workers: the first store to a location publishes the overwritten
+// value through a lock-free first-touch (sync.Map.LoadOrStore).  That
+// capture is correct because every write to a location is preceded (in
+// its own goroutine) by a LoadOrStore on that location, so the
+// temporally first LoadOrStore — the one that sticks — read the
+// location before any tracked write could have modified it.
 type SparseMemory struct {
-	shards [nShards]sparseShard
+	procs int
+	// old maps sparseKey -> float64: the location's value before the
+	// loop's first write.  First LoadOrStore wins.
+	old *sync.Map
+	// stamps[k] is worker k's private minimum-iteration map.
+	stamps  []map[sparseKey]int64
+	touched atomic.Int64 // distinct locations captured in old
 
 	// Optional observability hooks (nil-safe).
 	obsM *obs.Metrics
@@ -29,65 +44,100 @@ type SparseMemory struct {
 // store counts and undo/restore counts; t receives undo events.
 func (s *SparseMemory) SetObs(mx *obs.Metrics, t obs.Tracer) { s.obsM, s.obsT = mx, t }
 
-const nShards = 16
-
-type sparseShard struct {
-	mu sync.Mutex
-	m  map[sparseKey]sparseEntry
-}
-
 type sparseKey struct {
 	arr *mem.Array
 	idx int
 }
 
-type sparseEntry struct {
-	old   float64 // value before the loop's first write
-	stamp int64   // minimum iteration that wrote
-}
+// NewSparse returns an empty single-worker sparse undo log; parallel
+// executions must size it with NewSparseSharded.
+func NewSparse() *SparseMemory { return NewSparseSharded(1) }
 
-// NewSparse returns an empty sparse undo log.
-func NewSparse() *SparseMemory {
-	s := &SparseMemory{}
-	for i := range s.shards {
-		s.shards[i].m = make(map[sparseKey]sparseEntry)
+// NewSparseSharded returns an empty sparse undo log whose stamp maps
+// are sharded for procs virtual processors: worker k records its
+// minimum writing iterations in its own single-writer map.
+func NewSparseSharded(procs int) *SparseMemory {
+	if procs < 1 {
+		procs = 1
+	}
+	s := &SparseMemory{procs: procs, old: &sync.Map{}}
+	s.stamps = make([]map[sparseKey]int64, procs)
+	for k := range s.stamps {
+		s.stamps[k] = make(map[sparseKey]int64)
 	}
 	return s
 }
 
-func (s *SparseMemory) shard(idx int) *sparseShard {
-	return &s.shards[idx&(nShards-1)]
+// slot folds a virtual processor number onto a stamp-map index.
+func (s *SparseMemory) slot(vpn int) int {
+	if vpn >= 0 && vpn < s.procs {
+		return vpn
+	}
+	return ((vpn % s.procs) + s.procs) % s.procs
 }
 
 // Tracker returns the mem.Tracker the speculative DOALL uses: stores
 // save the overwritten value on first touch and keep the minimum writing
-// iteration; loads pass through.
+// iteration in the worker's private map; loads pass through.  The
+// tracker also implements mem.RangeTracker for batched strips.
 func (s *SparseMemory) Tracker() mem.Tracker { return sparseTracker{s} }
 
 type sparseTracker struct{ s *SparseMemory }
 
 func (t sparseTracker) Load(a *mem.Array, idx, _, _ int) float64 { return a.Data[idx] }
 
-func (t sparseTracker) Store(a *mem.Array, idx int, v float64, iter, _ int) {
+func (t sparseTracker) Store(a *mem.Array, idx int, v float64, iter, vpn int) {
 	t.s.obsM.TrackedStore()
-	sh := t.s.shard(idx)
+	t.s.store(a, idx, v, iter, vpn)
+}
+
+func (s *SparseMemory) store(a *mem.Array, idx int, v float64, iter, vpn int) {
 	k := sparseKey{a, idx}
-	sh.mu.Lock()
-	e, ok := sh.m[k]
-	if !ok {
-		sh.m[k] = sparseEntry{old: a.Data[idx], stamp: int64(iter)}
-		t.s.obsM.StampedStore()
-	} else if int64(iter) < e.stamp {
-		e.stamp = int64(iter)
-		sh.m[k] = e
+	// Capture the pre-loop value: the read must precede the LoadOrStore
+	// (see the type comment for why the first-touch winner is sound).
+	cur := a.Data[idx]
+	if _, loaded := s.old.LoadOrStore(k, cur); !loaded {
+		s.touched.Add(1)
+		s.obsM.StampedStore()
+	}
+	st := s.stamps[s.slot(vpn)]
+	if prev, ok := st[k]; !ok || int64(iter) < prev {
+		st[k] = int64(iter)
 	}
 	a.Data[idx] = v
-	sh.mu.Unlock()
+}
+
+// LoadRange copies [lo, hi) of a into dst with one interposition.
+func (t sparseTracker) LoadRange(a *mem.Array, lo, hi int, dst []float64, _, _ int) {
+	t.s.obsM.BatchedRange(hi - lo)
+	copy(dst, a.Data[lo:hi])
+}
+
+// StoreRange performs len(src) tracked stores with one interposition.
+func (t sparseTracker) StoreRange(a *mem.Array, lo int, src []float64, iter, vpn int) {
+	t.s.obsM.TrackedStoresAdd(len(src))
+	t.s.obsM.BatchedRange(len(src))
+	for k, v := range src {
+		t.s.store(a, lo+k, v, iter, vpn)
+	}
+}
+
+// minStamp merges the per-worker maps for one location.  Call only
+// after the parallel section's barrier.
+func (s *SparseMemory) minStamp(k sparseKey) int64 {
+	min := NoStamp
+	for _, st := range s.stamps {
+		if v, ok := st[k]; ok && (min == NoStamp || v < min) {
+			min = v
+		}
+	}
+	return min
 }
 
 // Undo restores every location first written by an iteration >= valid
 // (where iterations 0..valid-1 are the valid ones) and returns how many
-// locations it restored.
+// locations it restored.  It merges the per-worker stamp maps, so it
+// must only run after the parallel section completes.
 func (s *SparseMemory) Undo(valid int) int {
 	ts := obs.Start(s.obsT)
 	restored := s.rewind(valid)
@@ -100,16 +150,16 @@ func (s *SparseMemory) Undo(valid int) int {
 
 func (s *SparseMemory) rewind(valid int) int {
 	restored := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for k, e := range sh.m {
-			if e.stamp >= int64(valid) {
-				k.arr.Data[k.idx] = e.old
-				restored++
-			}
+	s.old.Range(func(key, val any) bool {
+		k := key.(sparseKey)
+		if st := s.minStamp(k); st != NoStamp && st >= int64(valid) {
+			k.arr.Data[k.idx] = val.(float64)
+			restored++
 		}
-		sh.mu.Unlock()
+		return true
+	})
+	if s.procs > 1 {
+		s.obsM.ShardMergeDone(s.procs, int(s.touched.Load()))
 	}
 	return restored
 }
@@ -129,25 +179,23 @@ func (s *SparseMemory) RestoreAll() int {
 
 // Touched returns how many distinct locations the loop wrote — the
 // sparse scheme's memory footprint in entries.
-func (s *SparseMemory) Touched() int {
-	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		n += len(sh.m)
-		sh.mu.Unlock()
-	}
-	return n
+func (s *SparseMemory) Touched() int { return int(s.touched.Load()) }
+
+// Stamp returns the merged minimum stamp recorded for a location, or
+// NoStamp if the loop never wrote it.  Call only after the parallel
+// section completes.
+func (s *SparseMemory) Stamp(a *mem.Array, idx int) int64 {
+	return s.minStamp(sparseKey{a, idx})
 }
 
-// Reset clears the log for reuse across strips.
+// Reset clears the log for reuse across strips.  Must not run
+// concurrently with tracked stores.
 func (s *SparseMemory) Reset() {
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		sh.m = make(map[sparseKey]sparseEntry)
-		sh.mu.Unlock()
+	s.old = &sync.Map{}
+	for k := range s.stamps {
+		s.stamps[k] = make(map[sparseKey]int64)
 	}
+	s.touched.Store(0)
 }
 
 // String summarizes the log for diagnostics.

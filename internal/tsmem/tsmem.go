@@ -10,6 +10,22 @@
 // stamps), which Stats exposes so the resource-controlled strategies of
 // Section 8 can react.
 //
+// Throughput: the stamp store is the hot path every speculative
+// execution funnels each write through, so Memory keeps its stamps
+// *sharded per virtual processor*: worker k writes min-stamps into its
+// own private slice with plain (non-atomic) loads and stores, and the
+// shards are merged into the authoritative per-location minimum only
+// after the DOALL's barrier, when Undo/Stamp/Stats first need them.
+// This removes all atomic contention (and cache-line ping-pong) from
+// the store path at the cost of procs x words of stamp memory — the
+// same privatize-then-reduce trade the paper itself applies to the PD
+// test's shadow structures.  AtomicMemory (atomic.go) preserves the
+// per-element CAS scheme as the comparison baseline.
+//
+// Checkpoint, RestoreAll and the undo scan are parallelized across the
+// same worker count, so the Tb/Ta overheads of the cost model shrink
+// with processors too.
+//
 // The package also provides the write Trail needed when a privatized
 // array under test is live after the loop (Section 5.1): a privatized
 // location may legitimately be written by several iterations of a valid
@@ -21,7 +37,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
@@ -30,18 +45,69 @@ import (
 // NoStamp is the stamp value of a location never written in the loop.
 const NoStamp = int64(-1)
 
+// minSpan is the smallest per-worker chunk worth spawning a goroutine
+// for in the parallel copy/merge helpers; below it the work runs inline.
+const minSpan = 4096
+
+// parallelDo splits [0, n) into at most workers contiguous spans and
+// runs f on each concurrently, waiting for all.  Small ranges run
+// inline.  It returns the number of workers actually used.
+func parallelDo(workers, n int, f func(lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers > n/minSpan {
+		workers = n / minSpan
+	}
+	if workers <= 1 {
+		f(0, n)
+		return 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	span := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * span
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return workers
+}
+
 // Memory tracks a set of managed arrays through one speculative loop
 // execution: checkpoint -> (stamped stores during the DOALL) -> undo or
 // commit.
+//
+// Stamps are sharded per virtual processor: shard k is written only by
+// the worker running as vpn k (single-writer slots, no atomics), and
+// the shards are merged lazily after the parallel section's barrier.
+// Callers must size the shards with NewSharded(procs, ...) to at least
+// the number of concurrent workers; stores from an out-of-range vpn are
+// folded onto shard vpn mod procs, which is only safe when that vpn is
+// not concurrent with the shard's owner.
 type Memory struct {
 	arrays      []*mem.Array
 	checkpoints []*mem.Array
-	stamps      map[*mem.Array][]atomic.Int64
+	procs       int
+	// stamps[a][k][i] is worker k's minimum writing iteration for
+	// location i of array a (NoStamp if it never wrote it).
+	stamps map[*mem.Array][][]int64
+	// merged[a][i] is the cross-shard minimum, computed after the
+	// barrier by mergeStamps; mergedOK guards the lazy merge.
+	merged   map[*mem.Array][]int64
+	mergedOK bool
+	stamped  int // distinct stamped locations, counted at merge
 	// threshold is the statistics-enhanced strip-mining cutoff n'_i of
 	// Section 8.1: stores by iterations below it are NOT stamped (they
 	// are predicted valid).  Undo below the threshold is impossible.
 	threshold int
-	stamped   atomic.Int64 // stores that recorded a stamp
 
 	// Optional observability hooks (nil-safe).
 	obsM *obs.Metrics
@@ -49,46 +115,86 @@ type Memory struct {
 }
 
 // SetObs attaches observability hooks: m accumulates tracked/stamped
-// store counts, checkpoint words, undo and restore counts; t receives
-// checkpoint/undo/restore events.  Either may be nil.  Must be set
-// before the speculative execution begins.
+// store counts, checkpoint words, shard merges, undo and restore
+// counts; t receives checkpoint/undo/restore events.  Either may be
+// nil.  Must be set before the speculative execution begins.
 func (m *Memory) SetObs(mx *obs.Metrics, t obs.Tracer) { m.obsM, m.obsT = mx, t }
 
-// New creates a Memory over the given arrays.  Checkpoint must be called
-// before the speculative execution begins.
-func New(arrays ...*mem.Array) *Memory {
-	m := &Memory{stamps: make(map[*mem.Array][]atomic.Int64, len(arrays))}
+// New creates a single-worker Memory over the given arrays — the shape
+// sequential re-execution and tests use.  Parallel executions must use
+// NewSharded so every virtual processor owns a stamp shard.  Checkpoint
+// must be called before the speculative execution begins.
+func New(arrays ...*mem.Array) *Memory { return NewSharded(1, arrays...) }
+
+// NewSharded creates a Memory whose stamps are sharded for procs
+// virtual processors: worker k records stamps in its own single-writer
+// shard, eliminating atomic contention on shared stamp words.
+// Checkpoint must be called before the speculative execution begins.
+func NewSharded(procs int, arrays ...*mem.Array) *Memory {
+	if procs < 1 {
+		procs = 1
+	}
+	m := &Memory{
+		procs:  procs,
+		stamps: make(map[*mem.Array][][]int64, len(arrays)),
+		merged: make(map[*mem.Array][]int64, len(arrays)),
+	}
 	for _, a := range arrays {
 		m.arrays = append(m.arrays, a)
-		m.stamps[a] = make([]atomic.Int64, a.Len())
+		sh := make([][]int64, procs)
+		for k := range sh {
+			sh[k] = make([]int64, a.Len())
+		}
+		m.stamps[a] = sh
 	}
 	m.resetStamps()
 	return m
 }
 
+// Procs returns the shard count the Memory was sized for.
+func (m *Memory) Procs() int { return m.procs }
+
 func (m *Memory) resetStamps() {
-	for _, s := range m.stamps {
-		for i := range s {
-			s[i].Store(NoStamp)
+	for _, sh := range m.stamps {
+		for _, s := range sh {
+			parallelDo(m.procs, len(s), func(lo, hi int) {
+				s := s[lo:hi]
+				for i := range s {
+					s[i] = NoStamp
+				}
+			})
 		}
 	}
-	m.stamped.Store(0)
+	m.mergedOK = false
+	m.stamped = 0
 }
 
 // Checkpoint snapshots every tracked array (the overhead Tb of the cost
-// model).  Calling it again discards the previous snapshot.
+// model), splitting the copy across the Memory's workers.  Calling it
+// again discards the previous snapshot.
 func (m *Memory) Checkpoint() {
 	ts := obs.Start(m.obsT)
 	m.checkpoints = m.checkpoints[:0]
-	words := 0
+	words, maxWorkers := 0, 1
 	for _, a := range m.arrays {
-		m.checkpoints = append(m.checkpoints, a.Clone())
+		cp := &mem.Array{Name: a.Name, Data: make([]float64, a.Len())}
+		src := a.Data
+		w := parallelDo(m.procs, len(src), func(lo, hi int) {
+			copy(cp.Data[lo:hi], src[lo:hi])
+		})
+		if w > maxWorkers {
+			maxWorkers = w
+		}
+		m.checkpoints = append(m.checkpoints, cp)
 		words += a.Len()
 	}
 	m.resetStamps()
 	m.obsM.CheckpointDone(words)
+	if maxWorkers > 1 {
+		m.obsM.ParallelCopy(maxWorkers)
+	}
 	if m.obsT != nil {
-		obs.Span(m.obsT, ts, "checkpoint", "tsmem", 0, map[string]any{"words": words})
+		obs.Span(m.obsT, ts, "checkpoint", "tsmem", 0, map[string]any{"words": words, "workers": maxWorkers})
 	}
 }
 
@@ -99,44 +205,132 @@ func (m *Memory) SetStampThreshold(n int) { m.threshold = n }
 
 // Tracker returns the mem.Tracker that the speculative DOALL's
 // iterations must use: loads pass through; stores record the writing
-// iteration in the location's stamp (keeping the minimum if, due to a
-// cross-iteration dependence, several iterations write the same
-// location) and then perform the write.
+// iteration in the executing worker's private stamp shard (keeping the
+// per-shard minimum; the cross-shard minimum is taken at the merge) and
+// then perform the write.  The tracker also implements
+// mem.RangeTracker, so strip-mined bodies pay one interposition per
+// contiguous range.
 func (m *Memory) Tracker() mem.Tracker { return stampTracker{m} }
+
+// slot folds a virtual processor number onto a shard index.
+func (m *Memory) slot(vpn int) int {
+	if vpn >= 0 && vpn < m.procs {
+		return vpn
+	}
+	return ((vpn % m.procs) + m.procs) % m.procs
+}
 
 type stampTracker struct{ m *Memory }
 
 func (t stampTracker) Load(a *mem.Array, idx, _, _ int) float64 { return a.Data[idx] }
 
-func (t stampTracker) Store(a *mem.Array, idx int, v float64, iter, _ int) {
-	t.m.obsM.TrackedStore()
-	if iter >= t.m.threshold {
-		if s := t.m.stamps[a]; s != nil {
-			for {
-				cur := s[idx].Load()
-				if cur != NoStamp && cur <= int64(iter) {
-					break
-				}
-				if s[idx].CompareAndSwap(cur, int64(iter)) {
-					if cur == NoStamp {
-						t.m.stamped.Add(1)
-						t.m.obsM.StampedStore()
-					}
-					break
-				}
+func (t stampTracker) Store(a *mem.Array, idx int, v float64, iter, vpn int) {
+	m := t.m
+	m.obsM.TrackedStore()
+	if iter >= m.threshold {
+		if sh := m.stamps[a]; sh != nil {
+			s := sh[m.slot(vpn)]
+			if cur := s[idx]; cur == NoStamp || int64(iter) < cur {
+				s[idx] = int64(iter)
 			}
 		}
 	}
 	a.Data[idx] = v
 }
 
+// LoadRange copies [lo, hi) of a into dst: loads pass through, one
+// interposition for the whole strip.
+func (t stampTracker) LoadRange(a *mem.Array, lo, hi int, dst []float64, _, _ int) {
+	t.m.obsM.BatchedRange(hi - lo)
+	copy(dst, a.Data[lo:hi])
+}
+
+// StoreRange performs len(src) stamped stores with a single
+// interposition: the stamp updates hit the worker's private shard with
+// plain writes, then the data is copied in one memmove.
+func (t stampTracker) StoreRange(a *mem.Array, lo int, src []float64, iter, vpn int) {
+	m := t.m
+	n := len(src)
+	m.obsM.TrackedStoresAdd(n)
+	m.obsM.BatchedRange(n)
+	if iter >= m.threshold {
+		if sh := m.stamps[a]; sh != nil {
+			s := sh[m.slot(vpn)]
+			it64 := int64(iter)
+			for i := lo; i < lo+n; i++ {
+				if cur := s[i]; cur == NoStamp || it64 < cur {
+					s[i] = it64
+				}
+			}
+		}
+	}
+	copy(a.Data[lo:lo+n], src)
+}
+
+// mergeStamps combines the per-worker shards into the authoritative
+// per-location minimum stamp.  It must be called only after the
+// parallel section has completed (the DOALL barrier orders the shard
+// writes before it); Undo, Stamp and Stats call it lazily.  The merge
+// itself is a DOALL over locations, split across the Memory's workers.
+func (m *Memory) mergeStamps() {
+	if m.mergedOK {
+		return
+	}
+	words, stamped := 0, 0
+	for _, a := range m.arrays {
+		sh := m.stamps[a]
+		n := a.Len()
+		words += n
+		if m.procs == 1 {
+			// Single shard: it already is the minimum; alias it.  The
+			// alias is dropped on resetStamps, before any refill.
+			m.merged[a] = sh[0]
+			for _, st := range sh[0] {
+				if st != NoStamp {
+					stamped++
+				}
+			}
+			continue
+		}
+		mg := m.merged[a]
+		if len(mg) != n {
+			mg = make([]int64, n)
+			m.merged[a] = mg
+		}
+		var mu sync.Mutex
+		parallelDo(m.procs, n, func(lo, hi int) {
+			count := 0
+			for i := lo; i < hi; i++ {
+				min := sh[0][i]
+				for k := 1; k < m.procs; k++ {
+					if st := sh[k][i]; st != NoStamp && (min == NoStamp || st < min) {
+						min = st
+					}
+				}
+				mg[i] = min
+				if min != NoStamp {
+					count++
+				}
+			}
+			mu.Lock()
+			stamped += count
+			mu.Unlock()
+		})
+	}
+	m.stamped = stamped
+	m.mergedOK = true
+	m.obsM.StampedStoresAdd(stamped)
+	m.obsM.ShardMergeDone(m.procs, words)
+}
+
 // Undo restores, from the checkpoint, every location whose stamp exceeds
 // lastValid (i.e. written only by overshot iterations), completing the
-// "undo iterations that overshot" step.  It returns the number of
-// locations restored.  It fails if Checkpoint was not called, or if
-// lastValid falls below the stamp threshold — in that case the stamps
-// needed to undo were never recorded and the caller must restore the
-// full checkpoint (RestoreAll) and re-execute.
+// "undo iterations that overshot" step.  The scan is parallelized across
+// the Memory's workers.  It returns the number of locations restored.
+// It fails if Checkpoint was not called, or if lastValid falls below the
+// stamp threshold — in that case the stamps needed to undo were never
+// recorded and the caller must restore the full checkpoint (RestoreAll)
+// and re-execute.
 func (m *Memory) Undo(lastValid int) (int, error) {
 	if len(m.checkpoints) != len(m.arrays) {
 		return 0, fmt.Errorf("tsmem: Undo without Checkpoint")
@@ -145,19 +339,27 @@ func (m *Memory) Undo(lastValid int) (int, error) {
 		return 0, fmt.Errorf("tsmem: last valid iteration %d below stamp threshold %d; stamps missing", lastValid, m.threshold)
 	}
 	ts := obs.Start(m.obsT)
+	m.mergeStamps()
 	restored := 0
 	for ai, a := range m.arrays {
 		cp := m.checkpoints[ai]
-		s := m.stamps[a]
-		for i := range s {
-			if st := s[i].Load(); st != NoStamp && st >= int64(lastValid) {
-				// Stamps are zero-based iteration indices; iterations
-				// 0..lastValid-1 are valid, so any stamp >= lastValid
-				// is overshoot.
-				a.Data[i] = cp.Data[i]
-				restored++
+		s := m.merged[a]
+		var mu sync.Mutex
+		parallelDo(m.procs, len(s), func(lo, hi int) {
+			count := 0
+			for i := lo; i < hi; i++ {
+				if st := s[i]; st != NoStamp && st >= int64(lastValid) {
+					// Stamps are zero-based iteration indices; iterations
+					// 0..lastValid-1 are valid, so any stamp >= lastValid
+					// is overshoot.
+					a.Data[i] = cp.Data[i]
+					count++
+				}
 			}
-		}
+			mu.Lock()
+			restored += count
+			mu.Unlock()
+		})
 	}
 	m.obsM.UndoneAdd(restored)
 	if m.obsT != nil {
@@ -167,18 +369,30 @@ func (m *Memory) Undo(lastValid int) (int, error) {
 }
 
 // RestoreAll rewinds every tracked array to its checkpoint (used when a
-// PD test fails, or when an exception abandons the parallel execution).
+// PD test fails, or when an exception abandons the parallel execution),
+// splitting the copy across the Memory's workers.
 func (m *Memory) RestoreAll() error {
 	if len(m.checkpoints) != len(m.arrays) {
 		return fmt.Errorf("tsmem: RestoreAll without Checkpoint")
 	}
 	ts := obs.Start(m.obsT)
+	maxWorkers := 1
 	for ai, a := range m.arrays {
-		copy(a.Data, m.checkpoints[ai].Data)
+		cp := m.checkpoints[ai]
+		dst := a.Data
+		w := parallelDo(m.procs, len(dst), func(lo, hi int) {
+			copy(dst[lo:hi], cp.Data[lo:hi])
+		})
+		if w > maxWorkers {
+			maxWorkers = w
+		}
 	}
 	m.obsM.RestoreDone()
+	if maxWorkers > 1 {
+		m.obsM.ParallelCopy(maxWorkers)
+	}
 	if m.obsT != nil {
-		obs.Span(m.obsT, ts, "restore-all", "tsmem", 0, nil)
+		obs.Span(m.obsT, ts, "restore-all", "tsmem", 0, map[string]any{"workers": maxWorkers})
 	}
 	return nil
 }
@@ -190,27 +404,31 @@ func (m *Memory) Commit() {
 }
 
 // Stamp returns the stamp recorded for a location (NoStamp if unwritten
-// or below the threshold).
+// or below the threshold).  It merges the per-worker shards on first
+// use, so it must only be called after the parallel section completes.
 func (m *Memory) Stamp(a *mem.Array, idx int) int64 {
-	s, ok := m.stamps[a]
-	if !ok {
+	if _, ok := m.stamps[a]; !ok {
 		return NoStamp
 	}
-	return s[idx].Load()
+	m.mergeStamps()
+	return m.merged[a][idx]
 }
 
 // Stats reports the scheme's memory footprint in words: live data,
 // checkpoint copies, and stamps — the "as much as three times the actual
-// memory" of Section 4 — plus how many stores were stamped.
+// memory" of Section 4, where the stamp term is now procs shards wide —
+// plus how many distinct locations were stamped.  Call it after the
+// parallel section (it merges the shards).
 func (m *Memory) Stats() (dataWords, checkpointWords, stampWords, stampedStores int) {
 	for _, a := range m.arrays {
 		dataWords += a.Len()
-		stampWords += a.Len()
+		stampWords += a.Len() * m.procs
 	}
 	for _, c := range m.checkpoints {
 		checkpointWords += c.Len()
 	}
-	return dataWords, checkpointWords, stampWords, int(m.stamped.Load())
+	m.mergeStamps()
+	return dataWords, checkpointWords, stampWords, m.stamped
 }
 
 // TrailEntry is one logged write to a live privatized array.

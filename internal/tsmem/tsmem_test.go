@@ -138,7 +138,7 @@ func TestUndoEquivalentToSequentialPrefix(t *testing.T) {
 			seq.Data[i] = float64(-i - 1)
 		}
 
-		m := New(par)
+		m := NewSharded(procs, par)
 		m.Checkpoint()
 		tr := m.Tracker()
 		// Parallel: all n iterations run speculatively.
@@ -260,7 +260,7 @@ func TestSparseMemoryKeepsOldestValueAndMinStamp(t *testing.T) {
 
 func TestSparseMemoryConcurrent(t *testing.T) {
 	a := mem.NewArray("A", 512)
-	s := NewSparse()
+	s := NewSparseSharded(8)
 	tr := s.Tracker()
 	sched.DOALL(512, sched.Options{Procs: 8}, func(i, vpn int) sched.Control {
 		tr.Store(a, i, float64(i), i, vpn)

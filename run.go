@@ -1,0 +1,81 @@
+package whilepar
+
+import (
+	"fmt"
+
+	"whilepar/internal/core"
+)
+
+// Typed sentinel errors returned (wrapped) by Options.Validate and the
+// entry points; test with errors.Is.
+var (
+	// ErrBadProcs: Options.Procs is negative (0 defaults to
+	// runtime.GOMAXPROCS(0); explicit 1 is sequential).
+	ErrBadProcs = core.ErrBadProcs
+	// ErrBadSchedule: Options.Schedule is not Dynamic, Static or Guided.
+	ErrBadSchedule = core.ErrBadSchedule
+	// ErrBadInductionMethod: Options.InductionMethod is out of range.
+	ErrBadInductionMethod = core.ErrBadInductionMethod
+	// ErrBadListMethod: Options.ListMethod is out of range.
+	ErrBadListMethod = core.ErrBadListMethod
+	// ErrSparseStampThreshold: SparseUndo combined with a stamp
+	// threshold (the sparse log must record every store).
+	ErrSparseStampThreshold = core.ErrSparseStampThreshold
+	// ErrRunTwiceUnanalyzable: RunTwice with Tested/Privatized arrays.
+	ErrRunTwiceUnanalyzable = core.ErrRunTwiceUnanalyzable
+	// ErrMissingBound: the transformation needs Loop.Max.
+	ErrMissingBound = core.ErrMissingBound
+	// ErrBadDispatcher: dispatcher type does not fit the entry point.
+	ErrBadDispatcher = core.ErrBadDispatcher
+	// ErrUnsupportedLoop: Run was handed a value it cannot classify.
+	ErrUnsupportedLoop = core.ErrUnsupportedLoop
+)
+
+// ListLoop packages a linked-list WHILE loop (the general-recurrence
+// case) for the unified Run front door: the list head, the remainder
+// body, and the loop's taxonomy cell.
+type ListLoop struct {
+	Head  *Node
+	Body  ListBody
+	Class Class
+}
+
+// Run is the unified front door: it classifies the loop against the
+// Table 1 taxonomy and dispatches to the matching entry point, so
+// callers no longer hand-pick among RunInduction / RunAssociative /
+// RunGeneralNumeric / RunList.
+//
+// Accepted loop values:
+//
+//   - *IntLoop — an induction dispatcher; runs via RunInduction;
+//   - *FloatLoop — a numeric recurrence: an Affine dispatcher (or a
+//     Class marked AssociativeRecurrence) runs via RunAssociative, any
+//     other dispatcher via RunGeneralNumeric (which still attempts
+//     run-time affine recognition before falling back to the naive
+//     distribution);
+//   - ListLoop / *ListLoop — a linked-list traversal; runs via RunList
+//     with the method selected by Options.ListMethod.
+//
+// Anything else fails with ErrUnsupportedLoop.  Options are validated
+// (Options.Validate) before any goroutine starts, exactly as in the
+// per-method entry points.
+func Run(loop any, opt Options) (Report, error) {
+	switch l := loop.(type) {
+	case *IntLoop:
+		return RunInduction(l, opt)
+	case *FloatLoop:
+		if _, ok := l.Disp.(Affine); ok {
+			return RunAssociative(l, opt)
+		}
+		// Non-affine dispatcher types (even on loops classed as
+		// associative) go through RunGeneralNumeric, whose run-time
+		// recognition promotes them to the parallel-prefix path when the
+		// recurrence really is affine.
+		return RunGeneralNumeric(l, opt)
+	case ListLoop:
+		return RunList(l.Head, l.Body, l.Class, opt)
+	case *ListLoop:
+		return RunList(l.Head, l.Body, l.Class, opt)
+	}
+	return Report{}, fmt.Errorf("%w: %T (want *IntLoop, *FloatLoop or ListLoop)", ErrUnsupportedLoop, loop)
+}

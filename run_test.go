@@ -1,0 +1,209 @@
+package whilepar
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// The unified front door must dispatch each taxonomy cell to the same
+// machinery as the hand-picked entry points — identical reports,
+// identical array states.
+
+func runIntLoop(a *Array, n, exit int) *IntLoop {
+	return &IntLoop{
+		Class: Class{Dispatcher: MonotonicInduction, Terminator: RV},
+		Disp:  IntInduction{C: 1},
+		Body: func(it *Iter, i int) bool {
+			if i == exit {
+				return false
+			}
+			it.Store(a, i, float64(i))
+			return true
+		},
+		Max: n,
+	}
+}
+
+func TestRunDispatchesIntLoop(t *testing.T) {
+	const n, exit = 256, 180
+	aRun := NewArray("A", n)
+	aDirect := NewArray("A", n)
+	opt := func(a *Array) Options {
+		return Options{Procs: 4, Shared: []*Array{a}, Tested: []*Array{a}}
+	}
+	repRun, err := Run(runIntLoop(aRun, n, exit), opt(aRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repDirect, err := RunInduction(runIntLoop(aDirect, n, exit), opt(aDirect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repRun.Valid != exit || repRun.Valid != repDirect.Valid || repRun.Strategy != repDirect.Strategy {
+		t.Fatalf("Run %+v != RunInduction %+v", repRun, repDirect)
+	}
+	if !aRun.Equal(aDirect) {
+		t.Fatal("Run and RunInduction left different array states")
+	}
+}
+
+func TestRunDispatchesAffineFloatLoop(t *testing.T) {
+	mk := func(xs *Array) *FloatLoop {
+		return &FloatLoop{
+			Class: Class{Dispatcher: AssociativeRecurrence, Terminator: RI},
+			Disp:  Affine{A: 1.5, B: 1, X0: 1},
+			Cond:  func(x float64) bool { return x < 1e6 },
+			Body: func(it *Iter, x float64) bool {
+				it.Store(xs, it.Index, x)
+				return true
+			},
+			Max: 64,
+		}
+	}
+	xs := NewArray("xs", 64)
+	rep, err := Run(mk(xs), Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RunSequentialFloat(&FloatLoop{
+		Class: Class{Dispatcher: AssociativeRecurrence, Terminator: RI},
+		Disp:  Affine{A: 1.5, B: 1, X0: 1},
+		Cond:  func(x float64) bool { return x < 1e6 },
+		Body:  func(*Iter, float64) bool { return true },
+		Max:   64,
+	})
+	if rep.Valid != want {
+		t.Fatalf("Run(affine FloatLoop) valid %d, sequential %d", rep.Valid, want)
+	}
+}
+
+func TestRunDispatchesOpaqueFloatLoop(t *testing.T) {
+	// An opaque (FuncDispatcher) recurrence must route through
+	// RunGeneralNumeric, whose run-time recognition still promotes a
+	// secretly-affine recurrence to the parallel-prefix path.
+	out := NewArray("out", 64)
+	l := &FloatLoop{
+		Class: Class{Dispatcher: GeneralRecurrence, Terminator: RI},
+		Disp: FuncDispatcher{
+			StartFn: func() float64 { return 2 },
+			NextFn:  func(x float64) float64 { return 3 * x },
+		},
+		Cond: func(x float64) bool { return x < 1e6 },
+		Body: func(it *Iter, x float64) bool {
+			it.Store(out, it.Index, x)
+			return true
+		},
+		Max: 64,
+	}
+	rep, err := Run(l, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != 12 { // 2*3^k < 1e6 -> 12 terms
+		t.Fatalf("valid = %d (%+v)", rep.Valid, rep)
+	}
+}
+
+func TestRunDispatchesListLoop(t *testing.T) {
+	const n = 300
+	for _, byPtr := range []bool{false, true} {
+		out := NewArray("out", n)
+		head := BuildList(n, func(i int) (float64, float64) { return float64(i), 1 })
+		ll := ListLoop{
+			Head: head,
+			Body: func(it *Iter, nd *Node) bool {
+				it.Store(out, nd.Key, nd.Val+1)
+				return true
+			},
+			Class: Class{Dispatcher: GeneralRecurrence, Terminator: RI},
+		}
+		var loop any = ll
+		if byPtr {
+			loop = &ll
+		}
+		rep, err := Run(loop, Options{Procs: 4, ListMethod: General2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Valid != n || !rep.UsedParallel {
+			t.Fatalf("byPtr=%v: report %+v", byPtr, rep)
+		}
+		for i := 0; i < n; i++ {
+			if out.Data[i] != float64(i+1) {
+				t.Fatalf("byPtr=%v: out[%d] = %v", byPtr, i, out.Data[i])
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnsupportedLoop(t *testing.T) {
+	_, err := Run("not a loop", Options{})
+	if !errors.Is(err, ErrUnsupportedLoop) {
+		t.Fatalf("err = %v, want ErrUnsupportedLoop", err)
+	}
+	_, err = Run(nil, Options{})
+	if !errors.Is(err, ErrUnsupportedLoop) {
+		t.Fatalf("err = %v, want ErrUnsupportedLoop", err)
+	}
+}
+
+// Every entry point validates Options and wraps the typed sentinels, so
+// callers can branch with errors.Is instead of matching strings.
+func TestTypedValidationErrors(t *testing.T) {
+	n := 16
+	a := NewArray("A", n)
+	loop := runIntLoop(a, n, n)
+
+	cases := []struct {
+		name string
+		opt  Options
+		want error
+	}{
+		{"negative procs", Options{Procs: -2}, ErrBadProcs},
+		{"bad schedule", Options{Schedule: 42}, ErrBadSchedule},
+		{"bad induction method", Options{InductionMethod: 99}, ErrBadInductionMethod},
+		{"bad list method", Options{ListMethod: 99}, ErrBadListMethod},
+		{"run-twice with tested", Options{RunTwice: true, Tested: []*Array{a}}, ErrRunTwiceUnanalyzable},
+	}
+	for _, tc := range cases {
+		if err := tc.opt.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate() = %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := Run(loop, tc.opt); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Run() = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// SparseUndo is incompatible with a statistics-enhanced stamp
+	// threshold: the sparse log must see every store.
+	var stats BranchStats
+	for i := 0; i < 3; i++ {
+		stats.Record(100)
+	}
+	opt := Options{SparseUndo: true, Stats: &stats}
+	if err := opt.Validate(); !errors.Is(err, ErrSparseStampThreshold) {
+		t.Errorf("sparse+threshold: Validate() = %v, want ErrSparseStampThreshold", err)
+	}
+}
+
+// Procs == 0 now defaults to runtime.GOMAXPROCS(0); an explicit 1 stays
+// sequential.  Observable through the public API: a zero-Procs run must
+// succeed and behave like any parallel run.
+func TestProcsZeroDefaultsToGOMAXPROCS(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero Options must validate: %v", err)
+	}
+	const n, exit = 128, 90
+	a := NewArray("A", n)
+	rep, err := Run(runIntLoop(a, n, exit), Options{Shared: []*Array{a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != exit {
+		t.Fatalf("valid = %d, want %d", rep.Valid, exit)
+	}
+	if runtime.GOMAXPROCS(0) > 1 && !rep.UsedParallel {
+		t.Fatalf("Procs=0 on a %d-proc machine ran sequentially: %+v", runtime.GOMAXPROCS(0), rep)
+	}
+}
