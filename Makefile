@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race check bench gobench bench-smoke tables
+.PHONY: all fmt vet build test race check bench gobench bench-smoke bench-compare tables
 
 all: check
 
@@ -22,15 +22,25 @@ race:
 # The CI gate: formatting, static analysis, build, race-enabled tests.
 check: fmt vet build race
 
-# Stamped-store microbenchmark (atomic baseline vs sharded vs batched),
-# recorded as machine-readable JSON.
+# Stamped-store microbenchmark (atomic baseline vs sharded vs batched)
+# and the misspeculation-recovery benchmark (partial commit vs full
+# restore), recorded as machine-readable JSON baselines.
 bench:
 	$(GO) run ./cmd/whilebench -membench -json -procs 8 > BENCH_2.json
 	@cat BENCH_2.json
+	$(GO) run ./cmd/whilebench -recbench -json -procs 8 > BENCH_3.json
+	@cat BENCH_3.json
 
 # A fast variant for CI smoke: small workload, human-readable.
 bench-smoke:
 	$(GO) run ./cmd/whilebench -membench -procs 8 -elems 65536 -rounds 8
+	$(GO) run ./cmd/whilebench -recbench -procs 8 -iters 20000 -work 200
+
+# Regression guard: rerun both benchmarks and fail if a machine-
+# independent ratio fell more than 20% below the recorded baseline.
+bench-compare:
+	$(GO) run ./cmd/whilebench -membench -procs 8 -elems 65536 -rounds 8 -baseline BENCH_2.json -tol 0.2
+	$(GO) run ./cmd/whilebench -recbench -procs 8 -iters 20000 -work 200 -baseline BENCH_3.json -tol 0.2
 
 gobench:
 	$(GO) test -bench=. -benchmem ./...

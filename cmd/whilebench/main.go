@@ -20,6 +20,15 @@
 //	                           # baseline vs sharded vs sharded+batched
 //	whilebench -membench -json # same, as machine-readable JSON
 //	                           # (the Makefile bench target's BENCH_2.json)
+//	whilebench -recbench       # misspeculation-recovery benchmark:
+//	                           # partial commit vs full restore on a
+//	                           # late-violation loop (BENCH_3.json with
+//	                           # -json)
+//	whilebench -membench -baseline BENCH_2.json -tol 0.2
+//	                           # regression guard: rerun and fail (exit 1)
+//	                           # if a machine-independent ratio fell more
+//	                           # than 20% below the recorded baseline;
+//	                           # same for -recbench with BENCH_3.json
 package main
 
 import (
@@ -46,9 +55,14 @@ func main() {
 		plot      = flag.Bool("plot", false, "render figures as text charts instead of tables")
 		gantt     = flag.Bool("gantt", false, "render the General-1 vs General-3 schedules as Gantt charts")
 		membench  = flag.Bool("membench", false, "run the stamped-store microbenchmark (atomic vs sharded vs batched)")
-		jsonOut   = flag.Bool("json", false, "emit -membench results as machine-readable JSON")
+		jsonOut   = flag.Bool("json", false, "emit -membench/-recbench results as machine-readable JSON")
 		elems     = flag.Int("elems", 1<<20, "elements in the -membench array")
 		rounds    = flag.Int("rounds", 32, "store rounds in -membench")
+		recbench  = flag.Bool("recbench", false, "run the misspeculation-recovery benchmark (partial commit vs full restore)")
+		iters     = flag.Int("iters", 100000, "iterations in the -recbench loop")
+		work      = flag.Int("work", 600, "per-iteration spin units in -recbench")
+		baseline  = flag.String("baseline", "", "recorded JSON baseline to guard -membench/-recbench against")
+		tol       = flag.Float64("tol", 0.2, "relative tolerance for the -baseline regression guard")
 	)
 	flag.Parse()
 
@@ -144,12 +158,64 @@ func main() {
 		} else {
 			fmt.Print(bench.RenderMemBench(rep))
 		}
+		if *baseline != "" {
+			base, err := readBaseline(*baseline, bench.ParseMemBench)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				os.Exit(1)
+			}
+			guard(bench.CompareMemBench(rep, base, *tol), *baseline, *tol)
+		}
+		ran = true
+	}
+	if *recbench {
+		rep := bench.RecBench(*procs, *iters, *work)
+		if *jsonOut {
+			out, err := bench.RecBenchJSON(rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.RenderRecBench(rep))
+		}
+		if *baseline != "" {
+			base, err := readBaseline(*baseline, bench.ParseRecBench)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				os.Exit(1)
+			}
+			guard(bench.CompareRecBench(rep, base, *tol), *baseline, *tol)
+		}
 		ran = true
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// readBaseline loads and decodes a recorded benchmark baseline.
+func readBaseline[T any](path string, parse func([]byte) (T, error)) (T, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return parse(data)
+}
+
+// guard prints regression messages and exits non-zero if there are any.
+func guard(regs []string, baseline string, tol float64) {
+	if len(regs) == 0 {
+		fmt.Printf("bench guard: within %.0f%% of %s\n", tol*100, baseline)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+	}
+	os.Exit(1)
 }
 
 // obsDemo runs an instrumented speculative execution through the public

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Bench-regression guard: compare a fresh benchmark report against a
+// recorded baseline (BENCH_2.json / BENCH_3.json) within a relative
+// tolerance.  Only machine-independent ratios are compared — raw
+// Mstores/sec or seconds differ across hosts, but the sharded/atomic
+// and recovery/full-restore ratios measure the design, not the machine.
+// A current ratio below baseline*(1-tol) is a regression; improvements
+// beyond the tolerance pass (a guard failing on speedups would punish
+// faster code).
+
+// CompareMemBench checks the stamped-store report's ratios against the
+// baseline and returns one message per regression (empty = pass).
+func CompareMemBench(cur, base MemBenchReport, tol float64) []string {
+	var regs []string
+	check := func(name string, got, want float64) {
+		if want <= 0 {
+			return
+		}
+		if got < want*(1-tol) {
+			regs = append(regs, fmt.Sprintf(
+				"%s: %.2fx is below baseline %.2fx - %.0f%% (floor %.2fx)",
+				name, got, want, tol*100, want*(1-tol)))
+		}
+	}
+	baseBy := make(map[string]MemBenchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			continue
+		}
+		check("speedup_vs_atomic["+r.Name+"]", r.SpeedupVsAtomic, b.SpeedupVsAtomic)
+	}
+	// CheckpointSpeedup is deliberately not guarded: it measures pure
+	// parallel-copy scaling, which tracks the host's physical core
+	// count, not the code (a 1-core CI runner reports ~1x against a
+	// multi-core baseline's ~2.7x).  The store-throughput ratios above
+	// measure per-store code-path cost differences and hold across
+	// hosts.
+	return regs
+}
+
+// CompareRecBench checks the recovery report's speedup ratio against
+// the baseline the same way.
+func CompareRecBench(cur, base RecBenchReport, tol float64) []string {
+	var regs []string
+	if base.RecoverySpeedup > 0 && cur.RecoverySpeedup < base.RecoverySpeedup*(1-tol) {
+		regs = append(regs, fmt.Sprintf(
+			"recovery_speedup: %.2fx is below baseline %.2fx - %.0f%% (floor %.2fx)",
+			cur.RecoverySpeedup, base.RecoverySpeedup, tol*100, base.RecoverySpeedup*(1-tol)))
+	}
+	return regs
+}
+
+// ParseMemBench decodes a recorded BENCH_2.json payload.
+func ParseMemBench(data []byte) (MemBenchReport, error) {
+	var rep MemBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: bad membench baseline: %w", err)
+	}
+	if rep.Bench != "membench" {
+		return rep, fmt.Errorf("bench: baseline is %q, want \"membench\"", rep.Bench)
+	}
+	return rep, nil
+}
+
+// ParseRecBench decodes a recorded BENCH_3.json payload.
+func ParseRecBench(data []byte) (RecBenchReport, error) {
+	var rep RecBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: bad recbench baseline: %w", err)
+	}
+	if rep.Bench != "recbench" {
+		return rep, fmt.Errorf("bench: baseline is %q, want \"recbench\"", rep.Bench)
+	}
+	return rep, nil
+}

@@ -1,0 +1,80 @@
+package bench
+
+import "testing"
+
+func memReport(sharded, batched, ckpt float64) MemBenchReport {
+	return MemBenchReport{
+		Bench: "membench",
+		Results: []MemBenchResult{
+			{Name: "atomic-element", SpeedupVsAtomic: 1},
+			{Name: "sharded-element", SpeedupVsAtomic: sharded},
+			{Name: "sharded-batched", SpeedupVsAtomic: batched},
+		},
+		CheckpointSpeedup: ckpt,
+	}
+}
+
+func TestCompareMemBenchGuard(t *testing.T) {
+	base := memReport(2.0, 5.0, 2.5)
+	if regs := CompareMemBench(memReport(1.9, 4.8, 2.4), base, 0.2); len(regs) != 0 {
+		t.Fatalf("within tolerance flagged: %v", regs)
+	}
+	// Improvements beyond the tolerance pass.
+	if regs := CompareMemBench(memReport(3.0, 9.0, 5.0), base, 0.2); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+	// A ratio below base*(1-tol) is a regression.
+	if regs := CompareMemBench(memReport(1.5, 5.0, 2.5), base, 0.2); len(regs) != 1 {
+		t.Fatalf("want 1 regression, got %v", regs)
+	}
+	// CheckpointSpeedup tracks the host's core count, not the code, and
+	// must not be guarded.
+	if regs := CompareMemBench(memReport(2.0, 5.0, 0.3), base, 0.2); len(regs) != 0 {
+		t.Fatalf("checkpoint speedup must not be guarded: %v", regs)
+	}
+}
+
+func TestCompareRecBenchGuard(t *testing.T) {
+	base := RecBenchReport{Bench: "recbench", RecoverySpeedup: 4.0}
+	if regs := CompareRecBench(RecBenchReport{RecoverySpeedup: 3.5}, base, 0.2); len(regs) != 0 {
+		t.Fatalf("within tolerance flagged: %v", regs)
+	}
+	if regs := CompareRecBench(RecBenchReport{RecoverySpeedup: 2.0}, base, 0.2); len(regs) != 1 {
+		t.Fatalf("want 1 regression, got %v", regs)
+	}
+}
+
+func TestParseBaselines(t *testing.T) {
+	if _, err := ParseMemBench([]byte(`{"bench":"membench"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseMemBench([]byte(`{"bench":"recbench"}`)); err == nil {
+		t.Fatal("wrong bench kind accepted")
+	}
+	if _, err := ParseRecBench([]byte(`{"bench":"recbench"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseRecBench([]byte(`not json`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+// TestRecBenchSmall pins the acceptance shape on a tiny workload: both
+// protocols produce every valid iteration, recovery salvages the 90%
+// prefix, and the simulated 8-VP comparison beats full restore by at
+// least 2x.
+func TestRecBenchSmall(t *testing.T) {
+	rep := RecBench(8, 2000, 20)
+	if rep.Baseline.Valid != 2000 || rep.Recovery.Valid != 2000 {
+		t.Fatalf("valid: baseline %d, recovery %d, want 2000", rep.Baseline.Valid, rep.Recovery.Valid)
+	}
+	if rep.Recovery.PrefixCommitted != 1800 {
+		t.Fatalf("prefix committed %d, want 1800", rep.Recovery.PrefixCommitted)
+	}
+	if rep.Baseline.SeqIters != 2000 || rep.Recovery.SeqIters != 200 {
+		t.Fatalf("seq iters: baseline %d, recovery %d", rep.Baseline.SeqIters, rep.Recovery.SeqIters)
+	}
+	if rep.RecoverySpeedup < 2 {
+		t.Fatalf("simulated recovery speedup %.2fx, want >= 2x", rep.RecoverySpeedup)
+	}
+}

@@ -100,6 +100,17 @@ type Options struct {
 	// of full checkpointing — for loops whose writes touch a sparse
 	// subset of large arrays.
 	SparseUndo bool
+	// Recovery enables partial-commit misspeculation recovery: a failed
+	// PD test keeps the valid prefix below the earliest violating
+	// iteration, rewinds only the suffix's stamped stores, and the loop
+	// completes from the violation point instead of being re-executed
+	// whole.  Requires the dense stamped path (no SparseUndo, no
+	// Privatized arrays); see speculate.Recovery.
+	Recovery bool
+	// MaxRespecRounds bounds renewed parallel attempts after partial
+	// commits in the re-speculating engines; 0 means
+	// speculate.DefaultMaxRespecRounds.  Negative values are rejected.
+	MaxRespecRounds int
 	// RunTwice selects Section 4's time-stamp-free alternative for
 	// induction loops: run the parallel loop once purely to learn the
 	// iteration count, restore the checkpoint, then run exactly the
@@ -126,6 +137,16 @@ func (o Options) procs() int {
 
 func (o Options) hooks() obs.Hooks { return obs.Hooks{M: o.Metrics, T: o.Tracer} }
 
+// recoveryFor assembles the speculate.Recovery configuration for one
+// execution; seqFrom completes the loop sequentially from an arbitrary
+// iteration against partially committed state.
+func (o Options) recoveryFor(seqFrom func(from int) int) speculate.Recovery {
+	if !o.Recovery {
+		return speculate.Recovery{}
+	}
+	return speculate.Recovery{Enabled: true, MaxRounds: o.MaxRespecRounds, SeqFrom: seqFrom}
+}
+
 // Report describes what the orchestrator did.
 type Report struct {
 	// Valid iterations (matches the sequential loop).
@@ -144,6 +165,12 @@ type Report struct {
 	Undone int
 	// Executed and Overshot iterations in the parallel attempt.
 	Executed, Overshot int
+	// RespecRounds counts renewed parallel attempts after partial
+	// commits, and PrefixCommitted the iterations those commits salvaged
+	// from failed speculative executions (both 0 unless Options.Recovery
+	// engaged; UsedParallel stays true when a prefix was kept).
+	RespecRounds    int
+	PrefixCommitted int
 	// StampThreshold is the Section 8.1 statistics-enhanced threshold
 	// used (0 = every store stamped).
 	StampThreshold int
@@ -260,6 +287,34 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 
 	var parRes induction.Result
 	rep.StampThreshold = stampThreshold(opt)
+	// Sequential completion from an arbitrary iteration, for the
+	// partial-commit recovery path: the dispatcher's closed form (which
+	// inductions implement) positions the resume value directly; other
+	// dispatchers replay the chain up to it.
+	dispAt := func(i int) int {
+		if cf, ok := l.Disp.(loopir.ClosedForm[int]); ok {
+			return cf.At(i)
+		}
+		d := l.Disp.Start()
+		for k := 0; k < i; k++ {
+			d = l.Disp.Next(d)
+		}
+		return d
+	}
+	seqFrom := func(from int) int {
+		d := dispAt(from)
+		for i := from; l.Max <= 0 || i < l.Max; i++ {
+			if l.Cond != nil && !l.Cond(d) {
+				return i
+			}
+			it := loopir.Iter{Index: i, VPN: 0}
+			if !l.Body(&it, d) {
+				return i
+			}
+			d = l.Disp.Next(d)
+		}
+		return l.Max
+	}
 	srep, err := speculate.Run(
 		speculate.Spec{
 			Procs:          opt.procs(),
@@ -268,6 +323,7 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 			Privatized:     opt.Privatized,
 			StampThreshold: rep.StampThreshold,
 			SparseUndo:     opt.SparseUndo,
+			Recovery:       opt.recoveryFor(seqFrom),
 			Metrics:        opt.Metrics,
 			Tracer:         opt.Tracer,
 		},
@@ -288,6 +344,7 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 	rep.Failure = srep.Failure
 	rep.PD = srep.PD
 	rep.Undone = srep.Undone
+	rep.RespecRounds, rep.PrefixCommitted = srep.RespecRounds, srep.PrefixCommitted
 	rep.Executed, rep.Overshot = parRes.Executed, parRes.Overshot
 	rep.Strategy = fmt.Sprintf("%s + speculation", opt.InductionMethod)
 	recordStats(opt, rep.Valid)
@@ -412,10 +469,22 @@ func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Rep
 		recordStats(opt, rep.Valid)
 		return finish(rep, opt), nil
 	}
+	// Resume over the precomputed term values: iterations below `from`
+	// are already committed, only the remainder re-runs.
+	seqFrom := func(from int) int {
+		for i := from; i < n; i++ {
+			it := loopir.Iter{Index: i, VPN: 0}
+			if !l.Body(&it, terms[i]) {
+				return i
+			}
+		}
+		return n
+	}
 	srep, err := speculate.Run(
 		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
 			Privatized: opt.Privatized, StampThreshold: stampThreshold(opt),
-			SparseUndo: opt.SparseUndo, Metrics: opt.Metrics, Tracer: opt.Tracer},
+			SparseUndo: opt.SparseUndo, Recovery: opt.recoveryFor(seqFrom),
+			Metrics: opt.Metrics, Tracer: opt.Tracer},
 		run,
 		func() int { return loopir.RunSequential(l).Iterations },
 	)
@@ -424,6 +493,7 @@ func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Rep
 	}
 	rep.Valid, rep.UsedParallel, rep.Failure = srep.Valid, srep.UsedParallel, srep.Failure
 	rep.PD, rep.Undone = srep.PD, srep.Undone
+	rep.RespecRounds, rep.PrefixCommitted = srep.RespecRounds, srep.PrefixCommitted
 	rep.Executed, rep.Overshot = doallRes.Executed, doallRes.Overshot
 	rep.Strategy += " + speculation"
 	recordStats(opt, rep.Valid)
@@ -484,10 +554,28 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 		recordStats(opt, rep.Valid)
 		return finish(rep, opt), nil
 	}
+	// Resume a list traversal mid-way: skip the committed prefix of
+	// nodes, then continue the sequential reference traversal.
+	seqFrom := func(from int) int {
+		pt := head
+		for i := 0; i < from && pt != nil; i++ {
+			pt = pt.Next
+		}
+		i := from
+		for ; pt != nil; pt = pt.Next {
+			it := loopir.Iter{Index: i, VPN: 0}
+			if !body(&it, pt) {
+				return i
+			}
+			i++
+		}
+		return i
+	}
 	srep, err := speculate.Run(
 		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
 			Privatized: opt.Privatized, StampThreshold: stampThreshold(opt),
-			SparseUndo: opt.SparseUndo, Metrics: opt.Metrics, Tracer: opt.Tracer},
+			SparseUndo: opt.SparseUndo, Recovery: opt.recoveryFor(seqFrom),
+			Metrics: opt.Metrics, Tracer: opt.Tracer},
 		runner,
 		func() int { return runListSequential(head, body) },
 	)
@@ -496,6 +584,7 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 	}
 	rep.Valid, rep.UsedParallel, rep.Failure = srep.Valid, srep.UsedParallel, srep.Failure
 	rep.PD, rep.Undone = srep.PD, srep.Undone
+	rep.RespecRounds, rep.PrefixCommitted = srep.RespecRounds, srep.PrefixCommitted
 	rep.Strategy = fmt.Sprintf("%s + speculation", method)
 	recordStats(opt, rep.Valid)
 	return finish(rep, opt), nil

@@ -10,6 +10,7 @@ import (
 	"whilepar/internal/list"
 	"whilepar/internal/loopir"
 	"whilepar/internal/mem"
+	"whilepar/internal/speculate"
 )
 
 func inductionLoop(a *mem.Array, exit, max int) *loopir.Loop[int] {
@@ -545,5 +546,85 @@ func TestProcsDefaulting(t *testing.T) {
 	// Validate rejects negatives; procs() still clamps defensively.
 	if got := (Options{Procs: -3}).procs(); got != 1 {
 		t.Fatalf("Procs=-3 -> procs() = %d, want clamp to 1", got)
+	}
+}
+
+func TestRunInductionPartialRecovery(t *testing.T) {
+	// Iteration i writes A[i]; iteration 90 exposed-reads A[60] — one
+	// flow dependence that fails the PD test with first violation 60.
+	const n, w, r = 128, 60, 90
+	mkLoop := func(a *mem.Array) *loopir.Loop[int] {
+		return &loopir.Loop[int]{
+			Class: loopir.Class{Dispatcher: loopir.MonotonicInduction, Terminator: loopir.RV},
+			Disp:  loopir.IntInduction{C: 1},
+			Body: func(it *loopir.Iter, d int) bool {
+				if d == r {
+					it.Store(a, d, 1000+it.Load(a, w))
+				} else {
+					it.Store(a, d, float64(d)+1)
+				}
+				return true
+			},
+			Max: n,
+		}
+	}
+
+	// Sequential oracle.
+	oracle := mem.NewArray("A", n)
+	loopir.RunSequential(mkLoop(oracle))
+
+	a := mem.NewArray("A", n)
+	rep, err := RunInduction(mkLoop(a), Options{
+		Procs:    1, // single VP: dependent accesses cannot physically race
+		Shared:   []*mem.Array{a},
+		Tested:   []*mem.Array{a},
+		Recovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != n || !rep.UsedParallel || rep.Failure == "" {
+		t.Fatalf("report %+v: want Valid=%d with a kept parallel prefix and a recorded failure", rep, n)
+	}
+	if rep.PrefixCommitted != w {
+		t.Fatalf("PrefixCommitted = %d, want %d", rep.PrefixCommitted, w)
+	}
+	for i := range a.Data {
+		if a.Data[i] != oracle.Data[i] {
+			t.Fatalf("A[%d] = %v, want %v", i, a.Data[i], oracle.Data[i])
+		}
+	}
+
+	// Same loop with recovery off: full sequential fallback, same state.
+	b := mem.NewArray("A", n)
+	rep2, err := RunInduction(mkLoop(b), Options{
+		Procs: 1, Shared: []*mem.Array{b}, Tested: []*mem.Array{b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.UsedParallel || rep2.PrefixCommitted != 0 || rep2.Valid != n {
+		t.Fatalf("baseline report %+v", rep2)
+	}
+	for i := range b.Data {
+		if b.Data[i] != oracle.Data[i] {
+			t.Fatalf("baseline A[%d] = %v, want %v", i, b.Data[i], oracle.Data[i])
+		}
+	}
+}
+
+func TestValidateRecoveryOptions(t *testing.T) {
+	if err := (Options{MaxRespecRounds: -1}).Validate(); err == nil {
+		t.Fatal("negative MaxRespecRounds must be rejected")
+	}
+	if err := (Options{Recovery: true, SparseUndo: true}).Validate(); err == nil {
+		t.Fatal("Recovery with SparseUndo must be rejected")
+	}
+	a := mem.NewArray("A", 4)
+	if err := (Options{Recovery: true, Privatized: []speculate.PrivSpec{{Arr: a}}}).Validate(); err == nil {
+		t.Fatal("Recovery with Privatized must be rejected")
+	}
+	if err := (Options{Recovery: true, MaxRespecRounds: 3}).Validate(); err != nil {
+		t.Fatalf("valid recovery options rejected: %v", err)
 	}
 }

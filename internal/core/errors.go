@@ -29,6 +29,13 @@ var (
 	// ErrRunTwiceUnanalyzable: RunTwice requires statically known
 	// dependences (no Tested or Privatized arrays).
 	ErrRunTwiceUnanalyzable = errors.New("core: RunTwice requires statically known dependences")
+	// ErrBadRespecRounds: Options.MaxRespecRounds is negative (0 means
+	// the engine default).
+	ErrBadRespecRounds = errors.New("core: invalid MaxRespecRounds")
+	// ErrRecoveryUnsupported: partial-commit recovery needs the dense
+	// stamped undo path — it cannot bound a suffix rewind from the
+	// sparse log, and privatized copies have no per-location stamps.
+	ErrRecoveryUnsupported = errors.New("core: Recovery requires dense stamps (no SparseUndo, no Privatized)")
 	// ErrMissingBound: the loop needs Max (an iteration-space bound) for
 	// the chosen transformation.
 	ErrMissingBound = errors.New("core: loop needs Max (or strip-mine externally)")
@@ -67,6 +74,12 @@ func (o Options) Validate() error {
 	}
 	if o.RunTwice && (len(o.Tested) > 0 || len(o.Privatized) > 0) {
 		return ErrRunTwiceUnanalyzable
+	}
+	if o.MaxRespecRounds < 0 {
+		return fmt.Errorf("%w: %d", ErrBadRespecRounds, o.MaxRespecRounds)
+	}
+	if o.Recovery && (o.SparseUndo || len(o.Privatized) > 0) {
+		return ErrRecoveryUnsupported
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+package costmodel
+
+import "sync"
+
+// RespecPolicy sizes the speculative window of a partial-commit
+// recovery loop.  It is the multiplicative-decrease / multiplicative-
+// increase controller the adaptive re-speculation of the recovery
+// engine runs on: a misspeculation halves the next window (the
+// violation neighbourhood is dependence-dense, so bite off less), a
+// clean run doubles it back (the neighbourhood is behind us).  Clean-run
+// lengths are recorded into a BranchStats history so a later execution
+// of the same loop can seed its first window from evidence instead of
+// the configured default.
+type RespecPolicy struct {
+	mu sync.Mutex
+	// window is the current strip/window size proposal.
+	window int
+	// min and max clamp the adaptation range.
+	min, max int
+	// history records clean-run lengths across executions (shared by
+	// the caller between runs of the same loop, like BranchStats for
+	// trip counts).
+	history *BranchStats
+}
+
+// NewRespecPolicy returns a policy starting at window, adapting within
+// [min, max].  Out-of-order or non-positive bounds are coerced: min is
+// floored at 1, max at min, and the starting window is clamped into the
+// range.
+func NewRespecPolicy(window, min, max int) *RespecPolicy {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if window < min {
+		window = min
+	}
+	if window > max {
+		window = max
+	}
+	return &RespecPolicy{window: window, min: min, max: max}
+}
+
+// SeedFrom attaches a clean-run history and, when it already holds
+// samples, re-seeds the starting window from its trip-count estimate
+// (clamped into the policy's range).  The same *BranchStats may be
+// shared across policies to carry evidence between executions.
+func (p *RespecPolicy) SeedFrom(h *BranchStats) {
+	if h == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.history = h
+	if h.Samples() == 0 {
+		return
+	}
+	ni, conf := h.Estimate()
+	if ni <= 0 || conf <= 0 {
+		return
+	}
+	w := int(ni)
+	if w < p.min {
+		w = p.min
+	}
+	if w > p.max {
+		w = p.max
+	}
+	p.window = w
+}
+
+// Window returns the size the next speculative window should use.
+func (p *RespecPolicy) Window() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.window
+}
+
+// OnViolation records a misspeculated window and halves the next one
+// (floored at min).
+func (p *RespecPolicy) OnViolation() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.window /= 2
+	if p.window < p.min {
+		p.window = p.min
+	}
+}
+
+// OnCleanRun records a window of n iterations that validated, doubling
+// the next window (capped at max) and feeding n into the attached
+// history.
+func (p *RespecPolicy) OnCleanRun(n int) {
+	p.mu.Lock()
+	h := p.history
+	p.window *= 2
+	if p.window > p.max {
+		p.window = p.max
+	}
+	p.mu.Unlock()
+	if h != nil && n > 0 {
+		h.Record(n)
+	}
+}

@@ -1,0 +1,64 @@
+package costmodel
+
+import "testing"
+
+func TestRespecPolicyAdapts(t *testing.T) {
+	p := NewRespecPolicy(64, 8, 256)
+	if p.Window() != 64 {
+		t.Fatalf("start window = %d, want 64", p.Window())
+	}
+	p.OnViolation()
+	p.OnViolation()
+	if p.Window() != 16 {
+		t.Fatalf("after two violations window = %d, want 16", p.Window())
+	}
+	// The floor holds no matter how many violations.
+	for i := 0; i < 10; i++ {
+		p.OnViolation()
+	}
+	if p.Window() != 8 {
+		t.Fatalf("window floor = %d, want 8", p.Window())
+	}
+	for i := 0; i < 10; i++ {
+		p.OnCleanRun(p.Window())
+	}
+	if p.Window() != 256 {
+		t.Fatalf("window cap = %d, want 256", p.Window())
+	}
+}
+
+func TestRespecPolicyCoercesBounds(t *testing.T) {
+	p := NewRespecPolicy(0, -3, -5)
+	if p.Window() != 1 {
+		t.Fatalf("degenerate bounds should coerce to window 1, got %d", p.Window())
+	}
+	p = NewRespecPolicy(1000, 4, 32)
+	if p.Window() != 32 {
+		t.Fatalf("start window should clamp to max, got %d", p.Window())
+	}
+}
+
+func TestRespecPolicySeedsFromHistory(t *testing.T) {
+	h := &BranchStats{}
+	// A tight cluster of clean-run lengths: high confidence, mean ~100.
+	for i := 0; i < 5; i++ {
+		h.Record(100)
+	}
+	p := NewRespecPolicy(8, 4, 512)
+	p.SeedFrom(h)
+	if p.Window() != 100 {
+		t.Fatalf("seeded window = %d, want 100", p.Window())
+	}
+	// Clean runs now feed the shared history.
+	before := h.Samples()
+	p.OnCleanRun(120)
+	if h.Samples() != before+1 {
+		t.Fatal("OnCleanRun should record into the attached history")
+	}
+	// An empty history must not disturb the configured start.
+	p2 := NewRespecPolicy(16, 4, 512)
+	p2.SeedFrom(&BranchStats{})
+	if p2.Window() != 16 {
+		t.Fatalf("empty history changed the window to %d", p2.Window())
+	}
+}

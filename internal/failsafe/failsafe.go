@@ -19,6 +19,10 @@ type Outcome struct {
 	// UsedParallel is true if the speculative parallel execution was
 	// valid and its result was adopted.
 	UsedParallel bool
+	// LoserCanceled is true if the losing side was still running when
+	// the winner finished and was signalled to stop (RunRace only; Run
+	// always lets both sides complete).
+	LoserCanceled bool
 }
 
 // Run executes seq and par concurrently (modelling the disjoint
@@ -40,6 +44,63 @@ func Run[T any](seq func() T, par func() (T, bool)) (T, Outcome) {
 		return parRes, Outcome{UsedParallel: true}
 	}
 	return seqRes, Outcome{}
+}
+
+// RunRace is Run with prompt cancellation of the losing side: each
+// racer receives a cancel channel that is closed as soon as the other
+// side has produced the adopted result, so a long-running loser can
+// stop polling/iterating instead of burning its processors to the end.
+// Bodies should check the channel at iteration (or strip) boundaries
+// and return early when it is closed; a body that ignores it simply
+// degenerates to Run's behaviour.
+//
+// Adoption follows the racing semantics of Section 8.3: whichever side
+// first produces a usable result wins — the sequential racer's result
+// is always usable; the speculative racer's only if it reports
+// validity.  An invalid speculation cancels nothing (the sequential
+// racer must still finish).  Both goroutines are always waited for, so
+// no execution leaks past the return.
+func RunRace[T any](seq func(cancel <-chan struct{}) T, par func(cancel <-chan struct{}) (T, bool)) (T, Outcome) {
+	var (
+		seqRes, parRes T
+		parOK          bool
+	)
+	seqCancel := make(chan struct{})
+	parCancel := make(chan struct{})
+	seqDone := make(chan struct{})
+	parDone := make(chan struct{})
+	go func() { seqRes = seq(seqCancel); close(seqDone) }()
+	go func() { parRes, parOK = par(parCancel); close(parDone) }()
+
+	var out Outcome
+	select {
+	case <-seqDone:
+		// The sequential racer finished first: its result is correct by
+		// construction, so the speculation is moot — stop it.
+		select {
+		case <-parDone:
+		default:
+			out.LoserCanceled = true
+		}
+		close(parCancel)
+		<-parDone
+		return seqRes, out
+	case <-parDone:
+		if !parOK {
+			// Failed speculation: only the sequential result remains.
+			<-seqDone
+			return seqRes, out
+		}
+		select {
+		case <-seqDone:
+		default:
+			out.LoserCanceled = true
+		}
+		close(seqCancel)
+		<-seqDone
+		out.UsedParallel = true
+		return parRes, out
+	}
 }
 
 // SimTime models the scheme's completion time: the sequential loop runs

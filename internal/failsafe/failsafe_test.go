@@ -49,3 +49,68 @@ func TestSimTime(t *testing.T) {
 		t.Fatalf("invalid SimTime = %v, want 1050", got)
 	}
 }
+
+func TestRunRaceCancelsSpeculationWhenSequentialWins(t *testing.T) {
+	// The speculative racer blocks until cancelled; the sequential racer
+	// finishes immediately.  RunRace must return promptly with the
+	// sequential result and unblock the speculation via its channel.
+	got, out := RunRace(
+		func(<-chan struct{}) int { return 7 },
+		func(cancel <-chan struct{}) (int, bool) {
+			<-cancel // prompt cancellation is the only way out
+			return 0, false
+		},
+	)
+	if got != 7 || out.UsedParallel || !out.LoserCanceled {
+		t.Fatalf("got %d, %+v", got, out)
+	}
+}
+
+func TestRunRaceCancelsSequentialWhenSpeculationWins(t *testing.T) {
+	seqSawCancel := make(chan struct{}, 1)
+	got, out := RunRace(
+		func(cancel <-chan struct{}) int {
+			<-cancel
+			seqSawCancel <- struct{}{}
+			return 0
+		},
+		func(<-chan struct{}) (int, bool) { return 42, true },
+	)
+	if got != 42 || !out.UsedParallel || !out.LoserCanceled {
+		t.Fatalf("got %d, %+v", got, out)
+	}
+	select {
+	case <-seqSawCancel:
+	default:
+		t.Fatal("sequential racer was not signalled")
+	}
+}
+
+func TestRunRaceInvalidSpeculationWaitsForSequential(t *testing.T) {
+	// A failed speculation must not cancel the sequential racer — its
+	// result is the only correct one left.
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, out := RunRace(
+			func(cancel <-chan struct{}) int {
+				select {
+				case <-cancel:
+					t.Error("sequential racer must not be cancelled after a failed speculation")
+				case <-release:
+				}
+				return 5
+			},
+			func(<-chan struct{}) (int, bool) { return 999, false },
+		)
+		// LoserCanceled is timing-dependent here (the sequential racer may
+		// finish while the speculation's goroutine is still returning), so
+		// only the adoption matters: the sequential result, uncancelled.
+		if got != 5 || out.UsedParallel {
+			t.Errorf("got %d, %+v", got, out)
+		}
+	}()
+	release <- struct{}{}
+	<-done
+}

@@ -52,6 +52,11 @@ type Metrics struct {
 	maxChunk   atomic.Int64
 	minChunk   atomic.Int64 // 0 = unset
 
+	// Dynamic-schedule chunking (geometric claims from the shared
+	// counter).
+	dynChunks     atomic.Int64
+	dynChunkIters atomic.Int64
+
 	// Time-stamped memory (internal/tsmem).
 	trackedStores atomic.Int64
 	stampedStores atomic.Int64
@@ -77,6 +82,11 @@ type Metrics struct {
 	specAttempts atomic.Int64
 	specCommits  atomic.Int64
 	specAborts   atomic.Int64
+
+	// Partial-commit misspeculation recovery.
+	respecRounds    atomic.Int64
+	prefixCommitted atomic.Int64
+	suffixUndone    atomic.Int64
 
 	mu           sync.Mutex
 	vpnBusy      []*atomic.Int64
@@ -115,6 +125,18 @@ func (m *Metrics) IterExecuted(vpn int) {
 	}
 	m.executed.Add(1)
 	m.busySlot(vpn).Add(1)
+}
+
+// IterExecutedN records n iterations whose bodies ran on processor vpn
+// in one call — the chunk-boundary flush of the batched dispatchers,
+// which pays the busy-slot lookup once per chunk instead of per
+// iteration.
+func (m *Metrics) IterExecutedN(vpn, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.executed.Add(int64(n))
+	m.busySlot(vpn).Add(int64(n))
 }
 
 // busySlot returns the per-vpn executed counter, growing the table on
@@ -159,6 +181,16 @@ func (m *Metrics) GuidedChunk(size int) {
 	m.chunkIters.Add(int64(size))
 	casMax(&m.maxChunk, int64(size))
 	casMinNonzero(&m.minChunk, int64(size))
+}
+
+// DynamicChunk records one chunk of the given size claimed by the
+// Dynamic schedule's geometric dispatcher.
+func (m *Metrics) DynamicChunk(size int) {
+	if m == nil {
+		return
+	}
+	m.dynChunks.Add(1)
+	m.dynChunkIters.Add(int64(size))
 }
 
 func casMax(a *atomic.Int64, v int64) {
@@ -320,6 +352,33 @@ func (m *Metrics) SpecAbort(reason string) {
 	m.mu.Unlock()
 }
 
+// RespecRound records one re-speculation round: a renewed parallel
+// attempt launched from a violation point after a partial commit.
+func (m *Metrics) RespecRound() {
+	if m == nil {
+		return
+	}
+	m.respecRounds.Add(1)
+}
+
+// PrefixCommittedAdd records n iterations committed as the valid prefix
+// of a partially failed speculative execution.
+func (m *Metrics) PrefixCommittedAdd(n int) {
+	if m == nil {
+		return
+	}
+	m.prefixCommitted.Add(int64(n))
+}
+
+// SuffixUndoneAdd records n memory locations restored by a suffix-only
+// undo during partial-commit recovery.
+func (m *Metrics) SuffixUndoneAdd(n int) {
+	if m == nil {
+		return
+	}
+	m.suffixUndone.Add(int64(n))
+}
+
 // Snapshot is a plain-value copy of all counters, safe to retain after
 // the Metrics keeps accumulating.
 type Snapshot struct {
@@ -337,6 +396,10 @@ type Snapshot struct {
 	// GuidedChunks/GuidedChunkIters/MaxGuidedChunk/MinGuidedChunk
 	// describe the Guided schedule's claim sizes (zero when unused).
 	GuidedChunks, GuidedChunkIters, MaxGuidedChunk, MinGuidedChunk int64
+
+	// DynamicChunks/DynamicChunkIters describe the Dynamic schedule's
+	// geometric claims from the shared counter (zero when unused).
+	DynamicChunks, DynamicChunkIters int64
 
 	// TrackedStores counts stores through time-stamping trackers;
 	// StampedStores counts distinct locations that took a stamp.
@@ -366,6 +429,11 @@ type Snapshot struct {
 	SpecAttempts, SpecCommits, SpecAborts int64
 	AbortReasons                          map[string]int64
 
+	// RespecRounds counts renewed parallel attempts after a partial
+	// commit; PrefixCommitted the iterations salvaged below violation
+	// points; SuffixUndone the locations restored by suffix-only undos.
+	RespecRounds, PrefixCommitted, SuffixUndone int64
+
 	// VPNBusy[k] is the number of iterations processor k executed.
 	VPNBusy []int64
 }
@@ -385,6 +453,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		GuidedChunkIters:       m.chunkIters.Load(),
 		MaxGuidedChunk:         m.maxChunk.Load(),
 		MinGuidedChunk:         m.minChunk.Load(),
+		DynamicChunks:          m.dynChunks.Load(),
+		DynamicChunkIters:      m.dynChunkIters.Load(),
 		TrackedStores:          m.trackedStores.Load(),
 		StampedStores:          m.stampedStores.Load(),
 		Checkpoints:            m.checkpoints.Load(),
@@ -403,6 +473,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		SpecAttempts:           m.specAttempts.Load(),
 		SpecCommits:            m.specCommits.Load(),
 		SpecAborts:             m.specAborts.Load(),
+		RespecRounds:           m.respecRounds.Load(),
+		PrefixCommitted:        m.prefixCommitted.Load(),
+		SuffixUndone:           m.suffixUndone.Load(),
 	}
 	m.mu.Lock()
 	s.VPNBusy = make([]int64, len(m.vpnBusy))
@@ -430,6 +503,11 @@ func (s Snapshot) String() string {
 			s.GuidedChunks, s.GuidedChunkIters, s.MinGuidedChunk, s.MaxGuidedChunk,
 			float64(s.GuidedChunkIters)/float64(s.GuidedChunks))
 	}
+	if s.DynamicChunks > 0 {
+		fmt.Fprintf(&b, "dynamic:    chunks=%d iters=%d avg=%.1f\n",
+			s.DynamicChunks, s.DynamicChunkIters,
+			float64(s.DynamicChunkIters)/float64(s.DynamicChunks))
+	}
 	fmt.Fprintf(&b, "memory:     stores=%d stamped=%d checkpoints=%d (%d words) restores=%d undone=%d\n",
 		s.TrackedStores, s.StampedStores, s.Checkpoints, s.CheckpointWords, s.Restores, s.Undone)
 	if s.BatchedRanges > 0 || s.ShardMerges > 0 || s.ParallelCopies > 0 {
@@ -442,6 +520,10 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "  %-12s doall=%v priv=%v accesses=%d\n", v.Array, v.DOALL, v.DOALLWithPriv, v.Accesses)
 	}
 	fmt.Fprintf(&b, "speculation: attempts=%d commits=%d aborts=%d\n", s.SpecAttempts, s.SpecCommits, s.SpecAborts)
+	if s.RespecRounds > 0 || s.PrefixCommitted > 0 || s.SuffixUndone > 0 {
+		fmt.Fprintf(&b, "recovery:   respec-rounds=%d prefix-committed=%d suffix-undone=%d\n",
+			s.RespecRounds, s.PrefixCommitted, s.SuffixUndone)
+	}
 	if len(s.AbortReasons) > 0 {
 		reasons := make([]string, 0, len(s.AbortReasons))
 		for r := range s.AbortReasons {

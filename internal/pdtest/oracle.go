@@ -57,20 +57,44 @@ func Oracle(accesses []Access, valid int) Result {
 	var res Result
 	res.Accesses = count
 	res.PrivatizableStrict = true
+	res.FirstViolation = -1
 	for _, rs := range exposed {
 		if len(rs) > 0 {
 			res.PrivatizableStrict = false
 			break
 		}
 	}
+	lowerFV := func(iter int) {
+		if res.FirstViolation < 0 || iter < res.FirstViolation {
+			res.FirstViolation = iter
+		}
+	}
+	minOf := func(s map[int]bool) int {
+		min := -1
+		for it := range s {
+			if min < 0 || it < min {
+				min = it
+			}
+		}
+		return min
+	}
 	for e, ws := range writers {
 		if len(ws) >= 2 {
 			res.OutputDep = true
+			lowerFV(minOf(ws))
 		}
-		for r := range exposed[e] {
-			for w := range ws {
-				if w != r {
-					res.FlowAntiDep = true
+		rs := exposed[e]
+		if len(ws) > 0 && len(rs) > 0 {
+			// Clean only when the sole writer and sole exposed reader are
+			// the same iteration — the element-wise Analyze condition.
+			clean := len(ws) == 1 && len(rs) == 1 && ws[minOf(rs)]
+			if !clean {
+				res.FlowAntiDep = true
+				w, r := minOf(ws), minOf(rs)
+				if r < w {
+					lowerFV(r)
+				} else {
+					lowerFV(w)
 				}
 			}
 		}

@@ -71,6 +71,16 @@ func newShadow(n int) *shadow {
 	return s
 }
 
+// atomicMin lowers a to v if v is smaller.
+func atomicMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // insert2 maintains the two smallest distinct values.
 func insert2(a, b *int64, v int64) {
 	switch {
@@ -202,6 +212,16 @@ type Result struct {
 	// FlowAntiDep: some element was written by one valid iteration and
 	// exposed-read by a different valid iteration.
 	FlowAntiDep bool
+	// FirstViolation is the smallest valid iteration participating in
+	// any violated dependence, or -1 when DOALL holds.  For an output
+	// dependence on an element that is its earliest writer; for a
+	// flow/anti dependence the earlier of the earliest writer and the
+	// earliest exposed reader.  Committing iterations strictly below it
+	// and undoing the rest is safe: every marked access of a violating
+	// element belongs to an iteration at or beyond this bound, so the
+	// time-stamped undo (which keys on the per-location *minimum* write
+	// stamp) restores every such element in full.
+	FirstViolation int
 	// Accesses marked during the run (for overhead accounting).
 	Accesses int
 }
@@ -223,6 +243,8 @@ func (t *Test) analyze(valid int, record bool) Result {
 	n := t.arr.Len()
 	v := int64(valid)
 	var outputDep, flowAnti, exposed atomic.Bool
+	var firstViol atomic.Int64
+	firstViol.Store(never)
 
 	sched.DOALL(n, sched.Options{Procs: len(t.shadows)}, func(e, _ int) sched.Control {
 		// Merge per-processor marks for element e: the two smallest
@@ -239,6 +261,7 @@ func (t *Test) analyze(valid int, record bool) Result {
 		}
 		if w2 < v {
 			outputDep.Store(true)
+			atomicMin(&firstViol, w1)
 		}
 		if w1 < v && r1 < v {
 			// A flow/anti dependence needs a writer and an exposed
@@ -248,6 +271,11 @@ func (t *Test) analyze(valid int, record bool) Result {
 			clean := w1 == r1 && w2 >= v && r2 >= v
 			if !clean {
 				flowAnti.Store(true)
+				if r1 < w1 {
+					atomicMin(&firstViol, r1)
+				} else {
+					atomicMin(&firstViol, w1)
+				}
 			}
 		}
 		return sched.Continue
@@ -259,7 +287,11 @@ func (t *Test) analyze(valid int, record bool) Result {
 		PrivatizableStrict: !exposed.Load(),
 		OutputDep:          outputDep.Load(),
 		FlowAntiDep:        flowAnti.Load(),
+		FirstViolation:     -1,
 		Accesses:           t.Accesses(),
+	}
+	if fv := firstViol.Load(); fv != never {
+		res.FirstViolation = int(fv)
 	}
 	if record {
 		// The verdict is computed by merging the per-processor shadow

@@ -192,10 +192,110 @@ func TestAnalyzeMatchesOracleOnRandomTraces(t *testing.T) {
 			got.DOALLWithPriv == want.DOALLWithPriv &&
 			got.PrivatizableStrict == want.PrivatizableStrict &&
 			got.OutputDep == want.OutputDep &&
-			got.FlowAntiDep == want.FlowAntiDep
+			got.FlowAntiDep == want.FlowAntiDep &&
+			got.FirstViolation == want.FirstViolation
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestFirstViolationIndex(t *testing.T) {
+	// Flow dependence between iterations 7 (writer) and 11 (exposed
+	// reader): the earliest involved iteration is 7, so that is where a
+	// partial commit must resume.
+	a := mem.NewArray("A", 16)
+	pd := New(a, 4)
+	trace := []Access{
+		{Iter: 2, Elem: 0, Write: true}, // clean singleton write
+		{Iter: 7, Elem: 5, Write: true},
+		{Iter: 11, Elem: 5, Write: false},
+	}
+	replay(pd, trace, 4)
+	res := pd.Analyze(16)
+	if res.DOALL || res.FirstViolation != 7 {
+		t.Fatalf("flow violation index: got %d (res %+v), want 7", res.FirstViolation, res)
+	}
+
+	// An anti dependence (read at 3 before write at 9) resumes at the
+	// reader, the earlier of the pair.
+	pd.Reset()
+	replay(pd, []Access{
+		{Iter: 3, Elem: 2, Write: false},
+		{Iter: 9, Elem: 2, Write: true},
+	}, 4)
+	if res := pd.Analyze(16); res.FirstViolation != 3 {
+		t.Fatalf("anti violation index: got %d, want 3", res.FirstViolation)
+	}
+
+	// Output dependence (writers 4 and 13): earliest writer wins.
+	pd.Reset()
+	replay(pd, []Access{
+		{Iter: 4, Elem: 1, Write: true},
+		{Iter: 13, Elem: 1, Write: true},
+	}, 4)
+	if res := pd.Analyze(16); res.FirstViolation != 4 {
+		t.Fatalf("output violation index: got %d, want 4", res.FirstViolation)
+	}
+
+	// Clean run: no violation index.
+	pd.Reset()
+	replay(pd, []Access{{Iter: 0, Elem: 0, Write: true}, {Iter: 1, Elem: 1, Write: true}}, 4)
+	if res := pd.Analyze(16); !res.DOALL || res.FirstViolation != -1 {
+		t.Fatalf("clean run should report FirstViolation -1, got %+v", res)
+	}
+
+	// Marks above the valid cutoff must not contribute: with valid = 9
+	// the reader at 11 vanishes and element 5's writer at 7 is a clean
+	// singleton again.
+	pd.Reset()
+	replay(pd, trace, 4)
+	if res := pd.Analyze(9); !res.DOALL || res.FirstViolation != -1 {
+		t.Fatalf("cutoff should clear the violation, got %+v", res)
+	}
+}
+
+func TestFirstViolationRangePathMatchesElementWise(t *testing.T) {
+	// The batched Observe*Range marking must produce the same violation
+	// index as element-wise marking for the same logical accesses.
+	const elems = 64
+	mk := func(ranged bool) Result {
+		a := mem.NewArray("A", elems)
+		pd := New(a, 4)
+		o := pd.Observer()
+		ro := o.(interface {
+			ObserveStoreRange(a *mem.Array, lo, hi, iter, vpn int)
+			ObserveLoadRange(a *mem.Array, lo, hi, iter, vpn int)
+		})
+		// Iteration i writes [8i, 8i+8); iteration 5 also exposed-reads
+		// [24, 32), which iteration 3 wrote — flow violation from 3.
+		for i := 0; i < 8; i++ {
+			lo, hi := 8*i, 8*i+8
+			if i == 5 {
+				if ranged {
+					ro.ObserveLoadRange(a, 24, 32, i, i%4)
+				} else {
+					for e := 24; e < 32; e++ {
+						o.ObserveLoad(a, e, i, i%4)
+					}
+				}
+			}
+			if ranged {
+				ro.ObserveStoreRange(a, lo, hi, i, i%4)
+			} else {
+				for e := lo; e < hi; e++ {
+					o.ObserveStore(a, e, i, i%4)
+				}
+			}
+		}
+		return pd.Analyze(8)
+	}
+	el, rg := mk(false), mk(true)
+	if el.FirstViolation != 3 || rg.FirstViolation != 3 {
+		t.Fatalf("range/element first-violation mismatch: element %+v, range %+v", el, rg)
+	}
+	if el.DOALL != rg.DOALL || el.FlowAntiDep != rg.FlowAntiDep || el.OutputDep != rg.OutputDep {
+		t.Fatalf("range path verdict diverged: element %+v, range %+v", el, rg)
 	}
 }
 

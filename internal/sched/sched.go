@@ -44,9 +44,12 @@ const (
 type Schedule int
 
 const (
-	// Dynamic self-scheduling: each free processor grabs the next
-	// unissued iteration (the paper's dynamically scheduled DOALL,
-	// used by Induction-1/2 and General-1/3).
+	// Dynamic self-scheduling: each free processor claims the next
+	// unissued chunk of iterations from the shared counter, the chunk
+	// growing geometrically (1, 2, 4, ... capped relative to n/p) so
+	// the fetch-add and metrics costs amortize while the first claims
+	// stay small enough for load balance (the paper's dynamically
+	// scheduled DOALL, used by Induction-1/2 and General-1/3).
 	Dynamic Schedule = iota
 	// Static mod-p assignment: processor k runs iterations congruent to
 	// k modulo p (the assignment of General-2).
@@ -133,11 +136,13 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 	// raced against a concurrently-lowering quitAt and undercounted.
 	ran := make([]bool, n)
 
+	// Executed counts are batched per worker and flushed at chunk
+	// boundaries (or loop exit) by the callers, so the hot path pays no
+	// per-iteration busy-slot lookup.
 	runIter := func(i, vpn int) {
 		ts := obs.Start(tr)
 		c := body(i, vpn)
 		ran[i] = true
-		m.IterExecuted(vpn)
 		if tr != nil {
 			obs.Span(tr, ts, "iter", "doall", vpn, map[string]any{"i": i})
 		}
@@ -160,8 +165,9 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 		defer wg.Done()
 		switch opts.Schedule {
 		case Static:
+			issued, done := 0, 0
 			for i := vpn; i < n; i += p {
-				m.IterIssued(1)
+				issued++
 				if int64(i) > quitAt.Load() {
 					// A smaller iteration already quit; do not begin
 					// larger ones.  Smaller ones on this processor have
@@ -169,7 +175,10 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 					break
 				}
 				runIter(i, vpn)
+				done++
 			}
+			m.IterIssued(issued)
+			m.IterExecutedN(vpn, done)
 		case Guided:
 			for {
 				// Claim a chunk of ceil(remaining/(2p)) iterations.
@@ -197,24 +206,66 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 				}
 				m.IterIssued(hi - lo)
 				m.GuidedChunk(hi - lo)
+				done := 0
 				for i := lo; i < hi; i++ {
 					if int64(i) > quitAt.Load() {
+						m.IterExecutedN(vpn, done)
 						return
 					}
 					runIter(i, vpn)
+					done++
 				}
+				m.IterExecutedN(vpn, done)
 			}
 		default: // Dynamic
+			// Geometric chunking: per-worker claims double from 1 up to
+			// a cap that keeps at least ~8 chunks per worker available
+			// for balance.  Correctness is the Guided argument: the
+			// claim counter is monotone, chunks are processed in order
+			// with a per-iteration QUIT check, and no chunk is claimed
+			// once the counter passes the posted quit index.
+			maxChunk := int64(n / (8 * p))
+			if maxChunk > 64 {
+				maxChunk = 64
+			}
+			if maxChunk < 1 {
+				maxChunk = 1
+			}
+			chunk := int64(1)
 			for {
-				i := int(next.Add(1) - 1)
-				if i >= n {
-					return
+				var lo, hi int
+				for {
+					cur := next.Load()
+					if cur >= int64(n) || cur > quitAt.Load() {
+						return
+					}
+					size := chunk
+					if rem := int64(n) - cur; size > rem {
+						size = rem
+					}
+					if next.CompareAndSwap(cur, cur+size) {
+						lo, hi = int(cur), int(cur+size)
+						break
+					}
 				}
-				m.IterIssued(1)
-				if int64(i) > quitAt.Load() {
-					return
+				m.IterIssued(hi - lo)
+				m.DynamicChunk(hi - lo)
+				if chunk < maxChunk {
+					chunk *= 2
+					if chunk > maxChunk {
+						chunk = maxChunk
+					}
 				}
-				runIter(i, vpn)
+				done := 0
+				for i := lo; i < hi; i++ {
+					if int64(i) > quitAt.Load() {
+						m.IterExecutedN(vpn, done)
+						return
+					}
+					runIter(i, vpn)
+					done++
+				}
+				m.IterExecutedN(vpn, done)
 			}
 		}
 	}
@@ -249,8 +300,10 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 // minimum quitting index must all run even if they are issued after the
 // QUIT.  DOALL guarantees this because the issue counter is monotone: by
 // the time iteration q returns Quit, every index below q has already
-// been issued (dynamic) or is owned by a processor that will reach it
-// before breaking (static, in-order per processor).
+// been claimed (dynamic/guided chunks cover the counter's prefix, and
+// each owner processes its chunk in order, skipping only indices
+// strictly above the posted quit) or is owned by a processor that will
+// reach it before breaking (static, in-order per processor).
 
 // ForEachProc runs fn(vpn) on procs goroutines and waits; it is the
 // "doall i = 1, nproc" idiom of General-2 (Fig. 4).

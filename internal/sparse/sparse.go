@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Entry is one stored nonzero.
@@ -38,11 +39,20 @@ type Matrix struct {
 	RowCount []int
 	ColCount []int
 
-	// colIndex[j] lists the rows holding a nonzero in column j; colMax
-	// caches the per-column absolute maxima.  Both are built lazily and
-	// invalidated by Eliminate.
-	colIndex [][]int
-	colMax   []float64
+	// idx caches the column index and per-column maxima as one immutable
+	// snapshot behind an atomic pointer: the parallel pivot searches hit
+	// the lazy build from many workers at once, and the matrix is
+	// read-only during a search, so racing builders all compute the same
+	// snapshot and whichever Store lands last wins.  Eliminate
+	// invalidates it.
+	idx atomic.Pointer[colIndexData]
+}
+
+// colIndexData is the lazily built column view: rows[j] lists the rows
+// holding a nonzero in column j, max[j] is the largest |value| there.
+type colIndexData struct {
+	rows [][]int
+	max  []float64
 }
 
 // rng is a small deterministic linear congruential generator so matrix
@@ -205,30 +215,33 @@ func (m *Matrix) String() string {
 // InvalidateIndex drops the lazy column index/maxima after a structural
 // change.
 func (m *Matrix) InvalidateIndex() {
-	m.colIndex = nil
-	m.colMax = nil
+	m.idx.Store(nil)
 }
 
-// buildIndex constructs the column index and per-column maxima.
-func (m *Matrix) buildIndex() {
-	m.colIndex = make([][]int, m.N)
-	m.colMax = make([]float64, m.N)
+// index returns the column index, building it if missing.
+func (m *Matrix) index() *colIndexData {
+	if ix := m.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := &colIndexData{
+		rows: make([][]int, m.N),
+		max:  make([]float64, m.N),
+	}
 	for i := 0; i < m.N; i++ {
 		for _, e := range m.Rows[i] {
-			m.colIndex[e.Col] = append(m.colIndex[e.Col], i)
-			if a := math.Abs(e.Val); a > m.colMax[e.Col] {
-				m.colMax[e.Col] = a
+			ix.rows[e.Col] = append(ix.rows[e.Col], i)
+			if a := math.Abs(e.Val); a > ix.max[e.Col] {
+				ix.max[e.Col] = a
 			}
 		}
 	}
+	m.idx.Store(ix)
+	return ix
 }
 
 // ColRows returns the rows holding a nonzero in column j.
 func (m *Matrix) ColRows(j int) []int {
-	if m.colIndex == nil {
-		m.buildIndex()
-	}
-	return m.colIndex[j]
+	return m.index().rows[j]
 }
 
 // MaxAbsInCol returns the largest |value| stored in column j, the
@@ -236,10 +249,7 @@ func (m *Matrix) ColRows(j int) []int {
 // pivots against (for row-wise elimination the growth bound is per
 // column).
 func (m *Matrix) MaxAbsInCol(j int) float64 {
-	if m.colMax == nil {
-		m.buildIndex()
-	}
-	return m.colMax[j]
+	return m.index().max[j]
 }
 
 // MaxAbsInRow returns the largest |value| in row i (0 if empty).

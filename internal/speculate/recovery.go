@@ -1,0 +1,248 @@
+package speculate
+
+import (
+	"fmt"
+
+	"whilepar/internal/costmodel"
+	"whilepar/internal/mem"
+	"whilepar/internal/obs"
+	"whilepar/internal/pdtest"
+	"whilepar/internal/tsmem"
+)
+
+// Recovery configures partial-commit misspeculation recovery.
+//
+// The classic protocol (Sections 4-5) treats a failed PD test as total
+// failure: restore the checkpoint, re-execute the whole loop
+// sequentially.  One late dependence violation then costs more than
+// never having speculated.  Recovery instead exploits state the run
+// already collected — the PD test knows the earliest iteration
+// participating in any violated dependence (Result.FirstViolation), and
+// the time-stamp memory can rewind just the stores of iterations at or
+// beyond it (tsmem.PartialCommit) — to keep the valid prefix and resume
+// from the violation point, re-speculating with an adaptively shrunk
+// window that grows back on clean runs.
+type Recovery struct {
+	// Enabled turns the partial-commit path on.  Off, every engine
+	// falls back to the all-or-nothing restore (the retained baseline).
+	Enabled bool
+	// MaxRounds bounds the number of renewed parallel attempts after
+	// partial commits before the remainder of the loop is completed
+	// sequentially.  <= 0 means DefaultMaxRespecRounds.
+	MaxRounds int
+	// Policy sizes the re-speculation windows (halve on violation,
+	// double on clean run).  nil uses a fresh policy with engine
+	// defaults; share one across executions to carry history.
+	Policy *costmodel.RespecPolicy
+	// SeqFrom completes the loop sequentially from the given iteration
+	// against the current (partially committed) state, returning the
+	// final global valid-iteration count.  Required by Run's recovery
+	// path; the strip/window engines use their range runners instead.
+	SeqFrom func(from int) int
+}
+
+// DefaultMaxRespecRounds bounds re-speculation when Recovery.MaxRounds
+// is unset.
+const DefaultMaxRespecRounds = 8
+
+func (r Recovery) maxRounds() int {
+	if r.MaxRounds > 0 {
+		return r.MaxRounds
+	}
+	return DefaultMaxRespecRounds
+}
+
+// RecoveryReport describes a RunRecovering execution.
+type RecoveryReport struct {
+	// Valid is the global number of valid iterations.
+	Valid int
+	// Rounds counts windows that failed validation and triggered a
+	// partial commit + re-speculation (or a sequential window).
+	Rounds int
+	// PrefixCommitted is the number of iterations salvaged from failed
+	// windows by partial commits.
+	PrefixCommitted int
+	// Undone counts locations restored (suffix undos and overshoot).
+	Undone int
+	// SeqIters counts iterations executed by the sequential runner.
+	SeqIters int
+	// Done reports whether the termination condition was met within the
+	// bound.
+	Done bool
+}
+
+// RunRecovering is the adaptive partial-commit speculation engine: the
+// iteration space is executed window by window (like RunStripped), but
+// a failed PD test no longer forfeits the window.  The engine commits
+// the prefix below the earliest violating iteration, rewinds only the
+// suffix's stamped stores, and re-speculates from the violation point
+// with a window the costmodel.RespecPolicy halves on every violation
+// and doubles back on every clean run.  After Recovery.MaxRounds failed
+// rounds the remainder runs sequentially.  With Recovery.Enabled false
+// it degenerates to per-window all-or-nothing fallback (the baseline
+// protocol, kept for comparison like tsmem.NewAtomic).
+func RunRecovering(spec Spec, total int, par StripPar, seq StripSeq) (RecoveryReport, error) {
+	if par == nil || seq == nil {
+		return RecoveryReport{}, fmt.Errorf("speculate: both strip runners are required")
+	}
+	if total < 0 {
+		return RecoveryReport{}, fmt.Errorf("speculate: negative iteration bound %d", total)
+	}
+	procs := spec.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	if spec.SparseUndo {
+		return RecoveryReport{}, fmt.Errorf("speculate: RunRecovering requires the dense stamped path (no SparseUndo)")
+	}
+	if len(spec.Privatized) > 0 {
+		return RecoveryReport{}, fmt.Errorf("speculate: RunRecovering does not support privatized arrays")
+	}
+
+	mx, tr := spec.Metrics, spec.Tracer
+	policy := spec.Recovery.Policy
+	if policy == nil {
+		// Default: open with the whole remaining space (one window, like
+		// Run), shrink toward a procs-sized floor on violations.
+		w := total
+		if w < 1 {
+			w = 1
+		}
+		policy = costmodel.NewRespecPolicy(w, procs, w)
+	}
+	maxRounds := spec.Recovery.maxRounds()
+
+	var rep RecoveryReport
+	pos := 0
+	for pos < total {
+		// After the round budget is spent, finish sequentially.
+		if rep.Rounds >= maxRounds {
+			v, done := seq(pos, total)
+			rep.SeqIters += v
+			rep.Valid = pos + v
+			rep.Done = done
+			return rep, nil
+		}
+
+		hi := pos + policy.Window()
+		if hi > total {
+			hi = total
+		}
+		mx.SpecAttempt()
+		winStart := obs.Start(tr)
+
+		// Fresh per-window machinery, as in RunStripped: bounded memory.
+		ts := tsmem.NewSharded(procs, spec.Shared...)
+		ts.SetObs(mx, tr)
+		ts.Checkpoint()
+		var tests []*pdtest.Test
+		var observers []mem.Observer
+		for _, a := range spec.Tested {
+			t := pdtest.New(a, procs)
+			t.SetObs(mx, tr)
+			tests = append(tests, t)
+			observers = append(observers, t.Observer())
+		}
+		var tracker mem.Tracker = ts.Tracker()
+		if len(observers) > 0 {
+			tracker = mem.Chain{Observers: observers, Sink: tracker}
+		}
+
+		valid, done, err := par(tracker, pos, hi)
+		ok := err == nil && valid >= 0 && valid <= hi-pos
+		firstViol := -1
+		if ok {
+			for _, t := range tests {
+				// Stamps and marks carry global iteration indices.
+				r := t.Analyze(pos + valid)
+				if !r.DOALL {
+					ok = false
+					if r.FirstViolation >= 0 && (firstViol < 0 || r.FirstViolation < firstViol) {
+						firstViol = r.FirstViolation
+					}
+				}
+			}
+		}
+
+		if ok {
+			if valid < hi-pos || done {
+				undone, uerr := ts.Undo(pos + valid)
+				if uerr != nil {
+					return rep, uerr
+				}
+				rep.Undone += undone
+				done = true
+			}
+			mx.SpecCommit()
+			if tr != nil {
+				obs.Span(tr, winStart, "recovery-window", "speculate", 0,
+					map[string]any{"lo": pos, "hi": hi, "valid": valid, "committed": true})
+			}
+			policy.OnCleanRun(valid)
+			pos += valid
+			if done {
+				rep.Valid = pos
+				rep.Done = true
+				return rep, nil
+			}
+			continue
+		}
+
+		// Misspeculation.  Salvage the prefix below the earliest
+		// violating iteration when there is one; the violation window
+		// itself (or the whole window, on an exception) re-runs
+		// sequentially, and the next parallel window is halved.
+		rep.Rounds++
+		mx.RespecRound()
+		policy.OnViolation()
+		reason := fmt.Sprintf("window [%d,%d) failed validation", pos, hi)
+		if err != nil {
+			reason = fmt.Sprintf("window [%d,%d) exception: %v", pos, hi, err)
+		}
+		mx.SpecAbort(reason)
+
+		if spec.Recovery.Enabled && err == nil && firstViol > pos {
+			restored, perr := ts.PartialCommit(firstViol)
+			if perr != nil {
+				return rep, perr
+			}
+			rep.Undone += restored
+			rep.PrefixCommitted += firstViol - pos
+			mx.PrefixCommittedAdd(firstViol - pos)
+			if tr != nil {
+				obs.Span(tr, winStart, "recovery-window", "speculate", 0,
+					map[string]any{"lo": pos, "hi": hi, "resumeAt": firstViol, "restored": restored})
+			}
+			pos = firstViol
+			// Re-speculate from the violation point with the shrunk
+			// window on the next loop turn.
+			continue
+		}
+
+		// Nothing to salvage (violation at the resume point, recovery
+		// disabled, or an exception): rewind the window and run it
+		// sequentially — one window's worth, not the whole loop.
+		if rerr := ts.RestoreAll(); rerr != nil {
+			return rep, rerr
+		}
+		v, sdone := seq(pos, hi)
+		rep.SeqIters += v
+		if tr != nil {
+			obs.Span(tr, winStart, "recovery-window", "speculate", 0,
+				map[string]any{"lo": pos, "hi": hi, "valid": v, "sequential": true})
+		}
+		pos += v
+		if sdone {
+			rep.Valid = pos
+			rep.Done = true
+			return rep, nil
+		}
+		if pos < hi {
+			// A correct sequential runner either finishes its range or
+			// signals termination; anything else would loop forever.
+			return rep, fmt.Errorf("speculate: sequential runner stopped at %d of [%d,%d) without terminating", pos, pos, hi)
+		}
+	}
+	rep.Valid = pos
+	return rep, nil
+}

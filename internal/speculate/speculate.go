@@ -57,6 +57,12 @@ type Spec struct {
 	// proportional to the accesses, not the array extents.  Incompatible
 	// with StampThreshold (every store must be logged).
 	SparseUndo bool
+	// Recovery configures partial-commit misspeculation recovery: on a
+	// failed PD test the valid prefix below the first violating
+	// iteration is kept, only the suffix's stamped stores are undone,
+	// and execution resumes from the violation point instead of
+	// restarting the whole loop.  See the Recovery type.
+	Recovery Recovery
 	// Metrics, if non-nil, accumulates speculation attempts/commits/
 	// aborts, stamped stores, undo counts and PD verdicts; Tracer, if
 	// non-nil, receives the corresponding events.  Both propagate to
@@ -91,10 +97,16 @@ type Report struct {
 	// Spec.Tested).
 	PD []pdtest.Result
 	// Undone is the number of memory locations restored by the
-	// overshoot undo.
+	// overshoot undo (including suffix-only undos during recovery).
 	Undone int
 	// CopiedOut counts last-value copy-out elements.
 	CopiedOut int
+	// RespecRounds counts renewed attempts after partial commits (0 on
+	// the classic all-or-nothing path).
+	RespecRounds int
+	// PrefixCommitted is the number of iterations salvaged from failed
+	// speculative executions by partial commits.
+	PrefixCommitted int
 }
 
 // Run executes the speculation protocol.
@@ -187,6 +199,7 @@ func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
 		privSet[p.Shared()] = true
 	}
 	var results []pdtest.Result
+	failIdx, firstViol := -1, -1
 	for i, t := range tests {
 		r := t.Analyze(valid)
 		results = append(results, r)
@@ -195,10 +208,51 @@ func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
 			ok = r.DOALLWithPriv
 		}
 		if !ok {
-			rep, ferr := fallback(fmt.Sprintf("PD test failed on array %q", spec.Tested[i].Name))
-			rep.PD = results
-			return rep, ferr
+			if failIdx < 0 {
+				failIdx = i
+			}
+			if r.FirstViolation >= 0 && (firstViol < 0 || r.FirstViolation < firstViol) {
+				firstViol = r.FirstViolation
+			}
 		}
+	}
+	if failIdx >= 0 {
+		reason := fmt.Sprintf("PD test failed on array %q", spec.Tested[failIdx].Name)
+		// Partial-commit recovery: keep the prefix below the earliest
+		// violating iteration, rewind only the suffix's stamped stores,
+		// and complete the loop sequentially from the violation point.
+		// Gated to the dense stamped path without privatization — the
+		// sparse log and private copies have no per-location minimum
+		// stamp to bound a partial rewind with.
+		rec := spec.Recovery
+		if rec.Enabled && rec.SeqFrom != nil && sp == nil && len(privs) == 0 && firstViol > 0 {
+			if restored, perr := ts.PartialCommit(firstViol); perr == nil {
+				mx.PrefixCommittedAdd(firstViol)
+				if tr != nil {
+					obs.Instant(tr, "partial-recovery", "speculate", 0, map[string]any{
+						"reason": reason, "resumeAt": firstViol, "restored": restored,
+					})
+				}
+				finalValid := rec.SeqFrom(firstViol)
+				ts.Commit()
+				mx.SpecCommit()
+				if tr != nil {
+					obs.Span(tr, specStart, "speculation", "speculate", 0, map[string]any{
+						"valid": finalValid, "undone": restored, "prefixCommitted": firstViol,
+					})
+				}
+				return Report{
+					Valid: finalValid, UsedParallel: true, Failure: reason, PD: results,
+					Undone: restored, PrefixCommitted: firstViol,
+				}, nil
+			}
+			// PartialCommit refused (e.g. the violation fell below the
+			// stamp threshold): the stamps needed for a suffix-only
+			// rewind were never recorded — full fallback.
+		}
+		rep, ferr := fallback(reason)
+		rep.PD = results
+		return rep, ferr
 	}
 
 	// Valid speculation: undo overshoot, copy out privatized last

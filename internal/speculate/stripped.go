@@ -16,8 +16,12 @@ type StripReport struct {
 	// Strips executed; SeqStrips of them fell back to sequential
 	// re-execution after a failed PD test or exception.
 	Strips, SeqStrips int
-	// Undone counts locations restored across all strips.
+	// Undone counts locations restored across all strips (overshoot
+	// and recovery suffix undos).
 	Undone int
+	// PrefixCommitted counts iterations salvaged from failed strips by
+	// partial commits (0 when Spec.Recovery is off).
+	PrefixCommitted int
 	// Done reports whether the loop terminated within the bound (vs
 	// exhausting Total iterations).
 	Done bool
@@ -92,13 +96,16 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 
 		valid, done, err := par(tracker, lo, hi)
 		ok := err == nil && valid >= 0 && valid <= hi-lo
+		firstViol := -1
 		if ok {
 			for _, t := range tests {
 				// Iterations are stamped with their global indices.
 				r := t.Analyze(lo + valid)
 				if !r.DOALL {
 					ok = false
-					break
+					if r.FirstViolation >= 0 && (firstViol < 0 || r.FirstViolation < firstViol) {
+						firstViol = r.FirstViolation
+					}
 				}
 			}
 		}
@@ -108,11 +115,28 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 				reason = fmt.Sprintf("strip [%d,%d) exception: %v", lo, hi, err)
 			}
 			mx.SpecAbort(reason)
-			if rerr := ts.RestoreAll(); rerr != nil {
-				return rep, rerr
+			if spec.Recovery.Enabled && err == nil && firstViol > lo {
+				// Strip-local partial commit: keep the prefix below the
+				// earliest violating iteration, rewind only the suffix,
+				// and re-execute just [firstViol, hi) sequentially.
+				restored, perr := ts.PartialCommit(firstViol)
+				if perr != nil {
+					return rep, perr
+				}
+				rep.Undone += restored
+				rep.PrefixCommitted += firstViol - lo
+				mx.PrefixCommittedAdd(firstViol - lo)
+				mx.RespecRound()
+				rep.SeqStrips++
+				sv, sdone := seq(firstViol, hi)
+				valid, done = (firstViol-lo)+sv, sdone
+			} else {
+				if rerr := ts.RestoreAll(); rerr != nil {
+					return rep, rerr
+				}
+				rep.SeqStrips++
+				valid, done = seq(lo, hi)
 			}
-			rep.SeqStrips++
-			valid, done = seq(lo, hi)
 		} else if valid < hi-lo || done {
 			// Undo the strip's overshoot (stamps carry global indices).
 			undone, uerr := ts.Undo(lo + valid)

@@ -171,13 +171,26 @@ func (m *Memory) resetStamps() {
 
 // Checkpoint snapshots every tracked array (the overhead Tb of the cost
 // model), splitting the copy across the Memory's workers.  Calling it
-// again discards the previous snapshot.
+// again discards the previous snapshot, reusing its buffers — so the
+// re-baselining a partial commit performs every recovery round pays
+// only the copy, not an allocation.
 func (m *Memory) Checkpoint() {
 	ts := obs.Start(m.obsT)
-	m.checkpoints = m.checkpoints[:0]
+	reuse := len(m.checkpoints) == len(m.arrays)
+	if !reuse {
+		m.checkpoints = m.checkpoints[:0]
+	}
 	words, maxWorkers := 0, 1
-	for _, a := range m.arrays {
-		cp := &mem.Array{Name: a.Name, Data: make([]float64, a.Len())}
+	for ai, a := range m.arrays {
+		var cp *mem.Array
+		if reuse && m.checkpoints[ai].Len() == a.Len() {
+			cp = m.checkpoints[ai]
+		} else {
+			cp = &mem.Array{Name: a.Name, Data: make([]float64, a.Len())}
+			if reuse {
+				m.checkpoints[ai] = cp
+			}
+		}
 		src := a.Data
 		w := parallelDo(m.procs, len(src), func(lo, hi int) {
 			copy(cp.Data[lo:hi], src[lo:hi])
@@ -185,7 +198,9 @@ func (m *Memory) Checkpoint() {
 		if w > maxWorkers {
 			maxWorkers = w
 		}
-		m.checkpoints = append(m.checkpoints, cp)
+		if !reuse {
+			m.checkpoints = append(m.checkpoints, cp)
+		}
 		words += a.Len()
 	}
 	m.resetStamps()
@@ -366,6 +381,78 @@ func (m *Memory) Undo(lastValid int) (int, error) {
 		obs.Span(m.obsT, ts, "undo", "tsmem", 0, map[string]any{"restored": restored, "lastValid": lastValid})
 	}
 	return restored, nil
+}
+
+// PartialCommit keeps the work of iterations below upto and rewinds the
+// rest: every location whose (minimum) write stamp is >= upto is
+// restored from the checkpoint, and the Memory is then re-baselined —
+// the surviving state becomes the new checkpoint and all stamps are
+// cleared — so a following re-speculation round undoes only its own
+// stores.  It returns the number of locations restored.
+//
+// Safety: with minimum stamps a location written by both a kept and an
+// undone iteration cannot be selectively rewound, so upto must be
+// chosen so that no location mixes writers across the boundary.  The PD
+// test's Result.FirstViolation bound has exactly that property: every
+// writer of every violating element is at or beyond it, and a location
+// written on both sides of the boundary by *valid* iterations would
+// itself be a violating element (output dependence).  Like Undo, it
+// fails when no checkpoint exists or when upto falls below the stamp
+// threshold (the stamps needed were never recorded).
+func (m *Memory) PartialCommit(upto int) (int, error) {
+	if len(m.checkpoints) != len(m.arrays) {
+		return 0, fmt.Errorf("tsmem: PartialCommit without Checkpoint")
+	}
+	if upto < m.threshold {
+		return 0, fmt.Errorf("tsmem: partial-commit bound %d below stamp threshold %d; stamps missing", upto, m.threshold)
+	}
+	ts := obs.Start(m.obsT)
+	m.mergeStamps()
+	restored := 0
+	for ai, a := range m.arrays {
+		cp := m.checkpoints[ai]
+		s := m.merged[a]
+		var mu sync.Mutex
+		parallelDo(m.procs, len(s), func(lo, hi int) {
+			count := 0
+			for i := lo; i < hi; i++ {
+				if st := s[i]; st != NoStamp && st >= int64(upto) {
+					a.Data[i] = cp.Data[i]
+					count++
+				}
+			}
+			mu.Lock()
+			restored += count
+			mu.Unlock()
+		})
+	}
+	m.obsM.SuffixUndoneAdd(restored)
+	if m.obsT != nil {
+		obs.Span(m.obsT, ts, "partial-commit", "tsmem", 0, map[string]any{"restored": restored, "upto": upto})
+	}
+	// Re-baseline: the prefix's effects are now permanent; the next
+	// round's rollback target is the state we just produced.  The
+	// threshold is spent — the new round's stores must all be stamped.
+	m.threshold = 0
+	m.Checkpoint()
+	return restored, nil
+}
+
+// MinStampFrom returns the smallest recorded stamp at or above from
+// across all tracked arrays, or NoStamp when nothing at or above from
+// was written.  Like Stamp it merges the shards, so it must only be
+// called after the parallel section completes.
+func (m *Memory) MinStampFrom(from int) int64 {
+	m.mergeStamps()
+	min := NoStamp
+	for _, a := range m.arrays {
+		for _, st := range m.merged[a] {
+			if st != NoStamp && st >= int64(from) && (min == NoStamp || st < min) {
+				min = st
+			}
+		}
+	}
+	return min
 }
 
 // RestoreAll rewinds every tracked array to its checkpoint (used when a

@@ -273,3 +273,126 @@ func TestSparseMemoryConcurrent(t *testing.T) {
 		t.Fatal("half the writes should be undone")
 	}
 }
+
+func TestPartialCommitKeepsPrefixAndRebases(t *testing.T) {
+	a := mem.NewArray("A", 16)
+	for i := range a.Data {
+		a.Data[i] = -1
+	}
+	m := NewSharded(4, a)
+	m.Checkpoint()
+	tr := m.Tracker()
+	// Iterations 0..11 each write their own element.
+	for i := 0; i < 12; i++ {
+		tr.Store(a, i, float64(100+i), i, i%4)
+	}
+	restored, err := m.PartialCommit(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 4 {
+		t.Fatalf("restored %d, want 4 (iterations 8..11)", restored)
+	}
+	for i := 0; i < 8; i++ {
+		if a.Data[i] != float64(100+i) {
+			t.Fatalf("prefix write A[%d] lost: %v", i, a.Data[i])
+		}
+	}
+	for i := 8; i < 16; i++ {
+		if a.Data[i] != -1 {
+			t.Fatalf("suffix A[%d] not rewound: %v", i, a.Data[i])
+		}
+	}
+	// The commit re-baselined: a new round's stores rewind to the
+	// post-prefix state, not the original one.
+	for i := 8; i < 12; i++ {
+		tr.Store(a, i, float64(200+i), i, i%4)
+	}
+	if err := m.RestoreAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if a.Data[i] != float64(100+i) {
+			t.Fatalf("rebased checkpoint lost prefix at %d: %v", i, a.Data[i])
+		}
+	}
+	for i := 8; i < 16; i++ {
+		if a.Data[i] != -1 {
+			t.Fatalf("rebased checkpoint wrong at %d: %v", i, a.Data[i])
+		}
+	}
+}
+
+func TestPartialCommitClearsStamps(t *testing.T) {
+	a := mem.NewArray("A", 8)
+	m := New(a)
+	m.Checkpoint()
+	tr := m.Tracker()
+	tr.Store(a, 1, 1, 1, 0)
+	tr.Store(a, 5, 5, 5, 0)
+	if _, err := m.PartialCommit(3); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stamp(a, 1); st != NoStamp {
+		t.Fatalf("stamp below the bound should be cleared by the rebase, got %d", st)
+	}
+	if st := m.Stamp(a, 5); st != NoStamp {
+		t.Fatalf("stamp above the bound should be cleared by the rebase, got %d", st)
+	}
+	// A new round's undo only sees the new round's stores.
+	tr.Store(a, 6, 6, 2, 0)
+	n, err := m.Undo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("new round undo restored %d, want 1", n)
+	}
+}
+
+func TestPartialCommitErrors(t *testing.T) {
+	a := mem.NewArray("A", 4)
+	m := New(a)
+	if _, err := m.PartialCommit(0); err == nil {
+		t.Fatal("PartialCommit without Checkpoint should fail")
+	}
+	m.Checkpoint()
+	m.SetStampThreshold(4)
+	if _, err := m.PartialCommit(2); err == nil {
+		t.Fatal("PartialCommit below the stamp threshold should fail")
+	}
+}
+
+func TestMinStampFrom(t *testing.T) {
+	a := mem.NewArray("A", 8)
+	m := NewSharded(2, a)
+	m.Checkpoint()
+	tr := m.Tracker()
+	tr.Store(a, 0, 1, 3, 0)
+	tr.Store(a, 1, 1, 7, 1)
+	tr.Store(a, 2, 1, 12, 0)
+	if got := m.MinStampFrom(0); got != 3 {
+		t.Fatalf("MinStampFrom(0) = %d, want 3", got)
+	}
+	if got := m.MinStampFrom(4); got != 7 {
+		t.Fatalf("MinStampFrom(4) = %d, want 7", got)
+	}
+	if got := m.MinStampFrom(13); got != NoStamp {
+		t.Fatalf("MinStampFrom(13) = %d, want NoStamp", got)
+	}
+}
+
+func TestCheckpointReusesBuffers(t *testing.T) {
+	a := mem.NewArray("A", 64)
+	m := New(a)
+	m.Checkpoint()
+	first := m.checkpoints[0].Data
+	a.Data[3] = 42
+	m.Checkpoint()
+	if &m.checkpoints[0].Data[0] != &first[0] {
+		t.Fatal("second Checkpoint should reuse the buffer")
+	}
+	if m.checkpoints[0].Data[3] != 42 {
+		t.Fatal("reused buffer should hold the fresh snapshot")
+	}
+}

@@ -50,10 +50,18 @@ func TestMetricsExactCounts(t *testing.T) {
 	}
 	s := *rep.Metrics
 
-	// One worker claims 0..q, executes them, then claims q+1 and sees
-	// the posted QUIT.
-	if s.Issued != q+2 {
-		t.Errorf("Issued = %d, want %d", s.Issued, q+2)
+	// One worker claims geometric chunks from the shared counter: sizes
+	// 1,2,4,8 then the cap of n/8 = 12, so claim boundaries fall at
+	// 1,3,7,15,27,39,51,63.  The QUIT at q=60 lands mid-chunk [51,63):
+	// 61 iterations execute, 63 were issued, and no further chunk is
+	// claimed.
+	const wantIssued = 63
+	if s.Issued != wantIssued {
+		t.Errorf("Issued = %d, want %d", s.Issued, wantIssued)
+	}
+	if s.DynamicChunks != 8 || s.DynamicChunkIters != wantIssued {
+		t.Errorf("dynamic chunks = %d (%d iters), want 8 (%d)",
+			s.DynamicChunks, s.DynamicChunkIters, wantIssued)
 	}
 	if s.Executed != q+1 {
 		t.Errorf("Executed = %d, want %d", s.Executed, q+1)
