@@ -22,25 +22,31 @@ race:
 # The CI gate: formatting, static analysis, build, race-enabled tests.
 check: fmt vet build race
 
-# Stamped-store microbenchmark (atomic baseline vs sharded vs batched)
-# and the misspeculation-recovery benchmark (partial commit vs full
-# restore), recorded as machine-readable JSON baselines.
+# Stamped-store microbenchmark (atomic baseline vs sharded vs batched),
+# the misspeculation-recovery benchmark (partial commit vs full
+# restore), and the pipelined-pool strip benchmark (persistent pool +
+# overlapped strips vs spawn-per-strip), recorded as machine-readable
+# JSON baselines.
 bench:
 	$(GO) run ./cmd/whilebench -membench -json -procs 8 > BENCH_2.json
 	@cat BENCH_2.json
 	$(GO) run ./cmd/whilebench -recbench -json -procs 8 > BENCH_3.json
 	@cat BENCH_3.json
+	$(GO) run ./cmd/whilebench -pipebench -json -procs 8 > BENCH_4.json
+	@cat BENCH_4.json
 
 # A fast variant for CI smoke: small workload, human-readable.
 bench-smoke:
 	$(GO) run ./cmd/whilebench -membench -procs 8 -elems 65536 -rounds 8
 	$(GO) run ./cmd/whilebench -recbench -procs 8 -iters 20000 -work 200
+	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipeiters 8192 -pipework 100
 
-# Regression guard: rerun both benchmarks and fail if a machine-
+# Regression guard: rerun the benchmarks and fail if a machine-
 # independent ratio fell more than 20% below the recorded baseline.
 bench-compare:
 	$(GO) run ./cmd/whilebench -membench -procs 8 -elems 65536 -rounds 8 -baseline BENCH_2.json -tol 0.2
 	$(GO) run ./cmd/whilebench -recbench -procs 8 -iters 20000 -work 200 -baseline BENCH_3.json -tol 0.2
+	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipeiters 8192 -pipework 100 -baseline BENCH_4.json -tol 0.2
 
 gobench:
 	$(GO) test -bench=. -benchmem ./...

@@ -24,23 +24,37 @@
 //	                           # partial commit vs full restore on a
 //	                           # late-violation loop (BENCH_3.json with
 //	                           # -json)
+//	whilebench -pipebench      # pipelined-pool benchmark: persistent
+//	                           # worker pool + overlapped strips vs
+//	                           # spawn-per-strip (BENCH_4.json with -json)
 //	whilebench -membench -baseline BENCH_2.json -tol 0.2
 //	                           # regression guard: rerun and fail (exit 1)
 //	                           # if a machine-independent ratio fell more
 //	                           # than 20% below the recorded baseline;
-//	                           # same for -recbench with BENCH_3.json
+//	                           # same for -recbench with BENCH_3.json and
+//	                           # -pipebench with BENCH_4.json
+//	whilebench -pipebench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	                           # write pprof CPU/heap profiles of the run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"whilepar"
 	"whilepar/internal/bench"
 )
 
+// main defers to run so the pprof defers (and any other cleanup) flush
+// before the process exits — os.Exit would skip them.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		all       = flag.Bool("all", false, "regenerate every table, figure and ablation")
 		table1    = flag.Bool("table1", false, "print Table 1 (taxonomy)")
@@ -61,10 +75,47 @@ func main() {
 		recbench  = flag.Bool("recbench", false, "run the misspeculation-recovery benchmark (partial commit vs full restore)")
 		iters     = flag.Int("iters", 100000, "iterations in the -recbench loop")
 		work      = flag.Int("work", 600, "per-iteration spin units in -recbench")
-		baseline  = flag.String("baseline", "", "recorded JSON baseline to guard -membench/-recbench against")
+		pipebench = flag.Bool("pipebench", false, "run the pipelined-pool benchmark (persistent pool + overlap vs spawn-per-strip)")
+		strip     = flag.Int("strip", 64, "strip size in -pipebench")
+		pipeIters = flag.Int("pipeiters", 16384, "iterations in the -pipebench loop")
+		pipeWork  = flag.Int("pipework", 200, "per-iteration spin units in -pipebench")
+		baseline  = flag.String("baseline", "", "recorded JSON baseline to guard -membench/-recbench/-pipebench against")
 		tol       = flag.Float64("tol", 0.2, "relative tolerance for the -baseline regression guard")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whilebench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "whilebench:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+			}
+		}()
+	}
 
 	ran := false
 	if *all || *table1 {
@@ -92,7 +143,7 @@ func main() {
 		}
 		if !ran && *fig != 0 {
 			fmt.Fprintf(os.Stderr, "whilebench: no figure %d (have 6..14)\n", *fig)
-			os.Exit(2)
+			return 2
 		}
 	}
 	if *all || *gantt {
@@ -135,14 +186,14 @@ func main() {
 			for _, e := range errs {
 				fmt.Fprintln(os.Stderr, "FAIL:", e)
 			}
-			os.Exit(1)
+			return 1
 		}
 		ran = true
 	}
 	if *metrics || *trace != "" {
 		if err := obsDemo(*procs, *metrics, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "whilebench:", err)
-			os.Exit(1)
+			return 1
 		}
 		ran = true
 	}
@@ -152,7 +203,7 @@ func main() {
 			out, err := bench.MemBenchJSON(rep)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "whilebench:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println(string(out))
 		} else {
@@ -162,9 +213,11 @@ func main() {
 			base, err := readBaseline(*baseline, bench.ParseMemBench)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "whilebench:", err)
-				os.Exit(1)
+				return 1
 			}
-			guard(bench.CompareMemBench(rep, base, *tol), *baseline, *tol)
+			if c := guard(bench.CompareMemBench(rep, base, *tol), *baseline, *tol); c != 0 {
+				return c
+			}
 		}
 		ran = true
 	}
@@ -174,7 +227,7 @@ func main() {
 			out, err := bench.RecBenchJSON(rep)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "whilebench:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println(string(out))
 		} else {
@@ -184,16 +237,43 @@ func main() {
 			base, err := readBaseline(*baseline, bench.ParseRecBench)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "whilebench:", err)
-				os.Exit(1)
+				return 1
 			}
-			guard(bench.CompareRecBench(rep, base, *tol), *baseline, *tol)
+			if c := guard(bench.CompareRecBench(rep, base, *tol), *baseline, *tol); c != 0 {
+				return c
+			}
+		}
+		ran = true
+	}
+	if *pipebench {
+		rep := bench.PipeBench(*procs, *pipeIters, *strip, *pipeWork)
+		if *jsonOut {
+			out, err := bench.PipeBenchJSON(rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				return 1
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.RenderPipeBench(rep))
+		}
+		if *baseline != "" {
+			base, err := readBaseline(*baseline, bench.ParsePipeBench)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				return 1
+			}
+			if c := guard(bench.ComparePipeBench(rep, base, *tol), *baseline, *tol); c != 0 {
+				return c
+			}
 		}
 		ran = true
 	}
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // readBaseline loads and decodes a recorded benchmark baseline.
@@ -206,16 +286,17 @@ func readBaseline[T any](path string, parse func([]byte) (T, error)) (T, error) 
 	return parse(data)
 }
 
-// guard prints regression messages and exits non-zero if there are any.
-func guard(regs []string, baseline string, tol float64) {
+// guard prints regression messages and returns 1 if there are any (the
+// caller propagates the exit code so deferred cleanup still runs).
+func guard(regs []string, baseline string, tol float64) int {
 	if len(regs) == 0 {
 		fmt.Printf("bench guard: within %.0f%% of %s\n", tol*100, baseline)
-		return
+		return 0
 	}
 	for _, r := range regs {
 		fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 	}
-	os.Exit(1)
+	return 1
 }
 
 // obsDemo runs an instrumented speculative execution through the public

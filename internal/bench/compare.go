@@ -60,6 +60,18 @@ func CompareRecBench(cur, base RecBenchReport, tol float64) []string {
 	return regs
 }
 
+// ComparePipeBench checks the pipelined-pool report's speedup ratio
+// against the baseline the same way.
+func ComparePipeBench(cur, base PipeBenchReport, tol float64) []string {
+	var regs []string
+	if base.PipelineSpeedup > 0 && cur.PipelineSpeedup < base.PipelineSpeedup*(1-tol) {
+		regs = append(regs, fmt.Sprintf(
+			"pipeline_speedup: %.2fx is below baseline %.2fx - %.0f%% (floor %.2fx)",
+			cur.PipelineSpeedup, base.PipelineSpeedup, tol*100, base.PipelineSpeedup*(1-tol)))
+	}
+	return regs
+}
+
 // ParseMemBench decodes a recorded BENCH_2.json payload.
 func ParseMemBench(data []byte) (MemBenchReport, error) {
 	var rep MemBenchReport
@@ -80,6 +92,18 @@ func ParseRecBench(data []byte) (RecBenchReport, error) {
 	}
 	if rep.Bench != "recbench" {
 		return rep, fmt.Errorf("bench: baseline is %q, want \"recbench\"", rep.Bench)
+	}
+	return rep, nil
+}
+
+// ParsePipeBench decodes a recorded BENCH_4.json payload.
+func ParsePipeBench(data []byte) (PipeBenchReport, error) {
+	var rep PipeBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: bad pipebench baseline: %w", err)
+	}
+	if rep.Bench != "pipebench" {
+		return rep, fmt.Errorf("bench: baseline is %q, want \"pipebench\"", rep.Bench)
 	}
 	return rep, nil
 }

@@ -117,6 +117,23 @@ type Options struct {
 	// valid iterations as a plain DOALL.  Requires statically known
 	// dependences (no Tested/Privatized arrays).
 	RunTwice bool
+	// Pool runs every parallel phase of the execution on one persistent
+	// worker pool: the workers are spawned once per entry-point call
+	// and parked on a barrier between phases, so a strip-mined or
+	// multi-phase loop pays one barrier release per phase instead of
+	// procs goroutine spawns.  Off (the default), every phase spawns
+	// its own goroutines — the retained baseline and equivalence
+	// oracle.
+	Pool bool
+	// Pipeline software-pipelines strip-mined speculation: while the
+	// coordinator runs the PD test and commit for sealed strip k, the
+	// pool already executes strip k+1 into a double-buffered
+	// stamp/shadow generation, which is squashed only if k's test
+	// fails.  Implies Pool.  Requires the dense stamped path and a
+	// strip-mineable loop (no SparseUndo, Privatized, or RunTwice —
+	// see ErrPipelineUnsupported); loops that need no speculation
+	// simply ignore it.
+	Pipeline bool
 	// Metrics, if non-nil, accumulates runtime counters across every
 	// layer of the execution (scheduling, speculation, undo memory, PD
 	// tests); the Report carries a snapshot.  Tracer, if non-nil,
@@ -136,6 +153,41 @@ func (o Options) procs() int {
 }
 
 func (o Options) hooks() obs.Hooks { return obs.Hooks{M: o.Metrics, T: o.Tracer} }
+
+// newPool spawns the execution's persistent worker pool when Options
+// asks for one (Pipeline implies Pool).  The caller must Close it; nil
+// means every phase spawns its own goroutines.
+func (o Options) newPool() *sched.Pool {
+	if !o.Pool && !o.Pipeline {
+		return nil
+	}
+	return sched.NewPool(o.procs())
+}
+
+// closePool is a nil-tolerant Close for deferring.
+func closePool(p *sched.Pool) {
+	if p != nil {
+		p.Close()
+	}
+}
+
+// pipeStrip sizes the strips of a pipelined speculative execution:
+// small enough that many strips flow through the pipeline (a failed
+// strip forfeits little work and the PD-test overlap repeats often),
+// large enough that each strip amortizes its checkpoint and barrier.
+func pipeStrip(total, procs int) int {
+	s := total / 16
+	if min := 4 * procs; s < min {
+		s = min
+	}
+	if s > total {
+		s = total
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
 
 // recoveryFor assembles the speculate.Recovery configuration for one
 // execution; seqFrom completes the loop sequentially from an arbitrary
@@ -245,8 +297,10 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 		return finish(rep, opt), nil
 	}
 
+	pool := opt.newPool()
+	defer closePool(pool)
 	cfg := induction.Config{Procs: opt.procs(), Method: opt.InductionMethod, Schedule: opt.Schedule,
-		Metrics: opt.Metrics, Tracer: opt.Tracer}
+		Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: pool}
 
 	if opt.RunTwice {
 		if len(opt.Tested) > 0 || len(opt.Privatized) > 0 {
@@ -315,6 +369,9 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 		}
 		return l.Max
 	}
+	if opt.Pipeline {
+		return runInductionPipelined(l, opt, pool, rep, seqFrom, dispAt)
+	}
 	srep, err := speculate.Run(
 		speculate.Spec{
 			Procs:          opt.procs(),
@@ -347,6 +404,76 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 	rep.RespecRounds, rep.PrefixCommitted = srep.RespecRounds, srep.PrefixCommitted
 	rep.Executed, rep.Overshot = parRes.Executed, parRes.Overshot
 	rep.Strategy = fmt.Sprintf("%s + speculation", opt.InductionMethod)
+	recordStats(opt, rep.Valid)
+	return finish(rep, opt), nil
+}
+
+// runInductionPipelined executes the speculative section of an
+// induction loop as pipelined strips: the iteration space is strip-
+// mined, each strip runs as a pool-backed DOALL evaluating the
+// dispatcher's closed form, and strip k+1's execution overlaps strip
+// k's PD test and commit (speculate.RunStrippedPipelined).
+func runInductionPipelined(l *loopir.Loop[int], opt Options, pool *sched.Pool, rep Report,
+	seqFrom func(int) int, dispAt func(int) int) (Report, error) {
+	cf, ok := l.Disp.(loopir.ClosedForm[int])
+	if !ok {
+		return rep, fmt.Errorf("%w: dispatcher %T has no closed form", ErrPipelineUnsupported, l.Disp)
+	}
+	if l.Max <= 0 {
+		return rep, fmt.Errorf("%w: pipelined induction loop", ErrMissingBound)
+	}
+	total := l.Max
+	// Successive stripPar calls are serialized by the engine (each
+	// overlapped strip is joined before the next launches), so plain
+	// accumulators are safe.
+	var executed, overshot int
+	stripPar := func(trk mem.Tracker, lo, hi int) (int, bool, error) {
+		res := sched.DOALL(hi-lo, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule,
+			Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: pool}, func(i, vpn int) sched.Control {
+			gi := lo + i
+			d := cf.At(gi)
+			if l.Cond != nil && !l.Cond(d) {
+				return sched.Quit
+			}
+			it := loopir.Iter{Index: gi, VPN: vpn, Tracker: trk}
+			if !l.Body(&it, d) {
+				return sched.Quit
+			}
+			return sched.Continue
+		})
+		executed += res.Executed
+		overshot += res.Overshot
+		return res.QuitIndex, res.QuitIndex < hi-lo, nil
+	}
+	stripSeq := func(lo, hi int) (int, bool) {
+		d := dispAt(lo)
+		for i := lo; i < hi; i++ {
+			if l.Cond != nil && !l.Cond(d) {
+				return i - lo, true
+			}
+			it := loopir.Iter{Index: i, VPN: 0}
+			if !l.Body(&it, d) {
+				return i - lo, true
+			}
+			d = l.Disp.Next(d)
+		}
+		return hi - lo, false
+	}
+	srep, err := speculate.RunStrippedPipelined(
+		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
+			Recovery: opt.recoveryFor(seqFrom), Metrics: opt.Metrics, Tracer: opt.Tracer},
+		total, pipeStrip(total, opt.procs()), stripPar, stripSeq)
+	if err != nil {
+		return rep, err
+	}
+	rep.Valid = srep.Valid
+	rep.UsedParallel = true
+	rep.Undone = srep.Undone
+	rep.PrefixCommitted = srep.PrefixCommitted
+	rep.Executed, rep.Overshot = executed, overshot
+	// Per-strip stamps never use the Section 8.1 threshold.
+	rep.StampThreshold = 0
+	rep.Strategy = fmt.Sprintf("%s + pipelined strip speculation", opt.InductionMethod)
 	recordStats(opt, rep.Valid)
 	return finish(rep, opt), nil
 }
@@ -448,10 +575,12 @@ func RunGeneralNumeric(l *loopir.Loop[float64], opt Options) (Report, error) {
 // dispatcher terms, with the speculation protocol when needed.
 func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Report) (Report, error) {
 	n := len(terms)
+	pool := opt.newPool()
+	defer closePool(pool)
 	var doallRes sched.Result
 	run := func(tr mem.Tracker) (int, error) {
 		doallRes = sched.DOALL(n, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule,
-			Metrics: opt.Metrics, Tracer: opt.Tracer}, func(i, vpn int) sched.Control {
+			Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: pool}, func(i, vpn int) sched.Control {
 			it := loopir.Iter{Index: i, VPN: vpn, Tracker: tr}
 			if !l.Body(&it, terms[i]) {
 				return sched.Quit
@@ -480,6 +609,9 @@ func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Rep
 		}
 		return n
 	}
+	if opt.Pipeline {
+		return runTermsPipelined(l, terms, opt, pool, rep, seqFrom)
+	}
 	srep, err := speculate.Run(
 		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
 			Privatized: opt.Privatized, StampThreshold: stampThreshold(opt),
@@ -500,11 +632,61 @@ func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Rep
 	return finish(rep, opt), nil
 }
 
+// runTermsPipelined executes the speculative remainder DOALL over
+// precomputed dispatcher terms as pipelined strips (see
+// runInductionPipelined; here the "closed form" is the terms slice).
+func runTermsPipelined(l *loopir.Loop[float64], terms []float64, opt Options, pool *sched.Pool,
+	rep Report, seqFrom func(int) int) (Report, error) {
+	n := len(terms)
+	var executed, overshot int
+	stripPar := func(trk mem.Tracker, lo, hi int) (int, bool, error) {
+		res := sched.DOALL(hi-lo, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule,
+			Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: pool}, func(i, vpn int) sched.Control {
+			gi := lo + i
+			it := loopir.Iter{Index: gi, VPN: vpn, Tracker: trk}
+			if !l.Body(&it, terms[gi]) {
+				return sched.Quit
+			}
+			return sched.Continue
+		})
+		executed += res.Executed
+		overshot += res.Overshot
+		return res.QuitIndex, res.QuitIndex < hi-lo, nil
+	}
+	stripSeq := func(lo, hi int) (int, bool) {
+		for i := lo; i < hi; i++ {
+			it := loopir.Iter{Index: i, VPN: 0}
+			if !l.Body(&it, terms[i]) {
+				return i - lo, true
+			}
+		}
+		return hi - lo, false
+	}
+	srep, err := speculate.RunStrippedPipelined(
+		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
+			Recovery: opt.recoveryFor(seqFrom), Metrics: opt.Metrics, Tracer: opt.Tracer},
+		n, pipeStrip(n, opt.procs()), stripPar, stripSeq)
+	if err != nil {
+		return rep, err
+	}
+	rep.Valid = srep.Valid
+	rep.UsedParallel = true
+	rep.Undone = srep.Undone
+	rep.PrefixCommitted = srep.PrefixCommitted
+	rep.Executed, rep.Overshot = executed, overshot
+	rep.Strategy += " + pipelined strip speculation"
+	recordStats(opt, rep.Valid)
+	return finish(rep, opt), nil
+}
+
 // RunList orchestrates a WHILE loop traversing a linked list (the
 // general-recurrence case, Section 3.3).
 func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options) (Report, error) {
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
+	}
+	if opt.Pipeline {
+		return Report{}, fmt.Errorf("%w: list traversals have no strip-mineable dispatcher", ErrPipelineUnsupported)
 	}
 	d, ok := decide(opt, loopir.GeneralRecurrence)
 	method := opt.ListMethod
@@ -519,7 +701,9 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 		return finish(rep, opt), nil
 	}
 
-	cfg := genrec.Config{Procs: opt.procs(), Metrics: opt.Metrics, Tracer: opt.Tracer}
+	pool := opt.newPool()
+	defer closePool(pool)
+	cfg := genrec.Config{Procs: opt.procs(), Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: pool}
 	runner := func(tr mem.Tracker) (int, error) {
 		c := cfg
 		c.Tracker = tr
@@ -531,10 +715,10 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 			r = genrec.General2(head, body, c)
 		case DoacrossList:
 			bound := list.Len(head)
-			res := doacross.RunWhileObs(head,
+			res := doacross.RunWhileObsPool(head,
 				func(n *list.Node) *list.Node { return n.Next },
 				func(n *list.Node) bool { return n != nil },
-				bound, opt.procs(), opt.hooks(),
+				bound, opt.procs(), pool, opt.hooks(),
 				func(i, vpn int, nd *list.Node) bool {
 					it := loopir.Iter{Index: i, VPN: vpn, Tracker: c.Tracker}
 					return body(&it, nd)

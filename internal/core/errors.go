@@ -36,6 +36,15 @@ var (
 	// stamped undo path — it cannot bound a suffix rewind from the
 	// sparse log, and privatized copies have no per-location stamps.
 	ErrRecoveryUnsupported = errors.New("core: Recovery requires dense stamps (no SparseUndo, no Privatized)")
+	// ErrPipelineUnsupported: pipelined strip speculation overlaps one
+	// strip's execution with the previous strip's PD test, squashing
+	// the in-flight strip through its generation's dense checkpoint
+	// when the test fails — so it needs the dense stamped path (no
+	// SparseUndo, no Privatized copies a squash could not erase), is
+	// meaningless under RunTwice (which has no PD phase), and requires
+	// a strip-mineable iteration space (a closed-form dispatcher, not a
+	// list traversal).
+	ErrPipelineUnsupported = errors.New("core: Pipeline requires dense stamps and a strip-mineable loop")
 	// ErrMissingBound: the loop needs Max (an iteration-space bound) for
 	// the chosen transformation.
 	ErrMissingBound = errors.New("core: loop needs Max (or strip-mine externally)")
@@ -80,6 +89,17 @@ func (o Options) Validate() error {
 	}
 	if o.Recovery && (o.SparseUndo || len(o.Privatized) > 0) {
 		return ErrRecoveryUnsupported
+	}
+	if o.Pipeline {
+		if o.SparseUndo {
+			return fmt.Errorf("%w: SparseUndo", ErrPipelineUnsupported)
+		}
+		if len(o.Privatized) > 0 {
+			return fmt.Errorf("%w: Privatized arrays", ErrPipelineUnsupported)
+		}
+		if o.RunTwice {
+			return fmt.Errorf("%w: RunTwice has no PD phase to overlap", ErrPipelineUnsupported)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"whilepar/internal/list"
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+	"whilepar/internal/obs"
+	"whilepar/internal/speculate"
+)
+
+// The Pool and Pipeline knobs must not change what a loop computes —
+// only how the runtime dispatches it.  These tests hold the default
+// (spawn-per-call, all-or-nothing) path as the oracle.
+
+func TestRunInductionPoolMatchesDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		n := 64 + rng.Intn(512)
+		exit := -1
+		if rng.Intn(2) == 0 {
+			exit = rng.Intn(n)
+		}
+		want := n
+		if exit >= 0 {
+			want = exit
+		}
+
+		run := func(pool bool) (Report, *mem.Array) {
+			a := mem.NewArray("A", n)
+			rep, err := RunInduction(inductionLoop(a, exit, n), Options{
+				Procs:  4,
+				Pool:   pool,
+				Shared: []*mem.Array{a},
+				Tested: []*mem.Array{a},
+			})
+			if err != nil {
+				t.Fatalf("trial %d pool=%v: %v", trial, pool, err)
+			}
+			return rep, a
+		}
+		repD, aD := run(false)
+		repP, aP := run(true)
+		if repD.Valid != want || repP.Valid != repD.Valid {
+			t.Fatalf("trial %d: valid %d (default) vs %d (pool), want %d", trial, repD.Valid, repP.Valid, want)
+		}
+		for i := 0; i < n; i++ {
+			if aD.Data[i] != aP.Data[i] {
+				t.Fatalf("trial %d: A[%d] = %v (default) vs %v (pool)", trial, i, aD.Data[i], aP.Data[i])
+			}
+		}
+	}
+}
+
+func TestRunInductionPipelinedMatchesDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 15; trial++ {
+		n := 64 + rng.Intn(512)
+		exit := -1
+		if rng.Intn(2) == 0 {
+			exit = rng.Intn(n)
+		}
+		want := n
+		if exit >= 0 {
+			want = exit
+		}
+
+		run := func(pipeline bool) (Report, *mem.Array, obs.Snapshot) {
+			a := mem.NewArray("A", n)
+			m := obs.NewMetrics()
+			rep, err := RunInduction(inductionLoop(a, exit, n), Options{
+				Procs:    4,
+				Pipeline: pipeline,
+				Shared:   []*mem.Array{a},
+				Tested:   []*mem.Array{a},
+				Metrics:  m,
+			})
+			if err != nil {
+				t.Fatalf("trial %d pipeline=%v: %v", trial, pipeline, err)
+			}
+			return rep, a, m.Snapshot()
+		}
+		repD, aD, _ := run(false)
+		repP, aP, s := run(true)
+		if repD.Valid != want || repP.Valid != repD.Valid {
+			t.Fatalf("trial %d: valid %d (default) vs %d (pipelined), want %d", trial, repD.Valid, repP.Valid, want)
+		}
+		if !repP.UsedParallel || !strings.Contains(repP.Strategy, "pipelined") {
+			t.Fatalf("trial %d: report %+v", trial, repP)
+		}
+		if s.PoolDispatches == 0 || s.EpochResets == 0 {
+			t.Fatalf("trial %d: pipelined run recorded no pool dispatches (%d) or epoch resets (%d)",
+				trial, s.PoolDispatches, s.EpochResets)
+		}
+		for i := 0; i < n; i++ {
+			if aD.Data[i] != aP.Data[i] {
+				t.Fatalf("trial %d: A[%d] = %v (default) vs %v (pipelined)", trial, i, aD.Data[i], aP.Data[i])
+			}
+		}
+	}
+}
+
+func TestRunListPoolMatchesDefaultAndPipelineRejected(t *testing.T) {
+	n := 300
+	body := func(a *mem.Array) func(it *loopir.Iter, nd *list.Node) bool {
+		return func(it *loopir.Iter, nd *list.Node) bool {
+			it.Store(a, nd.Key, nd.Val*2)
+			return true
+		}
+	}
+	for _, method := range []ListMethod{General1, General2, General3, DoacrossList} {
+		aD := mem.NewArray("A", n)
+		repD, err := RunList(list.Build(n, func(i int) (float64, float64) { return float64(i), 1 }),
+			body(aD), loopir.Class{Dispatcher: loopir.GeneralRecurrence, Terminator: loopir.RI},
+			Options{Procs: 4, ListMethod: method})
+		if err != nil {
+			t.Fatalf("%v default: %v", method, err)
+		}
+		aP := mem.NewArray("A", n)
+		repP, err := RunList(list.Build(n, func(i int) (float64, float64) { return float64(i), 1 }),
+			body(aP), loopir.Class{Dispatcher: loopir.GeneralRecurrence, Terminator: loopir.RI},
+			Options{Procs: 4, ListMethod: method, Pool: true})
+		if err != nil {
+			t.Fatalf("%v pool: %v", method, err)
+		}
+		if repD.Valid != repP.Valid || repD.Valid != n {
+			t.Fatalf("%v: valid %d (default) vs %d (pool)", method, repD.Valid, repP.Valid)
+		}
+		for i := 0; i < n; i++ {
+			if aD.Data[i] != aP.Data[i] {
+				t.Fatalf("%v: A[%d] = %v (default) vs %v (pool)", method, i, aD.Data[i], aP.Data[i])
+			}
+		}
+	}
+
+	a := mem.NewArray("A", 16)
+	_, err := RunList(list.Build(16, nil), body(a),
+		loopir.Class{Dispatcher: loopir.GeneralRecurrence, Terminator: loopir.RI},
+		Options{Procs: 2, Pipeline: true})
+	if !errors.Is(err, ErrPipelineUnsupported) {
+		t.Fatalf("RunList with Pipeline: err = %v, want ErrPipelineUnsupported", err)
+	}
+}
+
+func TestValidatePipelineOptions(t *testing.T) {
+	a := mem.NewArray("A", 4)
+	bad := []Options{
+		{Pipeline: true, SparseUndo: true},
+		{Pipeline: true, Privatized: []speculate.PrivSpec{{Arr: a}}},
+		{Pipeline: true, RunTwice: true},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); !errors.Is(err, ErrPipelineUnsupported) {
+			t.Fatalf("case %d: err = %v, want ErrPipelineUnsupported", i, err)
+		}
+	}
+	if err := (Options{Pipeline: true}).Validate(); err != nil {
+		t.Fatalf("plain Pipeline must validate: %v", err)
+	}
+	if err := (Options{Pool: true}).Validate(); err != nil {
+		t.Fatalf("plain Pool must validate: %v", err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"whilepar/internal/obs"
+	"whilepar/internal/sched"
 	"whilepar/internal/simproc"
 )
 
@@ -109,8 +110,20 @@ func Run(n, procs int, body func(i, vpn int, s *Sync) Control) Result {
 // duration includes the pipeline's Wait stalls — the critical path is
 // visible in the trace), QUIT posts, and issue/execute/busy counters.
 func RunObs(n, procs int, h obs.Hooks, body func(i, vpn int, s *Sync) Control) Result {
+	return RunObsPool(n, procs, nil, h, body)
+}
+
+// RunObsPool is RunObs dispatched onto a persistent worker pool: the
+// pipeline's workers are parked pool goroutines released by one barrier
+// instead of procs fresh spawns per call.  procs is clamped to the
+// pool's size; a nil pool keeps the spawn-per-call path (the default
+// and its equivalence oracle).
+func RunObsPool(n, procs int, pool *sched.Pool, h obs.Hooks, body func(i, vpn int, s *Sync) Control) Result {
 	if procs < 1 {
 		procs = 1
+	}
+	if pool != nil && procs > pool.Size() {
+		procs = pool.Size()
 	}
 	if n <= 0 {
 		return Result{QuitIndex: 0}
@@ -120,12 +133,10 @@ func RunObs(n, procs int, h obs.Hooks, body func(i, vpn int, s *Sync) Control) R
 		next   atomic.Int64
 		quit   atomic.Int64
 		execed atomic.Int64
-		wg     sync.WaitGroup
 	)
 	quit.Store(int64(n))
 
 	worker := func(vpn int) {
-		defer wg.Done()
 		for {
 			i := int(next.Add(1) - 1)
 			if i >= n {
@@ -159,11 +170,24 @@ func RunObs(n, procs int, h obs.Hooks, body func(i, vpn int, s *Sync) Control) R
 			}
 		}
 	}
-	wg.Add(procs)
-	for k := 0; k < procs; k++ {
-		go worker(k)
+	if pool != nil {
+		h.M.PoolDispatch(procs)
+		pool.Run(func(vpn int) {
+			if vpn < procs {
+				worker(vpn)
+			}
+		})
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(procs)
+		for k := 0; k < procs; k++ {
+			go func(vpn int) {
+				defer wg.Done()
+				worker(vpn)
+			}(k)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	return Result{Executed: int(execed.Load()), QuitIndex: int(quit.Load())}
 }
 
@@ -188,6 +212,13 @@ func RunWhile[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
 // attribute its stores to single-writer slots.
 func RunWhileObs[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
 	h obs.Hooks, body func(i, vpn int, d D) bool) Result {
+	return RunWhileObsPool(start, next, cont, max, procs, nil, h, body)
+}
+
+// RunWhileObsPool is RunWhileObs on a persistent worker pool (see
+// RunObsPool); a nil pool keeps the spawn-per-call path.
+func RunWhileObsPool[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
+	pool *sched.Pool, h obs.Hooks, body func(i, vpn int, d D) bool) Result {
 	if procs < 1 {
 		procs = 1
 	}
@@ -196,7 +227,7 @@ func RunWhileObs[D any](start D, next func(D) D, cont func(D) bool, max, procs i
 	vals[0] = start
 	ok[0] = true
 
-	return RunObs(max, procs, h, func(i, vpn int, s *Sync) Control {
+	return RunObsPool(max, procs, pool, h, func(i, vpn int, s *Sync) Control {
 		s.Wait(i, i-1) // dispatcher value d(i) produced by iteration i-1
 		if !ok[i] {
 			return Quit // predecessor already terminated the recurrence

@@ -51,6 +51,9 @@ type Config struct {
 	// non-nil, receives iteration spans and QUIT events.
 	Metrics *obs.Metrics
 	Tracer  obs.Tracer
+	// Pool, if non-nil, runs the per-processor workers on a persistent
+	// pool instead of spawning goroutines per call (see sched.Pool).
+	Pool *sched.Pool
 }
 
 func (c Config) hooks() obs.Hooks { return obs.Hooks{M: c.Metrics, T: c.Tracer} }
@@ -142,7 +145,7 @@ func General1(head *list.Node, body Body, cfg Config) Result {
 	quit := newQuitMin(bound)
 	log := newExecLog(p)
 
-	sched.ForEachProcObs(p, cfg.hooks(), func(vpn int) {
+	sched.ForEachProcPool(p, cfg.Pool, cfg.hooks(), func(vpn int) {
 		for {
 			mu.Lock()
 			if cur == nil || idx >= bound || idx > quit.get() {
@@ -201,7 +204,7 @@ func General2(head *list.Node, body Body, cfg Config) Result {
 	quit := newQuitMin(n)
 	log := newExecLog(p)
 
-	sched.ForEachProcObs(p, cfg.hooks(), func(vpn int) {
+	sched.ForEachProcPool(p, cfg.Pool, cfg.hooks(), func(vpn int) {
 		pt := head
 		// Initial advance to this processor's first iteration.
 		for j := 0; j < vpn && pt != nil; j++ {
@@ -257,7 +260,7 @@ func General3(head *list.Node, body Body, cfg Config) Result {
 	quit := newQuitMin(bound)
 	log := newExecLog(p)
 
-	sched.ForEachProcObs(p, cfg.hooks(), func(vpn int) {
+	sched.ForEachProcPool(p, cfg.Pool, cfg.hooks(), func(vpn int) {
 		pt := head
 		prev := 0 // pt currently points at iteration index `prev`
 		for {

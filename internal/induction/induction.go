@@ -70,6 +70,9 @@ type Config struct {
 	// DOALL substrate.
 	Metrics *obs.Metrics
 	Tracer  obs.Tracer
+	// Pool, if non-nil, runs the DOALL on a persistent worker pool
+	// instead of spawning goroutines per call (see sched.Pool).
+	Pool *sched.Pool
 }
 
 // Result reports the parallel execution's outcome.
@@ -114,7 +117,7 @@ func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
 
 	switch cfg.Method {
 	case Induction2:
-		res := sched.DOALL(u, sched.Options{Procs: cfg.Procs, Schedule: cfg.Schedule, Metrics: cfg.Metrics, Tracer: cfg.Tracer}, func(i, vpn int) sched.Control {
+		res := sched.DOALL(u, sched.Options{Procs: cfg.Procs, Schedule: cfg.Schedule, Metrics: cfg.Metrics, Tracer: cfg.Tracer, Pool: cfg.Pool}, func(i, vpn int) sched.Control {
 			if iter(i, vpn) {
 				return sched.Quit
 			}
@@ -133,7 +136,7 @@ func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
 		for k := range L {
 			L[k].Store(int64(u))
 		}
-		res := sched.DOALL(u, sched.Options{Procs: procs, Schedule: cfg.Schedule, Metrics: cfg.Metrics, Tracer: cfg.Tracer}, func(i, vpn int) sched.Control {
+		res := sched.DOALL(u, sched.Options{Procs: procs, Schedule: cfg.Schedule, Metrics: cfg.Metrics, Tracer: cfg.Tracer, Pool: cfg.Pool}, func(i, vpn int) sched.Control {
 			if iter(i, vpn) && int64(i) < L[vpn].Load() {
 				L[vpn].Store(int64(i))
 			}

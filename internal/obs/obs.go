@@ -88,10 +88,27 @@ type Metrics struct {
 	prefixCommitted atomic.Int64
 	suffixUndone    atomic.Int64
 
+	// Persistent-pool executor and pipelined strip speculation.
+	poolDispatches atomic.Int64
+	poolWorkers    atomic.Int64
+	pipeOverlapped atomic.Int64
+	pipeSquashed   atomic.Int64
+	epochResets    atomic.Int64
+
 	mu           sync.Mutex
-	vpnBusy      []*atomic.Int64
+	vpnBusy      []*busySlot
 	abortReasons map[string]int64
 	pdVerdicts   []PDVerdict
+}
+
+// busySlot is one per-vpn executed counter padded out to a cache line:
+// adjacent workers flush their chunk counts concurrently, and without
+// the padding the slots share lines and every flush ping-pongs the line
+// between cores (false sharing).  64 bytes covers x86-64 and arm64 line
+// sizes.
+type busySlot struct {
+	v atomic.Int64
+	_ [56]byte
 }
 
 // PDVerdict is one recorded PD-test outcome.
@@ -139,17 +156,17 @@ func (m *Metrics) IterExecutedN(vpn, n int) {
 	m.busySlot(vpn).Add(int64(n))
 }
 
-// busySlot returns the per-vpn executed counter, growing the table on
-// first use of a processor number.
+// busySlot returns the per-vpn executed counter (cache-line padded),
+// growing the table on first use of a processor number.
 func (m *Metrics) busySlot(vpn int) *atomic.Int64 {
 	if vpn < 0 {
 		vpn = 0
 	}
 	m.mu.Lock()
 	for len(m.vpnBusy) <= vpn {
-		m.vpnBusy = append(m.vpnBusy, new(atomic.Int64))
+		m.vpnBusy = append(m.vpnBusy, new(busySlot))
 	}
-	s := m.vpnBusy[vpn]
+	s := &m.vpnBusy[vpn].v
 	m.mu.Unlock()
 	return s
 }
@@ -379,6 +396,45 @@ func (m *Metrics) SuffixUndoneAdd(n int) {
 	m.suffixUndone.Add(int64(n))
 }
 
+// PoolDispatch records one parallel region executed on a persistent
+// worker pool of the given width (instead of spawn-per-call
+// goroutines).
+func (m *Metrics) PoolDispatch(workers int) {
+	if m == nil {
+		return
+	}
+	m.poolDispatches.Add(1)
+	casMax(&m.poolWorkers, int64(workers))
+}
+
+// PipelineOverlap records one strip whose speculative execution was
+// launched while its predecessor's PD test and commit were still
+// running (software-pipelined strip speculation).
+func (m *Metrics) PipelineOverlap() {
+	if m == nil {
+		return
+	}
+	m.pipeOverlapped.Add(1)
+}
+
+// PipelineSquash records one in-flight speculative strip discarded
+// because its predecessor failed validation (or terminated the loop).
+func (m *Metrics) PipelineSquash() {
+	if m == nil {
+		return
+	}
+	m.pipeSquashed.Add(1)
+}
+
+// EpochReset records one O(1) time-stamp reset performed by bumping
+// the stamp memory's generation number instead of clearing the shards.
+func (m *Metrics) EpochReset() {
+	if m == nil {
+		return
+	}
+	m.epochResets.Add(1)
+}
+
 // Snapshot is a plain-value copy of all counters, safe to retain after
 // the Metrics keeps accumulating.
 type Snapshot struct {
@@ -434,6 +490,16 @@ type Snapshot struct {
 	// points; SuffixUndone the locations restored by suffix-only undos.
 	RespecRounds, PrefixCommitted, SuffixUndone int64
 
+	// PoolDispatches counts parallel regions executed on a persistent
+	// worker pool; PoolMaxWorkers is the widest such pool.
+	PoolDispatches, PoolMaxWorkers int64
+	// PipelinedStrips counts strips launched while their predecessor
+	// was still validating; PipelineSquashes the in-flight strips
+	// discarded after a predecessor failed (or terminated the loop).
+	PipelinedStrips, PipelineSquashes int64
+	// EpochResets counts O(1) stamp resets done by generation bump.
+	EpochResets int64
+
 	// VPNBusy[k] is the number of iterations processor k executed.
 	VPNBusy []int64
 }
@@ -476,11 +542,16 @@ func (m *Metrics) Snapshot() Snapshot {
 		RespecRounds:           m.respecRounds.Load(),
 		PrefixCommitted:        m.prefixCommitted.Load(),
 		SuffixUndone:           m.suffixUndone.Load(),
+		PoolDispatches:         m.poolDispatches.Load(),
+		PoolMaxWorkers:         m.poolWorkers.Load(),
+		PipelinedStrips:        m.pipeOverlapped.Load(),
+		PipelineSquashes:       m.pipeSquashed.Load(),
+		EpochResets:            m.epochResets.Load(),
 	}
 	m.mu.Lock()
 	s.VPNBusy = make([]int64, len(m.vpnBusy))
 	for k, c := range m.vpnBusy {
-		s.VPNBusy[k] = c.Load()
+		s.VPNBusy[k] = c.v.Load()
 	}
 	if len(m.abortReasons) > 0 {
 		s.AbortReasons = make(map[string]int64, len(m.abortReasons))
@@ -518,6 +589,10 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "pd-test:    runs=%d pass=%d fail=%d\n", s.PDTests, s.PDPass, s.PDFail)
 	for _, v := range s.PDVerdicts {
 		fmt.Fprintf(&b, "  %-12s doall=%v priv=%v accesses=%d\n", v.Array, v.DOALL, v.DOALLWithPriv, v.Accesses)
+	}
+	if s.PoolDispatches > 0 || s.PipelinedStrips > 0 || s.EpochResets > 0 {
+		fmt.Fprintf(&b, "pool:       dispatches=%d (max %d workers) pipelined-strips=%d squashes=%d epoch-resets=%d\n",
+			s.PoolDispatches, s.PoolMaxWorkers, s.PipelinedStrips, s.PipelineSquashes, s.EpochResets)
 	}
 	fmt.Fprintf(&b, "speculation: attempts=%d commits=%d aborts=%d\n", s.SpecAttempts, s.SpecCommits, s.SpecAborts)
 	if s.RespecRounds > 0 || s.PrefixCommitted > 0 || s.SuffixUndone > 0 {

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"whilepar/internal/obs"
+)
+
+// Pool is a persistent worker-pool executor: p goroutines are spawned
+// once and then parked on a sense-reversing barrier between parallel
+// regions, so a strip-mined speculative loop pays one barrier release
+// per strip instead of p goroutine spawns plus a fresh sync.WaitGroup.
+//
+// The barrier is the classic sense-reversing design generalized to a
+// generation counter: the coordinator publishes a job and advances the
+// shared sense word; each worker holds the last sense it observed, runs
+// the job when the shared word moves past it, and parks again after
+// signalling arrival.  A counter instead of a flipped boolean keeps the
+// same one-word hand-off while making a missed wakeup structurally
+// impossible (a worker can never confuse generation k with k+2).
+//
+// Discipline: a Pool has a single coordinator.  Run blocks until every
+// worker has finished the job, so two concurrent Runs on one Pool are
+// a bug (Run panics on misuse rather than interleaving jobs).  Workers
+// are identified by their virtual processor number 0..Size()-1, which
+// is stable across Runs — per-vpn substrates (stamp shards, busy
+// counters) see the same single-writer slots a spawn-per-call DOALL
+// would produce.
+//
+// The spawn-per-call paths (DOALL with a nil Options.Pool, ForEachProc)
+// are retained unchanged as the equivalence oracle and benchmark
+// baseline.
+type Pool struct {
+	procs int
+
+	mu   sync.Mutex
+	cv   *sync.Cond // workers park here between regions
+	done *sync.Cond // the coordinator parks here during a region
+
+	sense  uint64 // barrier sense word: advances once per region
+	job    func(vpn int)
+	left   int // workers that have not yet arrived at the barrier
+	closed bool
+
+	busy atomic.Bool // coordinator-misuse guard
+	wg   sync.WaitGroup
+}
+
+// NewPool spawns procs workers (at least 1) and parks them.  The
+// caller must Close the pool when done with it; a leaked pool leaks
+// its parked goroutines.
+func NewPool(procs int) *Pool {
+	if procs < 1 {
+		procs = 1
+	}
+	p := &Pool{procs: procs}
+	p.cv = sync.NewCond(&p.mu)
+	p.done = sync.NewCond(&p.mu)
+	p.wg.Add(procs)
+	for k := 0; k < procs; k++ {
+		go p.worker(k)
+	}
+	return p
+}
+
+// Size returns the number of workers the pool was spawned with.
+func (p *Pool) Size() int { return p.procs }
+
+func (p *Pool) worker(vpn int) {
+	defer p.wg.Done()
+	seen := uint64(0) // the sense this worker last ran
+	for {
+		p.mu.Lock()
+		for p.sense == seen && !p.closed {
+			p.cv.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		seen = p.sense
+		job := p.job
+		p.mu.Unlock()
+
+		job(vpn)
+
+		p.mu.Lock()
+		p.left--
+		if p.left == 0 {
+			p.done.Signal()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Run executes job(vpn) on every worker and returns when all have
+// finished — one barrier release plus one barrier arrival, no spawns.
+// It panics if called concurrently with itself (single coordinator) or
+// after Close.
+func (p *Pool) Run(job func(vpn int)) {
+	if !p.busy.CompareAndSwap(false, true) {
+		panic("sched: concurrent Pool.Run (a Pool has a single coordinator)")
+	}
+	defer p.busy.Store(false)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("sched: Pool.Run after Close")
+	}
+	p.job = job
+	p.left = p.procs
+	p.sense++ // release the barrier: workers holding the old sense wake
+	p.cv.Broadcast()
+	for p.left > 0 {
+		p.done.Wait()
+	}
+	p.job = nil
+	p.mu.Unlock()
+}
+
+// Close unparks every worker for exit and waits for them to terminate.
+// It must not race a Run; calling it twice is a no-op.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cv.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// ForEachProcPool is ForEachProcObs executed on a persistent pool: the
+// "doall i = 1, nproc" idiom without the per-call spawns.  procs is
+// clamped to the pool's size; workers beyond procs park immediately.
+// A nil pool falls back to the spawn-per-call path.
+func ForEachProcPool(procs int, pool *Pool, h obs.Hooks, fn func(vpn int)) {
+	if pool == nil {
+		ForEachProcObs(procs, h, fn)
+		return
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	if procs > pool.Size() {
+		procs = pool.Size()
+	}
+	h.M.PoolDispatch(procs)
+	pool.Run(func(vpn int) {
+		if vpn >= procs {
+			return
+		}
+		ts := obs.Start(h.T)
+		fn(vpn)
+		if h.T != nil {
+			obs.Span(h.T, ts, "worker", "foreachproc", vpn, nil)
+		}
+	})
+}

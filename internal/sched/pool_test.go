@@ -1,0 +1,262 @@
+package sched
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"whilepar/internal/obs"
+)
+
+// The persistent pool must be invisible: a DOALL dispatched onto a Pool
+// must produce exactly the accounting and per-iteration guarantees of
+// the spawn-per-call path (its oracle), across every schedule and under
+// QUIT.  These tests run under -race in CI, so they also certify the
+// barrier's happens-before edges (job visibility on release, worker
+// writes on join).
+
+func TestPoolRunsEveryWorkerOncePerDispatch(t *testing.T) {
+	p := NewPool(5)
+	defer p.Close()
+	if p.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", p.Size())
+	}
+	for round := 0; round < 50; round++ {
+		counts := make([]int, 5) // plain ints: the barrier must order them
+		p.Run(func(vpn int) { counts[vpn]++ })
+		for vpn, c := range counts {
+			if c != 1 {
+				t.Fatalf("round %d: worker %d ran %d times", round, vpn, c)
+			}
+		}
+	}
+}
+
+func TestPoolRunPanicsAfterClose(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run after Close must panic")
+		}
+	}()
+	p.Run(func(int) {})
+}
+
+func TestPoolRejectsConcurrentRun(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go p.Run(func(vpn int) {
+		if vpn == 0 {
+			close(started)
+			<-release
+		}
+	})
+	<-started
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("concurrent Run must panic")
+			}
+			close(release)
+		}()
+		p.Run(func(int) {})
+	}()
+}
+
+func TestDOALLPoolMatchesSpawnRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(4000)
+		procs := 1 + rng.Intn(8)
+		schedule := []Schedule{Dynamic, Static, Guided}[rng.Intn(3)]
+		quitAt := -1 // no quit on most trials
+		if rng.Intn(2) == 0 {
+			quitAt = rng.Intn(n)
+		}
+
+		runOne := func(usePool bool) (Result, obs.Snapshot, []int32) {
+			counts := make([]int32, n)
+			o := Options{Procs: procs, Schedule: schedule, Metrics: obs.NewMetrics()}
+			var p *Pool
+			if usePool {
+				p = NewPool(procs)
+				o.Pool = p
+			}
+			res := DOALL(n, o, func(i, vpn int) Control {
+				atomic.AddInt32(&counts[i], 1)
+				if i == quitAt {
+					return Quit
+				}
+				return Continue
+			})
+			if p != nil {
+				p.Close()
+			}
+			return res, o.Metrics.Snapshot(), counts
+		}
+
+		wantQuit := n
+		if quitAt >= 0 {
+			wantQuit = quitAt
+		}
+		for _, usePool := range []bool{false, true} {
+			name := "spawn"
+			if usePool {
+				name = "pool"
+			}
+			res, s, counts := runOne(usePool)
+			if res.QuitIndex != wantQuit {
+				t.Fatalf("trial %d %s: QuitIndex = %d, want %d (n=%d procs=%d sched=%v)",
+					trial, name, res.QuitIndex, wantQuit, n, procs, schedule)
+			}
+			// Every valid iteration exactly once, none twice.
+			for i := 0; i < wantQuit; i++ {
+				if counts[i] != 1 {
+					t.Fatalf("trial %d %s: iteration %d ran %d times", trial, name, i, counts[i])
+				}
+			}
+			total := 0
+			for i := range counts {
+				if counts[i] > 1 {
+					t.Fatalf("trial %d %s: iteration %d ran twice", trial, name, i)
+				}
+				total += int(counts[i])
+			}
+			// The QUIT/overshoot accounting identity must hold on both
+			// paths: executed = valid prefix + exact overshoot.
+			if res.Executed != total || res.Executed != wantQuit+res.Overshot {
+				t.Fatalf("trial %d %s: executed=%d total=%d quit=%d overshot=%d",
+					trial, name, res.Executed, total, wantQuit, res.Overshot)
+			}
+			if s.Executed != int64(res.Executed) || s.Overshot != int64(res.Overshot) {
+				t.Fatalf("trial %d %s: metrics executed=%d/%d overshot=%d/%d",
+					trial, name, s.Executed, res.Executed, s.Overshot, res.Overshot)
+			}
+			var busy int64
+			for _, b := range s.VPNBusy {
+				busy += b
+			}
+			if busy != s.Executed {
+				t.Fatalf("trial %d %s: per-vpn busy sum %d != executed %d", trial, name, busy, s.Executed)
+			}
+			// Chunked schedules: with no quit, the claimed chunks must
+			// tile the iteration space exactly on both paths.
+			if quitAt < 0 {
+				if schedule == Guided && s.GuidedChunkIters != int64(n) {
+					t.Fatalf("trial %d %s: guided chunk iters %d != n %d", trial, name, s.GuidedChunkIters, n)
+				}
+				if schedule == Dynamic && s.DynamicChunkIters != int64(n) {
+					t.Fatalf("trial %d %s: dynamic chunk iters %d != n %d", trial, name, s.DynamicChunkIters, n)
+				}
+			}
+			if usePool && s.PoolDispatches != 1 {
+				t.Fatalf("trial %d pool: dispatches = %d, want 1", trial, s.PoolDispatches)
+			}
+		}
+	}
+}
+
+func TestDOALLPoolClampsToPoolSize(t *testing.T) {
+	// Asking for more procs than the pool holds must clamp, not hang:
+	// the Static stride and Guided divisor bake p in, so the clamp has
+	// to happen before workers launch.
+	p := NewPool(3)
+	defer p.Close()
+	for _, schedule := range []Schedule{Dynamic, Static, Guided} {
+		n := 500
+		counts := make([]int32, n)
+		maxVPN := int32(-1)
+		res := DOALL(n, Options{Procs: 9, Schedule: schedule, Pool: p}, func(i, vpn int) Control {
+			atomic.AddInt32(&counts[i], 1)
+			for {
+				cur := atomic.LoadInt32(&maxVPN)
+				if int32(vpn) <= cur || atomic.CompareAndSwapInt32(&maxVPN, cur, int32(vpn)) {
+					break
+				}
+			}
+			return Continue
+		})
+		if res.Executed != n {
+			t.Fatalf("%v: executed %d", schedule, res.Executed)
+		}
+		for i := range counts {
+			if counts[i] != 1 {
+				t.Fatalf("%v: iteration %d ran %d times", schedule, i, counts[i])
+			}
+		}
+		if maxVPN >= 3 {
+			t.Fatalf("%v: vpn %d escaped the clamped width 3", schedule, maxVPN)
+		}
+	}
+}
+
+func TestForEachProcPoolMatchesSpawn(t *testing.T) {
+	// nil pool falls back to spawn-per-call; a small pool clamps; a big
+	// pool leaves the extra workers idle.  In every case each vpn in
+	// [0, effective procs) runs exactly once.
+	cases := []struct {
+		procs, poolSize, want int
+	}{
+		{4, 0, 4}, // nil pool
+		{6, 3, 3}, // clamped
+		{2, 8, 2}, // extra pool workers idle
+		{5, 5, 5}, // exact fit
+	}
+	for _, c := range cases {
+		var p *Pool
+		if c.poolSize > 0 {
+			p = NewPool(c.poolSize)
+		}
+		m := obs.NewMetrics()
+		counts := make([]int32, c.want+8)
+		ForEachProcPool(c.procs, p, obs.Hooks{M: m}, func(vpn int) {
+			atomic.AddInt32(&counts[vpn], 1)
+		})
+		if p != nil {
+			p.Close()
+		}
+		for vpn := 0; vpn < c.want; vpn++ {
+			if counts[vpn] != 1 {
+				t.Fatalf("case %+v: vpn %d ran %d times", c, vpn, counts[vpn])
+			}
+		}
+		for vpn := c.want; vpn < len(counts); vpn++ {
+			if counts[vpn] != 0 {
+				t.Fatalf("case %+v: vpn %d beyond width ran", c, vpn)
+			}
+		}
+		if s := m.Snapshot(); p != nil && s.PoolDispatches != 1 {
+			t.Fatalf("case %+v: pool dispatches %d", c, s.PoolDispatches)
+		}
+	}
+}
+
+func TestPoolReuseAcrossManyDOALLs(t *testing.T) {
+	// One pool serving many back-to-back regions of varying width and
+	// schedule — the steady-state shape the strip engines produce.
+	p := NewPool(4)
+	defer p.Close()
+	rng := rand.New(rand.NewSource(3))
+	var grand int64
+	for round := 0; round < 120; round++ {
+		n := 1 + rng.Intn(300)
+		schedule := []Schedule{Dynamic, Static, Guided}[rng.Intn(3)]
+		var sum int64
+		res := DOALL(n, Options{Procs: 1 + rng.Intn(6), Schedule: schedule, Pool: p}, func(i, vpn int) Control {
+			atomic.AddInt64(&sum, int64(i))
+			return Continue
+		})
+		want := int64(n) * int64(n-1) / 2
+		if res.Executed != n || sum != want {
+			t.Fatalf("round %d: executed %d sum %d want %d", round, res.Executed, sum, want)
+		}
+		grand += sum
+	}
+	if grand == 0 {
+		t.Fatal("no work observed")
+	}
+}

@@ -75,6 +75,12 @@ type Options struct {
 	// Tracer, if non-nil, receives iteration spans and QUIT events.
 	// nil costs one branch per potential event.
 	Tracer obs.Tracer
+	// Pool, if non-nil, dispatches workers onto a persistent pool
+	// instead of spawning goroutines: Procs is clamped to the pool's
+	// size and each DOALL costs one barrier release instead of p
+	// spawns.  nil keeps the spawn-per-call path — the default and the
+	// equivalence oracle for the pool.
+	Pool *Pool
 }
 
 func (o Options) procs() int {
@@ -115,6 +121,12 @@ type Result struct {
 // after a QUIT.
 func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 	p := opts.procs()
+	if opts.Pool != nil && p > opts.Pool.Size() {
+		// The worker closures below bake p into their schedules (the
+		// Static stride, Guided chunk divisor), so the clamp must
+		// happen before they are built.
+		p = opts.Pool.Size()
+	}
 	if n <= 0 {
 		return Result{QuitIndex: 0}
 	}
@@ -124,7 +136,6 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 	var (
 		next   atomic.Int64 // dynamic issue counter
 		quitAt atomic.Int64 // min index that returned Quit
-		wg     sync.WaitGroup
 	)
 	quitAt.Store(int64(n))
 
@@ -162,7 +173,6 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 	}
 
 	worker := func(vpn int) {
-		defer wg.Done()
 		switch opts.Schedule {
 		case Static:
 			issued, done := 0, 0
@@ -270,11 +280,27 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 		}
 	}
 
-	wg.Add(p)
-	for k := 0; k < p; k++ {
-		go worker(k)
+	if opts.Pool != nil {
+		// One barrier release instead of p spawns.  Pool workers with
+		// vpn >= p (the clamp above makes this impossible, but a
+		// smaller Procs is allowed) just arrive at the barrier.
+		m.PoolDispatch(p)
+		opts.Pool.Run(func(vpn int) {
+			if vpn < p {
+				worker(vpn)
+			}
+		})
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for k := 0; k < p; k++ {
+			go func(vpn int) {
+				defer wg.Done()
+				worker(vpn)
+			}(k)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	// Exact accounting against the final quit index.
 	q := int(quitAt.Load())

@@ -112,6 +112,24 @@ func RunRecovering(spec Spec, total int, par StripPar, seq StripSeq) (RecoveryRe
 	}
 	maxRounds := spec.Recovery.maxRounds()
 
+	// One memory and one shadow set serve every window, as in
+	// RunStripped: each round pays an epoch bump (inside Checkpoint)
+	// and a shadow Reset instead of a fresh allocation and clear.
+	ts := tsmem.NewSharded(procs, spec.Shared...)
+	ts.SetObs(mx, tr)
+	var tests []*pdtest.Test
+	var observers []mem.Observer
+	for _, a := range spec.Tested {
+		t := pdtest.New(a, procs)
+		t.SetObs(mx, tr)
+		tests = append(tests, t)
+		observers = append(observers, t.Observer())
+	}
+	var tracker mem.Tracker = ts.Tracker()
+	if len(observers) > 0 {
+		tracker = mem.Chain{Observers: observers, Sink: tracker}
+	}
+
 	var rep RecoveryReport
 	pos := 0
 	for pos < total {
@@ -131,21 +149,9 @@ func RunRecovering(spec Spec, total int, par StripPar, seq StripSeq) (RecoveryRe
 		mx.SpecAttempt()
 		winStart := obs.Start(tr)
 
-		// Fresh per-window machinery, as in RunStripped: bounded memory.
-		ts := tsmem.NewSharded(procs, spec.Shared...)
-		ts.SetObs(mx, tr)
 		ts.Checkpoint()
-		var tests []*pdtest.Test
-		var observers []mem.Observer
-		for _, a := range spec.Tested {
-			t := pdtest.New(a, procs)
-			t.SetObs(mx, tr)
-			tests = append(tests, t)
-			observers = append(observers, t.Observer())
-		}
-		var tracker mem.Tracker = ts.Tracker()
-		if len(observers) > 0 {
-			tracker = mem.Chain{Observers: observers, Sink: tracker}
+		for _, t := range tests {
+			t.Reset()
 		}
 
 		valid, done, err := par(tracker, pos, hi)

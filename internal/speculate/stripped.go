@@ -22,6 +22,13 @@ type StripReport struct {
 	// PrefixCommitted counts iterations salvaged from failed strips by
 	// partial commits (0 when Spec.Recovery is off).
 	PrefixCommitted int
+	// Overlapped counts strips whose execution ran concurrently with
+	// the previous strip's PD test (RunStrippedPipelined only).
+	Overlapped int
+	// Squashed counts overlapped strips whose speculative execution was
+	// discarded because the previous strip failed validation
+	// (RunStrippedPipelined only).
+	Squashed int
 	// Done reports whether the loop terminated within the bound (vs
 	// exhausting Total iterations).
 	Done bool
@@ -67,6 +74,26 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 
 	mx, tr := spec.Metrics, spec.Tracer
 
+	// One memory and one shadow set serve every strip: the per-strip
+	// reset is an epoch bump (inside Checkpoint) plus a shadow Reset,
+	// so the bounded-memory property still holds — live stamps and
+	// marks cover only the current strip — without paying a fresh
+	// allocation and O(procs x n) clear per strip.
+	ts := tsmem.NewSharded(procs, spec.Shared...)
+	ts.SetObs(mx, tr)
+	var tests []*pdtest.Test
+	var observers []mem.Observer
+	for _, a := range spec.Tested {
+		t := pdtest.New(a, procs)
+		t.SetObs(mx, tr)
+		tests = append(tests, t)
+		observers = append(observers, t.Observer())
+	}
+	var tracker mem.Tracker = ts.Tracker()
+	if len(observers) > 0 {
+		tracker = mem.Chain{Observers: observers, Sink: tracker}
+	}
+
 	var rep StripReport
 	for lo := 0; lo < total; lo += strip {
 		hi := lo + strip
@@ -77,21 +104,9 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 		mx.SpecAttempt()
 		stripStart := obs.Start(tr)
 
-		// Fresh per-strip machinery: bounded memory by construction.
-		ts := tsmem.NewSharded(procs, spec.Shared...)
-		ts.SetObs(mx, tr)
 		ts.Checkpoint()
-		var tests []*pdtest.Test
-		var observers []mem.Observer
-		for _, a := range spec.Tested {
-			t := pdtest.New(a, procs)
-			t.SetObs(mx, tr)
-			tests = append(tests, t)
-			observers = append(observers, t.Observer())
-		}
-		var tracker mem.Tracker = ts.Tracker()
-		if len(observers) > 0 {
-			tracker = mem.Chain{Observers: observers, Sink: tracker}
+		for _, t := range tests {
+			t.Reset()
 		}
 
 		valid, done, err := par(tracker, lo, hi)

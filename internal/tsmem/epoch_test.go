@@ -1,0 +1,246 @@
+package tsmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+)
+
+// Epoch tagging must be invisible: a Memory whose per-strip reset is a
+// generation bump must be indistinguishable — stamps, undo counts,
+// array contents — from one that eagerly refills its stamp shards with
+// NoStamp (the explicit oracle the constructors expose for exactly this
+// comparison).  The randomized scripts below drive both through many
+// strips with mixed sequential and concurrent store phases, including
+// the uint32 generation wrap-around.
+
+// densePair drives one epoch-tagged Memory and one explicit-clear
+// oracle through an identical randomized multi-strip script and fails
+// on the first divergence.
+func densePair(t *testing.T, rng *rand.Rand, prime func(*Memory)) {
+	t.Helper()
+	n := 32 + rng.Intn(96)
+	procs := 1 + rng.Intn(4)
+	aE := mem.NewArray("A", n)
+	aX := mem.NewArray("A", n)
+	for i := 0; i < n; i++ {
+		aE.Data[i] = float64(i)
+		aX.Data[i] = float64(i)
+	}
+	me := NewSharded(procs, aE)
+	mx := NewShardedExplicit(procs, aX)
+	if prime != nil {
+		prime(me)
+	}
+
+	strips := 4 + rng.Intn(10)
+	for s := 0; s < strips; s++ {
+		me.Checkpoint()
+		mx.Checkpoint()
+		te, tx := me.Tracker(), mx.Tracker()
+		base := s * 1000
+
+		// Concurrent phase: each vpn owns a disjoint residue class, so
+		// the store set is deterministic and -race sees the real
+		// interleaving.
+		sched.ForEachProc(procs, func(vpn int) {
+			for i := vpn; i < n; i += procs {
+				iter := base + i
+				te.Store(aE, i, float64(iter), iter, vpn)
+			}
+		})
+		sched.ForEachProc(procs, func(vpn int) {
+			for i := vpn; i < n; i += procs {
+				iter := base + i
+				tx.Store(aX, i, float64(iter), iter, vpn)
+			}
+		})
+		// Sequential phase: colliding indices and shuffled vpns to
+		// exercise the cross-shard minimum merge against live epochs.
+		for k, stores := 0, rng.Intn(80); k < stores; k++ {
+			idx := rng.Intn(n)
+			iter := base + rng.Intn(n)
+			vpn := rng.Intn(procs)
+			v := float64(base + rng.Intn(5000))
+			te.Store(aE, idx, v, iter, vpn)
+			tx.Store(aX, idx, v, iter, vpn)
+		}
+
+		for k := 0; k < 16; k++ {
+			idx := rng.Intn(n)
+			if g, w := me.Stamp(aE, idx), mx.Stamp(aX, idx); g != w {
+				t.Fatalf("strip %d: Stamp[%d] = %d, explicit oracle %d", s, idx, g, w)
+			}
+		}
+
+		switch rng.Intn(3) {
+		case 0: // overshoot undo at a random bound
+			bound := base + rng.Intn(n+1)
+			ge, err := me.Undo(bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gx, err := mx.Undo(bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ge != gx {
+				t.Fatalf("strip %d: Undo(%d) restored %d, explicit oracle %d", s, bound, ge, gx)
+			}
+		case 1: // abort
+			if err := me.RestoreAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := mx.RestoreAll(); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // partial commit, a fresh round of stores, then undo
+			upto := base + rng.Intn(n+1)
+			ge, err := me.PartialCommit(upto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gx, err := mx.PartialCommit(upto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ge != gx {
+				t.Fatalf("strip %d: PartialCommit(%d) restored %d, explicit oracle %d", s, upto, ge, gx)
+			}
+			for k, stores := 0, rng.Intn(30); k < stores; k++ {
+				idx := rng.Intn(n)
+				iter := upto + rng.Intn(n)
+				vpn := rng.Intn(procs)
+				v := float64(rng.Intn(5000))
+				te.Store(aE, idx, v, iter, vpn)
+				tx.Store(aX, idx, v, iter, vpn)
+			}
+			bound := upto + rng.Intn(n)
+			ge, err = me.Undo(bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gx, err = mx.Undo(bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ge != gx {
+				t.Fatalf("strip %d: post-commit Undo restored %d, explicit oracle %d", s, ge, gx)
+			}
+		}
+
+		for i := 0; i < n; i++ {
+			if aE.Data[i] != aX.Data[i] {
+				t.Fatalf("strip %d: A[%d] = %v, explicit oracle %v", s, i, aE.Data[i], aX.Data[i])
+			}
+		}
+	}
+}
+
+func TestEpochResetMatchesExplicitDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		densePair(t, rng, nil)
+	}
+}
+
+func TestEpochResetSurvivesGenerationWrap(t *testing.T) {
+	// Start the epoch counter right below the uint32 ceiling so the
+	// per-strip bumps cross zero mid-script: the wrap sweep must make
+	// old tags (now numerically *above* the restarted epoch) dead.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		densePair(t, rng, func(m *Memory) { m.epoch = ^uint32(0) - 3 })
+	}
+}
+
+func TestSparseEpochResetMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 64 + rng.Intn(128)
+		procs := 1 + rng.Intn(4)
+		aE := mem.NewArray("A", n)
+		aX := mem.NewArray("A", n)
+		for i := 0; i < n; i++ {
+			aE.Data[i] = float64(i)
+			aX.Data[i] = float64(i)
+		}
+		se := NewSparseSharded(procs)
+		sx := NewSparseShardedExplicit(procs)
+		te, tx := se.Tracker(), sx.Tracker()
+
+		strips := 4 + rng.Intn(10)
+		for s := 0; s < strips; s++ {
+			base := s * 1000
+
+			// Concurrent disjoint phase (the -race certification), then
+			// a sequential colliding phase.
+			sched.ForEachProc(procs, func(vpn int) {
+				for i := vpn; i < n; i += procs {
+					if (i+s)%3 == 0 { // sparse: only some locations touched
+						iter := base + i
+						te.Store(aE, i, float64(iter), iter, vpn)
+					}
+				}
+			})
+			sched.ForEachProc(procs, func(vpn int) {
+				for i := vpn; i < n; i += procs {
+					if (i+s)%3 == 0 {
+						iter := base + i
+						tx.Store(aX, i, float64(iter), iter, vpn)
+					}
+				}
+			})
+			for k, stores := 0, rng.Intn(60); k < stores; k++ {
+				idx := rng.Intn(n)
+				iter := base + rng.Intn(n)
+				vpn := rng.Intn(procs)
+				v := float64(base + rng.Intn(5000))
+				te.Store(aE, idx, v, iter, vpn)
+				tx.Store(aX, idx, v, iter, vpn)
+			}
+
+			if se.Touched() != sx.Touched() {
+				t.Fatalf("strip %d: touched %d, explicit oracle %d", s, se.Touched(), sx.Touched())
+			}
+			for k := 0; k < 16; k++ {
+				idx := rng.Intn(n)
+				if g, w := se.Stamp(aE, idx), sx.Stamp(aX, idx); g != w {
+					t.Fatalf("strip %d: Stamp[%d] = %d, explicit oracle %d", s, idx, g, w)
+				}
+			}
+
+			if rng.Intn(2) == 0 {
+				bound := base + rng.Intn(n+1)
+				if ge, gx := se.Undo(bound), sx.Undo(bound); ge != gx {
+					t.Fatalf("strip %d: Undo(%d) restored %d, explicit oracle %d", s, bound, ge, gx)
+				}
+			} else {
+				if ge, gx := se.RestoreAll(), sx.RestoreAll(); ge != gx {
+					t.Fatalf("strip %d: RestoreAll restored %d, explicit oracle %d", s, ge, gx)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if aE.Data[i] != aX.Data[i] {
+					t.Fatalf("strip %d: A[%d] = %v, explicit oracle %v", s, i, aE.Data[i], aX.Data[i])
+				}
+			}
+
+			se.Reset()
+			sx.Reset()
+			// A dead log: stale entries must be invisible to stamps and
+			// rewinds until touched again.
+			if se.Touched() != 0 {
+				t.Fatalf("strip %d: touched %d after Reset", s, se.Touched())
+			}
+			if g := se.Stamp(aE, rng.Intn(n)); g != NoStamp {
+				t.Fatalf("strip %d: stale stamp %d visible after Reset", s, g)
+			}
+			if g := se.Undo(0); g != 0 {
+				t.Fatalf("strip %d: Undo rewound %d stale entries after Reset", s, g)
+			}
+		}
+	}
+}

@@ -26,18 +26,46 @@ import (
 // its own goroutine) by a LoadOrStore on that location, so the
 // temporally first LoadOrStore — the one that sticks — read the
 // location before any tracked write could have modified it.
+// Resets are epoch-tagged like the dense Memory's: every captured
+// value and stamp carries the generation that recorded it and is live
+// only while that generation is current, so the per-strip Reset is a
+// single epoch bump instead of reallocating every map.  A stale entry
+// is replaced in place on the next touch; the first-touch argument
+// still holds because a loser of the replacement CAS performs its data
+// write only after its failed CAS, which is after the winner's read.
 type SparseMemory struct {
 	procs int
-	// old maps sparseKey -> float64: the location's value before the
-	// loop's first write.  First LoadOrStore wins.
+	// old maps sparseKey -> sparseOld: the location's value before the
+	// current epoch's first write.  First LoadOrStore (or first stale-
+	// entry CAS) of the epoch wins.
 	old *sync.Map
 	// stamps[k] is worker k's private minimum-iteration map.
-	stamps  []map[sparseKey]int64
-	touched atomic.Int64 // distinct locations captured in old
+	stamps  []map[sparseKey]sparseStamp
+	touched atomic.Int64 // distinct locations captured this epoch
+	// epoch is the current generation; entries tagged with an older
+	// one are stale and treated as absent.  uint64, so no wrap
+	// handling is needed (unlike the dense tags, sized per element).
+	epoch uint64
+	// explicit disables epoch tagging: Reset reallocates the maps (the
+	// pre-epoch scheme), kept as the equivalence oracle.
+	explicit bool
 
 	// Optional observability hooks (nil-safe).
 	obsM *obs.Metrics
 	obsT obs.Tracer
+}
+
+// sparseOld is one captured pre-loop value, tagged with its epoch.
+type sparseOld struct {
+	ep  uint64
+	val float64
+}
+
+// sparseStamp is one worker's minimum writing iteration, tagged with
+// its epoch.
+type sparseStamp struct {
+	ep   uint64
+	iter int64
 }
 
 // SetObs attaches observability hooks: m accumulates tracked/stamped
@@ -57,13 +85,24 @@ func NewSparse() *SparseMemory { return NewSparseSharded(1) }
 // are sharded for procs virtual processors: worker k records its
 // minimum writing iterations in its own single-writer map.
 func NewSparseSharded(procs int) *SparseMemory {
+	return newSparseSharded(procs, false)
+}
+
+// NewSparseShardedExplicit is NewSparseSharded with epoch tagging
+// disabled: Reset reallocates every map instead of bumping the
+// generation.  Retained as the equivalence oracle for the O(1) reset.
+func NewSparseShardedExplicit(procs int) *SparseMemory {
+	return newSparseSharded(procs, true)
+}
+
+func newSparseSharded(procs int, explicit bool) *SparseMemory {
 	if procs < 1 {
 		procs = 1
 	}
-	s := &SparseMemory{procs: procs, old: &sync.Map{}}
-	s.stamps = make([]map[sparseKey]int64, procs)
+	s := &SparseMemory{procs: procs, explicit: explicit, epoch: 1, old: &sync.Map{}}
+	s.stamps = make([]map[sparseKey]sparseStamp, procs)
 	for k := range s.stamps {
-		s.stamps[k] = make(map[sparseKey]int64)
+		s.stamps[k] = make(map[sparseKey]sparseStamp)
 	}
 	return s
 }
@@ -96,13 +135,24 @@ func (s *SparseMemory) store(a *mem.Array, idx int, v float64, iter, vpn int) {
 	// Capture the pre-loop value: the read must precede the LoadOrStore
 	// (see the type comment for why the first-touch winner is sound).
 	cur := a.Data[idx]
-	if _, loaded := s.old.LoadOrStore(k, cur); !loaded {
+	entry := sparseOld{ep: s.epoch, val: cur}
+	if prev, loaded := s.old.LoadOrStore(k, entry); !loaded {
 		s.touched.Add(1)
 		s.obsM.StampedStore()
+	} else if prev.(sparseOld).ep != s.epoch {
+		// Stale capture from an earlier strip: replace it in place.
+		// CAS so the temporally first replacer of THIS epoch wins —
+		// any loser writes its data only after its CAS fails, i.e.
+		// after the winner's pre-value read, so the winner's capture
+		// predates every tracked write of the epoch.
+		if s.old.CompareAndSwap(k, prev, entry) {
+			s.touched.Add(1)
+			s.obsM.StampedStore()
+		}
 	}
 	st := s.stamps[s.slot(vpn)]
-	if prev, ok := st[k]; !ok || int64(iter) < prev {
-		st[k] = int64(iter)
+	if prev, ok := st[k]; !ok || prev.ep != s.epoch || int64(iter) < prev.iter {
+		st[k] = sparseStamp{ep: s.epoch, iter: int64(iter)}
 	}
 	a.Data[idx] = v
 }
@@ -127,8 +177,8 @@ func (t sparseTracker) StoreRange(a *mem.Array, lo int, src []float64, iter, vpn
 func (s *SparseMemory) minStamp(k sparseKey) int64 {
 	min := NoStamp
 	for _, st := range s.stamps {
-		if v, ok := st[k]; ok && (min == NoStamp || v < min) {
-			min = v
+		if v, ok := st[k]; ok && v.ep == s.epoch && (min == NoStamp || v.iter < min) {
+			min = v.iter
 		}
 	}
 	return min
@@ -151,9 +201,13 @@ func (s *SparseMemory) Undo(valid int) int {
 func (s *SparseMemory) rewind(valid int) int {
 	restored := 0
 	s.old.Range(func(key, val any) bool {
+		po := val.(sparseOld)
+		if po.ep != s.epoch {
+			return true // stale capture from a reset-away strip
+		}
 		k := key.(sparseKey)
 		if st := s.minStamp(k); st != NoStamp && st >= int64(valid) {
-			k.arr.Data[k.idx] = val.(float64)
+			k.arr.Data[k.idx] = po.val
 			restored++
 		}
 		return true
@@ -189,13 +243,23 @@ func (s *SparseMemory) Stamp(a *mem.Array, idx int) int64 {
 }
 
 // Reset clears the log for reuse across strips.  Must not run
-// concurrently with tracked stores.
+// concurrently with tracked stores.  With epoch tagging (the default)
+// it is a single generation bump: stale entries stay allocated and are
+// replaced in place when their location is touched again, so a loop
+// that revisits the same sparse working set per strip pays no
+// reallocation at all.  In explicit mode it reallocates every map.
 func (s *SparseMemory) Reset() {
-	s.old = &sync.Map{}
-	for k := range s.stamps {
-		s.stamps[k] = make(map[sparseKey]int64)
+	if s.explicit {
+		s.old = &sync.Map{}
+		for k := range s.stamps {
+			s.stamps[k] = make(map[sparseKey]sparseStamp)
+		}
+		s.touched.Store(0)
+		return
 	}
+	s.epoch++
 	s.touched.Store(0)
+	s.obsM.EpochReset()
 }
 
 // String summarizes the log for diagnostics.

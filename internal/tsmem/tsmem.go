@@ -26,6 +26,12 @@
 // same worker count, so the Tb/Ta overheads of the cost model shrink
 // with processors too.
 //
+// Stamps are epoch-tagged: each shard slot carries the generation that
+// wrote it and is live only while that generation is current, so the
+// per-strip stamp reset of a strip-mined execution is one epoch bump —
+// O(1) — instead of an O(procs x n) NoStamp sweep.  NewShardedExplicit
+// keeps the eager-sweep scheme as the equivalence oracle and baseline.
+//
 // The package also provides the write Trail needed when a privatized
 // array under test is live after the loop (Section 5.1): a privatized
 // location may legitimately be written by several iterations of a valid
@@ -37,6 +43,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
@@ -99,10 +106,27 @@ type Memory struct {
 	// stamps[a][k][i] is worker k's minimum writing iteration for
 	// location i of array a (NoStamp if it never wrote it).
 	stamps map[*mem.Array][][]int64
+	// epochs[a][k][i] tags stamps[a][k][i] with the stamp generation
+	// that wrote it: a stamp is live iff its tag equals the Memory's
+	// current epoch.  Bumping the epoch therefore invalidates every
+	// stamp at once — the O(1) reset a strip-mined loop performs
+	// between strips — without sweeping procs x n words.
+	epochs map[*mem.Array][][]uint32
+	// epoch is the current stamp generation.  It starts at 1 so the
+	// zeroed tags of a fresh allocation are already stale.
+	epoch uint32
+	// explicit disables epoch tagging: resets eagerly refill every
+	// shard with NoStamp and the epoch never moves.  Kept as the
+	// equivalence oracle for the O(1) reset (NewShardedExplicit).
+	explicit bool
 	// merged[a][i] is the cross-shard minimum, computed after the
-	// barrier by mergeStamps; mergedOK guards the lazy merge.
+	// barrier by mergeStamps; mergedOK guards the lazy merge.  Stamping
+	// stores clear it (merged is a copy, not an alias, so a store after
+	// a merge would otherwise read back a stale minimum); the flag is
+	// atomic only for that rare cross-worker clear — the hot path pays
+	// one read of a rarely-written cache line.
 	merged   map[*mem.Array][]int64
-	mergedOK bool
+	mergedOK atomic.Bool
 	stamped  int // distinct stamped locations, counted at merge
 	// threshold is the statistics-enhanced strip-mining cutoff n'_i of
 	// Section 8.1: stores by iterations below it are NOT stamped (they
@@ -128,24 +152,56 @@ func New(arrays ...*mem.Array) *Memory { return NewSharded(1, arrays...) }
 
 // NewSharded creates a Memory whose stamps are sharded for procs
 // virtual processors: worker k records stamps in its own single-writer
-// shard, eliminating atomic contention on shared stamp words.
+// shard, eliminating atomic contention on shared stamp words.  Stamps
+// are epoch-tagged, so the per-strip reset a Checkpoint performs is a
+// single generation bump rather than an O(procs x n) sweep.
 // Checkpoint must be called before the speculative execution begins.
 func NewSharded(procs int, arrays ...*mem.Array) *Memory {
+	return newSharded(procs, false, arrays...)
+}
+
+// NewShardedExplicit is NewSharded with epoch tagging disabled: every
+// reset eagerly refills the shards with NoStamp, the pre-epoch scheme.
+// It is retained as the equivalence oracle for the O(1) epoch reset
+// and as its benchmark baseline.
+func NewShardedExplicit(procs int, arrays ...*mem.Array) *Memory {
+	return newSharded(procs, true, arrays...)
+}
+
+func newSharded(procs int, explicit bool, arrays ...*mem.Array) *Memory {
 	if procs < 1 {
 		procs = 1
 	}
 	m := &Memory{
-		procs:  procs,
-		stamps: make(map[*mem.Array][][]int64, len(arrays)),
-		merged: make(map[*mem.Array][]int64, len(arrays)),
+		procs:    procs,
+		explicit: explicit,
+		stamps:   make(map[*mem.Array][][]int64, len(arrays)),
+		epochs:   make(map[*mem.Array][][]uint32, len(arrays)),
+		merged:   make(map[*mem.Array][]int64, len(arrays)),
 	}
 	for _, a := range arrays {
 		m.arrays = append(m.arrays, a)
 		sh := make([][]int64, procs)
+		eps := make([][]uint32, procs)
 		for k := range sh {
 			sh[k] = make([]int64, a.Len())
+			eps[k] = make([]uint32, a.Len())
 		}
 		m.stamps[a] = sh
+		m.epochs[a] = eps
+	}
+	if explicit {
+		// The epoch never moves in explicit mode: pre-mark every tag
+		// live once so the store path's tag check always passes and
+		// the NoStamp refill below carries the full reset.
+		m.epoch = 1
+		for _, eps := range m.epochs {
+			for _, ep := range eps {
+				for i := range ep {
+					ep[i] = 1
+				}
+			}
+		}
 	}
 	m.resetStamps()
 	return m
@@ -155,17 +211,38 @@ func NewSharded(procs int, arrays ...*mem.Array) *Memory {
 func (m *Memory) Procs() int { return m.procs }
 
 func (m *Memory) resetStamps() {
-	for _, sh := range m.stamps {
-		for _, s := range sh {
-			parallelDo(m.procs, len(s), func(lo, hi int) {
-				s := s[lo:hi]
-				for i := range s {
-					s[i] = NoStamp
-				}
-			})
+	if m.explicit {
+		for _, sh := range m.stamps {
+			for _, s := range sh {
+				parallelDo(m.procs, len(s), func(lo, hi int) {
+					s := s[lo:hi]
+					for i := range s {
+						s[i] = NoStamp
+					}
+				})
+			}
 		}
+	} else {
+		m.epoch++
+		if m.epoch == 0 {
+			// uint32 wrap: tags written 2^32 generations ago would read
+			// as live again, so pay one full sweep to zero them and
+			// restart at 1 (zero is never a live epoch).
+			for _, eps := range m.epochs {
+				for _, ep := range eps {
+					parallelDo(m.procs, len(ep), func(lo, hi int) {
+						ep := ep[lo:hi]
+						for i := range ep {
+							ep[i] = 0
+						}
+					})
+				}
+			}
+			m.epoch = 1
+		}
+		m.obsM.EpochReset()
 	}
-	m.mergedOK = false
+	m.mergedOK.Store(false)
 	m.stamped = 0
 }
 
@@ -244,8 +321,17 @@ func (t stampTracker) Store(a *mem.Array, idx int, v float64, iter, vpn int) {
 	m.obsM.TrackedStore()
 	if iter >= m.threshold {
 		if sh := m.stamps[a]; sh != nil {
-			s := sh[m.slot(vpn)]
-			if cur := s[idx]; cur == NoStamp || int64(iter) < cur {
+			if m.mergedOK.Load() {
+				m.mergedOK.Store(false)
+			}
+			k := m.slot(vpn)
+			s, ep := sh[k], m.epochs[a][k]
+			if ep[idx] != m.epoch {
+				// Stale generation: whatever stamp is there belongs to
+				// an earlier strip.  First touch of this epoch.
+				ep[idx] = m.epoch
+				s[idx] = int64(iter)
+			} else if cur := s[idx]; cur == NoStamp || int64(iter) < cur {
 				s[idx] = int64(iter)
 			}
 		}
@@ -270,10 +356,17 @@ func (t stampTracker) StoreRange(a *mem.Array, lo int, src []float64, iter, vpn 
 	m.obsM.BatchedRange(n)
 	if iter >= m.threshold {
 		if sh := m.stamps[a]; sh != nil {
-			s := sh[m.slot(vpn)]
+			if m.mergedOK.Load() {
+				m.mergedOK.Store(false)
+			}
+			k := m.slot(vpn)
+			s, ep := sh[k], m.epochs[a][k]
 			it64 := int64(iter)
 			for i := lo; i < lo+n; i++ {
-				if cur := s[i]; cur == NoStamp || it64 < cur {
+				if ep[i] != m.epoch {
+					ep[i] = m.epoch
+					s[i] = it64
+				} else if cur := s[i]; cur == NoStamp || it64 < cur {
 					s[i] = it64
 				}
 			}
@@ -288,25 +381,15 @@ func (t stampTracker) StoreRange(a *mem.Array, lo int, src []float64, iter, vpn 
 // writes before it); Undo, Stamp and Stats call it lazily.  The merge
 // itself is a DOALL over locations, split across the Memory's workers.
 func (m *Memory) mergeStamps() {
-	if m.mergedOK {
+	if m.mergedOK.Load() {
 		return
 	}
 	words, stamped := 0, 0
 	for _, a := range m.arrays {
 		sh := m.stamps[a]
+		eps := m.epochs[a]
 		n := a.Len()
 		words += n
-		if m.procs == 1 {
-			// Single shard: it already is the minimum; alias it.  The
-			// alias is dropped on resetStamps, before any refill.
-			m.merged[a] = sh[0]
-			for _, st := range sh[0] {
-				if st != NoStamp {
-					stamped++
-				}
-			}
-			continue
-		}
 		mg := m.merged[a]
 		if len(mg) != n {
 			mg = make([]int64, n)
@@ -316,8 +399,13 @@ func (m *Memory) mergeStamps() {
 		parallelDo(m.procs, n, func(lo, hi int) {
 			count := 0
 			for i := lo; i < hi; i++ {
-				min := sh[0][i]
-				for k := 1; k < m.procs; k++ {
+				min := NoStamp
+				for k := 0; k < m.procs; k++ {
+					if eps[k][i] != m.epoch {
+						// Stale tag: a stamp from an earlier strip that
+						// the O(1) reset never swept.  Not a write.
+						continue
+					}
 					if st := sh[k][i]; st != NoStamp && (min == NoStamp || st < min) {
 						min = st
 					}
@@ -333,7 +421,7 @@ func (m *Memory) mergeStamps() {
 		})
 	}
 	m.stamped = stamped
-	m.mergedOK = true
+	m.mergedOK.Store(true)
 	m.obsM.StampedStoresAdd(stamped)
 	m.obsM.ShardMergeDone(m.procs, words)
 }

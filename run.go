@@ -29,6 +29,15 @@ var (
 	ErrBadDispatcher = core.ErrBadDispatcher
 	// ErrUnsupportedLoop: Run was handed a value it cannot classify.
 	ErrUnsupportedLoop = core.ErrUnsupportedLoop
+	// ErrBadRespecRounds: Options.MaxRespecRounds is negative.
+	ErrBadRespecRounds = core.ErrBadRespecRounds
+	// ErrRecoveryUnsupported: Recovery combined with SparseUndo or
+	// Privatized arrays (partial commit needs the dense stamped path).
+	ErrRecoveryUnsupported = core.ErrRecoveryUnsupported
+	// ErrPipelineUnsupported: Pipeline combined with SparseUndo,
+	// Privatized or RunTwice, or a loop with no strip-mineable
+	// (closed-form) dispatcher.
+	ErrPipelineUnsupported = core.ErrPipelineUnsupported
 )
 
 // ListLoop packages a linked-list WHILE loop (the general-recurrence
