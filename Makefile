@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race check bench gobench bench-smoke bench-compare tables
+.PHONY: all fmt vet build test race check bench gobench bench-smoke bench-compare tables api api-check
 
 all: check
 
@@ -19,8 +19,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The CI gate: formatting, static analysis, build, race-enabled tests.
-check: fmt vet build race
+# The CI gate: formatting, static analysis, build, race-enabled tests,
+# and the recorded public-API surface.
+check: fmt vet build race api-check
+
+# Snapshot the public API surface (every exported symbol of the facade
+# package, as `go doc -all` renders it) into api.txt.  Rerun after an
+# intentional API change and commit the diff — the snapshot makes API
+# changes show up in review as api.txt hunks instead of silently.
+api:
+	$(GO) doc -all . > api.txt
+
+# Fail if the current public API no longer matches the recorded
+# snapshot (run `make api` and commit api.txt if the change is meant).
+api-check:
+	@$(GO) doc -all . | diff -u api.txt - || { \
+	  echo "public API drifted from api.txt; run 'make api' and commit if intended"; exit 1; }
 
 # Stamped-store microbenchmark (atomic baseline vs sharded vs batched),
 # the misspeculation-recovery benchmark (partial commit vs full

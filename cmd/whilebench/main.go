@@ -33,6 +33,9 @@
 //	                           # than 20% below the recorded baseline;
 //	                           # same for -recbench with BENCH_3.json and
 //	                           # -pipebench with BENCH_4.json
+//	whilebench -cancelbench    # cancellation-latency benchmark: time
+//	                           # from ctx cancel to engine return for
+//	                           # each context-aware engine
 //	whilebench -pipebench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	                           # write pprof CPU/heap profiles of the run
 package main
@@ -56,33 +59,36 @@ func main() {
 
 func run() int {
 	var (
-		all       = flag.Bool("all", false, "regenerate every table, figure and ablation")
-		table1    = flag.Bool("table1", false, "print Table 1 (taxonomy)")
-		table2    = flag.Bool("table2", false, "print Table 2 (experimental summary)")
-		fig       = flag.Int("fig", 0, "print one figure (6..14)")
-		costmodel = flag.Bool("costmodel", false, "print the Section 7 worst-case sweep")
-		ablations = flag.Bool("ablations", false, "print the design-choice ablations")
-		verify    = flag.Bool("verify", false, "validate transformations on the goroutine backend")
-		procs     = flag.Int("procs", 8, "virtual processors for -verify and the -metrics/-trace demo")
-		metrics   = flag.Bool("metrics", false, "run the instrumented speculative demo and print its counters")
-		trace     = flag.String("trace", "", "write the demo's Chrome trace-event JSON to this file")
-		plot      = flag.Bool("plot", false, "render figures as text charts instead of tables")
-		gantt     = flag.Bool("gantt", false, "render the General-1 vs General-3 schedules as Gantt charts")
-		membench  = flag.Bool("membench", false, "run the stamped-store microbenchmark (atomic vs sharded vs batched)")
-		jsonOut   = flag.Bool("json", false, "emit -membench/-recbench results as machine-readable JSON")
-		elems     = flag.Int("elems", 1<<20, "elements in the -membench array")
-		rounds    = flag.Int("rounds", 32, "store rounds in -membench")
-		recbench  = flag.Bool("recbench", false, "run the misspeculation-recovery benchmark (partial commit vs full restore)")
-		iters     = flag.Int("iters", 100000, "iterations in the -recbench loop")
-		work      = flag.Int("work", 600, "per-iteration spin units in -recbench")
-		pipebench = flag.Bool("pipebench", false, "run the pipelined-pool benchmark (persistent pool + overlap vs spawn-per-strip)")
-		strip     = flag.Int("strip", 64, "strip size in -pipebench")
-		pipeIters = flag.Int("pipeiters", 16384, "iterations in the -pipebench loop")
-		pipeWork  = flag.Int("pipework", 200, "per-iteration spin units in -pipebench")
-		baseline  = flag.String("baseline", "", "recorded JSON baseline to guard -membench/-recbench/-pipebench against")
-		tol       = flag.Float64("tol", 0.2, "relative tolerance for the -baseline regression guard")
-		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		all         = flag.Bool("all", false, "regenerate every table, figure and ablation")
+		table1      = flag.Bool("table1", false, "print Table 1 (taxonomy)")
+		table2      = flag.Bool("table2", false, "print Table 2 (experimental summary)")
+		fig         = flag.Int("fig", 0, "print one figure (6..14)")
+		costmodel   = flag.Bool("costmodel", false, "print the Section 7 worst-case sweep")
+		ablations   = flag.Bool("ablations", false, "print the design-choice ablations")
+		verify      = flag.Bool("verify", false, "validate transformations on the goroutine backend")
+		procs       = flag.Int("procs", 8, "virtual processors for -verify and the -metrics/-trace demo")
+		metrics     = flag.Bool("metrics", false, "run the instrumented speculative demo and print its counters")
+		trace       = flag.String("trace", "", "write the demo's Chrome trace-event JSON to this file")
+		plot        = flag.Bool("plot", false, "render figures as text charts instead of tables")
+		gantt       = flag.Bool("gantt", false, "render the General-1 vs General-3 schedules as Gantt charts")
+		membench    = flag.Bool("membench", false, "run the stamped-store microbenchmark (atomic vs sharded vs batched)")
+		jsonOut     = flag.Bool("json", false, "emit -membench/-recbench results as machine-readable JSON")
+		elems       = flag.Int("elems", 1<<20, "elements in the -membench array")
+		rounds      = flag.Int("rounds", 32, "store rounds in -membench")
+		recbench    = flag.Bool("recbench", false, "run the misspeculation-recovery benchmark (partial commit vs full restore)")
+		iters       = flag.Int("iters", 100000, "iterations in the -recbench loop")
+		work        = flag.Int("work", 600, "per-iteration spin units in -recbench")
+		pipebench   = flag.Bool("pipebench", false, "run the pipelined-pool benchmark (persistent pool + overlap vs spawn-per-strip)")
+		cancelbench = flag.Bool("cancelbench", false, "run the cancellation-latency benchmark (cancel-to-return per engine)")
+		cancelIters = flag.Int("canceliters", 200000, "iterations in the -cancelbench loop")
+		cancelWork  = flag.Int("cancelwork", 200, "per-iteration spin units in -cancelbench")
+		strip       = flag.Int("strip", 64, "strip size in -pipebench")
+		pipeIters   = flag.Int("pipeiters", 16384, "iterations in the -pipebench loop")
+		pipeWork    = flag.Int("pipework", 200, "per-iteration spin units in -pipebench")
+		baseline    = flag.String("baseline", "", "recorded JSON baseline to guard -membench/-recbench/-pipebench against")
+		tol         = flag.Float64("tol", 0.2, "relative tolerance for the -baseline regression guard")
+		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf     = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -266,6 +272,20 @@ func run() int {
 			if c := guard(bench.ComparePipeBench(rep, base, *tol), *baseline, *tol); c != 0 {
 				return c
 			}
+		}
+		ran = true
+	}
+	if *cancelbench {
+		rep := bench.CancelBench(*procs, *cancelIters, *strip, *cancelWork)
+		if *jsonOut {
+			out, err := bench.CancelBenchJSON(rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				return 1
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.RenderCancelBench(rep))
 		}
 		ran = true
 	}

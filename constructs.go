@@ -1,6 +1,9 @@
 package whilepar
 
 import (
+	"context"
+
+	"whilepar/internal/cancel"
 	"whilepar/internal/doacross"
 	"whilepar/internal/genrec"
 	"whilepar/internal/list"
@@ -33,9 +36,22 @@ type DoacrossResult = doacross.Result
 // Doacross executes iterations [0, n) as a pipeline on procs virtual
 // processors: the body may Wait on earlier iterations' Posts to honour
 // cross-iteration dependences with explicit synchronization (the
-// WHILE-DOACROSS construct).
+// WHILE-DOACROSS construct).  Use DoacrossContext for cancellation.
 func Doacross(n, procs int, body func(i, vpn int, s *DoacrossSync) DoacrossControl) DoacrossResult {
-	return doacross.Run(n, procs, body)
+	res, err := doacross.Run(context.Background(), n, doacross.Config{Procs: procs}, body)
+	if pe, ok := cancel.AsPanic(err); ok {
+		panic(pe.Value)
+	}
+	return res
+}
+
+// DoacrossContext is Doacross under a context: once ctx is done the
+// pipeline stops issuing iterations, drains its in-flight posts, and
+// returns the Result so far with ErrCanceled/ErrDeadline.  A panicking
+// body is returned as ErrWorkerPanic instead of crashing the caller.
+func DoacrossContext(ctx context.Context, n, procs int,
+	body func(i, vpn int, s *DoacrossSync) DoacrossControl) (DoacrossResult, error) {
+	return doacross.Run(ctx, n, doacross.Config{Procs: procs}, body)
 }
 
 // WhileDoacross pipelines a WHILE loop whose dispatcher must be
@@ -47,8 +63,24 @@ func Doacross(n, procs int, body func(i, vpn int, s *DoacrossSync) DoacrossContr
 // memory substrates).  It returns the number of valid iterations.
 func WhileDoacross[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
 	body func(i, vpn int, d D) bool) int {
-	res := doacross.RunWhile(start, next, cont, max, procs, body)
+	res, err := doacross.RunWhile(context.Background(), start, next, cont, max,
+		doacross.Config{Procs: procs}, body)
+	if pe, ok := cancel.AsPanic(err); ok {
+		panic(pe.Value)
+	}
 	return res.QuitIndex
+}
+
+// WhileDoacrossContext is WhileDoacross under a context; it returns the
+// committed iteration count so far plus ErrCanceled/ErrDeadline when
+// ctx fires mid-pipeline, or ErrWorkerPanic for a panicking body.
+func WhileDoacrossContext[D any](ctx context.Context, start D, next func(D) D, cont func(D) bool,
+	max, procs int, body func(i, vpn int, d D) bool) (int, error) {
+	res, err := doacross.RunWhile(ctx, start, next, cont, max, doacross.Config{Procs: procs}, body)
+	if err != nil {
+		return res.Prefix, err
+	}
+	return res.QuitIndex, nil
 }
 
 // StripReport describes a strip-mined speculative execution.
@@ -72,6 +104,17 @@ func RunStripped(spec SpecSpec, total, strip int, par StripPar, seq StripSeq) (S
 	return speculate.RunStripped(spec, total, strip, par, seq)
 }
 
+// RunStrippedContext is RunStripped under a context: the engine checks
+// ctx at each strip boundary, and once ctx is done it stops issuing
+// strips and returns the committed prefix (StripReport.Valid) together
+// with ErrCanceled or ErrDeadline.  Committed strips are never rewound;
+// an in-flight strip that surfaces the cancellation is restored from
+// its checkpoint first.
+func RunStrippedContext(ctx context.Context, spec SpecSpec, total, strip int,
+	par StripPar, seq StripSeq) (StripReport, error) {
+	return speculate.RunStrippedCtx(ctx, spec, total, strip, par, seq)
+}
+
 // WindowedReport describes a sliding-window speculative execution.
 type WindowedReport = speculate.WindowedReport
 
@@ -87,6 +130,14 @@ type WindowConfig = window.Config
 // seq re-executes the loop if the PD test fails.
 func RunWindowed(spec SpecSpec, n int, cfg WindowConfig, body speculate.WindowedBody, seq func() int) (WindowedReport, error) {
 	return speculate.RunWindowed(spec, n, cfg, body, seq)
+}
+
+// RunWindowedContext is RunWindowed under a context: ctx is observed at
+// round boundaries; once done the engine keeps the committed position
+// as WindowedReport.Valid and returns ErrCanceled or ErrDeadline.
+func RunWindowedContext(ctx context.Context, spec SpecSpec, n int, cfg WindowConfig,
+	body speculate.WindowedBody, seq func() int) (WindowedReport, error) {
+	return speculate.RunWindowedCtx(ctx, spec, n, cfg, body, seq)
 }
 
 // ChunkedList is a Harrison-style list of contiguously allocated chunks

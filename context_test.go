@@ -1,0 +1,215 @@
+package whilepar
+
+// Public-surface contract of the context-aware front door: typed
+// sentinels compose with errors.Is against both the facade and the
+// standard library, cancellation returns committed prefixes, deadlines
+// flow through Options, contained panics surface with their detail, and
+// a canceled execution leaves no goroutines behind.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	a := NewArray("A", 32)
+	l := &IntLoop{
+		Class: Class{Dispatcher: MonotonicInduction, Terminator: RI, ThresholdOnMonotonic: true},
+		Disp:  IntInduction{C: 1},
+		Body: func(it *Iter, d int) bool {
+			it.Store(a, d, 1)
+			return true
+		},
+		Max: 32,
+	}
+	rep, err := RunContext(ctx, l, Options{Procs: 2})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if rep.Valid != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestRunContextOptionsDeadline(t *testing.T) {
+	a := NewArray("A", 1000)
+	l := &IntLoop{
+		Class: Class{Dispatcher: MonotonicInduction, Terminator: RI, ThresholdOnMonotonic: true},
+		Disp:  IntInduction{C: 1},
+		Body: func(it *Iter, d int) bool {
+			time.Sleep(time.Millisecond)
+			it.Store(a, d, 1)
+			return true
+		},
+		Max: 1000,
+	}
+	// Run (no explicit ctx) must honour Options.Deadline too.
+	rep, err := Run(l, Options{Procs: 2, Deadline: 10 * time.Millisecond})
+	if !errors.Is(err, ErrDeadline) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if rep.Valid >= 1000 {
+		t.Fatalf("deadline did not stop the loop: %+v", rep)
+	}
+}
+
+func TestRunContextRejectsNegativeDeadline(t *testing.T) {
+	l := &IntLoop{Disp: IntInduction{C: 1}, Body: func(*Iter, int) bool { return true }, Max: 4}
+	if _, err := Run(l, Options{Deadline: -time.Second}); !errors.Is(err, ErrBadDeadline) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunContextPanicDetail(t *testing.T) {
+	a := NewArray("A", 64)
+	l := &IntLoop{
+		Class: Class{Dispatcher: MonotonicInduction, Terminator: RI, ThresholdOnMonotonic: true},
+		Disp:  IntInduction{C: 1},
+		Body: func(it *Iter, d int) bool {
+			if d == 17 {
+				panic("kaboom")
+			}
+			it.Store(a, d, 1)
+			return true
+		},
+		Max: 64,
+	}
+	_, err := RunContext(context.Background(), l, Options{Procs: 4})
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("err = %v", err)
+	}
+	pe, ok := AsPanicError(err)
+	if !ok || pe.Iter != 17 || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic detail %+v", pe)
+	}
+}
+
+func TestRunContextCancelDrainsGoroutines(t *testing.T) {
+	// After a canceled speculative execution returns, every worker must
+	// have exited: no goroutine leak, no wedged barrier.  goleak is not
+	// available here, so poll runtime.NumGoroutine with slack.
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		n := 1 << 12
+		a := NewArray("A", n)
+		ctx, stop := context.WithCancel(context.Background())
+		var hit atomic.Bool
+		l := &IntLoop{
+			Class: Class{Dispatcher: MonotonicInduction, Terminator: RV},
+			Disp:  IntInduction{C: 1},
+			Body: func(it *Iter, d int) bool {
+				if d == 8 && hit.CompareAndSwap(false, true) {
+					stop()
+				}
+				if ctx.Err() != nil {
+					time.Sleep(time.Microsecond)
+				}
+				it.Store(a, d, 1)
+				return d < n-1
+			},
+			Max: n,
+		}
+		_, err := RunContext(ctx, l, Options{
+			Procs:  4,
+			Shared: []*Array{a},
+			Tested: []*Array{a},
+		})
+		stop()
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("round %d: err = %v", round, err)
+		}
+	}
+	// Workers park on the scheduler asynchronously; give them a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before %d, after %d", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunContextListLoop(t *testing.T) {
+	n := 100
+	a := NewArray("A", n)
+	head := BuildList(n, func(i int) (float64, float64) { return float64(i), 1 })
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	rep, err := RunContext(ctx, &ListLoop{
+		Head: head,
+		Body: func(it *Iter, nd *Node) bool {
+			it.Store(a, nd.Key, nd.Val+1)
+			return true
+		},
+		Class: Class{Dispatcher: GeneralRecurrence, Terminator: RI},
+	}, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != n {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestDeprecatedSequentialAliases(t *testing.T) {
+	l := &IntLoop{
+		Disp: IntInduction{C: 1},
+		Body: func(it *Iter, d int) bool { return d < 10 },
+		Max:  64,
+	}
+	if got, want := RunSequentialInt(l), LastValidInt(l); got != want || got != 10 {
+		t.Fatalf("RunSequentialInt = %d, LastValidInt = %d", got, want)
+	}
+	f := &FloatLoop{
+		Disp: Affine{A: 1, B: 1, X0: 0},
+		Cond: func(x float64) bool { return x < 5 },
+		Body: func(*Iter, float64) bool { return true },
+		Max:  64,
+	}
+	if got, want := RunSequentialFloat(f), LastValidFloat(f); got != want {
+		t.Fatalf("RunSequentialFloat = %d, LastValidFloat = %d", got, want)
+	}
+}
+
+func TestConstructContextWrappers(t *testing.T) {
+	// RunStrippedContext / RunWindowedContext / DoacrossContext /
+	// WhileDoacrossContext observe a pre-canceled context without
+	// starting any work.
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	a := NewArray("A", 40)
+	if _, err := RunStrippedContext(ctx, SpecSpec{Procs: 2, Shared: SharedArrays(a)}, 40, 10,
+		func(tr Tracker, lo, hi int) (int, bool, error) {
+			t.Error("strip must not run")
+			return 0, false, nil
+		},
+		func(lo, hi int) (int, bool) { return 0, false }); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunStrippedContext err = %v", err)
+	}
+	if _, err := RunWindowedContext(ctx, SpecSpec{Procs: 2, Shared: SharedArrays(a)}, 40,
+		WindowConfig{Window: 8},
+		func(tr Tracker, i, vpn int) bool { t.Error("round must not run"); return true },
+		func() int { return 0 }); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunWindowedContext err = %v", err)
+	}
+	if _, err := DoacrossContext(ctx, 10, 2, func(i, vpn int, s *DoacrossSync) DoacrossControl {
+		t.Error("iteration must not run")
+		return DoacrossContinue
+	}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("DoacrossContext err = %v", err)
+	}
+	if _, err := WhileDoacrossContext(ctx, 0, func(d int) int { return d + 1 }, nil, 10, 2,
+		func(i, vpn int, d int) bool { t.Error("iteration must not run"); return true }); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("WhileDoacrossContext err = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -73,7 +74,7 @@ func storeLoop(procs, elems, rounds, iterBase int, tr mem.Tracker, batched bool,
 	}
 	for r := 0; r < rounds; r++ {
 		iter := iterBase + rounds - r // decreasing: always the min-update path
-		sched.ForEachProc(procs, func(vpn int) {
+		sched.ForEachProc(context.Background(), procs, sched.ProcConfig{}, func(vpn int) {
 			lo := ((vpn + r) % procs) * block
 			if batched {
 				tr.(mem.RangeTracker).StoreRange(a, lo, bufs[vpn], iter, vpn)

@@ -1,0 +1,101 @@
+// Package cancel defines the cross-engine cancellation and panic-
+// containment vocabulary of the runtime: the typed sentinel errors every
+// engine (sched, doacross, genrec, speculate, core) returns when a
+// context.Context is canceled or a loop body panics on a worker, plus
+// the small helpers the engines share for observing a context cheaply at
+// iteration/strip/chunk boundaries.
+//
+// The production motivation (ROADMAP north star) is a serving system:
+// callers must be able to abandon a loop — request timeout, client
+// disconnect — and survive a panicking body without leaking goroutines
+// or corrupting shared/shadow state.  The paper's protocol already knows
+// how to rewind a speculative attempt (checkpoint + restore, Section 4);
+// this package supplies the signal that triggers that machinery early
+// and the typed errors that report what happened.
+package cancel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Typed sentinels; callers branch with errors.Is.  The facade re-exports
+// them (whilepar.ErrCanceled, ...), and the wrapped errors also match
+// the context package's own sentinels (context.Canceled,
+// context.DeadlineExceeded), so either vocabulary works.
+var (
+	// ErrCanceled: the execution was abandoned because its context was
+	// canceled.  The accompanying Report carries the committed prefix.
+	ErrCanceled = errors.New("whilepar: execution canceled")
+	// ErrDeadline: the execution was abandoned because its context's
+	// deadline (or Options.Deadline) expired.
+	ErrDeadline = errors.New("whilepar: deadline exceeded")
+	// ErrWorkerPanic: a loop body panicked on a virtual processor; the
+	// concrete error is a *PanicError carrying the iteration and VP.
+	ErrWorkerPanic = errors.New("whilepar: worker panic")
+)
+
+// PanicError reports a loop-body panic contained by a worker: the
+// iteration and virtual processor it happened on, the recovered value,
+// and the worker's stack at recovery time.  It matches ErrWorkerPanic
+// under errors.Is.
+type PanicError struct {
+	// Iter is the iteration index whose body panicked (-1 if the panic
+	// happened outside any iteration, e.g. in a per-processor prologue).
+	Iter int
+	// VPN is the virtual processor the panic happened on.
+	VPN int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("whilepar: worker panic at iteration %d on vp %d: %v", p.Iter, p.VPN, p.Value)
+}
+
+// Is matches the ErrWorkerPanic sentinel.
+func (p *PanicError) Is(target error) bool { return target == ErrWorkerPanic }
+
+// Wrap converts a context error into the runtime's typed sentinel:
+// context.DeadlineExceeded becomes ErrDeadline, anything else (including
+// context.Canceled and context.Cause values) becomes ErrCanceled.  Both
+// sentinels and the original error remain visible to errors.Is.  A nil
+// err returns nil.
+func Wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadline, err)
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, err)
+}
+
+// Err polls ctx without blocking and returns the wrapped typed error if
+// it is done, nil otherwise.  Safe on a nil context.
+func Err(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return Wrap(ctx.Err())
+}
+
+// IsCancel reports whether err is a cancellation or deadline error (the
+// two outcomes callers usually treat identically: stop, keep the
+// committed prefix, do not fall back to sequential completion).
+func IsCancel(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline)
+}
+
+// IsPanic reports whether err carries a contained worker panic.
+func IsPanic(err error) bool { return errors.Is(err, ErrWorkerPanic) }
+
+// AsPanic extracts the *PanicError from err, if any.
+func AsPanic(err error) (*PanicError, bool) {
+	var pe *PanicError
+	ok := errors.As(err, &pe)
+	return pe, ok
+}

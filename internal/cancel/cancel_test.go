@@ -1,0 +1,87 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(nil) != nil {
+		t.Fatal("Wrap(nil) != nil")
+	}
+}
+
+func TestWrapCanceled(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	err := Err(ctx)
+	if err == nil {
+		t.Fatal("Err on canceled ctx returned nil")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled match", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled match", err)
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Errorf("err = %v, should not match ErrDeadline", err)
+	}
+	if !IsCancel(err) {
+		t.Error("IsCancel = false")
+	}
+}
+
+func TestWrapDeadline(t *testing.T) {
+	ctx, cancelFn := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelFn()
+	err := Err(ctx)
+	if err == nil {
+		t.Fatal("Err on expired ctx returned nil")
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Errorf("err = %v, want ErrDeadline match", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded match", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, should not match ErrCanceled", err)
+	}
+	if !IsCancel(err) {
+		t.Error("IsCancel = false")
+	}
+}
+
+func TestErrLive(t *testing.T) {
+	if err := Err(context.Background()); err != nil {
+		t.Fatalf("Err on live ctx = %v", err)
+	}
+	if err := Err(nil); err != nil {
+		t.Fatalf("Err(nil) = %v", err)
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	pe := &PanicError{Iter: 7, VPN: 2, Value: "boom", Stack: []byte("stack")}
+	if !errors.Is(pe, ErrWorkerPanic) {
+		t.Error("PanicError does not match ErrWorkerPanic")
+	}
+	if !IsPanic(pe) {
+		t.Error("IsPanic(pe) = false")
+	}
+	wrapped := fmt.Errorf("engine: %w", pe)
+	got, ok := AsPanic(wrapped)
+	if !ok || got != pe {
+		t.Errorf("AsPanic(wrapped) = %v, %v; want pe, true", got, ok)
+	}
+	if got.Iter != 7 || got.VPN != 2 {
+		t.Errorf("PanicError fields lost: %+v", got)
+	}
+	if IsCancel(pe) {
+		t.Error("IsCancel(PanicError) = true")
+	}
+}

@@ -17,9 +17,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"time"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/costmodel"
 	"whilepar/internal/doacross"
 	"whilepar/internal/genrec"
@@ -134,12 +137,42 @@ type Options struct {
 	// see ErrPipelineUnsupported); loops that need no speculation
 	// simply ignore it.
 	Pipeline bool
+	// Deadline, if positive, bounds the execution's wall-clock time:
+	// the entry point derives a context.WithTimeout from the caller's
+	// context (context.Background() for the non-Ctx entry points), so
+	// even Run/RunInduction callers that never touch contexts get
+	// deadline support.  On expiry the engines stop at the next
+	// iteration/strip/chunk boundary, restore any uncommitted
+	// speculative state, and return the committed prefix with
+	// ErrDeadline.  Zero means no deadline; negative is rejected by
+	// Validate (ErrBadDeadline).
+	Deadline time.Duration
+	// FallbackSequential routes a contained worker panic through the
+	// speculation protocol's sequential fallback (restore + re-execute,
+	// like any exception) instead of returning ErrWorkerPanic.  Only
+	// executions that run under the speculation protocol have a
+	// fallback to route to; elsewhere the panic error is returned
+	// regardless.
+	FallbackSequential bool
 	// Metrics, if non-nil, accumulates runtime counters across every
 	// layer of the execution (scheduling, speculation, undo memory, PD
 	// tests); the Report carries a snapshot.  Tracer, if non-nil,
 	// receives structured events suitable for Chrome's trace viewer.
 	Metrics *obs.Metrics
 	Tracer  obs.Tracer
+}
+
+// withDeadline derives the execution context: the caller's ctx (nil
+// becomes Background) bounded by Options.Deadline when one is set.  The
+// returned stop function must be deferred; it releases the timer.
+func (o Options) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Deadline > 0 {
+		return context.WithTimeout(ctx, o.Deadline)
+	}
+	return ctx, func() {}
 }
 
 func (o Options) procs() int {
@@ -282,11 +315,25 @@ func stampThreshold(opt Options) int {
 }
 
 // RunInduction orchestrates a WHILE loop whose dispatcher is an
-// induction (Section 3.1).  l.Max must bound the iteration space.
+// induction (Section 3.1).  l.Max must bound the iteration space.  It
+// is RunInductionCtx under context.Background().
 func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
+	return RunInductionCtx(context.Background(), l, opt)
+}
+
+// RunInductionCtx is RunInduction under a context: once ctx is done (or
+// Options.Deadline expires) the execution stops at the next iteration
+// or strip boundary, uncommitted speculative state is restored, and the
+// Report carries the committed prefix together with
+// ErrCanceled/ErrDeadline.  A panicking body is contained and returned
+// as ErrWorkerPanic — or, with Options.FallbackSequential on a
+// speculative path, absorbed by the sequential fallback.
+func RunInductionCtx(ctx context.Context, l *loopir.Loop[int], opt Options) (Report, error) {
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
+	ctx, stop := opt.withDeadline(ctx)
+	defer stop()
 	d, ok := decide(opt, l.Class.Dispatcher)
 	rep := Report{Decision: d, Strategy: opt.InductionMethod.String()}
 	if !ok {
@@ -306,16 +353,16 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 		if len(opt.Tested) > 0 || len(opt.Privatized) > 0 {
 			return rep, ErrRunTwiceUnanalyzable
 		}
-		valid, err := speculate.RunTwiceObs(opt.Shared, opt.procs(), opt.hooks(),
+		valid, err := speculate.RunTwiceCtx(ctx, opt.Shared, opt.procs(), opt.hooks(),
 			func() (int, error) {
-				r, rerr := induction.Run(l, cfg)
+				r, rerr := induction.RunCtx(ctx, l, cfg)
 				rep.Executed = r.Executed
 				return r.Valid, rerr
 			},
 			func(valid int) error {
 				second := *l
 				second.Max = valid
-				_, rerr := induction.Run(&second, cfg)
+				_, rerr := induction.RunCtx(ctx, &second, cfg)
 				return rerr
 			})
 		if err != nil {
@@ -329,11 +376,12 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 	}
 
 	if !needsSpeculation(l.Class, opt) {
-		res, err := induction.Run(l, cfg)
-		if err != nil {
-			return rep, err
-		}
+		res, err := induction.RunCtx(ctx, l, cfg)
 		rep.Valid, rep.Executed, rep.Overshot = res.Valid, res.Executed, res.Overshot
+		if err != nil {
+			// res.Valid is already capped at the committed prefix.
+			return finish(rep, opt), err
+		}
 		rep.UsedParallel = true
 		recordStats(opt, rep.Valid)
 		return finish(rep, opt), nil
@@ -370,9 +418,9 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 		return l.Max
 	}
 	if opt.Pipeline {
-		return runInductionPipelined(l, opt, pool, rep, seqFrom, dispAt)
+		return runInductionPipelined(ctx, l, opt, pool, rep, seqFrom, dispAt)
 	}
-	srep, err := speculate.Run(
+	srep, err := speculate.RunCtx(ctx,
 		speculate.Spec{
 			Procs:          opt.procs(),
 			Shared:         opt.Shared,
@@ -381,20 +429,22 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 			StampThreshold: rep.StampThreshold,
 			SparseUndo:     opt.SparseUndo,
 			Recovery:       opt.recoveryFor(seqFrom),
+			PanicFallback:  opt.FallbackSequential,
 			Metrics:        opt.Metrics,
 			Tracer:         opt.Tracer,
 		},
 		func(tr mem.Tracker) (int, error) {
 			c := cfg
 			c.Tracker = tr
-			r, err := induction.Run(l, c)
+			r, err := induction.RunCtx(ctx, l, c)
 			parRes = r
 			return r.Valid, err
 		},
 		func() int { return loopir.RunSequential(l).Iterations },
 	)
 	if err != nil {
-		return rep, err
+		rep.Executed, rep.Overshot = parRes.Executed, parRes.Overshot
+		return finish(rep, opt), err
 	}
 	rep.Valid = srep.Valid
 	rep.UsedParallel = srep.UsedParallel
@@ -413,7 +463,7 @@ func RunInduction(l *loopir.Loop[int], opt Options) (Report, error) {
 // mined, each strip runs as a pool-backed DOALL evaluating the
 // dispatcher's closed form, and strip k+1's execution overlaps strip
 // k's PD test and commit (speculate.RunStrippedPipelined).
-func runInductionPipelined(l *loopir.Loop[int], opt Options, pool *sched.Pool, rep Report,
+func runInductionPipelined(ctx context.Context, l *loopir.Loop[int], opt Options, pool *sched.Pool, rep Report,
 	seqFrom func(int) int, dispAt func(int) int) (Report, error) {
 	cf, ok := l.Disp.(loopir.ClosedForm[int])
 	if !ok {
@@ -428,7 +478,7 @@ func runInductionPipelined(l *loopir.Loop[int], opt Options, pool *sched.Pool, r
 	// accumulators are safe.
 	var executed, overshot int
 	stripPar := func(trk mem.Tracker, lo, hi int) (int, bool, error) {
-		res := sched.DOALL(hi-lo, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule,
+		res, err := sched.DOALLCtx(ctx, hi-lo, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule,
 			Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: pool}, func(i, vpn int) sched.Control {
 			gi := lo + i
 			d := cf.At(gi)
@@ -443,7 +493,7 @@ func runInductionPipelined(l *loopir.Loop[int], opt Options, pool *sched.Pool, r
 		})
 		executed += res.Executed
 		overshot += res.Overshot
-		return res.QuitIndex, res.QuitIndex < hi-lo, nil
+		return res.QuitIndex, res.QuitIndex < hi-lo, err
 	}
 	stripSeq := func(lo, hi int) (int, bool) {
 		d := dispAt(lo)
@@ -459,21 +509,23 @@ func runInductionPipelined(l *loopir.Loop[int], opt Options, pool *sched.Pool, r
 		}
 		return hi - lo, false
 	}
-	srep, err := speculate.RunStrippedPipelined(
+	srep, err := speculate.RunStrippedPipelinedCtx(ctx,
 		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
-			Recovery: opt.recoveryFor(seqFrom), Metrics: opt.Metrics, Tracer: opt.Tracer},
+			Recovery: opt.recoveryFor(seqFrom), PanicFallback: opt.FallbackSequential,
+			Metrics: opt.Metrics, Tracer: opt.Tracer},
 		total, pipeStrip(total, opt.procs()), stripPar, stripSeq)
-	if err != nil {
-		return rep, err
-	}
 	rep.Valid = srep.Valid
-	rep.UsedParallel = true
 	rep.Undone = srep.Undone
 	rep.PrefixCommitted = srep.PrefixCommitted
 	rep.Executed, rep.Overshot = executed, overshot
 	// Per-strip stamps never use the Section 8.1 threshold.
 	rep.StampThreshold = 0
 	rep.Strategy = fmt.Sprintf("%s + pipelined strip speculation", opt.InductionMethod)
+	if err != nil {
+		// srep.Valid is the committed-strip prefix on cancellation.
+		return finish(rep, opt), err
+	}
+	rep.UsedParallel = true
 	recordStats(opt, rep.Valid)
 	return finish(rep, opt), nil
 }
@@ -485,9 +537,28 @@ func runInductionPipelined(l *loopir.Loop[int], opt Options, pool *sched.Pool, r
 // the term generation; l.Max caps it (strip-mined generation handles an
 // absent bound).
 func RunAssociative(l *loopir.Loop[float64], opt Options) (Report, error) {
+	return RunAssociativeCtx(context.Background(), l, opt)
+}
+
+// RunAssociativeCtx is RunAssociative under a context: cancellation (or
+// Options.Deadline expiry) stops the parallel-prefix term generation at
+// a strip boundary and the remainder DOALL at an iteration boundary,
+// restores uncommitted speculative state, and returns the committed
+// prefix with ErrCanceled/ErrDeadline.
+func RunAssociativeCtx(ctx context.Context, l *loopir.Loop[float64], opt Options) (Report, error) {
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
+	ctx, stop := opt.withDeadline(ctx)
+	defer stop()
+	return runAssociative(ctx, l, opt)
+}
+
+// runAssociative is the associative path with Options already validated
+// and the deadline already folded into ctx — the promote path of
+// RunGeneralNumeric enters here so Options.Validate runs exactly once
+// per execution.
+func runAssociative(ctx context.Context, l *loopir.Loop[float64], opt Options) (Report, error) {
 	aff, ok := l.Disp.(loopir.Affine)
 	if !ok {
 		return Report{}, fmt.Errorf("%w: associative path requires an Affine dispatcher, got %T", ErrBadDispatcher, l.Disp)
@@ -516,8 +587,13 @@ func RunAssociative(l *loopir.Loop[float64], opt Options) (Report, error) {
 	if strip > 4096 {
 		strip = 4096
 	}
-	terms, _ := prefix.TermsUntil(aff, cond, strip, opt.procs(), maxTerms)
-	return runOverTerms(l, terms, opt, rep)
+	terms, _, err := prefix.TermsUntilCtx(ctx, aff, cond, strip, opt.procs(), maxTerms)
+	if err != nil {
+		// Term generation is pure computation: nothing has been
+		// committed, so the canceled execution reports zero iterations.
+		return finish(rep, opt), err
+	}
+	return runOverTerms(ctx, l, terms, opt, rep)
 }
 
 // RunGeneralNumeric orchestrates a WHILE loop whose dispatcher is an
@@ -528,11 +604,21 @@ func RunAssociative(l *loopir.Loop[float64], opt Options) (Report, error) {
 // Section 3.3: evaluate the dispatcher terms sequentially, then run the
 // remainder as a DOALL over the stored values.
 func RunGeneralNumeric(l *loopir.Loop[float64], opt Options) (Report, error) {
+	return RunGeneralNumericCtx(context.Background(), l, opt)
+}
+
+// RunGeneralNumericCtx is RunGeneralNumeric under a context; see
+// RunAssociativeCtx for the cancellation contract.  Options.Validate
+// runs exactly once, even on the path that promotes the loop to the
+// associative engine.
+func RunGeneralNumericCtx(ctx context.Context, l *loopir.Loop[float64], opt Options) (Report, error) {
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
+	ctx, stop := opt.withDeadline(ctx)
+	defer stop()
 	if _, ok := l.Disp.(loopir.Affine); ok {
-		return RunAssociative(l, opt)
+		return runAssociative(ctx, l, opt)
 	}
 	if l.Max <= 0 {
 		return Report{}, fmt.Errorf("%w: numeric loop", ErrMissingBound)
@@ -542,7 +628,7 @@ func RunGeneralNumeric(l *loopir.Loop[float64], opt Options) (Report, error) {
 			promoted := *l
 			promoted.Disp = aff
 			promoted.Class.Dispatcher = loopir.AssociativeRecurrence
-			rep, err := RunAssociative(&promoted, opt)
+			rep, err := runAssociative(ctx, &promoted, opt)
 			if err == nil {
 				rep.Strategy = "recognized affine: " + rep.Strategy
 			}
@@ -562,24 +648,31 @@ func RunGeneralNumeric(l *loopir.Loop[float64], opt Options) (Report, error) {
 	var terms []float64
 	x := l.Disp.Start()
 	for i := 0; i < l.Max; i++ {
+		if i&1023 == 0 {
+			if err := cancel.Err(ctx); err != nil {
+				opt.Metrics.CtxCancel()
+				return finish(rep, opt), err
+			}
+		}
 		if l.Cond != nil && !l.Cond(x) {
 			break
 		}
 		terms = append(terms, x)
 		x = l.Disp.Next(x)
 	}
-	return runOverTerms(l, terms, opt, rep)
+	return runOverTerms(ctx, l, terms, opt, rep)
 }
 
 // runOverTerms runs the remainder loop as a DOALL over precomputed
 // dispatcher terms, with the speculation protocol when needed.
-func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Report) (Report, error) {
+func runOverTerms(ctx context.Context, l *loopir.Loop[float64], terms []float64, opt Options, rep Report) (Report, error) {
 	n := len(terms)
 	pool := opt.newPool()
 	defer closePool(pool)
 	var doallRes sched.Result
 	run := func(tr mem.Tracker) (int, error) {
-		doallRes = sched.DOALL(n, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule,
+		var err error
+		doallRes, err = sched.DOALLCtx(ctx, n, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule,
 			Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: pool}, func(i, vpn int) sched.Control {
 			it := loopir.Iter{Index: i, VPN: vpn, Tracker: tr}
 			if !l.Body(&it, terms[i]) {
@@ -587,14 +680,20 @@ func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Rep
 			}
 			return sched.Continue
 		})
-		return doallRes.QuitIndex, nil
+		return doallRes.QuitIndex, err
 	}
 
 	if !needsSpeculation(l.Class, opt) {
-		valid, _ := run(nil)
+		valid, err := run(nil)
 		rep.Valid = valid
-		rep.UsedParallel = true
 		rep.Executed, rep.Overshot = doallRes.Executed, doallRes.Overshot
+		if err != nil {
+			// No speculation means no undo: the committed prefix is the
+			// contiguous executed prefix the substrate computed.
+			rep.Valid = doallRes.Prefix
+			return finish(rep, opt), err
+		}
+		rep.UsedParallel = true
 		recordStats(opt, rep.Valid)
 		return finish(rep, opt), nil
 	}
@@ -610,18 +709,20 @@ func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Rep
 		return n
 	}
 	if opt.Pipeline {
-		return runTermsPipelined(l, terms, opt, pool, rep, seqFrom)
+		return runTermsPipelined(ctx, l, terms, opt, pool, rep, seqFrom)
 	}
-	srep, err := speculate.Run(
+	srep, err := speculate.RunCtx(ctx,
 		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
 			Privatized: opt.Privatized, StampThreshold: stampThreshold(opt),
 			SparseUndo: opt.SparseUndo, Recovery: opt.recoveryFor(seqFrom),
-			Metrics: opt.Metrics, Tracer: opt.Tracer},
+			PanicFallback: opt.FallbackSequential,
+			Metrics:       opt.Metrics, Tracer: opt.Tracer},
 		run,
 		func() int { return loopir.RunSequential(l).Iterations },
 	)
 	if err != nil {
-		return rep, err
+		rep.Executed, rep.Overshot = doallRes.Executed, doallRes.Overshot
+		return finish(rep, opt), err
 	}
 	rep.Valid, rep.UsedParallel, rep.Failure = srep.Valid, srep.UsedParallel, srep.Failure
 	rep.PD, rep.Undone = srep.PD, srep.Undone
@@ -635,12 +736,12 @@ func runOverTerms(l *loopir.Loop[float64], terms []float64, opt Options, rep Rep
 // runTermsPipelined executes the speculative remainder DOALL over
 // precomputed dispatcher terms as pipelined strips (see
 // runInductionPipelined; here the "closed form" is the terms slice).
-func runTermsPipelined(l *loopir.Loop[float64], terms []float64, opt Options, pool *sched.Pool,
+func runTermsPipelined(ctx context.Context, l *loopir.Loop[float64], terms []float64, opt Options, pool *sched.Pool,
 	rep Report, seqFrom func(int) int) (Report, error) {
 	n := len(terms)
 	var executed, overshot int
 	stripPar := func(trk mem.Tracker, lo, hi int) (int, bool, error) {
-		res := sched.DOALL(hi-lo, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule,
+		res, err := sched.DOALLCtx(ctx, hi-lo, sched.Options{Procs: opt.procs(), Schedule: opt.Schedule,
 			Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: pool}, func(i, vpn int) sched.Control {
 			gi := lo + i
 			it := loopir.Iter{Index: gi, VPN: vpn, Tracker: trk}
@@ -651,7 +752,7 @@ func runTermsPipelined(l *loopir.Loop[float64], terms []float64, opt Options, po
 		})
 		executed += res.Executed
 		overshot += res.Overshot
-		return res.QuitIndex, res.QuitIndex < hi-lo, nil
+		return res.QuitIndex, res.QuitIndex < hi-lo, err
 	}
 	stripSeq := func(lo, hi int) (int, bool) {
 		for i := lo; i < hi; i++ {
@@ -662,29 +763,43 @@ func runTermsPipelined(l *loopir.Loop[float64], terms []float64, opt Options, po
 		}
 		return hi - lo, false
 	}
-	srep, err := speculate.RunStrippedPipelined(
+	srep, err := speculate.RunStrippedPipelinedCtx(ctx,
 		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
-			Recovery: opt.recoveryFor(seqFrom), Metrics: opt.Metrics, Tracer: opt.Tracer},
+			Recovery: opt.recoveryFor(seqFrom), PanicFallback: opt.FallbackSequential,
+			Metrics: opt.Metrics, Tracer: opt.Tracer},
 		n, pipeStrip(n, opt.procs()), stripPar, stripSeq)
-	if err != nil {
-		return rep, err
-	}
 	rep.Valid = srep.Valid
-	rep.UsedParallel = true
 	rep.Undone = srep.Undone
 	rep.PrefixCommitted = srep.PrefixCommitted
 	rep.Executed, rep.Overshot = executed, overshot
 	rep.Strategy += " + pipelined strip speculation"
+	if err != nil {
+		return finish(rep, opt), err
+	}
+	rep.UsedParallel = true
 	recordStats(opt, rep.Valid)
 	return finish(rep, opt), nil
 }
 
 // RunList orchestrates a WHILE loop traversing a linked list (the
-// general-recurrence case, Section 3.3).
+// general-recurrence case, Section 3.3).  It is RunListCtx under
+// context.Background().
 func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options) (Report, error) {
+	return RunListCtx(context.Background(), head, body, class, opt)
+}
+
+// RunListCtx is RunList under a context: cancellation (or
+// Options.Deadline expiry) stops the traversal at an iteration
+// boundary, restores uncommitted speculative state, and returns the
+// committed prefix with ErrCanceled/ErrDeadline; a panicking body
+// surfaces as ErrWorkerPanic (or the sequential fallback under
+// Options.FallbackSequential on a speculative path).
+func RunListCtx(ctx context.Context, head *list.Node, body genrec.Body, class loopir.Class, opt Options) (Report, error) {
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
+	ctx, stop := opt.withDeadline(ctx)
+	defer stop()
 	if opt.Pipeline {
 		return Report{}, fmt.Errorf("%w: list traversals have no strip-mineable dispatcher", ErrPipelineUnsupported)
 	}
@@ -708,32 +823,41 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 		c := cfg
 		c.Tracker = tr
 		var r genrec.Result
+		var rerr error
 		switch method {
 		case General1:
-			r = genrec.General1(head, body, c)
+			r, rerr = genrec.General1Ctx(ctx, head, body, c)
 		case General2:
-			r = genrec.General2(head, body, c)
+			r, rerr = genrec.General2Ctx(ctx, head, body, c)
 		case DoacrossList:
 			bound := list.Len(head)
-			res := doacross.RunWhileObsPool(head,
+			res, derr := doacross.RunWhile(ctx, head,
 				func(n *list.Node) *list.Node { return n.Next },
 				func(n *list.Node) bool { return n != nil },
-				bound, opt.procs(), pool, opt.hooks(),
+				bound, doacross.Config{Procs: opt.procs(), Hooks: opt.hooks(), Pool: pool},
 				func(i, vpn int, nd *list.Node) bool {
 					it := loopir.Iter{Index: i, VPN: vpn, Tracker: c.Tracker}
 					return body(&it, nd)
 				})
 			r = genrec.Result{Valid: res.QuitIndex, Executed: res.Executed}
+			if derr != nil {
+				r.Valid = res.Prefix
+			}
+			rerr = derr
 		default:
-			r = genrec.General3(head, body, c)
+			r, rerr = genrec.General3Ctx(ctx, head, body, c)
 		}
 		rep.Executed, rep.Overshot = r.Executed, r.Overshot
-		return r.Valid, nil
+		return r.Valid, rerr
 	}
 
 	if !needsSpeculation(class, opt) {
-		valid, _ := runner(nil)
+		valid, err := runner(nil)
 		rep.Valid = valid
+		if err != nil {
+			// Valid is already capped at the committed prefix.
+			return finish(rep, opt), err
+		}
 		rep.UsedParallel = true
 		recordStats(opt, rep.Valid)
 		return finish(rep, opt), nil
@@ -755,16 +879,17 @@ func RunList(head *list.Node, body genrec.Body, class loopir.Class, opt Options)
 		}
 		return i
 	}
-	srep, err := speculate.Run(
+	srep, err := speculate.RunCtx(ctx,
 		speculate.Spec{Procs: opt.procs(), Shared: opt.Shared, Tested: opt.Tested,
 			Privatized: opt.Privatized, StampThreshold: stampThreshold(opt),
 			SparseUndo: opt.SparseUndo, Recovery: opt.recoveryFor(seqFrom),
-			Metrics: opt.Metrics, Tracer: opt.Tracer},
+			PanicFallback: opt.FallbackSequential,
+			Metrics:       opt.Metrics, Tracer: opt.Tracer},
 		runner,
 		func() int { return runListSequential(head, body) },
 	)
 	if err != nil {
-		return rep, err
+		return finish(rep, opt), err
 	}
 	rep.Valid, rep.UsedParallel, rep.Failure = srep.Valid, srep.UsedParallel, srep.Failure
 	rep.PD, rep.Undone = srep.PD, srep.Undone

@@ -54,6 +54,9 @@ var (
 	// ErrUnsupportedLoop: the unified front door was handed a loop value
 	// it cannot classify.
 	ErrUnsupportedLoop = errors.New("core: unsupported loop type")
+	// ErrBadDeadline: Options.Deadline is negative (0 means no
+	// deadline; positive values bound the execution's wall-clock time).
+	ErrBadDeadline = errors.New("core: invalid Deadline")
 )
 
 // Validate rejects malformed Options before any goroutine is started.
@@ -86,6 +89,9 @@ func (o Options) Validate() error {
 	}
 	if o.MaxRespecRounds < 0 {
 		return fmt.Errorf("%w: %d", ErrBadRespecRounds, o.MaxRespecRounds)
+	}
+	if o.Deadline < 0 {
+		return fmt.Errorf("%w: %v (0 means none)", ErrBadDeadline, o.Deadline)
 	}
 	if o.Recovery && (o.SparseUndo || len(o.Privatized) > 0) {
 		return ErrRecoveryUnsupported

@@ -1,6 +1,7 @@
 package distribute
 
 import (
+	"context"
 	"fmt"
 
 	"whilepar/internal/doacross"
@@ -61,7 +62,7 @@ func Execute(blocks []Block, n int, opt ExecOptions, impl Impl) error {
 		case b.Kind == SequentialBlock && b.Doacross && bi+1 < len(blocks):
 			succ := blocks[bi+1]
 			bi++ // the successor is consumed by the pipeline
-			doacross.Run(n, procs, func(i, vpn int, s *doacross.Sync) doacross.Control {
+			doacross.Run(context.Background(), n, doacross.Config{Procs: procs}, func(i, vpn int, s *doacross.Sync) doacross.Control {
 				s.Wait(i, i-1)
 				it := loopir.Iter{Index: i, VPN: vpn, Tracker: opt.Tracker}
 				runStmts(b, &it, i)

@@ -7,7 +7,9 @@
 // execution (also known as a DOACROSS)") and the method of Wu & Lewis
 // the paper's Section 10 compares against.
 //
-// Two entry points:
+// Two entry points, both context-first and configured by one options
+// struct (the historical Run/RunObs/RunObsPool and RunWhile triples
+// survive as deprecated wrappers):
 //
 //   - Run executes a counted iteration space under post/wait
 //     synchronization: iteration i may Wait for any earlier iteration's
@@ -17,12 +19,22 @@
 //     recurrence, posts the successor value, and only then executes the
 //     (overlappable) remainder — the dispatcher forms the pipeline's
 //     critical path while remainders run concurrently.
+//
+// Cancellation and panic containment never strand a waiter: every
+// claimed iteration posts, whether its body ran, was suppressed by a
+// QUIT/cancel, or panicked (the post-only drain).  Claims are monotone
+// and in order, so every index a pipelined body can wait on is claimed
+// by some worker, and every claimed index eventually posts — by
+// induction on the lowest in-flight index, the pipeline always drains.
 package doacross
 
 import (
+	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/obs"
 	"whilepar/internal/sched"
 	"whilepar/internal/simproc"
@@ -94,47 +106,112 @@ const (
 type Result struct {
 	Executed  int
 	QuitIndex int // smallest quitting iteration; n if none
+	// Prefix is the length of the contiguous executed prefix, capped at
+	// QuitIndex.  For an uncanceled, panic-free execution it equals
+	// min(QuitIndex, n); cancellation or a contained panic may leave it
+	// smaller (iterations above it were suppressed or in flight).
+	Prefix int
 }
 
-// Run executes iterations [0, n) on procs goroutines.  The body may use
-// the Sync to wait for earlier iterations' posts; the runtime posts each
-// iteration automatically on completion (a body may also Post
+// Config bundles the optional knobs of Run and RunWhile into one
+// options struct, replacing the historical Run/RunObs/RunObsPool arity
+// ladder.  The zero value (1 worker, no hooks, spawn-per-call) is
+// valid.
+type Config struct {
+	// Procs is the number of pipeline workers; values below 1 are
+	// treated as 1 (and clamped to Pool's size when a pool is used).
+	Procs int
+	// Hooks, if non-zero, receives iteration spans (whose duration
+	// includes the pipeline's Wait stalls — the critical path is
+	// visible in the trace), QUIT posts, and issue/execute/busy
+	// counters.
+	Hooks obs.Hooks
+	// Pool, if non-nil, dispatches the pipeline onto a persistent
+	// worker pool: parked goroutines released by one barrier instead of
+	// procs fresh spawns per call.  nil keeps the spawn-per-call path
+	// (the default and its equivalence oracle).
+	Pool *sched.Pool
+}
+
+// Run executes iterations [0, n) on cfg.Procs workers.  The body may
+// use the Sync to wait for earlier iterations' posts; the runtime posts
+// each iteration automatically on completion (a body may also Post
 // intermediate events under its own index).  Iterations are issued in
 // order (a DOACROSS requirement — iteration i's waiters must already be
 // running or done).
-func Run(n, procs int, body func(i, vpn int, s *Sync) Control) Result {
-	return RunObs(n, procs, obs.Hooks{}, body)
-}
-
-// RunObs is Run with observability hooks: iteration spans (whose
-// duration includes the pipeline's Wait stalls — the critical path is
-// visible in the trace), QUIT posts, and issue/execute/busy counters.
-func RunObs(n, procs int, h obs.Hooks, body func(i, vpn int, s *Sync) Control) Result {
-	return RunObsPool(n, procs, nil, h, body)
-}
-
-// RunObsPool is RunObs dispatched onto a persistent worker pool: the
-// pipeline's workers are parked pool goroutines released by one barrier
-// instead of procs fresh spawns per call.  procs is clamped to the
-// pool's size; a nil pool keeps the spawn-per-call path (the default
-// and its equivalence oracle).
-func RunObsPool(n, procs int, pool *sched.Pool, h obs.Hooks, body func(i, vpn int, s *Sync) Control) Result {
+//
+// Cancellation is observed at claim boundaries: once ctx is done,
+// workers stop running bodies, drain their claimed indices by posting
+// them (so in-flight waiters are always released), and the call returns
+// the Result so far with ErrCanceled/ErrDeadline.  A panicking body is
+// contained as a *cancel.PanicError, stops the pipeline like a
+// cancellation, and still posts its iteration.
+func Run(ctx context.Context, n int, cfg Config, body func(i, vpn int, s *Sync) Control) (Result, error) {
+	procs := cfg.Procs
 	if procs < 1 {
 		procs = 1
 	}
-	if pool != nil && procs > pool.Size() {
-		procs = pool.Size()
+	if cfg.Pool != nil && procs > cfg.Pool.Size() {
+		procs = cfg.Pool.Size()
 	}
 	if n <= 0 {
-		return Result{QuitIndex: 0}
+		return Result{QuitIndex: 0}, nil
+	}
+	h := cfg.Hooks
+	if err := cancel.Err(ctx); err != nil {
+		h.M.CtxCancel()
+		return Result{QuitIndex: n}, err
 	}
 	s := NewSync()
 	var (
-		next   atomic.Int64
-		quit   atomic.Int64
-		execed atomic.Int64
+		next    atomic.Int64
+		quit    atomic.Int64
+		execed  atomic.Int64
+		stopped atomic.Bool
+		panicAt atomic.Pointer[cancel.PanicError]
 	)
 	quit.Store(int64(n))
+	ran := make([]bool, n)
+	if ctx != nil && ctx.Done() != nil {
+		stopWatch := context.AfterFunc(ctx, func() { stopped.Store(true) })
+		defer stopWatch()
+	}
+
+	runIter := func(i, vpn int) {
+		// The runtime's completion post must fire on every path out of
+		// the body — normal return, QUIT, panic — because posts are what
+		// drain the pipeline (deferred: it runs after the recover below).
+		defer s.Post(i)
+		defer func() {
+			if r := recover(); r != nil {
+				pe := &cancel.PanicError{Iter: i, VPN: vpn, Value: r, Stack: debug.Stack()}
+				if panicAt.CompareAndSwap(nil, pe) {
+					h.M.WorkerPanic()
+				}
+				stopped.Store(true)
+			}
+		}()
+		ts := obs.Start(h.T)
+		c := body(i, vpn, s)
+		ran[i] = true
+		execed.Add(1)
+		h.M.IterExecuted(vpn)
+		if h.T != nil {
+			obs.Span(h.T, ts, "iter", "doacross", vpn, map[string]any{"i": i})
+		}
+		if c == Quit {
+			for {
+				cur := quit.Load()
+				if int64(i) >= cur || quit.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+			h.M.QuitPosted()
+			if h.T != nil {
+				obs.Instant(h.T, "QUIT", "doacross", vpn, map[string]any{"i": i})
+			}
+		}
+	}
 
 	worker := func(vpn int) {
 		for {
@@ -143,40 +220,29 @@ func RunObsPool(n, procs int, pool *sched.Pool, h obs.Hooks, body func(i, vpn in
 				return
 			}
 			h.M.IterIssued(1)
-			if int64(i) > quit.Load() {
+			if stopped.Load() || int64(i) > quit.Load() {
+				// Post-only drain: a claimed index must post even when
+				// its body is suppressed.  A later-claimed iteration may
+				// have checked quit before this QUIT/cancel landed and
+				// be waiting on this index — returning silently would
+				// strand it.
+				s.Post(i)
 				return
 			}
-			ts := obs.Start(h.T)
-			c := body(i, vpn, s)
-			// The runtime's completion post: even a quitting iteration
-			// posts, so pipelines drain rather than deadlock.
-			s.Post(i)
-			execed.Add(1)
-			h.M.IterExecuted(vpn)
-			if h.T != nil {
-				obs.Span(h.T, ts, "iter", "doacross", vpn, map[string]any{"i": i})
-			}
-			if c == Quit {
-				for {
-					cur := quit.Load()
-					if int64(i) >= cur || quit.CompareAndSwap(cur, int64(i)) {
-						break
-					}
-				}
-				h.M.QuitPosted()
-				if h.T != nil {
-					obs.Instant(h.T, "QUIT", "doacross", vpn, map[string]any{"i": i})
-				}
-			}
+			runIter(i, vpn)
 		}
 	}
-	if pool != nil {
+	if pool := cfg.Pool; pool != nil {
 		h.M.PoolDispatch(procs)
-		pool.Run(func(vpn int) {
+		if err := pool.Run(func(vpn int) {
 			if vpn < procs {
 				worker(vpn)
 			}
-		})
+		}); err != nil {
+			if pe, ok := cancel.AsPanic(err); ok && panicAt.CompareAndSwap(nil, pe) {
+				h.M.WorkerPanic()
+			}
+		}
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(procs)
@@ -188,7 +254,50 @@ func RunObsPool(n, procs int, pool *sched.Pool, h obs.Hooks, body func(i, vpn in
 		}
 		wg.Wait()
 	}
-	return Result{Executed: int(execed.Load()), QuitIndex: int(quit.Load())}
+
+	q := int(quit.Load())
+	prefix := -1
+	for i, r := range ran {
+		if !r {
+			prefix = i
+			break
+		}
+	}
+	if prefix < 0 {
+		prefix = n
+	}
+	if q < prefix {
+		prefix = q
+	}
+	res := Result{Executed: int(execed.Load()), QuitIndex: q, Prefix: prefix}
+	if pe := panicAt.Load(); pe != nil {
+		return res, pe
+	}
+	if err := cancel.Err(ctx); err != nil {
+		h.M.CtxCancel()
+		return res, err
+	}
+	return res, nil
+}
+
+// RunObs is the legacy hooks-arity entry point.
+//
+// Deprecated: use Run with a Config.  This wrapper runs on
+// context.Background() and re-panics a contained body panic to preserve
+// the historical crash semantics.
+func RunObs(n, procs int, h obs.Hooks, body func(i, vpn int, s *Sync) Control) Result {
+	return RunObsPool(n, procs, nil, h, body)
+}
+
+// RunObsPool is the legacy pool-arity entry point.
+//
+// Deprecated: use Run with a Config.
+func RunObsPool(n, procs int, pool *sched.Pool, h obs.Hooks, body func(i, vpn int, s *Sync) Control) Result {
+	res, err := Run(context.Background(), n, Config{Procs: procs, Hooks: h, Pool: pool}, body)
+	if pe, ok := cancel.AsPanic(err); ok {
+		panic(pe.Value)
+	}
+	return res
 }
 
 // RunWhile pipelines a WHILE loop with a sequential dispatcher: start is
@@ -201,33 +310,21 @@ func RunObsPool(n, procs int, pool *sched.Pool, h obs.Hooks, body func(i, vpn in
 // This is the Wu & Lewis-style WHILE-DOACROSS: compared with General-3,
 // no traversal is redundant, but every iteration serializes on its
 // predecessor's dispatcher hand-off.
-func RunWhile[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
-	body func(i, vpn int, d D) bool) Result {
-	return RunWhileObs(start, next, cont, max, procs, obs.Hooks{}, body)
-}
-
-// RunWhileObs is RunWhile with observability hooks, forwarded to the
-// underlying pipelined executor.  The body receives the virtual
-// processor number so per-worker (sharded) memory substrates can
-// attribute its stores to single-writer slots.
-func RunWhileObs[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
-	h obs.Hooks, body func(i, vpn int, d D) bool) Result {
-	return RunWhileObsPool(start, next, cont, max, procs, nil, h, body)
-}
-
-// RunWhileObsPool is RunWhileObs on a persistent worker pool (see
-// RunObsPool); a nil pool keeps the spawn-per-call path.
-func RunWhileObsPool[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
-	pool *sched.Pool, h obs.Hooks, body func(i, vpn int, d D) bool) Result {
-	if procs < 1 {
-		procs = 1
-	}
+//
+// Cancellation and panics behave as in Run: a drained (never-run)
+// iteration leaves its successor's hand-off unpublished, so any
+// iteration that does run past it observes a missing predecessor value
+// and terminates — the committed prefix in Result.Prefix is exact.
+func RunWhile[D any](ctx context.Context, start D, next func(D) D, cont func(D) bool, max int,
+	cfg Config, body func(i, vpn int, d D) bool) (Result, error) {
 	vals := make([]D, max+1)
 	ok := make([]bool, max+1)
-	vals[0] = start
-	ok[0] = true
+	if max >= 0 {
+		vals[0] = start
+		ok[0] = true
+	}
 
-	return RunObsPool(max, procs, pool, h, func(i, vpn int, s *Sync) Control {
+	return Run(ctx, max, cfg, func(i, vpn int, s *Sync) Control {
 		s.Wait(i, i-1) // dispatcher value d(i) produced by iteration i-1
 		if !ok[i] {
 			return Quit // predecessor already terminated the recurrence
@@ -249,6 +346,31 @@ func RunWhileObsPool[D any](start D, next func(D) D, cont func(D) bool, max, pro
 		}
 		return Continue
 	})
+}
+
+// RunWhileObs is the legacy hooks-arity entry point.  The body receives
+// the virtual processor number so per-worker (sharded) memory
+// substrates can attribute its stores to single-writer slots.
+//
+// Deprecated: use RunWhile with a Config.  This wrapper runs on
+// context.Background() and re-panics a contained body panic to preserve
+// the historical crash semantics.
+func RunWhileObs[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
+	h obs.Hooks, body func(i, vpn int, d D) bool) Result {
+	return RunWhileObsPool(start, next, cont, max, procs, nil, h, body)
+}
+
+// RunWhileObsPool is the legacy pool-arity entry point.
+//
+// Deprecated: use RunWhile with a Config.
+func RunWhileObsPool[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
+	pool *sched.Pool, h obs.Hooks, body func(i, vpn int, d D) bool) Result {
+	res, err := RunWhile(context.Background(), start, next, cont, max,
+		Config{Procs: procs, Hooks: h, Pool: pool}, body)
+	if pe, ok := cancel.AsPanic(err); ok {
+		panic(pe.Value)
+	}
+	return res
 }
 
 // SimCosts parameterizes the simulated-time DOACROSS model.

@@ -1,6 +1,7 @@
 package doacross
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -41,7 +42,7 @@ func TestRunHonoursDistanceOneDependence(t *testing.T) {
 	// come out exactly sequential in content despite parallel execution.
 	n := 2000
 	vals := make([]int64, n)
-	res := Run(n, 8, func(i, vpn int, s *Sync) Control {
+	res, err := Run(context.Background(), n, Config{Procs: 8}, func(i, vpn int, s *Sync) Control {
 		if i > 0 {
 			s.Wait(i, i-1)
 			atomic.StoreInt64(&vals[i], atomic.LoadInt64(&vals[i-1])+1)
@@ -50,7 +51,10 @@ func TestRunHonoursDistanceOneDependence(t *testing.T) {
 		}
 		return Continue
 	})
-	if res.Executed != n || res.QuitIndex != n {
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Executed != n || res.QuitIndex != n || res.Prefix != n {
 		t.Fatalf("result %+v", res)
 	}
 	for i := 0; i < n; i++ {
@@ -64,7 +68,7 @@ func TestRunLongerDistances(t *testing.T) {
 	// Distance-3 dependence: vals[i] = vals[i-3] + 1.
 	n := 999
 	vals := make([]int64, n)
-	Run(n, 6, func(i, vpn int, s *Sync) Control {
+	Run(context.Background(), n, Config{Procs: 6}, func(i, vpn int, s *Sync) Control {
 		if i >= 3 {
 			s.Wait(i, i-3)
 			atomic.StoreInt64(&vals[i], atomic.LoadInt64(&vals[i-3])+1)
@@ -83,7 +87,7 @@ func TestRunLongerDistances(t *testing.T) {
 
 func TestRunQuitStopsIssueAndDrains(t *testing.T) {
 	n := 10_000
-	res := Run(n, 4, func(i, vpn int, s *Sync) Control {
+	res, _ := Run(context.Background(), n, Config{Procs: 4}, func(i, vpn int, s *Sync) Control {
 		if i > 0 {
 			s.Wait(i, i-1)
 		}
@@ -101,7 +105,7 @@ func TestRunQuitStopsIssueAndDrains(t *testing.T) {
 }
 
 func TestRunEmptyAndProcsCoercion(t *testing.T) {
-	res := Run(0, 0, func(i, vpn int, s *Sync) Control { return Continue })
+	res, _ := Run(context.Background(), 0, Config{}, func(i, vpn int, s *Sync) Control { return Continue })
 	if res.Executed != 0 || res.QuitIndex != 0 {
 		t.Fatalf("empty run %+v", res)
 	}
@@ -112,8 +116,8 @@ func TestRunWhilePipelinesRecurrence(t *testing.T) {
 	// only the predecessor can produce.
 	limit := 500
 	out := make([]int64, 1000)
-	res := RunWhile(0, func(d int) int { return d + 7 }, func(d int) bool { return d < limit },
-		1000, 6, func(i, _ int, d int) bool {
+	res, _ := RunWhile(context.Background(), 0, func(d int) int { return d + 7 }, func(d int) bool { return d < limit },
+		1000, Config{Procs: 6}, func(i, _ int, d int) bool {
 			atomic.StoreInt64(&out[i], int64(d))
 			return true
 		})
@@ -135,8 +139,8 @@ func TestRunWhilePipelinesRecurrence(t *testing.T) {
 
 func TestRunWhileRVExit(t *testing.T) {
 	// The body itself terminates at iteration 40.
-	res := RunWhile(0, func(d int) int { return d + 1 }, nil, 200, 4,
-		func(i, _, d int) bool { return i != 40 })
+	res, _ := RunWhile(context.Background(), 0, func(d int) int { return d + 1 }, nil, 200,
+		Config{Procs: 4}, func(i, _, d int) bool { return i != 40 })
 	if res.QuitIndex != 40 {
 		t.Fatalf("QuitIndex = %d", res.QuitIndex)
 	}
@@ -155,8 +159,8 @@ func TestRunWhileMatchesSequentialProperty(t *testing.T) {
 		for d := 0; d < limit && want < max; d += step {
 			want++
 		}
-		res := RunWhile(0, func(d int) int { return d + step },
-			func(d int) bool { return d < limit }, max, procs,
+		res, _ := RunWhile(context.Background(), 0, func(d int) int { return d + step },
+			func(d int) bool { return d < limit }, max, Config{Procs: procs},
 			func(int, int, int) bool { return true })
 		return res.QuitIndex == want || (want == max && res.QuitIndex == max)
 	}

@@ -1,0 +1,94 @@
+package doacross
+
+// Equivalence of the unified context-first entry points with the legacy
+// wrappers: the deprecated Run/RunObs/RunObsPool and RunWhile* arities
+// are thin delegations, and this file proves (under -race, like the
+// rest of the suite) that both spellings produce identical results on
+// the same pipelined workloads.
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"whilepar/internal/obs"
+	"whilepar/internal/sched"
+)
+
+func TestRunNewEqualsLegacy(t *testing.T) {
+	f := func(quitRaw, procsRaw uint8) bool {
+		n := 400
+		q := int(quitRaw) * 2 % n
+		procs := int(procsRaw)%6 + 1
+		mk := func() func(i, vpn int, s *Sync) Control {
+			return func(i, vpn int, s *Sync) Control {
+				if i > 0 {
+					s.Wait(i, i-1)
+				}
+				if i == q {
+					return Quit
+				}
+				return Continue
+			}
+		}
+		newRes, err := Run(context.Background(), n, Config{Procs: procs}, mk())
+		if err != nil {
+			return false
+		}
+		oldRes := RunObs(n, procs, obs.Hooks{}, mk())
+		return newRes.QuitIndex == oldRes.QuitIndex && newRes.QuitIndex == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunWhileNewEqualsLegacy(t *testing.T) {
+	f := func(stepRaw, limitRaw, procsRaw uint8) bool {
+		step := int(stepRaw)%9 + 1
+		limit := int(limitRaw) + 1
+		procs := int(procsRaw)%6 + 1
+		max := 300
+		next := func(d int) int { return d + step }
+		cont := func(d int) bool { return d < limit }
+		body := func(int, int, int) bool { return true }
+
+		newRes, err := RunWhile(context.Background(), 0, next, cont, max, Config{Procs: procs}, body)
+		if err != nil {
+			return false
+		}
+		oldRes := RunWhileObs(0, next, cont, max, procs, obs.Hooks{}, body)
+		return newRes.QuitIndex == oldRes.QuitIndex && newRes.Executed >= newRes.QuitIndex
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunPoolNewEqualsLegacy(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	n := 500
+	var sum1, sum2 atomic.Int64
+	body := func(acc *atomic.Int64) func(i, vpn int, s *Sync) Control {
+		return func(i, vpn int, s *Sync) Control {
+			if i > 0 {
+				s.Wait(i, i-1)
+			}
+			acc.Add(int64(i))
+			return Continue
+		}
+	}
+	newRes, err := Run(context.Background(), n, Config{Procs: 4, Pool: pool}, body(&sum1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	oldRes := RunObsPool(n, 4, pool, obs.Hooks{}, body(&sum2))
+	if newRes != oldRes {
+		t.Fatalf("pool results differ: new %+v old %+v", newRes, oldRes)
+	}
+	if sum1.Load() != sum2.Load() {
+		t.Fatalf("work differs: %d vs %d", sum1.Load(), sum2.Load())
+	}
+}

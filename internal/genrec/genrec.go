@@ -22,9 +22,12 @@
 package genrec
 
 import (
+	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/list"
 	"whilepar/internal/loopir"
 	"whilepar/internal/mem"
@@ -85,6 +88,33 @@ func (e *execLog) finish(valid int) (executed, overshot int) {
 	return executed, overshot
 }
 
+// prefix returns the length of the contiguous executed prefix — the
+// first iteration index no worker executed.  A canceled or panicked
+// execution reports this as its honest Valid: iterations above the
+// first hole may have run, but nothing guarantees their predecessors
+// did.  The prefix can never exceed the total executed count, so the
+// scratch bitmap is bounded by it.
+func (e *execLog) prefix() int {
+	total := 0
+	for _, idxs := range e.byVP {
+		total += len(idxs)
+	}
+	seen := make([]bool, total)
+	for _, idxs := range e.byVP {
+		for _, i := range idxs {
+			if i < total {
+				seen[i] = true
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return i
+		}
+	}
+	return total
+}
+
 func (c Config) procs() int {
 	if c.Procs < 1 {
 		return 1
@@ -105,6 +135,67 @@ type Result struct {
 	// all processors: ~n for General-1, ~n*p for General-2, and between
 	// n and n*p for General-3 — the redundancy the cost model charges.
 	Hops int64
+}
+
+// ctxGuard bundles the cancellation and panic plumbing shared by the
+// three general methods: a stop flag flipped by context.AfterFunc (one
+// plain atomic load per iteration instead of a channel poll),
+// first-panic capture, and the post-join valid/error resolution.
+type ctxGuard struct {
+	stop    atomic.Bool
+	panicAt atomic.Pointer[cancel.PanicError]
+	release func() bool
+}
+
+func newCtxGuard(ctx context.Context) *ctxGuard {
+	g := &ctxGuard{}
+	if ctx != nil && ctx.Done() != nil {
+		g.release = context.AfterFunc(ctx, func() { g.stop.Store(true) })
+	}
+	return g
+}
+
+func (g *ctxGuard) done() {
+	if g.release != nil {
+		g.release()
+	}
+}
+
+// contain runs one iteration's body behind a recover backstop.  ok is
+// false when the body panicked: the panic has been captured (first one
+// wins), siblings have been told to stop, and the caller must not log
+// the iteration as executed.
+func (g *ctxGuard) contain(i, vpn int, m *obs.Metrics, f func() bool) (quitted, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &cancel.PanicError{Iter: i, VPN: vpn, Value: r, Stack: debug.Stack()}
+			if g.panicAt.CompareAndSwap(nil, pe) {
+				m.WorkerPanic()
+			}
+			g.stop.Store(true)
+			ok = false
+		}
+	}()
+	return f(), true
+}
+
+// resolve caps valid at the contiguous executed prefix when the run
+// ended early (holes may sit below the quit-derived valid) and picks
+// the error to surface: an iteration-precise panic beats the join
+// error, which is itself either a pool-backstop panic or the wrapped
+// context error.
+func (g *ctxGuard) resolve(valid int, log *execLog, runErr error) (int, error) {
+	pe := g.panicAt.Load()
+	if pe == nil && runErr == nil {
+		return valid, nil
+	}
+	if pfx := log.prefix(); pfx < valid {
+		valid = pfx
+	}
+	if pe != nil {
+		return valid, pe
+	}
+	return valid, runErr
 }
 
 // quitMin tracks the smallest iteration index that signalled an RV exit.
@@ -129,8 +220,24 @@ func (q *quitMin) get() int { return int(q.v.Load()) }
 
 // General1 runs the loop with lock-serialized next() (Figure 4,
 // *General-1*): processors cooperatively traverse the list once, each
-// dispatcher advancement inside a critical section.
+// dispatcher advancement inside a critical section.  It preserves the
+// historical crash semantics (a panicking body panics the caller); use
+// General1Ctx for cancellation and contained panics.
 func General1(head *list.Node, body Body, cfg Config) Result {
+	res, err := General1Ctx(context.Background(), head, body, cfg)
+	if pe, ok := cancel.AsPanic(err); ok {
+		panic(pe.Value)
+	}
+	return res
+}
+
+// General1Ctx is General1 under a context: cancellation is observed at
+// iteration boundaries (workers stop claiming list nodes within one
+// iteration), the returned Result reports the contiguous committed
+// prefix in Valid, and the error is ErrCanceled/ErrDeadline.  A
+// panicking body is contained as a *cancel.PanicError and stops the
+// traversal the same way.
+func General1Ctx(ctx context.Context, head *list.Node, body Body, cfg Config) (Result, error) {
 	p := cfg.procs()
 	var (
 		mu   sync.Mutex
@@ -144,11 +251,13 @@ func General1(head *list.Node, body Body, cfg Config) Result {
 	}
 	quit := newQuitMin(bound)
 	log := newExecLog(p)
+	g := newCtxGuard(ctx)
+	defer g.done()
 
-	sched.ForEachProcPool(p, cfg.Pool, cfg.hooks(), func(vpn int) {
+	runErr := sched.ForEachProc(ctx, p, sched.ProcConfig{Hooks: cfg.hooks(), Pool: cfg.Pool}, func(vpn int) {
 		for {
 			mu.Lock()
-			if cur == nil || idx >= bound || idx > quit.get() {
+			if g.stop.Load() || cur == nil || idx >= bound || idx > quit.get() {
 				mu.Unlock()
 				return
 			}
@@ -161,8 +270,13 @@ func General1(head *list.Node, body Body, cfg Config) Result {
 			cfg.Metrics.IterIssued(1)
 
 			ts := obs.Start(cfg.Tracer)
-			it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
-			q := !body(&it, pt)
+			q, ok := g.contain(i, vpn, cfg.Metrics, func() bool {
+				it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
+				return !body(&it, pt)
+			})
+			if !ok {
+				return
+			}
 			log.record(vpn, i)
 			cfg.Metrics.IterExecuted(vpn)
 			if cfg.Tracer != nil {
@@ -181,9 +295,10 @@ func General1(head *list.Node, body Body, cfg Config) Result {
 	if valid >= bound {
 		valid = idxClamp(idx, bound)
 	}
+	valid, err := g.resolve(valid, log, runErr)
 	executed, overshot := log.finish(valid)
 	cfg.Metrics.OvershotAdd(overshot)
-	return Result{Valid: valid, Executed: executed, Overshot: overshot, Hops: hops.Load()}
+	return Result{Valid: valid, Executed: executed, Overshot: overshot, Hops: hops.Load()}, err
 }
 
 func idxClamp(n, bound int) int {
@@ -196,15 +311,28 @@ func idxClamp(n, bound int) int {
 // General2 runs the loop with static mod-p assignment (Figure 4,
 // *General-2*): each processor traverses the entire list with a private
 // cursor and executes the iterations congruent to its vpn mod nproc.  No
-// lock is taken; the list is traversed p times in total.
+// lock is taken; the list is traversed p times in total.  Panics crash
+// the caller; use General2Ctx for cancellation and contained panics.
 func General2(head *list.Node, body Body, cfg Config) Result {
+	res, err := General2Ctx(context.Background(), head, body, cfg)
+	if pe, ok := cancel.AsPanic(err); ok {
+		panic(pe.Value)
+	}
+	return res
+}
+
+// General2Ctx is General2 under a context (see General1Ctx for the
+// cancellation and panic contract).
+func General2Ctx(ctx context.Context, head *list.Node, body Body, cfg Config) (Result, error) {
 	p := cfg.procs()
 	var hops atomic.Int64
 	n := list.Len(head) // headers walk; counted as hops below per processor
 	quit := newQuitMin(n)
 	log := newExecLog(p)
+	g := newCtxGuard(ctx)
+	defer g.done()
 
-	sched.ForEachProcPool(p, cfg.Pool, cfg.hooks(), func(vpn int) {
+	runErr := sched.ForEachProc(ctx, p, sched.ProcConfig{Hooks: cfg.hooks(), Pool: cfg.Pool}, func(vpn int) {
 		pt := head
 		// Initial advance to this processor's first iteration.
 		for j := 0; j < vpn && pt != nil; j++ {
@@ -212,13 +340,22 @@ func General2(head *list.Node, body Body, cfg Config) Result {
 			hops.Add(1)
 		}
 		for i := vpn; pt != nil; i += p {
+			if g.stop.Load() {
+				return
+			}
 			cfg.Metrics.IterIssued(1)
 			if i > quit.get() {
 				return
 			}
 			ts := obs.Start(cfg.Tracer)
-			it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
-			q := !body(&it, pt)
+			node := pt
+			q, ok := g.contain(i, vpn, cfg.Metrics, func() bool {
+				it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
+				return !body(&it, node)
+			})
+			if !ok {
+				return
+			}
 			log.record(vpn, i)
 			cfg.Metrics.IterExecuted(vpn)
 			if cfg.Tracer != nil {
@@ -238,16 +375,28 @@ func General2(head *list.Node, body Body, cfg Config) Result {
 		}
 	})
 	valid := quit.get()
+	valid, err := g.resolve(valid, log, runErr)
 	executed, overshot := log.finish(valid)
 	cfg.Metrics.OvershotAdd(overshot)
-	return Result{Valid: valid, Executed: executed, Overshot: overshot, Hops: hops.Load()}
+	return Result{Valid: valid, Executed: executed, Overshot: overshot, Hops: hops.Load()}, err
 }
 
 // General3 runs the loop with dynamic assignment and private cursors
 // (Figure 4, *General-3*): a processor assigned iteration i advances its
 // private cursor i - prev hops.  No lock is taken; the total hop count
-// lies between n (perfect locality) and n*p.
+// lies between n (perfect locality) and n*p.  Panics crash the caller;
+// use General3Ctx for cancellation and contained panics.
 func General3(head *list.Node, body Body, cfg Config) Result {
+	res, err := General3Ctx(context.Background(), head, body, cfg)
+	if pe, ok := cancel.AsPanic(err); ok {
+		panic(pe.Value)
+	}
+	return res
+}
+
+// General3Ctx is General3 under a context (see General1Ctx for the
+// cancellation and panic contract).
+func General3Ctx(ctx context.Context, head *list.Node, body Body, cfg Config) (Result, error) {
 	p := cfg.procs()
 	bound := cfg.U
 	if bound <= 0 {
@@ -259,11 +408,16 @@ func General3(head *list.Node, body Body, cfg Config) Result {
 	)
 	quit := newQuitMin(bound)
 	log := newExecLog(p)
+	g := newCtxGuard(ctx)
+	defer g.done()
 
-	sched.ForEachProcPool(p, cfg.Pool, cfg.hooks(), func(vpn int) {
+	runErr := sched.ForEachProc(ctx, p, sched.ProcConfig{Hooks: cfg.hooks(), Pool: cfg.Pool}, func(vpn int) {
 		pt := head
 		prev := 0 // pt currently points at iteration index `prev`
 		for {
+			if g.stop.Load() {
+				return
+			}
 			i := int(next.Add(1) - 1)
 			if i >= bound {
 				return
@@ -284,8 +438,14 @@ func General3(head *list.Node, body Body, cfg Config) Result {
 				return
 			}
 			ts := obs.Start(cfg.Tracer)
-			it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
-			q := !body(&it, pt)
+			node := pt
+			q, ok := g.contain(i, vpn, cfg.Metrics, func() bool {
+				it := loopir.Iter{Index: i, VPN: vpn, Tracker: cfg.Tracker}
+				return !body(&it, node)
+			})
+			if !ok {
+				return
+			}
 			log.record(vpn, i)
 			cfg.Metrics.IterExecuted(vpn)
 			if cfg.Tracer != nil {
@@ -301,7 +461,8 @@ func General3(head *list.Node, body Body, cfg Config) Result {
 		}
 	})
 	valid := quit.get()
+	valid, err := g.resolve(valid, log, runErr)
 	executed, overshot := log.finish(valid)
 	cfg.Metrics.OvershotAdd(overshot)
-	return Result{Valid: valid, Executed: executed, Overshot: overshot, Hops: hops.Load()}
+	return Result{Valid: valid, Executed: executed, Overshot: overshot, Hops: hops.Load()}, err
 }

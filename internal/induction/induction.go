@@ -21,10 +21,12 @@
 package induction
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/loopir"
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
@@ -94,6 +96,20 @@ type Result struct {
 // the closed form, tests the RI condition, runs the body, and treats
 // either failing as "met the termination condition".
 func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
+	res, err := RunCtx(context.Background(), l, cfg)
+	if pe, ok := cancel.AsPanic(err); ok {
+		panic(pe.Value)
+	}
+	return res, err
+}
+
+// RunCtx is Run under a context: once ctx is done the DOALL substrate
+// stops issuing iterations and RunCtx returns the Result so far — Valid
+// capped at the committed prefix (the first iteration that did not run)
+// — together with ErrCanceled or ErrDeadline.  A panicking body is
+// contained and surfaced as ErrWorkerPanic instead of crashing the
+// caller.
+func RunCtx(ctx context.Context, l *loopir.Loop[int], cfg Config) (Result, error) {
 	cf, ok := l.Disp.(loopir.ClosedForm[int])
 	if !ok {
 		return Result{}, fmt.Errorf("induction: dispatcher %T has no closed form", l.Disp)
@@ -117,15 +133,22 @@ func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
 
 	switch cfg.Method {
 	case Induction2:
-		res := sched.DOALL(u, sched.Options{Procs: cfg.Procs, Schedule: cfg.Schedule, Metrics: cfg.Metrics, Tracer: cfg.Tracer, Pool: cfg.Pool}, func(i, vpn int) sched.Control {
+		res, err := sched.DOALLCtx(ctx, u, sched.Options{Procs: cfg.Procs, Schedule: cfg.Schedule, Metrics: cfg.Metrics, Tracer: cfg.Tracer, Pool: cfg.Pool}, func(i, vpn int) sched.Control {
 			if iter(i, vpn) {
 				return sched.Quit
 			}
 			return sched.Continue
 		})
+		valid := res.QuitIndex
+		if err != nil {
+			// On cancellation or a contained panic the quit index may
+			// never have been found; only the committed prefix is known
+			// to match the sequential loop.
+			valid = res.Prefix
+		}
 		// The substrate's Overshot is exact (computed after all workers
 		// finished, against the final quit index), so use it directly.
-		return Result{Valid: res.QuitIndex, Executed: res.Executed, Overshot: res.Overshot}, nil
+		return Result{Valid: valid, Executed: res.Executed, Overshot: res.Overshot}, err
 
 	default: // Induction1: run everything, reduce afterwards.
 		procs := cfg.Procs
@@ -136,7 +159,7 @@ func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
 		for k := range L {
 			L[k].Store(int64(u))
 		}
-		res := sched.DOALL(u, sched.Options{Procs: procs, Schedule: cfg.Schedule, Metrics: cfg.Metrics, Tracer: cfg.Tracer, Pool: cfg.Pool}, func(i, vpn int) sched.Control {
+		res, err := sched.DOALLCtx(ctx, u, sched.Options{Procs: procs, Schedule: cfg.Schedule, Metrics: cfg.Metrics, Tracer: cfg.Tracer, Pool: cfg.Pool}, func(i, vpn int) sched.Control {
 			if iter(i, vpn) && int64(i) < L[vpn].Load() {
 				L[vpn].Store(int64(i))
 			}
@@ -148,6 +171,12 @@ func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
 			mins[k] = int(L[k].Load())
 		}
 		li := sched.MinReduce(mins, u)
+		if err != nil && res.Prefix < li {
+			// Induction-1 only knows the exit from the reduction; if the
+			// run was cut short before every iteration below the reduced
+			// minimum executed, only the committed prefix is trustworthy.
+			li = res.Prefix
+		}
 		// Induction-1 never QUITs the substrate, so overshoot is only
 		// known after the reduction; mirror it into the metrics here.
 		overshot := res.Executed - min(res.Executed, li)
@@ -155,7 +184,7 @@ func Run(l *loopir.Loop[int], cfg Config) (Result, error) {
 		if cfg.Tracer != nil {
 			obs.Instant(cfg.Tracer, "min-reduce", "induction", 0, map[string]any{"li": li})
 		}
-		return Result{Valid: li, Executed: res.Executed, Overshot: overshot}, nil
+		return Result{Valid: li, Executed: res.Executed, Overshot: overshot}, err
 	}
 }
 

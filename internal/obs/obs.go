@@ -95,6 +95,10 @@ type Metrics struct {
 	pipeSquashed   atomic.Int64
 	epochResets    atomic.Int64
 
+	// Cancellation and panic containment.
+	ctxCancels   atomic.Int64
+	workerPanics atomic.Int64
+
 	mu           sync.Mutex
 	vpnBusy      []*busySlot
 	abortReasons map[string]int64
@@ -435,6 +439,24 @@ func (m *Metrics) EpochReset() {
 	m.epochResets.Add(1)
 }
 
+// CtxCancel records one execution abandoned because its context was
+// canceled or its deadline expired.
+func (m *Metrics) CtxCancel() {
+	if m == nil {
+		return
+	}
+	m.ctxCancels.Add(1)
+}
+
+// WorkerPanic records one loop-body panic contained by a worker's
+// recover backstop.
+func (m *Metrics) WorkerPanic() {
+	if m == nil {
+		return
+	}
+	m.workerPanics.Add(1)
+}
+
 // Snapshot is a plain-value copy of all counters, safe to retain after
 // the Metrics keeps accumulating.
 type Snapshot struct {
@@ -500,6 +522,11 @@ type Snapshot struct {
 	// EpochResets counts O(1) stamp resets done by generation bump.
 	EpochResets int64
 
+	// CtxCancels counts executions abandoned on a canceled or expired
+	// context; WorkerPanics counts loop-body panics contained by the
+	// workers' recover backstops.
+	CtxCancels, WorkerPanics int64
+
 	// VPNBusy[k] is the number of iterations processor k executed.
 	VPNBusy []int64
 }
@@ -547,6 +574,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		PipelinedStrips:        m.pipeOverlapped.Load(),
 		PipelineSquashes:       m.pipeSquashed.Load(),
 		EpochResets:            m.epochResets.Load(),
+		CtxCancels:             m.ctxCancels.Load(),
+		WorkerPanics:           m.workerPanics.Load(),
 	}
 	m.mu.Lock()
 	s.VPNBusy = make([]int64, len(m.vpnBusy))
@@ -593,6 +622,9 @@ func (s Snapshot) String() string {
 	if s.PoolDispatches > 0 || s.PipelinedStrips > 0 || s.EpochResets > 0 {
 		fmt.Fprintf(&b, "pool:       dispatches=%d (max %d workers) pipelined-strips=%d squashes=%d epoch-resets=%d\n",
 			s.PoolDispatches, s.PoolMaxWorkers, s.PipelinedStrips, s.PipelineSquashes, s.EpochResets)
+	}
+	if s.CtxCancels > 0 || s.WorkerPanics > 0 {
+		fmt.Fprintf(&b, "cancel:     ctx-cancels=%d worker-panics=%d\n", s.CtxCancels, s.WorkerPanics)
 	}
 	fmt.Fprintf(&b, "speculation: attempts=%d commits=%d aborts=%d\n", s.SpecAttempts, s.SpecCommits, s.SpecAborts)
 	if s.RespecRounds > 0 || s.PrefixCommitted > 0 || s.SuffixUndone > 0 {

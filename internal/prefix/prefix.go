@@ -17,6 +17,9 @@
 package prefix
 
 import (
+	"context"
+
+	"whilepar/internal/cancel"
 	"whilepar/internal/loopir"
 	"whilepar/internal/sched"
 	"whilepar/internal/simproc"
@@ -58,8 +61,10 @@ func ParallelScan[T any](xs []T, id T, op func(T, T) T, procs int) []T {
 	sz := (n + blocks - 1) / blocks
 	totals := make([]T, blocks)
 
-	// Pass 1: local inclusive scans.
-	sched.ForEachProc(blocks, func(b int) {
+	// Pass 1: local inclusive scans.  The scan is an internal
+	// run-to-completion primitive (blocks are tiny relative to any
+	// cancellation granularity), so it runs on Background.
+	sched.ForEachProc(context.Background(), blocks, sched.ProcConfig{}, func(b int) {
 		lo, hi := b*sz, (b+1)*sz
 		if hi > n {
 			hi = n
@@ -86,7 +91,7 @@ func ParallelScan[T any](xs []T, id T, op func(T, T) T, procs int) []T {
 	}
 
 	// Pass 3: fold carries into blocks (block 0 needs none).
-	sched.ForEachProc(blocks, func(b int) {
+	sched.ForEachProc(context.Background(), blocks, sched.ProcConfig{}, func(b int) {
 		if b == 0 {
 			return
 		}
@@ -136,11 +141,23 @@ func AffineTerms(d loopir.Affine, n, procs int) []float64 {
 // strip-mining an RV/thresholded associative dispatcher.  maxTerms
 // bounds the total in case cond never fails.
 func TermsUntil(d loopir.Affine, cond func(float64) bool, strip, procs, maxTerms int) (terms []float64, extra int) {
+	terms, extra, _ = TermsUntilCtx(context.Background(), d, cond, strip, procs, maxTerms)
+	return terms, extra
+}
+
+// TermsUntilCtx is TermsUntil under a context: cancellation is observed
+// at strip boundaries, returning the terms evaluated so far together
+// with ErrCanceled/ErrDeadline.  The strip in flight when the context
+// fires is completed (a strip is the unit of work).
+func TermsUntilCtx(ctx context.Context, d loopir.Affine, cond func(float64) bool, strip, procs, maxTerms int) (terms []float64, extra int, err error) {
 	if strip < 1 {
 		strip = 1
 	}
 	cur := d
 	for len(terms) < maxTerms {
+		if err := cancel.Err(ctx); err != nil {
+			return terms, extra, err
+		}
 		n := strip
 		if len(terms)+n > maxTerms {
 			n = maxTerms - len(terms)
@@ -150,7 +167,7 @@ func TermsUntil(d loopir.Affine, cond func(float64) bool, strip, procs, maxTerms
 			if !cond(x) {
 				terms = append(terms, batch[:i]...)
 				extra = len(batch) - i
-				return terms, extra
+				return terms, extra, nil
 			}
 		}
 		terms = append(terms, batch...)
@@ -159,7 +176,7 @@ func TermsUntil(d loopir.Affine, cond func(float64) bool, strip, procs, maxTerms
 			cur = loopir.Affine{A: d.A, B: d.B, X0: d.A*last + d.B}
 		}
 	}
-	return terms, 0
+	return terms, 0, nil
 }
 
 // SimScanTime charges a machine for a parallel prefix over n elements at

@@ -1,9 +1,12 @@
 package sched
 
 import (
+	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/obs"
 )
 
@@ -40,7 +43,8 @@ type Pool struct {
 
 	sense  uint64 // barrier sense word: advances once per region
 	job    func(vpn int)
-	left   int // workers that have not yet arrived at the barrier
+	jobErr *cancel.PanicError // first panic contained during the region
+	left   int                // workers that have not yet arrived at the barrier
 	closed bool
 
 	busy atomic.Bool // coordinator-misuse guard
@@ -83,9 +87,12 @@ func (p *Pool) worker(vpn int) {
 		job := p.job
 		p.mu.Unlock()
 
-		job(vpn)
+		pe := runShielded(job, vpn)
 
 		p.mu.Lock()
+		if pe != nil && p.jobErr == nil {
+			p.jobErr = pe
+		}
 		p.left--
 		if p.left == 0 {
 			p.done.Signal()
@@ -94,11 +101,31 @@ func (p *Pool) worker(vpn int) {
 	}
 }
 
+// runShielded executes one worker's share of a region behind a recover
+// backstop: a panicking job must still arrive at the barrier (the
+// decrement of left above), or every future Run would deadlock the
+// coordinator and the panic would take the whole process down with a
+// parked pool.  The first contained panic per region is surfaced by Run.
+func runShielded(job func(vpn int), vpn int) (pe *cancel.PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = &cancel.PanicError{Iter: -1, VPN: vpn, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	job(vpn)
+	return nil
+}
+
 // Run executes job(vpn) on every worker and returns when all have
 // finished — one barrier release plus one barrier arrival, no spawns.
 // It panics if called concurrently with itself (single coordinator) or
 // after Close.
-func (p *Pool) Run(job func(vpn int)) {
+//
+// A panicking job is contained by the worker's recover backstop so the
+// barrier always completes; the first such panic is returned as a
+// *cancel.PanicError (nil when the region ran clean).  The pool remains
+// usable after a panicked region.
+func (p *Pool) Run(job func(vpn int)) error {
 	if !p.busy.CompareAndSwap(false, true) {
 		panic("sched: concurrent Pool.Run (a Pool has a single coordinator)")
 	}
@@ -109,6 +136,7 @@ func (p *Pool) Run(job func(vpn int)) {
 		panic("sched: Pool.Run after Close")
 	}
 	p.job = job
+	p.jobErr = nil
 	p.left = p.procs
 	p.sense++ // release the barrier: workers holding the old sense wake
 	p.cv.Broadcast()
@@ -116,7 +144,13 @@ func (p *Pool) Run(job func(vpn int)) {
 		p.done.Wait()
 	}
 	p.job = nil
+	var err error
+	if p.jobErr != nil {
+		err = p.jobErr
+		p.jobErr = nil
+	}
 	p.mu.Unlock()
+	return err
 }
 
 // Close unparks every worker for exit and waits for them to terminate.
@@ -133,30 +167,17 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
-// ForEachProcPool is ForEachProcObs executed on a persistent pool: the
-// "doall i = 1, nproc" idiom without the per-call spawns.  procs is
-// clamped to the pool's size; workers beyond procs park immediately.
-// A nil pool falls back to the spawn-per-call path.
+// ForEachProcPool is the legacy pool-arity entry point: the "doall
+// i = 1, nproc" idiom without the per-call spawns.  procs is clamped to
+// the pool's size; a nil pool falls back to the spawn-per-call path.
+//
+// Deprecated: use ForEachProc with a ProcConfig.  This wrapper runs on
+// context.Background() and re-panics a contained worker panic to
+// preserve the historical crash semantics.
 func ForEachProcPool(procs int, pool *Pool, h obs.Hooks, fn func(vpn int)) {
-	if pool == nil {
-		ForEachProcObs(procs, h, fn)
-		return
-	}
-	if procs < 1 {
-		procs = 1
-	}
-	if procs > pool.Size() {
-		procs = pool.Size()
-	}
-	h.M.PoolDispatch(procs)
-	pool.Run(func(vpn int) {
-		if vpn >= procs {
-			return
+	if err := ForEachProc(context.Background(), procs, ProcConfig{Hooks: h, Pool: pool}, fn); err != nil {
+		if pe, ok := cancel.AsPanic(err); ok {
+			panic(pe.Value)
 		}
-		ts := obs.Start(h.T)
-		fn(vpn)
-		if h.T != nil {
-			obs.Span(h.T, ts, "worker", "foreachproc", vpn, nil)
-		}
-	})
+	}
 }

@@ -15,12 +15,15 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/obs"
 )
 
@@ -104,9 +107,16 @@ type Result struct {
 	// speculative iteration above it that ran.  The accounting is exact:
 	// it is computed after all workers have finished, against the final
 	// quit index, so Executed == min(QuitIndex, n) + Overshot always
-	// holds (every iteration below the final QuitIndex runs exactly
-	// once).
+	// holds for a run-to-completion execution (every iteration below the
+	// final QuitIndex runs exactly once).  A canceled or panicked
+	// execution may leave holes below QuitIndex; Prefix is the honest
+	// committed prefix in that case.
 	Overshot int
+	// Prefix is the length of the contiguous executed prefix, capped at
+	// QuitIndex: every iteration in [0, Prefix) ran.  For an uncanceled,
+	// panic-free execution Prefix == min(QuitIndex, n); after a
+	// cancellation or contained panic it may be smaller.
+	Prefix int
 }
 
 // DOALL executes iterations [0, n) of body on opts.procs() goroutines
@@ -119,7 +129,31 @@ type Result struct {
 // above the final QuitIndex may or may not be executed (speculative
 // overshoot), mirroring a machine where in-flight iterations complete
 // after a QUIT.
+//
+// DOALL runs to completion and preserves the historical crash semantics:
+// a panicking body panics the caller.  Use DOALLCtx for cancellation and
+// contained panics.
 func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
+	res, err := DOALLCtx(context.Background(), n, opts, body)
+	if pe, ok := cancel.AsPanic(err); ok {
+		panic(pe.Value)
+	}
+	return res
+}
+
+// DOALLCtx is DOALL under a context.  Cancellation is cooperative and
+// observed at chunk claims and iteration boundaries: once ctx is done,
+// workers stop claiming work and return within one chunk, and the call
+// returns the Result accumulated so far (Result.Prefix is the committed
+// contiguous prefix) together with ErrCanceled or ErrDeadline.
+//
+// A panicking body is contained by the worker that ran it: the first
+// panic is converted into a *cancel.PanicError carrying the iteration
+// and virtual processor, sibling workers are stopped as for a
+// cancellation, and the error is returned (matching ErrWorkerPanic under
+// errors.Is).  Workers never leak and the pool barrier, when one is
+// used, always completes.
+func DOALLCtx(ctx context.Context, n int, opts Options, body func(i, vpn int) Control) (Result, error) {
 	p := opts.procs()
 	if opts.Pool != nil && p > opts.Pool.Size() {
 		// The worker closures below bake p into their schedules (the
@@ -128,16 +162,30 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 		p = opts.Pool.Size()
 	}
 	if n <= 0 {
-		return Result{QuitIndex: 0}
+		return Result{QuitIndex: 0}, nil
 	}
 
 	m, tr := opts.Metrics, opts.Tracer
 
+	if err := cancel.Err(ctx); err != nil {
+		m.CtxCancel()
+		return Result{QuitIndex: n}, err
+	}
+
 	var (
-		next   atomic.Int64 // dynamic issue counter
-		quitAt atomic.Int64 // min index that returned Quit
+		next    atomic.Int64 // dynamic issue counter
+		quitAt  atomic.Int64 // min index that returned Quit
+		stopped atomic.Bool  // cancellation/panic stop flag
+		panicAt atomic.Pointer[cancel.PanicError]
 	)
 	quitAt.Store(int64(n))
+
+	// One atomic flag, flipped by context.AfterFunc, makes the per-chunk
+	// cancellation check a plain load instead of a channel poll.
+	if ctx != nil && ctx.Done() != nil {
+		stopWatch := context.AfterFunc(ctx, func() { stopped.Store(true) })
+		defer stopWatch()
+	}
 
 	// ran records which iterations actually executed.  Every index has
 	// exactly one owner (the worker that claimed it), so plain bools
@@ -151,6 +199,15 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 	// boundaries (or loop exit) by the callers, so the hot path pays no
 	// per-iteration busy-slot lookup.
 	runIter := func(i, vpn int) {
+		defer func() {
+			if r := recover(); r != nil {
+				pe := &cancel.PanicError{Iter: i, VPN: vpn, Value: r, Stack: debug.Stack()}
+				if panicAt.CompareAndSwap(nil, pe) {
+					m.WorkerPanic()
+				}
+				stopped.Store(true)
+			}
+		}()
 		ts := obs.Start(tr)
 		c := body(i, vpn)
 		ran[i] = true
@@ -177,6 +234,9 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 		case Static:
 			issued, done := 0, 0
 			for i := vpn; i < n; i += p {
+				if stopped.Load() {
+					break
+				}
 				issued++
 				if int64(i) > quitAt.Load() {
 					// A smaller iteration already quit; do not begin
@@ -195,11 +255,12 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 				var lo, hi int
 				for {
 					cur := next.Load()
-					if cur >= int64(n) || cur > quitAt.Load() {
-						// Either the space is exhausted or a QUIT at an
-						// index below the next chunk has been posted —
-						// claiming further chunks could only produce
-						// overshoot, so stop issuing promptly.
+					if stopped.Load() || cur >= int64(n) || cur > quitAt.Load() {
+						// The space is exhausted, a QUIT at an index
+						// below the next chunk has been posted, or the
+						// context was canceled — claiming further chunks
+						// could only produce dead work, so stop issuing
+						// promptly.
 						return
 					}
 					size := (int64(n) - cur + int64(2*p) - 1) / int64(2*p)
@@ -218,7 +279,7 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 				m.GuidedChunk(hi - lo)
 				done := 0
 				for i := lo; i < hi; i++ {
-					if int64(i) > quitAt.Load() {
+					if stopped.Load() || int64(i) > quitAt.Load() {
 						m.IterExecutedN(vpn, done)
 						return
 					}
@@ -246,7 +307,7 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 				var lo, hi int
 				for {
 					cur := next.Load()
-					if cur >= int64(n) || cur > quitAt.Load() {
+					if stopped.Load() || cur >= int64(n) || cur > quitAt.Load() {
 						return
 					}
 					size := chunk
@@ -268,7 +329,7 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 				}
 				done := 0
 				for i := lo; i < hi; i++ {
-					if int64(i) > quitAt.Load() {
+					if stopped.Load() || int64(i) > quitAt.Load() {
 						m.IterExecutedN(vpn, done)
 						return
 					}
@@ -285,11 +346,17 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 		// vpn >= p (the clamp above makes this impossible, but a
 		// smaller Procs is allowed) just arrive at the barrier.
 		m.PoolDispatch(p)
-		opts.Pool.Run(func(vpn int) {
+		if err := opts.Pool.Run(func(vpn int) {
 			if vpn < p {
 				worker(vpn)
 			}
-		})
+		}); err != nil {
+			// Backstop for panics escaping the per-iteration recover
+			// (i.e. in the scheduling code itself, not a body).
+			if pe, ok := cancel.AsPanic(err); ok && panicAt.CompareAndSwap(nil, pe) {
+				m.WorkerPanic()
+			}
+		}
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(p)
@@ -302,24 +369,43 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 		wg.Wait()
 	}
 
-	// Exact accounting against the final quit index.
+	// Exact accounting against the final quit index; prefix is the first
+	// hole (an unexecuted index), which only cancellation or a panic can
+	// open below the quit index.
 	q := int(quitAt.Load())
-	executed, overshot := 0, 0
+	executed, overshot, prefix := 0, 0, -1
 	for i, r := range ran {
 		if r {
 			executed++
 			if i >= q {
 				overshot++
 			}
+		} else if prefix < 0 {
+			prefix = i
 		}
+	}
+	if prefix < 0 {
+		prefix = n
+	}
+	if q < prefix {
+		prefix = q
 	}
 	m.OvershotAdd(overshot)
 
-	return Result{
+	res := Result{
 		Executed:  executed,
 		QuitIndex: q,
 		Overshot:  overshot,
+		Prefix:    prefix,
 	}
+	if pe := panicAt.Load(); pe != nil {
+		return res, pe
+	}
+	if err := cancel.Err(ctx); err != nil {
+		m.CtxCancel()
+		return res, err
+	}
+	return res, nil
 }
 
 // Dilemma with dynamic scheduling and QUIT: iterations strictly below the
@@ -331,32 +417,105 @@ func DOALL(n int, opts Options, body func(i, vpn int) Control) Result {
 // strictly above the posted quit) or is owned by a processor that will
 // reach it before breaking (static, in-order per processor).
 
-// ForEachProc runs fn(vpn) on procs goroutines and waits; it is the
-// "doall i = 1, nproc" idiom of General-2 (Fig. 4).
-func ForEachProc(procs int, fn func(vpn int)) {
-	ForEachProcObs(procs, obs.Hooks{}, fn)
+// ProcConfig bundles the optional knobs of ForEachProc into one options
+// struct, so the entry point has a single signature instead of the
+// historical ForEachProc/ForEachProcObs/ForEachProcPool triple.  The
+// zero value (no hooks, spawn-per-call) is valid.
+type ProcConfig struct {
+	// Hooks, if non-zero, receives worker spans and pool-dispatch
+	// counts.
+	Hooks obs.Hooks
+	// Pool, if non-nil, dispatches the workers onto a persistent pool
+	// (procs is clamped to its size) instead of spawning goroutines.
+	Pool *Pool
 }
 
-// ForEachProcObs is ForEachProc with observability hooks: each virtual
-// processor's whole activation is traced as one span, so the per-vpn
-// lanes of a Chrome trace show when workers were alive.
-func ForEachProcObs(procs int, h obs.Hooks, fn func(vpn int)) {
+// ForEachProc runs fn(vpn) on procs workers and waits; it is the
+// "doall i = 1, nproc" idiom of General-2 (Fig. 4).  Each virtual
+// processor's whole activation is traced as one span (cfg.Hooks), so
+// the per-vpn lanes of a Chrome trace show when workers were alive.
+//
+// A ctx that is already done prevents any worker from starting; a ctx
+// canceled mid-run cannot interrupt fn (the workers run one activation
+// each — cooperative engines layered on top poll their own stop flags)
+// but is reported in the returned error.  A panicking fn is contained:
+// the first panic is returned as a *cancel.PanicError (Iter == -1, the
+// panic was not tied to an iteration), the remaining workers complete,
+// and the pool barrier, when one is used, always completes.
+func ForEachProc(ctx context.Context, procs int, cfg ProcConfig, fn func(vpn int)) error {
 	if procs < 1 {
 		procs = 1
 	}
-	var wg sync.WaitGroup
-	wg.Add(procs)
-	for k := 0; k < procs; k++ {
-		go func(vpn int) {
-			defer wg.Done()
-			ts := obs.Start(h.T)
-			fn(vpn)
-			if h.T != nil {
-				obs.Span(h.T, ts, "worker", "foreachproc", vpn, nil)
-			}
-		}(k)
+	h := cfg.Hooks
+	if err := cancel.Err(ctx); err != nil {
+		h.M.CtxCancel()
+		return err
 	}
-	wg.Wait()
+
+	var panicAt atomic.Pointer[cancel.PanicError]
+	run := func(vpn int) {
+		defer func() {
+			if r := recover(); r != nil {
+				pe := &cancel.PanicError{Iter: -1, VPN: vpn, Value: r, Stack: debug.Stack()}
+				if panicAt.CompareAndSwap(nil, pe) {
+					h.M.WorkerPanic()
+				}
+			}
+		}()
+		ts := obs.Start(h.T)
+		fn(vpn)
+		if h.T != nil {
+			obs.Span(h.T, ts, "worker", "foreachproc", vpn, nil)
+		}
+	}
+
+	if pool := cfg.Pool; pool != nil {
+		if procs > pool.Size() {
+			procs = pool.Size()
+		}
+		h.M.PoolDispatch(procs)
+		if err := pool.Run(func(vpn int) {
+			if vpn < procs {
+				run(vpn)
+			}
+		}); err != nil {
+			if pe, ok := cancel.AsPanic(err); ok && panicAt.CompareAndSwap(nil, pe) {
+				h.M.WorkerPanic()
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(procs)
+		for k := 0; k < procs; k++ {
+			go func(vpn int) {
+				defer wg.Done()
+				run(vpn)
+			}(k)
+		}
+		wg.Wait()
+	}
+
+	if pe := panicAt.Load(); pe != nil {
+		return pe
+	}
+	if err := cancel.Err(ctx); err != nil {
+		h.M.CtxCancel()
+		return err
+	}
+	return nil
+}
+
+// ForEachProcObs is the legacy hooks-arity entry point.
+//
+// Deprecated: use ForEachProc with a ProcConfig.  This wrapper runs on
+// context.Background() and re-panics a contained worker panic to
+// preserve the historical crash semantics.
+func ForEachProcObs(procs int, h obs.Hooks, fn func(vpn int)) {
+	if err := ForEachProc(context.Background(), procs, ProcConfig{Hooks: h}, fn); err != nil {
+		if pe, ok := cancel.AsPanic(err); ok {
+			panic(pe.Value)
+		}
+	}
 }
 
 // MinReduce computes the minimum over per-processor values, the

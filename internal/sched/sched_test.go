@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -145,13 +146,17 @@ func TestDOALLQuitProperty(t *testing.T) {
 
 func TestForEachProc(t *testing.T) {
 	var mask atomic.Int64
-	ForEachProc(6, func(vpn int) { mask.Add(1 << vpn) })
+	if err := ForEachProc(context.Background(), 6, ProcConfig{}, func(vpn int) { mask.Add(1 << vpn) }); err != nil {
+		t.Fatalf("ForEachProc: %v", err)
+	}
 	if mask.Load() != (1<<6)-1 {
 		t.Fatalf("mask = %b", mask.Load())
 	}
 	// procs < 1 coerces to 1.
 	calls := 0
-	ForEachProc(0, func(vpn int) { calls++ })
+	if err := ForEachProc(context.Background(), 0, ProcConfig{}, func(vpn int) { calls++ }); err != nil {
+		t.Fatalf("ForEachProc: %v", err)
+	}
 	if calls != 1 {
 		t.Fatalf("ForEachProc(0) ran %d times", calls)
 	}

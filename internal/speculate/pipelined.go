@@ -1,8 +1,10 @@
 package speculate
 
 import (
+	"context"
 	"fmt"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
@@ -94,7 +96,22 @@ type pipeResult struct {
 // exception, no QUIT, every iteration valid) — the common case strip
 // mining is sized for; anything else ends or restarts the pipeline
 // anyway, so there is nothing useful to run ahead.
+//
+// RunStrippedPipelined is RunStrippedPipelinedCtx under
+// context.Background().
 func RunStrippedPipelined(spec Spec, total, strip int, par StripPar, seq StripSeq) (StripReport, error) {
+	return RunStrippedPipelinedCtx(context.Background(), spec, total, strip, par, seq)
+}
+
+// RunStrippedPipelinedCtx is the pipelined protocol under a context.
+// Cancellation points are the strip boundaries, with one pipelined
+// twist: when the overlapped strip k+1 surfaces a cancellation (or a
+// contained panic with Spec.PanicFallback unset) while strip k commits,
+// k+1 is squashed — rewound via its generation's post-k checkpoint,
+// counted in Squashed — so the shared arrays hold exactly the committed
+// prefix through strip k before the typed error unwinds.  Cancellation
+// never falls back to sequential re-execution.
+func RunStrippedPipelinedCtx(ctx context.Context, spec Spec, total, strip int, par StripPar, seq StripSeq) (StripReport, error) {
 	if par == nil || seq == nil {
 		return StripReport{}, fmt.Errorf("speculate: both strip runners are required")
 	}
@@ -129,6 +146,10 @@ func RunStrippedPipelined(spec Spec, total, strip int, par StripPar, seq StripSe
 	if lo >= total {
 		return rep, nil
 	}
+	if cerr := cancel.Err(ctx); cerr != nil {
+		mx.CtxCancel()
+		return rep, cerr
+	}
 
 	// Prime the pipeline: the first strip has nothing to overlap.
 	a.prepare()
@@ -136,6 +157,26 @@ func RunStrippedPipelined(spec Spec, total, strip int, par StripPar, seq StripSe
 
 	for lo < total {
 		hi := clamp(lo + strip)
+		if spec.wantsUnwind(err) {
+			// The strip in generation A executed but is unvalidated and
+			// uncommitted; rewind it so only the committed prefix
+			// remains, then unwind.  No overlap is in flight here: the
+			// join below intercepts a canceled overlapped strip itself.
+			mx.SpecAbort(fmt.Sprintf("strip [%d,%d) unwound: %v", lo, hi, err))
+			if rerr := a.ts.RestoreAll(); rerr != nil {
+				return rep, rerr
+			}
+			return rep, err
+		}
+		if cerr := cancel.Err(ctx); cerr != nil {
+			// The runner did not observe the cancellation itself; the
+			// unvalidated strip in A is discarded the same way.
+			mx.CtxCancel()
+			if rerr := a.ts.RestoreAll(); rerr != nil {
+				return rep, rerr
+			}
+			return rep, cerr
+		}
 		rep.Strips++
 		mx.SpecAttempt()
 		stripStart := obs.Start(tr)
@@ -174,6 +215,18 @@ func RunStrippedPipelined(spec Spec, total, strip int, par StripPar, seq StripSe
 			if next != nil {
 				r := <-next
 				valid, done, err = r.valid, r.done, r.err
+				if spec.wantsUnwind(err) {
+					// The overlapped strip was canceled (or panicked)
+					// mid-flight: squash it against generation B's
+					// post-k checkpoint so the arrays keep exactly the
+					// prefix committed through strip k.
+					if rerr := b.ts.RestoreAll(); rerr != nil {
+						return rep, rerr
+					}
+					mx.PipelineSquash()
+					rep.Squashed++
+					return rep, err
+				}
 				a, b = b, a
 			}
 			continue

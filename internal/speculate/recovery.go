@@ -1,8 +1,10 @@
 package speculate
 
 import (
+	"context"
 	"fmt"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/costmodel"
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
@@ -81,7 +83,20 @@ type RecoveryReport struct {
 // rounds the remainder runs sequentially.  With Recovery.Enabled false
 // it degenerates to per-window all-or-nothing fallback (the baseline
 // protocol, kept for comparison like tsmem.NewAtomic).
+//
+// RunRecovering is RunRecoveringCtx under context.Background().
 func RunRecovering(spec Spec, total int, par StripPar, seq StripSeq) (RecoveryReport, error) {
+	return RunRecoveringCtx(context.Background(), spec, total, par, seq)
+}
+
+// RunRecoveringCtx is the adaptive engine under a context.  The window
+// boundary is the cancellation point: once ctx is done no further
+// window starts and the report carries the committed position as Valid
+// together with ErrCanceled/ErrDeadline.  A cancellation (or a
+// contained panic with Spec.PanicFallback unset) surfaced by the window
+// runner rewinds the current window before unwinding; neither triggers
+// the sequential completion path.
+func RunRecoveringCtx(ctx context.Context, spec Spec, total int, par StripPar, seq StripSeq) (RecoveryReport, error) {
 	if par == nil || seq == nil {
 		return RecoveryReport{}, fmt.Errorf("speculate: both strip runners are required")
 	}
@@ -133,6 +148,13 @@ func RunRecovering(spec Spec, total int, par StripPar, seq StripSeq) (RecoveryRe
 	var rep RecoveryReport
 	pos := 0
 	for pos < total {
+		if cerr := cancel.Err(ctx); cerr != nil {
+			// Everything below pos is committed; the next window has
+			// not started.
+			mx.CtxCancel()
+			rep.Valid = pos
+			return rep, cerr
+		}
 		// After the round budget is spent, finish sequentially.
 		if rep.Rounds >= maxRounds {
 			v, done := seq(pos, total)
@@ -155,6 +177,14 @@ func RunRecovering(spec Spec, total int, par StripPar, seq StripSeq) (RecoveryRe
 		}
 
 		valid, done, err := par(tracker, pos, hi)
+		if spec.wantsUnwind(err) {
+			mx.SpecAbort(fmt.Sprintf("window [%d,%d) unwound: %v", pos, hi, err))
+			if rerr := ts.RestoreAll(); rerr != nil {
+				return rep, rerr
+			}
+			rep.Valid = pos
+			return rep, err
+		}
 		ok := err == nil && valid >= 0 && valid <= hi-pos
 		firstViol := -1
 		if ok {

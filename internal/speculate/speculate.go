@@ -13,9 +13,11 @@
 package speculate
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
@@ -63,12 +65,34 @@ type Spec struct {
 	// and execution resumes from the violation point instead of
 	// restarting the whole loop.  See the Recovery type.
 	Recovery Recovery
+	// PanicFallback, when set, treats a contained worker panic
+	// (cancel.ErrWorkerPanic from the parallel runner) like any other
+	// exception: restore the checkpoint and re-execute sequentially.
+	// When unset (the default) the engine restores and returns the
+	// panic error to the caller instead of silently absorbing it.
+	// Cancellation (ErrCanceled/ErrDeadline) never triggers the
+	// sequential fallback regardless of this flag.
+	PanicFallback bool
 	// Metrics, if non-nil, accumulates speculation attempts/commits/
 	// aborts, stamped stores, undo counts and PD verdicts; Tracer, if
 	// non-nil, receives the corresponding events.  Both propagate to
 	// the undo memory and the PD tests.
 	Metrics *obs.Metrics
 	Tracer  obs.Tracer
+}
+
+// wantsUnwind reports whether err must bypass the sequential fallback
+// and unwind to the caller after a restore: cancellation always does,
+// and a contained worker panic does unless spec.PanicFallback routes it
+// through the exception path.
+func (s Spec) wantsUnwind(err error) bool {
+	if err == nil {
+		return false
+	}
+	if cancel.IsCancel(err) {
+		return true
+	}
+	return cancel.IsPanic(err) && !s.PanicFallback
 }
 
 // ParallelRunner executes the loop in parallel using the supplied
@@ -109,8 +133,22 @@ type Report struct {
 	PrefixCommitted int
 }
 
-// Run executes the speculation protocol.
+// Run executes the speculation protocol.  It is RunCtx under
+// context.Background(); use RunCtx for cancellation and deadlines.
 func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
+	return RunCtx(context.Background(), spec, par, seq)
+}
+
+// RunCtx executes the speculation protocol under a context.  Once ctx
+// is done the engine stops before starting the parallel attempt — or,
+// when the runner itself surfaces a cancellation error, restores the
+// checkpoint — and returns ErrCanceled/ErrDeadline.  Cancellation never
+// triggers the sequential fallback: the caller asked to stop, not to
+// finish another way.  A contained worker panic
+// (cancel.ErrWorkerPanic) is restored and returned, unless
+// Spec.PanicFallback routes it through the exception path like any
+// other runner error.
+func RunCtx(ctx context.Context, spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
 	if par == nil || seq == nil {
 		return Report{}, fmt.Errorf("speculate: both parallel and sequential runners are required")
 	}
@@ -120,6 +158,10 @@ func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
 	}
 	if spec.SparseUndo && spec.StampThreshold > 0 {
 		return Report{}, fmt.Errorf("speculate: SparseUndo is incompatible with a stamp threshold")
+	}
+	if err := cancel.Err(ctx); err != nil {
+		spec.Metrics.CtxCancel()
+		return Report{}, err
 	}
 
 	mx, tr := spec.Metrics, spec.Tracer
@@ -168,21 +210,43 @@ func Run(spec Spec, par ParallelRunner, seq SequentialRunner) (Report, error) {
 		tracker = sink
 	}
 
+	restore := func() error {
+		if sp != nil {
+			sp.RestoreAll()
+			return nil
+		}
+		if err := ts.RestoreAll(); err != nil {
+			return fmt.Errorf("speculate: restore failed: %w", err)
+		}
+		return nil
+	}
 	fallback := func(reason string) (Report, error) {
 		mx.SpecAbort(reason)
 		if tr != nil {
 			obs.Instant(tr, "spec-abort", "speculate", 0, map[string]any{"reason": reason})
 		}
-		if sp != nil {
-			sp.RestoreAll()
-		} else if err := ts.RestoreAll(); err != nil {
-			return Report{}, fmt.Errorf("speculate: restore failed: %w", err)
+		if err := restore(); err != nil {
+			return Report{}, err
 		}
 		valid := seq()
 		return Report{Valid: valid, Failure: reason, PD: snapshots(tests, valid)}, nil
 	}
 
 	valid, err := par(tracker)
+	if spec.wantsUnwind(err) {
+		// Cancellation (or a panic the caller wants surfaced): restore
+		// everything the attempt wrote and hand the typed error up —
+		// no sequential fallback.
+		reason := fmt.Sprintf("parallel execution unwound: %v", err)
+		mx.SpecAbort(reason)
+		if tr != nil {
+			obs.Instant(tr, "spec-abort", "speculate", 0, map[string]any{"reason": reason})
+		}
+		if rerr := restore(); rerr != nil {
+			return Report{}, rerr
+		}
+		return Report{Failure: reason}, err
+	}
 	if err != nil {
 		// Exceptions are treated as an invalid parallel execution.
 		return fallback(fmt.Sprintf("exception during parallel execution: %v", err))
@@ -302,13 +366,28 @@ func snapshots(tests []*pdtest.Test, valid int) []pdtest.Result {
 // count; secondRun executes exactly [0, valid) with direct memory
 // access.
 func RunTwice(shared []*mem.Array, firstRun func() (int, error), secondRun func(valid int) error) (int, error) {
-	return RunTwiceObs(shared, 1, obs.Hooks{}, firstRun, secondRun)
+	return RunTwiceCtx(context.Background(), shared, 1, obs.Hooks{}, firstRun, secondRun)
 }
 
 // RunTwiceObs is RunTwice with observability hooks and a worker count
 // for the checkpoint/restore copies: the discovery run counts as a
 // speculation attempt, the re-execution as its commit.
 func RunTwiceObs(shared []*mem.Array, procs int, h obs.Hooks, firstRun func() (int, error), secondRun func(valid int) error) (int, error) {
+	return RunTwiceCtx(context.Background(), shared, procs, h, firstRun, secondRun)
+}
+
+// RunTwiceCtx is RunTwice under a context: a cancellation detected
+// before the discovery run, or between the restore and the
+// re-execution, returns ErrCanceled/ErrDeadline with the shared state
+// restored to the checkpoint (valid count 0 — run-twice commits nothing
+// until the second run completes).  Errors from either runner —
+// including cancellation and contained panics the runners surface
+// themselves — propagate unchanged after the restore.
+func RunTwiceCtx(ctx context.Context, shared []*mem.Array, procs int, h obs.Hooks, firstRun func() (int, error), secondRun func(valid int) error) (int, error) {
+	if err := cancel.Err(ctx); err != nil {
+		h.M.CtxCancel()
+		return 0, err
+	}
 	h.M.SpecAttempt()
 	start := obs.Start(h.T)
 	ts := tsmem.NewSharded(procs, shared...)
@@ -323,6 +402,13 @@ func RunTwiceObs(shared []*mem.Array, procs int, h obs.Hooks, firstRun func() (i
 		return 0, err
 	}
 	if err := ts.RestoreAll(); err != nil {
+		return 0, err
+	}
+	if err := cancel.Err(ctx); err != nil {
+		// The discovery writes are already rewound; skipping the
+		// re-execution leaves the loop exactly un-run.
+		h.M.CtxCancel()
+		h.M.SpecAbort("run-twice canceled before re-execution")
 		return 0, err
 	}
 	if err := secondRun(valid); err != nil {

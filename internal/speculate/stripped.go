@@ -1,8 +1,10 @@
 package speculate
 
 import (
+	"context"
 	"fmt"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
@@ -60,7 +62,22 @@ type StripSeq func(lo, hi int) (valid int, done bool)
 //     every strip's dependences are tested before its values are
 //     trusted, and a failed strip costs one strip's re-execution, not
 //     the whole loop's.
+//
+// RunStripped is RunStrippedCtx under context.Background().
 func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (StripReport, error) {
+	return RunStrippedCtx(context.Background(), spec, total, strip, par, seq)
+}
+
+// RunStrippedCtx is the strip-mined protocol under a context.  The
+// strip boundary is the cancellation point: once ctx is done no further
+// strip starts, and the report carries the valid count of the strips
+// already committed (the committed prefix) together with
+// ErrCanceled/ErrDeadline.  When the strip runner itself surfaces a
+// cancellation — or a contained panic with Spec.PanicFallback unset —
+// the current strip is rewound via its checkpoint before the error
+// unwinds, so the shared arrays hold exactly the committed-prefix
+// state.  Cancellation never falls back to sequential re-execution.
+func RunStrippedCtx(ctx context.Context, spec Spec, total, strip int, par StripPar, seq StripSeq) (StripReport, error) {
 	if par == nil || seq == nil {
 		return StripReport{}, fmt.Errorf("speculate: both strip runners are required")
 	}
@@ -96,6 +113,12 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 
 	var rep StripReport
 	for lo := 0; lo < total; lo += strip {
+		if cerr := cancel.Err(ctx); cerr != nil {
+			// Strips committed so far are final; nothing of the next
+			// one has started, so there is nothing to rewind.
+			mx.CtxCancel()
+			return rep, cerr
+		}
 		hi := lo + strip
 		if hi > total {
 			hi = total
@@ -110,6 +133,13 @@ func RunStripped(spec Spec, total, strip int, par StripPar, seq StripSeq) (Strip
 		}
 
 		valid, done, err := par(tracker, lo, hi)
+		if spec.wantsUnwind(err) {
+			mx.SpecAbort(fmt.Sprintf("strip [%d,%d) unwound: %v", lo, hi, err))
+			if rerr := ts.RestoreAll(); rerr != nil {
+				return rep, rerr
+			}
+			return rep, err
+		}
 		ok := err == nil && valid >= 0 && valid <= hi-lo
 		firstViol := -1
 		if ok {

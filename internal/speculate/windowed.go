@@ -1,8 +1,10 @@
 package speculate
 
 import (
+	"context"
 	"fmt"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/costmodel"
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
@@ -52,7 +54,22 @@ type WindowedBody func(tr mem.Tracker, i, vpn int) (quit bool)
 // on every violation and doubles back on clean runs; after MaxRounds
 // failed rounds (or a violation pinned at the resume point) the
 // remainder completes sequentially via Recovery.SeqFrom.
+//
+// RunWindowed is RunWindowedCtx under context.Background().
 func RunWindowed(spec Spec, n int, cfg window.Config, body WindowedBody, seq SequentialRunner) (WindowedReport, error) {
+	return RunWindowedCtx(context.Background(), spec, n, cfg, body, seq)
+}
+
+// RunWindowedCtx is the sliding-window protocol under a context.  The
+// round boundary is the cancellation point: once ctx is done no further
+// round starts, and the report's Valid is the committed position (0 on
+// the all-or-nothing path, the partially-committed prefix when recovery
+// already salvaged rounds) together with ErrCanceled/ErrDeadline — the
+// sequential completion path is never taken on cancellation.  The
+// WindowedBody has no error channel, so mid-round cancellation is the
+// caller's to arrange (return quit from the body); the engine then
+// validates and commits the shortened prefix normally.
+func RunWindowedCtx(ctx context.Context, spec Spec, n int, cfg window.Config, body WindowedBody, seq SequentialRunner) (WindowedReport, error) {
 	if body == nil || seq == nil {
 		return WindowedReport{}, fmt.Errorf("speculate: body and sequential runner are required")
 	}
@@ -104,6 +121,15 @@ func RunWindowed(spec Spec, n int, cfg window.Config, body WindowedBody, seq Seq
 	var rep WindowedReport
 	pos := 0
 	for {
+		if cerr := cancel.Err(ctx); cerr != nil {
+			// Rounds already partially committed (pos > 0) are final;
+			// the stamps of the last failed round were cleared by its
+			// PartialCommit, so no rewind is pending here.
+			mx.CtxCancel()
+			rep.Valid = pos
+			rep.UsedParallel = pos > 0
+			return rep, cerr
+		}
 		mx.SpecAttempt()
 		runCfg := cfg
 		if policy != nil {

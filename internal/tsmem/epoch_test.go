@@ -1,6 +1,7 @@
 package tsmem
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -45,13 +46,13 @@ func densePair(t *testing.T, rng *rand.Rand, prime func(*Memory)) {
 		// Concurrent phase: each vpn owns a disjoint residue class, so
 		// the store set is deterministic and -race sees the real
 		// interleaving.
-		sched.ForEachProc(procs, func(vpn int) {
+		sched.ForEachProc(context.Background(), procs, sched.ProcConfig{}, func(vpn int) {
 			for i := vpn; i < n; i += procs {
 				iter := base + i
 				te.Store(aE, i, float64(iter), iter, vpn)
 			}
 		})
-		sched.ForEachProc(procs, func(vpn int) {
+		sched.ForEachProc(context.Background(), procs, sched.ProcConfig{}, func(vpn int) {
 			for i := vpn; i < n; i += procs {
 				iter := base + i
 				tx.Store(aX, i, float64(iter), iter, vpn)
@@ -177,7 +178,7 @@ func TestSparseEpochResetMatchesExplicit(t *testing.T) {
 
 			// Concurrent disjoint phase (the -race certification), then
 			// a sequential colliding phase.
-			sched.ForEachProc(procs, func(vpn int) {
+			sched.ForEachProc(context.Background(), procs, sched.ProcConfig{}, func(vpn int) {
 				for i := vpn; i < n; i += procs {
 					if (i+s)%3 == 0 { // sparse: only some locations touched
 						iter := base + i
@@ -185,7 +186,7 @@ func TestSparseEpochResetMatchesExplicit(t *testing.T) {
 					}
 				}
 			})
-			sched.ForEachProc(procs, func(vpn int) {
+			sched.ForEachProc(context.Background(), procs, sched.ProcConfig{}, func(vpn int) {
 				for i := vpn; i < n; i += procs {
 					if (i+s)%3 == 0 {
 						iter := base + i

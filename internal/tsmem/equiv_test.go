@@ -1,6 +1,7 @@
 package tsmem
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -152,7 +153,7 @@ func TestStoreRangeMatchesElementwise(t *testing.T) {
 	me.Checkpoint()
 	trR, trE := mr.Tracker().(mem.RangeTracker), me.Tracker()
 
-	sched.ForEachProc(procs, func(vpn int) {
+	sched.ForEachProc(context.Background(), procs, sched.ProcConfig{}, func(vpn int) {
 		lo := vpn * strip
 		buf := make([]float64, strip)
 		for i := range buf {

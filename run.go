@@ -1,8 +1,10 @@
 package whilepar
 
 import (
+	"context"
 	"fmt"
 
+	"whilepar/internal/cancel"
 	"whilepar/internal/core"
 )
 
@@ -38,7 +40,31 @@ var (
 	// Privatized or RunTwice, or a loop with no strip-mineable
 	// (closed-form) dispatcher.
 	ErrPipelineUnsupported = core.ErrPipelineUnsupported
+	// ErrBadDeadline: Options.Deadline is negative (0 means none).
+	ErrBadDeadline = core.ErrBadDeadline
+	// ErrCanceled: the execution's context was canceled; the Report
+	// carries the committed prefix.  Matches context.Canceled via
+	// errors.Is as well.
+	ErrCanceled = cancel.ErrCanceled
+	// ErrDeadline: the execution's context deadline (or
+	// Options.Deadline) expired; the Report carries the committed
+	// prefix.  Matches context.DeadlineExceeded via errors.Is as well.
+	ErrDeadline = cancel.ErrDeadline
+	// ErrWorkerPanic: a loop body panicked on a worker; the panic was
+	// contained, siblings were stopped, and speculative state was
+	// restored.  Use AsPanicError for the iteration, VP and stack.
+	ErrWorkerPanic = cancel.ErrWorkerPanic
 )
+
+// PanicError carries a contained worker panic: the iteration index and
+// virtual processor it happened on, the recovered value, and the
+// worker's stack.  Errors returned by the entry points match
+// ErrWorkerPanic via errors.Is; AsPanicError extracts the detail.
+type PanicError = cancel.PanicError
+
+// AsPanicError extracts the contained-panic detail from an error
+// returned by any entry point (errors.As under the hood).
+func AsPanicError(err error) (*PanicError, bool) { return cancel.AsPanic(err) }
 
 // ListLoop packages a linked-list WHILE loop (the general-recurrence
 // case) for the unified Run front door: the list head, the remainder
@@ -66,25 +92,41 @@ type ListLoop struct {
 //     with the method selected by Options.ListMethod.
 //
 // Anything else fails with ErrUnsupportedLoop.  Options are validated
-// (Options.Validate) before any goroutine starts, exactly as in the
-// per-method entry points.
+// (Options.Validate) exactly once, before any goroutine starts.
+//
+// Run is RunContext under context.Background(); Options.Deadline still
+// applies.
 func Run(loop any, opt Options) (Report, error) {
+	return RunContext(context.Background(), loop, opt)
+}
+
+// RunContext is the unified front door under a context: the execution
+// observes ctx (and Options.Deadline) cooperatively at iteration, chunk
+// and strip boundaries.  Once ctx is done the engines stop issuing
+// work, squash or restore uncommitted speculative state, and return a
+// Report whose Valid is the committed prefix — the iterations that
+// verifiably match the sequential loop — together with ErrCanceled or
+// ErrDeadline.  A panicking loop body is contained on its worker and
+// surfaced as ErrWorkerPanic (with iteration, VP and stack via
+// AsPanicError); Options.FallbackSequential instead completes such a
+// loop sequentially when a speculative fallback exists.
+func RunContext(ctx context.Context, loop any, opt Options) (Report, error) {
 	switch l := loop.(type) {
 	case *IntLoop:
-		return RunInduction(l, opt)
+		return core.RunInductionCtx(ctx, l, opt)
 	case *FloatLoop:
 		if _, ok := l.Disp.(Affine); ok {
-			return RunAssociative(l, opt)
+			return core.RunAssociativeCtx(ctx, l, opt)
 		}
 		// Non-affine dispatcher types (even on loops classed as
 		// associative) go through RunGeneralNumeric, whose run-time
 		// recognition promotes them to the parallel-prefix path when the
 		// recurrence really is affine.
-		return RunGeneralNumeric(l, opt)
+		return core.RunGeneralNumericCtx(ctx, l, opt)
 	case ListLoop:
-		return RunList(l.Head, l.Body, l.Class, opt)
+		return core.RunListCtx(ctx, l.Head, l.Body, l.Class, opt)
 	case *ListLoop:
-		return RunList(l.Head, l.Body, l.Class, opt)
+		return core.RunListCtx(ctx, l.Head, l.Body, l.Class, opt)
 	}
 	return Report{}, fmt.Errorf("%w: %T (want *IntLoop, *FloatLoop or ListLoop)", ErrUnsupportedLoop, loop)
 }

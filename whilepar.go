@@ -31,6 +31,8 @@
 package whilepar
 
 import (
+	"context"
+
 	"whilepar/internal/core"
 	"whilepar/internal/costmodel"
 	"whilepar/internal/doany"
@@ -191,10 +193,22 @@ type LoopTimes = costmodel.LoopTimes
 // with undo/fallback.
 func RunInduction(l *IntLoop, opt Options) (Report, error) { return core.RunInduction(l, opt) }
 
+// RunInductionContext is RunInduction under a context; see RunContext
+// for the cancellation and panic-containment contract.
+func RunInductionContext(ctx context.Context, l *IntLoop, opt Options) (Report, error) {
+	return core.RunInductionCtx(ctx, l, opt)
+}
+
 // RunAssociative executes a WHILE loop whose dispatcher is an Affine
 // associative recurrence: the dispatcher terms are evaluated by a
 // parallel prefix computation and the remainder runs as a DOALL.
 func RunAssociative(l *FloatLoop, opt Options) (Report, error) { return core.RunAssociative(l, opt) }
+
+// RunAssociativeContext is RunAssociative under a context; see
+// RunContext for the cancellation contract.
+func RunAssociativeContext(ctx context.Context, l *FloatLoop, opt Options) (Report, error) {
+	return core.RunAssociativeCtx(ctx, l, opt)
+}
 
 // RunGeneralNumeric executes a WHILE loop whose dispatcher is an opaque
 // numeric recurrence (a FuncDispatcher): the runtime first tries to
@@ -203,6 +217,12 @@ func RunAssociative(l *FloatLoop, opt Options) (Report, error) { return core.Run
 // distribution (sequential term evaluation + DOALL remainder).
 func RunGeneralNumeric(l *FloatLoop, opt Options) (Report, error) {
 	return core.RunGeneralNumeric(l, opt)
+}
+
+// RunGeneralNumericContext is RunGeneralNumeric under a context; see
+// RunContext for the cancellation contract.
+func RunGeneralNumericContext(ctx context.Context, l *FloatLoop, opt Options) (Report, error) {
+	return core.RunGeneralNumericCtx(ctx, l, opt)
 }
 
 // FuncDispatcher adapts opaque start/next closures to a dispatcher.
@@ -224,9 +244,32 @@ func RunList(head *Node, body ListBody, class Class, opt Options) (Report, error
 	return core.RunList(head, body, class, opt)
 }
 
-// Sequential reference execution (the semantic oracle).
-func RunSequentialInt(l *IntLoop) int     { return loopir.LastValid(l) }
-func RunSequentialFloat(l *FloatLoop) int { return loopir.LastValid(l) }
+// RunListContext is RunList under a context; see RunContext for the
+// cancellation contract.
+func RunListContext(ctx context.Context, head *Node, body ListBody, class Class, opt Options) (Report, error) {
+	return core.RunListCtx(ctx, head, body, class, opt)
+}
+
+// LastValidInt executes the IntLoop sequentially — the semantic oracle
+// every parallel execution must match — and returns the index of the
+// first iteration that does NOT run (equivalently, the number of valid
+// iterations; the last valid iteration is the return value minus one).
+func LastValidInt(l *IntLoop) int { return loopir.LastValid(l) }
+
+// LastValidFloat is LastValidInt for FloatLoops.
+func LastValidFloat(l *FloatLoop) int { return loopir.LastValid(l) }
+
+// RunSequentialInt is the former name of LastValidInt.
+//
+// Deprecated: use LastValidInt — the name states what the function
+// returns (the first un-run iteration index), which "RunSequential" did
+// not.
+func RunSequentialInt(l *IntLoop) int { return LastValidInt(l) }
+
+// RunSequentialFloat is the former name of LastValidFloat.
+//
+// Deprecated: use LastValidFloat.
+func RunSequentialFloat(l *FloatLoop) int { return LastValidFloat(l) }
 
 // DoAnyVerdict is an iteration's report under WHILE-DOANY.
 type DoAnyVerdict = doany.Verdict
