@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race check bench gobench bench-smoke bench-compare tables api api-check
+.PHONY: all fmt vet build test race check bench gobench bench-smoke bench-compare bench-profile tables api api-check
 
 all: check
 
@@ -48,6 +48,8 @@ bench:
 	@cat BENCH_3.json
 	$(GO) run ./cmd/whilebench -pipebench -json -procs 8 > BENCH_4.json
 	@cat BENCH_4.json
+	$(GO) run ./cmd/whilebench -pipebench -json -procs 8 -pipework 0 > BENCH_6.json
+	@cat BENCH_6.json
 
 # A fast variant for CI smoke: small workload, human-readable.
 bench-smoke:
@@ -58,9 +60,18 @@ bench-smoke:
 # Regression guard: rerun the benchmarks and fail if a machine-
 # independent ratio fell more than 20% below the recorded baseline.
 bench-compare:
-	$(GO) run ./cmd/whilebench -membench -procs 8 -elems 65536 -rounds 8 -baseline BENCH_2.json -tol 0.2
+	$(GO) run ./cmd/whilebench -membench -procs 8 -baseline BENCH_2.json -tol 0.2
 	$(GO) run ./cmd/whilebench -recbench -procs 8 -iters 20000 -work 200 -baseline BENCH_3.json -tol 0.2
-	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipeiters 8192 -pipework 100 -baseline BENCH_4.json -tol 0.2
+	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipeiters 8192 -pipework 200 -baseline BENCH_4.json -tol 0.2
+	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipework 0 -baseline BENCH_6.json -tol 0.2
+
+# Profile-first entry point for hot-path work: pprof CPU and heap
+# profiles of the calibrated pipelined benchmark, ready for
+# `go tool pprof cpu.pb.gz` / `go tool pprof mem.pb.gz`.
+bench-profile:
+	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipework 0 \
+	  -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+	@echo "profiles written: cpu.pb.gz mem.pb.gz"
 
 gobench:
 	$(GO) test -bench=. -benchmem ./...

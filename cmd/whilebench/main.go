@@ -77,14 +77,14 @@ func run() int {
 		rounds      = flag.Int("rounds", 32, "store rounds in -membench")
 		recbench    = flag.Bool("recbench", false, "run the misspeculation-recovery benchmark (partial commit vs full restore)")
 		iters       = flag.Int("iters", 100000, "iterations in the -recbench loop")
-		work        = flag.Int("work", 600, "per-iteration spin units in -recbench")
+		work        = flag.Int("work", 600, "per-iteration spin units in -recbench (0 = auto-calibrate to ~2µs/iter)")
 		pipebench   = flag.Bool("pipebench", false, "run the pipelined-pool benchmark (persistent pool + overlap vs spawn-per-strip)")
 		cancelbench = flag.Bool("cancelbench", false, "run the cancellation-latency benchmark (cancel-to-return per engine)")
 		cancelIters = flag.Int("canceliters", 200000, "iterations in the -cancelbench loop")
 		cancelWork  = flag.Int("cancelwork", 200, "per-iteration spin units in -cancelbench")
 		strip       = flag.Int("strip", 64, "strip size in -pipebench")
 		pipeIters   = flag.Int("pipeiters", 16384, "iterations in the -pipebench loop")
-		pipeWork    = flag.Int("pipework", 200, "per-iteration spin units in -pipebench")
+		pipeWork    = flag.Int("pipework", 200, "per-iteration spin units in -pipebench (0 = auto-calibrate to ~2µs/iter)")
 		baseline    = flag.String("baseline", "", "recorded JSON baseline to guard -membench/-recbench/-pipebench against")
 		tol         = flag.Float64("tol", 0.2, "relative tolerance for the -baseline regression guard")
 		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -228,6 +228,11 @@ func run() int {
 		ran = true
 	}
 	if *recbench {
+		if *work == 0 {
+			*work = bench.CalibrateWork(bench.DefaultBodyTarget)
+			fmt.Fprintf(os.Stderr, "whilebench: calibrated -work %d (~%v body per iteration)\n",
+				*work, bench.DefaultBodyTarget)
+		}
 		rep := bench.RecBench(*procs, *iters, *work)
 		if *jsonOut {
 			out, err := bench.RecBenchJSON(rep)
@@ -252,6 +257,11 @@ func run() int {
 		ran = true
 	}
 	if *pipebench {
+		if *pipeWork == 0 {
+			*pipeWork = bench.CalibrateWork(bench.DefaultBodyTarget)
+			fmt.Fprintf(os.Stderr, "whilebench: calibrated -pipework %d (~%v body per iteration)\n",
+				*pipeWork, bench.DefaultBodyTarget)
+		}
 		rep := bench.PipeBench(*procs, *pipeIters, *strip, *pipeWork)
 		if *jsonOut {
 			out, err := bench.PipeBenchJSON(rep)

@@ -1,0 +1,107 @@
+// Package arena pools the large flat slices the speculative machinery
+// allocates per engine invocation — checkpoint copies, stamp shards,
+// epoch tags, PD shadow marks.  A strip-mined run used to pay a fresh
+// O(procs x n) allocation (and the runtime's implied zeroing) for every
+// engine construction; recycling the buffers through sync.Pool turns
+// that into a size check and, where staleness matters, one memclr.
+//
+// Contract: slices handed out by the non-zeroed getters carry arbitrary
+// stale content.  Callers must either fully overwrite them before
+// reading (checkpoint copies, stamp shards behind epoch tags) or
+// request the zeroed variant (epoch tags themselves, where zero means
+// "stale since before any epoch").  Returning a slice via its Put
+// function transfers ownership back — the caller must not retain a
+// reference.
+package arena
+
+import "sync"
+
+// The pools hold pointers-to-slices so Put does not allocate an
+// interface box per call.  Buffers of any capacity share one pool per
+// element type; Get reallocates when the recycled capacity is short,
+// which keeps mixed-size usage correct at the cost of occasionally
+// dropping a small buffer on the floor.
+var (
+	float64Pool = sync.Pool{New: func() any { return new([]float64) }}
+	int64Pool   = sync.Pool{New: func() any { return new([]int64) }}
+	uint32Pool  = sync.Pool{New: func() any { return new([]uint32) }}
+	intPool     = sync.Pool{New: func() any { return new([]int) }}
+)
+
+// Float64s returns a length-n slice with arbitrary content.
+func Float64s(n int) []float64 {
+	p := float64Pool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return (*p)[:n]
+}
+
+// PutFloat64s recycles a slice obtained from Float64s.  nil is a no-op.
+func PutFloat64s(s []float64) {
+	if s == nil {
+		return
+	}
+	float64Pool.Put(&s)
+}
+
+// Int64s returns a length-n slice with arbitrary content.
+func Int64s(n int) []int64 {
+	p := int64Pool.Get().(*[]int64)
+	if cap(*p) < n {
+		*p = make([]int64, n)
+	}
+	return (*p)[:n]
+}
+
+// PutInt64s recycles a slice obtained from Int64s.  nil is a no-op.
+func PutInt64s(s []int64) {
+	if s == nil {
+		return
+	}
+	int64Pool.Put(&s)
+}
+
+// Uint32sZeroed returns a length-n slice of zeros — the "stale before
+// any epoch" state generation-tag consumers require on first use.
+func Uint32sZeroed(n int) []uint32 {
+	p := uint32Pool.Get().(*[]uint32)
+	if cap(*p) < n {
+		// A fresh allocation is already zeroed.
+		*p = make([]uint32, n)
+		return *p
+	}
+	s := (*p)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// PutUint32s recycles a slice obtained from Uint32sZeroed.  nil is a
+// no-op.
+func PutUint32s(s []uint32) {
+	if s == nil {
+		return
+	}
+	uint32Pool.Put(&s)
+}
+
+// Ints returns a length-0 slice with at least the given capacity —
+// the shape dirty-index journals want (append-only, truncated on
+// reset).
+func Ints(capacity int) []int {
+	p := intPool.Get().(*[]int)
+	if cap(*p) < capacity {
+		*p = make([]int, 0, capacity)
+	}
+	return (*p)[:0]
+}
+
+// PutInts recycles a slice obtained from Ints.  nil is a no-op.
+func PutInts(s []int) {
+	if s == nil {
+		return
+	}
+	intPool.Put(&s)
+}

@@ -1,0 +1,65 @@
+package arena
+
+import "testing"
+
+func TestRoundTripSizes(t *testing.T) {
+	a := Float64s(1024)
+	if len(a) != 1024 {
+		t.Fatalf("Float64s(1024) len = %d", len(a))
+	}
+	for i := range a {
+		a[i] = float64(i)
+	}
+	PutFloat64s(a)
+	// A larger request after recycling a smaller buffer must still be
+	// correctly sized.
+	b := Float64s(4096)
+	if len(b) != 4096 {
+		t.Fatalf("Float64s(4096) len = %d", len(b))
+	}
+	PutFloat64s(b)
+
+	s := Int64s(256)
+	if len(s) != 256 {
+		t.Fatalf("Int64s(256) len = %d", len(s))
+	}
+	PutInt64s(s)
+}
+
+func TestUint32sZeroedAfterReuse(t *testing.T) {
+	tags := Uint32sZeroed(512)
+	for i := range tags {
+		tags[i] = 7
+	}
+	PutUint32s(tags)
+	// Whatever buffer comes back — recycled or fresh — must read as
+	// all-stale.
+	again := Uint32sZeroed(512)
+	for i, v := range again {
+		if v != 0 {
+			t.Fatalf("reused tag[%d] = %d, want 0", i, v)
+		}
+	}
+	PutUint32s(again)
+}
+
+func TestIntsComeBackEmpty(t *testing.T) {
+	d := Ints(64)
+	if len(d) != 0 || cap(d) < 64 {
+		t.Fatalf("Ints(64): len=%d cap=%d", len(d), cap(d))
+	}
+	d = append(d, 1, 2, 3)
+	PutInts(d)
+	e := Ints(16)
+	if len(e) != 0 {
+		t.Fatalf("recycled journal has len %d, want 0", len(e))
+	}
+	PutInts(e)
+}
+
+func TestNilPutsAreNoOps(t *testing.T) {
+	PutFloat64s(nil)
+	PutInt64s(nil)
+	PutUint32s(nil)
+	PutInts(nil)
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"time"
+
+	"whilepar/internal/mem"
+)
+
+// Work-loop calibration.
+//
+// Every wall-clock benchmark in this package burns `work` spin units
+// per iteration as the loop body.  That knob has a floor: the tracked
+// parallel paths pay a stamped store plus PD shadow marks per
+// iteration (some tens of nanoseconds), so a body cheaper than that
+// overhead measures nothing but the overhead itself — the historical
+// `-work 200` default (~100-200ns of body on a typical host) sat right
+// on that floor and made every parallel engine look like a slowdown
+// regardless of protocol quality.  CalibrateWork sizes the knob on the
+// measuring host instead of hard-coding it.
+
+// DefaultBodyTarget is the per-iteration body cost calibration aims
+// for when the caller passes `-work 0`: long enough (~2µs) that body
+// work dominates per-iteration tracking overhead by more than an order
+// of magnitude, short enough that the benchmarks stay in CI budgets.
+const DefaultBodyTarget = 2 * time.Microsecond
+
+// calibrateFloor/calibrateCeil bound the returned spin units against a
+// mistimed probe (e.g. a descheduled VM burst making spins look free
+// or enormously expensive).
+const (
+	calibrateFloor = 50
+	calibrateCeil  = 1_000_000
+)
+
+// CalibrateWork returns the spin-unit count whose sequential body cost
+// is approximately target on this host.  It times the same spin loop
+// the workloads use (via a real tracked array store, so the compiler
+// cannot elide it) and scales linearly — the loop body is a pure
+// floating-point recurrence, so per-unit cost is constant.
+func CalibrateWork(target time.Duration) int {
+	if target <= 0 {
+		target = DefaultBodyTarget
+	}
+	const (
+		probeWork  = 4096 // units per probe iteration
+		probeIters = 64
+	)
+	wl := &pipeWorkload{a: mem.NewArray("cal", probeIters), work: probeWork}
+	wl.seq(0, probeIters) // warm the path (page-in, branch predictors)
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		wl.seq(0, probeIters)
+		secs := time.Since(start).Seconds()
+		if rep == 0 || secs < best {
+			best = secs // min-of-reps rejects scheduler preemption spikes
+		}
+	}
+	perUnit := best / float64(probeIters*probeWork)
+	if perUnit <= 0 {
+		return calibrateFloor
+	}
+	w := int(target.Seconds() / perUnit)
+	if w < calibrateFloor {
+		w = calibrateFloor
+	}
+	if w > calibrateCeil {
+		w = calibrateCeil
+	}
+	return w
+}

@@ -28,6 +28,13 @@ func CompareMemBench(cur, base MemBenchReport, tol float64) []string {
 				name, got, want, tol*100, want*(1-tol)))
 		}
 	}
+	// The per-variant ratios are regime-dependent (working-set size
+	// decides how much of the shard traffic hits cache, and first-touch
+	// journal costs scale with elements/rounds), so only a run at the
+	// baseline's own workload shape is comparable.
+	if base.Elements > 0 && (cur.Elements != base.Elements || cur.Rounds != base.Rounds) {
+		return regs
+	}
 	baseBy := make(map[string]MemBenchResult, len(base.Results))
 	for _, r := range base.Results {
 		baseBy[r.Name] = r
@@ -48,8 +55,56 @@ func CompareMemBench(cur, base MemBenchReport, tol float64) []string {
 	return regs
 }
 
-// CompareRecBench checks the recovery report's speedup ratio against
-// the baseline the same way.
+// checkVsSeq guards a measured wall-clock vs-sequential ratio, host-
+// aware.  The guard is skipped entirely when the baseline predates the
+// measured_vs_seq field (old BENCH_3/BENCH_4 payloads decode it as 0).
+// Two rules:
+//
+//   - Absolute: on a host with at least `procs` cores a "parallel win"
+//     that is actually a slowdown (ratio <= 1) fails outright — this is
+//     the check that would have caught the 20x pipelined regression at
+//     its introduction instead of four PRs later.
+//   - Relative: everywhere (including 1-core containers, which cannot
+//     show parallel speedup but must not quietly get slower), the ratio
+//     may not fall below baseline minus twice the usual tolerance —
+//     wall clock jitters more than the simulated ratios, so the band is
+//     wider.
+func checkVsSeq(name string, curRatio, baseRatio float64, hostCPUs, procs int, tol float64) []string {
+	var regs []string
+	if baseRatio <= 0 {
+		return nil
+	}
+	if hostCPUs >= procs && curRatio <= 1 {
+		regs = append(regs, fmt.Sprintf(
+			"%s: %.2fx on a %d-CPU host — the parallel engine is a slowdown vs sequential",
+			name, curRatio, hostCPUs))
+	}
+	if floor := baseRatio * (1 - 2*tol); curRatio < floor {
+		regs = append(regs, fmt.Sprintf(
+			"%s: %.2fx is below baseline %.2fx - %.0f%% (floor %.2fx)",
+			name, curRatio, baseRatio, 2*tol*100, floor))
+	}
+	return regs
+}
+
+// comparableBody reports whether two runs measured similar enough
+// per-iteration body costs (within 2x) for their wall-clock
+// vs-sequential ratios to be comparable at all — the ratio is a
+// function of the body/overhead proportion, so a `-work 100` smoke run
+// cannot be judged against a `-work 600` baseline.  Calibrated runs
+// (`-work 0`) land well inside the band on any one host.  Zero on
+// either side means the baseline predates the ns_per_iter field.
+func comparableBody(curNs, baseNs float64) bool {
+	if curNs <= 0 || baseNs <= 0 {
+		return false
+	}
+	r := curNs / baseNs
+	return r >= 0.5 && r <= 2
+}
+
+// CompareRecBench checks the recovery report's ratios against the
+// baseline: the simulated recovery speedup within tol, and the measured
+// vs-sequential wall-clock ratio host-aware (see checkVsSeq).
 func CompareRecBench(cur, base RecBenchReport, tol float64) []string {
 	var regs []string
 	if base.RecoverySpeedup > 0 && cur.RecoverySpeedup < base.RecoverySpeedup*(1-tol) {
@@ -57,17 +112,39 @@ func CompareRecBench(cur, base RecBenchReport, tol float64) []string {
 			"recovery_speedup: %.2fx is below baseline %.2fx - %.0f%% (floor %.2fx)",
 			cur.RecoverySpeedup, base.RecoverySpeedup, tol*100, base.RecoverySpeedup*(1-tol)))
 	}
+	if comparableBody(cur.NsPerIter, base.NsPerIter) {
+		regs = append(regs, checkVsSeq("measured_vs_seq",
+			cur.MeasuredVsSeq, base.MeasuredVsSeq, cur.HostCPUs, cur.Procs, tol)...)
+	}
 	return regs
 }
 
-// ComparePipeBench checks the pipelined-pool report's speedup ratio
-// against the baseline the same way.
+// ComparePipeBench checks the pipelined-pool report's ratios against
+// the baseline: the simulated pipeline speedup within tol, the measured
+// vs-sequential wall-clock ratio host-aware, and every scaling point
+// the baseline also recorded (matched by proc count).
 func ComparePipeBench(cur, base PipeBenchReport, tol float64) []string {
 	var regs []string
 	if base.PipelineSpeedup > 0 && cur.PipelineSpeedup < base.PipelineSpeedup*(1-tol) {
 		regs = append(regs, fmt.Sprintf(
 			"pipeline_speedup: %.2fx is below baseline %.2fx - %.0f%% (floor %.2fx)",
 			cur.PipelineSpeedup, base.PipelineSpeedup, tol*100, base.PipelineSpeedup*(1-tol)))
+	}
+	if comparableBody(cur.NsPerIter, base.NsPerIter) {
+		regs = append(regs, checkVsSeq("measured_vs_seq",
+			cur.MeasuredVsSeq, base.MeasuredVsSeq, cur.HostCPUs, cur.Procs, tol)...)
+		curBy := make(map[int]PipeScalePoint, len(cur.Scaling))
+		for _, pt := range cur.Scaling {
+			curBy[pt.Procs] = pt
+		}
+		for _, bp := range base.Scaling {
+			cp, ok := curBy[bp.Procs]
+			if !ok {
+				continue
+			}
+			regs = append(regs, checkVsSeq(fmt.Sprintf("scaling[%d].measured_vs_seq", bp.Procs),
+				cp.MeasuredVsSeq, bp.MeasuredVsSeq, cur.HostCPUs, bp.Procs, tol)...)
+		}
 	}
 	return regs
 }

@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func memReport(sharded, batched, ckpt float64) MemBenchReport {
 	return MemBenchReport{
@@ -41,6 +44,115 @@ func TestCompareRecBenchGuard(t *testing.T) {
 	}
 	if regs := CompareRecBench(RecBenchReport{RecoverySpeedup: 2.0}, base, 0.2); len(regs) != 1 {
 		t.Fatalf("want 1 regression, got %v", regs)
+	}
+}
+
+// TestCompareVsSeqGuard covers the host-aware measured-vs-sequential
+// wall-clock guard added after the 20x pipelined slowdown shipped
+// unguarded: absolute (>1x) on hosts with enough cores, baseline-
+// relative with a doubled band everywhere, skipped for old baselines
+// that predate the field.
+func TestCompareVsSeqGuard(t *testing.T) {
+	base := PipeBenchReport{Bench: "pipebench", NsPerIter: 2000, MeasuredVsSeq: 3.0}
+
+	// Old baselines decode measured_vs_seq/ns_per_iter as 0: skipped.
+	old := PipeBenchReport{Bench: "pipebench"}
+	cur := PipeBenchReport{Procs: 8, HostCPUs: 16, NsPerIter: 2000, MeasuredVsSeq: 0.05}
+	if regs := ComparePipeBench(cur, old, 0.2); len(regs) != 0 {
+		t.Fatalf("pre-field baseline must not trigger the guard: %v", regs)
+	}
+
+	// Incomparable body regimes (smoke -work vs baseline -work) skip the
+	// wall-clock guard — the ratio is a function of body/overhead.
+	cur = PipeBenchReport{Procs: 8, HostCPUs: 16, NsPerIter: 200, MeasuredVsSeq: 0.05}
+	if regs := ComparePipeBench(cur, base, 0.2); len(regs) != 0 {
+		t.Fatalf("10x body-cost mismatch must skip the guard: %v", regs)
+	}
+
+	// A "parallel win" that is a slowdown on a capable host fails even
+	// inside the relative band.
+	cur = PipeBenchReport{Procs: 8, HostCPUs: 16, NsPerIter: 2000, MeasuredVsSeq: 0.9}
+	if regs := ComparePipeBench(cur, PipeBenchReport{NsPerIter: 2000, MeasuredVsSeq: 1.1}, 0.2); len(regs) != 1 {
+		t.Fatalf("slowdown on a 16-CPU host must fail absolutely: %v", regs)
+	}
+
+	// On a 1-core host the absolute rule is moot; only the relative
+	// band (doubled tolerance: floor 3.0*0.6=1.8) applies.
+	cur = PipeBenchReport{Procs: 8, HostCPUs: 1, NsPerIter: 2000, MeasuredVsSeq: 2.0}
+	if regs := ComparePipeBench(cur, base, 0.2); len(regs) != 0 {
+		t.Fatalf("within the widened band flagged: %v", regs)
+	}
+	cur.MeasuredVsSeq = 1.0
+	if regs := ComparePipeBench(cur, base, 0.2); len(regs) != 1 {
+		t.Fatalf("want 1 regression below the widened floor, got %v", regs)
+	}
+
+	// Scaling points are matched by proc count and guarded the same way.
+	base.Scaling = []PipeScalePoint{{Procs: 16, MeasuredVsSeq: 2.0}, {Procs: 32, MeasuredVsSeq: 1.5}}
+	cur = PipeBenchReport{
+		Procs: 8, HostCPUs: 1, NsPerIter: 2000, MeasuredVsSeq: 3.0,
+		Scaling: []PipeScalePoint{{Procs: 16, MeasuredVsSeq: 0.5}},
+	}
+	regs := ComparePipeBench(cur, base, 0.2)
+	if len(regs) != 1 { // 16-proc point below 2.0*0.6; 32-proc point absent from cur, skipped
+		t.Fatalf("want 1 scaling regression, got %v", regs)
+	}
+
+	// The recbench guard shares the helper.
+	rb := RecBenchReport{Bench: "recbench", RecoverySpeedup: 4.0, NsPerIter: 2000, MeasuredVsSeq: 2.0}
+	rc := RecBenchReport{Procs: 8, HostCPUs: 1, RecoverySpeedup: 4.0, NsPerIter: 2000, MeasuredVsSeq: 0.5}
+	if regs := CompareRecBench(rc, rb, 0.2); len(regs) != 1 {
+		t.Fatalf("recbench vs-seq regression not flagged: %v", regs)
+	}
+}
+
+// TestCalibrateWork checks the work-loop calibration stays within its
+// clamps and scales with the target.
+func TestCalibrateWork(t *testing.T) {
+	small := CalibrateWork(1 * time.Microsecond)
+	large := CalibrateWork(10 * time.Microsecond)
+	for _, w := range []int{small, large} {
+		if w < calibrateFloor || w > calibrateCeil {
+			t.Fatalf("calibrated work %d outside [%d, %d]", w, calibrateFloor, calibrateCeil)
+		}
+	}
+	if large < small {
+		t.Fatalf("10µs target gave fewer units (%d) than 1µs target (%d)", large, small)
+	}
+	if w := CalibrateWork(0); w < calibrateFloor || w > calibrateCeil {
+		t.Fatalf("default-target calibration %d outside clamps", w)
+	}
+}
+
+// TestPipeBenchReportFields pins the new measured-vs-sequential payload
+// on a tiny workload: host facts recorded, ns/iter derived from the
+// sequential reference, and scaling points present for the main proc
+// count plus the 16- and 32-proc oversubscription columns.
+func TestPipeBenchReportFields(t *testing.T) {
+	rep := PipeBench(4, 2000, 64, 20)
+	if rep.HostCPUs < 1 {
+		t.Fatalf("host_cpus %d", rep.HostCPUs)
+	}
+	if rep.NsPerIter <= 0 {
+		t.Fatalf("ns_per_iter %v", rep.NsPerIter)
+	}
+	if rep.MeasuredVsSeq <= 0 {
+		t.Fatalf("measured_vs_seq %v", rep.MeasuredVsSeq)
+	}
+	want := map[int]bool{4: false, 16: false, 32: false}
+	for _, pt := range rep.Scaling {
+		if _, ok := want[pt.Procs]; !ok {
+			t.Fatalf("unexpected scaling point at %d procs", pt.Procs)
+		}
+		want[pt.Procs] = true
+		if pt.Seconds <= 0 || pt.MeasuredVsSeq <= 0 || pt.SimSpeedup <= 0 {
+			t.Fatalf("degenerate scaling point %+v", pt)
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Fatalf("missing scaling point at %d procs (have %+v)", p, rep.Scaling)
+		}
 	}
 }
 

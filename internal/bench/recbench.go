@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -46,18 +47,29 @@ type RecBenchResult struct {
 type RecBenchReport struct {
 	Bench string `json:"bench"`
 	Procs int    `json:"procs"`
-	Iters int    `json:"iters"`
+	// HostCPUs is runtime.NumCPU() at measurement time; wall-clock
+	// guards only demand measured parallel wins when HostCPUs >= Procs.
+	HostCPUs int `json:"host_cpus"`
+	Iters    int `json:"iters"`
 	// Work is the spin-loop units of computation per iteration.
 	Work int `json:"work"`
 	// ViolationAt is the violation position as a fraction of the
 	// iteration space.
-	ViolationAt float64        `json:"violation_at"`
-	SeqSeconds  float64        `json:"seq_seconds"`
-	Baseline    RecBenchResult `json:"baseline"`
-	Recovery    RecBenchResult `json:"recovery"`
+	ViolationAt float64 `json:"violation_at"`
+	SeqSeconds  float64 `json:"seq_seconds"`
+	// NsPerIter is the sequential body cost in nanoseconds — the knob
+	// the work-loop calibration targets (see CalibrateWork).
+	NsPerIter float64        `json:"ns_per_iter"`
+	Baseline  RecBenchResult `json:"baseline"`
+	Recovery  RecBenchResult `json:"recovery"`
 	// MeasuredSpeedup is wall-clock baseline/recovery on the real
 	// backend — machine-dependent, informational only.
 	MeasuredSpeedup float64 `json:"measured_speedup"`
+	// MeasuredVsSeq is wall-clock sequential/recovery — whether the
+	// speculative engine (with recovery on) actually beat plain
+	// sequential execution on this host.  Guarded host-aware in
+	// CompareRecBench, like the pipebench ratio.
+	MeasuredVsSeq float64 `json:"measured_vs_seq"`
 	// SimBaseline/SimRecovery are the simulated makespans (abstract
 	// units) of the two protocols at Procs virtual processors.
 	SimBaseline float64 `json:"sim_baseline"`
@@ -127,7 +139,8 @@ func RecBench(procs, iters, work int) RecBenchReport {
 	w := iters * 9 / 10
 	wl := &recWorkload{a: mem.NewArray("A", iters), n: iters, w: w, r: w + 7, work: work}
 	rep := RecBenchReport{
-		Bench: "recbench", Procs: procs, Iters: iters, Work: work,
+		Bench: "recbench", Procs: procs, HostCPUs: runtime.NumCPU(),
+		Iters: iters, Work: work,
 		ViolationAt: float64(w) / float64(iters),
 	}
 
@@ -135,6 +148,7 @@ func RecBench(procs, iters, work int) RecBenchReport {
 	start := time.Now()
 	wl.seq(0, iters)
 	rep.SeqSeconds = time.Since(start).Seconds()
+	rep.NsPerIter = rep.SeqSeconds / float64(iters) * 1e9
 
 	const reps = 3
 	measure := func(recover bool) RecBenchResult {
@@ -175,6 +189,7 @@ func RecBench(procs, iters, work int) RecBenchReport {
 
 	if rep.Recovery.Seconds > 0 {
 		rep.MeasuredSpeedup = rep.Baseline.Seconds / rep.Recovery.Seconds
+		rep.MeasuredVsSeq = rep.SeqSeconds / rep.Recovery.Seconds
 	}
 	rep.SimBaseline, rep.SimRecovery = simRecoveryProtocols(procs, iters, w)
 	if rep.SimRecovery > 0 {
@@ -237,8 +252,10 @@ func RenderRecBench(rep RecBenchReport) string {
 	for _, r := range []RecBenchResult{rep.Baseline, rep.Recovery} {
 		fmt.Fprintf(&b, "%-16s %10.4f %10d %16d %10d\n", r.Name, r.Seconds, r.Valid, r.PrefixCommitted, r.SeqIters)
 	}
-	fmt.Fprintf(&b, "sequential reference: %.4fs\n", rep.SeqSeconds)
-	fmt.Fprintf(&b, "measured wall-clock speedup (this host): %.2fx\n", rep.MeasuredSpeedup)
+	fmt.Fprintf(&b, "sequential reference: %.4fs (%.0f ns/iter, host has %d CPUs)\n",
+		rep.SeqSeconds, rep.NsPerIter, rep.HostCPUs)
+	fmt.Fprintf(&b, "measured wall-clock speedup (this host): %.2fx vs full-restore, %.2fx vs sequential\n",
+		rep.MeasuredSpeedup, rep.MeasuredVsSeq)
 	fmt.Fprintf(&b, "simulated recovery speedup over full restore (%d VPs): %.2fx\n",
 		rep.Procs, rep.RecoverySpeedup)
 	return b.String()

@@ -95,6 +95,12 @@ type Metrics struct {
 	pipeSquashed   atomic.Int64
 	epochResets    atomic.Int64
 
+	// Work-stealing schedule and incremental checkpoint re-arm.
+	stealChunks  atomic.Int64
+	stealIters   atomic.Int64
+	deltaCheckps atomic.Int64
+	deltaCheckWd atomic.Int64
+
 	// Cancellation and panic containment.
 	ctxCancels   atomic.Int64
 	workerPanics atomic.Int64
@@ -439,6 +445,27 @@ func (m *Metrics) EpochReset() {
 	m.epochResets.Add(1)
 }
 
+// StealChunk records one chunk of the given size a worker claimed from
+// another worker's block under the Stealing schedule.
+func (m *Metrics) StealChunk(size int) {
+	if m == nil {
+		return
+	}
+	m.stealChunks.Add(1)
+	m.stealIters.Add(int64(size))
+}
+
+// DeltaCheckpointDone records one incremental checkpoint re-arm that
+// refreshed only the given number of dirtied words instead of
+// recopying every tracked array.
+func (m *Metrics) DeltaCheckpointDone(words int) {
+	if m == nil {
+		return
+	}
+	m.deltaCheckps.Add(1)
+	m.deltaCheckWd.Add(int64(words))
+}
+
 // CtxCancel records one execution abandoned because its context was
 // canceled or its deadline expired.
 func (m *Metrics) CtxCancel() {
@@ -522,6 +549,15 @@ type Snapshot struct {
 	// EpochResets counts O(1) stamp resets done by generation bump.
 	EpochResets int64
 
+	// StealChunks/StealIters count chunks (and the iterations they
+	// covered) claimed from another worker's block by the Stealing
+	// schedule.
+	StealChunks, StealIters int64
+	// DeltaCheckpoints counts incremental checkpoint re-arms;
+	// DeltaCheckpointWords the dirtied words they refreshed (vs the
+	// full-array words a Checkpoint would copy).
+	DeltaCheckpoints, DeltaCheckpointWords int64
+
 	// CtxCancels counts executions abandoned on a canceled or expired
 	// context; WorkerPanics counts loop-body panics contained by the
 	// workers' recover backstops.
@@ -574,6 +610,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		PipelinedStrips:        m.pipeOverlapped.Load(),
 		PipelineSquashes:       m.pipeSquashed.Load(),
 		EpochResets:            m.epochResets.Load(),
+		StealChunks:            m.stealChunks.Load(),
+		StealIters:             m.stealIters.Load(),
+		DeltaCheckpoints:       m.deltaCheckps.Load(),
+		DeltaCheckpointWords:   m.deltaCheckWd.Load(),
 		CtxCancels:             m.ctxCancels.Load(),
 		WorkerPanics:           m.workerPanics.Load(),
 	}
@@ -622,6 +662,10 @@ func (s Snapshot) String() string {
 	if s.PoolDispatches > 0 || s.PipelinedStrips > 0 || s.EpochResets > 0 {
 		fmt.Fprintf(&b, "pool:       dispatches=%d (max %d workers) pipelined-strips=%d squashes=%d epoch-resets=%d\n",
 			s.PoolDispatches, s.PoolMaxWorkers, s.PipelinedStrips, s.PipelineSquashes, s.EpochResets)
+	}
+	if s.StealChunks > 0 || s.DeltaCheckpoints > 0 {
+		fmt.Fprintf(&b, "hot path:   steals=%d (%d iters) delta-checkpoints=%d (%d words)\n",
+			s.StealChunks, s.StealIters, s.DeltaCheckpoints, s.DeltaCheckpointWords)
 	}
 	if s.CtxCancels > 0 || s.WorkerPanics > 0 {
 		fmt.Fprintf(&b, "cancel:     ctx-cancels=%d worker-panics=%d\n", s.CtxCancels, s.WorkerPanics)

@@ -31,12 +31,23 @@
 // contention-free; iterations on one processor run sequentially, which
 // is what makes the exposed-read determination (did *this* iteration
 // already write the element?) exact.
+//
+// Strip-mining throughput: a strip-mined execution runs the PD test
+// once per strip, so the per-strip costs must be proportional to the
+// strip's accesses, not to the array length.  The shadow slots are
+// therefore epoch-tagged — a slot is live only if its generation tag
+// equals the test's current epoch, making Reset a single counter bump —
+// and each processor journals the elements it touches, so Analyze
+// merges exactly the touched set instead of sweeping all n elements.
+// NewEager keeps the eager-sweep, full-scan scheme as the equivalence
+// oracle and baseline.
 package pdtest
 
 import (
 	"math"
 	"sync/atomic"
 
+	"whilepar/internal/arena"
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
 	"whilepar/internal/sched"
@@ -53,22 +64,63 @@ type shadow struct {
 	// w1 <= w2 are the two smallest distinct iterations on this
 	// processor that wrote e; r1 <= r2 likewise for exposed reads.
 	w1, w2, r1, r2 []int64
+	// tag[e] is the epoch that last initialized element e's slots; the
+	// slots are live only while tag[e] equals the test's current epoch.
+	// In eager mode every tag is pinned to the never-moving epoch, so
+	// the liveness check is always true and the eager Reset sweep
+	// carries the slot reinitialization.
+	tag []uint32
+	// dirty journals the elements this processor touched in the current
+	// epoch (first touch only), giving Analyze its worklist.  Unused
+	// (empty) in eager mode.
+	dirty []int
+	// accesses counts marks made by this processor since the last
+	// Reset; the per-shadow split keeps the hot path free of shared
+	// atomics (summed post-barrier by Accesses).
+	accesses int64
 }
 
-func newShadow(n int) *shadow {
+func newShadow(n int, eager bool) *shadow {
 	s := &shadow{
-		lastWriter: make([]int64, n),
-		w1:         make([]int64, n),
-		w2:         make([]int64, n),
-		r1:         make([]int64, n),
-		r2:         make([]int64, n),
+		lastWriter: arena.Int64s(n),
+		w1:         arena.Int64s(n),
+		w2:         arena.Int64s(n),
+		r1:         arena.Int64s(n),
+		r2:         arena.Int64s(n),
+		tag:        arena.Uint32sZeroed(n),
 	}
-	for i := 0; i < n; i++ {
+	if eager {
+		// Pin every tag live and eagerly initialize every slot: the
+		// pre-epoch scheme, where Reset's sweep is the only
+		// reinitialization.
+		for i := 0; i < n; i++ {
+			s.tag[i] = 1
+		}
+		s.sweep()
+	} else {
+		s.dirty = arena.Ints(64)
+	}
+	return s
+}
+
+// sweep reinitializes every slot (eager mode only).
+func (s *shadow) sweep() {
+	for i := range s.lastWriter {
 		s.lastWriter[i] = -1
 		s.w1[i], s.w2[i] = never, never
 		s.r1[i], s.r2[i] = never, never
 	}
-	return s
+}
+
+func (s *shadow) release() {
+	arena.PutInt64s(s.lastWriter)
+	arena.PutInt64s(s.w1)
+	arena.PutInt64s(s.w2)
+	arena.PutInt64s(s.r1)
+	arena.PutInt64s(s.r2)
+	arena.PutUint32s(s.tag)
+	arena.PutInts(s.dirty)
+	*s = shadow{}
 }
 
 // atomicMin lowers a to v if v is smaller.
@@ -95,9 +147,19 @@ func insert2(a, b *int64, v int64) {
 
 // Test is a PD test instance for one shared array.
 type Test struct {
-	arr      *mem.Array
-	shadows  []*shadow
-	accesses atomic.Int64
+	arr     *mem.Array
+	shadows []*shadow
+	// epoch is the current shadow generation.  It starts at 1 so the
+	// zeroed tags of a fresh allocation are already stale; in eager
+	// mode it never moves.
+	epoch uint32
+	eager bool
+
+	// seen/seenGen deduplicate the per-shadow dirty journals into
+	// touched, Analyze's worklist (epoch mode only).
+	seen    []uint32
+	seenGen uint32
+	touched []int
 
 	// Optional observability hooks (nil-safe).
 	obsM *obs.Metrics
@@ -109,66 +171,117 @@ type Test struct {
 func (t *Test) SetObs(mx *obs.Metrics, tr obs.Tracer) { t.obsM, t.obsT = mx, tr }
 
 // New creates a PD test for array a with marking state for procs virtual
-// processors.
-func New(a *mem.Array, procs int) *Test {
+// processors.  Shadow slots are epoch-tagged and touch-journaled, so
+// Reset is O(1) and Analyze visits only touched elements.
+func New(a *mem.Array, procs int) *Test { return newTest(a, procs, false) }
+
+// NewEager is New with epoch tagging disabled: every slot is eagerly
+// initialized, Reset sweeps all procs x n slots, and Analyze scans every
+// element.  It is retained as the equivalence oracle for the journaled
+// fast path and as its benchmark baseline.
+func NewEager(a *mem.Array, procs int) *Test { return newTest(a, procs, true) }
+
+func newTest(a *mem.Array, procs int, eager bool) *Test {
 	if procs < 1 {
 		procs = 1
 	}
-	t := &Test{arr: a, shadows: make([]*shadow, procs)}
+	t := &Test{arr: a, shadows: make([]*shadow, procs), epoch: 1, eager: eager}
 	for k := range t.shadows {
-		t.shadows[k] = newShadow(a.Len())
+		t.shadows[k] = newShadow(a.Len(), eager)
+	}
+	if !eager {
+		t.seen = arena.Uint32sZeroed(a.Len())
 	}
 	return t
+}
+
+// Release returns the test's shadow buffers to the shared arena.  The
+// test must not be used afterwards; call it when an engine is done with
+// its per-invocation tests.
+func (t *Test) Release() {
+	for _, s := range t.shadows {
+		s.release()
+	}
+	t.shadows = nil
+	arena.PutUint32s(t.seen)
+	t.seen = nil
+	arena.PutInts(t.touched)
+	t.touched = nil
 }
 
 // Array returns the array under test.
 func (t *Test) Array() *mem.Array { return t.arr }
 
 // Accesses returns the number of accesses marked so far (the `a` of the
-// cost model's overhead terms).
-func (t *Test) Accesses() int { return int(t.accesses.Load()) }
+// cost model's overhead terms).  Call it after the parallel section: it
+// sums the per-processor counters.
+func (t *Test) Accesses() int {
+	n := int64(0)
+	for _, s := range t.shadows {
+		n += s.accesses
+	}
+	return int(n)
+}
 
 // Observer returns the mem.Observer to be chained into the speculative
 // DOALL's tracker.  Accesses to other arrays are ignored.
 func (t *Test) Observer() mem.Observer { return observer{t} }
 
-type observer struct{ t *Test }
+// slot makes element idx's slots of shadow s live in the current epoch,
+// initializing them and journaling the first touch.
+func (t *Test) slot(s *shadow, idx int) {
+	if s.tag[idx] != t.epoch {
+		s.tag[idx] = t.epoch
+		s.lastWriter[idx] = -1
+		s.w1[idx], s.w2[idx] = never, never
+		s.r1[idx], s.r2[idx] = never, never
+		s.dirty = append(s.dirty, idx)
+	}
+}
 
-func (o observer) ObserveLoad(a *mem.Array, idx, iter, vpn int) {
-	if a != o.t.arr {
+// MarkLoad records one load of a[idx] by iteration iter on processor
+// vpn.  It is the concrete (devirtualized) form of the Observer's
+// ObserveLoad, for callers that fuse the marking into a typed tracker
+// instead of dispatching through a mem.Observer chain.
+func (t *Test) MarkLoad(a *mem.Array, idx, iter, vpn int) {
+	if a != t.arr {
 		return
 	}
-	o.t.accesses.Add(1)
-	s := o.t.shadows[vpn]
+	s := t.shadows[vpn]
+	s.accesses++
+	t.slot(s, idx)
 	if s.lastWriter[idx] == int64(iter) {
 		return // read covered by this iteration's own earlier write
 	}
 	insert2(&s.r1[idx], &s.r2[idx], int64(iter))
 }
 
-func (o observer) ObserveStore(a *mem.Array, idx, iter, vpn int) {
-	if a != o.t.arr {
+// MarkStore records one store, the concrete form of ObserveStore.
+func (t *Test) MarkStore(a *mem.Array, idx, iter, vpn int) {
+	if a != t.arr {
 		return
 	}
-	o.t.accesses.Add(1)
-	s := o.t.shadows[vpn]
+	s := t.shadows[vpn]
+	s.accesses++
+	t.slot(s, idx)
 	if s.lastWriter[idx] != int64(iter) {
 		insert2(&s.w1[idx], &s.w2[idx], int64(iter))
 		s.lastWriter[idx] = int64(iter)
 	}
 }
 
-// ObserveLoadRange marks hi-lo loads with one access-counter update; the
+// MarkLoadRange marks hi-lo loads with one access-counter update; the
 // per-element shadow marking is unchanged, so verdicts are identical to
 // the element-wise path.
-func (o observer) ObserveLoadRange(a *mem.Array, lo, hi, iter, vpn int) {
-	if a != o.t.arr {
+func (t *Test) MarkLoadRange(a *mem.Array, lo, hi, iter, vpn int) {
+	if a != t.arr {
 		return
 	}
-	o.t.accesses.Add(int64(hi - lo))
-	s := o.t.shadows[vpn]
+	s := t.shadows[vpn]
+	s.accesses += int64(hi - lo)
 	it := int64(iter)
 	for idx := lo; idx < hi; idx++ {
+		t.slot(s, idx)
 		if s.lastWriter[idx] == it {
 			continue
 		}
@@ -176,20 +289,32 @@ func (o observer) ObserveLoadRange(a *mem.Array, lo, hi, iter, vpn int) {
 	}
 }
 
-// ObserveStoreRange marks hi-lo stores with one access-counter update.
-func (o observer) ObserveStoreRange(a *mem.Array, lo, hi, iter, vpn int) {
-	if a != o.t.arr {
+// MarkStoreRange marks hi-lo stores with one access-counter update.
+func (t *Test) MarkStoreRange(a *mem.Array, lo, hi, iter, vpn int) {
+	if a != t.arr {
 		return
 	}
-	o.t.accesses.Add(int64(hi - lo))
-	s := o.t.shadows[vpn]
+	s := t.shadows[vpn]
+	s.accesses += int64(hi - lo)
 	it := int64(iter)
 	for idx := lo; idx < hi; idx++ {
+		t.slot(s, idx)
 		if s.lastWriter[idx] != it {
 			insert2(&s.w1[idx], &s.w2[idx], it)
 			s.lastWriter[idx] = it
 		}
 	}
+}
+
+type observer struct{ t *Test }
+
+func (o observer) ObserveLoad(a *mem.Array, idx, iter, vpn int)  { o.t.MarkLoad(a, idx, iter, vpn) }
+func (o observer) ObserveStore(a *mem.Array, idx, iter, vpn int) { o.t.MarkStore(a, idx, iter, vpn) }
+func (o observer) ObserveLoadRange(a *mem.Array, lo, hi, iter, vpn int) {
+	o.t.MarkLoadRange(a, lo, hi, iter, vpn)
+}
+func (o observer) ObserveStoreRange(a *mem.Array, lo, hi, iter, vpn int) {
+	o.t.MarkStoreRange(a, lo, hi, iter, vpn)
 }
 
 // Result is the verdict of the post-execution analysis.
@@ -228,9 +353,11 @@ type Result struct {
 
 // Analyze runs the post-execution analysis, ignoring all marks made by
 // iterations with index >= valid (the time-stamped-marks rule for
-// overshooting WHILE loops).  The element scan is itself executed as a
-// DOALL over the shadow arrays — the analysis is fully parallel
-// regardless of the nature of the original loop.
+// overshooting WHILE loops).  In epoch mode the merge visits exactly
+// the elements some processor touched this epoch (the union of the
+// dirty journals); the eager oracle scans all n elements as a DOALL
+// over the shadow arrays.  Either way the analysis depends only on
+// shadow marks, never on array data.
 func (t *Test) Analyze(valid int) Result { return t.analyze(valid, true) }
 
 // AnalyzeQuiet is Analyze without recording into the observability
@@ -239,6 +366,11 @@ func (t *Test) Analyze(valid int) Result { return t.analyze(valid, true) }
 // decision exactly once.
 func (t *Test) AnalyzeQuiet(valid int) Result { return t.analyze(valid, false) }
 
+// inlineScan is the worklist size below which the merge runs inline on
+// the caller: spawning a DOALL's worth of goroutines costs more than
+// merging a strip-sized touched set.
+const inlineScan = 4096
+
 func (t *Test) analyze(valid int, record bool) Result {
 	n := t.arr.Len()
 	v := int64(valid)
@@ -246,11 +378,41 @@ func (t *Test) analyze(valid int, record bool) Result {
 	var firstViol atomic.Int64
 	firstViol.Store(never)
 
-	sched.DOALL(n, sched.Options{Procs: len(t.shadows)}, func(e, _ int) sched.Control {
+	// Build the worklist: in epoch mode only journaled elements can
+	// carry live marks.  The journals hold first-touches per processor,
+	// so the union is deduplicated against a generation-tagged scratch.
+	work := n
+	if !t.eager {
+		t.seenGen++
+		if t.seenGen == 0 {
+			for i := range t.seen {
+				t.seen[i] = 0
+			}
+			t.seenGen = 1
+		}
+		touched := t.touched[:0]
+		for _, s := range t.shadows {
+			for _, e := range s.dirty {
+				if t.seen[e] != t.seenGen {
+					t.seen[e] = t.seenGen
+					touched = append(touched, e)
+				}
+			}
+		}
+		t.touched = touched
+		work = len(touched)
+	}
+
+	scan := func(e int) {
 		// Merge per-processor marks for element e: the two smallest
 		// distinct writer iterations and exposed-read iterations.
+		// Shadows whose slot is stale (untouched this epoch) carry no
+		// marks for e; in eager mode every tag is pinned live.
 		w1, w2, r1, r2 := never, never, never, never
 		for _, s := range t.shadows {
+			if s.tag[e] != t.epoch {
+				continue
+			}
 			insert2(&w1, &w2, s.w1[e])
 			insert2(&w1, &w2, s.w2[e])
 			insert2(&r1, &r2, s.r1[e])
@@ -278,8 +440,28 @@ func (t *Test) analyze(valid int, record bool) Result {
 				}
 			}
 		}
-		return sched.Continue
-	})
+	}
+
+	switch {
+	case t.eager:
+		// Oracle shape: the element scan is itself a DOALL over the
+		// shadow arrays — fully parallel regardless of the original
+		// loop's nature.
+		sched.DOALL(n, sched.Options{Procs: len(t.shadows)}, func(e, _ int) sched.Control {
+			scan(e)
+			return sched.Continue
+		})
+	case work <= inlineScan || len(t.shadows) == 1:
+		for _, e := range t.touched {
+			scan(e)
+		}
+	default:
+		touched := t.touched
+		sched.DOALL(work, sched.Options{Procs: len(t.shadows)}, func(j, _ int) sched.Control {
+			scan(touched[j])
+			return sched.Continue
+		})
+	}
 
 	res := Result{
 		DOALL:              !outputDep.Load() && !flowAnti.Load(),
@@ -296,7 +478,7 @@ func (t *Test) analyze(valid int, record bool) Result {
 	if record {
 		// The verdict is computed by merging the per-processor shadow
 		// shards element-wise; account that like a stamp-shard merge.
-		t.obsM.ShardMergeDone(len(t.shadows), n)
+		t.obsM.ShardMergeDone(len(t.shadows), work)
 		t.obsM.RecordPD(obs.PDVerdict{
 			Array: t.arr.Name, DOALL: res.DOALL, DOALLWithPriv: res.DOALLWithPriv, Accesses: res.Accesses,
 		})
@@ -311,15 +493,32 @@ func (t *Test) analyze(valid int, record bool) Result {
 
 // Reset clears all marks for reuse across strips (Section 5.1 suggests
 // strip-mining and running the PD test on each strip when the terminator
-// itself depends on a variable with unknown dependences).
+// itself depends on a variable with unknown dependences).  In epoch mode
+// this is one generation bump plus journal truncation — O(touched), not
+// O(procs x n); the eager oracle pays the full sweep.
 func (t *Test) Reset() {
-	n := t.arr.Len()
-	for _, s := range t.shadows {
-		for i := 0; i < n; i++ {
-			s.lastWriter[i] = -1
-			s.w1[i], s.w2[i] = never, never
-			s.r1[i], s.r2[i] = never, never
+	if t.eager {
+		for _, s := range t.shadows {
+			s.sweep()
+		}
+	} else {
+		t.epoch++
+		if t.epoch == 0 {
+			// uint32 wrap: tags written 2^32 generations ago would read
+			// as live again, so pay one full sweep to zero them and
+			// restart at 1 (zero is never a live epoch).
+			for _, s := range t.shadows {
+				for i := range s.tag {
+					s.tag[i] = 0
+				}
+			}
+			t.epoch = 1
+		}
+		for _, s := range t.shadows {
+			s.dirty = s.dirty[:0]
 		}
 	}
-	t.accesses.Store(0)
+	for _, s := range t.shadows {
+		s.accesses = 0
+	}
 }

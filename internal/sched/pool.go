@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -10,18 +11,40 @@ import (
 	"whilepar/internal/obs"
 )
 
+// Spin tuning for the barrier fast path.  A strip-mined loop releases
+// the barrier every few microseconds, so both sides spin briefly on the
+// atomic words — yielding the scheduler periodically to stay fair on
+// oversubscribed hosts — before falling back to a condvar park.
+const (
+	spinArrive = 192  // worker iterations on the sense word before parking
+	spinDone   = 1024 // coordinator iterations on the arrival count before parking
+	yieldEvery = 16
+)
+
 // Pool is a persistent worker-pool executor: p goroutines are spawned
 // once and then parked on a sense-reversing barrier between parallel
 // regions, so a strip-mined speculative loop pays one barrier release
 // per strip instead of p goroutine spawns plus a fresh sync.WaitGroup.
 //
 // The barrier is the classic sense-reversing design generalized to a
-// generation counter: the coordinator publishes a job and advances the
-// shared sense word; each worker holds the last sense it observed, runs
-// the job when the shared word moves past it, and parks again after
-// signalling arrival.  A counter instead of a flipped boolean keeps the
-// same one-word hand-off while making a missed wakeup structurally
-// impossible (a worker can never confuse generation k with k+2).
+// generation counter, with the hand-off moved off the mutex: the
+// coordinator publishes a job and advances an atomic sense word; each
+// worker holds the last sense it ran and spins briefly on the shared
+// word before parking on a condvar, so back-to-back strips release in
+// a handful of atomic loads with no lock traffic at all.  A counter
+// instead of a flipped boolean keeps the same one-word hand-off while
+// making a missed wakeup structurally impossible (a worker can never
+// confuse generation k with k+2).
+//
+// Park/release soundness (Go atomics are sequentially consistent): a
+// worker announces itself in parked before re-checking the sense under
+// the mutex, and the coordinator advances the sense before reading
+// parked.  Whichever order the two sides interleave in, either the
+// coordinator observes the parker and broadcasts under the same mutex,
+// or the worker's under-lock re-check observes the advanced sense and
+// never sleeps.  The completion side mirrors it: the coordinator raises
+// coordWaiting before re-checking the arrival count under its mutex,
+// and the last worker decrements the count before reading coordWaiting.
 //
 // Discipline: a Pool has a single coordinator.  Run blocks until every
 // worker has finished the job, so two concurrent Runs on one Pool are
@@ -37,15 +60,20 @@ import (
 type Pool struct {
 	procs int
 
-	mu   sync.Mutex
-	cv   *sync.Cond // workers park here between regions
-	done *sync.Cond // the coordinator parks here during a region
+	sense  atomic.Uint64 // barrier sense word: advances once per region
+	left   atomic.Int64  // workers that have not yet arrived at the barrier
+	parked atomic.Int64  // workers asleep on cv (coordinator broadcasts only then)
+	closed atomic.Bool
 
-	sense  uint64 // barrier sense word: advances once per region
 	job    func(vpn int)
-	jobErr *cancel.PanicError // first panic contained during the region
-	left   int                // workers that have not yet arrived at the barrier
-	closed bool
+	jobErr atomic.Pointer[cancel.PanicError] // first panic contained during the region
+
+	mu sync.Mutex // guards worker parking only
+	cv *sync.Cond // workers park here between regions
+
+	coordWaiting atomic.Bool
+	doneMu       sync.Mutex // guards coordinator parking only
+	doneCv       *sync.Cond // the coordinator parks here during a long region
 
 	busy atomic.Bool // coordinator-misuse guard
 	wg   sync.WaitGroup
@@ -60,7 +88,7 @@ func NewPool(procs int) *Pool {
 	}
 	p := &Pool{procs: procs}
 	p.cv = sync.NewCond(&p.mu)
-	p.done = sync.NewCond(&p.mu)
+	p.doneCv = sync.NewCond(&p.doneMu)
 	p.wg.Add(procs)
 	for k := 0; k < procs; k++ {
 		go p.worker(k)
@@ -75,30 +103,51 @@ func (p *Pool) worker(vpn int) {
 	defer p.wg.Done()
 	seen := uint64(0) // the sense this worker last ran
 	for {
-		p.mu.Lock()
-		for p.sense == seen && !p.closed {
-			p.cv.Wait()
-		}
-		if p.closed {
-			p.mu.Unlock()
+		if !p.await(seen) {
 			return
 		}
-		seen = p.sense
+		// The single-coordinator discipline means the sense advances
+		// exactly once per region (Run cannot start the next region
+		// until every worker has arrived), so the next generation is
+		// always seen+1.
+		seen++
 		job := p.job
-		p.mu.Unlock()
 
 		pe := runShielded(job, vpn)
-
-		p.mu.Lock()
-		if pe != nil && p.jobErr == nil {
-			p.jobErr = pe
+		if pe != nil {
+			p.jobErr.CompareAndSwap(nil, pe)
 		}
-		p.left--
-		if p.left == 0 {
-			p.done.Signal()
+		if p.left.Add(-1) == 0 && p.coordWaiting.Load() {
+			p.doneMu.Lock()
+			p.doneCv.Signal()
+			p.doneMu.Unlock()
 		}
-		p.mu.Unlock()
 	}
+}
+
+// await blocks until the sense word moves past seen (returning true) or
+// the pool closes (returning false): a bounded spin on the atomic word,
+// then a condvar park announced through the parked counter.
+func (p *Pool) await(seen uint64) bool {
+	for spin := 0; spin < spinArrive; spin++ {
+		if p.sense.Load() != seen {
+			return true
+		}
+		if p.closed.Load() {
+			return false
+		}
+		if spin%yieldEvery == yieldEvery-1 {
+			runtime.Gosched()
+		}
+	}
+	p.parked.Add(1)
+	p.mu.Lock()
+	for p.sense.Load() == seen && !p.closed.Load() {
+		p.cv.Wait()
+	}
+	p.mu.Unlock()
+	p.parked.Add(-1)
+	return p.sense.Load() != seen
 }
 
 // runShielded executes one worker's share of a region behind a recover
@@ -117,9 +166,9 @@ func runShielded(job func(vpn int), vpn int) (pe *cancel.PanicError) {
 }
 
 // Run executes job(vpn) on every worker and returns when all have
-// finished — one barrier release plus one barrier arrival, no spawns.
-// It panics if called concurrently with itself (single coordinator) or
-// after Close.
+// finished — one atomic barrier release plus one barrier arrival, no
+// spawns and (on the fast path) no locks.  It panics if called
+// concurrently with itself (single coordinator) or after Close.
 //
 // A panicking job is contained by the worker's recover backstop so the
 // barrier always completes; the first such panic is returned as a
@@ -130,38 +179,53 @@ func (p *Pool) Run(job func(vpn int)) error {
 		panic("sched: concurrent Pool.Run (a Pool has a single coordinator)")
 	}
 	defer p.busy.Store(false)
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if p.closed.Load() {
 		panic("sched: Pool.Run after Close")
 	}
 	p.job = job
-	p.jobErr = nil
-	p.left = p.procs
-	p.sense++ // release the barrier: workers holding the old sense wake
-	p.cv.Broadcast()
-	for p.left > 0 {
-		p.done.Wait()
+	p.jobErr.Store(nil)
+	p.left.Store(int64(p.procs))
+	p.sense.Add(1) // release: spinning workers see the new generation at once
+	if p.parked.Load() > 0 {
+		p.mu.Lock()
+		p.cv.Broadcast()
+		p.mu.Unlock()
 	}
+	p.awaitDone()
 	p.job = nil
-	var err error
-	if p.jobErr != nil {
-		err = p.jobErr
-		p.jobErr = nil
+	if pe := p.jobErr.Swap(nil); pe != nil {
+		return pe
 	}
-	p.mu.Unlock()
-	return err
+	return nil
+}
+
+// awaitDone blocks until every worker has arrived: a bounded spin on
+// the arrival count, then a condvar park announced via coordWaiting.
+func (p *Pool) awaitDone() {
+	for spin := 0; spin < spinDone; spin++ {
+		if p.left.Load() == 0 {
+			return
+		}
+		if spin%yieldEvery == yieldEvery-1 {
+			runtime.Gosched()
+		}
+	}
+	p.coordWaiting.Store(true)
+	p.doneMu.Lock()
+	for p.left.Load() > 0 {
+		p.doneCv.Wait()
+	}
+	p.doneMu.Unlock()
+	p.coordWaiting.Store(false)
 }
 
 // Close unparks every worker for exit and waits for them to terminate.
 // It must not race a Run; calling it twice is a no-op.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
-	p.closed = true
+	p.mu.Lock()
 	p.cv.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()

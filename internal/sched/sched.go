@@ -63,6 +63,16 @@ const (
 	// load balance.  An extension beyond the paper's dynamic/static
 	// pair, used by the scheduling-overhead ablation.
 	Guided
+	// Stealing splits the iteration space into p contiguous blocks,
+	// one per virtual processor, each with its own (cache-line padded)
+	// claim cursor: a worker drains its home block and only then scans
+	// the other blocks for leftovers.  On the common balanced strip
+	// this removes the all-workers fetch-add contention of Dynamic —
+	// each cursor is touched by one worker — while imbalance still
+	// redistributes through the stealing pass.  QUIT semantics are
+	// preserved by the same monotone-cursor argument as Dynamic,
+	// applied per block (see the dilemma note below DOALLCtx).
+	Stealing
 )
 
 // Options configures a DOALL execution.
@@ -117,6 +127,14 @@ type Result struct {
 	// panic-free execution Prefix == min(QuitIndex, n); after a
 	// cancellation or contained panic it may be smaller.
 	Prefix int
+}
+
+// blockCursor is one Stealing block's claim cursor, padded to a cache
+// line so the p cursors — each written by its home worker on the common
+// balanced path — never false-share.
+type blockCursor struct {
+	c atomic.Int64
+	_ [56]byte
 }
 
 // DOALL executes iterations [0, n) of body on opts.procs() goroutines
@@ -177,8 +195,17 @@ func DOALLCtx(ctx context.Context, n int, opts Options, body func(i, vpn int) Co
 		quitAt  atomic.Int64 // min index that returned Quit
 		stopped atomic.Bool  // cancellation/panic stop flag
 		panicAt atomic.Pointer[cancel.PanicError]
+		blocks  []blockCursor // Stealing: one claim cursor per home block
 	)
 	quitAt.Store(int64(n))
+	blockSpan := 0
+	if opts.Schedule == Stealing {
+		blocks = make([]blockCursor, p)
+		blockSpan = (n + p - 1) / p
+		for k := range blocks {
+			blocks[k].c.Store(int64(k * blockSpan))
+		}
+	}
 
 	// One atomic flag, flipped by context.AfterFunc, makes the per-chunk
 	// cancellation check a plain load instead of a channel poll.
@@ -231,6 +258,71 @@ func DOALLCtx(ctx context.Context, n int, opts Options, body func(i, vpn int) Co
 
 	worker := func(vpn int) {
 		switch opts.Schedule {
+		case Stealing:
+			// Geometric chunking as in Dynamic, but claims hit the home
+			// block's private cursor first; only after the home block is
+			// drained (or killed by a QUIT below it) does the worker
+			// scan the other blocks, round-robin from its own.
+			maxChunk := int64(n / (8 * p))
+			if maxChunk > 64 {
+				maxChunk = 64
+			}
+			if maxChunk < 1 {
+				maxChunk = 1
+			}
+			chunk := int64(1)
+			for d := 0; d < p; d++ {
+				b := (vpn + d) % p
+				end := int64((b + 1) * blockSpan)
+				if end > int64(n) {
+					end = int64(n)
+				}
+				cur := &blocks[b].c
+				for {
+					c := cur.Load()
+					if stopped.Load() {
+						return
+					}
+					if c >= end || c > quitAt.Load() {
+						// Block exhausted, or its smallest unclaimed
+						// index is beyond a posted QUIT: every index
+						// still unclaimed here is dead work.  Cursors
+						// are monotone and quitAt only decreases, so a
+						// finished block never revives — one pass over
+						// all p blocks covers the whole space.
+						break
+					}
+					size := chunk
+					if rem := end - c; size > rem {
+						size = rem
+					}
+					if !cur.CompareAndSwap(c, c+size) {
+						continue
+					}
+					lo, hi := int(c), int(c+size)
+					m.IterIssued(hi - lo)
+					if d == 0 {
+						m.DynamicChunk(hi - lo)
+					} else {
+						m.StealChunk(hi - lo)
+					}
+					if chunk < maxChunk {
+						chunk *= 2
+						if chunk > maxChunk {
+							chunk = maxChunk
+						}
+					}
+					done := 0
+					for i := lo; i < hi; i++ {
+						if stopped.Load() || int64(i) > quitAt.Load() {
+							break
+						}
+						runIter(i, vpn)
+						done++
+					}
+					m.IterExecutedN(vpn, done)
+				}
+			}
 		case Static:
 			issued, done := 0, 0
 			for i := vpn; i < n; i += p {
@@ -415,7 +507,12 @@ func DOALLCtx(ctx context.Context, n int, opts Options, body func(i, vpn int) Co
 // been claimed (dynamic/guided chunks cover the counter's prefix, and
 // each owner processes its chunk in order, skipping only indices
 // strictly above the posted quit) or is owned by a processor that will
-// reach it before breaking (static, in-order per processor).
+// reach it before breaking (static, in-order per processor).  Stealing
+// applies the same argument per block: each block's cursor is monotone,
+// every worker's scan leaves a block only when it is exhausted or its
+// smallest unclaimed index exceeds the posted quit (which only
+// decreases), so an index below the final quit in any block is always
+// claimed by some worker's pass and executed by its in-order chunk walk.
 
 // ProcConfig bundles the optional knobs of ForEachProc into one options
 // struct, so the entry point has a single signature instead of the
@@ -548,7 +645,7 @@ func MinReduceFloat(vals []float64) float64 {
 // silently treated as Dynamic.
 func Validate(s Schedule) error {
 	switch s {
-	case Dynamic, Static, Guided:
+	case Dynamic, Static, Guided, Stealing:
 		return nil
 	}
 	return fmt.Errorf("%w: %d", ErrUnknownSchedule, int(s))

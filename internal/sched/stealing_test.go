@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"whilepar/internal/obs"
+)
+
+// TestStealingExactlyOnce checks the core DOALL contract under the
+// work-stealing schedule: with no QUIT, every iteration runs exactly
+// once, whatever the interleaving of home-block claims and steals.
+func TestStealingExactlyOnce(t *testing.T) {
+	for _, procs := range []int{1, 2, 3, 8, 16} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			counts := make([]atomic.Int32, n)
+			res := DOALL(n, Options{Procs: procs, Schedule: Stealing}, func(i, vpn int) Control {
+				counts[i].Add(1)
+				return Continue
+			})
+			if res.Executed != n || res.QuitIndex != n || res.Overshot != 0 || res.Prefix != n {
+				t.Fatalf("procs=%d n=%d: %+v", procs, n, res)
+			}
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("procs=%d n=%d: iteration %d ran %d times", procs, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestStealingQuitSemantics checks the Alliant QUIT contract under
+// stealing: every iteration below the minimum quitting index runs
+// exactly once, regardless of which block it lives in — including
+// blocks belonging to workers other than the quitter's.
+func TestStealingQuitSemantics(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		const n = 512
+		for _, quit := range []int{0, 1, 100, 255, 511} {
+			counts := make([]atomic.Int32, n)
+			res := DOALL(n, Options{Procs: procs, Schedule: Stealing}, func(i, vpn int) Control {
+				counts[i].Add(1)
+				if i == quit {
+					return Quit
+				}
+				return Continue
+			})
+			if res.QuitIndex != quit {
+				t.Fatalf("procs=%d quit=%d: QuitIndex=%d", procs, quit, res.QuitIndex)
+			}
+			for i := 0; i < quit; i++ {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("procs=%d quit=%d: iteration %d ran %d times", procs, quit, i, c)
+				}
+			}
+			for i := quit; i < n; i++ {
+				if c := counts[i].Load(); c > 1 {
+					t.Fatalf("procs=%d quit=%d: iteration %d ran %d times", procs, quit, i, c)
+				}
+			}
+			if res.Prefix != quit {
+				t.Fatalf("procs=%d quit=%d: Prefix=%d", procs, quit, res.Prefix)
+			}
+		}
+	}
+}
+
+// TestStealingMatchesDynamic treats the shared-counter Dynamic schedule
+// as the oracle: for identical deterministic bodies both schedules must
+// produce identical Results (the executed set above the quit may differ
+// — that is speculative overshoot — but the committed contract must
+// not).
+func TestStealingMatchesDynamic(t *testing.T) {
+	const n = 777
+	for _, procs := range []int{1, 3, 8} {
+		for _, quit := range []int{-1, 0, 300, 776} {
+			run := func(s Schedule) Result {
+				return DOALL(n, Options{Procs: procs, Schedule: s}, func(i, vpn int) Control {
+					if i == quit {
+						return Quit
+					}
+					return Continue
+				})
+			}
+			d, w := run(Dynamic), run(Stealing)
+			if d.QuitIndex != w.QuitIndex || d.Prefix != w.Prefix {
+				t.Fatalf("procs=%d quit=%d: dynamic %+v vs stealing %+v", procs, quit, d, w)
+			}
+			if quit < 0 && (w.Executed != n || d.Executed != n) {
+				t.Fatalf("procs=%d: full space not covered: dynamic %+v vs stealing %+v", procs, d, w)
+			}
+		}
+	}
+}
+
+// TestStealingOnPoolRecordsSteals runs the stealing schedule on a
+// persistent pool with deliberately imbalanced bodies and checks both
+// the contract and (when imbalance forces cross-block claims) the steal
+// metrics plumbing.
+func TestStealingOnPoolRecordsSteals(t *testing.T) {
+	const n, procs = 2048, 8
+	pool := NewPool(procs)
+	defer pool.Close()
+	m := &obs.Metrics{}
+	counts := make([]atomic.Int32, n)
+	res := DOALL(n, Options{Procs: procs, Schedule: Stealing, Pool: pool, Metrics: m}, func(i, vpn int) Control {
+		counts[i].Add(1)
+		if i < n/procs {
+			// Workers owning later blocks finish early and must steal
+			// the slow first block's leftovers.
+			for k := 0; k < 2000; k++ {
+				_ = k * k
+			}
+		}
+		return Continue
+	})
+	if res.Executed != n {
+		t.Fatalf("executed %d of %d", res.Executed, n)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+	// Steal counters are load-dependent; on a single-core host the home
+	// worker may drain its block before anyone else runs.  Just require
+	// the snapshot to be consistent.
+	s := m.Snapshot()
+	if s.StealChunks < 0 || s.StealIters < s.StealChunks {
+		t.Fatalf("inconsistent steal counters: %+v", s)
+	}
+}
+
+// TestPoolStressWideAndOversubscribed hammers 16- and 32-worker pools —
+// far beyond this host's core count — with back-to-back regions, so the
+// spin-then-park barrier's park path, not just the spin path, gets
+// exercised under the race detector.
+func TestPoolStressWideAndOversubscribed(t *testing.T) {
+	for _, procs := range []int{16, 32} {
+		pool := NewPool(procs)
+		perVPN := make([]atomic.Int64, procs)
+		const rounds = 300
+		for r := 0; r < rounds; r++ {
+			if err := pool.Run(func(vpn int) {
+				perVPN[vpn].Add(1)
+			}); err != nil {
+				t.Fatalf("procs=%d round %d: %v", procs, r, err)
+			}
+		}
+		for k := range perVPN {
+			if got := perVPN[k].Load(); got != rounds {
+				t.Fatalf("procs=%d: worker %d ran %d regions, want %d", procs, k, got, rounds)
+			}
+		}
+		// A panicked region must not wedge the barrier.
+		err := pool.Run(func(vpn int) {
+			if vpn == procs/2 {
+				panic("boom")
+			}
+		})
+		if err == nil {
+			t.Fatalf("procs=%d: contained panic not surfaced", procs)
+		}
+		if err := pool.Run(func(vpn int) { perVPN[vpn].Add(1) }); err != nil {
+			t.Fatalf("procs=%d: pool unusable after panic: %v", procs, err)
+		}
+		pool.Close()
+	}
+}

@@ -1,0 +1,170 @@
+package speculate
+
+import (
+	"math/rand"
+	"testing"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/pdtest"
+	"whilepar/internal/sched"
+	"whilepar/internal/tsmem"
+)
+
+// buildPaths constructs, over its own arrays, the devirtualized fused
+// tracker and the mem.Chain interface path it replaces.
+func buildPaths(n, procs int) (fa, ca *mem.Array, ft, ct mem.Tracker, fTests, cTests []*pdtest.Test, fts, cts *tsmem.Memory) {
+	fa, ca = mem.NewArray("a", n), mem.NewArray("a", n)
+	fts, cts = tsmem.NewSharded(procs, fa), tsmem.NewSharded(procs, ca)
+	fT, cT := pdtest.New(fa, procs), pdtest.New(ca, procs)
+	fTests, cTests = []*pdtest.Test{fT}, []*pdtest.Test{cT}
+	ft = newFusedTracker(fts, fTests)
+	ct = mem.Chain{Observers: []mem.Observer{cT.Observer()}, Sink: cts.Tracker()}
+	return
+}
+
+// TestFusedMatchesChainSequential scripts randomized loads and stores
+// through both trackers and demands identical array contents, stamps,
+// and PD verdicts — the devirtualization must be invisible at every
+// observable surface.
+func TestFusedMatchesChainSequential(t *testing.T) {
+	const (
+		n     = 128
+		procs = 4
+		cases = 40
+	)
+	for c := 0; c < cases; c++ {
+		rng := rand.New(rand.NewSource(int64(300 + c)))
+		fa, ca, ft, ct, fTests, cTests, fts, cts := buildPaths(n, procs)
+		fts.Checkpoint()
+		cts.Checkpoint()
+
+		for i := 0; i < 1+rng.Intn(80); i++ {
+			idx, iter, vpn := rng.Intn(n), rng.Intn(50), rng.Intn(procs)
+			if rng.Intn(2) == 0 {
+				v := rng.Float64()
+				ft.Store(fa, idx, v, iter, vpn)
+				ct.Store(ca, idx, v, iter, vpn)
+			} else {
+				v1 := ft.Load(fa, idx, iter, vpn)
+				v2 := ct.Load(ca, idx, iter, vpn)
+				if v1 != v2 {
+					t.Fatalf("case %d: load[%d] %v != %v", c, idx, v1, v2)
+				}
+			}
+		}
+
+		firstValid := rng.Intn(50)
+		r1 := fTests[0].AnalyzeQuiet(firstValid)
+		r2 := cTests[0].AnalyzeQuiet(firstValid)
+		if r1 != r2 {
+			t.Fatalf("case %d: fused verdict %+v != chain %+v", c, r1, r2)
+		}
+		for i := 0; i < n; i++ {
+			if fa.Data[i] != ca.Data[i] {
+				t.Fatalf("case %d: data[%d] %v != %v", c, i, fa.Data[i], ca.Data[i])
+			}
+			if s1, s2 := fts.Stamp(fa, i), cts.Stamp(ca, i); s1 != s2 {
+				t.Fatalf("case %d: stamp[%d] %d != %d", c, i, s1, s2)
+			}
+		}
+		fts.Release()
+		cts.Release()
+		fTests[0].Release()
+	}
+}
+
+// TestFusedMatchesChainRanges does the same for the batched range path
+// (one interposition per strip), which the fused tracker forwards to
+// the concrete MarkRange/StampRange methods.
+func TestFusedMatchesChainRanges(t *testing.T) {
+	const (
+		n     = 256
+		procs = 4
+	)
+	fa, ca, ft, ct, fTests, cTests, fts, cts := buildPaths(n, procs)
+	fts.Checkpoint()
+	cts.Checkpoint()
+
+	fr := ft.(mem.RangeTracker)
+	cr := ct.(mem.RangeTracker)
+
+	src := make([]float64, 64)
+	for i := range src {
+		src[i] = float64(i) * 1.5
+	}
+	fr.StoreRange(fa, 10, src, 3, 1)
+	cr.StoreRange(ca, 10, src, 3, 1)
+
+	dst1, dst2 := make([]float64, 64), make([]float64, 64)
+	fr.LoadRange(fa, 10, 74, dst1, 5, 2)
+	cr.LoadRange(ca, 10, 74, dst2, 5, 2)
+	for i := range dst1 {
+		if dst1[i] != dst2[i] {
+			t.Fatalf("range load[%d]: %v != %v", i, dst1[i], dst2[i])
+		}
+	}
+
+	r1 := fTests[0].AnalyzeQuiet(10)
+	r2 := cTests[0].AnalyzeQuiet(10)
+	if r1 != r2 {
+		t.Fatalf("fused verdict %+v != chain %+v", r1, r2)
+	}
+	for i := 0; i < n; i++ {
+		if fa.Data[i] != ca.Data[i] {
+			t.Fatalf("data[%d] %v != %v", i, fa.Data[i], ca.Data[i])
+		}
+		if s1, s2 := fts.Stamp(fa, i), cts.Stamp(ca, i); s1 != s2 {
+			t.Fatalf("stamp[%d] %d != %d", i, s1, s2)
+		}
+	}
+	fts.Release()
+	cts.Release()
+	fTests[0].Release()
+}
+
+// TestFusedMatchesChainConcurrent is the -race variant: both trackers
+// run the same disjoint-store DOALL and must agree on everything after
+// the barrier.
+func TestFusedMatchesChainConcurrent(t *testing.T) {
+	const (
+		n     = 4096
+		procs = 8
+	)
+	fa, ca, ft, ct, fTests, cTests, fts, cts := buildPaths(n, procs)
+	fts.Checkpoint()
+	cts.Checkpoint()
+
+	run := func(tr mem.Tracker, a *mem.Array) {
+		sched.DOALL(n, sched.Options{Procs: procs, Schedule: sched.Stealing}, func(i, vpn int) sched.Control {
+			v := tr.Load(a, i, i, vpn)
+			tr.Store(a, i, v+float64(i), i, vpn)
+			return sched.Continue
+		})
+	}
+	run(ft, fa)
+	run(ct, ca)
+
+	r1 := fTests[0].AnalyzeQuiet(n)
+	r2 := cTests[0].AnalyzeQuiet(n)
+	if r1 != r2 || !r1.DOALL {
+		t.Fatalf("fused verdict %+v vs chain %+v", r1, r2)
+	}
+	for i := 0; i < n; i++ {
+		if fa.Data[i] != ca.Data[i] {
+			t.Fatalf("data[%d] %v != %v", i, fa.Data[i], ca.Data[i])
+		}
+	}
+	u1, err1 := fts.Undo(n / 2)
+	u2, err2 := cts.Undo(n / 2)
+	if err1 != nil || err2 != nil || u1 != u2 {
+		t.Fatalf("undo: fused (%d,%v) vs chain (%d,%v)", u1, err1, u2, err2)
+	}
+	for i := 0; i < n; i++ {
+		if fa.Data[i] != ca.Data[i] {
+			t.Fatalf("post-undo data[%d] %v != %v", i, fa.Data[i], ca.Data[i])
+		}
+	}
+	fts.Release()
+	cts.Release()
+	fTests[0].Release()
+}

@@ -25,28 +25,47 @@ type pipeGen struct {
 func newPipeGen(spec Spec, procs int) *pipeGen {
 	g := &pipeGen{ts: tsmem.NewSharded(procs, spec.Shared...)}
 	g.ts.SetObs(spec.Metrics, spec.Tracer)
-	var observers []mem.Observer
 	for _, a := range spec.Tested {
 		t := pdtest.New(a, procs)
 		t.SetObs(spec.Metrics, spec.Tracer)
 		g.tests = append(g.tests, t)
-		observers = append(observers, t.Observer())
 	}
-	g.tracker = g.ts.Tracker()
-	if len(observers) > 0 {
-		g.tracker = mem.Chain{Observers: observers, Sink: g.tracker}
-	}
+	g.tracker = newFusedTracker(g.ts, g.tests)
 	return g
+}
+
+// release returns the generation's buffers to the shared arena.
+func (g *pipeGen) release() {
+	g.ts.Release()
+	for _, t := range g.tests {
+		t.Release()
+	}
 }
 
 // prepare re-arms the generation for a new strip: checkpoint the
 // current array state (the rollback target if the strip is squashed or
-// fails) and epoch-reset the stamps and shadow marks.
-func (g *pipeGen) prepare() {
-	g.ts.Checkpoint()
+// fails) and epoch-reset the stamps and shadow marks.  pending is the
+// union of write-sets applied to the arrays since this generation's
+// checkpoint last mirrored them — Rearm refreshes just those locations
+// — or nil to force a full copy.
+func (g *pipeGen) prepare(pending [][]int) {
+	g.ts.Rearm(pending)
 	for _, t := range g.tests {
 		t.Reset()
 	}
+}
+
+// appendWS accumulates a strip's write-set into a generation's pending
+// list.  A nil destination means the generation has no valid baseline
+// to extend (its next prepare full-checkpoints anyway), so it stays nil.
+func appendWS(dst, ws [][]int) [][]int {
+	if dst == nil {
+		return nil
+	}
+	for i := range ws {
+		dst[i] = append(dst[i], ws[i]...)
+	}
+	return dst
 }
 
 // analyze runs the PD test for a strip validated through firstValid
@@ -133,6 +152,15 @@ func RunStrippedPipelinedCtx(ctx context.Context, spec Spec, total, strip int, p
 	mx, tr := spec.Metrics, spec.Tracer
 
 	a, b := newPipeGen(spec, procs), newPipeGen(spec, procs)
+	defer a.release()
+	defer b.release()
+
+	// pendA/pendB track, per generation, the union of write-sets applied
+	// to the arrays since that generation's checkpoint last mirrored
+	// them — what its next prepare must refresh.  nil forces a full
+	// copy.  A generation sits out one strip while the other executes,
+	// so its pending list accumulates (at most) two strips' writes.
+	var pendA, pendB [][]int
 
 	clamp := func(x int) int {
 		if x > total {
@@ -152,7 +180,8 @@ func RunStrippedPipelinedCtx(ctx context.Context, spec Spec, total, strip int, p
 	}
 
 	// Prime the pipeline: the first strip has nothing to overlap.
-	a.prepare()
+	a.prepare(nil)
+	pendA = make([][]int, len(spec.Shared))
 	valid, done, err := par(a.tracker, lo, clamp(lo+strip))
 
 	for lo < total {
@@ -181,8 +210,14 @@ func RunStrippedPipelinedCtx(ctx context.Context, spec Spec, total, strip int, p
 		mx.SpecAttempt()
 		stripStart := obs.Start(tr)
 
+		// Strip k's writes are now in the arrays: both generations'
+		// checkpoints are stale at exactly those locations.
+		wsK := a.ts.WriteSet()
+		pendA = appendWS(pendA, wsK)
+		pendB = appendWS(pendB, wsK)
+
 		// Launch strip k+1 before validating strip k.  Generation B's
-		// checkpoint happens inside the goroutine: it reads the post-k
+		// checkpoint (re)arms inside the goroutine: it reads the post-k
 		// array state, which the coordinator's analysis never writes.
 		clean := err == nil && valid == hi-lo && !done
 		var next chan pipeResult
@@ -190,11 +225,15 @@ func RunStrippedPipelinedCtx(ctx context.Context, spec Spec, total, strip int, p
 			next = make(chan pipeResult, 1)
 			mx.PipelineOverlap()
 			rep.Overlapped++
-			go func(g *pipeGen, lo2, hi2 int) {
-				g.prepare()
+			go func(g *pipeGen, lo2, hi2 int, pend [][]int) {
+				g.prepare(pend)
 				v, d, e := par(g.tracker, lo2, hi2)
 				next <- pipeResult{v, d, e}
-			}(b, hi, clamp(hi+strip))
+			}(b, hi, clamp(hi+strip), pendB)
+			// B is armed against the post-k state as of this launch;
+			// writes from here on accumulate into a fresh list (the
+			// goroutine owns the old one).
+			pendB = make([][]int, len(spec.Shared))
 		}
 
 		ok := err == nil && valid >= 0 && valid <= hi-lo
@@ -228,6 +267,7 @@ func RunStrippedPipelinedCtx(ctx context.Context, spec Spec, total, strip int, p
 					return rep, err
 				}
 				a, b = b, a
+				pendA, pendB = pendB, pendA
 			}
 			continue
 		}
@@ -292,10 +332,18 @@ func RunStrippedPipelinedCtx(ctx context.Context, spec Spec, total, strip int, p
 			return rep, nil
 		}
 
+		// Every path reaching here ran a sequential repair whose writes
+		// bypassed the trackers: neither generation's checkpoint can be
+		// trusted for an incremental re-arm.
+		a.ts.InvalidateCheckpoint()
+		b.ts.InvalidateCheckpoint()
+		pendA, pendB = nil, nil
+
 		// Restart the pipeline at the next strip.
 		lo = hi
 		if lo < total {
-			a.prepare()
+			a.prepare(nil)
+			pendA = make([][]int, len(spec.Shared))
 			valid, done, err = par(a.tracker, lo, clamp(lo+strip))
 		}
 	}

@@ -6,7 +6,6 @@ import (
 
 	"whilepar/internal/cancel"
 	"whilepar/internal/costmodel"
-	"whilepar/internal/mem"
 	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
 	"whilepar/internal/tsmem"
@@ -128,22 +127,28 @@ func RunRecoveringCtx(ctx context.Context, spec Spec, total int, par StripPar, s
 	maxRounds := spec.Recovery.maxRounds()
 
 	// One memory and one shadow set serve every window, as in
-	// RunStripped: each round pays an epoch bump (inside Checkpoint)
-	// and a shadow Reset instead of a fresh allocation and clear.
+	// RunStripped: each round pays an epoch bump and a shadow Reset
+	// instead of a fresh allocation and clear, and the buffers return
+	// to the shared arena when the engine does.
 	ts := tsmem.NewSharded(procs, spec.Shared...)
 	ts.SetObs(mx, tr)
 	var tests []*pdtest.Test
-	var observers []mem.Observer
 	for _, a := range spec.Tested {
 		t := pdtest.New(a, procs)
 		t.SetObs(mx, tr)
 		tests = append(tests, t)
-		observers = append(observers, t.Observer())
 	}
-	var tracker mem.Tracker = ts.Tracker()
-	if len(observers) > 0 {
-		tracker = mem.Chain{Observers: observers, Sink: tracker}
-	}
+	defer func() {
+		ts.Release()
+		for _, t := range tests {
+			t.Release()
+		}
+	}()
+	tracker := newFusedTracker(ts, tests)
+
+	// pending carries the previous window's write-set for Rearm's
+	// incremental checkpoint refresh; nil forces a full Checkpoint.
+	var pending [][]int
 
 	var rep RecoveryReport
 	pos := 0
@@ -171,7 +176,7 @@ func RunRecoveringCtx(ctx context.Context, spec Spec, total int, par StripPar, s
 		mx.SpecAttempt()
 		winStart := obs.Start(tr)
 
-		ts.Checkpoint()
+		ts.Rearm(pending)
 		for _, t := range tests {
 			t.Reset()
 		}
@@ -201,6 +206,8 @@ func RunRecoveringCtx(ctx context.Context, spec Spec, total int, par StripPar, s
 		}
 
 		if ok {
+			// This window's write-set is the next Rearm's refresh list.
+			pending = ts.WriteSet()
 			if valid < hi-pos || done {
 				undone, uerr := ts.Undo(pos + valid)
 				if uerr != nil {
@@ -245,6 +252,12 @@ func RunRecoveringCtx(ctx context.Context, spec Spec, total int, par StripPar, s
 			rep.Undone += restored
 			rep.PrefixCommitted += firstViol - pos
 			mx.PrefixCommittedAdd(firstViol - pos)
+			// PartialCommit re-baselined with an internal full
+			// Checkpoint and cleared the journals, so the checkpoint is
+			// valid and nothing is pending: hand Rearm empty write-sets
+			// (a zero-word refresh) rather than nil, which would force a
+			// second, redundant full copy next round.
+			pending = make([][]int, len(spec.Shared))
 			if tr != nil {
 				obs.Span(tr, winStart, "recovery-window", "speculate", 0,
 					map[string]any{"lo": pos, "hi": hi, "resumeAt": firstViol, "restored": restored})
@@ -262,6 +275,10 @@ func RunRecoveringCtx(ctx context.Context, spec Spec, total int, par StripPar, s
 			return rep, rerr
 		}
 		v, sdone := seq(pos, hi)
+		// Untracked sequential writes: the incremental checkpoint
+		// premise is gone until the next full Checkpoint.
+		ts.InvalidateCheckpoint()
+		pending = nil
 		rep.SeqIters += v
 		if tr != nil {
 			obs.Span(tr, winStart, "recovery-window", "speculate", 0,

@@ -195,6 +195,12 @@ func RunCtx(ctx context.Context, spec Spec, par ParallelRunner, seq SequentialRu
 		tests = append(tests, t)
 		observers = append(observers, t.Observer())
 	}
+	defer func() {
+		ts.Release()
+		for _, t := range tests {
+			t.Release()
+		}
+	}()
 
 	// Privatized arrays: redirect through private copies; the undo
 	// tracker remains the sink for everything else.
@@ -208,6 +214,12 @@ func RunCtx(ctx context.Context, spec Spec, par ParallelRunner, seq SequentialRu
 	tracker := mem.Tracker(mem.Chain{Observers: observers, Sink: sink})
 	if len(observers) == 0 {
 		tracker = sink
+	}
+	if sp == nil && len(privs) == 0 {
+		// Devirtualized fast path: identical semantics to the chain
+		// above (shadow marks first, stamp sink second), without the
+		// per-access interface dispatch per layer.
+		tracker = newFusedTracker(ts, tests)
 	}
 
 	restore := func() error {
@@ -392,6 +404,7 @@ func RunTwiceCtx(ctx context.Context, shared []*mem.Array, procs int, h obs.Hook
 	start := obs.Start(h.T)
 	ts := tsmem.NewSharded(procs, shared...)
 	ts.SetObs(h.M, h.T)
+	defer ts.Release()
 	ts.Checkpoint()
 	valid, err := firstRun()
 	if err != nil {

@@ -92,24 +92,33 @@ func RunStrippedCtx(ctx context.Context, spec Spec, total, strip int, par StripP
 	mx, tr := spec.Metrics, spec.Tracer
 
 	// One memory and one shadow set serve every strip: the per-strip
-	// reset is an epoch bump (inside Checkpoint) plus a shadow Reset,
-	// so the bounded-memory property still holds — live stamps and
-	// marks cover only the current strip — without paying a fresh
-	// allocation and O(procs x n) clear per strip.
+	// reset is an epoch bump plus a shadow Reset, so the bounded-memory
+	// property still holds — live stamps and marks cover only the
+	// current strip — without paying a fresh allocation and
+	// O(procs x n) clear per strip.  Their buffers go back to the
+	// shared arena when the engine returns.
 	ts := tsmem.NewSharded(procs, spec.Shared...)
 	ts.SetObs(mx, tr)
 	var tests []*pdtest.Test
-	var observers []mem.Observer
 	for _, a := range spec.Tested {
 		t := pdtest.New(a, procs)
 		t.SetObs(mx, tr)
 		tests = append(tests, t)
-		observers = append(observers, t.Observer())
 	}
-	var tracker mem.Tracker = ts.Tracker()
-	if len(observers) > 0 {
-		tracker = mem.Chain{Observers: observers, Sink: tracker}
-	}
+	defer func() {
+		ts.Release()
+		for _, t := range tests {
+			t.Release()
+		}
+	}()
+	tracker := newFusedTracker(ts, tests)
+
+	// pending carries the previous strip's write-set so Rearm can
+	// refresh the checkpoint incrementally — O(strip writes) instead of
+	// O(n) per strip.  nil forces a full Checkpoint (first strip, and
+	// after any sequential fallback, whose untracked writes invalidate
+	// the incremental invariant).
+	var pending [][]int
 
 	var rep StripReport
 	for lo := 0; lo < total; lo += strip {
@@ -127,7 +136,7 @@ func RunStrippedCtx(ctx context.Context, spec Spec, total, strip int, par StripP
 		mx.SpecAttempt()
 		stripStart := obs.Start(tr)
 
-		ts.Checkpoint()
+		ts.Rearm(pending)
 		for _, t := range tests {
 			t.Reset()
 		}
@@ -182,14 +191,27 @@ func RunStrippedCtx(ctx context.Context, spec Spec, total, strip int, par StripP
 				rep.SeqStrips++
 				valid, done = seq(lo, hi)
 			}
-		} else if valid < hi-lo || done {
-			// Undo the strip's overshoot (stamps carry global indices).
-			undone, uerr := ts.Undo(lo + valid)
-			if uerr != nil {
-				return rep, uerr
+			// The sequential runner wrote the arrays directly, invisibly
+			// to the write-set journals: the incremental checkpoint
+			// premise is gone until the next full Checkpoint.
+			ts.InvalidateCheckpoint()
+			pending = nil
+		} else {
+			// What this strip wrote is exactly what the next strip's
+			// checkpoint must refresh.  (Undo restores some of those
+			// locations to their checkpoint values; re-copying them is
+			// merely redundant, not wrong.)
+			pending = ts.WriteSet()
+			if valid < hi-lo || done {
+				// Undo the strip's overshoot (stamps carry global
+				// indices).
+				undone, uerr := ts.Undo(lo + valid)
+				if uerr != nil {
+					return rep, uerr
+				}
+				rep.Undone += undone
+				done = true
 			}
-			rep.Undone += undone
-			done = true
 		}
 		if ok {
 			mx.SpecCommit()

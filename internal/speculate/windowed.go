@@ -92,17 +92,18 @@ func RunWindowedCtx(ctx context.Context, spec Spec, n int, cfg window.Config, bo
 	ts.SetObs(mx, tr)
 	ts.Checkpoint()
 	var tests []*pdtest.Test
-	var observers []mem.Observer
 	for _, a := range spec.Tested {
 		t := pdtest.New(a, procs)
 		t.SetObs(mx, tr)
 		tests = append(tests, t)
-		observers = append(observers, t.Observer())
 	}
-	var tracker mem.Tracker = ts.Tracker()
-	if len(observers) > 0 {
-		tracker = mem.Chain{Observers: observers, Sink: tracker}
-	}
+	defer func() {
+		ts.Release()
+		for _, t := range tests {
+			t.Release()
+		}
+	}()
+	tracker := newFusedTracker(ts, tests)
 
 	rec := spec.Recovery
 	recovering := rec.Enabled && rec.SeqFrom != nil

@@ -1,0 +1,220 @@
+package tsmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+)
+
+// TestRearmMatchesFullCheckpoint drives two Memories over identical
+// multi-strip store scripts: the subject re-arms between strips with
+// Rearm(previous strip's WriteSet), the oracle takes a full Checkpoint
+// every strip.  After every strip both sides perform the same
+// randomized repair action (commit with overshoot Undo, PartialCommit,
+// or RestoreAll) and the array contents must match exactly — the proof
+// that refreshing only the dirtied checkpoint words preserves every
+// rollback semantic the full copy provides.
+func TestRearmMatchesFullCheckpoint(t *testing.T) {
+	const (
+		n      = 256
+		procs  = 4
+		strips = 10
+		cases  = 30
+	)
+	for c := 0; c < cases; c++ {
+		rng := rand.New(rand.NewSource(int64(7000 + c)))
+		a1 := mem.NewArray("x", n)
+		a2 := mem.NewArray("x", n)
+		for i := 0; i < n; i++ {
+			a1.Data[i] = float64(i)
+			a2.Data[i] = float64(i)
+		}
+		sub := NewSharded(procs, a1)
+		ora := NewSharded(procs, a2)
+
+		var pending [][]int
+		for s := 0; s < strips; s++ {
+			sub.Rearm(pending)
+			ora.Checkpoint()
+
+			// One strip's worth of colliding stores, mirrored.
+			type st struct {
+				idx, iter, vpn int
+				v              float64
+			}
+			var script []st
+			base := s * 64
+			for i := 0; i < 1+rng.Intn(60); i++ {
+				script = append(script, st{
+					idx:  rng.Intn(n),
+					iter: base + rng.Intn(64),
+					vpn:  rng.Intn(procs),
+					v:    rng.Float64(),
+				})
+			}
+			for _, w := range script {
+				sub.Tracker().Store(a1, w.idx, w.v, w.iter, w.vpn)
+				ora.Tracker().Store(a2, w.idx, w.v, w.iter, w.vpn)
+			}
+
+			switch rng.Intn(4) {
+			case 0: // clean commit, keep everything
+				pending = sub.WriteSet()
+				ora.WriteSet() // keep merge state symmetric
+			case 1: // overshoot undo at a boundary inside the strip
+				cut := base + rng.Intn(65)
+				pending = sub.WriteSet()
+				r1, e1 := sub.Undo(cut)
+				r2, e2 := ora.Undo(cut)
+				if e1 != nil || e2 != nil {
+					t.Fatalf("case %d strip %d: undo errs %v %v", c, s, e1, e2)
+				}
+				if r1 != r2 {
+					t.Fatalf("case %d strip %d: undo restored %d != %d", c, s, r1, r2)
+				}
+			case 2: // partial commit mid-strip (re-baselines both)
+				cut := base + rng.Intn(65)
+				r1, e1 := sub.PartialCommit(cut)
+				r2, e2 := ora.PartialCommit(cut)
+				if e1 != nil || e2 != nil {
+					t.Fatalf("case %d strip %d: partial-commit errs %v %v", c, s, e1, e2)
+				}
+				if r1 != r2 {
+					t.Fatalf("case %d strip %d: partial-commit restored %d != %d", c, s, r1, r2)
+				}
+				// PartialCommit re-baselined internally: nothing pending.
+				pending = make([][]int, 1)
+			case 3: // total rollback
+				if err := sub.RestoreAll(); err != nil {
+					t.Fatal(err)
+				}
+				if err := ora.RestoreAll(); err != nil {
+					t.Fatal(err)
+				}
+				// Everything equals the checkpoint again; the journals
+				// still list this strip's (now reverted) locations, so
+				// handing them to Rearm stays correct.
+				pending = sub.WriteSet()
+			}
+
+			for i := 0; i < n; i++ {
+				if a1.Data[i] != a2.Data[i] {
+					t.Fatalf("case %d strip %d: data[%d] %v != %v", c, s, i, a1.Data[i], a2.Data[i])
+				}
+			}
+			// Spot-check merged stamps agree too.
+			for i := 0; i < 8; i++ {
+				idx := rng.Intn(n)
+				if s1, s2 := sub.Stamp(a1, idx), ora.Stamp(a2, idx); s1 != s2 {
+					t.Fatalf("case %d strip %d: stamp[%d] %d != %d", c, s, idx, s1, s2)
+				}
+			}
+		}
+		sub.Release()
+		ora.Release()
+	}
+}
+
+// TestRearmDegradesToFullCheckpoint exercises the guard rails: an
+// invalidated checkpoint, a nil pending, or a stamp threshold must all
+// force Rearm into a full Checkpoint rather than a wrong incremental
+// refresh.
+func TestRearmDegradesToFullCheckpoint(t *testing.T) {
+	const n = 64
+	a := mem.NewArray("x", n)
+	m := NewSharded(2, a)
+	m.Checkpoint()
+
+	// Untracked write, then InvalidateCheckpoint: the next Rearm with an
+	// empty pending list would miss it unless it degrades to a full copy.
+	a.Data[7] = 42
+	m.InvalidateCheckpoint()
+	m.Rearm(make([][]int, 1))
+	a.Data[7] = 99
+	m.Tracker().Store(a, 7, 99, 0, 0) // stamp it so Undo sees it
+	if _, err := m.Undo(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[7] != 42 {
+		t.Fatalf("after degrade+undo, data[7] = %v, want 42 (checkpointed post-invalidate state)", a.Data[7])
+	}
+
+	// nil pending always full-copies.
+	a.Data[3] = 5
+	m.Rearm(nil)
+	m.Tracker().Store(a, 3, 8, 0, 0)
+	if _, err := m.Undo(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[3] != 5 {
+		t.Fatalf("after nil-pending rearm+undo, data[3] = %v, want 5", a.Data[3])
+	}
+
+	// A stamp threshold leaves sub-threshold stores unjournaled, so
+	// Rearm must refuse the incremental path outright.
+	m.Checkpoint()
+	m.SetStampThreshold(10)
+	m.Tracker().Store(a, 1, 1, 3, 0) // below threshold: not journaled
+	m.Rearm(m.WriteSet())            // must be a full checkpoint of current state
+	m.SetStampThreshold(0)
+	m.Tracker().Store(a, 1, 2, 0, 0)
+	if _, err := m.Undo(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[1] != 1 {
+		t.Fatalf("threshold rearm lost the unjournaled store: data[1] = %v, want 1", a.Data[1])
+	}
+	m.Release()
+}
+
+// TestRearmConcurrentStores is the -race variant: strips of concurrent
+// disjoint stores under a real DOALL, incremental re-arms in between,
+// then an undo — exercising journal appends from all shards and the
+// touched-only merge under the race detector.
+func TestRearmConcurrentStores(t *testing.T) {
+	const (
+		n     = 8192
+		procs = 8
+	)
+	a := mem.NewArray("x", n)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	m := NewSharded(procs, a)
+	tr := m.Tracker()
+
+	// ref mirrors what the arrays must hold after each strip's undo.
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = float64(i)
+	}
+
+	var pending [][]int
+	for s := 0; s < 4; s++ {
+		m.Rearm(pending)
+		lo, hi := s*1024, (s+1)*1024+512 // overlapping windows across strips
+		sched.DOALL(hi-lo, sched.Options{Procs: procs}, func(i, vpn int) sched.Control {
+			idx := lo + i
+			tr.Store(a, idx, float64(1000*(s+1)+idx), idx, vpn)
+			return sched.Continue
+		})
+		pending = m.WriteSet()
+		cut := lo + 768
+		if _, err := m.Undo(cut); err != nil {
+			t.Fatal(err)
+		}
+		// Each location idx in [lo, hi) was written once with iteration
+		// stamp idx, so the undo keeps [lo, cut) and reverts [cut, hi).
+		for idx := lo; idx < cut; idx++ {
+			ref[idx] = float64(1000*(s+1) + idx)
+		}
+		for i := range ref {
+			if a.Data[i] != ref[i] {
+				t.Fatalf("strip %d: data[%d] = %v, want %v", s, i, a.Data[i], ref[i])
+			}
+		}
+	}
+	m.Release()
+}

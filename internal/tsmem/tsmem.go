@@ -22,15 +22,28 @@
 // test's shadow structures.  AtomicMemory (atomic.go) preserves the
 // per-element CAS scheme as the comparison baseline.
 //
+// Strip-mining throughput: every per-strip cost is proportional to the
+// strip's writes, not the array length.
+//
+//   - Stamps are epoch-tagged: each shard slot carries the generation
+//     that wrote it and is live only while that generation is current,
+//     so the per-strip stamp reset is one epoch bump — O(1) — instead
+//     of an O(procs x n) NoStamp sweep.  NewShardedExplicit keeps the
+//     eager-sweep scheme as the equivalence oracle and baseline.
+//   - Each shard journals the locations it first-touches per epoch, so
+//     the post-barrier shard merge (and everything downstream: Undo,
+//     PartialCommit, Stamp, Stats) visits only written locations.
+//   - The journals double as write-sets (WriteSet), which lets an
+//     engine re-arm the checkpoint incrementally (Rearm): instead of
+//     recopying every array per strip, only the locations the previous
+//     strip dirtied are refreshed — O(writes) per strip.
+//   - Buffers come from a shared sync.Pool arena (internal/arena) and
+//     go back via Release, so repeated engine invocations recycle their
+//     checkpoint/stamp/tag memory instead of reallocating it.
+//
 // Checkpoint, RestoreAll and the undo scan are parallelized across the
 // same worker count, so the Tb/Ta overheads of the cost model shrink
 // with processors too.
-//
-// Stamps are epoch-tagged: each shard slot carries the generation that
-// wrote it and is live only while that generation is current, so the
-// per-strip stamp reset of a strip-mined execution is one epoch bump —
-// O(1) — instead of an O(procs x n) NoStamp sweep.  NewShardedExplicit
-// keeps the eager-sweep scheme as the equivalence oracle and baseline.
 //
 // The package also provides the write Trail needed when a privatized
 // array under test is live after the loop (Section 5.1): a privatized
@@ -45,6 +58,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"whilepar/internal/arena"
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
 )
@@ -112,6 +126,18 @@ type Memory struct {
 	// stamp at once — the O(1) reset a strip-mined loop performs
 	// between strips — without sweeping procs x n words.
 	epochs map[*mem.Array][][]uint32
+	// dirty[a][k] journals the locations worker k first-touched since
+	// the last stamp reset (in both epoch and explicit mode): the
+	// worklist the lazy merge deduplicates, and the raw material of
+	// WriteSet.  Single-writer per shard, like the stamps.
+	dirty map[*mem.Array][][]int
+	// views carries the same stamp/epoch/dirty slice headers as the
+	// maps above, keyed by position: the per-element store path resolves
+	// its array by a linear pointer scan over this handful of entries
+	// instead of two pointer-keyed map hashes per store (the dominant
+	// cost in membench before this cache).  The slice headers alias the
+	// map entries, so journal appends through either stay coherent.
+	views []shardView
 	// epoch is the current stamp generation.  It starts at 1 so the
 	// zeroed tags of a fresh allocation are already stale.
 	epoch uint32
@@ -124,10 +150,25 @@ type Memory struct {
 	// stores clear it (merged is a copy, not an alias, so a store after
 	// a merge would otherwise read back a stale minimum); the flag is
 	// atomic only for that rare cross-worker clear — the hot path pays
-	// one read of a rarely-written cache line.
+	// one read of a rarely-written cache line.  merged[a][i] is only
+	// meaningful where mgSeen[a][i] carries the current mgGen — every
+	// other location is NoStamp by construction (never written since
+	// the reset) and is not stored explicitly.
 	merged   map[*mem.Array][]int64
 	mergedOK atomic.Bool
-	stamped  int // distinct stamped locations, counted at merge
+	// touchedIdx[a] is the deduplicated union of the dirty journals as
+	// of the last merge: the exact location set Undo/PartialCommit/
+	// MinStampFrom must visit.  mgSeen/mgGen are its generation-tagged
+	// dedup scratch (also the "is merged[a][i] meaningful" gate).
+	touchedIdx map[*mem.Array][]int
+	mgSeen     map[*mem.Array][]uint32
+	mgGen      uint32
+	stamped    int // distinct stamped locations, counted at merge
+	// cpValid reports that the held checkpoint still mirrors the array
+	// state as of the last stamp reset at every location outside the
+	// current journals — the invariant Rearm's incremental refresh
+	// maintains and any untracked write (sequential fallback) breaks.
+	cpValid bool
 	// threshold is the statistics-enhanced strip-mining cutoff n'_i of
 	// Section 8.1: stores by iterations below it are NOT stamped (they
 	// are predicted valid).  Undo below the threshold is impossible.
@@ -168,27 +209,59 @@ func NewShardedExplicit(procs int, arrays ...*mem.Array) *Memory {
 	return newSharded(procs, true, arrays...)
 }
 
+// shardView bundles one tracked array's shard slices for the hot store
+// path (see the views field).
+type shardView struct {
+	a      *mem.Array
+	stamps [][]int64
+	epochs [][]uint32
+	dirty  [][]int
+}
+
+// viewOf resolves a tracked array's shard view by pointer scan, nil if
+// the array is untracked (privatized or read-only arrays reach the
+// tracker too).
+func (m *Memory) viewOf(a *mem.Array) *shardView {
+	for i := range m.views {
+		if m.views[i].a == a {
+			return &m.views[i]
+		}
+	}
+	return nil
+}
+
 func newSharded(procs int, explicit bool, arrays ...*mem.Array) *Memory {
 	if procs < 1 {
 		procs = 1
 	}
 	m := &Memory{
-		procs:    procs,
-		explicit: explicit,
-		stamps:   make(map[*mem.Array][][]int64, len(arrays)),
-		epochs:   make(map[*mem.Array][][]uint32, len(arrays)),
-		merged:   make(map[*mem.Array][]int64, len(arrays)),
+		procs:      procs,
+		explicit:   explicit,
+		stamps:     make(map[*mem.Array][][]int64, len(arrays)),
+		epochs:     make(map[*mem.Array][][]uint32, len(arrays)),
+		dirty:      make(map[*mem.Array][][]int, len(arrays)),
+		merged:     make(map[*mem.Array][]int64, len(arrays)),
+		touchedIdx: make(map[*mem.Array][]int, len(arrays)),
+		mgSeen:     make(map[*mem.Array][]uint32, len(arrays)),
 	}
 	for _, a := range arrays {
 		m.arrays = append(m.arrays, a)
 		sh := make([][]int64, procs)
 		eps := make([][]uint32, procs)
+		dj := make([][]int, procs)
 		for k := range sh {
-			sh[k] = make([]int64, a.Len())
-			eps[k] = make([]uint32, a.Len())
+			// Stamp words hide behind the epoch tags (or the explicit
+			// NoStamp refill below), so their recycled content is fine;
+			// the tags themselves must start all-stale.
+			sh[k] = arena.Int64s(a.Len())
+			eps[k] = arena.Uint32sZeroed(a.Len())
+			dj[k] = arena.Ints(64)
 		}
 		m.stamps[a] = sh
 		m.epochs[a] = eps
+		m.dirty[a] = dj
+		m.views = append(m.views, shardView{a: a, stamps: sh, epochs: eps, dirty: dj})
+		m.mgSeen[a] = arena.Uint32sZeroed(a.Len())
 	}
 	if explicit {
 		// The epoch never moves in explicit mode: pre-mark every tag
@@ -205,6 +278,33 @@ func newSharded(procs int, explicit bool, arrays ...*mem.Array) *Memory {
 	}
 	m.resetStamps()
 	return m
+}
+
+// Release returns the Memory's stamp shards, tags, journals, merge
+// scratch and checkpoint buffers to the shared arena.  The Memory must
+// not be used afterwards; call it when an engine invocation is done.
+// The tracked arrays themselves are caller-owned and untouched.
+func (m *Memory) Release() {
+	for _, a := range m.arrays {
+		for _, s := range m.stamps[a] {
+			arena.PutInt64s(s)
+		}
+		for _, ep := range m.epochs[a] {
+			arena.PutUint32s(ep)
+		}
+		for _, d := range m.dirty[a] {
+			arena.PutInts(d)
+		}
+		arena.PutInt64s(m.merged[a])
+		arena.PutUint32s(m.mgSeen[a])
+		arena.PutInts(m.touchedIdx[a])
+	}
+	for _, cp := range m.checkpoints {
+		arena.PutFloat64s(cp.Data)
+	}
+	m.stamps, m.epochs, m.dirty, m.merged, m.mgSeen, m.touchedIdx = nil, nil, nil, nil, nil, nil
+	m.checkpoints, m.arrays, m.views = nil, nil, nil
+	m.cpValid = false
 }
 
 // Procs returns the shard count the Memory was sized for.
@@ -242,6 +342,11 @@ func (m *Memory) resetStamps() {
 		}
 		m.obsM.EpochReset()
 	}
+	for _, dj := range m.dirty {
+		for k := range dj {
+			dj[k] = dj[k][:0]
+		}
+	}
 	m.mergedOK.Store(false)
 	m.stamped = 0
 }
@@ -263,8 +368,9 @@ func (m *Memory) Checkpoint() {
 		if reuse && m.checkpoints[ai].Len() == a.Len() {
 			cp = m.checkpoints[ai]
 		} else {
-			cp = &mem.Array{Name: a.Name, Data: make([]float64, a.Len())}
+			cp = &mem.Array{Name: a.Name, Data: arena.Float64s(a.Len())}
 			if reuse {
+				arena.PutFloat64s(m.checkpoints[ai].Data)
 				m.checkpoints[ai] = cp
 			}
 		}
@@ -281,6 +387,7 @@ func (m *Memory) Checkpoint() {
 		words += a.Len()
 	}
 	m.resetStamps()
+	m.cpValid = true
 	m.obsM.CheckpointDone(words)
 	if maxWorkers > 1 {
 		m.obsM.ParallelCopy(maxWorkers)
@@ -289,6 +396,74 @@ func (m *Memory) Checkpoint() {
 		obs.Span(m.obsT, ts, "checkpoint", "tsmem", 0, map[string]any{"words": words, "workers": maxWorkers})
 	}
 }
+
+// WriteSet returns, per tracked array in registration order, the
+// deduplicated locations written through the Tracker since the last
+// stamp reset.  Call it after the parallel section (it merges the
+// shards) and before the next reset; the returned slices are the
+// caller's to keep.  Together with Rearm it closes the incremental
+// checkpoint loop: the write-set of strip k is exactly what the next
+// strip's checkpoint must refresh.
+func (m *Memory) WriteSet() [][]int {
+	m.mergeStamps()
+	out := make([][]int, len(m.arrays))
+	for ai, a := range m.arrays {
+		out[ai] = append([]int(nil), m.touchedIdx[a]...)
+	}
+	return out
+}
+
+// Rearm re-arms the Memory for the next strip: where Checkpoint copies
+// every tracked word, Rearm refreshes only the pending locations —
+// the union of write-sets taken since the checkpoint last mirrored the
+// arrays — and then resets the stamps.  pending is indexed like the
+// arrays passed at construction (WriteSet's shape).
+//
+// Correctness: the held checkpoint equals the array state except at
+// locations written through the Tracker since it was (re)armed.  An
+// engine that hands Rearm exactly those locations maintains the
+// invariant; any write that bypassed the Tracker (sequential fallback,
+// caller mutation) breaks it, and the engine must call
+// InvalidateCheckpoint so the next Rearm degrades to a full
+// Checkpoint.  Rearm also degrades on its own whenever the incremental
+// premise fails: no valid checkpoint, nil or mis-shaped pending, or a
+// stamp threshold (stores below it are neither stamped nor journaled,
+// so write-sets are incomplete).
+func (m *Memory) Rearm(pending [][]int) {
+	if !m.cpValid || pending == nil || len(pending) != len(m.arrays) ||
+		m.threshold > 0 || len(m.checkpoints) != len(m.arrays) {
+		m.Checkpoint()
+		return
+	}
+	for ai, a := range m.arrays {
+		if m.checkpoints[ai].Len() != a.Len() {
+			m.Checkpoint()
+			return
+		}
+	}
+	ts := obs.Start(m.obsT)
+	words := 0
+	for ai, a := range m.arrays {
+		cp := m.checkpoints[ai].Data
+		src := a.Data
+		for _, idx := range pending[ai] {
+			cp[idx] = src[idx]
+		}
+		words += len(pending[ai])
+	}
+	m.resetStamps()
+	m.obsM.DeltaCheckpointDone(words)
+	if m.obsT != nil {
+		obs.Span(m.obsT, ts, "rearm", "tsmem", 0, map[string]any{"words": words})
+	}
+}
+
+// InvalidateCheckpoint marks the held checkpoint stale: the next Rearm
+// performs a full Checkpoint regardless of pending.  Engines call it
+// after any write that bypassed the Tracker — a sequential fallback
+// re-executing a strip, a caller mutating the arrays between strips —
+// because such writes are invisible to the write-set journals.
+func (m *Memory) InvalidateCheckpoint() { m.cpValid = false }
 
 // SetStampThreshold enables Section 8.1's statistics-enhanced stamping:
 // stores by iterations with index < n are not stamped.  Must be set
@@ -301,7 +476,9 @@ func (m *Memory) SetStampThreshold(n int) { m.threshold = n }
 // per-shard minimum; the cross-shard minimum is taken at the merge) and
 // then perform the write.  The tracker also implements
 // mem.RangeTracker, so strip-mined bodies pay one interposition per
-// contiguous range.
+// contiguous range.  The tracker is a thin shim over the concrete
+// StampLoad/StampStore methods, which fused fast paths may call
+// directly to skip the interface dispatch.
 func (m *Memory) Tracker() mem.Tracker { return stampTracker{m} }
 
 // slot folds a virtual processor number onto a shard index.
@@ -312,26 +489,33 @@ func (m *Memory) slot(vpn int) int {
 	return ((vpn % m.procs) + m.procs) % m.procs
 }
 
-type stampTracker struct{ m *Memory }
+// StampLoad is the concrete load path: loads pass through untracked.
+func (m *Memory) StampLoad(a *mem.Array, idx int) float64 { return a.Data[idx] }
 
-func (t stampTracker) Load(a *mem.Array, idx, _, _ int) float64 { return a.Data[idx] }
-
-func (t stampTracker) Store(a *mem.Array, idx int, v float64, iter, vpn int) {
-	m := t.m
+// StampStore is the concrete store path (Tracker's Store without the
+// interface dispatch): record the writing iteration in the worker's
+// private shard — journaling the first touch per reset — then write.
+func (m *Memory) StampStore(a *mem.Array, idx int, v float64, iter, vpn int) {
 	m.obsM.TrackedStore()
 	if iter >= m.threshold {
-		if sh := m.stamps[a]; sh != nil {
+		if vw := m.viewOf(a); vw != nil {
 			if m.mergedOK.Load() {
 				m.mergedOK.Store(false)
 			}
 			k := m.slot(vpn)
-			s, ep := sh[k], m.epochs[a][k]
+			s, ep := vw.stamps[k], vw.epochs[k]
 			if ep[idx] != m.epoch {
 				// Stale generation: whatever stamp is there belongs to
 				// an earlier strip.  First touch of this epoch.
 				ep[idx] = m.epoch
 				s[idx] = int64(iter)
-			} else if cur := s[idx]; cur == NoStamp || int64(iter) < cur {
+				vw.dirty[k] = append(vw.dirty[k], idx)
+			} else if cur := s[idx]; cur == NoStamp {
+				// Explicit mode's first touch: tags are pinned live, so
+				// the refilled NoStamp word is the staleness signal.
+				s[idx] = int64(iter)
+				vw.dirty[k] = append(vw.dirty[k], idx)
+			} else if int64(iter) < cur {
 				s[idx] = int64(iter)
 			}
 		}
@@ -339,66 +523,115 @@ func (t stampTracker) Store(a *mem.Array, idx int, v float64, iter, vpn int) {
 	a.Data[idx] = v
 }
 
-// LoadRange copies [lo, hi) of a into dst: loads pass through, one
+// StampLoadRange copies [lo, hi) of a into dst: loads pass through, one
 // interposition for the whole strip.
-func (t stampTracker) LoadRange(a *mem.Array, lo, hi int, dst []float64, _, _ int) {
-	t.m.obsM.BatchedRange(hi - lo)
+func (m *Memory) StampLoadRange(a *mem.Array, lo, hi int, dst []float64) {
+	m.obsM.BatchedRange(hi - lo)
 	copy(dst, a.Data[lo:hi])
 }
 
-// StoreRange performs len(src) stamped stores with a single
+// StampStoreRange performs len(src) stamped stores with a single
 // interposition: the stamp updates hit the worker's private shard with
 // plain writes, then the data is copied in one memmove.
-func (t stampTracker) StoreRange(a *mem.Array, lo int, src []float64, iter, vpn int) {
-	m := t.m
+func (m *Memory) StampStoreRange(a *mem.Array, lo int, src []float64, iter, vpn int) {
 	n := len(src)
 	m.obsM.TrackedStoresAdd(n)
 	m.obsM.BatchedRange(n)
 	if iter >= m.threshold {
-		if sh := m.stamps[a]; sh != nil {
+		if vw := m.viewOf(a); vw != nil {
 			if m.mergedOK.Load() {
 				m.mergedOK.Store(false)
 			}
 			k := m.slot(vpn)
-			s, ep := sh[k], m.epochs[a][k]
+			s, ep := vw.stamps[k], vw.epochs[k]
+			djk := vw.dirty[k]
 			it64 := int64(iter)
 			for i := lo; i < lo+n; i++ {
 				if ep[i] != m.epoch {
 					ep[i] = m.epoch
 					s[i] = it64
-				} else if cur := s[i]; cur == NoStamp || it64 < cur {
+					djk = append(djk, i)
+				} else if cur := s[i]; cur == NoStamp {
+					s[i] = it64
+					djk = append(djk, i)
+				} else if it64 < cur {
 					s[i] = it64
 				}
 			}
+			vw.dirty[k] = djk
 		}
 	}
 	copy(a.Data[lo:lo+n], src)
+}
+
+type stampTracker struct{ m *Memory }
+
+func (t stampTracker) Load(a *mem.Array, idx, _, _ int) float64 { return t.m.StampLoad(a, idx) }
+
+func (t stampTracker) Store(a *mem.Array, idx int, v float64, iter, vpn int) {
+	t.m.StampStore(a, idx, v, iter, vpn)
+}
+
+// LoadRange copies [lo, hi) of a into dst: loads pass through, one
+// interposition for the whole strip.
+func (t stampTracker) LoadRange(a *mem.Array, lo, hi int, dst []float64, _, _ int) {
+	t.m.StampLoadRange(a, lo, hi, dst)
+}
+
+// StoreRange performs len(src) stamped stores with a single
+// interposition.
+func (t stampTracker) StoreRange(a *mem.Array, lo int, src []float64, iter, vpn int) {
+	t.m.StampStoreRange(a, lo, src, iter, vpn)
 }
 
 // mergeStamps combines the per-worker shards into the authoritative
 // per-location minimum stamp.  It must be called only after the
 // parallel section has completed (the DOALL barrier orders the shard
 // writes before it); Undo, Stamp and Stats call it lazily.  The merge
-// itself is a DOALL over locations, split across the Memory's workers.
+// visits only journaled locations — the union of the per-shard dirty
+// lists, deduplicated against a generation-tagged scratch — so its
+// cost is O(writes x procs), not O(n x procs); large worklists split
+// across the Memory's workers.
 func (m *Memory) mergeStamps() {
 	if m.mergedOK.Load() {
 		return
+	}
+	m.mgGen++
+	if m.mgGen == 0 {
+		for _, sn := range m.mgSeen {
+			for i := range sn {
+				sn[i] = 0
+			}
+		}
+		m.mgGen = 1
 	}
 	words, stamped := 0, 0
 	for _, a := range m.arrays {
 		sh := m.stamps[a]
 		eps := m.epochs[a]
 		n := a.Len()
-		words += n
 		mg := m.merged[a]
 		if len(mg) != n {
-			mg = make([]int64, n)
+			arena.PutInt64s(mg)
+			mg = arena.Int64s(n)
 			m.merged[a] = mg
 		}
+		sn := m.mgSeen[a]
+		list := m.touchedIdx[a][:0]
+		for _, d := range m.dirty[a] {
+			for _, idx := range d {
+				if sn[idx] != m.mgGen {
+					sn[idx] = m.mgGen
+					list = append(list, idx)
+				}
+			}
+		}
+		m.touchedIdx[a] = list
+		words += len(list)
 		var mu sync.Mutex
-		parallelDo(m.procs, n, func(lo, hi int) {
+		parallelDo(m.procs, len(list), func(lo, hi int) {
 			count := 0
-			for i := lo; i < hi; i++ {
+			for _, i := range list[lo:hi] {
 				min := NoStamp
 				for k := 0; k < m.procs; k++ {
 					if eps[k][i] != m.epoch {
@@ -428,12 +661,12 @@ func (m *Memory) mergeStamps() {
 
 // Undo restores, from the checkpoint, every location whose stamp exceeds
 // lastValid (i.e. written only by overshot iterations), completing the
-// "undo iterations that overshot" step.  The scan is parallelized across
-// the Memory's workers.  It returns the number of locations restored.
-// It fails if Checkpoint was not called, or if lastValid falls below the
-// stamp threshold — in that case the stamps needed to undo were never
-// recorded and the caller must restore the full checkpoint (RestoreAll)
-// and re-execute.
+// "undo iterations that overshot" step.  The scan visits only journaled
+// locations and is parallelized across the Memory's workers when large.
+// It returns the number of locations restored.  It fails if Checkpoint
+// was not called, or if lastValid falls below the stamp threshold — in
+// that case the stamps needed to undo were never recorded and the caller
+// must restore the full checkpoint (RestoreAll) and re-execute.
 func (m *Memory) Undo(lastValid int) (int, error) {
 	if len(m.checkpoints) != len(m.arrays) {
 		return 0, fmt.Errorf("tsmem: Undo without Checkpoint")
@@ -446,12 +679,13 @@ func (m *Memory) Undo(lastValid int) (int, error) {
 	restored := 0
 	for ai, a := range m.arrays {
 		cp := m.checkpoints[ai]
-		s := m.merged[a]
+		mg := m.merged[a]
+		list := m.touchedIdx[a]
 		var mu sync.Mutex
-		parallelDo(m.procs, len(s), func(lo, hi int) {
+		parallelDo(m.procs, len(list), func(lo, hi int) {
 			count := 0
-			for i := lo; i < hi; i++ {
-				if st := s[i]; st != NoStamp && st >= int64(lastValid) {
+			for _, i := range list[lo:hi] {
+				if st := mg[i]; st != NoStamp && st >= int64(lastValid) {
 					// Stamps are zero-based iteration indices; iterations
 					// 0..lastValid-1 are valid, so any stamp >= lastValid
 					// is overshoot.
@@ -499,12 +733,13 @@ func (m *Memory) PartialCommit(upto int) (int, error) {
 	restored := 0
 	for ai, a := range m.arrays {
 		cp := m.checkpoints[ai]
-		s := m.merged[a]
+		mg := m.merged[a]
+		list := m.touchedIdx[a]
 		var mu sync.Mutex
-		parallelDo(m.procs, len(s), func(lo, hi int) {
+		parallelDo(m.procs, len(list), func(lo, hi int) {
 			count := 0
-			for i := lo; i < hi; i++ {
-				if st := s[i]; st != NoStamp && st >= int64(upto) {
+			for _, i := range list[lo:hi] {
+				if st := mg[i]; st != NoStamp && st >= int64(upto) {
 					a.Data[i] = cp.Data[i]
 					count++
 				}
@@ -534,8 +769,9 @@ func (m *Memory) MinStampFrom(from int) int64 {
 	m.mergeStamps()
 	min := NoStamp
 	for _, a := range m.arrays {
-		for _, st := range m.merged[a] {
-			if st != NoStamp && st >= int64(from) && (min == NoStamp || st < min) {
+		mg := m.merged[a]
+		for _, i := range m.touchedIdx[a] {
+			if st := mg[i]; st != NoStamp && st >= int64(from) && (min == NoStamp || st < min) {
 				min = st
 			}
 		}
@@ -574,7 +810,11 @@ func (m *Memory) RestoreAll() error {
 
 // Commit discards checkpoints and stamps after a fully valid execution.
 func (m *Memory) Commit() {
+	for _, cp := range m.checkpoints {
+		arena.PutFloat64s(cp.Data)
+	}
 	m.checkpoints = nil
+	m.cpValid = false
 	m.resetStamps()
 }
 
@@ -586,6 +826,10 @@ func (m *Memory) Stamp(a *mem.Array, idx int) int64 {
 		return NoStamp
 	}
 	m.mergeStamps()
+	if m.mgSeen[a][idx] != m.mgGen {
+		// Never journaled since the last reset: unwritten.
+		return NoStamp
+	}
 	return m.merged[a][idx]
 }
 

@@ -142,6 +142,9 @@ const (
 	Static  = sched.Static
 	// Guided self-scheduling: chunked claims of decreasing size.
 	Guided = sched.Guided
+	// Stealing: per-worker home blocks with work stealing — no shared
+	// claim counter on the balanced path.
+	Stealing = sched.Stealing
 )
 
 // PrivSpec marks an array for privatization during speculation.
