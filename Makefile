@@ -38,9 +38,10 @@ api-check:
 
 # Stamped-store microbenchmark (atomic baseline vs sharded vs batched),
 # the misspeculation-recovery benchmark (partial commit vs full
-# restore), and the pipelined-pool strip benchmark (persistent pool +
-# overlapped strips vs spawn-per-strip), recorded as machine-readable
-# JSON baselines.
+# restore), the pipelined-pool strip benchmark (persistent pool +
+# overlapped strips vs spawn-per-strip), and the adaptive-selector
+# benchmark (defaulted Options vs a hand-tuned grid), recorded as
+# machine-readable JSON baselines.
 bench:
 	$(GO) run ./cmd/whilebench -membench -json -procs 8 > BENCH_2.json
 	@cat BENCH_2.json
@@ -50,12 +51,15 @@ bench:
 	@cat BENCH_4.json
 	$(GO) run ./cmd/whilebench -pipebench -json -procs 8 -pipework 0 > BENCH_6.json
 	@cat BENCH_6.json
+	$(GO) run ./cmd/whilebench -autobench -json -procs 8 > BENCH_7.json
+	@cat BENCH_7.json
 
 # A fast variant for CI smoke: small workload, human-readable.
 bench-smoke:
 	$(GO) run ./cmd/whilebench -membench -procs 8 -elems 65536 -rounds 8
 	$(GO) run ./cmd/whilebench -recbench -procs 8 -iters 20000 -work 200
 	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipeiters 8192 -pipework 100
+	$(GO) run ./cmd/whilebench -autobench -procs 8 -autoiters 8000 -autowork 100
 
 # Regression guard: rerun the benchmarks and fail if a machine-
 # independent ratio fell more than 20% below the recorded baseline.
@@ -64,6 +68,7 @@ bench-compare:
 	$(GO) run ./cmd/whilebench -recbench -procs 8 -iters 20000 -work 200 -baseline BENCH_3.json -tol 0.2
 	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipeiters 8192 -pipework 200 -baseline BENCH_4.json -tol 0.2
 	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipework 0 -baseline BENCH_6.json -tol 0.2
+	$(GO) run ./cmd/whilebench -autobench -procs 8 -baseline BENCH_7.json -tol 0.2
 
 # Profile-first entry point for hot-path work: pprof CPU and heap
 # profiles of the calibrated pipelined benchmark, ready for

@@ -1,0 +1,233 @@
+package whilepar
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The adaptive default must be invisible except for speed: whatever
+// engine the selector picks, the committed result equals the sequential
+// oracle. These tests drive the Table 1 workload shapes the selector
+// routes differently — clean RI loops (DOALL), RV early exits under
+// speculation, and violating bodies that force undo + sequential
+// re-execution — through fully-defaulted Options.
+
+func TestStrategyValidationTable(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		want error
+	}{
+		{"bad value", Options{Strategy: Strategy(99)}, ErrBadStrategy},
+		{"sequential+pipeline", Options{Strategy: StrategySequential, Pipeline: true}, ErrStrategyConflict},
+		{"sequential+runtwice", Options{Strategy: StrategySequential, RunTwice: true}, ErrStrategyConflict},
+		{"sequential+recovery", Options{Strategy: StrategySequential, Recovery: true}, ErrStrategyConflict},
+		{"speculate+pipeline", Options{Strategy: StrategySpeculate, Pipeline: true}, ErrStrategyConflict},
+		{"speculate+runtwice", Options{Strategy: StrategySpeculate, RunTwice: true}, ErrStrategyConflict},
+		{"runtwice+recovery", Options{Strategy: StrategyRunTwice, Recovery: true}, ErrStrategyConflict},
+		{"runtwice+pipeline", Options{Strategy: StrategyRunTwice, Pipeline: true}, ErrStrategyConflict},
+		{"recover+runtwice", Options{Strategy: StrategyRecover, RunTwice: true}, ErrStrategyConflict},
+		{"pipeline+runtwice", Options{Strategy: StrategyPipeline, RunTwice: true}, ErrStrategyConflict},
+		{"redundant pipeline", Options{Strategy: StrategyPipeline, Pipeline: true}, nil},
+		{"redundant recovery", Options{Strategy: StrategyRecover, Recovery: true}, nil},
+		{"pipeline+recovery composes", Options{Strategy: StrategyPipeline, Recovery: true}, nil},
+		{"auto with legacy flags", Options{Pipeline: true}, nil},
+		{"zero value", Options{}, nil},
+	}
+	for _, c := range cases {
+		err := c.opt.Validate()
+		if c.want == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+		} else if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestStrategySequentialExplicit(t *testing.T) {
+	a := NewArray("A", 64)
+	l := &IntLoop{
+		Class: Class{Dispatcher: MonotonicInduction, Terminator: RV},
+		Disp:  IntInduction{C: 1},
+		Body: func(it *Iter, d int) bool {
+			if d >= 40 {
+				return false
+			}
+			it.Store(a, d, float64(d))
+			return true
+		},
+		Max: 64,
+	}
+	rep, err := Run(l, Options{Strategy: StrategySequential, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != 40 || rep.UsedParallel || !strings.Contains(rep.Strategy, "sequential") {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+// mkAutoLoop builds one of three workload shapes over its own array:
+// "clean" (RI, no shared writes conflict), "earlyexit" (RV exit with
+// shared stores) and "violating" (a cross-iteration read the PD test
+// must catch). The returned loop owns arr.
+func mkAutoLoop(shape string, n, exit, dist int, arr *Array) *IntLoop {
+	switch shape {
+	case "clean":
+		return &IntLoop{
+			Class: Class{Dispatcher: MonotonicInduction, Terminator: RI, ThresholdOnMonotonic: true},
+			Disp:  IntInduction{C: 1},
+			Cond:  func(d int) bool { return d < exit },
+			Body: func(it *Iter, d int) bool {
+				it.Store(arr, d, float64(d)*2+1)
+				return true
+			},
+			Max: n,
+		}
+	case "earlyexit":
+		return &IntLoop{
+			Class: Class{Dispatcher: MonotonicInduction, Terminator: RV},
+			Disp:  IntInduction{C: 1},
+			Body: func(it *Iter, d int) bool {
+				if d >= exit {
+					return false
+				}
+				it.Store(arr, d, float64(d)+0.5)
+				return true
+			},
+			Max: n,
+		}
+	case "violating":
+		return &IntLoop{
+			Class: Class{Dispatcher: MonotonicInduction, Terminator: RV},
+			Disp:  IntInduction{C: 1},
+			Body: func(it *Iter, d int) bool {
+				if d >= exit {
+					return false
+				}
+				prev := 0.0
+				if d >= dist {
+					prev = it.Load(arr, d-dist)
+				}
+				it.Store(arr, d, prev+1)
+				return true
+			},
+			Max: n,
+		}
+	}
+	panic("unknown shape " + shape)
+}
+
+func TestAutoMatchesSequentialOracleRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	shapes := []string{"clean", "earlyexit", "violating"}
+	// One store per shape so later trials run warm: both the cold and
+	// the profile-driven plans must match the oracle.
+	stores := map[string]*ProfileStore{}
+	for _, s := range shapes {
+		stores[s] = NewProfileStore()
+	}
+	for trial := 0; trial < 12; trial++ {
+		shape := shapes[trial%len(shapes)]
+		n := 200 + rng.Intn(1800)
+		exit := 1 + rng.Intn(n)
+		dist := 1 + rng.Intn(3)
+
+		oracleArr := NewArray("A", n)
+		oracle := mkAutoLoop(shape, n, exit, dist, oracleArr)
+		wantValid := LastValidInt(oracle)
+
+		arr := NewArray("A", n)
+		l := mkAutoLoop(shape, n, exit, dist, arr)
+		opt := Options{Profiles: stores[shape], Key: "auto-equiv-" + shape}
+		if trial%2 == 1 {
+			// An explicit proc count pins a parallel request even on a
+			// single-core host (where the defaulted count resolves to 1
+			// and the selector goes sequential), so the parallel plans
+			// stay exercised everywhere; even trials keep the
+			// fully-defaulted path.
+			opt.Procs = 4
+		}
+		if shape != "clean" {
+			opt.Shared = []*Array{arr}
+			opt.Tested = []*Array{arr}
+		}
+		rep, err := Run(l, opt)
+		if err != nil {
+			t.Fatalf("trial %d (%s n=%d exit=%d): %v", trial, shape, n, exit, err)
+		}
+		if rep.Valid != wantValid {
+			t.Fatalf("trial %d (%s n=%d exit=%d): Valid = %d, oracle %d (report %+v)",
+				trial, shape, n, exit, rep.Valid, wantValid, rep)
+		}
+		if !arr.Equal(oracleArr) {
+			t.Fatalf("trial %d (%s n=%d exit=%d): array state diverged from oracle", trial, shape, n, exit)
+		}
+	}
+}
+
+func TestAutoStrategyDeterministicGivenProfile(t *testing.T) {
+	// The engine choice is a pure function of the profile and the loop
+	// shape — never of measured wall time. Same persisted profile, same
+	// loop: same StrategyChosen.
+	mk := func(arr *Array) *IntLoop {
+		return mkAutoLoop("earlyexit", 1200, 900, 1, arr)
+	}
+	warm := NewProfileStore()
+	for i := 0; i < 3; i++ {
+		a := NewArray("A", 1200)
+		if _, err := Run(mk(a), Options{Profiles: warm, Key: "det", Shared: []*Array{a}, Tested: []*Array{a}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := json.Marshal(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		st := NewProfileStore()
+		if err := json.Unmarshal(blob, st); err != nil {
+			t.Fatal(err)
+		}
+		a := NewArray("A", 1200)
+		rep, err := Run(mk(a), Options{Profiles: st, Key: "det", Shared: []*Array{a}, Tested: []*Array{a}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.StrategyChosen
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("same profile chose different strategies: %q vs %q", s1, s2)
+	}
+	if !strings.HasPrefix(s1, "auto:") {
+		t.Fatalf("StrategyChosen = %q, want an auto choice", s1)
+	}
+}
+
+func TestAutoReportAndCounters(t *testing.T) {
+	m := NewMetrics()
+	a := NewArray("A", 2000)
+	l := mkAutoLoop("earlyexit", 2000, 1500, 1, a)
+	rep, err := Run(l, Options{Metrics: m, Shared: []*Array{a}, Tested: []*Array{a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rep.StrategyChosen, "auto:") {
+		t.Fatalf("StrategyChosen = %q", rep.StrategyChosen)
+	}
+	if rep.ProbeIters <= 0 || rep.ProbeNs < 0 {
+		t.Fatalf("probe accounting %+v", rep)
+	}
+	if s := m.Snapshot(); s.ProbeRuns != 1 {
+		t.Fatalf("ProbeRuns = %d, want 1", s.ProbeRuns)
+	}
+	if rep.Valid != 1500 {
+		t.Fatalf("Valid = %d", rep.Valid)
+	}
+}

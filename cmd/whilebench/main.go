@@ -36,6 +36,10 @@
 //	whilebench -cancelbench    # cancellation-latency benchmark: time
 //	                           # from ctx cancel to engine return for
 //	                           # each context-aware engine
+//	whilebench -autobench      # adaptive-selector benchmark: defaulted
+//	                           # Options vs a hand-tuned config grid on
+//	                           # three workload regimes (BENCH_7.json
+//	                           # with -json; guarded via -baseline)
 //	whilebench -pipebench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	                           # write pprof CPU/heap profiles of the run
 package main
@@ -80,6 +84,9 @@ func run() int {
 		work        = flag.Int("work", 600, "per-iteration spin units in -recbench (0 = auto-calibrate to ~2µs/iter)")
 		pipebench   = flag.Bool("pipebench", false, "run the pipelined-pool benchmark (persistent pool + overlap vs spawn-per-strip)")
 		cancelbench = flag.Bool("cancelbench", false, "run the cancellation-latency benchmark (cancel-to-return per engine)")
+		autobench   = flag.Bool("autobench", false, "run the adaptive-selector benchmark (defaulted Options vs hand-tuned grid)")
+		autoIters   = flag.Int("autoiters", 60000, "iterations in the -autobench loops")
+		autoWork    = flag.Int("autowork", 300, "per-iteration spin units in -autobench (0 = auto-calibrate to ~2µs/iter)")
 		cancelIters = flag.Int("canceliters", 200000, "iterations in the -cancelbench loop")
 		cancelWork  = flag.Int("cancelwork", 200, "per-iteration spin units in -cancelbench")
 		strip       = flag.Int("strip", 64, "strip size in -pipebench")
@@ -280,6 +287,35 @@ func run() int {
 				return 1
 			}
 			if c := guard(bench.ComparePipeBench(rep, base, *tol), *baseline, *tol); c != 0 {
+				return c
+			}
+		}
+		ran = true
+	}
+	if *autobench {
+		if *autoWork == 0 {
+			*autoWork = bench.CalibrateWork(bench.DefaultBodyTarget)
+			fmt.Fprintf(os.Stderr, "whilebench: calibrated -autowork %d (~%v body per iteration)\n",
+				*autoWork, bench.DefaultBodyTarget)
+		}
+		rep := bench.AutoBench(*procs, *autoIters, *autoWork)
+		if *jsonOut {
+			out, err := bench.AutoBenchJSON(rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				return 1
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.RenderAutoBench(rep))
+		}
+		if *baseline != "" {
+			base, err := readBaseline(*baseline, bench.ParseAutoBench)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				return 1
+			}
+			if c := guard(bench.CompareAutoBench(rep, base, *tol), *baseline, *tol); c != 0 {
 				return c
 			}
 		}

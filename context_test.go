@@ -161,14 +161,14 @@ func TestRunContextListLoop(t *testing.T) {
 	}
 }
 
-func TestDeprecatedSequentialAliases(t *testing.T) {
+func TestSequentialOracles(t *testing.T) {
 	l := &IntLoop{
 		Disp: IntInduction{C: 1},
 		Body: func(it *Iter, d int) bool { return d < 10 },
 		Max:  64,
 	}
-	if got, want := RunSequentialInt(l), LastValidInt(l); got != want || got != 10 {
-		t.Fatalf("RunSequentialInt = %d, LastValidInt = %d", got, want)
+	if got := LastValidInt(l); got != 10 {
+		t.Fatalf("LastValidInt = %d, want 10", got)
 	}
 	f := &FloatLoop{
 		Disp: Affine{A: 1, B: 1, X0: 0},
@@ -176,8 +176,8 @@ func TestDeprecatedSequentialAliases(t *testing.T) {
 		Body: func(*Iter, float64) bool { return true },
 		Max:  64,
 	}
-	if got, want := RunSequentialFloat(f), LastValidFloat(f); got != want {
-		t.Fatalf("RunSequentialFloat = %d, LastValidFloat = %d", got, want)
+	if got := LastValidFloat(f); got != 5 {
+		t.Fatalf("LastValidFloat = %d, want 5", got)
 	}
 }
 

@@ -1,0 +1,350 @@
+// Package autotune is the adaptive strategy selector: given a loop's
+// profile (persistent, keyed by call site) and a cheap online probe of
+// its first iterations, it picks the execution engine, DOALL schedule,
+// strip size and respeculation window that the orchestrator would
+// otherwise need the caller to hand-tune.
+//
+// The paper's position (Section 7) is that the parallelization
+// decision should be automatic — "they should almost always be
+// applied" — and the related speculative-parallelization literature
+// (Rauchwerger's synergistic static/dynamic/speculative framework, the
+// taskloop DOACROSS studies) consistently finds that *which* strategy
+// runs dominates how fast any single engine is.  This package closes
+// that gap in three stages:
+//
+//  1. probe: the orchestrator executes the first strip sequentially,
+//     which is free (those iterations had to run anyway, and the
+//     sequential prefix is exactly the committed state every
+//     speculative engine starts from) and yields the per-iteration
+//     body cost, an early-termination signal, and a trip-count sample
+//     for costmodel.BranchStats;
+//  2. decide: Decide maps the profile plus deterministic loop facts
+//     (remaining iterations, processor count, whether speculation is
+//     required) to a Plan.  The decision deliberately ignores measured
+//     wall-clock time: timing jitter must never flip the chosen
+//     strategy between two identical runs (the probe's nanoseconds
+//     only size strips, never select engines);
+//  3. retune: a Tuner (tuner.go) re-decides strip size and engine
+//     mid-run from the internal/obs counters the execution is already
+//     accumulating — violation storms shrink the window and eventually
+//     fall back to sequential, clean streaks grow it and promote the
+//     run to the pipelined engine.
+package autotune
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"whilepar/internal/sched"
+)
+
+// Engine names one of the execution engines the selector chooses among.
+type Engine int
+
+const (
+	// Sequential runs the remainder on the calling goroutine — the
+	// right call when the remaining work cannot amortize even one
+	// barrier, or when the profile says speculation keeps failing.
+	Sequential Engine = iota
+	// DOALL runs the remainder as a plain scheduled DOALL — no
+	// checkpoint, stamps or PD test — legal only when the orchestrator
+	// proved speculation unnecessary.
+	DOALL
+	// Speculative runs strip-mined speculation (checkpoint + stamps +
+	// PD test per strip) with the Tuner adjusting strip size per strip.
+	Speculative
+	// Pipelined is Speculative with strip k+1's execution overlapping
+	// strip k's PD test — the fastest engine on clean loops, the most
+	// wasteful one under frequent misspeculation.
+	Pipelined
+)
+
+// String names the engine for reports and rendered profiles.
+func (e Engine) String() string {
+	switch e {
+	case Sequential:
+		return "sequential"
+	case DOALL:
+		return "DOALL"
+	case Speculative:
+		return "stripped speculation"
+	case Pipelined:
+		return "pipelined strip speculation"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// Plan is one concrete strategy choice.
+type Plan struct {
+	// Engine to run the post-probe remainder under.
+	Engine Engine
+	// Schedule for every DOALL the engine dispatches.
+	Schedule sched.Schedule
+	// Strip is the initial strip size for the speculative engines
+	// (0 for Sequential and DOALL, which have no strips).
+	Strip int
+	// Window is the number of strips in flight: 1 for the stripped
+	// engine, 2 once the pipeline overlaps execution with validation.
+	Window int
+}
+
+// ProbeResult is what the orchestrator learned from running the first
+// strip sequentially.
+type ProbeResult struct {
+	// Iters actually executed (may stop short of the probe size on
+	// early termination).
+	Iters int
+	// Ns is the probe's wall-clock cost; Ns/Iters estimates the body.
+	Ns int64
+	// Done reports that the loop terminated inside the probe.
+	Done bool
+}
+
+// ProbeSize sizes the sequential probe: big enough to sample the body
+// cost and give BranchStats a real trip fraction (at least 16
+// iterations, at least two per processor), small enough never to eat a
+// loop that would have profited from parallel execution (at most a
+// quarter of the iteration space).
+func ProbeSize(total, procs int) int {
+	p := 2 * procs
+	if p < 16 {
+		p = 16
+	}
+	if q := total / 4; p > q {
+		p = q
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Profile is the persistent per-call-site record the selector learns
+// from.  All rate fields are exponentially weighted moving averages
+// (alpha ewmaAlpha), so one anomalous run cannot wipe the history and
+// a genuinely changed workload converges within a few runs.  Profiles
+// are JSON-serializable so services can persist a ProfileStore across
+// processes.
+type Profile struct {
+	// Key identifies the loop (Options.Key, or the derived call site).
+	Key string `json:"key"`
+	// Runs recorded into this profile.
+	Runs int `json:"runs"`
+	// NsPerIter is the probed per-iteration body cost.
+	NsPerIter float64 `json:"ns_per_iter"`
+	// TripFraction is valid iterations over the iteration-space bound:
+	// near 1 means the loop almost always runs to its bound (a
+	// balanced, steal-friendly space), low values mean early exits.
+	TripFraction float64 `json:"trip_fraction"`
+	// ViolationRate is the fraction of speculative strips that failed
+	// validation and re-ran sequentially.  Overshoot past a QUIT is
+	// not a violation — only PD failures and exceptions count.
+	ViolationRate float64 `json:"violation_rate"`
+	// LastEngine is the engine the previous run ended on.
+	LastEngine Engine `json:"last_engine"`
+}
+
+// Sample is one finished run's contribution to a profile.
+type Sample struct {
+	// Valid iterations and the iteration-space bound.
+	Valid, Total int
+	// Ns over NsIters is the probed body cost (0 iters = no estimate).
+	Ns      int64
+	NsIters int
+	// Strips and SeqStrips from the speculative engines (both 0 when
+	// the run never speculated).
+	Strips, SeqStrips int
+	// Engine the run ended on.
+	Engine Engine
+}
+
+// ewmaAlpha weights the newest sample; 0.3 means ~3-4 runs to converge
+// after a workload change.
+const ewmaAlpha = 0.3
+
+func ewma(old, sample float64, first bool) float64 {
+	if first {
+		return sample
+	}
+	return old + ewmaAlpha*(sample-old)
+}
+
+// apply folds one sample into the profile.
+func (p *Profile) apply(s Sample) {
+	first := p.Runs == 0
+	p.Runs++
+	if s.NsIters > 0 && s.Ns > 0 {
+		p.NsPerIter = ewma(p.NsPerIter, float64(s.Ns)/float64(s.NsIters), first || p.NsPerIter == 0)
+	}
+	if s.Total > 0 {
+		p.TripFraction = ewma(p.TripFraction, float64(s.Valid)/float64(s.Total), first)
+	}
+	// A run that never speculated says nothing about the violation
+	// rate; in particular a Sequential run chosen *because* the rate
+	// was high must not decay it back toward zero (that would flap
+	// between sequential and a doomed re-speculation every other run).
+	if s.Strips > 0 {
+		p.ViolationRate = ewma(p.ViolationRate, float64(s.SeqStrips)/float64(s.Strips), first)
+	}
+	p.LastEngine = s.Engine
+}
+
+// ProfileStore is a concurrency-safe collection of Profiles.  The zero
+// value is not usable; call NewProfileStore.  Marshal/Unmarshal round-
+// trip the store as a JSON array sorted by key, so services can persist
+// learned profiles across processes and ship them between hosts.
+type ProfileStore struct {
+	mu       sync.Mutex
+	profiles map[string]Profile
+}
+
+// NewProfileStore returns an empty store.
+func NewProfileStore() *ProfileStore {
+	return &ProfileStore{profiles: make(map[string]Profile)}
+}
+
+// std is the process-wide store used when Options supply none: zero-
+// config callers still accumulate history across calls from the same
+// call site.
+var std = NewProfileStore()
+
+// Default returns the process-wide store.
+func Default() *ProfileStore { return std }
+
+// Lookup returns the profile recorded under key.
+func (s *ProfileStore) Lookup(key string) (Profile, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.profiles[key]
+	return p, ok
+}
+
+// Record folds one run's sample into the profile under key and returns
+// the updated profile.
+func (s *ProfileStore) Record(key string, smp Sample) Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.profiles[key]
+	p.Key = key
+	p.apply(smp)
+	s.profiles[key] = p
+	return p
+}
+
+// Len reports the number of recorded profiles.
+func (s *ProfileStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.profiles)
+}
+
+// MarshalJSON renders the store as a JSON object keyed by profile key.
+func (s *ProfileStore) MarshalJSON() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.Marshal(s.profiles)
+}
+
+// UnmarshalJSON replaces the store's contents with the decoded
+// profiles.
+func (s *ProfileStore) UnmarshalJSON(data []byte) error {
+	m := make(map[string]Profile)
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("autotune: bad profile store payload: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiles = m
+	return nil
+}
+
+// Decide maps a profile plus deterministic loop facts to a Plan.
+//
+// Every input is reproducible — iteration counts, processor count, the
+// classifier's speculation verdict, and the (persisted) profile.  The
+// probe's measured nanoseconds are deliberately absent: two identical
+// invocations must choose identical strategies, so wall-clock jitter
+// may size nothing but strips (and strip size is itself retuned
+// per-strip anyway).  Determinism is load-bearing for callers that
+// compare Reports across runs and for the profile round-trip tests.
+//
+// The rules, in order:
+//
+//   - one processor runs sequentially, always: every parallel engine
+//     adds dispatch, checkpoint and validation cost that a single
+//     processor can never win back;
+//   - a remainder too small to amortize one parallel dispatch runs
+//     sequentially (under 2 iterations per processor and under 64
+//     total — below either bound the barrier costs more than the
+//     work);
+//   - a profile that has watched speculation fail on at least half its
+//     strips falls back to sequential outright, the Section 7 stance
+//     inverted by evidence (and kept sticky by Profile.apply, which
+//     never decays the violation rate on sequential runs);
+//   - a loop the classifier cleared of speculation runs as a plain
+//     DOALL;
+//   - otherwise strip-mined speculation, promoted to the pipelined
+//     engine when the profile shows a clean history (almost no
+//     violations, nearly full trips — the pipeline's overlap only
+//     pays when strips commit).
+//
+// The schedule follows the profile's trip shape: a loop that reliably
+// runs to its bound gets the Stealing schedule (contiguous blocks,
+// contention only on imbalance); anything else keeps Dynamic
+// self-scheduling, whose eager issue wastes the least work near an
+// early exit.
+func Decide(prof Profile, haveProfile bool, remaining, procs int, needsSpec bool) Plan {
+	if procs <= 1 {
+		return Plan{Engine: Sequential}
+	}
+	if remaining < 2*procs && remaining < 64 {
+		return Plan{Engine: Sequential}
+	}
+	if haveProfile && prof.Runs >= 1 && prof.ViolationRate >= 0.5 && needsSpec {
+		return Plan{Engine: Sequential}
+	}
+	schedule := sched.Dynamic
+	if haveProfile && prof.Runs >= 2 && prof.TripFraction >= 0.95 {
+		schedule = sched.Stealing
+	}
+	if !needsSpec {
+		return Plan{Engine: DOALL, Schedule: schedule}
+	}
+	engine := Speculative
+	window := 1
+	if haveProfile && prof.Runs >= 1 && prof.ViolationRate <= 0.05 && prof.TripFraction >= 0.9 {
+		engine = Pipelined
+		window = 2
+	}
+	return Plan{Engine: engine, Schedule: schedule, Strip: InitialStrip(prof, haveProfile, remaining, procs), Window: window}
+}
+
+// InitialStrip sizes the first speculative strip: the stripped engines'
+// usual remaining/16 (clamped so every processor gets at least four
+// iterations), quartered when the profile reports a violation-prone
+// loop — a failed strip forfeits its whole parallel attempt, so prior
+// failures argue for smaller bets.  The Tuner regrows it on clean
+// streaks.
+func InitialStrip(prof Profile, haveProfile bool, remaining, procs int) int {
+	if procs < 1 {
+		procs = 1
+	}
+	s := remaining / 16
+	if min := 4 * procs; s < min {
+		s = min
+	}
+	if s > remaining {
+		s = remaining
+	}
+	if haveProfile && prof.ViolationRate > 0.25 {
+		s /= 4
+		if s < procs {
+			s = procs
+		}
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

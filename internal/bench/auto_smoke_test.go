@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAutoBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	rep := AutoBench(4, 4000, 40)
+	if rep.Bench != "autobench" || len(rep.Cases) != 3 {
+		t.Fatalf("report %+v", rep)
+	}
+	for _, c := range rep.Cases {
+		if c.AutoSeconds <= 0 || c.BestSeconds <= 0 || c.AutoVsBest <= 0 {
+			t.Fatalf("case %+v not measured", c)
+		}
+		if c.AutoStrategy == "" {
+			t.Fatalf("case %s has no recorded strategy", c.Name)
+		}
+	}
+	blob, err := AutoBenchJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAutoBench(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.WorstAutoVsBest != rep.WorstAutoVsBest {
+		t.Fatal("JSON round trip changed the report")
+	}
+	if regs := CompareAutoBench(rep, back, 0.2); len(regs) != 0 {
+		t.Fatalf("self-compare regressions: %v", regs)
+	}
+	if !strings.Contains(RenderAutoBench(rep), "worst auto-vs-best") {
+		t.Fatal("render missing summary line")
+	}
+}
+
+func TestCompareAutoBenchGuards(t *testing.T) {
+	base := AutoBenchReport{Bench: "autobench", Procs: 4, HostCPUs: 8, NsPerIter: 100,
+		Cases: []AutoCaseResult{{Name: "doall", AutoVsBest: 1.0}}}
+	cur := base
+	cur.Cases = []AutoCaseResult{{Name: "doall", AutoVsBest: 0.4, BestConfig: "speculate"}}
+	regs := CompareAutoBench(cur, base, 0.1)
+	if len(regs) != 2 {
+		t.Fatalf("want absolute + relative regressions, got %v", regs)
+	}
+	// Regime gate: incomparable body cost skips the guard entirely.
+	cur.NsPerIter = 1000
+	if regs := CompareAutoBench(cur, base, 0.1); regs != nil {
+		t.Fatalf("incomparable regimes must not be guarded: %v", regs)
+	}
+	// 1-core host: no absolute floor, relative only.
+	cur.NsPerIter = 100
+	cur.HostCPUs = 1
+	if regs := CompareAutoBench(cur, base, 0.1); len(regs) != 1 {
+		t.Fatalf("1-core host should only trip the relative floor: %v", regs)
+	}
+}

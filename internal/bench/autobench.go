@@ -1,0 +1,328 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"whilepar/internal/autotune"
+	"whilepar/internal/core"
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+)
+
+// This file measures the adaptive strategy selector against a grid of
+// hand-tuned configurations: the tentpole claim is that fully-defaulted
+// Options (Strategy Auto, no engine knobs) land within a small factor
+// of the best hand-tuned run on each workload regime.  Three regimes
+// exercise the selector's three big decisions:
+//
+//   - doall:     a clean RI loop with no shared conflicts — the probe
+//                should route to plain DOALL and pay nearly nothing.
+//   - spec:      an RV early exit writing shared state — stripped (or
+//                pipelined) speculation territory.
+//   - violating: every iteration reads its predecessor — speculation
+//                always fails, so the learned profile must demote to
+//                sequential instead of thrashing on undo.
+//
+// The auto rows run warm: one profile store persists across the reps,
+// so the later (min-of-reps) measurements see the learned plan, exactly
+// how a steady-state caller would.
+
+// AutoCaseResult is one workload regime's measurement.
+type AutoCaseResult struct {
+	Name string `json:"name"`
+	// SeqSeconds is the plain sequential reference.
+	SeqSeconds float64 `json:"seq_seconds"`
+	// AutoSeconds is the min-of-reps wall clock of defaulted Options
+	// (profile store warm across reps).
+	AutoSeconds float64 `json:"auto_seconds"`
+	// AutoStrategy is the StrategyChosen of the final (warm) auto rep.
+	AutoStrategy string `json:"auto_strategy"`
+	// BestSeconds/BestConfig are the fastest hand-tuned grid entry.
+	BestSeconds float64 `json:"best_seconds"`
+	BestConfig  string  `json:"best_config"`
+	// AutoVsBest is BestSeconds/AutoSeconds: 1.0 means parity with the
+	// best hand-tuned config, above 1.0 means auto won outright.  The
+	// tentpole target is >= 0.9 (within 10%) per regime.
+	AutoVsBest float64 `json:"auto_vs_best"`
+}
+
+// AutoBenchReport is the adaptive-selector measurement, the payload of
+// BENCH_7.json.  Wall-clock ratios are machine-dependent; the guard in
+// CompareAutoBench is host-aware and regime-gated like the other
+// measured-vs-sequential guards.
+type AutoBenchReport struct {
+	Bench    string `json:"bench"`
+	Procs    int    `json:"procs"`
+	HostCPUs int    `json:"host_cpus"`
+	Iters    int    `json:"iters"`
+	Work     int    `json:"work"`
+	// NsPerIter is the sequential body cost measured on the doall
+	// regime — the regime gate for baseline comparison.
+	NsPerIter float64          `json:"ns_per_iter"`
+	Cases     []AutoCaseResult `json:"cases"`
+	// WorstAutoVsBest is the minimum auto_vs_best across regimes — the
+	// single number the tentpole success metric tracks.
+	WorstAutoVsBest float64 `json:"worst_auto_vs_best"`
+}
+
+type autoWorkload struct {
+	shape string
+	iters int
+	exit  int
+	work  int
+	a     *mem.Array
+}
+
+func (wl *autoWorkload) spin(i int) float64 {
+	x := float64(i + 1)
+	for k := 0; k < wl.work; k++ {
+		x += 1.0 / x
+	}
+	return x
+}
+
+// loop builds a fresh loop over a fresh array for one measurement run.
+func (wl *autoWorkload) loop() *loopir.Loop[int] {
+	wl.a = mem.NewArray("A", wl.iters)
+	a := wl.a
+	switch wl.shape {
+	case "doall":
+		return &loopir.Loop[int]{
+			Class: loopir.Class{Dispatcher: loopir.MonotonicInduction, Terminator: loopir.RI, ThresholdOnMonotonic: true},
+			Disp:  loopir.IntInduction{C: 1},
+			Cond:  func(d int) bool { return d < wl.exit },
+			Body: func(it *loopir.Iter, d int) bool {
+				it.Store(a, d, wl.spin(d))
+				return true
+			},
+			Max: wl.iters,
+		}
+	case "spec":
+		return &loopir.Loop[int]{
+			Class: loopir.Class{Dispatcher: loopir.MonotonicInduction, Terminator: loopir.RV},
+			Disp:  loopir.IntInduction{C: 1},
+			Body: func(it *loopir.Iter, d int) bool {
+				if d >= wl.exit {
+					return false
+				}
+				it.Store(a, d, wl.spin(d))
+				return true
+			},
+			Max: wl.iters,
+		}
+	case "violating":
+		return &loopir.Loop[int]{
+			Class: loopir.Class{Dispatcher: loopir.MonotonicInduction, Terminator: loopir.RV},
+			Disp:  loopir.IntInduction{C: 1},
+			Body: func(it *loopir.Iter, d int) bool {
+				if d >= wl.exit {
+					return false
+				}
+				prev := 0.0
+				if d > 0 {
+					prev = it.Load(a, d-1)
+				}
+				it.Store(a, d, prev+wl.spin(d))
+				return true
+			},
+			Max: wl.iters,
+		}
+	}
+	panic("autobench: unknown shape " + wl.shape)
+}
+
+func (wl *autoWorkload) needsArrays() bool { return wl.shape != "doall" }
+
+// AutoBench measures the adaptive selector against the hand-tuned grid.
+func AutoBench(procs, iters, work int) AutoBenchReport {
+	if procs < 1 {
+		procs = 1
+	}
+	if iters < 1000 {
+		iters = 1000
+	}
+	rep := AutoBenchReport{
+		Bench: "autobench", Procs: procs, HostCPUs: runtime.NumCPU(),
+		Iters: iters, Work: work,
+	}
+
+	const reps = 4
+	shapes := []string{"doall", "spec", "violating"}
+	for _, shape := range shapes {
+		wl := &autoWorkload{shape: shape, iters: iters, exit: iters - iters/8, work: work}
+		if shape == "violating" {
+			// The chained workload is memory-bound; keep it smaller so
+			// the per-strip undo churn, not raw body time, dominates.
+			wl.iters = iters / 4
+			wl.exit = wl.iters - wl.iters/8
+		}
+
+		runOnce := func(opt core.Options) (float64, core.Report) {
+			l := wl.loop()
+			if wl.needsArrays() {
+				opt.Shared = []*mem.Array{wl.a}
+				opt.Tested = []*mem.Array{wl.a}
+			}
+			start := time.Now()
+			r, err := core.RunInduction(l, opt)
+			secs := time.Since(start).Seconds()
+			if err != nil {
+				panic(fmt.Sprintf("autobench %s: %v", shape, err))
+			}
+			if r.Valid != wl.exit {
+				panic(fmt.Sprintf("autobench %s: Valid %d, want %d", shape, r.Valid, wl.exit))
+			}
+			return secs, r
+		}
+
+		// Sequential reference (also warms the spin path).
+		var seqSecs float64
+		for rip := 0; rip < reps; rip++ {
+			s, _ := runOnce(core.Options{Strategy: core.StrategySequential})
+			if rip == 0 || s < seqSecs {
+				seqSecs = s
+			}
+		}
+		if shape == "doall" {
+			rep.NsPerIter = seqSecs / float64(wl.exit) * 1e9
+		}
+
+		// Hand-tuned grid.  Not every knob fits every regime; entries
+		// are per-shape, each the kind of config a careful caller would
+		// reach for.
+		grid := []struct {
+			name string
+			opt  core.Options
+		}{
+			{"sequential", core.Options{Strategy: core.StrategySequential}},
+			{"speculate", core.Options{Strategy: core.StrategySpeculate, Procs: procs}},
+			{"static", core.Options{Strategy: core.StrategySpeculate, Procs: procs, Schedule: sched.Static}},
+			{"stealing", core.Options{Strategy: core.StrategySpeculate, Procs: procs, Schedule: sched.Stealing}},
+		}
+		if shape != "doall" {
+			grid = append(grid, struct {
+				name string
+				opt  core.Options
+			}{"pipeline", core.Options{Strategy: core.StrategyPipeline, Procs: procs}})
+		}
+		best, bestName := 0.0, ""
+		for _, g := range grid {
+			var secs float64
+			for rip := 0; rip < reps; rip++ {
+				s, _ := runOnce(g.opt)
+				if rip == 0 || s < secs {
+					secs = s
+				}
+			}
+			if bestName == "" || secs < best {
+				best, bestName = secs, g.name
+			}
+		}
+
+		// Defaulted Options, warm profile store across reps.  Procs
+		// stays 0 — the success metric is what a caller who tunes
+		// *nothing* gets, and a defaulted proc count resolves to the
+		// host's GOMAXPROCS (the selector goes sequential on a
+		// single-core host, where every grid engine loses to plain
+		// sequential anyway).
+		store := autotune.NewProfileStore()
+		var autoSecs float64
+		var autoStrategy string
+		for rip := 0; rip < reps; rip++ {
+			s, r := runOnce(core.Options{Profiles: store, Key: "autobench-" + shape})
+			if rip == 0 || s < autoSecs {
+				autoSecs = s
+			}
+			autoStrategy = r.StrategyChosen
+		}
+
+		c := AutoCaseResult{
+			Name: shape, SeqSeconds: seqSecs,
+			AutoSeconds: autoSecs, AutoStrategy: autoStrategy,
+			BestSeconds: best, BestConfig: bestName,
+		}
+		if autoSecs > 0 {
+			c.AutoVsBest = best / autoSecs
+		}
+		rep.Cases = append(rep.Cases, c)
+		if rep.WorstAutoVsBest == 0 || c.AutoVsBest < rep.WorstAutoVsBest {
+			rep.WorstAutoVsBest = c.AutoVsBest
+		}
+	}
+	return rep
+}
+
+// CompareAutoBench checks a fresh autobench run against the recorded
+// baseline.  Wall-clock auto-vs-best ratios jitter, so the guard mirrors
+// the other measured guards: regime-gated on per-iteration body cost,
+// an absolute floor only on hosts with enough cores, and a relative
+// floor against the baseline everywhere.
+func CompareAutoBench(cur, base AutoBenchReport, tol float64) []string {
+	var regs []string
+	if !comparableBody(cur.NsPerIter, base.NsPerIter) {
+		return nil
+	}
+	baseBy := make(map[string]AutoCaseResult, len(base.Cases))
+	for _, c := range base.Cases {
+		baseBy[c.Name] = c
+	}
+	for _, c := range cur.Cases {
+		b, ok := baseBy[c.Name]
+		if !ok || b.AutoVsBest <= 0 {
+			continue
+		}
+		// Absolute: with enough cores, auto may not fall below half the
+		// best hand-tuned config — that would mean the selector picked a
+		// badly wrong engine, not that the host jittered.
+		if cur.HostCPUs >= cur.Procs && c.AutoVsBest > 0 && c.AutoVsBest < 0.5 {
+			regs = append(regs, fmt.Sprintf(
+				"auto_vs_best[%s]: %.2fx on a %d-CPU host — auto chose a losing engine (best: %s)",
+				c.Name, c.AutoVsBest, cur.HostCPUs, c.BestConfig))
+		}
+		if floor := b.AutoVsBest * (1 - 2*tol); c.AutoVsBest < floor {
+			regs = append(regs, fmt.Sprintf(
+				"auto_vs_best[%s]: %.2fx is below baseline %.2fx - %.0f%% (floor %.2fx)",
+				c.Name, c.AutoVsBest, b.AutoVsBest, 2*tol*100, floor))
+		}
+	}
+	return regs
+}
+
+// ParseAutoBench decodes a recorded BENCH_7.json payload.
+func ParseAutoBench(data []byte) (AutoBenchReport, error) {
+	var rep AutoBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: bad autobench baseline: %w", err)
+	}
+	if rep.Bench != "autobench" {
+		return rep, fmt.Errorf("bench: baseline is %q, want \"autobench\"", rep.Bench)
+	}
+	return rep, nil
+}
+
+// RenderAutoBench formats the report as a text table.
+func RenderAutoBench(rep AutoBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Auto-tuner benchmark — %d procs, %d iters, %d work units (host has %d CPUs)\n",
+		rep.Procs, rep.Iters, rep.Work, rep.HostCPUs)
+	fmt.Fprintf(&b, "%-11s %10s %10s %10s %8s  %-14s %s\n",
+		"regime", "seq", "auto", "best", "ratio", "best-config", "auto strategy")
+	for _, c := range rep.Cases {
+		fmt.Fprintf(&b, "%-11s %9.4fs %9.4fs %9.4fs %7.2fx  %-14s %s\n",
+			c.Name, c.SeqSeconds, c.AutoSeconds, c.BestSeconds, c.AutoVsBest, c.BestConfig, c.AutoStrategy)
+	}
+	fmt.Fprintf(&b, "worst auto-vs-best: %.2fx (1.0 = parity with hand tuning; target >= 0.9)\n",
+		rep.WorstAutoVsBest)
+	return b.String()
+}
+
+// AutoBenchJSON renders the report as indented JSON (the BENCH_7.json
+// payload).
+func AutoBenchJSON(rep AutoBenchReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -83,9 +83,12 @@ func TestRunInductionCtxDeadline(t *testing.T) {
 }
 
 func TestRunInductionCtxPanicSurfaces(t *testing.T) {
-	// A panic on the speculative path unwinds: checkpointed state is
-	// restored and the error matches ErrWorkerPanic with the iteration
-	// attached.
+	// A panic on the speculative path unwinds: the strip in flight is
+	// restored to its checkpoint — the shared arrays hold exactly the
+	// committed prefix — and the error matches ErrWorkerPanic with the
+	// global iteration attached.  Under the adaptive default the
+	// committed prefix is the sequential probe plus every clean strip
+	// before the one that panicked.
 	a := mem.NewArray("A", 128)
 	var fired atomic.Bool
 	l := &loopir.Loop[int]{
@@ -120,9 +123,16 @@ func TestRunInductionCtxPanicSurfaces(t *testing.T) {
 		t.Fatalf("report %+v", rep)
 	}
 	for i, v := range a.Data {
-		if v != 0 {
-			t.Fatalf("A[%d] = %v after restore", i, v)
+		if i < rep.Valid {
+			if v != float64(i)+1 {
+				t.Fatalf("A[%d] = %v inside the committed prefix (Valid = %d)", i, v, rep.Valid)
+			}
+		} else if v != 0 {
+			t.Fatalf("A[%d] = %v after restore (Valid = %d)", i, v, rep.Valid)
 		}
+	}
+	if rep.Valid > 40 {
+		t.Fatalf("Valid = %d commits past the panicking iteration", rep.Valid)
 	}
 }
 

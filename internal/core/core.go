@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"time"
 
+	"whilepar/internal/autotune"
 	"whilepar/internal/cancel"
 	"whilepar/internal/costmodel"
 	"whilepar/internal/doacross"
@@ -74,6 +75,22 @@ func (m ListMethod) String() string {
 
 // Options configures an orchestrated execution.
 type Options struct {
+	// Strategy selects the execution strategy.  The zero value, Auto,
+	// lets the orchestrator pick engine, schedule, strip size and
+	// respeculation window itself (see Strategy); the explicit values
+	// subsume the per-engine flags below, which remain as deprecated
+	// aliases.  Validate rejects contradictions (ErrStrategyConflict).
+	Strategy Strategy
+	// Profiles is the persistent per-call-site profile store the
+	// adaptive selector learns from.  Nil uses a process-wide default
+	// store; services that want profiles to survive restarts supply
+	// their own and persist it (autotune.ProfileStore is
+	// JSON-round-trippable).
+	Profiles *autotune.ProfileStore
+	// Key identifies this loop in the profile store.  Empty derives a
+	// key from the caller's file:line, so distinct loops learn
+	// independently with zero configuration.
+	Key string
 	// Procs is the number of virtual processors.  Zero defaults to
 	// runtime.GOMAXPROCS(0); an explicit 1 requests sequential
 	// execution; negative values are rejected by Validate.
@@ -259,14 +276,33 @@ type Report struct {
 	// StampThreshold is the Section 8.1 statistics-enhanced threshold
 	// used (0 = every store stamped).
 	StampThreshold int
+	// StrategyChosen names the strategy the orchestrator settled on
+	// before running — for auto-tuned executions the selector's
+	// initial plan (mid-run changes land in Retunes, not here, so the
+	// field is identical across identical runs), elsewhere a copy of
+	// Strategy.
+	StrategyChosen string
+	// ProbeIters and ProbeNs are the auto-tuner's online probe cost:
+	// iterations executed sequentially before an engine was chosen,
+	// and the wall-clock they took (both 0 when no probe ran).
+	ProbeIters int
+	ProbeNs    int64
+	// Retunes lists the mid-run strategy adjustments the auto-tuner
+	// made, in order (nil when none, or when the run was not
+	// auto-tuned).
+	Retunes []autotune.RetuneEvent
 	// Metrics is a snapshot of the run's counters, taken as the
 	// orchestrator returns; nil unless Options.Metrics was set.
 	Metrics *obs.Snapshot
 }
 
 // finish stamps the report with a metrics snapshot (when requested)
-// just before the orchestrator hands it back.
+// and the settled strategy name just before the orchestrator hands it
+// back.
 func finish(rep Report, opt Options) Report {
+	if rep.StrategyChosen == "" {
+		rep.StrategyChosen = rep.Strategy
+	}
 	if opt.Metrics != nil {
 		s := opt.Metrics.Snapshot()
 		rep.Metrics = &s
@@ -332,8 +368,20 @@ func RunInductionCtx(ctx context.Context, l *loopir.Loop[int], opt Options) (Rep
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
+	opt = opt.resolved()
 	ctx, stop := opt.withDeadline(ctx)
 	defer stop()
+	if opt.Strategy == StrategySequential {
+		rep := Report{Strategy: "sequential (explicit)"}
+		rep.Valid = loopir.RunSequential(l).Iterations
+		recordStats(opt, rep.Valid)
+		return finish(rep, opt), nil
+	}
+	if opt.autoEligible() {
+		if cf, ok := l.Disp.(loopir.ClosedForm[int]); ok && l.Max > 0 {
+			return runInductionAuto(ctx, l, cf, opt)
+		}
+	}
 	d, ok := decide(opt, l.Class.Dispatcher)
 	rep := Report{Decision: d, Strategy: opt.InductionMethod.String()}
 	if !ok {
@@ -389,34 +437,8 @@ func RunInductionCtx(ctx context.Context, l *loopir.Loop[int], opt Options) (Rep
 
 	var parRes induction.Result
 	rep.StampThreshold = stampThreshold(opt)
-	// Sequential completion from an arbitrary iteration, for the
-	// partial-commit recovery path: the dispatcher's closed form (which
-	// inductions implement) positions the resume value directly; other
-	// dispatchers replay the chain up to it.
-	dispAt := func(i int) int {
-		if cf, ok := l.Disp.(loopir.ClosedForm[int]); ok {
-			return cf.At(i)
-		}
-		d := l.Disp.Start()
-		for k := 0; k < i; k++ {
-			d = l.Disp.Next(d)
-		}
-		return d
-	}
-	seqFrom := func(from int) int {
-		d := dispAt(from)
-		for i := from; l.Max <= 0 || i < l.Max; i++ {
-			if l.Cond != nil && !l.Cond(d) {
-				return i
-			}
-			it := loopir.Iter{Index: i, VPN: 0}
-			if !l.Body(&it, d) {
-				return i
-			}
-			d = l.Disp.Next(d)
-		}
-		return l.Max
-	}
+	dispAt := inductionDispAt(l)
+	seqFrom := inductionSeqFrom(l)
 	if opt.Pipeline {
 		return runInductionPipelined(ctx, l, opt, pool, rep, seqFrom, dispAt)
 	}
@@ -549,8 +571,15 @@ func RunAssociativeCtx(ctx context.Context, l *loopir.Loop[float64], opt Options
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
+	opt = opt.resolved()
 	ctx, stop := opt.withDeadline(ctx)
 	defer stop()
+	if opt.Strategy == StrategySequential {
+		rep := Report{Strategy: "sequential (explicit)"}
+		rep.Valid = loopir.RunSequential(l).Iterations
+		recordStats(opt, rep.Valid)
+		return finish(rep, opt), nil
+	}
 	return runAssociative(ctx, l, opt)
 }
 
@@ -615,8 +644,15 @@ func RunGeneralNumericCtx(ctx context.Context, l *loopir.Loop[float64], opt Opti
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
+	opt = opt.resolved()
 	ctx, stop := opt.withDeadline(ctx)
 	defer stop()
+	if opt.Strategy == StrategySequential {
+		rep := Report{Strategy: "sequential (explicit)"}
+		rep.Valid = loopir.RunSequential(l).Iterations
+		recordStats(opt, rep.Valid)
+		return finish(rep, opt), nil
+	}
 	if _, ok := l.Disp.(loopir.Affine); ok {
 		return runAssociative(ctx, l, opt)
 	}
@@ -798,8 +834,15 @@ func RunListCtx(ctx context.Context, head *list.Node, body genrec.Body, class lo
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
+	opt = opt.resolved()
 	ctx, stop := opt.withDeadline(ctx)
 	defer stop()
+	if opt.Strategy == StrategySequential {
+		rep := Report{Strategy: "sequential (explicit)"}
+		rep.Valid = runListSequential(head, body)
+		recordStats(opt, rep.Valid)
+		return finish(rep, opt), nil
+	}
 	if opt.Pipeline {
 		return Report{}, fmt.Errorf("%w: list traversals have no strip-mineable dispatcher", ErrPipelineUnsupported)
 	}

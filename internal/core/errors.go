@@ -57,6 +57,14 @@ var (
 	// ErrBadDeadline: Options.Deadline is negative (0 means no
 	// deadline; positive values bound the execution's wall-clock time).
 	ErrBadDeadline = errors.New("core: invalid Deadline")
+	// ErrBadStrategy: Options.Strategy is not a known Strategy
+	// constant.
+	ErrBadStrategy = errors.New("core: invalid Strategy")
+	// ErrStrategyConflict: an explicit Options.Strategy contradicts a
+	// legacy flag that pins a different engine (e.g. StrategySequential
+	// with Pipeline, or StrategyRunTwice with Recovery).  Redundant
+	// agreement — StrategyPipeline with Pipeline: true — is allowed.
+	ErrStrategyConflict = errors.New("core: Strategy conflicts with a manual engine override")
 )
 
 // Validate rejects malformed Options before any goroutine is started.
@@ -65,6 +73,12 @@ var (
 // call it; callers constructing Options programmatically may call it
 // early to fail fast.
 func (o Options) Validate() error {
+	if err := o.validateStrategy(); err != nil {
+		return err
+	}
+	// The remaining rules see the options as the orchestrator will run
+	// them, with the Strategy's implied flags folded in.
+	o = o.resolved()
 	if o.Procs < 0 {
 		return fmt.Errorf("%w: %d (0 defaults to GOMAXPROCS, 1 is sequential)", ErrBadProcs, o.Procs)
 	}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"whilepar/internal/induction"
+	"whilepar/internal/sched"
+)
+
+// Strategy is the first-class execution-strategy selector.  The zero
+// value, Auto, lets the orchestrator choose: the engine, schedule,
+// strip size and respeculation window come from the adaptive selector
+// (internal/autotune) fed by an online probe and the loop's persistent
+// profile.  The non-zero values are explicit overrides subsuming the
+// older knob sprawl — each implies the flags it needs, so
+//
+//	Options{Strategy: StrategyPipeline}
+//
+// replaces Options{Pipeline: true} (which keeps working as a
+// deprecated alias).  Conflicting combinations of a Strategy and the
+// legacy flags are rejected by Validate with ErrStrategyConflict.
+type Strategy int
+
+const (
+	// Auto (the default) delegates engine selection to the adaptive
+	// selector for loops it understands (closed-form induction
+	// dispatchers with otherwise-default knobs) and to the Table 1
+	// classification elsewhere.
+	Auto Strategy = iota
+	// StrategySequential runs the loop on the calling goroutine — the
+	// reference semantics, no parallel machinery at all.
+	StrategySequential
+	// StrategySpeculate pins the classic whole-loop engines: the
+	// Table 1 transformation wrapped in the Section 4/5 speculation
+	// protocol when needed, exactly as the pre-auto orchestrator ran.
+	StrategySpeculate
+	// StrategyRunTwice pins Section 4's time-stamp-free alternative
+	// (implies Options.RunTwice).
+	StrategyRunTwice
+	// StrategyRecover pins partial-commit misspeculation recovery
+	// (implies Options.Recovery).
+	StrategyRecover
+	// StrategyPipeline pins pipelined strip speculation (implies
+	// Options.Pipeline).
+	StrategyPipeline
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case StrategySequential:
+		return "sequential"
+	case StrategySpeculate:
+		return "speculate"
+	case StrategyRunTwice:
+		return "run-twice"
+	case StrategyRecover:
+		return "recover"
+	case StrategyPipeline:
+		return "pipeline"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// validateStrategy rejects out-of-range values and combinations of an
+// explicit Strategy with legacy flags that contradict it.  Redundant
+// agreement (StrategyPipeline plus Pipeline: true) is allowed — that
+// is the migration path — and so are orthogonal compositions that were
+// legal before (StrategyPipeline plus Recovery).
+func (o Options) validateStrategy() error {
+	switch o.Strategy {
+	case Auto, StrategySequential, StrategySpeculate, StrategyRunTwice, StrategyRecover, StrategyPipeline:
+	default:
+		return fmt.Errorf("%w: %d", ErrBadStrategy, int(o.Strategy))
+	}
+	conflict := func(flag string) error {
+		return fmt.Errorf("%w: Strategy %s with %s", ErrStrategyConflict, o.Strategy, flag)
+	}
+	switch o.Strategy {
+	case StrategySequential:
+		if o.Pipeline {
+			return conflict("Pipeline")
+		}
+		if o.RunTwice {
+			return conflict("RunTwice")
+		}
+		if o.Recovery {
+			return conflict("Recovery")
+		}
+	case StrategySpeculate:
+		if o.Pipeline {
+			return conflict("Pipeline")
+		}
+		if o.RunTwice {
+			return conflict("RunTwice")
+		}
+	case StrategyRunTwice:
+		if o.Pipeline {
+			return conflict("Pipeline")
+		}
+		if o.Recovery {
+			return conflict("Recovery")
+		}
+	case StrategyRecover:
+		if o.RunTwice {
+			return conflict("RunTwice")
+		}
+	case StrategyPipeline:
+		if o.RunTwice {
+			return conflict("RunTwice")
+		}
+	}
+	return nil
+}
+
+// resolved maps an explicit Strategy onto the legacy flags the rest of
+// the orchestrator dispatches on.  Validate has already rejected
+// contradictions, so setting the implied flag is idempotent.
+func (o Options) resolved() Options {
+	switch o.Strategy {
+	case StrategyRunTwice:
+		o.RunTwice = true
+	case StrategyRecover:
+		o.Recovery = true
+	case StrategyPipeline:
+		o.Pipeline = true
+	}
+	return o
+}
+
+// autoEligible reports whether the adaptive selector owns this
+// execution: Strategy is Auto and every knob the selector would
+// otherwise have to honour is at its zero value.  Any hand-tuned
+// engine choice — an explicit schedule, method, pipeline, recovery,
+// pool, sparse undo, privatization, cost-model estimates or
+// profitability floor — pins the classic path; so does
+// FallbackSequential, whose absorb-the-panic contract belongs to the
+// whole-loop protocol.  (An explicit InductionMethod of Induction1 is
+// indistinguishable from the default and also lands here; the
+// selector's strip engines preserve Induction-1/2 semantics either
+// way, since both evaluate the dispatcher's closed form.)
+func (o Options) autoEligible() bool {
+	return o.Strategy == Auto &&
+		o.Procs != 1 && // explicit 1 means "run it sequentially" — a pinned choice
+		o.InductionMethod == induction.Induction1 &&
+		o.Schedule == sched.Dynamic &&
+		len(o.Privatized) == 0 &&
+		!o.Pipeline && !o.Recovery && !o.RunTwice && !o.SparseUndo &&
+		!o.Pool && !o.FallbackSequential &&
+		o.MaxRespecRounds == 0 && o.MinIters == 0 &&
+		o.Stats == nil && o.Times.Tseq() <= 0
+}
+
+// callSiteKey derives the default profile key: the file:line of the
+// first stack frame outside this module's implementation (the internal
+// packages and the facade's Run* wrappers).  Two loops launched from
+// different source lines learn independently; the same line re-run in
+// the same process (or with a persisted store, across processes) finds
+// its history.
+func callSiteKey() string {
+	var pcs [16]uintptr
+	n := runtime.Callers(2, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		f, more := frames.Next()
+		fn := f.Function
+		if fn != "" &&
+			!strings.HasPrefix(fn, "whilepar/internal/") &&
+			!strings.HasPrefix(fn, "whilepar.Run") &&
+			!strings.HasPrefix(fn, "runtime.") {
+			return fmt.Sprintf("%s:%d", f.File, f.Line)
+		}
+		if !more {
+			return "unknown"
+		}
+	}
+}

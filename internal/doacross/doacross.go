@@ -8,8 +8,7 @@
 // the paper's Section 10 compares against.
 //
 // Two entry points, both context-first and configured by one options
-// struct (the historical Run/RunObs/RunObsPool and RunWhile triples
-// survive as deprecated wrappers):
+// struct:
 //
 //   - Run executes a counted iteration space under post/wait
 //     synchronization: iteration i may Wait for any earlier iteration's
@@ -114,9 +113,9 @@ type Result struct {
 }
 
 // Config bundles the optional knobs of Run and RunWhile into one
-// options struct, replacing the historical Run/RunObs/RunObsPool arity
-// ladder.  The zero value (1 worker, no hooks, spawn-per-call) is
-// valid.
+// options struct, so each entry point has a single signature instead
+// of an arity ladder.  The zero value (1 worker, no hooks,
+// spawn-per-call) is valid.
 type Config struct {
 	// Procs is the number of pipeline workers; values below 1 are
 	// treated as 1 (and clamped to Pool's size when a pool is used).
@@ -280,26 +279,6 @@ func Run(ctx context.Context, n int, cfg Config, body func(i, vpn int, s *Sync) 
 	return res, nil
 }
 
-// RunObs is the legacy hooks-arity entry point.
-//
-// Deprecated: use Run with a Config.  This wrapper runs on
-// context.Background() and re-panics a contained body panic to preserve
-// the historical crash semantics.
-func RunObs(n, procs int, h obs.Hooks, body func(i, vpn int, s *Sync) Control) Result {
-	return RunObsPool(n, procs, nil, h, body)
-}
-
-// RunObsPool is the legacy pool-arity entry point.
-//
-// Deprecated: use Run with a Config.
-func RunObsPool(n, procs int, pool *sched.Pool, h obs.Hooks, body func(i, vpn int, s *Sync) Control) Result {
-	res, err := Run(context.Background(), n, Config{Procs: procs, Hooks: h, Pool: pool}, body)
-	if pe, ok := cancel.AsPanic(err); ok {
-		panic(pe.Value)
-	}
-	return res
-}
-
 // RunWhile pipelines a WHILE loop with a sequential dispatcher: start is
 // d(0); each iteration i computes d(i+1) = next(d(i)), posts it, then
 // runs body(i, d(i)).  cont(d) is the RI termination condition (the
@@ -346,31 +325,6 @@ func RunWhile[D any](ctx context.Context, start D, next func(D) D, cont func(D) 
 		}
 		return Continue
 	})
-}
-
-// RunWhileObs is the legacy hooks-arity entry point.  The body receives
-// the virtual processor number so per-worker (sharded) memory
-// substrates can attribute its stores to single-writer slots.
-//
-// Deprecated: use RunWhile with a Config.  This wrapper runs on
-// context.Background() and re-panics a contained body panic to preserve
-// the historical crash semantics.
-func RunWhileObs[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
-	h obs.Hooks, body func(i, vpn int, d D) bool) Result {
-	return RunWhileObsPool(start, next, cont, max, procs, nil, h, body)
-}
-
-// RunWhileObsPool is the legacy pool-arity entry point.
-//
-// Deprecated: use RunWhile with a Config.
-func RunWhileObsPool[D any](start D, next func(D) D, cont func(D) bool, max, procs int,
-	pool *sched.Pool, h obs.Hooks, body func(i, vpn int, d D) bool) Result {
-	res, err := RunWhile(context.Background(), start, next, cont, max,
-		Config{Procs: procs, Hooks: h, Pool: pool}, body)
-	if pe, ok := cancel.AsPanic(err); ok {
-		panic(pe.Value)
-	}
-	return res
 }
 
 // SimCosts parameterizes the simulated-time DOACROSS model.

@@ -1,10 +1,11 @@
 package doacross
 
-// Equivalence of the unified context-first entry points with the legacy
-// wrappers: the deprecated Run/RunObs/RunObsPool and RunWhile* arities
-// are thin delegations, and this file proves (under -race, like the
-// rest of the suite) that both spellings produce identical results on
-// the same pipelined workloads.
+// The unified context-first entry points must be deterministic in their
+// committed results regardless of worker count or goroutine sourcing:
+// the quit index and the valid prefix are properties of the loop, not
+// of the execution. This file proves (under -race, like the rest of the
+// suite) that Run and RunWhile agree with themselves across processor
+// counts and with a pool attached.
 
 import (
 	"context"
@@ -12,11 +13,10 @@ import (
 	"testing"
 	"testing/quick"
 
-	"whilepar/internal/obs"
 	"whilepar/internal/sched"
 )
 
-func TestRunNewEqualsLegacy(t *testing.T) {
+func TestRunQuitIndexInvariantAcrossProcs(t *testing.T) {
 	f := func(quitRaw, procsRaw uint8) bool {
 		n := 400
 		q := int(quitRaw) * 2 % n
@@ -32,19 +32,22 @@ func TestRunNewEqualsLegacy(t *testing.T) {
 				return Continue
 			}
 		}
-		newRes, err := Run(context.Background(), n, Config{Procs: procs}, mk())
+		wide, err := Run(context.Background(), n, Config{Procs: procs}, mk())
 		if err != nil {
 			return false
 		}
-		oldRes := RunObs(n, procs, obs.Hooks{}, mk())
-		return newRes.QuitIndex == oldRes.QuitIndex && newRes.QuitIndex == q
+		narrow, err := Run(context.Background(), n, Config{Procs: 1}, mk())
+		if err != nil {
+			return false
+		}
+		return wide.QuitIndex == narrow.QuitIndex && wide.QuitIndex == q
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
 }
 
-func TestRunWhileNewEqualsLegacy(t *testing.T) {
+func TestRunWhileQuitIndexInvariantAcrossProcs(t *testing.T) {
 	f := func(stepRaw, limitRaw, procsRaw uint8) bool {
 		step := int(stepRaw)%9 + 1
 		limit := int(limitRaw) + 1
@@ -54,19 +57,22 @@ func TestRunWhileNewEqualsLegacy(t *testing.T) {
 		cont := func(d int) bool { return d < limit }
 		body := func(int, int, int) bool { return true }
 
-		newRes, err := RunWhile(context.Background(), 0, next, cont, max, Config{Procs: procs}, body)
+		wide, err := RunWhile(context.Background(), 0, next, cont, max, Config{Procs: procs}, body)
 		if err != nil {
 			return false
 		}
-		oldRes := RunWhileObs(0, next, cont, max, procs, obs.Hooks{}, body)
-		return newRes.QuitIndex == oldRes.QuitIndex && newRes.Executed >= newRes.QuitIndex
+		narrow, err := RunWhile(context.Background(), 0, next, cont, max, Config{Procs: 1}, body)
+		if err != nil {
+			return false
+		}
+		return wide.QuitIndex == narrow.QuitIndex && wide.Executed >= wide.QuitIndex
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
 }
 
-func TestRunPoolNewEqualsLegacy(t *testing.T) {
+func TestRunPoolEqualsSpawn(t *testing.T) {
 	pool := sched.NewPool(4)
 	defer pool.Close()
 	n := 500
@@ -80,13 +86,16 @@ func TestRunPoolNewEqualsLegacy(t *testing.T) {
 			return Continue
 		}
 	}
-	newRes, err := Run(context.Background(), n, Config{Procs: 4, Pool: pool}, body(&sum1))
+	spawnRes, err := Run(context.Background(), n, Config{Procs: 4}, body(&sum1))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	oldRes := RunObsPool(n, 4, pool, obs.Hooks{}, body(&sum2))
-	if newRes != oldRes {
-		t.Fatalf("pool results differ: new %+v old %+v", newRes, oldRes)
+	poolRes, err := Run(context.Background(), n, Config{Procs: 4, Pool: pool}, body(&sum2))
+	if err != nil {
+		t.Fatalf("Run (pool): %v", err)
+	}
+	if spawnRes != poolRes {
+		t.Fatalf("pool results differ: spawn %+v pool %+v", spawnRes, poolRes)
 	}
 	if sum1.Load() != sum2.Load() {
 		t.Fatalf("work differs: %d vs %d", sum1.Load(), sum2.Load())

@@ -1,6 +1,7 @@
 package doacross
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -14,7 +15,7 @@ import (
 // chains, same accounting — the pool only changes where the worker
 // goroutines come from.
 
-func TestRunObsPoolMatchesSpawnRandomized(t *testing.T) {
+func TestRunPoolMatchesSpawnRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(59))
 	for trial := 0; trial < 25; trial++ {
 		n := 100 + rng.Intn(2000)
@@ -32,7 +33,7 @@ func TestRunObsPoolMatchesSpawnRandomized(t *testing.T) {
 			if usePool {
 				p = sched.NewPool(procs)
 			}
-			res := RunObsPool(n, procs, p, obs.Hooks{M: m}, func(i, vpn int, s *Sync) Control {
+			res, err := Run(context.Background(), n, Config{Procs: procs, Hooks: obs.Hooks{M: m}, Pool: p}, func(i, vpn int, s *Sync) Control {
 				if i >= dist {
 					s.Wait(i, i-dist)
 					atomic.StoreInt64(&vals[i], atomic.LoadInt64(&vals[i-dist])+1)
@@ -44,6 +45,9 @@ func TestRunObsPoolMatchesSpawnRandomized(t *testing.T) {
 				}
 				return Continue
 			})
+			if err != nil {
+				t.Fatalf("trial %d: Run: %v", trial, err)
+			}
 			if p != nil {
 				p.Close()
 			}
@@ -73,12 +77,12 @@ func TestRunObsPoolMatchesSpawnRandomized(t *testing.T) {
 	}
 }
 
-func TestRunObsPoolClampsToPoolSize(t *testing.T) {
+func TestRunPoolClampsToPoolSize(t *testing.T) {
 	p := sched.NewPool(2)
 	defer p.Close()
 	n := 400
 	var maxVPN int32 = -1
-	res := RunObsPool(n, 8, p, obs.Hooks{}, func(i, vpn int, s *Sync) Control {
+	res, err := Run(context.Background(), n, Config{Procs: 8, Pool: p}, func(i, vpn int, s *Sync) Control {
 		for {
 			cur := atomic.LoadInt32(&maxVPN)
 			if int32(vpn) <= cur || atomic.CompareAndSwapInt32(&maxVPN, cur, int32(vpn)) {
@@ -87,6 +91,9 @@ func TestRunObsPoolClampsToPoolSize(t *testing.T) {
 		}
 		return Continue
 	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if res.Executed != n || res.QuitIndex != n {
 		t.Fatalf("result %+v", res)
 	}
@@ -109,15 +116,18 @@ func TestRunWhilePoolMatchesSpawn(t *testing.T) {
 		cont := func(d int) bool { return d < limit }
 
 		outS := make([]int64, max)
-		resS := RunWhileObsPool(0, next, cont, max, 4, nil, obs.Hooks{}, func(i, _ int, d int) bool {
+		resS, errS := RunWhile(context.Background(), 0, next, cont, max, Config{Procs: 4}, func(i, _ int, d int) bool {
 			atomic.StoreInt64(&outS[i], int64(d))
 			return true
 		})
 		outP := make([]int64, max)
-		resP := RunWhileObsPool(0, next, cont, max, 4, p, obs.Hooks{}, func(i, _ int, d int) bool {
+		resP, errP := RunWhile(context.Background(), 0, next, cont, max, Config{Procs: 4, Pool: p}, func(i, _ int, d int) bool {
 			atomic.StoreInt64(&outP[i], int64(d))
 			return true
 		})
+		if errS != nil || errP != nil {
+			t.Fatalf("round %d: RunWhile errors: spawn %v pool %v", round, errS, errP)
+		}
 		if resP.QuitIndex != resS.QuitIndex {
 			t.Fatalf("round %d (step=%d limit=%d): QuitIndex %d (pool) vs %d (spawn)",
 				round, step, limit, resP.QuitIndex, resS.QuitIndex)

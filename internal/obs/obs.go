@@ -105,6 +105,10 @@ type Metrics struct {
 	ctxCancels   atomic.Int64
 	workerPanics atomic.Int64
 
+	// Adaptive strategy selection (internal/autotune).
+	probeRuns        atomic.Int64
+	strategySwitches atomic.Int64
+
 	mu           sync.Mutex
 	vpnBusy      []*busySlot
 	abortReasons map[string]int64
@@ -484,6 +488,26 @@ func (m *Metrics) WorkerPanic() {
 	m.workerPanics.Add(1)
 }
 
+// ProbeRun records one sequential auto-tuning probe: a first strip
+// executed on the calling goroutine to estimate body cost, violation
+// likelihood and trip count before an engine is chosen.
+func (m *Metrics) ProbeRun() {
+	if m == nil {
+		return
+	}
+	m.probeRuns.Add(1)
+}
+
+// StrategySwitch records one mid-run engine change by the auto-tuner
+// (a clean run promoted to the pipelined engine, or a violation storm
+// demoted to sequential completion).
+func (m *Metrics) StrategySwitch() {
+	if m == nil {
+		return
+	}
+	m.strategySwitches.Add(1)
+}
+
 // Snapshot is a plain-value copy of all counters, safe to retain after
 // the Metrics keeps accumulating.
 type Snapshot struct {
@@ -563,6 +587,11 @@ type Snapshot struct {
 	// workers' recover backstops.
 	CtxCancels, WorkerPanics int64
 
+	// ProbeRuns counts sequential auto-tuning probes; StrategySwitches
+	// counts mid-run engine changes the auto-tuner made (pipeline
+	// promotions and sequential demotions).
+	ProbeRuns, StrategySwitches int64
+
 	// VPNBusy[k] is the number of iterations processor k executed.
 	VPNBusy []int64
 }
@@ -616,6 +645,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		DeltaCheckpointWords:   m.deltaCheckWd.Load(),
 		CtxCancels:             m.ctxCancels.Load(),
 		WorkerPanics:           m.workerPanics.Load(),
+		ProbeRuns:              m.probeRuns.Load(),
+		StrategySwitches:       m.strategySwitches.Load(),
 	}
 	m.mu.Lock()
 	s.VPNBusy = make([]int64, len(m.vpnBusy))
@@ -669,6 +700,9 @@ func (s Snapshot) String() string {
 	}
 	if s.CtxCancels > 0 || s.WorkerPanics > 0 {
 		fmt.Fprintf(&b, "cancel:     ctx-cancels=%d worker-panics=%d\n", s.CtxCancels, s.WorkerPanics)
+	}
+	if s.ProbeRuns > 0 || s.StrategySwitches > 0 {
+		fmt.Fprintf(&b, "autotune:   probes=%d strategy-switches=%d\n", s.ProbeRuns, s.StrategySwitches)
 	}
 	fmt.Fprintf(&b, "speculation: attempts=%d commits=%d aborts=%d\n", s.SpecAttempts, s.SpecCommits, s.SpecAborts)
 	if s.RespecRounds > 0 || s.PrefixCommitted > 0 || s.SuffixUndone > 0 {

@@ -1,14 +1,12 @@
 package sched
 
 import (
-	"context"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"whilepar/internal/cancel"
-	"whilepar/internal/obs"
 )
 
 // Spin tuning for the barrier fast path.  A strip-mined loop releases
@@ -229,19 +227,4 @@ func (p *Pool) Close() {
 	p.cv.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()
-}
-
-// ForEachProcPool is the legacy pool-arity entry point: the "doall
-// i = 1, nproc" idiom without the per-call spawns.  procs is clamped to
-// the pool's size; a nil pool falls back to the spawn-per-call path.
-//
-// Deprecated: use ForEachProc with a ProcConfig.  This wrapper runs on
-// context.Background() and re-panics a contained worker panic to
-// preserve the historical crash semantics.
-func ForEachProcPool(procs int, pool *Pool, h obs.Hooks, fn func(vpn int)) {
-	if err := ForEachProc(context.Background(), procs, ProcConfig{Hooks: h, Pool: pool}, fn); err != nil {
-		if pe, ok := cancel.AsPanic(err); ok {
-			panic(pe.Value)
-		}
-	}
 }

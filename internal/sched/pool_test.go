@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -213,9 +214,11 @@ func TestForEachProcPoolMatchesSpawn(t *testing.T) {
 		}
 		m := obs.NewMetrics()
 		counts := make([]int32, c.want+8)
-		ForEachProcPool(c.procs, p, obs.Hooks{M: m}, func(vpn int) {
+		if err := ForEachProc(context.Background(), c.procs, ProcConfig{Hooks: obs.Hooks{M: m}, Pool: p}, func(vpn int) {
 			atomic.AddInt32(&counts[vpn], 1)
-		})
+		}); err != nil {
+			t.Fatalf("case %+v: ForEachProc: %v", c, err)
+		}
 		if p != nil {
 			p.Close()
 		}

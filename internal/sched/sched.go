@@ -515,9 +515,8 @@ func DOALLCtx(ctx context.Context, n int, opts Options, body func(i, vpn int) Co
 // claimed by some worker's pass and executed by its in-order chunk walk.
 
 // ProcConfig bundles the optional knobs of ForEachProc into one options
-// struct, so the entry point has a single signature instead of the
-// historical ForEachProc/ForEachProcObs/ForEachProcPool triple.  The
-// zero value (no hooks, spawn-per-call) is valid.
+// struct, so the entry point has a single signature instead of an
+// arity ladder.  The zero value (no hooks, spawn-per-call) is valid.
 type ProcConfig struct {
 	// Hooks, if non-zero, receives worker spans and pool-dispatch
 	// counts.
@@ -600,19 +599,6 @@ func ForEachProc(ctx context.Context, procs int, cfg ProcConfig, fn func(vpn int
 		return err
 	}
 	return nil
-}
-
-// ForEachProcObs is the legacy hooks-arity entry point.
-//
-// Deprecated: use ForEachProc with a ProcConfig.  This wrapper runs on
-// context.Background() and re-panics a contained worker panic to
-// preserve the historical crash semantics.
-func ForEachProcObs(procs int, h obs.Hooks, fn func(vpn int)) {
-	if err := ForEachProc(context.Background(), procs, ProcConfig{Hooks: h}, fn); err != nil {
-		if pe, ok := cancel.AsPanic(err); ok {
-			panic(pe.Value)
-		}
-	}
 }
 
 // MinReduce computes the minimum over per-processor values, the

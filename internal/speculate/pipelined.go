@@ -131,6 +131,27 @@ func RunStrippedPipelined(spec Spec, total, strip int, par StripPar, seq StripSe
 // prefix through strip k before the typed error unwinds.  Cancellation
 // never falls back to sequential re-execution.
 func RunStrippedPipelinedCtx(ctx context.Context, spec Spec, total, strip int, par StripPar, seq StripSeq) (StripReport, error) {
+	return runStrippedPipelinedFrom(ctx, spec, 0, total, strip, par, seq)
+}
+
+// RunStrippedPipelinedFromCtx is the pipelined protocol over [start,
+// total) for an orchestrator that already committed a prefix below
+// start (the auto-tuner's sequential probe).  Semantics are those of
+// RunStrippedPipelinedCtx with the first generation's checkpoint
+// snapshotting the post-start state; Valid counts iterations from
+// start.
+func RunStrippedPipelinedFromCtx(ctx context.Context, spec Spec, start, total, strip int, par StripPar, seq StripSeq) (StripReport, error) {
+	return runStrippedPipelinedFrom(ctx, spec, start, total, strip, par, seq)
+}
+
+// runStrippedPipelinedFrom is the pipelined protocol over [start,
+// total): iterations below start are treated as already committed (the
+// orchestrator's sequential probe, or a tuned engine's committed
+// prefix), so the first generation's checkpoint snapshots the
+// post-start state and every stamp, PD mark and Analyze call keeps
+// using global indices.  The report's Valid counts iterations from
+// start.
+func runStrippedPipelinedFrom(ctx context.Context, spec Spec, start, total, strip int, par StripPar, seq StripSeq) (StripReport, error) {
 	if par == nil || seq == nil {
 		return StripReport{}, fmt.Errorf("speculate: both strip runners are required")
 	}
@@ -170,7 +191,10 @@ func RunStrippedPipelinedCtx(ctx context.Context, spec Spec, total, strip int, p
 	}
 
 	var rep StripReport
-	lo := 0
+	lo := start
+	if lo < 0 {
+		lo = 0
+	}
 	if lo >= total {
 		return rep, nil
 	}

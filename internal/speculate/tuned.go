@@ -1,0 +1,218 @@
+package speculate
+
+import (
+	"context"
+	"fmt"
+
+	"whilepar/internal/cancel"
+	"whilepar/internal/obs"
+	"whilepar/internal/pdtest"
+	"whilepar/internal/tsmem"
+)
+
+// StripController steers a tuned strip-mined execution.  It is defined
+// structurally here (primitive-typed methods only) so the auto-tuner
+// can implement it without this package importing it — the same
+// inversion that keeps the cost model out of the engines.
+//
+// The engine calls NextStrip before launching each strip, Observe
+// after each strip's verdict, and consults the two Switch methods at
+// strip boundaries.  Both switches are monotone within a run: once
+// either returns true it must keep returning true.
+type StripController interface {
+	// NextStrip returns the strip size to use for the strip starting
+	// at iteration done of total.  Values are clamped to [1, total-done].
+	NextStrip(done, total int) int
+	// Observe reports the strip [lo, hi): valid iterations within it
+	// and whether it committed cleanly (PD passed, no exception).
+	Observe(lo, valid, hi int, committed bool)
+	// SwitchPipeline asks to hand the remainder to the pipelined
+	// engine (ignored while the speculation mode cannot be squashed —
+	// sparse undo or privatized copies).
+	SwitchPipeline() bool
+	// SwitchSequential asks to finish the remainder sequentially.
+	SwitchSequential() bool
+}
+
+// RunTunedCtx is RunStrippedCtx with the strip size, and the engine
+// itself, under a controller's mid-run authority: each strip's size
+// comes from ctl.NextStrip, each verdict feeds ctl.Observe, and at
+// every strip boundary the controller may promote the remainder to the
+// pipelined engine or demote it to sequential completion.  Iterations
+// below start are treated as already committed (the orchestrator's
+// sequential probe); stamps and PD marks carry global indices
+// throughout, exactly as in RunStrippedCtx.
+//
+// The cancellation and panic contract is RunStrippedCtx's: committed
+// strips are final, the failing strip is rewound via its checkpoint,
+// and the typed error unwinds with the committed prefix in the report.
+func RunTunedCtx(ctx context.Context, spec Spec, start, total int, ctl StripController, par StripPar, seq StripSeq) (StripReport, error) {
+	if par == nil || seq == nil {
+		return StripReport{}, fmt.Errorf("speculate: both strip runners are required")
+	}
+	if ctl == nil {
+		return StripReport{}, fmt.Errorf("speculate: RunTuned requires a StripController")
+	}
+	if start < 0 {
+		start = 0
+	}
+	procs := spec.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	mx, tr := spec.Metrics, spec.Tracer
+	// The pipeline hand-off double-buffers checkpoints; modes a squash
+	// cannot erase stay on the stripped path regardless of what the
+	// controller asks.
+	pipelineOK := !spec.SparseUndo && len(spec.Privatized) == 0
+
+	ts := tsmem.NewSharded(procs, spec.Shared...)
+	ts.SetObs(mx, tr)
+	var tests []*pdtest.Test
+	for _, a := range spec.Tested {
+		t := pdtest.New(a, procs)
+		t.SetObs(mx, tr)
+		tests = append(tests, t)
+	}
+	defer func() {
+		ts.Release()
+		for _, t := range tests {
+			t.Release()
+		}
+	}()
+	tracker := newFusedTracker(ts, tests)
+
+	var pending [][]int
+	var rep StripReport
+	for lo := start; lo < total; {
+		if cerr := cancel.Err(ctx); cerr != nil {
+			mx.CtxCancel()
+			return rep, cerr
+		}
+		strip := ctl.NextStrip(lo, total)
+		if strip < 1 {
+			strip = 1
+		}
+		hi := lo + strip
+		if hi > total {
+			hi = total
+		}
+		rep.Strips++
+		mx.SpecAttempt()
+		stripStart := obs.Start(tr)
+
+		ts.Rearm(pending)
+		for _, t := range tests {
+			t.Reset()
+		}
+
+		valid, done, err := par(tracker, lo, hi)
+		if spec.wantsUnwind(err) {
+			mx.SpecAbort(fmt.Sprintf("strip [%d,%d) unwound: %v", lo, hi, err))
+			if rerr := ts.RestoreAll(); rerr != nil {
+				return rep, rerr
+			}
+			return rep, err
+		}
+		ok := err == nil && valid >= 0 && valid <= hi-lo
+		firstViol := -1
+		if ok {
+			for _, t := range tests {
+				r := t.Analyze(lo + valid)
+				if !r.DOALL {
+					ok = false
+					if r.FirstViolation >= 0 && (firstViol < 0 || r.FirstViolation < firstViol) {
+						firstViol = r.FirstViolation
+					}
+				}
+			}
+		}
+		if !ok {
+			reason := fmt.Sprintf("strip [%d,%d) failed validation", lo, hi)
+			if err != nil {
+				reason = fmt.Sprintf("strip [%d,%d) exception: %v", lo, hi, err)
+			}
+			mx.SpecAbort(reason)
+			if spec.Recovery.Enabled && err == nil && firstViol > lo {
+				restored, perr := ts.PartialCommit(firstViol)
+				if perr != nil {
+					return rep, perr
+				}
+				rep.Undone += restored
+				rep.PrefixCommitted += firstViol - lo
+				mx.PrefixCommittedAdd(firstViol - lo)
+				mx.RespecRound()
+				rep.SeqStrips++
+				sv, sdone := seq(firstViol, hi)
+				valid, done = (firstViol-lo)+sv, sdone
+			} else {
+				if rerr := ts.RestoreAll(); rerr != nil {
+					return rep, rerr
+				}
+				rep.SeqStrips++
+				valid, done = seq(lo, hi)
+			}
+			ts.InvalidateCheckpoint()
+			pending = nil
+		} else {
+			pending = ts.WriteSet()
+			if valid < hi-lo || done {
+				undone, uerr := ts.Undo(lo + valid)
+				if uerr != nil {
+					return rep, uerr
+				}
+				rep.Undone += undone
+				done = true
+			}
+		}
+		if ok {
+			mx.SpecCommit()
+		}
+		if tr != nil {
+			obs.Span(tr, stripStart, "strip", "speculate", 0, map[string]any{"lo": lo, "hi": hi, "valid": valid, "committed": ok})
+		}
+		rep.Valid += valid
+		ctl.Observe(lo, valid, hi, ok)
+		if done {
+			rep.Done = true
+			return rep, nil
+		}
+		lo = hi
+		if lo >= total {
+			break
+		}
+		if ctl.SwitchSequential() {
+			// The controller gave up on speculation: the committed
+			// prefix is final, the remainder runs on this goroutine.
+			// Its writes bypass the (released) checkpoint, which is
+			// exactly the stripped protocol's sequential-fallback
+			// contract.
+			rep.SeqStrips++
+			sv, sdone := seq(lo, total)
+			rep.Valid += sv
+			rep.Done = sdone
+			return rep, nil
+		}
+		if pipelineOK && ctl.SwitchPipeline() {
+			// Promote the remainder: the pipelined engine takes over
+			// from the committed boundary with its own double-buffered
+			// generations (full checkpoint of the post-prefix state on
+			// priming).
+			pstrip := ctl.NextStrip(lo, total)
+			if pstrip < 1 {
+				pstrip = 1
+			}
+			prep, perr := runStrippedPipelinedFrom(ctx, spec, lo, total, pstrip, par, seq)
+			rep.Valid += prep.Valid
+			rep.Strips += prep.Strips
+			rep.SeqStrips += prep.SeqStrips
+			rep.Undone += prep.Undone
+			rep.PrefixCommitted += prep.PrefixCommitted
+			rep.Overlapped += prep.Overlapped
+			rep.Squashed += prep.Squashed
+			rep.Done = prep.Done
+			return rep, perr
+		}
+	}
+	return rep, nil
+}

@@ -42,6 +42,11 @@ var (
 	ErrPipelineUnsupported = core.ErrPipelineUnsupported
 	// ErrBadDeadline: Options.Deadline is negative (0 means none).
 	ErrBadDeadline = core.ErrBadDeadline
+	// ErrBadStrategy: Options.Strategy is not a known Strategy constant.
+	ErrBadStrategy = core.ErrBadStrategy
+	// ErrStrategyConflict: an explicit Options.Strategy contradicts a
+	// legacy engine flag (e.g. StrategySequential with Pipeline).
+	ErrStrategyConflict = core.ErrStrategyConflict
 	// ErrCanceled: the execution's context was canceled; the Report
 	// carries the committed prefix.  Matches context.Canceled via
 	// errors.Is as well.

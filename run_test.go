@@ -66,7 +66,7 @@ func TestRunDispatchesAffineFloatLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := RunSequentialFloat(&FloatLoop{
+	want := LastValidFloat(&FloatLoop{
 		Class: Class{Dispatcher: AssociativeRecurrence, Terminator: RI},
 		Disp:  Affine{A: 1.5, B: 1, X0: 1},
 		Cond:  func(x float64) bool { return x < 1e6 },

@@ -33,6 +33,7 @@ package whilepar
 import (
 	"context"
 
+	"whilepar/internal/autotune"
 	"whilepar/internal/core"
 	"whilepar/internal/costmodel"
 	"whilepar/internal/doany"
@@ -116,6 +117,50 @@ type Options = core.Options
 // Report describes what an execution did: valid iteration count, chosen
 // strategy, speculation outcome, undo statistics.
 type Report = core.Report
+
+// Strategy selects the execution engine.  The zero value, Auto, hands
+// the choice to the adaptive selector: an online sequential probe
+// measures the body, the loop's persistent profile (keyed by call
+// site) supplies history, and the engine/schedule/strip size follow
+// from both.  The explicit values subsume the legacy boolean knobs —
+// Options{Strategy: StrategyPipeline} replaces Options{Pipeline: true},
+// which keeps working as a deprecated alias.  Conflicting combinations
+// are rejected by Options.Validate with ErrStrategyConflict.
+type Strategy = core.Strategy
+
+// Execution strategies.
+const (
+	// Auto (the default) lets the adaptive selector choose.
+	Auto = core.Auto
+	// StrategySequential runs the loop on the calling goroutine.
+	StrategySequential = core.StrategySequential
+	// StrategySpeculate pins the classic Table 1 + speculation engines.
+	StrategySpeculate = core.StrategySpeculate
+	// StrategyRunTwice pins the time-stamp-free run-twice protocol.
+	StrategyRunTwice = core.StrategyRunTwice
+	// StrategyRecover pins partial-commit misspeculation recovery.
+	StrategyRecover = core.StrategyRecover
+	// StrategyPipeline pins pipelined strip speculation.
+	StrategyPipeline = core.StrategyPipeline
+)
+
+// Profile is a loop's learned execution history: smoothed per-iteration
+// cost, trip fraction and violation rate, plus the engine last chosen.
+type Profile = autotune.Profile
+
+// ProfileStore holds per-loop Profiles keyed by call site (or by
+// Options.Key).  It is safe for concurrent use and JSON round-trips, so
+// profiles can persist across processes.  Options.Profiles selects a
+// store; nil uses a process-wide default.
+type ProfileStore = autotune.ProfileStore
+
+// RetuneEvent records one mid-run adjustment by the adaptive engine
+// (strip growth/shrink, pipeline promotion, sequential demotion);
+// Report.Retunes lists them.
+type RetuneEvent = autotune.RetuneEvent
+
+// NewProfileStore returns an empty profile store.
+func NewProfileStore() *ProfileStore { return autotune.NewProfileStore() }
 
 // Induction method selection.
 const (
@@ -261,18 +306,6 @@ func LastValidInt(l *IntLoop) int { return loopir.LastValid(l) }
 
 // LastValidFloat is LastValidInt for FloatLoops.
 func LastValidFloat(l *FloatLoop) int { return loopir.LastValid(l) }
-
-// RunSequentialInt is the former name of LastValidInt.
-//
-// Deprecated: use LastValidInt — the name states what the function
-// returns (the first un-run iteration index), which "RunSequential" did
-// not.
-func RunSequentialInt(l *IntLoop) int { return LastValidInt(l) }
-
-// RunSequentialFloat is the former name of LastValidFloat.
-//
-// Deprecated: use LastValidFloat.
-func RunSequentialFloat(l *FloatLoop) int { return LastValidFloat(l) }
 
 // DoAnyVerdict is an iteration's report under WHILE-DOANY.
 type DoAnyVerdict = doany.Verdict

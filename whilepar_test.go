@@ -88,7 +88,7 @@ func TestPublicAssociative(t *testing.T) {
 		},
 		Max: 64,
 	}
-	want := RunSequentialFloat(&FloatLoop{
+	want := LastValidFloat(&FloatLoop{
 		Class: loop.Class, Disp: loop.Disp, Cond: loop.Cond,
 		Body: func(*Iter, float64) bool { return true }, Max: 64,
 	})
