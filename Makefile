@@ -39,9 +39,14 @@ api-check:
 # Stamped-store microbenchmark (atomic baseline vs sharded vs batched),
 # the misspeculation-recovery benchmark (partial commit vs full
 # restore), the pipelined-pool strip benchmark (persistent pool +
-# overlapped strips vs spawn-per-strip), and the adaptive-selector
-# benchmark (defaulted Options vs a hand-tuned grid), recorded as
-# machine-readable JSON baselines.
+# overlapped strips vs spawn-per-strip), the adaptive-selector
+# benchmark (defaulted Options vs a hand-tuned grid), and the
+# journal-layout A/B benchmark (packed block journal vs the element
+# oracle), recorded as machine-readable JSON baselines.  BENCH_8 runs
+# at a strip-sized, cache-resident working set (16K elements): the
+# engines track strip-sized ranges, and at BENCH_2's 1M-element
+# streaming shape a 1-core host measures metadata DRAM bandwidth, not
+# the store fast path the layout targets.
 bench:
 	$(GO) run ./cmd/whilebench -membench -json -procs 8 > BENCH_2.json
 	@cat BENCH_2.json
@@ -53,6 +58,8 @@ bench:
 	@cat BENCH_6.json
 	$(GO) run ./cmd/whilebench -autobench -json -procs 8 > BENCH_7.json
 	@cat BENCH_7.json
+	$(GO) run ./cmd/whilebench -journalbench -json -procs 8 -elems 16384 -rounds 2048 > BENCH_8.json
+	@cat BENCH_8.json
 
 # A fast variant for CI smoke: small workload, human-readable.
 bench-smoke:
@@ -60,6 +67,7 @@ bench-smoke:
 	$(GO) run ./cmd/whilebench -recbench -procs 8 -iters 20000 -work 200
 	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipeiters 8192 -pipework 100
 	$(GO) run ./cmd/whilebench -autobench -procs 8 -autoiters 8000 -autowork 100
+	$(GO) run ./cmd/whilebench -journalbench -procs 8 -elems 65536 -rounds 8
 
 # Regression guard: rerun the benchmarks and fail if a machine-
 # independent ratio fell more than 20% below the recorded baseline.
@@ -69,6 +77,7 @@ bench-compare:
 	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipeiters 8192 -pipework 200 -baseline BENCH_4.json -tol 0.2
 	$(GO) run ./cmd/whilebench -pipebench -procs 8 -pipework 0 -baseline BENCH_6.json -tol 0.2
 	$(GO) run ./cmd/whilebench -autobench -procs 8 -baseline BENCH_7.json -tol 0.2
+	$(GO) run ./cmd/whilebench -journalbench -procs 8 -elems 16384 -rounds 2048 -baseline BENCH_8.json -tol 0.2
 
 # Profile-first entry point for hot-path work: pprof CPU and heap
 # profiles of the calibrated pipelined benchmark, ready for

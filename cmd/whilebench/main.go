@@ -20,6 +20,13 @@
 //	                           # baseline vs sharded vs sharded+batched
 //	whilebench -membench -json # same, as machine-readable JSON
 //	                           # (the Makefile bench target's BENCH_2.json)
+//	whilebench -membench -journal element
+//	                           # same workload on the retained element-
+//	                           # journal layout instead of the packed
+//	                           # block journal (also valid for -pipebench)
+//	whilebench -journalbench   # journal-layout A/B: block vs element on
+//	                           # the stamped-store workload (BENCH_8.json
+//	                           # with -json; guarded via -baseline)
 //	whilebench -recbench       # misspeculation-recovery benchmark:
 //	                           # partial commit vs full restore on a
 //	                           # late-violation loop (BENCH_3.json with
@@ -76,6 +83,8 @@ func run() int {
 		plot        = flag.Bool("plot", false, "render figures as text charts instead of tables")
 		gantt       = flag.Bool("gantt", false, "render the General-1 vs General-3 schedules as Gantt charts")
 		membench    = flag.Bool("membench", false, "run the stamped-store microbenchmark (atomic vs sharded vs batched)")
+		journalMode = flag.String("journal", "block", "tsmem journal layout for -membench/-pipebench: block (packed, default) or element (oracle)")
+		jrnbench    = flag.Bool("journalbench", false, "run the journal-layout A/B benchmark (block vs element on the stamped-store workload)")
 		jsonOut     = flag.Bool("json", false, "emit -membench/-recbench results as machine-readable JSON")
 		elems       = flag.Int("elems", 1<<20, "elements in the -membench array")
 		rounds      = flag.Int("rounds", 32, "store rounds in -membench")
@@ -98,6 +107,12 @@ func run() int {
 		memProf     = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	journal, err := bench.ParseJournalMode(*journalMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whilebench:", err)
+		return 2
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -211,7 +226,7 @@ func run() int {
 		ran = true
 	}
 	if *membench {
-		rep := bench.MemBench(*procs, *elems, *rounds)
+		rep := bench.MemBenchJournal(*procs, *elems, *rounds, journal)
 		if *jsonOut {
 			out, err := bench.MemBenchJSON(rep)
 			if err != nil {
@@ -269,7 +284,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "whilebench: calibrated -pipework %d (~%v body per iteration)\n",
 				*pipeWork, bench.DefaultBodyTarget)
 		}
-		rep := bench.PipeBench(*procs, *pipeIters, *strip, *pipeWork)
+		rep := bench.PipeBenchJournal(*procs, *pipeIters, *strip, *pipeWork, journal)
 		if *jsonOut {
 			out, err := bench.PipeBenchJSON(rep)
 			if err != nil {
@@ -287,6 +302,30 @@ func run() int {
 				return 1
 			}
 			if c := guard(bench.ComparePipeBench(rep, base, *tol), *baseline, *tol); c != 0 {
+				return c
+			}
+		}
+		ran = true
+	}
+	if *jrnbench {
+		rep := bench.JournalBench(*procs, *elems, *rounds)
+		if *jsonOut {
+			out, err := bench.JournalBenchJSON(rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				return 1
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.RenderJournalBench(rep))
+		}
+		if *baseline != "" {
+			base, err := readBaseline(*baseline, bench.ParseJournalBench)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				return 1
+			}
+			if c := guard(bench.CompareJournalBench(rep, base, *tol), *baseline, *tol); c != 0 {
 				return c
 			}
 		}

@@ -105,3 +105,62 @@ func PutInts(s []int) {
 	}
 	intPool.Put(&s)
 }
+
+// SlicePool is the generic form of the typed pools above, for element
+// types the package does not predeclare (packed shadow records, block
+// bitmaps).  Each instantiation owns its own sync.Pool, so buffers of
+// different element types never mix.  The same contract applies:
+// Get/GetCap hand out arbitrary stale content, GetZeroed hands out
+// zeros, and Put transfers ownership back.
+type SlicePool[T any] struct{ p sync.Pool }
+
+// NewSlicePool returns an empty pool for []T buffers.
+func NewSlicePool[T any]() *SlicePool[T] {
+	sp := &SlicePool[T]{}
+	sp.p.New = func() any { return new([]T) }
+	return sp
+}
+
+// Get returns a length-n slice with arbitrary content.
+func (sp *SlicePool[T]) Get(n int) []T {
+	p := sp.p.Get().(*[]T)
+	if cap(*p) < n {
+		*p = make([]T, n)
+	}
+	return (*p)[:n]
+}
+
+// GetZeroed returns a length-n slice of zero values.
+func (sp *SlicePool[T]) GetZeroed(n int) []T {
+	p := sp.p.Get().(*[]T)
+	if cap(*p) < n {
+		// A fresh allocation is already zeroed.
+		*p = make([]T, n)
+		return *p
+	}
+	s := (*p)[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// GetCap returns a length-0 slice with at least the given capacity —
+// the append-only journal shape.
+func (sp *SlicePool[T]) GetCap(capacity int) []T {
+	p := sp.p.Get().(*[]T)
+	if cap(*p) < capacity {
+		*p = make([]T, 0, capacity)
+	}
+	return (*p)[:0]
+}
+
+// Put recycles a slice obtained from any of the getters.  nil is a
+// no-op.
+func (sp *SlicePool[T]) Put(s []T) {
+	if s == nil {
+		return
+	}
+	sp.p.Put(&s)
+}

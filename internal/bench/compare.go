@@ -31,8 +31,15 @@ func CompareMemBench(cur, base MemBenchReport, tol float64) []string {
 	// The per-variant ratios are regime-dependent (working-set size
 	// decides how much of the shard traffic hits cache, and first-touch
 	// journal costs scale with elements/rounds), so only a run at the
-	// baseline's own workload shape is comparable.
+	// baseline's own workload shape is comparable.  Likewise the journal
+	// layout: an -journal element run must not be judged against a
+	// block-mode baseline (a "" baseline predates the field and is
+	// treated as matching — the baseline is regenerated alongside the
+	// layout change).
 	if base.Elements > 0 && (cur.Elements != base.Elements || cur.Rounds != base.Rounds) {
+		return regs
+	}
+	if base.JournalMode != "" && cur.JournalMode != base.JournalMode {
 		return regs
 	}
 	baseBy := make(map[string]MemBenchResult, len(base.Results))
@@ -125,6 +132,12 @@ func CompareRecBench(cur, base RecBenchReport, tol float64) []string {
 // the baseline also recorded (matched by proc count).
 func ComparePipeBench(cur, base PipeBenchReport, tol float64) []string {
 	var regs []string
+	// A run on the non-default journal layout is a different code path;
+	// only judge it against a baseline recorded on the same layout ("" =
+	// pre-field baseline, treated as matching).
+	if base.JournalMode != "" && cur.JournalMode != base.JournalMode {
+		return regs
+	}
 	if base.PipelineSpeedup > 0 && cur.PipelineSpeedup < base.PipelineSpeedup*(1-tol) {
 		regs = append(regs, fmt.Sprintf(
 			"pipeline_speedup: %.2fx is below baseline %.2fx - %.0f%% (floor %.2fx)",

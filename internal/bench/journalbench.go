@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"whilepar/internal/tsmem"
+)
+
+// This file A/B-tests the two journal layouts of the sharded
+// time-stamped memory on the stamped-store workload membench runs:
+//
+//   - block (the default): stamp + epoch packed into one 16-byte record
+//     per element, first touches journaled per 64-element block through
+//     a dirty bitmap — a first-touch store dirties one cache line;
+//   - element (the retained oracle): parallel stamp/epoch arrays plus
+//     one journal entry per first-touched element.
+//
+// Both modes measure the same three variants as membench (atomic CAS
+// baseline, sharded per-element, sharded batched), each mode against
+// its own atomic baseline run so the ratios absorb host jitter.  The
+// report is the payload of BENCH_8.json.
+
+// JournalModeResult is one journal layout's membench variant table.
+type JournalModeResult struct {
+	JournalMode string           `json:"journal_mode"`
+	Results     []MemBenchResult `json:"results"`
+}
+
+// JournalBenchReport is the journal-layout A/B measurement, the payload
+// of BENCH_8.json.
+type JournalBenchReport struct {
+	Bench    string `json:"bench"`
+	Procs    int    `json:"procs"`
+	Elements int    `json:"elements"`
+	Rounds   int    `json:"rounds"`
+	// HostCPUs is runtime.NumCPU() at measurement time.  The absolute
+	// guard (block-mode sharded-element must beat the atomic baseline
+	// outright) only applies on hosts at least as capable as the
+	// recording host: fewer cores than the recording host shift the
+	// contention the sharding removes, not the code path under test.
+	HostCPUs int                 `json:"host_cpus"`
+	Modes    []JournalModeResult `json:"modes"`
+}
+
+// JournalBench runs the stamped-store workload under both journal
+// layouts.  elems is rounded down to a multiple of procs.
+func JournalBench(procs, elems, rounds int) JournalBenchReport {
+	if procs < 1 {
+		procs = 1
+	}
+	elems = elems / procs * procs
+	rep := JournalBenchReport{
+		Bench: "journalbench", Procs: procs, Elements: elems, Rounds: rounds,
+		HostCPUs: runtime.NumCPU(),
+	}
+	for _, j := range []tsmem.Journal{tsmem.JournalBlock, tsmem.JournalElement} {
+		rep.Modes = append(rep.Modes, JournalModeResult{
+			JournalMode: j.String(),
+			Results:     memBenchResults(procs, elems, rounds, j),
+		})
+	}
+	return rep
+}
+
+// ParseJournalMode decodes a -journal flag value into a tsmem layout.
+func ParseJournalMode(s string) (tsmem.Journal, error) {
+	switch s {
+	case "block":
+		return tsmem.JournalBlock, nil
+	case "element":
+		return tsmem.JournalElement, nil
+	}
+	return tsmem.JournalBlock, fmt.Errorf("bench: unknown journal mode %q (want block or element)", s)
+}
+
+// CompareJournalBench checks the journal A/B report against a recorded
+// baseline.  Per-variant sharded/atomic ratios are guarded relative to
+// the baseline (same rule as CompareMemBench), matched by journal mode
+// and variant name.  Two absolute rules ride on top.  On a host with at
+// least the recording host's core count, the block layout's
+// sharded-element ratio must be >= 1.0 outright: the packed fast path
+// losing to per-element CAS means the layout stopped paying for itself,
+// whatever the baseline says.  And within the current run — same host,
+// same moment, so no host gate — the block layout's batched ratio must
+// not fall below the element layout's beyond the tolerance: per-block
+// journaling exists to make StoreRange marking O(blocks), and losing to
+// the per-element journal it replaced means the bitmap path regressed.
+func CompareJournalBench(cur, base JournalBenchReport, tol float64) []string {
+	var regs []string
+	// Same regime gate as CompareMemBench: the ratios depend on the
+	// workload shape (working-set size, first-touch fraction), so only a
+	// run at the baseline's own shape is comparable.
+	if base.Elements > 0 && (cur.Elements != base.Elements || cur.Rounds != base.Rounds) {
+		return regs
+	}
+	baseBy := make(map[string]map[string]MemBenchResult, len(base.Modes))
+	for _, m := range base.Modes {
+		by := make(map[string]MemBenchResult, len(m.Results))
+		for _, r := range m.Results {
+			by[r.Name] = r
+		}
+		baseBy[m.JournalMode] = by
+	}
+	for _, m := range cur.Modes {
+		for _, r := range m.Results {
+			b, ok := baseBy[m.JournalMode][r.Name]
+			if !ok || b.SpeedupVsAtomic <= 0 {
+				continue
+			}
+			if r.SpeedupVsAtomic < b.SpeedupVsAtomic*(1-tol) {
+				regs = append(regs, fmt.Sprintf(
+					"journal[%s] speedup_vs_atomic[%s]: %.2fx is below baseline %.2fx - %.0f%% (floor %.2fx)",
+					m.JournalMode, r.Name, r.SpeedupVsAtomic, b.SpeedupVsAtomic,
+					tol*100, b.SpeedupVsAtomic*(1-tol)))
+			}
+		}
+		if m.JournalMode != tsmem.JournalBlock.String() ||
+			base.HostCPUs <= 0 || cur.HostCPUs < base.HostCPUs {
+			continue
+		}
+		for _, r := range m.Results {
+			if r.Name == "sharded-element" && r.SpeedupVsAtomic > 0 && r.SpeedupVsAtomic < 1 {
+				regs = append(regs, fmt.Sprintf(
+					"journal[block] sharded-element: %.2fx vs the atomic CAS baseline on a %d-CPU host — the packed store fast path must not lose to per-element CAS",
+					r.SpeedupVsAtomic, cur.HostCPUs))
+			}
+		}
+	}
+	if blk, elem := modeRatio(cur, "block", "sharded-batched"), modeRatio(cur, "element", "sharded-batched"); blk > 0 && elem > 0 && blk < elem*(1-tol) {
+		regs = append(regs, fmt.Sprintf(
+			"journal[block] sharded-batched: %.2fx is below the element layout's %.2fx - %.0f%% in the same run (floor %.2fx) — per-block range journaling lost to the per-element journal it replaced",
+			blk, elem, tol*100, elem*(1-tol)))
+	}
+	return regs
+}
+
+// modeRatio pulls one variant's vs-atomic ratio out of a mode table, 0
+// if absent.
+func modeRatio(rep JournalBenchReport, mode, variant string) float64 {
+	for _, m := range rep.Modes {
+		if m.JournalMode != mode {
+			continue
+		}
+		for _, r := range m.Results {
+			if r.Name == variant {
+				return r.SpeedupVsAtomic
+			}
+		}
+	}
+	return 0
+}
+
+// RenderJournalBench formats the report as aligned text tables, one per
+// journal mode.
+func RenderJournalBench(rep JournalBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Journal-layout A/B benchmark — %d procs, %d elements, %d rounds (host has %d CPUs)\n",
+		rep.Procs, rep.Elements, rep.Rounds, rep.HostCPUs)
+	for _, m := range rep.Modes {
+		fmt.Fprintf(&b, "journal mode: %s\n", m.JournalMode)
+		fmt.Fprintf(&b, "%-18s %12s %10s %14s %10s\n", "variant", "stores", "seconds", "Mstores/sec", "vs atomic")
+		for _, r := range m.Results {
+			fmt.Fprintf(&b, "%-18s %12d %10.4f %14.1f %9.2fx\n",
+				r.Name, r.Stores, r.Seconds, r.MStoresSec, r.SpeedupVsAtomic)
+		}
+	}
+	return b.String()
+}
+
+// JournalBenchJSON renders the report as indented JSON (the
+// BENCH_8.json payload).
+func JournalBenchJSON(rep JournalBenchReport) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// ParseJournalBench decodes a recorded BENCH_8.json payload.
+func ParseJournalBench(data []byte) (JournalBenchReport, error) {
+	var rep JournalBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: bad journalbench baseline: %w", err)
+	}
+	if rep.Bench != "journalbench" {
+		return rep, fmt.Errorf("bench: baseline is %q, want \"journalbench\"", rep.Bench)
+	}
+	return rep, nil
+}

@@ -1,0 +1,142 @@
+package bench
+
+import "testing"
+
+func journalReport(hostCPUs int, blockSharded, blockBatched, elemSharded, elemBatched float64) JournalBenchReport {
+	mode := func(name string, sharded, batched float64) JournalModeResult {
+		return JournalModeResult{
+			JournalMode: name,
+			Results: []MemBenchResult{
+				{Name: "atomic-element", SpeedupVsAtomic: 1},
+				{Name: "sharded-element", SpeedupVsAtomic: sharded},
+				{Name: "sharded-batched", SpeedupVsAtomic: batched},
+			},
+		}
+	}
+	return JournalBenchReport{
+		Bench: "journalbench", HostCPUs: hostCPUs,
+		Modes: []JournalModeResult{
+			mode("block", blockSharded, blockBatched),
+			mode("element", elemSharded, elemBatched),
+		},
+	}
+}
+
+func TestCompareJournalBenchGuard(t *testing.T) {
+	base := journalReport(8, 1.5, 5.0, 1.2, 4.0)
+
+	// Within tolerance, both modes: pass.
+	if regs := CompareJournalBench(journalReport(8, 1.4, 4.8, 1.1, 3.8), base, 0.2); len(regs) != 0 {
+		t.Fatalf("within tolerance flagged: %v", regs)
+	}
+	// A block-mode ratio below base*(1-tol) is a regression.
+	if regs := CompareJournalBench(journalReport(8, 1.1, 5.0, 1.2, 4.0), base, 0.2); len(regs) != 1 {
+		t.Fatalf("want 1 regression, got %v", regs)
+	}
+	// An element-mode regression is caught independently.
+	if regs := CompareJournalBench(journalReport(8, 1.5, 5.0, 0.5, 4.0), base, 0.2); len(regs) != 1 {
+		t.Fatalf("want 1 element-mode regression, got %v", regs)
+	}
+	// Absolute rule: block-mode sharded-element < 1.0x on a host at
+	// least as capable as the recording host fails even when the
+	// relative band would allow it (baseline itself near 1).
+	weakBase := journalReport(8, 1.05, 5.0, 1.0, 4.0)
+	if regs := CompareJournalBench(journalReport(8, 0.9, 5.0, 1.0, 4.0), weakBase, 0.2); len(regs) != 1 {
+		t.Fatalf("block sharded-element below 1.0x must fail absolutely: %v", regs)
+	}
+	// ... but not on a weaker host than the recording one.
+	if regs := CompareJournalBench(journalReport(4, 0.9, 5.0, 1.0, 4.0), weakBase, 0.2); len(regs) != 0 {
+		t.Fatalf("weaker host must skip the absolute rule: %v", regs)
+	}
+	// Intra-run rule: block batched losing to element batched beyond the
+	// tolerance fails even when both clear their baseline floors.
+	if regs := CompareJournalBench(journalReport(8, 1.5, 4.5, 1.2, 6.0), base, 0.2); len(regs) != 1 {
+		t.Fatalf("block batched below element batched must fail: %v", regs)
+	}
+	// Different workload shape: all guards skipped.
+	shaped := base
+	shaped.Elements, shaped.Rounds = 1<<20, 32
+	if regs := CompareJournalBench(journalReport(8, 0.1, 0.1, 0.1, 0.1), shaped, 0.2); len(regs) != 0 {
+		t.Fatalf("regime mismatch must skip the guard: %v", regs)
+	}
+}
+
+// TestCompareJournalModeGate pins the journal-mode comparability gate
+// on the single-mode guards: an -journal element run must not be judged
+// against a block-mode baseline, while pre-field baselines ("") keep
+// guarding.
+func TestCompareJournalModeGate(t *testing.T) {
+	base := memReport(2.0, 5.0, 2.5)
+	base.JournalMode = "block"
+	cur := memReport(0.5, 0.5, 2.5)
+	cur.JournalMode = "element"
+	if regs := CompareMemBench(cur, base, 0.2); len(regs) != 0 {
+		t.Fatalf("cross-layout membench comparison must be skipped: %v", regs)
+	}
+	cur.JournalMode = "block"
+	if regs := CompareMemBench(cur, base, 0.2); len(regs) != 2 {
+		t.Fatalf("same-layout regressions not flagged: %v", regs)
+	}
+	cur.JournalMode = "block"
+	base.JournalMode = ""
+	if regs := CompareMemBench(cur, base, 0.2); len(regs) != 2 {
+		t.Fatalf("pre-field baseline must keep guarding: %v", regs)
+	}
+
+	pbase := PipeBenchReport{Bench: "pipebench", JournalMode: "block", PipelineSpeedup: 3.0}
+	pcur := PipeBenchReport{JournalMode: "element", PipelineSpeedup: 1.0}
+	if regs := ComparePipeBench(pcur, pbase, 0.2); len(regs) != 0 {
+		t.Fatalf("cross-layout pipebench comparison must be skipped: %v", regs)
+	}
+	pcur.JournalMode = "block"
+	if regs := ComparePipeBench(pcur, pbase, 0.2); len(regs) != 1 {
+		t.Fatalf("same-layout pipebench regression not flagged: %v", regs)
+	}
+}
+
+// TestJournalBenchSmall pins the report shape on a tiny workload: both
+// modes present, three variants each, every throughput positive, and
+// the atomic baseline of each mode normalized to 1x.
+func TestJournalBenchSmall(t *testing.T) {
+	rep := JournalBench(4, 4096, 4)
+	if rep.Bench != "journalbench" || rep.HostCPUs < 1 {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.Modes) != 2 || rep.Modes[0].JournalMode != "block" || rep.Modes[1].JournalMode != "element" {
+		t.Fatalf("want block+element modes, got %+v", rep.Modes)
+	}
+	for _, m := range rep.Modes {
+		if len(m.Results) != 3 {
+			t.Fatalf("journal[%s]: want 3 variants, got %d", m.JournalMode, len(m.Results))
+		}
+		if m.Results[0].SpeedupVsAtomic != 1 {
+			t.Fatalf("journal[%s]: atomic baseline not normalized: %v", m.JournalMode, m.Results[0])
+		}
+		for _, r := range m.Results {
+			if r.MStoresSec <= 0 || r.Stores <= 0 {
+				t.Fatalf("journal[%s] %s: degenerate measurement %+v", m.JournalMode, r.Name, r)
+			}
+		}
+	}
+}
+
+func TestParseJournalBench(t *testing.T) {
+	if _, err := ParseJournalBench([]byte(`{"bench":"journalbench"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseJournalBench([]byte(`{"bench":"membench"}`)); err == nil {
+		t.Fatal("wrong bench kind accepted")
+	}
+	if _, err := ParseJournalBench([]byte(`not json`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := ParseJournalMode("block"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseJournalMode("element"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseJournalMode("chunky"); err == nil {
+		t.Fatal("unknown journal mode accepted")
+	}
+}

@@ -45,11 +45,16 @@ type MemBenchResult struct {
 // MemBenchReport is the full stamped-store + checkpoint measurement,
 // the payload of BENCH_2.json.
 type MemBenchReport struct {
-	Bench    string           `json:"bench"`
-	Procs    int              `json:"procs"`
-	Elements int              `json:"elements"`
-	Rounds   int              `json:"rounds"`
-	Results  []MemBenchResult `json:"results"`
+	Bench    string `json:"bench"`
+	Procs    int    `json:"procs"`
+	Elements int    `json:"elements"`
+	Rounds   int    `json:"rounds"`
+	// JournalMode is the tsmem journal layout the sharded variants ran
+	// with ("block" or "element") — ratios from different layouts are
+	// not comparable, so the regression guard gates on it.  Baselines
+	// recorded before the field decode it as "".
+	JournalMode string           `json:"journal_mode,omitempty"`
+	Results     []MemBenchResult `json:"results"`
 	// CheckpointSpeedup is parallel (procs-worker) checkpoint+restore
 	// throughput over the single-worker copy, on Elements words.
 	CheckpointSpeedup float64 `json:"checkpoint_speedup"`
@@ -89,26 +94,58 @@ func storeLoop(procs, elems, rounds, iterBase int, tr mem.Tracker, batched bool,
 }
 
 // MemBench runs the stamped-store microbenchmark at the given worker
-// count.  elems and rounds size the workload (elems is rounded down to
-// a multiple of procs).
+// count with the default packed block-journal layout.  elems and rounds
+// size the workload (elems is rounded down to a multiple of procs).
 func MemBench(procs, elems, rounds int) MemBenchReport {
+	return MemBenchJournal(procs, elems, rounds, tsmem.JournalBlock)
+}
+
+// MemBenchJournal is MemBench with an explicit journal layout for the
+// sharded variants — the A/B knob behind whilebench's -journal flag.
+func MemBenchJournal(procs, elems, rounds int, journal tsmem.Journal) MemBenchReport {
 	if procs < 1 {
 		procs = 1
 	}
 	elems = elems / procs * procs
-	rep := MemBenchReport{Bench: "membench", Procs: procs, Elements: elems, Rounds: rounds}
+	rep := MemBenchReport{
+		Bench: "membench", Procs: procs, Elements: elems, Rounds: rounds,
+		JournalMode: journal.String(),
+	}
+	rep.Results = memBenchResults(procs, elems, rounds, journal)
+	rep.CheckpointSpeedup = checkpointSpeedup(procs, elems)
+	return rep
+}
 
+// memBenchResults measures the three store-path variants (atomic CAS
+// baseline, sharded per-element, sharded batched) with the sharded
+// variants on the given journal layout.  elems must already be a
+// multiple of procs.  Shared by MemBench and JournalBench.
+func memBenchResults(procs, elems, rounds int, journal tsmem.Journal) []MemBenchResult {
+	var results []MemBenchResult
 	run := func(name string, mk func(a *mem.Array) mem.Tracker, batched bool) {
 		a := mem.NewArray("A", elems)
 		tr := mk(a)
 		// Warm up one round so first-touch costs are off the clock; its
-		// iteration base sits above the measured range, so every measured
-		// store still lowers its stamp (the slow path under test).
-		storeLoop(procs, elems, 1, rounds, tr, batched, a)
-		start := time.Now()
-		stores := storeLoop(procs, elems, rounds, 0, tr, batched, a)
-		secs := time.Since(start).Seconds()
-		rep.Results = append(rep.Results, MemBenchResult{
+		// iteration base sits above every measured range.  Best of five
+		// reps: the ratios feed regression guards, and a single
+		// measurement on a shared host jitters more than the tolerance.
+		// Each rep's iteration range sits strictly below the previous
+		// one's minimum, so every measured store still lowers its stamp
+		// (the min-update slow path under test) — a rerun at the same
+		// base would measure the no-write read path instead.
+		const reps = 5
+		storeLoop(procs, elems, 1, reps*rounds, tr, batched, a)
+		var stores int64
+		var secs float64
+		for rip := 0; rip < reps; rip++ {
+			start := time.Now()
+			stores = storeLoop(procs, elems, rounds, (reps-1-rip)*rounds, tr, batched, a)
+			s := time.Since(start).Seconds()
+			if rip == 0 || s < secs {
+				secs = s
+			}
+		}
+		results = append(results, MemBenchResult{
 			Name: name, Stores: stores, Seconds: secs,
 			MStoresSec: float64(stores) / secs / 1e6,
 		})
@@ -120,23 +157,21 @@ func MemBench(procs, elems, rounds int) MemBenchReport {
 		return m.Tracker()
 	}, false)
 	run("sharded-element", func(a *mem.Array) mem.Tracker {
-		m := tsmem.NewSharded(procs, a)
+		m := tsmem.NewShardedJournal(procs, journal, a)
 		m.Checkpoint()
 		return m.Tracker()
 	}, false)
 	run("sharded-batched", func(a *mem.Array) mem.Tracker {
-		m := tsmem.NewSharded(procs, a)
+		m := tsmem.NewShardedJournal(procs, journal, a)
 		m.Checkpoint()
 		return m.Tracker()
 	}, true)
 
-	base := rep.Results[0].MStoresSec
-	for i := range rep.Results {
-		rep.Results[i].SpeedupVsAtomic = rep.Results[i].MStoresSec / base
+	base := results[0].MStoresSec
+	for i := range results {
+		results[i].SpeedupVsAtomic = results[i].MStoresSec / base
 	}
-
-	rep.CheckpointSpeedup = checkpointSpeedup(procs, elems)
-	return rep
+	return results
 }
 
 // checkpointSpeedup times Checkpoint+RestoreAll with procs workers
@@ -165,8 +200,8 @@ func checkpointSpeedup(procs, elems int) float64 {
 // RenderMemBench formats the report as an aligned text table.
 func RenderMemBench(rep MemBenchReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Stamped-store microbenchmark — %d procs, %d elements, %d rounds\n",
-		rep.Procs, rep.Elements, rep.Rounds)
+	fmt.Fprintf(&b, "Stamped-store microbenchmark — %d procs, %d elements, %d rounds, %s journal\n",
+		rep.Procs, rep.Elements, rep.Rounds, rep.JournalMode)
 	fmt.Fprintf(&b, "%-18s %12s %10s %14s %10s\n", "variant", "stores", "seconds", "Mstores/sec", "vs atomic")
 	for _, r := range rep.Results {
 		fmt.Fprintf(&b, "%-18s %12d %10.4f %14.1f %9.2fx\n",

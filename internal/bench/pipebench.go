@@ -11,6 +11,7 @@ import (
 	"whilepar/internal/sched"
 	"whilepar/internal/simproc"
 	"whilepar/internal/speculate"
+	"whilepar/internal/tsmem"
 )
 
 // This file measures the persistent-pool pipelined strip engine against
@@ -63,6 +64,10 @@ type PipeBenchResult struct {
 type PipeBenchReport struct {
 	Bench string `json:"bench"`
 	Procs int    `json:"procs"`
+	// JournalMode is the tsmem journal layout the engines tracked stores
+	// with ("block" or "element"); the regression guard only compares
+	// same-layout runs.  "" in old baselines predates the field.
+	JournalMode string `json:"journal_mode,omitempty"`
 	// HostCPUs is runtime.NumCPU() at measurement time.  Wall-clock
 	// guards are host-aware: demanding measured parallel speedup > 1
 	// is only meaningful when HostCPUs >= Procs.
@@ -142,10 +147,17 @@ func (wl *pipeWorkload) seq(lo, hi int) (int, bool) {
 	return hi - lo, false
 }
 
-// PipeBench measures both engines on the clean small-strip workload.
-// iters is the iteration count, strip the strip size, work the
-// per-iteration spin units.
+// PipeBench measures both engines on the clean small-strip workload
+// with the default packed block-journal memory.  iters is the iteration
+// count, strip the strip size, work the per-iteration spin units.
 func PipeBench(procs, iters, strip, work int) PipeBenchReport {
+	return PipeBenchJournal(procs, iters, strip, work, tsmem.JournalBlock)
+}
+
+// PipeBenchJournal is PipeBench with an explicit journal layout for the
+// engines' tracked stores — the A/B knob behind whilebench's -journal
+// flag.
+func PipeBenchJournal(procs, iters, strip, work int, journal tsmem.Journal) PipeBenchReport {
 	if procs < 1 {
 		procs = 1
 	}
@@ -160,8 +172,9 @@ func PipeBench(procs, iters, strip, work int) PipeBenchReport {
 	}
 	wl := &pipeWorkload{a: mem.NewArray("A", iters), work: work}
 	rep := PipeBenchReport{
-		Bench: "pipebench", Procs: procs, HostCPUs: runtime.NumCPU(),
-		Iters: iters, Strip: strip, Work: work,
+		Bench: "pipebench", Procs: procs, JournalMode: journal.String(),
+		HostCPUs: runtime.NumCPU(),
+		Iters:    iters, Strip: strip, Work: work,
 	}
 
 	// Pure sequential reference (also warms the spin path).
@@ -172,9 +185,10 @@ func PipeBench(procs, iters, strip, work int) PipeBenchReport {
 
 	spec := func() speculate.Spec {
 		return speculate.Spec{
-			Procs:  procs,
-			Shared: []*mem.Array{wl.a},
-			Tested: []*mem.Array{wl.a},
+			Procs:   procs,
+			Shared:  []*mem.Array{wl.a},
+			Tested:  []*mem.Array{wl.a},
+			Journal: journal,
 		}
 	}
 
@@ -244,9 +258,10 @@ func PipeBench(procs, iters, strip, work int) PipeBenchReport {
 		pool := sched.NewPool(sp)
 		start := time.Now()
 		_, err := speculate.RunStrippedPipelined(speculate.Spec{
-			Procs:  sp,
-			Shared: []*mem.Array{wl.a},
-			Tested: []*mem.Array{wl.a},
+			Procs:   sp,
+			Shared:  []*mem.Array{wl.a},
+			Tested:  []*mem.Array{wl.a},
+			Journal: journal,
 		}, iters, strip, wl.par(sp, pool), wl.seq)
 		secs := time.Since(start).Seconds()
 		pool.Close()

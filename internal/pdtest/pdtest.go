@@ -55,21 +55,39 @@ import (
 
 const never = int64(math.MaxInt64)
 
+// pdRec is one element's packed marking state on one processor — the
+// same cache-packing move tsmem's stamp records make.  The six logical
+// fields used to live in six parallel slices, so a first-touch mark
+// dirtied six cache lines; fused into one 48-byte array-of-structs
+// record (pinned by TestPackedShadowLayout), every mark touches exactly
+// one line and the epoch tag can never sit apart from the slots it
+// guards.
+type pdRec struct {
+	// lastWriter is the most recent iteration *on this processor* that
+	// wrote the element (-1 if none): the same-iteration write detector
+	// that decides whether a read is exposed.
+	lastWriter int64
+	// w1 <= w2 are the two smallest distinct iterations on this
+	// processor that wrote the element; r1 <= r2 likewise for exposed
+	// reads.
+	w1, w2, r1, r2 int64
+	// tag is the epoch that last initialized the slots; they are live
+	// only while tag equals the test's current epoch.  In eager mode
+	// every tag is pinned to the never-moving epoch, so the liveness
+	// check is always true and the eager Reset sweep carries the slot
+	// reinitialization.
+	tag uint32
+	// padding: keeps the record at 48 bytes explicitly rather than by
+	// compiler accident.
+	_ uint32
+}
+
+var pdRecPool = arena.NewSlicePool[pdRec]()
+
 // shadow is one virtual processor's private marking state for one array.
 type shadow struct {
-	// lastWriter[e] is the most recent iteration *on this processor*
-	// that wrote e (-1 if none): the same-iteration write detector that
-	// decides whether a read is exposed.
-	lastWriter []int64
-	// w1 <= w2 are the two smallest distinct iterations on this
-	// processor that wrote e; r1 <= r2 likewise for exposed reads.
-	w1, w2, r1, r2 []int64
-	// tag[e] is the epoch that last initialized element e's slots; the
-	// slots are live only while tag[e] equals the test's current epoch.
-	// In eager mode every tag is pinned to the never-moving epoch, so
-	// the liveness check is always true and the eager Reset sweep
-	// carries the slot reinitialization.
-	tag []uint32
+	// recs[e] is element e's packed marking record.
+	recs []pdRec
 	// dirty journals the elements this processor touched in the current
 	// epoch (first touch only), giving Analyze its worklist.  Unused
 	// (empty) in eager mode.
@@ -81,20 +99,16 @@ type shadow struct {
 }
 
 func newShadow(n int, eager bool) *shadow {
-	s := &shadow{
-		lastWriter: arena.Int64s(n),
-		w1:         arena.Int64s(n),
-		w2:         arena.Int64s(n),
-		r1:         arena.Int64s(n),
-		r2:         arena.Int64s(n),
-		tag:        arena.Uint32sZeroed(n),
-	}
+	// Recycled records must come back with all-stale tags: a leftover
+	// tag equal to a fresh test's live epoch would read as current
+	// marks.
+	s := &shadow{recs: pdRecPool.GetZeroed(n)}
 	if eager {
 		// Pin every tag live and eagerly initialize every slot: the
 		// pre-epoch scheme, where Reset's sweep is the only
 		// reinitialization.
-		for i := 0; i < n; i++ {
-			s.tag[i] = 1
+		for i := range s.recs {
+			s.recs[i].tag = 1
 		}
 		s.sweep()
 	} else {
@@ -105,20 +119,16 @@ func newShadow(n int, eager bool) *shadow {
 
 // sweep reinitializes every slot (eager mode only).
 func (s *shadow) sweep() {
-	for i := range s.lastWriter {
-		s.lastWriter[i] = -1
-		s.w1[i], s.w2[i] = never, never
-		s.r1[i], s.r2[i] = never, never
+	for i := range s.recs {
+		r := &s.recs[i]
+		r.lastWriter = -1
+		r.w1, r.w2 = never, never
+		r.r1, r.r2 = never, never
 	}
 }
 
 func (s *shadow) release() {
-	arena.PutInt64s(s.lastWriter)
-	arena.PutInt64s(s.w1)
-	arena.PutInt64s(s.w2)
-	arena.PutInt64s(s.r1)
-	arena.PutInt64s(s.r2)
-	arena.PutUint32s(s.tag)
+	pdRecPool.Put(s.recs)
 	arena.PutInts(s.dirty)
 	*s = shadow{}
 }
@@ -227,16 +237,19 @@ func (t *Test) Accesses() int {
 // DOALL's tracker.  Accesses to other arrays are ignored.
 func (t *Test) Observer() mem.Observer { return observer{t} }
 
-// slot makes element idx's slots of shadow s live in the current epoch,
-// initializing them and journaling the first touch.
-func (t *Test) slot(s *shadow, idx int) {
-	if s.tag[idx] != t.epoch {
-		s.tag[idx] = t.epoch
-		s.lastWriter[idx] = -1
-		s.w1[idx], s.w2[idx] = never, never
-		s.r1[idx], s.r2[idx] = never, never
+// slot makes element idx's record of shadow s live in the current
+// epoch, initializing it and journaling the first touch, and returns
+// it — one cache line for the whole first-touch mark.
+func (t *Test) slot(s *shadow, idx int) *pdRec {
+	r := &s.recs[idx]
+	if r.tag != t.epoch {
+		r.tag = t.epoch
+		r.lastWriter = -1
+		r.w1, r.w2 = never, never
+		r.r1, r.r2 = never, never
 		s.dirty = append(s.dirty, idx)
 	}
+	return r
 }
 
 // MarkLoad records one load of a[idx] by iteration iter on processor
@@ -249,11 +262,11 @@ func (t *Test) MarkLoad(a *mem.Array, idx, iter, vpn int) {
 	}
 	s := t.shadows[vpn]
 	s.accesses++
-	t.slot(s, idx)
-	if s.lastWriter[idx] == int64(iter) {
+	r := t.slot(s, idx)
+	if r.lastWriter == int64(iter) {
 		return // read covered by this iteration's own earlier write
 	}
-	insert2(&s.r1[idx], &s.r2[idx], int64(iter))
+	insert2(&r.r1, &r.r2, int64(iter))
 }
 
 // MarkStore records one store, the concrete form of ObserveStore.
@@ -263,10 +276,10 @@ func (t *Test) MarkStore(a *mem.Array, idx, iter, vpn int) {
 	}
 	s := t.shadows[vpn]
 	s.accesses++
-	t.slot(s, idx)
-	if s.lastWriter[idx] != int64(iter) {
-		insert2(&s.w1[idx], &s.w2[idx], int64(iter))
-		s.lastWriter[idx] = int64(iter)
+	r := t.slot(s, idx)
+	if r.lastWriter != int64(iter) {
+		insert2(&r.w1, &r.w2, int64(iter))
+		r.lastWriter = int64(iter)
 	}
 }
 
@@ -281,11 +294,11 @@ func (t *Test) MarkLoadRange(a *mem.Array, lo, hi, iter, vpn int) {
 	s.accesses += int64(hi - lo)
 	it := int64(iter)
 	for idx := lo; idx < hi; idx++ {
-		t.slot(s, idx)
-		if s.lastWriter[idx] == it {
+		r := t.slot(s, idx)
+		if r.lastWriter == it {
 			continue
 		}
-		insert2(&s.r1[idx], &s.r2[idx], it)
+		insert2(&r.r1, &r.r2, it)
 	}
 }
 
@@ -298,10 +311,10 @@ func (t *Test) MarkStoreRange(a *mem.Array, lo, hi, iter, vpn int) {
 	s.accesses += int64(hi - lo)
 	it := int64(iter)
 	for idx := lo; idx < hi; idx++ {
-		t.slot(s, idx)
-		if s.lastWriter[idx] != it {
-			insert2(&s.w1[idx], &s.w2[idx], it)
-			s.lastWriter[idx] = it
+		r := t.slot(s, idx)
+		if r.lastWriter != it {
+			insert2(&r.w1, &r.w2, it)
+			r.lastWriter = it
 		}
 	}
 }
@@ -410,13 +423,14 @@ func (t *Test) analyze(valid int, record bool) Result {
 		// marks for e; in eager mode every tag is pinned live.
 		w1, w2, r1, r2 := never, never, never, never
 		for _, s := range t.shadows {
-			if s.tag[e] != t.epoch {
+			r := &s.recs[e]
+			if r.tag != t.epoch {
 				continue
 			}
-			insert2(&w1, &w2, s.w1[e])
-			insert2(&w1, &w2, s.w2[e])
-			insert2(&r1, &r2, s.r1[e])
-			insert2(&r1, &r2, s.r2[e])
+			insert2(&w1, &w2, r.w1)
+			insert2(&w1, &w2, r.w2)
+			insert2(&r1, &r2, r.r1)
+			insert2(&r1, &r2, r.r2)
 		}
 		if r1 < v {
 			exposed.Store(true)
@@ -508,8 +522,8 @@ func (t *Test) Reset() {
 			// as live again, so pay one full sweep to zero them and
 			// restart at 1 (zero is never a live epoch).
 			for _, s := range t.shadows {
-				for i := range s.tag {
-					s.tag[i] = 0
+				for i := range s.recs {
+					s.recs[i].tag = 0
 				}
 			}
 			t.epoch = 1

@@ -23,7 +23,7 @@ type pipeGen struct {
 }
 
 func newPipeGen(spec Spec, procs int) *pipeGen {
-	g := &pipeGen{ts: tsmem.NewSharded(procs, spec.Shared...)}
+	g := &pipeGen{ts: spec.newMemory(procs)}
 	g.ts.SetObs(spec.Metrics, spec.Tracer)
 	for _, a := range spec.Tested {
 		t := pdtest.New(a, procs)

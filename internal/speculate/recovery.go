@@ -8,7 +8,6 @@ import (
 	"whilepar/internal/costmodel"
 	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
-	"whilepar/internal/tsmem"
 )
 
 // Recovery configures partial-commit misspeculation recovery.
@@ -130,7 +129,7 @@ func RunRecoveringCtx(ctx context.Context, spec Spec, total int, par StripPar, s
 	// RunStripped: each round pays an epoch bump and a shadow Reset
 	// instead of a fresh allocation and clear, and the buffers return
 	// to the shared arena when the engine does.
-	ts := tsmem.NewSharded(procs, spec.Shared...)
+	ts := spec.newMemory(procs)
 	ts.SetObs(mx, tr)
 	var tests []*pdtest.Test
 	for _, a := range spec.Tested {

@@ -59,6 +59,11 @@ type Spec struct {
 	// proportional to the accesses, not the array extents.  Incompatible
 	// with StampThreshold (every store must be logged).
 	SparseUndo bool
+	// Journal selects the dense undo memory's first-touch bookkeeping
+	// layout: the packed block-journal default (tsmem.JournalBlock,
+	// zero value) or the element-journal oracle (tsmem.JournalElement).
+	// Benchmarks A/B the two; production callers leave it zero.
+	Journal tsmem.Journal
 	// Recovery configures partial-commit misspeculation recovery: on a
 	// failed PD test the valid prefix below the first violating
 	// iteration is kept, only the suffix's stamped stores are undone,
@@ -79,6 +84,14 @@ type Spec struct {
 	// the undo memory and the PD tests.
 	Metrics *obs.Metrics
 	Tracer  obs.Tracer
+}
+
+// newMemory builds the spec's dense undo memory over its shared arrays
+// with the selected journal layout — the one constructor every engine
+// (plain, stripped, windowed, pipelined, recovery, tuned) funnels
+// through, so the whilebench -journal A/B flag reaches them all.
+func (s Spec) newMemory(procs int) *tsmem.Memory {
+	return tsmem.NewShardedJournal(procs, s.Journal, s.Shared...)
 }
 
 // wantsUnwind reports whether err must bypass the sequential fallback
@@ -173,7 +186,7 @@ func RunCtx(ctx context.Context, spec Spec, par ParallelRunner, seq SequentialRu
 	var undoer interface {
 		Tracker() mem.Tracker
 	}
-	ts := tsmem.NewSharded(procs, spec.Shared...)
+	ts := spec.newMemory(procs)
 	ts.SetObs(mx, tr)
 	var sp *tsmem.SparseMemory
 	if spec.SparseUndo {

@@ -8,7 +8,6 @@ import (
 	"whilepar/internal/mem"
 	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
-	"whilepar/internal/tsmem"
 )
 
 // StripReport describes a strip-mined speculative execution.
@@ -97,7 +96,7 @@ func RunStrippedCtx(ctx context.Context, spec Spec, total, strip int, par StripP
 	// current strip — without paying a fresh allocation and
 	// O(procs x n) clear per strip.  Their buffers go back to the
 	// shared arena when the engine returns.
-	ts := tsmem.NewSharded(procs, spec.Shared...)
+	ts := spec.newMemory(procs)
 	ts.SetObs(mx, tr)
 	var tests []*pdtest.Test
 	for _, a := range spec.Tested {

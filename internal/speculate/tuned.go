@@ -7,7 +7,6 @@ import (
 	"whilepar/internal/cancel"
 	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
-	"whilepar/internal/tsmem"
 )
 
 // StripController steers a tuned strip-mined execution.  It is defined
@@ -66,7 +65,7 @@ func RunTunedCtx(ctx context.Context, spec Spec, start, total int, ctl StripCont
 	// controller asks.
 	pipelineOK := !spec.SparseUndo && len(spec.Privatized) == 0
 
-	ts := tsmem.NewSharded(procs, spec.Shared...)
+	ts := spec.newMemory(procs)
 	ts.SetObs(mx, tr)
 	var tests []*pdtest.Test
 	for _, a := range spec.Tested {

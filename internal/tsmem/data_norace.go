@@ -1,0 +1,15 @@
+//go:build !race
+
+package tsmem
+
+// Plain data-word accessors for normal builds: these inline to the raw
+// load/store/memmove, so the stamped fast paths pay nothing for the
+// indirection.  See data_race.go for why they exist.
+
+func loadData(p *float64) float64 { return *p }
+
+func storeData(p *float64, v float64) { *p = v }
+
+func loadDataRange(dst, src []float64) { copy(dst, src) }
+
+func storeDataRange(dst, src []float64) { copy(dst, src) }

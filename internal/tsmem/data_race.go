@@ -1,0 +1,40 @@
+//go:build race
+
+package tsmem
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Under speculation a worker's load of a data word can race with
+// another worker's store to it: that is exactly the dependence
+// violation the PD test exists to detect, and the undo pass discards
+// every value the mis-speculated iteration produced.  The recovery
+// makes the race benign for the loop's semantics, but the Go memory
+// model does not have benign races, and the race detector rightly
+// flags the unsynchronized word access.  Under -race the stamped paths
+// route data words through atomics so the full speculative machinery —
+// violating workloads included — stays testable with the detector on;
+// normal builds use the plain accessors in data_norace.go.
+
+func loadData(p *float64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(p))))
+}
+
+func storeData(p *float64, v float64) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(p)), math.Float64bits(v))
+}
+
+func loadDataRange(dst, src []float64) {
+	for i := range src {
+		dst[i] = loadData(&src[i])
+	}
+}
+
+func storeDataRange(dst, src []float64) {
+	for i := range src {
+		storeData(&dst[i], src[i])
+	}
+}

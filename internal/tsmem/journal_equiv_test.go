@@ -1,0 +1,253 @@
+package tsmem
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"whilepar/internal/mem"
+	"whilepar/internal/sched"
+)
+
+// The block-journal rewrite must be invisible: the packed block layout,
+// the element-journal oracle and the per-element CAS baseline must
+// produce bit-identical stamps, stamped counts, undo/commit results and
+// array contents on the same store sequence — including batched
+// StoreRange, Rearm's incremental re-checkpoint, PartialCommit's
+// re-baselining, and the stamp-threshold path where sub-threshold
+// stores stay unjournaled.  Runs under -race in CI (the concurrent
+// phase uses a bijective index map, so the only sharing is the stamp
+// machinery itself).
+
+// journalTrioStoreRange applies one batched store to the two Memory
+// layouts and emulates it element-wise on the atomic baseline (which
+// has no RangeTracker).
+func journalTrioStoreRange(blk, elt *Memory, at *AtomicMemory,
+	aB, aE, aA *mem.Array, lo int, src []float64, iter, vpn int) {
+	blk.StampStoreRange(aB, lo, src, iter, vpn)
+	elt.StampStoreRange(aE, lo, src, iter, vpn)
+	trA := at.Tracker()
+	for j, v := range src {
+		trA.Store(aA, lo+j, v, iter, vpn)
+	}
+}
+
+func TestJournalLayoutsMatchRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(260) + 40 // spans partial and multiple 64-blocks
+		procs := rng.Intn(8) + 1
+		init := make([]float64, n)
+		for i := range init {
+			init[i] = rng.Float64() * 100
+		}
+		aB := mem.FromSlice("A", append([]float64(nil), init...))
+		aE := mem.FromSlice("A", append([]float64(nil), init...))
+		aA := mem.FromSlice("A", append([]float64(nil), init...))
+
+		blk := NewShardedJournal(procs, JournalBlock, aB)
+		elt := NewShardedJournal(procs, JournalElement, aE)
+		at := NewAtomic(aA)
+		blk.Checkpoint()
+		elt.Checkpoint()
+		at.Checkpoint()
+		trB, trE, trA := blk.Tracker(), elt.Tracker(), at.Tracker()
+
+		th := 0
+		for strip := 0; strip < 5; strip++ {
+			if rng.Intn(3) == 0 {
+				th = rng.Intn(n / 2)
+				blk.SetStampThreshold(th)
+				elt.SetStampThreshold(th)
+				at.SetStampThreshold(th)
+			}
+
+			// Concurrent phase: iteration i writes the unique location
+			// perm[i] on whatever vpn the DOALL hands it.
+			perm := rng.Perm(n)
+			sched.DOALL(n, sched.Options{Procs: procs}, func(i, vpn int) sched.Control {
+				trB.Store(aB, perm[i], float64(i)+0.5, i, vpn)
+				return sched.Continue
+			})
+			sched.DOALL(n, sched.Options{Procs: procs}, func(i, vpn int) sched.Control {
+				trE.Store(aE, perm[i], float64(i)+0.5, i, vpn)
+				return sched.Continue
+			})
+			sched.DOALL(n, sched.Options{Procs: procs}, func(i, vpn int) sched.Control {
+				trA.Store(aA, perm[i], float64(i)+0.5, i, vpn)
+				return sched.Continue
+			})
+
+			// Sequential collision phase: random indices (sub- and
+			// above-threshold writers landing in the same block),
+			// shuffled vpns including out-of-range ones.
+			for k := 0; k < 2*n; k++ {
+				idx, iter := rng.Intn(n), rng.Intn(n)
+				vpn := rng.Intn(2*procs+1) - procs
+				v := rng.Float64()
+				trB.Store(aB, idx, v, iter, vpn)
+				trE.Store(aE, idx, v, iter, vpn)
+				trA.Store(aA, idx, v, iter, vpn)
+			}
+
+			// Batched phase: ranges that straddle block boundaries.
+			for k := 0; k < 3; k++ {
+				lo := rng.Intn(n - 1)
+				ln := rng.Intn(n-lo) + 1
+				src := make([]float64, ln)
+				for j := range src {
+					src[j] = rng.Float64()
+				}
+				journalTrioStoreRange(blk, elt, at, aB, aE, aA,
+					lo, src, rng.Intn(n), rng.Intn(procs))
+			}
+
+			for idx := 0; idx < n; idx++ {
+				sb, se, sa := blk.Stamp(aB, idx), elt.Stamp(aE, idx), at.Stamp(aA, idx)
+				if sb != se || sb != sa {
+					t.Fatalf("trial %d strip %d: stamp[%d] block=%d element=%d atomic=%d",
+						trial, strip, idx, sb, se, sa)
+				}
+			}
+			_, _, _, stB := blk.Stats()
+			_, _, _, stE := elt.Stats()
+			_, _, _, stA := at.Stats()
+			if stB != stE || stB != stA {
+				t.Fatalf("trial %d strip %d: stamped block=%d element=%d atomic=%d",
+					trial, strip, stB, stE, stA)
+			}
+
+			switch rng.Intn(4) {
+			case 0: // undo the overshoot
+				valid := th + rng.Intn(n-th+1)
+				uB, errB := blk.Undo(valid)
+				uE, errE := elt.Undo(valid)
+				uA, errA := at.Undo(valid)
+				if (errB != nil) != (errE != nil) || (errB != nil) != (errA != nil) {
+					t.Fatalf("trial %d strip %d: Undo errors diverge: %v / %v / %v",
+						trial, strip, errB, errE, errA)
+				}
+				if uB != uE || uB != uA {
+					t.Fatalf("trial %d strip %d: Undo restored block=%d element=%d atomic=%d",
+						trial, strip, uB, uE, uA)
+				}
+			case 1: // keep a prefix, rewind the rest, re-baseline
+				upto := th + rng.Intn(n-th+1)
+				uB, errB := blk.PartialCommit(upto)
+				uE, errE := elt.PartialCommit(upto)
+				if (errB != nil) != (errE != nil) {
+					t.Fatalf("trial %d strip %d: PartialCommit errors diverge: %v / %v",
+						trial, strip, errB, errE)
+				}
+				// The atomic baseline has no PartialCommit: Undo(upto)
+				// followed by a fresh Checkpoint is its definition.
+				uA, errA := at.Undo(upto)
+				if (errB != nil) != (errA != nil) {
+					t.Fatalf("trial %d strip %d: PartialCommit vs atomic Undo diverge: %v / %v",
+						trial, strip, errB, errA)
+				}
+				if errB == nil {
+					at.SetStampThreshold(0)
+					at.Checkpoint()
+					th = 0
+					if uB != uE || uB != uA {
+						t.Fatalf("trial %d strip %d: PartialCommit restored block=%d element=%d atomic=%d",
+							trial, strip, uB, uE, uA)
+					}
+				}
+			case 2: // incremental re-checkpoint from the write-sets
+				wsB, wsE := blk.WriteSet(), elt.WriteSet()
+				for ai := range wsB {
+					b := append([]int(nil), wsB[ai]...)
+					e := append([]int(nil), wsE[ai]...)
+					sort.Ints(b)
+					sort.Ints(e)
+					if len(b) != len(e) {
+						t.Fatalf("trial %d strip %d: write-set sizes block=%d element=%d",
+							trial, strip, len(b), len(e))
+					}
+					for j := range b {
+						if b[j] != e[j] {
+							t.Fatalf("trial %d strip %d: write-sets diverge at %d: %d vs %d",
+								trial, strip, j, b[j], e[j])
+						}
+					}
+				}
+				blk.Rearm(wsB)
+				elt.Rearm(wsE)
+				at.Checkpoint()
+			case 3: // abandon the strip entirely
+				if err := blk.RestoreAll(); err != nil {
+					t.Fatal(err)
+				}
+				if err := elt.RestoreAll(); err != nil {
+					t.Fatal(err)
+				}
+				if err := at.RestoreAll(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !aB.Equal(aE) || !aB.Equal(aA) {
+				t.Fatalf("trial %d strip %d: arrays diverge after rewind op", trial, strip)
+			}
+		}
+		blk.Release()
+		elt.Release()
+	}
+}
+
+// Regression for the stamp-threshold edge (Section 8.1) under block
+// journaling: a sub-threshold store is neither stamped nor journaled —
+// its block bitmap bit stays clear — so a block-granular Undo of an
+// otherwise-dirty block must leave it in place, and Rearm must carry it
+// into the refreshed checkpoint rather than clobbering it.
+func TestThresholdStoreSurvivesBlockUndo(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(procs int, arrays ...*mem.Array) *Memory
+	}{
+		{"block", NewSharded},
+		{"element", NewShardedElement},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := mem.NewArray("A", 128)
+			m := tc.mk(2, a)
+			defer m.Release()
+			m.Checkpoint()
+			m.SetStampThreshold(5)
+			tr := m.Tracker()
+			tr.Store(a, 10, 111, 2, 0) // sub-threshold: predicted valid, unjournaled
+			tr.Store(a, 11, 222, 9, 0) // same 64-element block, overshoot
+			tr.Store(a, 70, 333, 9, 1) // different block, overshoot
+
+			restored, err := m.Undo(6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored != 2 {
+				t.Fatalf("Undo restored %d locations, want the 2 overshoot stores", restored)
+			}
+			if a.Data[10] != 111 {
+				t.Fatalf("sub-threshold store clobbered by block Undo: a[10]=%v, want 111", a.Data[10])
+			}
+			if a.Data[11] != 0 || a.Data[70] != 0 {
+				t.Fatalf("overshoot stores survived Undo: a[11]=%v a[70]=%v", a.Data[11], a.Data[70])
+			}
+
+			// Rearm with a threshold degrades to a full Checkpoint,
+			// which must adopt the surviving sub-threshold value as the
+			// new baseline.
+			m.Rearm(m.WriteSet())
+			tr.Store(a, 11, 444, 7, 0)
+			if _, err := m.Undo(5); err != nil {
+				t.Fatal(err)
+			}
+			if a.Data[10] != 111 {
+				t.Fatalf("sub-threshold store lost across Rearm: a[10]=%v, want 111", a.Data[10])
+			}
+			if a.Data[11] != 0 {
+				t.Fatalf("post-Rearm overshoot store survived: a[11]=%v", a.Data[11])
+			}
+		})
+	}
+}

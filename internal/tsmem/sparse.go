@@ -40,8 +40,17 @@ type SparseMemory struct {
 	// entry CAS) of the epoch wins.
 	old *sync.Map
 	// stamps[k] is worker k's private minimum-iteration map.
-	stamps  []map[sparseKey]sparseStamp
-	touched atomic.Int64 // distinct locations captured this epoch
+	stamps []map[sparseKey]sparseStamp
+	// touchedKeys[k] journals the locations whose pre-value capture
+	// worker k won this epoch — the sparse analogue of the dense
+	// layout's first-touch journals.  Exactly one worker wins each
+	// location's capture per epoch (the LoadOrStore/CAS winner), so
+	// the union of the journals is a duplicate-free list of this
+	// epoch's captured set, and rewind can walk it directly instead of
+	// ranging over every entry the map has accumulated across all
+	// epochs.  Single-writer per slot, truncated on Reset.
+	touchedKeys [][]sparseKey
+	touched     atomic.Int64 // distinct locations captured this epoch
 	// epoch is the current generation; entries tagged with an older
 	// one are stale and treated as absent.  uint64, so no wrap
 	// handling is needed (unlike the dense tags, sized per element).
@@ -104,6 +113,9 @@ func newSparseSharded(procs int, explicit bool) *SparseMemory {
 	for k := range s.stamps {
 		s.stamps[k] = make(map[sparseKey]sparseStamp)
 	}
+	if !explicit {
+		s.touchedKeys = make([][]sparseKey, procs)
+	}
 	return s
 }
 
@@ -123,7 +135,7 @@ func (s *SparseMemory) Tracker() mem.Tracker { return sparseTracker{s} }
 
 type sparseTracker struct{ s *SparseMemory }
 
-func (t sparseTracker) Load(a *mem.Array, idx, _, _ int) float64 { return a.Data[idx] }
+func (t sparseTracker) Load(a *mem.Array, idx, _, _ int) float64 { return loadData(&a.Data[idx]) }
 
 func (t sparseTracker) Store(a *mem.Array, idx int, v float64, iter, vpn int) {
 	t.s.obsM.TrackedStore()
@@ -132,13 +144,13 @@ func (t sparseTracker) Store(a *mem.Array, idx int, v float64, iter, vpn int) {
 
 func (s *SparseMemory) store(a *mem.Array, idx int, v float64, iter, vpn int) {
 	k := sparseKey{a, idx}
+	kslot := s.slot(vpn)
 	// Capture the pre-loop value: the read must precede the LoadOrStore
 	// (see the type comment for why the first-touch winner is sound).
-	cur := a.Data[idx]
+	cur := loadData(&a.Data[idx])
 	entry := sparseOld{ep: s.epoch, val: cur}
 	if prev, loaded := s.old.LoadOrStore(k, entry); !loaded {
-		s.touched.Add(1)
-		s.obsM.StampedStore()
+		s.captured(kslot, k)
 	} else if prev.(sparseOld).ep != s.epoch {
 		// Stale capture from an earlier strip: replace it in place.
 		// CAS so the temporally first replacer of THIS epoch wins —
@@ -146,21 +158,31 @@ func (s *SparseMemory) store(a *mem.Array, idx int, v float64, iter, vpn int) {
 		// after the winner's pre-value read, so the winner's capture
 		// predates every tracked write of the epoch.
 		if s.old.CompareAndSwap(k, prev, entry) {
-			s.touched.Add(1)
-			s.obsM.StampedStore()
+			s.captured(kslot, k)
 		}
 	}
-	st := s.stamps[s.slot(vpn)]
+	st := s.stamps[kslot]
 	if prev, ok := st[k]; !ok || prev.ep != s.epoch || int64(iter) < prev.iter {
 		st[k] = sparseStamp{ep: s.epoch, iter: int64(iter)}
 	}
-	a.Data[idx] = v
+	storeData(&a.Data[idx], v)
+}
+
+// captured records one won pre-value capture: the winning worker
+// journals the key (its slot is single-writer, so no locking) and the
+// shared touched counter moves.
+func (s *SparseMemory) captured(kslot int, k sparseKey) {
+	if s.touchedKeys != nil {
+		s.touchedKeys[kslot] = append(s.touchedKeys[kslot], k)
+	}
+	s.touched.Add(1)
+	s.obsM.StampedStore()
 }
 
 // LoadRange copies [lo, hi) of a into dst with one interposition.
 func (t sparseTracker) LoadRange(a *mem.Array, lo, hi int, dst []float64, _, _ int) {
 	t.s.obsM.BatchedRange(hi - lo)
-	copy(dst, a.Data[lo:hi])
+	loadDataRange(dst, a.Data[lo:hi])
 }
 
 // StoreRange performs len(src) tracked stores with one interposition.
@@ -200,18 +222,43 @@ func (s *SparseMemory) Undo(valid int) int {
 
 func (s *SparseMemory) rewind(valid int) int {
 	restored := 0
-	s.old.Range(func(key, val any) bool {
-		po := val.(sparseOld)
-		if po.ep != s.epoch {
-			return true // stale capture from a reset-away strip
+	if s.touchedKeys != nil {
+		// Epoch mode: the capture journals list exactly this epoch's
+		// touched set (duplicate-free — one winner per key), so the
+		// rewind is O(touched this epoch), not O(all entries the map
+		// has accumulated across strips).
+		for _, keys := range s.touchedKeys {
+			for _, k := range keys {
+				val, ok := s.old.Load(k)
+				if !ok {
+					continue
+				}
+				po := val.(sparseOld)
+				if po.ep != s.epoch {
+					continue
+				}
+				if st := s.minStamp(k); st != NoStamp && st >= int64(valid) {
+					k.arr.Data[k.idx] = po.val
+					restored++
+				}
+			}
 		}
-		k := key.(sparseKey)
-		if st := s.minStamp(k); st != NoStamp && st >= int64(valid) {
-			k.arr.Data[k.idx] = po.val
-			restored++
-		}
-		return true
-	})
+	} else {
+		// Explicit oracle: maps are reallocated per Reset, so every
+		// entry is current and a full Range is the touched set.
+		s.old.Range(func(key, val any) bool {
+			po := val.(sparseOld)
+			if po.ep != s.epoch {
+				return true // stale capture from a reset-away strip
+			}
+			k := key.(sparseKey)
+			if st := s.minStamp(k); st != NoStamp && st >= int64(valid) {
+				k.arr.Data[k.idx] = po.val
+				restored++
+			}
+			return true
+		})
+	}
 	if s.procs > 1 {
 		s.obsM.ShardMergeDone(s.procs, int(s.touched.Load()))
 	}
@@ -258,6 +305,9 @@ func (s *SparseMemory) Reset() {
 		return
 	}
 	s.epoch++
+	for k := range s.touchedKeys {
+		s.touchedKeys[k] = s.touchedKeys[k][:0]
+	}
 	s.touched.Store(0)
 	s.obsM.EpochReset()
 }

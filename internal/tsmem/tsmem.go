@@ -131,6 +131,24 @@ type Memory struct {
 	// worklist the lazy merge deduplicates, and the raw material of
 	// WriteSet.  Single-writer per shard, like the stamps.
 	dirty map[*mem.Array][][]int
+	// Packed block-journal layout (the JournalBlock default; see
+	// block.go).  recs[a][k][i] fuses stamp + epoch tag + flags into
+	// one 16-byte record; blkTag/blkBits[a][k][b] are the epoch tag and
+	// dirty bitmap of 64-element block b in shard k; blocks[a][k]
+	// journals each block id once per epoch.  unionBits/mgBlkSeen/
+	// touchedBlk are the merge's block-granular results and scratch,
+	// playing the role touchedIdx/mgSeen play for the element layout.
+	// Exactly one of {recs..., stamps...} is populated per Memory.
+	recs       map[*mem.Array][][]rec
+	blkTag     map[*mem.Array][][]uint32
+	blkBits    map[*mem.Array][][]uint64
+	blocks     map[*mem.Array][][]int32
+	unionBits  map[*mem.Array][]uint64
+	mgBlkSeen  map[*mem.Array][]uint32
+	touchedBlk map[*mem.Array][]int32
+	// packed selects the block layout's code paths (JournalBlock and
+	// not explicit).
+	packed bool
 	// views carries the same stamp/epoch/dirty slice headers as the
 	// maps above, keyed by position: the per-element store path resolves
 	// its array by a linear pointer scan over this handful of entries
@@ -195,27 +213,49 @@ func New(arrays ...*mem.Array) *Memory { return NewSharded(1, arrays...) }
 // virtual processors: worker k records stamps in its own single-writer
 // shard, eliminating atomic contention on shared stamp words.  Stamps
 // are epoch-tagged, so the per-strip reset a Checkpoint performs is a
-// single generation bump rather than an O(procs x n) sweep.
+// single generation bump rather than an O(procs x n) sweep, and live in
+// the packed block-journal layout (JournalBlock, block.go) so a
+// first-touch store stays within one shadow cache line.
 // Checkpoint must be called before the speculative execution begins.
 func NewSharded(procs int, arrays ...*mem.Array) *Memory {
-	return newSharded(procs, false, arrays...)
+	return newSharded(procs, false, JournalBlock, arrays...)
+}
+
+// NewShardedJournal is NewSharded with an explicit journal layout —
+// the A/B constructor the whilebench -journal flag drives.
+func NewShardedJournal(procs int, journal Journal, arrays ...*mem.Array) *Memory {
+	return newSharded(procs, false, journal, arrays...)
+}
+
+// NewShardedElement is NewSharded with the element-journal layout:
+// separate stamp and epoch-tag arrays plus per-element dirty-index
+// journals.  Retained as the equivalence oracle for the packed block
+// layout and as its benchmark baseline.
+func NewShardedElement(procs int, arrays ...*mem.Array) *Memory {
+	return newSharded(procs, false, JournalElement, arrays...)
 }
 
 // NewShardedExplicit is NewSharded with epoch tagging disabled: every
-// reset eagerly refills the shards with NoStamp, the pre-epoch scheme.
-// It is retained as the equivalence oracle for the O(1) epoch reset
-// and as its benchmark baseline.
+// reset eagerly refills the shards with NoStamp, the pre-epoch scheme
+// (which implies the element layout).  It is retained as the
+// equivalence oracle for the O(1) epoch reset and as its benchmark
+// baseline.
 func NewShardedExplicit(procs int, arrays ...*mem.Array) *Memory {
-	return newSharded(procs, true, arrays...)
+	return newSharded(procs, true, JournalElement, arrays...)
 }
 
 // shardView bundles one tracked array's shard slices for the hot store
-// path (see the views field).
+// path (see the views field).  stamps/epochs/dirty serve the element
+// layout; recs/blkTag/blkBits/blocks the packed block layout.
 type shardView struct {
-	a      *mem.Array
-	stamps [][]int64
-	epochs [][]uint32
-	dirty  [][]int
+	a       *mem.Array
+	stamps  [][]int64
+	epochs  [][]uint32
+	dirty   [][]int
+	recs    [][]rec
+	blkTag  [][]uint32
+	blkBits [][]uint64
+	blocks  [][]int32
 }
 
 // viewOf resolves a tracked array's shard view by pointer scan, nil if
@@ -230,20 +270,58 @@ func (m *Memory) viewOf(a *mem.Array) *shardView {
 	return nil
 }
 
-func newSharded(procs int, explicit bool, arrays ...*mem.Array) *Memory {
+func newSharded(procs int, explicit bool, journal Journal, arrays ...*mem.Array) *Memory {
 	if procs < 1 {
 		procs = 1
 	}
 	m := &Memory{
-		procs:      procs,
-		explicit:   explicit,
-		stamps:     make(map[*mem.Array][][]int64, len(arrays)),
-		epochs:     make(map[*mem.Array][][]uint32, len(arrays)),
-		dirty:      make(map[*mem.Array][][]int, len(arrays)),
-		merged:     make(map[*mem.Array][]int64, len(arrays)),
-		touchedIdx: make(map[*mem.Array][]int, len(arrays)),
-		mgSeen:     make(map[*mem.Array][]uint32, len(arrays)),
+		procs:    procs,
+		explicit: explicit,
+		packed:   journal == JournalBlock && !explicit,
+		merged:   make(map[*mem.Array][]int64, len(arrays)),
 	}
+	if m.packed {
+		m.recs = make(map[*mem.Array][][]rec, len(arrays))
+		m.blkTag = make(map[*mem.Array][][]uint32, len(arrays))
+		m.blkBits = make(map[*mem.Array][][]uint64, len(arrays))
+		m.blocks = make(map[*mem.Array][][]int32, len(arrays))
+		m.unionBits = make(map[*mem.Array][]uint64, len(arrays))
+		m.mgBlkSeen = make(map[*mem.Array][]uint32, len(arrays))
+		m.touchedBlk = make(map[*mem.Array][]int32, len(arrays))
+		for _, a := range arrays {
+			m.arrays = append(m.arrays, a)
+			nb := numBlocks(a.Len())
+			rss := make([][]rec, procs)
+			bts := make([][]uint32, procs)
+			bbs := make([][]uint64, procs)
+			bjs := make([][]int32, procs)
+			for k := range rss {
+				// Records and block tags must start all-stale: a
+				// recycled epoch tag equal to this Memory's first live
+				// epoch would read as a current stamp.  Bitmaps hide
+				// behind the block tags, so stale content is fine.
+				rss[k] = recPool.GetZeroed(a.Len())
+				bts[k] = arena.Uint32sZeroed(nb)
+				bbs[k] = uint64Pool.Get(nb)
+				bjs[k] = int32Pool.GetCap(64)
+			}
+			m.recs[a] = rss
+			m.blkTag[a] = bts
+			m.blkBits[a] = bbs
+			m.blocks[a] = bjs
+			m.views = append(m.views, shardView{a: a, recs: rss, blkTag: bts, blkBits: bbs, blocks: bjs})
+			m.unionBits[a] = uint64Pool.Get(nb)
+			m.mgBlkSeen[a] = arena.Uint32sZeroed(nb)
+			m.touchedBlk[a] = int32Pool.GetCap(64)
+		}
+		m.resetStamps()
+		return m
+	}
+	m.stamps = make(map[*mem.Array][][]int64, len(arrays))
+	m.epochs = make(map[*mem.Array][][]uint32, len(arrays))
+	m.dirty = make(map[*mem.Array][][]int, len(arrays))
+	m.touchedIdx = make(map[*mem.Array][]int, len(arrays))
+	m.mgSeen = make(map[*mem.Array][]uint32, len(arrays))
 	for _, a := range arrays {
 		m.arrays = append(m.arrays, a)
 		sh := make([][]int64, procs)
@@ -295,6 +373,21 @@ func (m *Memory) Release() {
 		for _, d := range m.dirty[a] {
 			arena.PutInts(d)
 		}
+		for _, rs := range m.recs[a] {
+			recPool.Put(rs)
+		}
+		for _, bt := range m.blkTag[a] {
+			arena.PutUint32s(bt)
+		}
+		for _, bb := range m.blkBits[a] {
+			uint64Pool.Put(bb)
+		}
+		for _, bj := range m.blocks[a] {
+			int32Pool.Put(bj)
+		}
+		uint64Pool.Put(m.unionBits[a])
+		arena.PutUint32s(m.mgBlkSeen[a])
+		int32Pool.Put(m.touchedBlk[a])
 		arena.PutInt64s(m.merged[a])
 		arena.PutUint32s(m.mgSeen[a])
 		arena.PutInts(m.touchedIdx[a])
@@ -303,6 +396,8 @@ func (m *Memory) Release() {
 		arena.PutFloat64s(cp.Data)
 	}
 	m.stamps, m.epochs, m.dirty, m.merged, m.mgSeen, m.touchedIdx = nil, nil, nil, nil, nil, nil
+	m.recs, m.blkTag, m.blkBits, m.blocks = nil, nil, nil, nil
+	m.unionBits, m.mgBlkSeen, m.touchedBlk = nil, nil, nil
 	m.checkpoints, m.arrays, m.views = nil, nil, nil
 	m.cpValid = false
 }
@@ -338,6 +433,23 @@ func (m *Memory) resetStamps() {
 					})
 				}
 			}
+			for _, rss := range m.recs {
+				for _, rs := range rss {
+					parallelDo(m.procs, len(rs), func(lo, hi int) {
+						rs := rs[lo:hi]
+						for i := range rs {
+							rs[i].epoch = 0
+						}
+					})
+				}
+			}
+			for _, bts := range m.blkTag {
+				for _, bt := range bts {
+					for i := range bt {
+						bt[i] = 0
+					}
+				}
+			}
 			m.epoch = 1
 		}
 		m.obsM.EpochReset()
@@ -345,6 +457,11 @@ func (m *Memory) resetStamps() {
 	for _, dj := range m.dirty {
 		for k := range dj {
 			dj[k] = dj[k][:0]
+		}
+	}
+	for _, bj := range m.blocks {
+		for k := range bj {
+			bj[k] = bj[k][:0]
 		}
 	}
 	m.mergedOK.Store(false)
@@ -408,7 +525,11 @@ func (m *Memory) WriteSet() [][]int {
 	m.mergeStamps()
 	out := make([][]int, len(m.arrays))
 	for ai, a := range m.arrays {
-		out[ai] = append([]int(nil), m.touchedIdx[a]...)
+		if m.packed {
+			out[ai] = m.packedWriteSet(a)
+		} else {
+			out[ai] = append([]int(nil), m.touchedIdx[a]...)
+		}
 	}
 	return out
 }
@@ -490,7 +611,7 @@ func (m *Memory) slot(vpn int) int {
 }
 
 // StampLoad is the concrete load path: loads pass through untracked.
-func (m *Memory) StampLoad(a *mem.Array, idx int) float64 { return a.Data[idx] }
+func (m *Memory) StampLoad(a *mem.Array, idx int) float64 { return loadData(&a.Data[idx]) }
 
 // StampStore is the concrete store path (Tracker's Store without the
 // interface dispatch): record the writing iteration in the worker's
@@ -503,6 +624,29 @@ func (m *Memory) StampStore(a *mem.Array, idx int, v float64, iter, vpn int) {
 				m.mergedOK.Store(false)
 			}
 			k := m.slot(vpn)
+			if m.packed {
+				r := &vw.recs[k][idx]
+				if r.epoch != m.epoch {
+					// First touch of this epoch: one 16-byte record
+					// write covers stamp, liveness tag and journaled
+					// bit — a single shadow cache line.
+					r.stamp = int64(iter)
+					r.epoch = m.epoch
+					r.flags = recJournaled
+					b := idx >> blockShift
+					bt := vw.blkTag[k]
+					if bt[b] != m.epoch {
+						bt[b] = m.epoch
+						vw.blkBits[k][b] = 0
+						vw.blocks[k] = append(vw.blocks[k], int32(b))
+					}
+					vw.blkBits[k][b] |= 1 << (uint(idx) & blockMask)
+				} else if it := int64(iter); it < r.stamp {
+					r.stamp = it
+				}
+				storeData(&a.Data[idx], v)
+				return
+			}
 			s, ep := vw.stamps[k], vw.epochs[k]
 			if ep[idx] != m.epoch {
 				// Stale generation: whatever stamp is there belongs to
@@ -520,14 +664,14 @@ func (m *Memory) StampStore(a *mem.Array, idx int, v float64, iter, vpn int) {
 			}
 		}
 	}
-	a.Data[idx] = v
+	storeData(&a.Data[idx], v)
 }
 
 // StampLoadRange copies [lo, hi) of a into dst: loads pass through, one
 // interposition for the whole strip.
 func (m *Memory) StampLoadRange(a *mem.Array, lo, hi int, dst []float64) {
 	m.obsM.BatchedRange(hi - lo)
-	copy(dst, a.Data[lo:hi])
+	loadDataRange(dst, a.Data[lo:hi])
 }
 
 // StampStoreRange performs len(src) stamped stores with a single
@@ -543,6 +687,46 @@ func (m *Memory) StampStoreRange(a *mem.Array, lo int, src []float64, iter, vpn 
 				m.mergedOK.Store(false)
 			}
 			k := m.slot(vpn)
+			if m.packed {
+				rs := vw.recs[k]
+				it64 := int64(iter)
+				for i := lo; i < lo+n; i++ {
+					r := &rs[i]
+					if r.epoch != m.epoch {
+						r.stamp = it64
+						r.epoch = m.epoch
+						r.flags = recJournaled
+					} else if it64 < r.stamp {
+						r.stamp = it64
+					}
+				}
+				// Journal whole blocks in O(blocks): one epoch-tagged
+				// bitmap OR per 64-element block, with partial masks at
+				// the range's edges.
+				bt, bb := vw.blkTag[k], vw.blkBits[k]
+				firstB, lastB := lo>>blockShift, (lo+n-1)>>blockShift
+				for b := firstB; b <= lastB; b++ {
+					s := 0
+					if b == firstB {
+						s = lo & blockMask
+					}
+					e := blockSize
+					if b == lastB {
+						e = (lo+n-1)&blockMask + 1
+					}
+					// e-s == 64 wraps 1<<64 to 0, and 0-1 to all-ones:
+					// exactly the full-block mask.
+					mask := ((uint64(1) << uint(e-s)) - 1) << uint(s)
+					if bt[b] != m.epoch {
+						bt[b] = m.epoch
+						bb[b] = 0
+						vw.blocks[k] = append(vw.blocks[k], int32(b))
+					}
+					bb[b] |= mask
+				}
+				storeDataRange(a.Data[lo:lo+n], src)
+				return
+			}
 			s, ep := vw.stamps[k], vw.epochs[k]
 			djk := vw.dirty[k]
 			it64 := int64(iter)
@@ -561,7 +745,7 @@ func (m *Memory) StampStoreRange(a *mem.Array, lo int, src []float64, iter, vpn 
 			vw.dirty[k] = djk
 		}
 	}
-	copy(a.Data[lo:lo+n], src)
+	storeDataRange(a.Data[lo:lo+n], src)
 }
 
 type stampTracker struct{ m *Memory }
@@ -594,6 +778,10 @@ func (t stampTracker) StoreRange(a *mem.Array, lo int, src []float64, iter, vpn 
 // across the Memory's workers.
 func (m *Memory) mergeStamps() {
 	if m.mergedOK.Load() {
+		return
+	}
+	if m.packed {
+		m.mergePacked()
 		return
 	}
 	m.mgGen++
@@ -677,26 +865,33 @@ func (m *Memory) Undo(lastValid int) (int, error) {
 	ts := obs.Start(m.obsT)
 	m.mergeStamps()
 	restored := 0
-	for ai, a := range m.arrays {
-		cp := m.checkpoints[ai]
-		mg := m.merged[a]
-		list := m.touchedIdx[a]
-		var mu sync.Mutex
-		parallelDo(m.procs, len(list), func(lo, hi int) {
-			count := 0
-			for _, i := range list[lo:hi] {
-				if st := mg[i]; st != NoStamp && st >= int64(lastValid) {
-					// Stamps are zero-based iteration indices; iterations
-					// 0..lastValid-1 are valid, so any stamp >= lastValid
-					// is overshoot.
-					a.Data[i] = cp.Data[i]
-					count++
+	if m.packed {
+		// Stamps are zero-based iteration indices; iterations
+		// 0..lastValid-1 are valid, so any stamp >= lastValid is
+		// overshoot.
+		restored = m.packedRestoreAbove(int64(lastValid))
+	} else {
+		for ai, a := range m.arrays {
+			cp := m.checkpoints[ai]
+			mg := m.merged[a]
+			list := m.touchedIdx[a]
+			var mu sync.Mutex
+			parallelDo(m.procs, len(list), func(lo, hi int) {
+				count := 0
+				for _, i := range list[lo:hi] {
+					if st := mg[i]; st != NoStamp && st >= int64(lastValid) {
+						// Stamps are zero-based iteration indices; iterations
+						// 0..lastValid-1 are valid, so any stamp >= lastValid
+						// is overshoot.
+						a.Data[i] = cp.Data[i]
+						count++
+					}
 				}
-			}
-			mu.Lock()
-			restored += count
-			mu.Unlock()
-		})
+				mu.Lock()
+				restored += count
+				mu.Unlock()
+			})
+		}
 	}
 	m.obsM.UndoneAdd(restored)
 	if m.obsT != nil {
@@ -731,23 +926,27 @@ func (m *Memory) PartialCommit(upto int) (int, error) {
 	ts := obs.Start(m.obsT)
 	m.mergeStamps()
 	restored := 0
-	for ai, a := range m.arrays {
-		cp := m.checkpoints[ai]
-		mg := m.merged[a]
-		list := m.touchedIdx[a]
-		var mu sync.Mutex
-		parallelDo(m.procs, len(list), func(lo, hi int) {
-			count := 0
-			for _, i := range list[lo:hi] {
-				if st := mg[i]; st != NoStamp && st >= int64(upto) {
-					a.Data[i] = cp.Data[i]
-					count++
+	if m.packed {
+		restored = m.packedRestoreAbove(int64(upto))
+	} else {
+		for ai, a := range m.arrays {
+			cp := m.checkpoints[ai]
+			mg := m.merged[a]
+			list := m.touchedIdx[a]
+			var mu sync.Mutex
+			parallelDo(m.procs, len(list), func(lo, hi int) {
+				count := 0
+				for _, i := range list[lo:hi] {
+					if st := mg[i]; st != NoStamp && st >= int64(upto) {
+						a.Data[i] = cp.Data[i]
+						count++
+					}
 				}
-			}
-			mu.Lock()
-			restored += count
-			mu.Unlock()
-		})
+				mu.Lock()
+				restored += count
+				mu.Unlock()
+			})
+		}
 	}
 	m.obsM.SuffixUndoneAdd(restored)
 	if m.obsT != nil {
@@ -767,6 +966,9 @@ func (m *Memory) PartialCommit(upto int) (int, error) {
 // called after the parallel section completes.
 func (m *Memory) MinStampFrom(from int) int64 {
 	m.mergeStamps()
+	if m.packed {
+		return m.packedMinStampFrom(int64(from))
+	}
 	min := NoStamp
 	for _, a := range m.arrays {
 		mg := m.merged[a]
@@ -822,6 +1024,19 @@ func (m *Memory) Commit() {
 // or below the threshold).  It merges the per-worker shards on first
 // use, so it must only be called after the parallel section completes.
 func (m *Memory) Stamp(a *mem.Array, idx int) int64 {
+	if m.packed {
+		if _, ok := m.recs[a]; !ok {
+			return NoStamp
+		}
+		m.mergeStamps()
+		b := idx >> blockShift
+		if m.mgBlkSeen[a][b] != m.mgGen || m.unionBits[a][b]&(1<<(uint(idx)&blockMask)) == 0 {
+			// Block never journaled, or this element's bit unset:
+			// unwritten since the last reset.
+			return NoStamp
+		}
+		return m.merged[a][idx]
+	}
 	if _, ok := m.stamps[a]; !ok {
 		return NoStamp
 	}
