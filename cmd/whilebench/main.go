@@ -40,6 +40,11 @@
 //	                           # than 20% below the recorded baseline;
 //	                           # same for -recbench with BENCH_3.json and
 //	                           # -pipebench with BENCH_4.json
+//	whilebench -sigbench       # validation-tier benchmark: Tier-1 hash
+//	                           # signatures and Tier-2 trusted strips vs
+//	                           # the Tier-0 element-wise oracle and an
+//	                           # uninstrumented DOALL (BENCH_9.json with
+//	                           # -json; guarded via -baseline)
 //	whilebench -cancelbench    # cancellation-latency benchmark: time
 //	                           # from ctx cancel to engine return for
 //	                           # each context-aware engine
@@ -101,6 +106,10 @@ func run() int {
 		strip       = flag.Int("strip", 64, "strip size in -pipebench")
 		pipeIters   = flag.Int("pipeiters", 16384, "iterations in the -pipebench loop")
 		pipeWork    = flag.Int("pipework", 200, "per-iteration spin units in -pipebench (0 = auto-calibrate to ~2µs/iter)")
+		sigbench    = flag.Bool("sigbench", false, "run the validation-tier benchmark (signature/trusted tiers vs the element-wise oracle)")
+		sigIters    = flag.Int("sigiters", 32768, "iterations in the -sigbench loop")
+		sigStrip    = flag.Int("sigstrip", 1024, "strip size in -sigbench (snapped to the 64*procs signature grain)")
+		sigWork     = flag.Int("sigwork", 0, "per-iteration spin units in -sigbench (0 = auto-calibrate to ~2µs/iter)")
 		baseline    = flag.String("baseline", "", "recorded JSON baseline to guard -membench/-recbench/-pipebench against")
 		tol         = flag.Float64("tol", 0.2, "relative tolerance for the -baseline regression guard")
 		cpuProf     = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -302,6 +311,35 @@ func run() int {
 				return 1
 			}
 			if c := guard(bench.ComparePipeBench(rep, base, *tol), *baseline, *tol); c != 0 {
+				return c
+			}
+		}
+		ran = true
+	}
+	if *sigbench {
+		if *sigWork == 0 {
+			*sigWork = bench.CalibrateWork(bench.DefaultBodyTarget)
+			fmt.Fprintf(os.Stderr, "whilebench: calibrated -sigwork %d (~%v body per iteration)\n",
+				*sigWork, bench.DefaultBodyTarget)
+		}
+		rep := bench.SigBench(*procs, *sigIters, *sigStrip, *sigWork)
+		if *jsonOut {
+			out, err := bench.SigBenchJSON(rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				return 1
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Print(bench.RenderSigBench(rep))
+		}
+		if *baseline != "" {
+			base, err := readBaseline(*baseline, bench.ParseSigBench)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whilebench:", err)
+				return 1
+			}
+			if c := guard(bench.CompareSigBench(rep, base, *tol), *baseline, *tol); c != 0 {
 				return c
 			}
 		}

@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"whilepar/internal/sched"
+	"whilepar/internal/sig"
 )
 
 // Engine names one of the execution engines the selector chooses among.
@@ -87,6 +88,14 @@ type Plan struct {
 	// Window is the number of strips in flight: 1 for the stripped
 	// engine, 2 once the pipeline overlaps execution with validation.
 	Window int
+	// Tier is the validation tier granted to the speculative engine: 0
+	// keeps the full element-wise shadow machinery, 1 validates strips
+	// by hash-signature intersection (internal/sig), 2 trusts clean
+	// streaks and runs shadow-free with sampled audits.  The values
+	// mirror speculate.Tier; Decide only grants a tier above 0 on the
+	// Speculative engine with the Stealing schedule and a block-aligned
+	// strip, so worker footprints land on signature-block boundaries.
+	Tier int
 }
 
 // ProbeResult is what the orchestrator learned from running the first
@@ -117,6 +126,19 @@ func ProbeSize(total, procs int) int {
 	if p < 1 {
 		p = 1
 	}
+	// Snap to the signature block grain when the quarter bound leaves
+	// room: the strip engines start exactly where the probe stops, so a
+	// 64-aligned probe keeps every later strip (already sized in
+	// sigBlock*procs multiples by AlignStrip) on block boundaries — the
+	// precondition for the tiered validation's false-positive-free
+	// stealing chunks.  Loops too short to afford a 64-iteration probe
+	// never earn a tier, so nothing is lost below the bound.
+	if q := total / 4; q >= sigBlock {
+		p = (p + sigBlock - 1) / sigBlock * sigBlock
+		if p > q {
+			p = q / sigBlock * sigBlock
+		}
+	}
 	return p
 }
 
@@ -143,6 +165,18 @@ type Profile struct {
 	ViolationRate float64 `json:"violation_rate"`
 	// LastEngine is the engine the previous run ended on.
 	LastEngine Engine `json:"last_engine"`
+	// CleanStreak counts consecutive speculative runs that committed
+	// every strip without a violation or audit failure.  It is the
+	// promotion currency for the validation tiers: a violation does not
+	// just reset it, it quarters it, so a loop that alternates clean
+	// and dirty never accumulates enough credit to shed its shadows.
+	CleanStreak int `json:"clean_streak"`
+	// LastTier is the validation tier the previous run was granted.
+	LastTier int `json:"last_tier"`
+	// LastViolated reports that the previous speculative run saw a real
+	// violation (PD failure or Tier-2 audit failure).  One dirty run
+	// demotes the next run to Tier 0 outright, regardless of the rates.
+	LastViolated bool `json:"last_violated"`
 }
 
 // Sample is one finished run's contribution to a profile.
@@ -157,6 +191,13 @@ type Sample struct {
 	Strips, SeqStrips int
 	// Engine the run ended on.
 	Engine Engine
+	// Tier the run was granted, and whether it saw a real violation
+	// (Violated: a PD-test failure demoted a strip or the whole run) or
+	// a Tier-2 audit failure (AuditFailed).  Tier-1 false positives are
+	// neither — a hash collision costs one re-run, not trust.
+	Tier        int
+	Violated    bool
+	AuditFailed bool
 }
 
 // ewmaAlpha weights the newest sample; 0.3 means ~3-4 runs to converge
@@ -186,13 +227,48 @@ func (p *Profile) apply(s Sample) {
 	// between sequential and a doomed re-speculation every other run).
 	if s.Strips > 0 {
 		p.ViolationRate = ewma(p.ViolationRate, float64(s.SeqStrips)/float64(s.Strips), first)
+		// Streak credit moves the same direction but on a harsher
+		// curve: quartering on a violation means a loop must re-earn
+		// most of its history before the tiers trust it again, while
+		// the EWMA above would forgive in two or three clean runs.
+		if s.Violated || s.AuditFailed {
+			p.CleanStreak /= 4
+			p.LastViolated = true
+		} else if s.SeqStrips == 0 {
+			p.CleanStreak++
+			p.LastViolated = false
+		} else {
+			// Sequential strips without a violation flag are
+			// exceptions or cancellations: not a breach of trust, but
+			// not a clean run either.  Hold the streak.
+			p.LastViolated = false
+		}
+		p.LastTier = s.Tier
 	}
 	p.LastEngine = s.Engine
 }
 
+// StoreSchemaVersion is the version stamped into a ProfileStore's JSON
+// payload.  Bump it whenever Profile gains a field whose zero value
+// would mislead the selector when decoded from an older payload —
+// CleanStreak is exactly such a field: an old profile with a converged
+// violation rate but a zero (really: unrecorded) streak is fine, but
+// the reverse, a future field defaulting to "trusted", would not be.
+// A payload with a different (or missing) version is discarded rather
+// than migrated: profiles are a cache of cheap-to-relearn history, and
+// re-probing for a few runs is strictly safer than guessing what an
+// old field meant.
+const StoreSchemaVersion = 2
+
+// storePayload is the persisted envelope around the profile map.
+type storePayload struct {
+	Version  int                `json:"version"`
+	Profiles map[string]Profile `json:"profiles"`
+}
+
 // ProfileStore is a concurrency-safe collection of Profiles.  The zero
 // value is not usable; call NewProfileStore.  Marshal/Unmarshal round-
-// trip the store as a JSON array sorted by key, so services can persist
+// trip the store as a versioned JSON envelope, so services can persist
 // learned profiles across processes and ship them between hosts.
 type ProfileStore struct {
 	mu       sync.Mutex
@@ -239,23 +315,32 @@ func (s *ProfileStore) Len() int {
 	return len(s.profiles)
 }
 
-// MarshalJSON renders the store as a JSON object keyed by profile key.
+// MarshalJSON renders the store as a versioned envelope holding a JSON
+// object keyed by profile key.
 func (s *ProfileStore) MarshalJSON() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return json.Marshal(s.profiles)
+	return json.Marshal(storePayload{Version: StoreSchemaVersion, Profiles: s.profiles})
 }
 
 // UnmarshalJSON replaces the store's contents with the decoded
-// profiles.
+// profiles.  A syntactically valid payload carrying a different schema
+// version — including the pre-envelope bare-map format, which decodes
+// with version 0 — is discarded silently: the store comes back empty
+// and the selector relearns, which is the correct reading of stale
+// history.  Only malformed JSON is an error.
 func (s *ProfileStore) UnmarshalJSON(data []byte) error {
-	m := make(map[string]Profile)
-	if err := json.Unmarshal(data, &m); err != nil {
+	var p storePayload
+	if err := json.Unmarshal(data, &p); err != nil {
 		return fmt.Errorf("autotune: bad profile store payload: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.profiles = m
+	if p.Version != StoreSchemaVersion || p.Profiles == nil {
+		s.profiles = make(map[string]Profile)
+		return nil
+	}
+	s.profiles = p.Profiles
 	return nil
 }
 
@@ -313,11 +398,78 @@ func Decide(prof Profile, haveProfile bool, remaining, procs int, needsSpec bool
 	}
 	engine := Speculative
 	window := 1
+	tier := DecideTier(prof, haveProfile, schedule)
+	if tier > 0 {
+		// A tiered run stays on the stripped engine: the pipelined
+		// engine only speaks the element-wise protocol, and shedding
+		// the shadows beats hiding them behind the next strip.
+		strip := AlignStrip(InitialStrip(prof, haveProfile, remaining, procs), procs)
+		return Plan{Engine: Speculative, Schedule: schedule, Strip: strip, Window: window, Tier: tier}
+	}
 	if haveProfile && prof.Runs >= 1 && prof.ViolationRate <= 0.05 && prof.TripFraction >= 0.9 {
 		engine = Pipelined
 		window = 2
 	}
 	return Plan{Engine: engine, Schedule: schedule, Strip: InitialStrip(prof, haveProfile, remaining, procs), Window: window}
+}
+
+// Tier promotion thresholds, in consecutive clean speculative runs.
+// Three clean runs buy the signature tier (a false positive there costs
+// one strip re-run, so the bar is low); eight buy the trusted tier,
+// whose audit misses cost a whole-range sequential re-execution and so
+// demand a history long enough that the EWMA rates have converged.
+const (
+	Tier1Streak = 3
+	Tier2Streak = 8
+)
+
+// sigBlock is the signature block grain the tiered engines hash at;
+// strips and worker chunks aligned to it never alias across workers on
+// contiguous schedules.
+const sigBlock = 1 << sig.DefaultBlockShift
+
+// DecideTier maps the profile to the validation tier a speculative run
+// may start at.  The gate is deliberately conservative and, like
+// Decide, fully deterministic:
+//
+//   - any tier above 0 requires an established clean profile (no
+//     violation on the last run, a violation rate within the pipeline
+//     threshold) *and* the Stealing schedule — contiguous per-worker
+//     blocks are what keeps the block-granular signatures free of
+//     false sharing; Dynamic's interleaved chunks would flag every
+//     dense strip;
+//   - Tier 1 (signatures) needs Tier1Streak consecutive clean runs;
+//   - Tier 2 (shadow-free with sampled audits) needs Tier2Streak and a
+//     near-full trip fraction, because its recovery path on a missed
+//     exit or failed audit re-runs the whole range sequentially.
+func DecideTier(prof Profile, haveProfile bool, schedule sched.Schedule) int {
+	if !haveProfile || schedule != sched.Stealing {
+		return 0
+	}
+	if prof.LastViolated || prof.ViolationRate > 0.05 {
+		return 0
+	}
+	switch {
+	case prof.CleanStreak >= Tier2Streak && prof.TripFraction >= 0.95:
+		return 2
+	case prof.CleanStreak >= Tier1Streak:
+		return 1
+	}
+	return 0
+}
+
+// AlignStrip rounds a strip size up to a multiple of sigBlock*procs, so
+// that under the Stealing schedule every worker's contiguous chunk
+// starts and ends on a signature block boundary — adjacent workers then
+// share no block, and a clean strip hashes clean instead of paying a
+// false-positive re-run on every seam.  The orchestrator applies the
+// same rounding when the caller pins a tier by hand.
+func AlignStrip(s, procs int) int {
+	if procs < 1 {
+		procs = 1
+	}
+	grain := sigBlock * procs
+	return (s + grain - 1) / grain * grain
 }
 
 // InitialStrip sizes the first speculative strip: the stripped engines'

@@ -2,6 +2,7 @@ package autotune
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"whilepar/internal/obs"
@@ -12,8 +13,8 @@ func TestProbeSize(t *testing.T) {
 	cases := []struct {
 		total, procs, want int
 	}{
-		{1000, 4, 16},  // floor: 16 > 2*4
-		{1000, 32, 64}, // 2*procs
+		{1000, 4, 64},  // floor 16 > 2*4, snapped up to the sig block grain
+		{1000, 32, 64}, // 2*procs, already on the grain
 		{40, 4, 10},    // capped at total/4
 		{1, 4, 1},      // tiny loop: at least 1
 		{8, 2, 2},      // total/4
@@ -202,5 +203,147 @@ func TestTunerStripNeverBelowFloor(t *testing.T) {
 	}
 	if s := tu.NextStrip(0, 1000); s < 4 {
 		t.Fatalf("strip %d fell below the procs floor", s)
+	}
+}
+
+func TestDecideTier(t *testing.T) {
+	procs := 8
+	clean := func(streak int) Profile {
+		return Profile{Runs: 10, TripFraction: 1, ViolationRate: 0, CleanStreak: streak}
+	}
+	// The tier ladder: below Tier1Streak stays full, then signatures,
+	// then (with a near-full trip fraction) trusted.
+	if got := DecideTier(clean(Tier1Streak-1), true, sched.Stealing); got != 0 {
+		t.Fatalf("streak %d tier = %d, want 0", Tier1Streak-1, got)
+	}
+	if got := DecideTier(clean(Tier1Streak), true, sched.Stealing); got != 1 {
+		t.Fatalf("streak %d tier = %d, want 1", Tier1Streak, got)
+	}
+	if got := DecideTier(clean(Tier2Streak), true, sched.Stealing); got != 2 {
+		t.Fatalf("streak %d tier = %d, want 2", Tier2Streak, got)
+	}
+	// Tier 2 additionally needs a near-full trip fraction: its recovery
+	// path re-runs the whole range, so early exits must be rare.
+	early := clean(Tier2Streak)
+	early.TripFraction = 0.5
+	if got := DecideTier(early, true, sched.Stealing); got != 1 {
+		t.Fatalf("early-exit streak tier = %d, want 1", got)
+	}
+	// No tier without the stealing schedule (interleaved chunks alias
+	// signature blocks) or without a profile at all.
+	if got := DecideTier(clean(Tier2Streak), true, sched.Dynamic); got != 0 {
+		t.Fatalf("dynamic-schedule tier = %d, want 0", got)
+	}
+	if got := DecideTier(clean(Tier2Streak), false, sched.Stealing); got != 0 {
+		t.Fatalf("no-profile tier = %d, want 0", got)
+	}
+	// A violation on the last run, or a non-negligible rate, demotes to
+	// full regardless of streak.
+	dirty := clean(Tier2Streak)
+	dirty.LastViolated = true
+	if got := DecideTier(dirty, true, sched.Stealing); got != 0 {
+		t.Fatalf("last-violated tier = %d, want 0", got)
+	}
+	rate := clean(Tier2Streak)
+	rate.ViolationRate = 0.2
+	if got := DecideTier(rate, true, sched.Stealing); got != 0 {
+		t.Fatalf("violation-rate tier = %d, want 0", got)
+	}
+	// Through Decide itself: a long-clean profile lands on the stripped
+	// engine (not the pipeline) with a tier and a block-aligned strip.
+	p := Decide(clean(Tier2Streak), true, 100_000, procs, true)
+	if p.Engine != Speculative || p.Tier != 2 {
+		t.Fatalf("tiered plan %+v", p)
+	}
+	if p.Strip%(sigBlock*procs) != 0 {
+		t.Fatalf("tiered strip %d not a multiple of %d", p.Strip, sigBlock*procs)
+	}
+}
+
+func TestAlignStrip(t *testing.T) {
+	if got := AlignStrip(1, 4); got != sigBlock*4 {
+		t.Fatalf("AlignStrip(1, 4) = %d, want %d", got, sigBlock*4)
+	}
+	if got := AlignStrip(sigBlock*4, 4); got != sigBlock*4 {
+		t.Fatalf("aligned input moved: %d", got)
+	}
+	if got := AlignStrip(sigBlock*4+1, 4); got != sigBlock*8 {
+		t.Fatalf("AlignStrip rounded %d, want %d", got, sigBlock*8)
+	}
+}
+
+func TestApplyCleanStreakAndViolationCredit(t *testing.T) {
+	st := NewProfileStore()
+	spec := func(s Sample) Sample {
+		s.Total, s.Valid, s.Strips, s.Engine = 100, 100, 4, Speculative
+		return s
+	}
+	for i := 0; i < 8; i++ {
+		st.Record("k", spec(Sample{}))
+	}
+	p, _ := st.Lookup("k")
+	if p.CleanStreak != 8 || p.LastViolated {
+		t.Fatalf("after 8 clean runs: %+v", p)
+	}
+	// A violation quarters the streak — not a reset, but most of the
+	// history is forfeit — and marks the profile dirty for one run.
+	st.Record("k", spec(Sample{SeqStrips: 1, Violated: true, Tier: 1}))
+	p, _ = st.Lookup("k")
+	if p.CleanStreak != 2 || !p.LastViolated || p.LastTier != 1 {
+		t.Fatalf("after violation: %+v", p)
+	}
+	// An exception-only fallback (SeqStrips without the violation flag)
+	// holds the streak rather than growing or quartering it.
+	st.Record("k", spec(Sample{SeqStrips: 1}))
+	p, _ = st.Lookup("k")
+	if p.CleanStreak != 2 || p.LastViolated {
+		t.Fatalf("after exception run: %+v", p)
+	}
+	// A strip-free (sequential/DOALL) run says nothing about the streak.
+	st.Record("k", Sample{Valid: 100, Total: 100, Engine: Sequential})
+	p, _ = st.Lookup("k")
+	if p.CleanStreak != 2 {
+		t.Fatalf("strip-free run moved streak: %+v", p)
+	}
+	// An audit failure burns credit exactly like a violation.
+	st.Record("k", spec(Sample{AuditFailed: true, Tier: 2}))
+	p, _ = st.Lookup("k")
+	if p.CleanStreak != 0 || !p.LastViolated {
+		t.Fatalf("after audit failure: %+v", p)
+	}
+}
+
+func TestProfileStoreSchemaVersioning(t *testing.T) {
+	st := NewProfileStore()
+	st.Record("k", Sample{Valid: 10, Total: 10, Engine: DOALL})
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"version":`) {
+		t.Fatalf("payload missing version envelope: %s", blob)
+	}
+	// The pre-envelope bare-map format decodes as version 0 and is
+	// discarded: the store comes back empty, not erroring.
+	legacy := []byte(`{"old.go:1": {"key": "old.go:1", "runs": 5}}`)
+	back := NewProfileStore()
+	if err := json.Unmarshal(legacy, back); err != nil {
+		t.Fatalf("legacy payload should be discarded, not rejected: %v", err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("legacy payload survived: %d profiles", back.Len())
+	}
+	// So is a future version.
+	future := []byte(`{"version": 99, "profiles": {"k": {"key": "k", "runs": 1}}}`)
+	back = NewProfileStore()
+	if err := json.Unmarshal(future, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("future payload survived: %d profiles", back.Len())
+	}
+	// Malformed JSON is still an error.
+	if err := json.Unmarshal([]byte(`{"version": `), NewProfileStore()); err == nil {
+		t.Fatal("malformed payload accepted")
 	}
 }

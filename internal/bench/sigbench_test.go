@@ -1,0 +1,113 @@
+package bench
+
+import "testing"
+
+func sigReport(hostCPUs int, tier1Speedup, trustedVsDirect float64) SigBenchReport {
+	rep := SigBenchReport{
+		Bench: "sigbench", Procs: 8, HostCPUs: hostCPUs,
+		Iters: 32768, Strip: 1024, Work: 300,
+		Tier1Speedup: tier1Speedup, TrustedVsDirect: trustedVsDirect,
+	}
+	for _, r := range []*SigTierResult{&rep.Full, &rep.Signature, &rep.Trusted} {
+		r.Valid = rep.Iters
+	}
+	return rep
+}
+
+func TestCompareSigBenchGuard(t *testing.T) {
+	base := sigReport(8, 3.0, 1.05)
+
+	// Within tolerance on an equal host: pass.
+	if regs := CompareSigBench(sigReport(8, 2.8, 1.10), base, 0.2); len(regs) != 0 {
+		t.Fatalf("within tolerance flagged: %v", regs)
+	}
+	// Tier-1 speedup collapsing below base*(1-tol) is a regression
+	// (and, below 2.0x, also trips the absolute floor).
+	if regs := CompareSigBench(sigReport(8, 1.5, 1.05), base, 0.2); len(regs) != 2 {
+		t.Fatalf("want relative + absolute tier1 regressions, got %v", regs)
+	}
+	// Trusted overhead growing past base*(1+tol) is a regression.
+	if regs := CompareSigBench(sigReport(8, 3.0, 1.30), base, 0.2); len(regs) != 2 {
+		t.Fatalf("want relative + absolute trusted regressions, got %v", regs)
+	}
+	// Absolute rules: below the 2.0x floor / above the 1.15x ceiling on
+	// a host at least as capable as the recording host fails even when
+	// the relative band allows it.
+	weakBase := sigReport(8, 2.2, 1.13)
+	if regs := CompareSigBench(sigReport(8, 1.9, 1.13), weakBase, 0.2); len(regs) != 1 {
+		t.Fatalf("tier1 below 2.0x must fail absolutely: %v", regs)
+	}
+	if regs := CompareSigBench(sigReport(8, 2.2, 1.16), weakBase, 0.2); len(regs) != 1 {
+		t.Fatalf("trusted above 1.15x must fail absolutely: %v", regs)
+	}
+	// ... but not on a weaker host than the recording one.
+	if regs := CompareSigBench(sigReport(4, 1.9, 1.3), weakBase, 0.2); len(regs) != 0 {
+		t.Fatalf("weaker host must skip the absolute rules: %v", regs)
+	}
+	// A demotion or a short valid count on the clean loop fails.
+	demoted := sigReport(8, 3.0, 1.05)
+	demoted.Trusted.Demoted = true
+	if regs := CompareSigBench(demoted, base, 0.2); len(regs) != 1 {
+		t.Fatalf("clean-loop demotion must fail: %v", regs)
+	}
+	short := sigReport(8, 3.0, 1.05)
+	short.Signature.Valid = 17
+	if regs := CompareSigBench(short, base, 0.2); len(regs) != 1 {
+		t.Fatalf("short valid count must fail: %v", regs)
+	}
+	// Different workload shape: all guards skipped.
+	shaped := base
+	shaped.Iters = 65536
+	if regs := CompareSigBench(sigReport(8, 0.1, 9.9), shaped, 0.2); len(regs) != 0 {
+		t.Fatalf("regime mismatch must skip the guard: %v", regs)
+	}
+}
+
+// TestSigBenchSmall pins the report shape on a tiny workload: every
+// tier produces the full valid count without demotion, the trusted run
+// samples at least one audit, and the ratios are populated.
+func TestSigBenchSmall(t *testing.T) {
+	rep := SigBench(2, 4096, 256, 40)
+	if rep.Bench != "sigbench" || rep.HostCPUs < 1 {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	grain := 64 * rep.Procs
+	if rep.Strip%grain != 0 {
+		t.Fatalf("strip %d not aligned to the %d-element signature grain", rep.Strip, grain)
+	}
+	for _, r := range []SigTierResult{rep.Full, rep.Signature, rep.Trusted} {
+		if r.Valid != rep.Iters {
+			t.Fatalf("%s: valid %d, want %d", r.Name, r.Valid, rep.Iters)
+		}
+		if r.Demoted {
+			t.Fatalf("%s: demoted on the clean loop", r.Name)
+		}
+		if r.Seconds <= 0 {
+			t.Fatalf("%s: degenerate measurement %+v", r.Name, r)
+		}
+	}
+	if rep.Full.Tier != 0 || rep.Signature.Tier != 1 || rep.Trusted.Tier != 2 {
+		t.Fatalf("tier labels wrong: %d/%d/%d", rep.Full.Tier, rep.Signature.Tier, rep.Trusted.Tier)
+	}
+	if rep.Trusted.AuditRuns < 1 {
+		t.Fatalf("trusted run sampled no audits: %+v", rep.Trusted)
+	}
+	if rep.Tier0NsPerElem <= 0 || rep.Tier1NsPerElem <= 0 || rep.Tier1Speedup <= 0 {
+		t.Fatalf("microbench not populated: %+v", rep)
+	}
+	if rep.DirectSeconds <= 0 || rep.TrustedVsDirect <= 0 {
+		t.Fatalf("direct baseline not populated: %+v", rep)
+	}
+}
+
+func TestParseSigBench(t *testing.T) {
+	if _, err := ParseSigBench([]byte(`{"bench":"sigbench"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSigBench([]byte(`{"bench":"membench"}`)); err == nil {
+		t.Fatal("wrong bench kind accepted")
+	}
+	if _, err := ParseSigBench([]byte(`not json`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

@@ -162,6 +162,24 @@ func runInductionAuto(ctx context.Context, l *loopir.Loop[int], cf loopir.Closed
 
 	needsSpec := needsSpeculation(l.Class, opt)
 	plan := autotune.Decide(prof, haveProf, total-probeN, procs, needsSpec)
+	// A pinned Validation overrides the earned tier.  A pinned tier
+	// above full forces the stripped engine (the pipeline is
+	// element-wise only) and the schedule/strip shape the signatures
+	// need: stealing's contiguous chunks on block-aligned strips.
+	switch opt.Validation {
+	case ValidationFull:
+		plan.Tier = 0
+	case ValidationSignature, ValidationTrusted:
+		if plan.Engine == autotune.Pipelined {
+			plan.Engine = autotune.Speculative
+			plan.Window = 1
+		}
+		if plan.Engine == autotune.Speculative {
+			plan.Tier = int(opt.Validation.tier())
+			plan.Schedule = sched.Stealing
+			plan.Strip = autotune.AlignStrip(plan.Strip, procs)
+		}
+	}
 	rep.Strategy = "auto: probe + " + plan.Engine.String()
 
 	switch plan.Engine {
@@ -257,6 +275,7 @@ func runInductionAuto(ctx context.Context, l *loopir.Loop[int], cf loopir.Closed
 		return hi - lo, false
 	}
 	spec := speculate.Spec{Procs: procs, Shared: opt.Shared, Tested: opt.Tested,
+		Tier:    speculate.Tier(plan.Tier),
 		Metrics: opt.Metrics, Tracer: opt.Tracer}
 	tuner := autotune.NewTuner(autotune.TunerConfig{Plan: plan, Procs: procs,
 		Total: total, PipelineOK: true, Metrics: opt.Metrics})
@@ -272,6 +291,10 @@ func runInductionAuto(ctx context.Context, l *loopir.Loop[int], cf loopir.Closed
 	rep.PrefixCommitted = srep.PrefixCommitted
 	rep.Executed, rep.Overshot = executed, overshot
 	rep.Retunes = tuner.Events()
+	rep.ValidationTier = int(srep.Tier)
+	rep.TierDemoted = srep.TierDemoted
+	rep.SigFalsePositives = srep.SigFalsePositives
+	rep.AuditRuns, rep.AuditFailures = srep.AuditRuns, srep.AuditFailures
 	if err != nil {
 		// srep.Valid is the committed-strip prefix on unwind.
 		return finish(rep, opt), err
@@ -279,7 +302,8 @@ func runInductionAuto(ctx context.Context, l *loopir.Loop[int], cf loopir.Closed
 	rep.UsedParallel = srep.Strips > srep.SeqStrips
 	store.Record(key, autotune.Sample{Valid: rep.Valid, Total: total,
 		Ns: rep.ProbeNs, NsIters: pIters,
-		Strips: srep.Strips, SeqStrips: srep.SeqStrips, Engine: plan.Engine})
+		Strips: srep.Strips, SeqStrips: srep.SeqStrips, Engine: plan.Engine,
+		Tier: int(srep.Tier), Violated: srep.TierDemoted, AuditFailed: srep.AuditFailures > 0})
 	recordStats(opt, rep.Valid)
 	return finish(rep, opt), nil
 }

@@ -164,6 +164,11 @@ type Options struct {
 	// ErrDeadline.  Zero means no deadline; negative is rejected by
 	// Validate (ErrBadDeadline).
 	Deadline time.Duration
+	// Validation pins the speculative validation tier (full shadows,
+	// hash signatures, or shadow-free trusted strips with sampled
+	// audits).  The zero value lets the adaptive selector promote and
+	// demote the tier from the loop's clean-run streak; see Validation.
+	Validation Validation
 	// FallbackSequential routes a contained worker panic through the
 	// speculation protocol's sequential fallback (restore + re-execute,
 	// like any exception) instead of returning ErrWorkerPanic.  Only
@@ -291,6 +296,19 @@ type Report struct {
 	// made, in order (nil when none, or when the run was not
 	// auto-tuned).
 	Retunes []autotune.RetuneEvent
+	// ValidationTier is the tier the speculative engine actually ran at
+	// (0 = full element-wise shadows — also the value for executions
+	// that never speculated); TierDemoted reports a mid-run fall back
+	// to the full tier after a violation or audit failure.
+	ValidationTier int
+	TierDemoted    bool
+	// SigFalsePositives counts Tier-1 strips flagged by hash aliasing
+	// whose element-wise re-run found no real violation; AuditRuns and
+	// AuditFailures count Tier-2 sampled audit strips and the ones
+	// whose PD test failed.
+	SigFalsePositives int
+	AuditRuns         int
+	AuditFailures     int
 	// Metrics is a snapshot of the run's counters, taken as the
 	// orchestrator returns; nil unless Options.Metrics was set.
 	Metrics *obs.Snapshot

@@ -60,6 +60,13 @@ var (
 	// ErrBadStrategy: Options.Strategy is not a known Strategy
 	// constant.
 	ErrBadStrategy = errors.New("core: invalid Strategy")
+	// ErrBadValidation: Options.Validation is out of range, or a
+	// signature/trusted tier was pinned alongside a mode that has no
+	// tiered strip path to honour it — SparseUndo and Privatized copies
+	// need the element-wise machinery, RunTwice has no validation phase
+	// at all, and the pipelined engine only speaks the element-wise
+	// protocol.
+	ErrBadValidation = errors.New("core: invalid Validation")
 	// ErrStrategyConflict: an explicit Options.Strategy contradicts a
 	// legacy flag that pins a different engine (e.g. StrategySequential
 	// with Pipeline, or StrategyRunTwice with Recovery).  Redundant
@@ -119,6 +126,23 @@ func (o Options) Validate() error {
 		}
 		if o.RunTwice {
 			return fmt.Errorf("%w: RunTwice has no PD phase to overlap", ErrPipelineUnsupported)
+		}
+	}
+	switch o.Validation {
+	case ValidationAuto, ValidationFull, ValidationSignature, ValidationTrusted:
+	default:
+		return fmt.Errorf("%w: %d", ErrBadValidation, int(o.Validation))
+	}
+	if o.Validation == ValidationSignature || o.Validation == ValidationTrusted {
+		switch {
+		case o.SparseUndo:
+			return fmt.Errorf("%w: %s needs dense stamps, not SparseUndo", ErrBadValidation, o.Validation)
+		case len(o.Privatized) > 0:
+			return fmt.Errorf("%w: %s cannot cover Privatized copies", ErrBadValidation, o.Validation)
+		case o.RunTwice:
+			return fmt.Errorf("%w: RunTwice has no validation phase to tier", ErrBadValidation)
+		case o.Pipeline:
+			return fmt.Errorf("%w: the pipelined engine is element-wise only", ErrBadValidation)
 		}
 	}
 	return nil

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"whilepar/internal/speculate"
+)
+
+// Validation pins the speculative validation tier instead of letting
+// the adaptive selector earn it from the loop's profile.  The zero
+// value, ValidationAuto, is the confidence-gated dial: every call site
+// starts on the full element-wise shadow machinery and is promoted to
+// the cheaper tiers only by consecutive clean runs (see
+// autotune.DecideTier), demoted back the moment a violation or audit
+// failure is observed.
+//
+// The explicit values apply to the strip-mined speculative engines the
+// auto path runs (closed-form induction loops); executions that take
+// the classic whole-loop protocol, or that need no speculation at all,
+// run their usual validation regardless and report the tier they
+// actually used.  Combinations that pin an engine without a tiered
+// strip path — SparseUndo, Privatized copies, RunTwice, Pipeline —
+// are rejected by Validate with ErrBadValidation.
+type Validation int
+
+const (
+	// ValidationAuto lets the profile's clean streak drive the tier.
+	ValidationAuto Validation = iota
+	// ValidationFull pins Tier 0: element-wise time-stamps and shadow
+	// marks on every strip — the oracle, and the only tier that can
+	// recover a failed strip by partial commit.
+	ValidationFull
+	// ValidationSignature pins Tier 1: per-worker hash signatures
+	// validated by pairwise intersection after each strip.  Strictly
+	// conservative — a hash collision re-runs the strip under Tier 0,
+	// a real conflict can never slip through.
+	ValidationSignature
+	// ValidationTrusted pins Tier 2: shadow-free strips with a sampled
+	// audit strip re-run under the full machinery; an audit failure or
+	// missed exit restores a run-start backup and re-runs sequentially.
+	ValidationTrusted
+)
+
+// String names the validation tier request.
+func (v Validation) String() string {
+	switch v {
+	case ValidationAuto:
+		return "auto"
+	case ValidationFull:
+		return "full"
+	case ValidationSignature:
+		return "signature"
+	case ValidationTrusted:
+		return "trusted"
+	}
+	return fmt.Sprintf("validation(%d)", int(v))
+}
+
+// tier maps the pinned request onto the engine's Tier value;
+// ValidationAuto maps to TierFull and the selector overrides it.
+func (v Validation) tier() speculate.Tier {
+	switch v {
+	case ValidationSignature:
+		return speculate.TierSignature
+	case ValidationTrusted:
+		return speculate.TierTrusted
+	}
+	return speculate.TierFull
+}

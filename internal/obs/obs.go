@@ -109,6 +109,14 @@ type Metrics struct {
 	probeRuns        atomic.Int64
 	strategySwitches atomic.Int64
 
+	// Tiered validation (internal/sig signatures and trusted audits).
+	sigValidations atomic.Int64
+	sigConflicts   atomic.Int64
+	sigFalsePos    atomic.Int64
+	tierDemotions  atomic.Int64
+	auditRuns      atomic.Int64
+	auditFailures  atomic.Int64
+
 	mu           sync.Mutex
 	vpnBusy      []*busySlot
 	abortReasons map[string]int64
@@ -508,6 +516,60 @@ func (m *Metrics) StrategySwitch() {
 	m.strategySwitches.Add(1)
 }
 
+// SigValidation records one post-barrier strip verdict computed by
+// pairwise signature intersection instead of the element-wise PD test.
+func (m *Metrics) SigValidation() {
+	if m == nil {
+		return
+	}
+	m.sigValidations.Add(1)
+}
+
+// SigConflict records one signature validation that flagged the strip
+// (a possible conflict; the strip re-runs under the full shadow tier).
+func (m *Metrics) SigConflict() {
+	if m == nil {
+		return
+	}
+	m.sigConflicts.Add(1)
+}
+
+// SigFalsePositive records one flagged strip whose Tier-0 re-run found
+// no real violation — the cost of hash aliasing, never a wrong commit.
+func (m *Metrics) SigFalsePositive() {
+	if m == nil {
+		return
+	}
+	m.sigFalsePos.Add(1)
+}
+
+// TierDemotion records one mid-run validation-tier demotion back to the
+// full element-wise shadow tier after a real violation or audit failure.
+func (m *Metrics) TierDemotion() {
+	if m == nil {
+		return
+	}
+	m.tierDemotions.Add(1)
+}
+
+// AuditRun records one sampled Tier-2 audit strip: a strip re-armed
+// under the full shadow machinery to re-earn the shadow-free trust.
+func (m *Metrics) AuditRun() {
+	if m == nil {
+		return
+	}
+	m.auditRuns.Add(1)
+}
+
+// AuditFailure records one Tier-2 audit strip whose PD test failed —
+// trust is revoked and the run falls back to the exact sequential path.
+func (m *Metrics) AuditFailure() {
+	if m == nil {
+		return
+	}
+	m.auditFailures.Add(1)
+}
+
 // Snapshot is a plain-value copy of all counters, safe to retain after
 // the Metrics keeps accumulating.
 type Snapshot struct {
@@ -592,6 +654,15 @@ type Snapshot struct {
 	// promotions and sequential demotions).
 	ProbeRuns, StrategySwitches int64
 
+	// SigValidations counts strip verdicts computed by signature
+	// intersection; SigConflicts the strips it flagged;
+	// SigFalsePositives the flagged strips whose Tier-0 re-run found no
+	// real violation.  TierDemotions counts mid-run falls back to the
+	// full shadow tier; AuditRuns/AuditFailures describe the Tier-2
+	// sampled audits.
+	SigValidations, SigConflicts, SigFalsePositives int64
+	TierDemotions, AuditRuns, AuditFailures         int64
+
 	// VPNBusy[k] is the number of iterations processor k executed.
 	VPNBusy []int64
 }
@@ -647,6 +718,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		WorkerPanics:           m.workerPanics.Load(),
 		ProbeRuns:              m.probeRuns.Load(),
 		StrategySwitches:       m.strategySwitches.Load(),
+		SigValidations:         m.sigValidations.Load(),
+		SigConflicts:           m.sigConflicts.Load(),
+		SigFalsePositives:      m.sigFalsePos.Load(),
+		TierDemotions:          m.tierDemotions.Load(),
+		AuditRuns:              m.auditRuns.Load(),
+		AuditFailures:          m.auditFailures.Load(),
 	}
 	m.mu.Lock()
 	s.VPNBusy = make([]int64, len(m.vpnBusy))
@@ -703,6 +780,10 @@ func (s Snapshot) String() string {
 	}
 	if s.ProbeRuns > 0 || s.StrategySwitches > 0 {
 		fmt.Fprintf(&b, "autotune:   probes=%d strategy-switches=%d\n", s.ProbeRuns, s.StrategySwitches)
+	}
+	if s.SigValidations > 0 || s.AuditRuns > 0 || s.TierDemotions > 0 {
+		fmt.Fprintf(&b, "tiers:      sig-validations=%d conflicts=%d false-positives=%d audits=%d audit-failures=%d demotions=%d\n",
+			s.SigValidations, s.SigConflicts, s.SigFalsePositives, s.AuditRuns, s.AuditFailures, s.TierDemotions)
 	}
 	fmt.Fprintf(&b, "speculation: attempts=%d commits=%d aborts=%d\n", s.SpecAttempts, s.SpecCommits, s.SpecAborts)
 	if s.RespecRounds > 0 || s.PrefixCommitted > 0 || s.SuffixUndone > 0 {

@@ -1,8 +1,10 @@
 package sched
 
 import (
+	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -12,12 +14,60 @@ import (
 // Spin tuning for the barrier fast path.  A strip-mined loop releases
 // the barrier every few microseconds, so both sides spin briefly on the
 // atomic words — yielding the scheduler periodically to stay fair on
-// oversubscribed hosts — before falling back to a condvar park.
+// oversubscribed hosts — before falling back to a condvar park.  The
+// defaults suit a dedicated host; PoolConfig (or the WHILEPAR_SPIN_*
+// environment variables) retunes them for oversubscribed or
+// latency-insensitive deployments without touching call sites.
 const (
-	spinArrive = 192  // worker iterations on the sense word before parking
-	spinDone   = 1024 // coordinator iterations on the arrival count before parking
-	yieldEvery = 16
+	defaultSpinArrive = 192  // worker iterations on the sense word before parking
+	defaultSpinDone   = 1024 // coordinator iterations on the arrival count before parking
+	yieldEvery        = 16
 )
+
+// envSpin reads the process-wide spin overrides once: a non-negative
+// integer in WHILEPAR_SPIN_ARRIVE / WHILEPAR_SPIN_DONE replaces the
+// corresponding default for every pool that does not set an explicit
+// PoolConfig value.  Malformed or negative values are ignored — a bad
+// environment must never change barrier semantics, only spin budget.
+var envSpin = sync.OnceValues(func() (arrive, done int) {
+	arrive, done = defaultSpinArrive, defaultSpinDone
+	if v, err := strconv.Atoi(os.Getenv("WHILEPAR_SPIN_ARRIVE")); err == nil && v >= 0 {
+		arrive = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("WHILEPAR_SPIN_DONE")); err == nil && v >= 0 {
+		done = v
+	}
+	return arrive, done
+})
+
+// PoolConfig tunes a Pool beyond its worker count.  The zero value of
+// every field means "the default" (after the WHILEPAR_SPIN_ARRIVE /
+// WHILEPAR_SPIN_DONE environment overrides, when set), so
+// NewPoolWith(PoolConfig{Procs: n}) is NewPool(n).
+type PoolConfig struct {
+	// Procs is the worker count (at least 1).
+	Procs int
+	// SpinArrive bounds each worker's spin on the barrier sense word
+	// before it parks on the condvar; SpinDone bounds the coordinator's
+	// spin on the arrival count.  0 means the default; a negative value
+	// disables spinning entirely (park immediately — the right call on
+	// heavily oversubscribed hosts where a spinning worker steals the
+	// cycles the release needs).
+	SpinArrive int
+	SpinDone   int
+}
+
+// spin resolves one configured spin bound against its env-adjusted
+// default.
+func (c PoolConfig) spin(configured, fallback int) int {
+	if configured < 0 {
+		return 0
+	}
+	if configured == 0 {
+		return fallback
+	}
+	return configured
+}
 
 // Pool is a persistent worker-pool executor: p goroutines are spawned
 // once and then parked on a sense-reversing barrier between parallel
@@ -56,7 +106,8 @@ const (
 // are retained unchanged as the equivalence oracle and benchmark
 // baseline.
 type Pool struct {
-	procs int
+	procs                int
+	spinArrive, spinDone int
 
 	sense  atomic.Uint64 // barrier sense word: advances once per region
 	left   atomic.Int64  // workers that have not yet arrived at the barrier
@@ -81,10 +132,22 @@ type Pool struct {
 // caller must Close the pool when done with it; a leaked pool leaks
 // its parked goroutines.
 func NewPool(procs int) *Pool {
+	return NewPoolWith(PoolConfig{Procs: procs})
+}
+
+// NewPoolWith is NewPool with the barrier spin budget under the
+// caller's control; see PoolConfig.
+func NewPoolWith(cfg PoolConfig) *Pool {
+	procs := cfg.Procs
 	if procs < 1 {
 		procs = 1
 	}
-	p := &Pool{procs: procs}
+	envArrive, envDone := envSpin()
+	p := &Pool{
+		procs:      procs,
+		spinArrive: cfg.spin(cfg.SpinArrive, envArrive),
+		spinDone:   cfg.spin(cfg.SpinDone, envDone),
+	}
 	p.cv = sync.NewCond(&p.mu)
 	p.doneCv = sync.NewCond(&p.doneMu)
 	p.wg.Add(procs)
@@ -127,7 +190,7 @@ func (p *Pool) worker(vpn int) {
 // the pool closes (returning false): a bounded spin on the atomic word,
 // then a condvar park announced through the parked counter.
 func (p *Pool) await(seen uint64) bool {
-	for spin := 0; spin < spinArrive; spin++ {
+	for spin := 0; spin < p.spinArrive; spin++ {
 		if p.sense.Load() != seen {
 			return true
 		}
@@ -200,7 +263,7 @@ func (p *Pool) Run(job func(vpn int)) error {
 // awaitDone blocks until every worker has arrived: a bounded spin on
 // the arrival count, then a condvar park announced via coordWaiting.
 func (p *Pool) awaitDone() {
-	for spin := 0; spin < spinDone; spin++ {
+	for spin := 0; spin < p.spinDone; spin++ {
 		if p.left.Load() == 0 {
 			return
 		}

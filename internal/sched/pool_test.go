@@ -263,3 +263,50 @@ func TestPoolReuseAcrossManyDOALLs(t *testing.T) {
 		t.Fatal("no work observed")
 	}
 }
+
+// TestPoolSpinConfig pins the PoolConfig contract: explicit spin
+// budgets and the park-immediately setting must leave barrier
+// semantics untouched — every worker still runs exactly once per
+// dispatch — and the zero value must resolve to the defaults.
+func TestPoolSpinConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  PoolConfig
+	}{
+		{"defaults", PoolConfig{Procs: 4}},
+		{"explicit", PoolConfig{Procs: 4, SpinArrive: 8, SpinDone: 8}},
+		{"park immediately", PoolConfig{Procs: 4, SpinArrive: -1, SpinDone: -1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := NewPoolWith(c.cfg)
+			defer p.Close()
+			var ran [4]atomic.Int64
+			for round := 0; round < 50; round++ {
+				if err := p.Run(func(vpn int) { ran[vpn].Add(1) }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for v := range ran {
+				if got := ran[v].Load(); got != 50 {
+					t.Fatalf("vpn %d ran %d times, want 50", v, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPoolSpinResolution pins the 0-means-default, negative-means-zero
+// convention the env overrides rely on.
+func TestPoolSpinResolution(t *testing.T) {
+	var cfg PoolConfig
+	if got := cfg.spin(0, 192); got != 192 {
+		t.Fatalf("zero resolved to %d, want the 192 fallback", got)
+	}
+	if got := cfg.spin(-1, 192); got != 0 {
+		t.Fatalf("negative resolved to %d, want 0 (park immediately)", got)
+	}
+	if got := cfg.spin(7, 192); got != 7 {
+		t.Fatalf("explicit resolved to %d, want 7", got)
+	}
+}

@@ -1,0 +1,412 @@
+// Package sig implements Tier-1 dependence validation: per-worker
+// read/write hash signatures — Bloom-style fixed-size bitsets over
+// (array, element-block) addresses — marked instead of the PD test's
+// element-wise shadow records, and validated after the strip barrier by
+// pairwise signature intersection in O(signature size) rather than
+// O(touched elements).
+//
+// The verdict is conservative by construction, in both directions that
+// matter:
+//
+//   - false negatives are impossible: membership is never
+//     under-reported.  Every access sets its address's bit in the
+//     owning worker's filter, and Conflict declares a conflict for any
+//     bit present in one worker's write filter and in at least two
+//     workers' filters — a superset of the true cross-worker
+//     write/read and write/write overlaps (hash collisions only add
+//     phantom overlaps, never remove real ones);
+//   - false positives are safe: a flagged strip is simply re-run under
+//     the full Tier-0 shadow machinery, which delivers the exact
+//     element-wise verdict.  A false positive costs one strip
+//     re-execution, never a wrong commit.
+//
+// What pairwise intersection checks is cross-*worker* conflicts, not
+// cross-*iteration* dependences.  Same-worker dependences are honored
+// by execution order instead: each worker executes its iterations in
+// ascending order, so a dependence whose endpoints both ran on one
+// worker was executed in sequential order and the committed values
+// match the sequential loop.  That argument is load-bearing, so the
+// signatures watch it: every mark carries its iteration index, and a
+// worker observed running iterations out of ascending order (e.g. a
+// work-stealing schedule handing a chunk backwards) conservatively
+// poisons the verdict — Conflict returns true and the strip re-runs
+// under Tier 0.
+//
+// Addresses are hashed at 64-element block granularity (Config
+// .BlockShift) with a single probe bit per address (k = 1).  Both
+// choices minimize the filter fill, which is what the pairwise-
+// intersection false-positive rate depends on: two workers with fill
+// f1, f2 share ~Bits*f1*f2 phantom bits, so halving the fill quarters
+// the phantom-overlap rate.  Contiguous per-worker footprints — the
+// block and stealing schedules the promoted clean loops run under —
+// collapse to hi-lo >> BlockShift blocks per worker, keeping the fill
+// (and the measured false-positive rate, see sig_test.go) low.  The
+// block grain also makes range marking O(blocks), mirroring the
+// tsmem/pdtest batched range paths.
+package sig
+
+import (
+	"math/bits"
+
+	"whilepar/internal/arena"
+	"whilepar/internal/mem"
+)
+
+// DefaultBits is the default signature size in bits (8 KiB per
+// filter).  See the package comment and the sizing math in DESIGN.md:
+// at b bits, workers touching n1 and n2 distinct blocks share
+// ~n1*n2/b phantom bits, so 64 Ki bits keeps the expected phantom
+// overlap below 0.1 for the ~50-block contiguous footprints strip-
+// mined clean loops produce.
+const DefaultBits = 1 << 16
+
+// DefaultBlockShift hashes element indexes at 64-element granularity —
+// the same grain as the tsmem block journal, and the reason contiguous
+// footprints have tiny fill.  Two distinct elements in one block alias
+// to one address: a false positive by design, never a false negative.
+const DefaultBlockShift = 6
+
+// Config sizes a signature set.  The zero value selects the defaults.
+type Config struct {
+	// Bits per filter; rounded up to a power of two, minimum 64.
+	Bits int
+	// BlockShift is the element-index right-shift applied before
+	// hashing (0 means DefaultBlockShift; negative means shift 0,
+	// i.e. element-granular hashing).
+	BlockShift int
+}
+
+func (c Config) bits() int {
+	b := c.Bits
+	if b <= 0 {
+		b = DefaultBits
+	}
+	if b < 64 {
+		b = 64
+	}
+	// Round up to a power of two so positions reduce with a mask.
+	p := 64
+	for p < b {
+		p <<= 1
+	}
+	return p
+}
+
+func (c Config) shift() uint {
+	switch {
+	case c.BlockShift == 0:
+		return DefaultBlockShift
+	case c.BlockShift < 0:
+		return 0
+	}
+	return uint(c.BlockShift)
+}
+
+// wordPool recycles filter backing slices across engine invocations;
+// each worker's filters are separate pool allocations, so two workers
+// never share a backing array (no false sharing on the hot mark path).
+var wordPool = arena.NewSlicePool[uint64]()
+
+// worker is one virtual processor's signature pair plus the execution-
+// order watchdog.  The trailing pad keeps adjacent workers' hot fields
+// (lastIter, ooo and the slice headers) on distinct cache lines.
+type worker struct {
+	rd, wr []uint64
+	// dirtyRd/dirtyWr journal the word indexes holding at least one
+	// bit, so Reset clears O(touched words), not O(filter).
+	dirtyRd, dirtyWr []int
+	// lastIter watches per-worker execution order; ooo latches a mark
+	// whose iteration ran backwards (see the package comment).
+	lastIter int
+	started  bool
+	ooo      bool
+	// lastRdKey/lastWrKey memoize the most recent marked hash key
+	// (salt ^ block index) per filter.  Key equality implies bit
+	// equality, and set is idempotent, so a repeat of the previous key
+	// skips the mix64+set — which turns the dominant access pattern of
+	// strip-mined loops (runs of consecutive indexes inside one
+	// 64-element block) into a shift, an xor and a compare.  Invariant:
+	// when the memo flag is set, bit pos(lastKey) is set in the filter;
+	// Reset clears the filters and must clear the memos with them.
+	lastRdKey, lastWrKey uint64
+	rdMemo, wrMemo       bool
+	_                    [22]byte
+}
+
+// Sigs is a per-worker read/write signature set over a fixed list of
+// arrays.  Mark* methods are safe for concurrent use by different
+// workers (vpn values); two goroutines must not share a vpn.
+type Sigs struct {
+	words int
+	mask  uint64
+	shift uint
+	// a0/salt0 cache the first registered array's salt so the
+	// overwhelmingly common one-array case resolves with a pointer
+	// compare, keeping the Mark* fast path within the inlining budget.
+	a0    *mem.Array
+	salt0 uint64
+	// salts maps each registered array to its hash salt by pointer
+	// scan — a handful of entries, cheaper than a map hash per access.
+	salts []arraySalt
+	ws    []worker
+	// seen/seenGen deduplicate the workers' dirty-word journals into
+	// touched when Conflict builds its worklist (generation-tagged so
+	// no per-verdict clear is needed).  Coordinator-only state: Conflict
+	// runs after the strip barrier, never concurrently with Mark*.
+	seen    []uint32
+	seenGen uint32
+	touched []int
+}
+
+type arraySalt struct {
+	a    *mem.Array
+	salt uint64
+}
+
+// New builds a signature set for procs workers over the given arrays.
+func New(procs int, arrays []*mem.Array, cfg Config) *Sigs {
+	if procs < 1 {
+		procs = 1
+	}
+	nbits := cfg.bits()
+	s := &Sigs{
+		words: nbits / 64,
+		mask:  uint64(nbits - 1),
+		shift: cfg.shift(),
+		ws:    make([]worker, procs),
+	}
+	for i, a := range arrays {
+		s.salts = append(s.salts, arraySalt{a: a, salt: mix64(uint64(i+1) * 0x9e3779b97f4a7c15)})
+	}
+	if len(s.salts) > 0 {
+		s.a0, s.salt0 = s.salts[0].a, s.salts[0].salt
+	}
+	s.seen = make([]uint32, s.words)
+	for k := range s.ws {
+		w := &s.ws[k]
+		w.rd = wordPool.GetZeroed(s.words)
+		w.wr = wordPool.GetZeroed(s.words)
+		w.dirtyRd = arena.Ints(64)
+		w.dirtyWr = arena.Ints(64)
+	}
+	return s
+}
+
+// Procs returns the number of worker slots.
+func (s *Sigs) Procs() int { return len(s.ws) }
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// salt returns the hash salt for a registered array; unregistered
+// arrays share a fixed salt (their accesses still conflict soundly
+// with each other, just never distinguished by array).  The first
+// registered array — the only one, in almost every engine run — hits
+// the cached compare; the scan is the multi-array slow path.
+func (s *Sigs) salt(a *mem.Array) uint64 {
+	if a == s.a0 {
+		return s.salt0
+	}
+	return s.saltSlow(a)
+}
+
+func (s *Sigs) saltSlow(a *mem.Array) uint64 {
+	for i := range s.salts {
+		if s.salts[i].a == a {
+			return s.salts[i].salt
+		}
+	}
+	return 0x9e3779b97f4a7c15
+}
+
+// pos maps one (array, element) address to its filter bit position.
+func (s *Sigs) pos(a *mem.Array, idx int) uint64 {
+	return mix64(s.salt(a)^uint64(idx)>>s.shift) & s.mask
+}
+
+func (w *worker) order(iter int) {
+	if w.started && iter < w.lastIter {
+		w.ooo = true
+	}
+	w.lastIter = iter
+	w.started = true
+}
+
+func set(words []uint64, dirty *[]int, pos uint64) {
+	wi := pos >> 6
+	b := uint64(1) << (pos & 63)
+	if words[wi] == 0 {
+		*dirty = append(*dirty, int(wi))
+	}
+	words[wi] |= b
+}
+
+// MarkLoad records a read of a[idx] by iteration iter on worker vpn.
+// The memo-hit fast path (a repeat of the previous block on the same
+// worker) inlines into the caller; only a fresh block pays the
+// hash+set in loadMiss.
+func (s *Sigs) MarkLoad(a *mem.Array, idx, iter, vpn int) {
+	w := &s.ws[vpn]
+	w.order(iter)
+	key := s.salt(a) ^ uint64(idx)>>s.shift
+	if !w.rdMemo || key != w.lastRdKey {
+		w.loadMiss(key, s.mask)
+	}
+}
+
+func (w *worker) loadMiss(key, mask uint64) {
+	w.lastRdKey, w.rdMemo = key, true
+	set(w.rd, &w.dirtyRd, mix64(key)&mask)
+}
+
+// MarkStore records a write of a[idx] by iteration iter on worker vpn.
+func (s *Sigs) MarkStore(a *mem.Array, idx, iter, vpn int) {
+	w := &s.ws[vpn]
+	w.order(iter)
+	key := s.salt(a) ^ uint64(idx)>>s.shift
+	if !w.wrMemo || key != w.lastWrKey {
+		w.storeMiss(key, s.mask)
+	}
+}
+
+func (w *worker) storeMiss(key, mask uint64) {
+	w.lastWrKey, w.wrMemo = key, true
+	set(w.wr, &w.dirtyWr, mix64(key)&mask)
+}
+
+// MarkLoadRange records reads of a[lo:hi] — one bit per touched
+// 64-element block, so a contiguous range costs O(blocks) marks.
+func (s *Sigs) MarkLoadRange(a *mem.Array, lo, hi, iter, vpn int) {
+	if hi <= lo {
+		return
+	}
+	w := &s.ws[vpn]
+	w.order(iter)
+	salt := s.salt(a)
+	for b := lo >> s.shift; b <= (hi-1)>>s.shift; b++ {
+		set(w.rd, &w.dirtyRd, mix64(salt^uint64(b))&s.mask)
+	}
+}
+
+// MarkStoreRange records writes of a[lo:hi] at block granularity.
+func (s *Sigs) MarkStoreRange(a *mem.Array, lo, hi, iter, vpn int) {
+	if hi <= lo {
+		return
+	}
+	w := &s.ws[vpn]
+	w.order(iter)
+	salt := s.salt(a)
+	for b := lo >> s.shift; b <= (hi-1)>>s.shift; b++ {
+		set(w.wr, &w.dirtyWr, mix64(salt^uint64(b))&s.mask)
+	}
+}
+
+// Conflict validates the strip by pairwise signature intersection: it
+// reports true if any bit is present in one worker's write filter and
+// in the filters of at least two distinct workers — i.e. some address
+// (or a hash alias of one) was written by a worker and touched by
+// another — or if any worker ran its iterations out of ascending
+// order, which voids the same-worker ordering argument.
+//
+// A word with no set bit in any filter cannot witness a conflict, so
+// the check visits only the union of the dirty-word journals —
+// O(procs x touched words), not O(procs x signature words).  A
+// strip-sized contiguous footprint touches a few dozen words of a
+// 1024-word filter, which keeps the verdict cost proportional to the
+// strip, the same bound the marking side already obeys.
+func (s *Sigs) Conflict() bool {
+	for k := range s.ws {
+		if s.ws[k].ooo {
+			return true
+		}
+	}
+	s.seenGen++
+	if s.seenGen == 0 {
+		for i := range s.seen {
+			s.seen[i] = 0
+		}
+		s.seenGen = 1
+	}
+	touched := s.touched[:0]
+	for k := range s.ws {
+		w := &s.ws[k]
+		for _, j := range w.dirtyWr {
+			if s.seen[j] != s.seenGen {
+				s.seen[j] = s.seenGen
+				touched = append(touched, j)
+			}
+		}
+		// Read-only words can complete a conflict only against some
+		// worker's write word, and that word is already in the union
+		// via its own dirtyWr entry — so dirtyRd need not seed the
+		// worklist.
+	}
+	s.touched = touched
+	for _, j := range touched {
+		var one, two, anyWr uint64
+		for k := range s.ws {
+			w := &s.ws[k]
+			acc := w.rd[j] | w.wr[j]
+			two |= one & acc
+			one |= acc
+			anyWr |= w.wr[j]
+		}
+		if anyWr&two != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears every filter for the next strip in O(touched words).
+func (s *Sigs) Reset() {
+	for k := range s.ws {
+		w := &s.ws[k]
+		for _, wi := range w.dirtyRd {
+			w.rd[wi] = 0
+		}
+		for _, wi := range w.dirtyWr {
+			w.wr[wi] = 0
+		}
+		w.dirtyRd = w.dirtyRd[:0]
+		w.dirtyWr = w.dirtyWr[:0]
+		w.lastIter, w.started, w.ooo = 0, false, false
+		w.rdMemo, w.wrMemo = false, false
+	}
+}
+
+// Release returns the filter buffers to the arena.  The Sigs must not
+// be used afterwards.
+func (s *Sigs) Release() {
+	for k := range s.ws {
+		w := &s.ws[k]
+		wordPool.Put(w.rd)
+		wordPool.Put(w.wr)
+		arena.PutInts(w.dirtyRd)
+		arena.PutInts(w.dirtyWr)
+		w.rd, w.wr, w.dirtyRd, w.dirtyWr = nil, nil, nil, nil
+	}
+}
+
+// Stats reports the filter geometry and current fill for reports and
+// benchmarks: total set bits across read and write filters, and the
+// configured size in bits per filter.
+func (s *Sigs) Stats() (setBits, totalBits int) {
+	for k := range s.ws {
+		w := &s.ws[k]
+		for _, wi := range w.dirtyRd {
+			setBits += bits.OnesCount64(w.rd[wi])
+		}
+		for _, wi := range w.dirtyWr {
+			setBits += bits.OnesCount64(w.wr[wi])
+		}
+	}
+	return setBits, s.words * 64
+}

@@ -22,6 +22,7 @@ import (
 	"whilepar/internal/obs"
 	"whilepar/internal/pdtest"
 	"whilepar/internal/priv"
+	"whilepar/internal/sig"
 	"whilepar/internal/tsmem"
 )
 
@@ -64,6 +65,22 @@ type Spec struct {
 	// zero value) or the element-journal oracle (tsmem.JournalElement).
 	// Benchmarks A/B the two; production callers leave it zero.
 	Journal tsmem.Journal
+	// Tier selects the strip engines' validation dial (see Tier): the
+	// full element-wise shadow oracle (zero value), Tier-1 hash-
+	// signature validation, or Tier-2 shadow-free trusted execution
+	// with sampled audits.  Modes that need the element-wise machinery
+	// (SparseUndo, Privatized) clamp it back to TierFull, and the
+	// plain, windowed and pipelined engines always run TierFull.
+	Tier Tier
+	// Sig sizes the Tier-1 signatures (zero value selects defaults).
+	Sig sig.Config
+	// AuditEvery is the Tier-2 audit sampling period: one strip in this
+	// many re-runs under the full machinery (0 = DefaultAuditEvery).
+	AuditEvery int
+	// AuditPhase pins which strip of each audit period is sampled:
+	// 0 picks a random phase per run; n > 0 audits phase
+	// (n-1) % AuditEvery deterministically (for tests).
+	AuditPhase int
 	// Recovery configures partial-commit misspeculation recovery: on a
 	// failed PD test the valid prefix below the first violating
 	// iteration is kept, only the suffix's stamped stores are undone,

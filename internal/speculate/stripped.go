@@ -6,8 +6,6 @@ import (
 
 	"whilepar/internal/cancel"
 	"whilepar/internal/mem"
-	"whilepar/internal/obs"
-	"whilepar/internal/pdtest"
 )
 
 // StripReport describes a strip-mined speculative execution.
@@ -33,12 +31,27 @@ type StripReport struct {
 	// Done reports whether the loop terminated within the bound (vs
 	// exhausting Total iterations).
 	Done bool
+	// Tier is the validation tier the run was granted at entry (after
+	// engine clamping); TierDemoted reports a mid-run fall back to
+	// TierFull after a real violation or audit failure.
+	Tier        Tier
+	TierDemoted bool
+	// SigFalsePositives counts Tier-1 flagged strips whose Tier-0
+	// re-run found no real violation (hash aliasing — one strip
+	// re-execution each, never a wrong commit).
+	SigFalsePositives int
+	// AuditRuns counts Tier-2 strips re-armed under the full shadow
+	// machinery; AuditFailures the ones whose PD test failed.
+	AuditRuns, AuditFailures int
 }
 
 // StripPar executes one strip [lo, hi) in parallel under the given
 // tracker and returns the number of valid iterations *within the strip*
 // and whether the termination condition was met in it.  An error is an
-// exception (triggers the strip's sequential fallback).
+// exception (triggers the strip's sequential fallback).  tr is nil when
+// the engine runs the strip shadow-free (TierTrusted's direct strips):
+// the body must then access the arrays directly — loopir.Iter already
+// does exactly that for a nil Tracker.
 type StripPar func(tr mem.Tracker, lo, hi int) (valid int, done bool, err error)
 
 // StripSeq re-executes one strip sequentially (after a failed strip) and
@@ -88,139 +101,35 @@ func RunStrippedCtx(ctx context.Context, spec Spec, total, strip int, par StripP
 		procs = 1
 	}
 
-	mx, tr := spec.Metrics, spec.Tracer
-
-	// One memory and one shadow set serve every strip: the per-strip
-	// reset is an epoch bump plus a shadow Reset, so the bounded-memory
-	// property still holds — live stamps and marks cover only the
-	// current strip — without paying a fresh allocation and
-	// O(procs x n) clear per strip.  Their buffers go back to the
-	// shared arena when the engine returns.
-	ts := spec.newMemory(procs)
-	ts.SetObs(mx, tr)
-	var tests []*pdtest.Test
-	for _, a := range spec.Tested {
-		t := pdtest.New(a, procs)
-		t.SetObs(mx, tr)
-		tests = append(tests, t)
-	}
-	defer func() {
-		ts.Release()
-		for _, t := range tests {
-			t.Release()
-		}
-	}()
-	tracker := newFusedTracker(ts, tests)
-
-	// pending carries the previous strip's write-set so Rearm can
-	// refresh the checkpoint incrementally — O(strip writes) instead of
-	// O(n) per strip.  nil forces a full Checkpoint (first strip, and
-	// after any sequential fallback, whose untracked writes invalidate
-	// the incremental invariant).
-	var pending [][]int
-
+	// One memory, one shadow set (and, above TierFull, one signature
+	// set) serve every strip: the per-strip reset is an epoch bump plus
+	// a shadow Reset, so the bounded-memory property still holds — live
+	// stamps and marks cover only the current strip — without paying a
+	// fresh allocation and O(procs x n) clear per strip.  Their buffers
+	// go back to the shared arena when the engine returns.  The strip
+	// verdict itself — run, validate at the spec's tier, commit or
+	// recover — lives in the tier runtime (tier.go); this loop keeps
+	// only the schedule.
 	var rep StripReport
+	rt := newTierRuntime(spec, procs, 0, total, &rep)
+	defer rt.release()
+
 	for lo := 0; lo < total; lo += strip {
 		if cerr := cancel.Err(ctx); cerr != nil {
 			// Strips committed so far are final; nothing of the next
 			// one has started, so there is nothing to rewind.
-			mx.CtxCancel()
+			spec.Metrics.CtxCancel()
 			return rep, cerr
 		}
 		hi := lo + strip
 		if hi > total {
 			hi = total
 		}
-		rep.Strips++
-		mx.SpecAttempt()
-		stripStart := obs.Start(tr)
-
-		ts.Rearm(pending)
-		for _, t := range tests {
-			t.Reset()
-		}
-
-		valid, done, err := par(tracker, lo, hi)
-		if spec.wantsUnwind(err) {
-			mx.SpecAbort(fmt.Sprintf("strip [%d,%d) unwound: %v", lo, hi, err))
-			if rerr := ts.RestoreAll(); rerr != nil {
-				return rep, rerr
-			}
+		_, _, stop, err := rt.step(lo, hi, par, seq)
+		if err != nil {
 			return rep, err
 		}
-		ok := err == nil && valid >= 0 && valid <= hi-lo
-		firstViol := -1
-		if ok {
-			for _, t := range tests {
-				// Iterations are stamped with their global indices.
-				r := t.Analyze(lo + valid)
-				if !r.DOALL {
-					ok = false
-					if r.FirstViolation >= 0 && (firstViol < 0 || r.FirstViolation < firstViol) {
-						firstViol = r.FirstViolation
-					}
-				}
-			}
-		}
-		if !ok {
-			reason := fmt.Sprintf("strip [%d,%d) failed validation", lo, hi)
-			if err != nil {
-				reason = fmt.Sprintf("strip [%d,%d) exception: %v", lo, hi, err)
-			}
-			mx.SpecAbort(reason)
-			if spec.Recovery.Enabled && err == nil && firstViol > lo {
-				// Strip-local partial commit: keep the prefix below the
-				// earliest violating iteration, rewind only the suffix,
-				// and re-execute just [firstViol, hi) sequentially.
-				restored, perr := ts.PartialCommit(firstViol)
-				if perr != nil {
-					return rep, perr
-				}
-				rep.Undone += restored
-				rep.PrefixCommitted += firstViol - lo
-				mx.PrefixCommittedAdd(firstViol - lo)
-				mx.RespecRound()
-				rep.SeqStrips++
-				sv, sdone := seq(firstViol, hi)
-				valid, done = (firstViol-lo)+sv, sdone
-			} else {
-				if rerr := ts.RestoreAll(); rerr != nil {
-					return rep, rerr
-				}
-				rep.SeqStrips++
-				valid, done = seq(lo, hi)
-			}
-			// The sequential runner wrote the arrays directly, invisibly
-			// to the write-set journals: the incremental checkpoint
-			// premise is gone until the next full Checkpoint.
-			ts.InvalidateCheckpoint()
-			pending = nil
-		} else {
-			// What this strip wrote is exactly what the next strip's
-			// checkpoint must refresh.  (Undo restores some of those
-			// locations to their checkpoint values; re-copying them is
-			// merely redundant, not wrong.)
-			pending = ts.WriteSet()
-			if valid < hi-lo || done {
-				// Undo the strip's overshoot (stamps carry global
-				// indices).
-				undone, uerr := ts.Undo(lo + valid)
-				if uerr != nil {
-					return rep, uerr
-				}
-				rep.Undone += undone
-				done = true
-			}
-		}
-		if ok {
-			mx.SpecCommit()
-		}
-		if tr != nil {
-			obs.Span(tr, stripStart, "strip", "speculate", 0, map[string]any{"lo": lo, "hi": hi, "valid": valid, "committed": ok})
-		}
-		rep.Valid += valid
-		if done {
-			rep.Done = true
+		if stop {
 			return rep, nil
 		}
 	}

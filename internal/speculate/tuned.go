@@ -5,8 +5,6 @@ import (
 	"fmt"
 
 	"whilepar/internal/cancel"
-	"whilepar/internal/obs"
-	"whilepar/internal/pdtest"
 )
 
 // StripController steers a tuned strip-mined execution.  It is defined
@@ -59,33 +57,20 @@ func RunTunedCtx(ctx context.Context, spec Spec, start, total int, ctl StripCont
 	if procs < 1 {
 		procs = 1
 	}
-	mx, tr := spec.Metrics, spec.Tracer
+	var rep StripReport
+	rt := newTierRuntime(spec, procs, start, total, &rep)
+	defer rt.release()
 	// The pipeline hand-off double-buffers checkpoints; modes a squash
 	// cannot erase stay on the stripped path regardless of what the
-	// controller asks.
-	pipelineOK := !spec.SparseUndo && len(spec.Privatized) == 0
+	// controller asks — and so do runs granted a tier above TierFull,
+	// because the pipelined engine only speaks the element-wise
+	// protocol.
+	pipelineOK := !spec.SparseUndo && len(spec.Privatized) == 0 &&
+		rt.chosen == TierFull
 
-	ts := spec.newMemory(procs)
-	ts.SetObs(mx, tr)
-	var tests []*pdtest.Test
-	for _, a := range spec.Tested {
-		t := pdtest.New(a, procs)
-		t.SetObs(mx, tr)
-		tests = append(tests, t)
-	}
-	defer func() {
-		ts.Release()
-		for _, t := range tests {
-			t.Release()
-		}
-	}()
-	tracker := newFusedTracker(ts, tests)
-
-	var pending [][]int
-	var rep StripReport
 	for lo := start; lo < total; {
 		if cerr := cancel.Err(ctx); cerr != nil {
-			mx.CtxCancel()
+			spec.Metrics.CtxCancel()
 			return rep, cerr
 		}
 		strip := ctl.NextStrip(lo, total)
@@ -96,84 +81,12 @@ func RunTunedCtx(ctx context.Context, spec Spec, start, total int, ctl StripCont
 		if hi > total {
 			hi = total
 		}
-		rep.Strips++
-		mx.SpecAttempt()
-		stripStart := obs.Start(tr)
-
-		ts.Rearm(pending)
-		for _, t := range tests {
-			t.Reset()
-		}
-
-		valid, done, err := par(tracker, lo, hi)
-		if spec.wantsUnwind(err) {
-			mx.SpecAbort(fmt.Sprintf("strip [%d,%d) unwound: %v", lo, hi, err))
-			if rerr := ts.RestoreAll(); rerr != nil {
-				return rep, rerr
-			}
+		valid, committed, stop, err := rt.step(lo, hi, par, seq)
+		if err != nil {
 			return rep, err
 		}
-		ok := err == nil && valid >= 0 && valid <= hi-lo
-		firstViol := -1
-		if ok {
-			for _, t := range tests {
-				r := t.Analyze(lo + valid)
-				if !r.DOALL {
-					ok = false
-					if r.FirstViolation >= 0 && (firstViol < 0 || r.FirstViolation < firstViol) {
-						firstViol = r.FirstViolation
-					}
-				}
-			}
-		}
-		if !ok {
-			reason := fmt.Sprintf("strip [%d,%d) failed validation", lo, hi)
-			if err != nil {
-				reason = fmt.Sprintf("strip [%d,%d) exception: %v", lo, hi, err)
-			}
-			mx.SpecAbort(reason)
-			if spec.Recovery.Enabled && err == nil && firstViol > lo {
-				restored, perr := ts.PartialCommit(firstViol)
-				if perr != nil {
-					return rep, perr
-				}
-				rep.Undone += restored
-				rep.PrefixCommitted += firstViol - lo
-				mx.PrefixCommittedAdd(firstViol - lo)
-				mx.RespecRound()
-				rep.SeqStrips++
-				sv, sdone := seq(firstViol, hi)
-				valid, done = (firstViol-lo)+sv, sdone
-			} else {
-				if rerr := ts.RestoreAll(); rerr != nil {
-					return rep, rerr
-				}
-				rep.SeqStrips++
-				valid, done = seq(lo, hi)
-			}
-			ts.InvalidateCheckpoint()
-			pending = nil
-		} else {
-			pending = ts.WriteSet()
-			if valid < hi-lo || done {
-				undone, uerr := ts.Undo(lo + valid)
-				if uerr != nil {
-					return rep, uerr
-				}
-				rep.Undone += undone
-				done = true
-			}
-		}
-		if ok {
-			mx.SpecCommit()
-		}
-		if tr != nil {
-			obs.Span(tr, stripStart, "strip", "speculate", 0, map[string]any{"lo": lo, "hi": hi, "valid": valid, "committed": ok})
-		}
-		rep.Valid += valid
-		ctl.Observe(lo, valid, hi, ok)
-		if done {
-			rep.Done = true
+		ctl.Observe(lo, valid, hi, committed)
+		if stop {
 			return rep, nil
 		}
 		lo = hi

@@ -44,6 +44,10 @@ var (
 	ErrBadDeadline = core.ErrBadDeadline
 	// ErrBadStrategy: Options.Strategy is not a known Strategy constant.
 	ErrBadStrategy = core.ErrBadStrategy
+	// ErrBadValidation: Options.Validation is out of range, or a
+	// signature/trusted tier was pinned alongside a mode with no tiered
+	// strip path (SparseUndo, Privatized, RunTwice, Pipeline).
+	ErrBadValidation = core.ErrBadValidation
 	// ErrStrategyConflict: an explicit Options.Strategy contradicts a
 	// legacy engine flag (e.g. StrategySequential with Pipeline).
 	ErrStrategyConflict = core.ErrStrategyConflict

@@ -144,6 +144,25 @@ const (
 	StrategyPipeline = core.StrategyPipeline
 )
 
+// Validation pins the speculative validation tier: full element-wise
+// shadows, per-worker hash signatures, or shadow-free trusted strips
+// with sampled audits.  The zero value, ValidationAuto, is the
+// confidence-gated dial — tiers are earned by consecutive clean runs
+// of the loop's profile and revoked on the first violation.
+type Validation = core.Validation
+
+// Validation tiers.
+const (
+	// ValidationAuto lets the profile's clean streak drive the tier.
+	ValidationAuto = core.ValidationAuto
+	// ValidationFull pins the element-wise shadow machinery (Tier 0).
+	ValidationFull = core.ValidationFull
+	// ValidationSignature pins hash-signature validation (Tier 1).
+	ValidationSignature = core.ValidationSignature
+	// ValidationTrusted pins shadow-free audited strips (Tier 2).
+	ValidationTrusted = core.ValidationTrusted
+)
+
 // Profile is a loop's learned execution history: smoothed per-iteration
 // cost, trip fraction and violation rate, plus the engine last chosen.
 type Profile = autotune.Profile
