@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race check lint bench gobench bench-smoke bench-compare bench-profile tables api api-check
+.PHONY: all fmt vet build test race check lint bench gobench bench-smoke bench-compare bench-profile tables api api-check serve-smoke
 
 all: check
 
@@ -107,6 +107,11 @@ bench-profile:
 
 gobench:
 	$(GO) test -bench=. -benchmem ./...
+
+# End-to-end service smoke: boot whilepard in-process, submit a .while
+# job and a native job over HTTP, wait for both, scrape /metrics.
+serve-smoke:
+	$(GO) run ./cmd/whilepard -smoke
 
 tables:
 	$(GO) run ./cmd/whilebench -all

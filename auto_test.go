@@ -22,19 +22,15 @@ func TestStrategyValidationTable(t *testing.T) {
 		want error
 	}{
 		{"bad value", Options{Strategy: Strategy(99)}, ErrBadStrategy},
-		{"sequential+pipeline", Options{Strategy: StrategySequential, Pipeline: true}, ErrStrategyConflict},
-		{"sequential+runtwice", Options{Strategy: StrategySequential, RunTwice: true}, ErrStrategyConflict},
-		{"sequential+recovery", Options{Strategy: StrategySequential, Recovery: true}, ErrStrategyConflict},
-		{"speculate+pipeline", Options{Strategy: StrategySpeculate, Pipeline: true}, ErrStrategyConflict},
-		{"speculate+runtwice", Options{Strategy: StrategySpeculate, RunTwice: true}, ErrStrategyConflict},
-		{"runtwice+recovery", Options{Strategy: StrategyRunTwice, Recovery: true}, ErrStrategyConflict},
-		{"runtwice+pipeline", Options{Strategy: StrategyRunTwice, Pipeline: true}, ErrStrategyConflict},
-		{"recover+runtwice", Options{Strategy: StrategyRecover, RunTwice: true}, ErrStrategyConflict},
-		{"pipeline+runtwice", Options{Strategy: StrategyPipeline, RunTwice: true}, ErrStrategyConflict},
-		{"redundant pipeline", Options{Strategy: StrategyPipeline, Pipeline: true}, nil},
-		{"redundant recovery", Options{Strategy: StrategyRecover, Recovery: true}, nil},
-		{"pipeline+recovery composes", Options{Strategy: StrategyPipeline, Recovery: true}, nil},
-		{"auto with legacy flags", Options{Pipeline: true}, nil},
+		{"negative value", Options{Strategy: Strategy(-1)}, ErrBadStrategy},
+		{"runtwice+tested", Options{Strategy: StrategyRunTwice, Tested: []*Array{NewArray("T", 4)}}, ErrRunTwiceUnanalyzable},
+		{"recover+sparse", Options{Strategy: StrategyRecover, SparseUndo: true}, ErrRecoveryUnsupported},
+		{"pipeline+sparse", Options{Strategy: StrategyPipeline, SparseUndo: true}, ErrPipelineUnsupported},
+		{"sequential", Options{Strategy: StrategySequential}, nil},
+		{"speculate", Options{Strategy: StrategySpeculate}, nil},
+		{"runtwice", Options{Strategy: StrategyRunTwice}, nil},
+		{"recover", Options{Strategy: StrategyRecover}, nil},
+		{"pipeline", Options{Strategy: StrategyPipeline}, nil},
 		{"zero value", Options{}, nil},
 	}
 	for _, c := range cases {

@@ -492,6 +492,15 @@ func obsDemo(procs int, printMetrics bool, tracePath string) error {
 	if printMetrics {
 		fmt.Println()
 		fmt.Print(rep.Metrics.String())
+		// The structured view of the same snapshot: every scalar
+		// counter as a (name, value) pair, the form whilepard's
+		// /metrics endpoint exports.  Zero counters are elided.
+		fmt.Println("\ncounters (structured):")
+		for _, c := range rep.Metrics.Counters() {
+			if c.Value != 0 {
+				fmt.Printf("  %-28s %d\n", c.Name, c.Value)
+			}
+		}
 	}
 	if tracePath != "" {
 		if err := tr.WriteFile(tracePath); err != nil {

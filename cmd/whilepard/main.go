@@ -1,0 +1,257 @@
+// Command whilepard serves whilepar loop executions over HTTP/JSON.
+//
+// One process owns one shared worker pool; every submitted job — a
+// .while program or a pre-registered native loop body — is admitted
+// through a rate limiter and a bounded priority queue, executed on
+// that pool, and observable through per-job status endpoints and a
+// Prometheus-style /metrics page.
+//
+// Usage:
+//
+//	whilepard                        # listen on :8421
+//	whilepard -addr :9000 -procs 8   # custom port and pool width
+//	whilepard -rate 50 -burst 100    # admission rate limiting
+//	whilepard -smoke                 # in-process smoke test: submit a
+//	                                 # .while job and a native job,
+//	                                 # scrape /metrics, exit 0/1
+//
+// Endpoints:
+//
+//	POST   /v1/jobs            submit (JSON JobSpec)     -> 202 {"id"}
+//	GET    /v1/jobs            list retained jobs
+//	GET    /v1/jobs/{id}       status, report, counters
+//	GET    /v1/jobs/{id}/stream  NDJSON status until terminal
+//	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/natives         registered native bodies
+//	GET    /healthz            liveness + admission stats
+//	GET    /metrics            Prometheus text format
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"whilepar/internal/core"
+	"whilepar/internal/loopir"
+	"whilepar/internal/mem"
+	"whilepar/internal/serve"
+)
+
+// registerDemoNatives installs the stock native bodies: loops that
+// exist in Go (not .while text) but still run through the speculative
+// runtime on the service's shared pool.
+func registerDemoNatives() {
+	// saxpy: b[i] = alpha*a[i] + b[i] over n elements.
+	serve.RegisterNative("saxpy", func(ctx context.Context, opt core.Options, args map[string]float64) (core.Report, error) {
+		n := int(args["n"])
+		if n <= 0 {
+			n = 4096
+		}
+		alpha := args["alpha"]
+		if alpha == 0 {
+			alpha = 2
+		}
+		a := mem.NewArray("a", n)
+		b := mem.NewArray("b", n)
+		for i := 0; i < n; i++ {
+			a.Data[i] = float64(i % 97)
+			b.Data[i] = float64(i % 31)
+		}
+		opt.Shared = append(opt.Shared, a, b)
+		opt.Tested = append(opt.Tested, b)
+		return core.RunInductionCtx(ctx, &loopir.Loop[int]{
+			Class: loopir.Class{Dispatcher: loopir.MonotonicInduction, Terminator: loopir.RV},
+			Disp:  loopir.IntInduction{C: 1},
+			Body: func(it *loopir.Iter, d int) bool {
+				it.Store(b, d, alpha*it.Load(a, d)+it.Load(b, d))
+				return true
+			},
+			Max: n,
+		}, opt)
+	})
+	// search: walk until a[i] crosses a threshold (a QUIT loop).
+	serve.RegisterNative("search", func(ctx context.Context, opt core.Options, args map[string]float64) (core.Report, error) {
+		n := int(args["n"])
+		if n <= 0 {
+			n = 8192
+		}
+		hit := int(args["hit"])
+		if hit <= 0 || hit >= n {
+			hit = n / 2
+		}
+		a := mem.NewArray("a", n)
+		for i := 0; i < n; i++ {
+			a.Data[i] = float64(i)
+		}
+		a.Data[hit] = -1
+		out := mem.NewArray("out", n)
+		opt.Shared = append(opt.Shared, a, out)
+		opt.Tested = append(opt.Tested, out)
+		return core.RunInductionCtx(ctx, &loopir.Loop[int]{
+			Class: loopir.Class{Dispatcher: loopir.MonotonicInduction, Terminator: loopir.RV},
+			Disp:  loopir.IntInduction{C: 1},
+			Body: func(it *loopir.Iter, d int) bool {
+				if it.Load(a, d) < 0 {
+					return false
+				}
+				it.Store(out, d, it.Load(a, d)*2)
+				return true
+			},
+			Max: n,
+		}, opt)
+	})
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8421", "listen address")
+		procs    = flag.Int("procs", 0, "shared pool width (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "admission queue depth")
+		inflight = flag.Int("inflight", 4, "max concurrently executing jobs")
+		rate     = flag.Float64("rate", 0, "submissions per second (0 = unlimited)")
+		burst    = flag.Int("burst", 0, "rate-limit burst size")
+		smoke    = flag.Bool("smoke", false, "run the in-process smoke test and exit")
+	)
+	flag.Parse()
+
+	registerDemoNatives()
+	s := serve.NewScheduler(serve.Config{
+		Procs:       *procs,
+		QueueDepth:  *queue,
+		MaxInFlight: *inflight,
+		Rate:        *rate,
+		Burst:       *burst,
+	})
+	handler := serve.NewHandler(s)
+
+	if *smoke {
+		if err := runSmoke(handler); err != nil {
+			s.Close()
+			fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		s.Close()
+		fmt.Println("smoke: OK")
+		return
+	}
+
+	defer s.Close()
+	log.Printf("whilepard listening on %s (pool %d, queue %d, inflight %d)",
+		*addr, s.Stats().PoolProcs, *queue, *inflight)
+	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// runSmoke exercises the full service loop against an in-process
+// listener: submit one .while job and one native job over HTTP, wait
+// for both to finish, and check that /metrics reflects them.  It is
+// what `make serve-smoke` runs in CI.
+func runSmoke(handler http.Handler) error {
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	client := srv.Client()
+
+	submit := func(spec serve.JobSpec) (string, error) {
+		body, _ := json.Marshal(spec)
+		resp, err := client.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		var out map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return "", fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, out["error"])
+		}
+		return out["id"], nil
+	}
+
+	whileID, err := submit(serve.JobSpec{
+		Kind: "while",
+		Program: `
+			while (i < n) {
+				b[i] = 2*a[i] + 1
+				i = i + 1
+			}`,
+		MaxIter:  512,
+		Strategy: "speculate",
+	})
+	if err != nil {
+		return fmt.Errorf(".while job: %w", err)
+	}
+	nativeID, err := submit(serve.JobSpec{
+		Kind:   "native",
+		Native: "saxpy",
+		Args:   map[string]float64{"n": 2048, "alpha": 3},
+	})
+	if err != nil {
+		return fmt.Errorf("native job: %w", err)
+	}
+
+	wait := func(id string, wantValid int) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := client.Get(srv.URL + "/v1/jobs/" + id)
+			if err != nil {
+				return err
+			}
+			var st serve.Status
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			switch st.State {
+			case "done":
+				if st.Report == nil || st.Report.Valid != wantValid {
+					return fmt.Errorf("job %s: report %+v, want Valid %d", id, st.Report, wantValid)
+				}
+				return nil
+			case "failed", "canceled":
+				return fmt.Errorf("job %s: %s (%s)", id, st.State, st.Error)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %s stuck in state %s", id, st.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := wait(whileID, 512); err != nil {
+		return err
+	}
+	if err := wait(nativeID, 2048); err != nil {
+		return err
+	}
+
+	resp, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"whilepard_jobs_submitted_total 2",
+		"whilepard_jobs_completed_total 2",
+		"whilepard_jobs_failed_total 0",
+		"# TYPE whilepard_issued counter",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	fmt.Printf("smoke: while=%s native=%s completed; /metrics OK (%d bytes)\n",
+		whileID, nativeID, buf.Len())
+	return nil
+}

@@ -196,7 +196,7 @@ func runInductionAuto(ctx context.Context, l *loopir.Loop[int], cf loopir.Closed
 
 	case autotune.DOALL:
 		res, err := sched.DOALLCtx(ctx, total-probeN, sched.Options{Procs: procs,
-			Schedule: plan.Schedule, Metrics: opt.Metrics, Tracer: opt.Tracer},
+			Schedule: plan.Schedule, Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: opt.Workers},
 			func(i, vpn int) sched.Control {
 				gi := probeN + i
 				dv := cf.At(gi)
@@ -230,8 +230,13 @@ func runInductionAuto(ctx context.Context, l *loopir.Loop[int], cf loopir.Closed
 	}
 
 	// Speculative engines: strip-mined, pool-backed, globally indexed.
-	pool := sched.NewPool(procs)
-	defer pool.Close()
+	// An external Options.Workers pool is used as-is (and never closed
+	// here); otherwise the execution spawns its own.
+	pool := opt.Workers
+	if pool == nil {
+		pool = sched.NewPool(procs)
+		defer pool.Close()
+	}
 	var executed, overshot int
 	stripPar := func(trk mem.Tracker, lo, hi int) (int, bool, error) {
 		res, err := sched.DOALLCtx(ctx, hi-lo, sched.Options{Procs: procs,

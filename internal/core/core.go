@@ -78,8 +78,8 @@ type Options struct {
 	// Strategy selects the execution strategy.  The zero value, Auto,
 	// lets the orchestrator pick engine, schedule, strip size and
 	// respeculation window itself (see Strategy); the explicit values
-	// subsume the per-engine flags below, which remain as deprecated
-	// aliases.  Validate rejects contradictions (ErrStrategyConflict).
+	// pin one engine each — StrategyRunTwice, StrategyRecover and
+	// StrategyPipeline are the only way to request those protocols.
 	Strategy Strategy
 	// Profiles is the persistent per-call-site profile store the
 	// adaptive selector learns from.  Nil uses a process-wide default
@@ -120,40 +120,25 @@ type Options struct {
 	// of full checkpointing — for loops whose writes touch a sparse
 	// subset of large arrays.
 	SparseUndo bool
-	// Recovery enables partial-commit misspeculation recovery: a failed
-	// PD test keeps the valid prefix below the earliest violating
-	// iteration, rewinds only the suffix's stamped stores, and the loop
-	// completes from the violation point instead of being re-executed
-	// whole.  Requires the dense stamped path (no SparseUndo, no
-	// Privatized arrays); see speculate.Recovery.
-	Recovery bool
 	// MaxRespecRounds bounds renewed parallel attempts after partial
-	// commits in the re-speculating engines; 0 means
+	// commits in the re-speculating engines (StrategyRecover); 0 means
 	// speculate.DefaultMaxRespecRounds.  Negative values are rejected.
 	MaxRespecRounds int
-	// RunTwice selects Section 4's time-stamp-free alternative for
-	// induction loops: run the parallel loop once purely to learn the
-	// iteration count, restore the checkpoint, then run exactly the
-	// valid iterations as a plain DOALL.  Requires statically known
-	// dependences (no Tested/Privatized arrays).
-	RunTwice bool
 	// Pool runs every parallel phase of the execution on one persistent
 	// worker pool: the workers are spawned once per entry-point call
 	// and parked on a barrier between phases, so a strip-mined or
 	// multi-phase loop pays one barrier release per phase instead of
 	// procs goroutine spawns.  Off (the default), every phase spawns
 	// its own goroutines — the retained baseline and equivalence
-	// oracle.
+	// oracle.  Ignored when Workers supplies a pool.
 	Pool bool
-	// Pipeline software-pipelines strip-mined speculation: while the
-	// coordinator runs the PD test and commit for sealed strip k, the
-	// pool already executes strip k+1 into a double-buffered
-	// stamp/shadow generation, which is squashed only if k's test
-	// fails.  Implies Pool.  Requires the dense stamped path and a
-	// strip-mineable loop (no SparseUndo, Privatized, or RunTwice —
-	// see ErrPipelineUnsupported); loops that need no speculation
-	// simply ignore it.
-	Pipeline bool
+	// Workers, if non-nil, is an externally owned worker pool every
+	// parallel phase of this execution runs on.  The orchestrator
+	// never closes it, so one pool — typically a shared pool
+	// (sched.NewSharedPool) — can back many concurrent executions:
+	// each parallel region is admitted onto the pool in FIFO order and
+	// the effective processor count is clamped to the pool's size.
+	Workers *sched.Pool
 	// Deadline, if positive, bounds the execution's wall-clock time:
 	// the entry point derives a context.WithTimeout from the caller's
 	// context (context.Background() for the non-Ctx entry points), so
@@ -182,6 +167,13 @@ type Options struct {
 	// receives structured events suitable for Chrome's trace viewer.
 	Metrics *obs.Metrics
 	Tracer  obs.Tracer
+
+	// The engine flags the orchestrator dispatches on, derived from
+	// Strategy by resolved().  Unexported on purpose: Strategy is the
+	// only way callers request these protocols.
+	runTwice bool
+	recovery bool
+	pipeline bool
 }
 
 // withDeadline derives the execution context: the caller's ctx (nil
@@ -209,19 +201,24 @@ func (o Options) procs() int {
 
 func (o Options) hooks() obs.Hooks { return obs.Hooks{M: o.Metrics, T: o.Tracer} }
 
-// newPool spawns the execution's persistent worker pool when Options
-// asks for one (Pipeline implies Pool).  The caller must Close it; nil
-// means every phase spawns its own goroutines.
-func (o Options) newPool() *sched.Pool {
-	if !o.Pool && !o.Pipeline {
-		return nil
+// newPool resolves the execution's persistent worker pool: the
+// caller-owned Options.Workers when supplied, a freshly spawned pool
+// when Options asks for one (StrategyPipeline implies Pool), nil
+// otherwise (every phase spawns its own goroutines).  owned reports
+// whether the orchestrator must Close it.
+func (o Options) newPool() (pool *sched.Pool, owned bool) {
+	if o.Workers != nil {
+		return o.Workers, false
 	}
-	return sched.NewPool(o.procs())
+	if !o.Pool && !o.pipeline {
+		return nil, false
+	}
+	return sched.NewPool(o.procs()), true
 }
 
-// closePool is a nil-tolerant Close for deferring.
-func closePool(p *sched.Pool) {
-	if p != nil {
+// closePool is a deferred Close that leaves caller-owned pools alone.
+func closePool(p *sched.Pool, owned bool) {
+	if p != nil && owned {
 		p.Close()
 	}
 }
@@ -248,7 +245,7 @@ func pipeStrip(total, procs int) int {
 // execution; seqFrom completes the loop sequentially from an arbitrary
 // iteration against partially committed state.
 func (o Options) recoveryFor(seqFrom func(from int) int) speculate.Recovery {
-	if !o.Recovery {
+	if !o.recovery {
 		return speculate.Recovery{}
 	}
 	return speculate.Recovery{Enabled: true, MaxRounds: o.MaxRespecRounds, SeqFrom: seqFrom}
@@ -410,12 +407,12 @@ func RunInductionCtx(ctx context.Context, l *loopir.Loop[int], opt Options) (Rep
 		return finish(rep, opt), nil
 	}
 
-	pool := opt.newPool()
-	defer closePool(pool)
+	pool, owned := opt.newPool()
+	defer closePool(pool, owned)
 	cfg := induction.Config{Procs: opt.procs(), Method: opt.InductionMethod, Schedule: opt.Schedule,
 		Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: pool}
 
-	if opt.RunTwice {
+	if opt.runTwice {
 		if len(opt.Tested) > 0 || len(opt.Privatized) > 0 {
 			return rep, ErrRunTwiceUnanalyzable
 		}
@@ -457,7 +454,7 @@ func RunInductionCtx(ctx context.Context, l *loopir.Loop[int], opt Options) (Rep
 	rep.StampThreshold = stampThreshold(opt)
 	dispAt := inductionDispAt(l)
 	seqFrom := inductionSeqFrom(l)
-	if opt.Pipeline {
+	if opt.pipeline {
 		return runInductionPipelined(ctx, l, opt, pool, rep, seqFrom, dispAt)
 	}
 	srep, err := speculate.RunCtx(ctx,
@@ -721,8 +718,8 @@ func RunGeneralNumericCtx(ctx context.Context, l *loopir.Loop[float64], opt Opti
 // dispatcher terms, with the speculation protocol when needed.
 func runOverTerms(ctx context.Context, l *loopir.Loop[float64], terms []float64, opt Options, rep Report) (Report, error) {
 	n := len(terms)
-	pool := opt.newPool()
-	defer closePool(pool)
+	pool, owned := opt.newPool()
+	defer closePool(pool, owned)
 	var doallRes sched.Result
 	run := func(tr mem.Tracker) (int, error) {
 		var err error
@@ -762,7 +759,7 @@ func runOverTerms(ctx context.Context, l *loopir.Loop[float64], terms []float64,
 		}
 		return n
 	}
-	if opt.Pipeline {
+	if opt.pipeline {
 		return runTermsPipelined(ctx, l, terms, opt, pool, rep, seqFrom)
 	}
 	srep, err := speculate.RunCtx(ctx,
@@ -861,7 +858,7 @@ func RunListCtx(ctx context.Context, head *list.Node, body genrec.Body, class lo
 		recordStats(opt, rep.Valid)
 		return finish(rep, opt), nil
 	}
-	if opt.Pipeline {
+	if opt.pipeline {
 		return Report{}, fmt.Errorf("%w: list traversals have no strip-mineable dispatcher", ErrPipelineUnsupported)
 	}
 	d, ok := decide(opt, loopir.GeneralRecurrence)
@@ -877,8 +874,8 @@ func RunListCtx(ctx context.Context, head *list.Node, body genrec.Body, class lo
 		return finish(rep, opt), nil
 	}
 
-	pool := opt.newPool()
-	defer closePool(pool)
+	pool, owned := opt.newPool()
+	defer closePool(pool, owned)
 	cfg := genrec.Config{Procs: opt.procs(), Metrics: opt.Metrics, Tracer: opt.Tracer, Pool: pool}
 	runner := func(tr mem.Tracker) (int, error) {
 		c := cfg

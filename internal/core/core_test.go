@@ -504,7 +504,7 @@ func TestRunInductionRunTwice(t *testing.T) {
 		Procs:           4,
 		InductionMethod: induction.Induction1,
 		Shared:          []*mem.Array{a},
-		RunTwice:        true,
+		Strategy:        StrategyRunTwice,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -527,9 +527,9 @@ func TestRunInductionRunTwice(t *testing.T) {
 	}
 	// Incompatible with a PD test.
 	if _, err := RunInduction(inductionLoop(a, 90, n), Options{
-		Procs: 2, RunTwice: true, Tested: []*mem.Array{a},
+		Procs: 2, Strategy: StrategyRunTwice, Tested: []*mem.Array{a},
 	}); err == nil {
-		t.Fatal("RunTwice with Tested arrays must be rejected")
+		t.Fatal("StrategyRunTwice with Tested arrays must be rejected")
 	}
 }
 
@@ -578,7 +578,7 @@ func TestRunInductionPartialRecovery(t *testing.T) {
 		Procs:    1, // single VP: dependent accesses cannot physically race
 		Shared:   []*mem.Array{a},
 		Tested:   []*mem.Array{a},
-		Recovery: true,
+		Strategy: StrategyRecover,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -617,14 +617,14 @@ func TestValidateRecoveryOptions(t *testing.T) {
 	if err := (Options{MaxRespecRounds: -1}).Validate(); err == nil {
 		t.Fatal("negative MaxRespecRounds must be rejected")
 	}
-	if err := (Options{Recovery: true, SparseUndo: true}).Validate(); err == nil {
-		t.Fatal("Recovery with SparseUndo must be rejected")
+	if err := (Options{Strategy: StrategyRecover, SparseUndo: true}).Validate(); err == nil {
+		t.Fatal("StrategyRecover with SparseUndo must be rejected")
 	}
 	a := mem.NewArray("A", 4)
-	if err := (Options{Recovery: true, Privatized: []speculate.PrivSpec{{Arr: a}}}).Validate(); err == nil {
-		t.Fatal("Recovery with Privatized must be rejected")
+	if err := (Options{Strategy: StrategyRecover, Privatized: []speculate.PrivSpec{{Arr: a}}}).Validate(); err == nil {
+		t.Fatal("StrategyRecover with Privatized must be rejected")
 	}
-	if err := (Options{Recovery: true, MaxRespecRounds: 3}).Validate(); err != nil {
+	if err := (Options{Strategy: StrategyRecover, MaxRespecRounds: 3}).Validate(); err != nil {
 		t.Fatalf("valid recovery options rejected: %v", err)
 	}
 }

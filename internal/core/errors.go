@@ -63,15 +63,10 @@ var (
 	// ErrBadValidation: Options.Validation is out of range, or a
 	// signature/trusted tier was pinned alongside a mode that has no
 	// tiered strip path to honour it — SparseUndo and Privatized copies
-	// need the element-wise machinery, RunTwice has no validation phase
-	// at all, and the pipelined engine only speaks the element-wise
-	// protocol.
+	// need the element-wise machinery, StrategyRunTwice has no
+	// validation phase at all, and the pipelined engine only speaks the
+	// element-wise protocol.
 	ErrBadValidation = errors.New("core: invalid Validation")
-	// ErrStrategyConflict: an explicit Options.Strategy contradicts a
-	// legacy flag that pins a different engine (e.g. StrategySequential
-	// with Pipeline, or StrategyRunTwice with Recovery).  Redundant
-	// agreement — StrategyPipeline with Pipeline: true — is allowed.
-	ErrStrategyConflict = errors.New("core: Strategy conflicts with a manual engine override")
 )
 
 // Validate rejects malformed Options before any goroutine is started.
@@ -105,7 +100,7 @@ func (o Options) Validate() error {
 	if o.SparseUndo && o.Stats != nil && o.Stats.StampThreshold() > 0 {
 		return ErrSparseStampThreshold
 	}
-	if o.RunTwice && (len(o.Tested) > 0 || len(o.Privatized) > 0) {
+	if o.runTwice && (len(o.Tested) > 0 || len(o.Privatized) > 0) {
 		return ErrRunTwiceUnanalyzable
 	}
 	if o.MaxRespecRounds < 0 {
@@ -114,18 +109,15 @@ func (o Options) Validate() error {
 	if o.Deadline < 0 {
 		return fmt.Errorf("%w: %v (0 means none)", ErrBadDeadline, o.Deadline)
 	}
-	if o.Recovery && (o.SparseUndo || len(o.Privatized) > 0) {
+	if o.recovery && (o.SparseUndo || len(o.Privatized) > 0) {
 		return ErrRecoveryUnsupported
 	}
-	if o.Pipeline {
+	if o.pipeline {
 		if o.SparseUndo {
 			return fmt.Errorf("%w: SparseUndo", ErrPipelineUnsupported)
 		}
 		if len(o.Privatized) > 0 {
 			return fmt.Errorf("%w: Privatized arrays", ErrPipelineUnsupported)
-		}
-		if o.RunTwice {
-			return fmt.Errorf("%w: RunTwice has no PD phase to overlap", ErrPipelineUnsupported)
 		}
 	}
 	switch o.Validation {
@@ -139,9 +131,9 @@ func (o Options) Validate() error {
 			return fmt.Errorf("%w: %s needs dense stamps, not SparseUndo", ErrBadValidation, o.Validation)
 		case len(o.Privatized) > 0:
 			return fmt.Errorf("%w: %s cannot cover Privatized copies", ErrBadValidation, o.Validation)
-		case o.RunTwice:
-			return fmt.Errorf("%w: RunTwice has no validation phase to tier", ErrBadValidation)
-		case o.Pipeline:
+		case o.runTwice:
+			return fmt.Errorf("%w: StrategyRunTwice has no validation phase to tier", ErrBadValidation)
+		case o.pipeline:
 			return fmt.Errorf("%w: the pipelined engine is element-wise only", ErrBadValidation)
 		}
 	}

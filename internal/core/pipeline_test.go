@@ -72,13 +72,16 @@ func TestRunInductionPipelinedMatchesDefault(t *testing.T) {
 		run := func(pipeline bool) (Report, *mem.Array, obs.Snapshot) {
 			a := mem.NewArray("A", n)
 			m := obs.NewMetrics()
-			rep, err := RunInduction(inductionLoop(a, exit, n), Options{
-				Procs:    4,
-				Pipeline: pipeline,
-				Shared:   []*mem.Array{a},
-				Tested:   []*mem.Array{a},
-				Metrics:  m,
-			})
+			opt := Options{
+				Procs:   4,
+				Shared:  []*mem.Array{a},
+				Tested:  []*mem.Array{a},
+				Metrics: m,
+			}
+			if pipeline {
+				opt.Strategy = StrategyPipeline
+			}
+			rep, err := RunInduction(inductionLoop(a, exit, n), opt)
 			if err != nil {
 				t.Fatalf("trial %d pipeline=%v: %v", trial, pipeline, err)
 			}
@@ -140,26 +143,25 @@ func TestRunListPoolMatchesDefaultAndPipelineRejected(t *testing.T) {
 	a := mem.NewArray("A", 16)
 	_, err := RunList(list.Build(16, nil), body(a),
 		loopir.Class{Dispatcher: loopir.GeneralRecurrence, Terminator: loopir.RI},
-		Options{Procs: 2, Pipeline: true})
+		Options{Procs: 2, Strategy: StrategyPipeline})
 	if !errors.Is(err, ErrPipelineUnsupported) {
-		t.Fatalf("RunList with Pipeline: err = %v, want ErrPipelineUnsupported", err)
+		t.Fatalf("RunList with StrategyPipeline: err = %v, want ErrPipelineUnsupported", err)
 	}
 }
 
 func TestValidatePipelineOptions(t *testing.T) {
 	a := mem.NewArray("A", 4)
 	bad := []Options{
-		{Pipeline: true, SparseUndo: true},
-		{Pipeline: true, Privatized: []speculate.PrivSpec{{Arr: a}}},
-		{Pipeline: true, RunTwice: true},
+		{Strategy: StrategyPipeline, SparseUndo: true},
+		{Strategy: StrategyPipeline, Privatized: []speculate.PrivSpec{{Arr: a}}},
 	}
 	for i, o := range bad {
 		if err := o.Validate(); !errors.Is(err, ErrPipelineUnsupported) {
 			t.Fatalf("case %d: err = %v, want ErrPipelineUnsupported", i, err)
 		}
 	}
-	if err := (Options{Pipeline: true}).Validate(); err != nil {
-		t.Fatalf("plain Pipeline must validate: %v", err)
+	if err := (Options{Strategy: StrategyPipeline}).Validate(); err != nil {
+		t.Fatalf("plain StrategyPipeline must validate: %v", err)
 	}
 	if err := (Options{Pool: true}).Validate(); err != nil {
 		t.Fatalf("plain Pool must validate: %v", err)

@@ -13,14 +13,9 @@ import (
 // value, Auto, lets the orchestrator choose: the engine, schedule,
 // strip size and respeculation window come from the adaptive selector
 // (internal/autotune) fed by an online probe and the loop's persistent
-// profile.  The non-zero values are explicit overrides subsuming the
-// older knob sprawl — each implies the flags it needs, so
-//
-//	Options{Strategy: StrategyPipeline}
-//
-// replaces Options{Pipeline: true} (which keeps working as a
-// deprecated alias).  Conflicting combinations of a Strategy and the
-// legacy flags are rejected by Validate with ErrStrategyConflict.
+// profile.  The non-zero values pin one engine each and are the only
+// way to request the run-twice, recovery and pipelined protocols —
+// the boolean aliases they once shadowed are gone.
 type Strategy int
 
 const (
@@ -36,14 +31,24 @@ const (
 	// Table 1 transformation wrapped in the Section 4/5 speculation
 	// protocol when needed, exactly as the pre-auto orchestrator ran.
 	StrategySpeculate
-	// StrategyRunTwice pins Section 4's time-stamp-free alternative
-	// (implies Options.RunTwice).
+	// StrategyRunTwice pins Section 4's time-stamp-free alternative:
+	// run the parallel loop once purely to learn the iteration count,
+	// restore the checkpoint, then run exactly the valid iterations as
+	// a plain DOALL.  Requires statically known dependences (no
+	// Tested/Privatized arrays).
 	StrategyRunTwice
-	// StrategyRecover pins partial-commit misspeculation recovery
-	// (implies Options.Recovery).
+	// StrategyRecover pins partial-commit misspeculation recovery: a
+	// failed PD test keeps the valid prefix below the earliest
+	// violating iteration, rewinds only the suffix's stamped stores,
+	// and the loop completes from the violation point.  Requires the
+	// dense stamped path (no SparseUndo, no Privatized arrays).
 	StrategyRecover
-	// StrategyPipeline pins pipelined strip speculation (implies
-	// Options.Pipeline).
+	// StrategyPipeline pins pipelined strip speculation: while the
+	// coordinator validates and commits sealed strip k, the pool
+	// already executes strip k+1 into a double-buffered stamp/shadow
+	// generation, squashed only if k's test fails.  Implies a
+	// persistent pool; requires the dense stamped path and a
+	// strip-mineable loop (see ErrPipelineUnsupported).
 	StrategyPipeline
 )
 
@@ -66,68 +71,27 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
 
-// validateStrategy rejects out-of-range values and combinations of an
-// explicit Strategy with legacy flags that contradict it.  Redundant
-// agreement (StrategyPipeline plus Pipeline: true) is allowed — that
-// is the migration path — and so are orthogonal compositions that were
-// legal before (StrategyPipeline plus Recovery).
+// validateStrategy rejects out-of-range Strategy values.  With the
+// boolean engine aliases gone a Strategy can no longer contradict
+// anything — each value simply pins its engine.
 func (o Options) validateStrategy() error {
 	switch o.Strategy {
 	case Auto, StrategySequential, StrategySpeculate, StrategyRunTwice, StrategyRecover, StrategyPipeline:
-	default:
-		return fmt.Errorf("%w: %d", ErrBadStrategy, int(o.Strategy))
+		return nil
 	}
-	conflict := func(flag string) error {
-		return fmt.Errorf("%w: Strategy %s with %s", ErrStrategyConflict, o.Strategy, flag)
-	}
-	switch o.Strategy {
-	case StrategySequential:
-		if o.Pipeline {
-			return conflict("Pipeline")
-		}
-		if o.RunTwice {
-			return conflict("RunTwice")
-		}
-		if o.Recovery {
-			return conflict("Recovery")
-		}
-	case StrategySpeculate:
-		if o.Pipeline {
-			return conflict("Pipeline")
-		}
-		if o.RunTwice {
-			return conflict("RunTwice")
-		}
-	case StrategyRunTwice:
-		if o.Pipeline {
-			return conflict("Pipeline")
-		}
-		if o.Recovery {
-			return conflict("Recovery")
-		}
-	case StrategyRecover:
-		if o.RunTwice {
-			return conflict("RunTwice")
-		}
-	case StrategyPipeline:
-		if o.RunTwice {
-			return conflict("RunTwice")
-		}
-	}
-	return nil
+	return fmt.Errorf("%w: %d", ErrBadStrategy, int(o.Strategy))
 }
 
-// resolved maps an explicit Strategy onto the legacy flags the rest of
-// the orchestrator dispatches on.  Validate has already rejected
-// contradictions, so setting the implied flag is idempotent.
+// resolved maps an explicit Strategy onto the internal engine flags the
+// rest of the orchestrator dispatches on.
 func (o Options) resolved() Options {
 	switch o.Strategy {
 	case StrategyRunTwice:
-		o.RunTwice = true
+		o.runTwice = true
 	case StrategyRecover:
-		o.Recovery = true
+		o.recovery = true
 	case StrategyPipeline:
-		o.Pipeline = true
+		o.pipeline = true
 	}
 	return o
 }
@@ -135,21 +99,23 @@ func (o Options) resolved() Options {
 // autoEligible reports whether the adaptive selector owns this
 // execution: Strategy is Auto and every knob the selector would
 // otherwise have to honour is at its zero value.  Any hand-tuned
-// engine choice — an explicit schedule, method, pipeline, recovery,
-// pool, sparse undo, privatization, cost-model estimates or
-// profitability floor — pins the classic path; so does
-// FallbackSequential, whose absorb-the-panic contract belongs to the
-// whole-loop protocol.  (An explicit InductionMethod of Induction1 is
-// indistinguishable from the default and also lands here; the
-// selector's strip engines preserve Induction-1/2 semantics either
-// way, since both evaluate the dispatcher's closed form.)
+// engine choice — an explicit schedule, method, pool, sparse undo,
+// privatization, cost-model estimates or profitability floor — pins
+// the classic path; so does FallbackSequential, whose
+// absorb-the-panic contract belongs to the whole-loop protocol.  An
+// external Options.Workers pool does NOT disqualify: the selector's
+// engines run their parallel phases on it like any other pool.  (An
+// explicit InductionMethod of Induction1 is indistinguishable from
+// the default and also lands here; the selector's strip engines
+// preserve Induction-1/2 semantics either way, since both evaluate
+// the dispatcher's closed form.)
 func (o Options) autoEligible() bool {
 	return o.Strategy == Auto &&
 		o.Procs != 1 && // explicit 1 means "run it sequentially" — a pinned choice
 		o.InductionMethod == induction.Induction1 &&
 		o.Schedule == sched.Dynamic &&
 		len(o.Privatized) == 0 &&
-		!o.Pipeline && !o.Recovery && !o.RunTwice && !o.SparseUndo &&
+		!o.SparseUndo &&
 		!o.Pool && !o.FallbackSequential &&
 		o.MaxRespecRounds == 0 && o.MinIters == 0 &&
 		o.Stats == nil && o.Times.Tseq() <= 0

@@ -1,6 +1,7 @@
 package frontend
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -266,11 +267,21 @@ func (p *Program) RunSequential() (int, error) {
 	return p.max, nil
 }
 
-// Run executes the program through the orchestrator: the analysis
-// decides the annotations — every array the loop writes is Shared, and
-// every array the analysis flagged unanalyzable is Tested (PD) — and
-// core applies the speculation protocol as needed.
+// Run executes the program through the orchestrator with default
+// Options; it is RunContext under context.Background().
 func (p *Program) Run(procs int) (core.Report, error) {
+	return p.RunContext(context.Background(), core.Options{Procs: procs})
+}
+
+// RunContext executes the program through the orchestrator under ctx
+// with caller-supplied Options — the entry point services use to carry
+// deadlines, strategies, metrics and a shared worker pool into
+// interpreted programs.  The analysis-derived annotations are merged
+// into opt: every array the loop writes is added to Shared, and every
+// array the analysis flagged unanalyzable is added to Tested (PD), so
+// core applies the speculation protocol the program needs regardless
+// of what the caller set.
+func (p *Program) RunContext(ctx context.Context, opt core.Options) (core.Report, error) {
 	var (
 		errMu    sync.Mutex
 		firstErr error
@@ -292,24 +303,31 @@ func (p *Program) Run(procs int) (core.Report, error) {
 		},
 		Max: p.max,
 	}
-	opt := core.Options{Procs: procs}
 	written := map[string]bool{}
 	for _, st := range p.ast.Body {
 		if a, ok := st.(Assign); ok && a.Sub != nil {
 			written[a.LHS] = true
 		}
 	}
+	has := func(list []*mem.Array, arr *mem.Array) bool {
+		for _, x := range list {
+			if x == arr {
+				return true
+			}
+		}
+		return false
+	}
 	for name := range written {
-		if arr, ok := p.env.Arrays[name]; ok {
+		if arr, ok := p.env.Arrays[name]; ok && !has(opt.Shared, arr) {
 			opt.Shared = append(opt.Shared, arr)
 		}
 	}
 	for _, name := range p.an.Unknown {
-		if arr, ok := p.env.Arrays[name]; ok {
+		if arr, ok := p.env.Arrays[name]; ok && !has(opt.Tested, arr) {
 			opt.Tested = append(opt.Tested, arr)
 		}
 	}
-	rep, err := core.RunInduction(loop, opt)
+	rep, err := core.RunInductionCtx(ctx, loop, opt)
 	if err == nil {
 		errMu.Lock()
 		err = firstErr

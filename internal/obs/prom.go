@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// The structured read API over Snapshot: every scalar counter as a
+// (name, value) pair, and a Prometheus text-format renderer over it.
+// Consumers — the whilepard /metrics endpoint, whilebench's -metrics
+// output — iterate Counters() instead of hard-coding field lists, so a
+// counter added to Snapshot shows up everywhere automatically.
+
+// Counter is one named scalar counter of a Snapshot.  Name is the
+// snake_case form of the Snapshot field name (PDTests -> pd_tests).
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// counterFields maps the int64 fields of Snapshot, in declaration
+// order, to their snake_case names.  Computed once via reflection; the
+// struct is fixed at compile time.
+var counterFields = func() []struct {
+	index int
+	name  string
+} {
+	t := reflect.TypeOf(Snapshot{})
+	var out []struct {
+		index int
+		name  string
+	}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Type.Kind() != reflect.Int64 {
+			continue
+		}
+		out = append(out, struct {
+			index int
+			name  string
+		}{i, snakeCase(f.Name)})
+	}
+	return out
+}()
+
+// snakeCase converts a Go exported field name to snake_case, keeping
+// acronym runs together: PDTests -> pd_tests, CtxCancels ->
+// ctx_cancels, SigFalsePositives -> sig_false_positives.
+func snakeCase(s string) string {
+	var b strings.Builder
+	runes := []rune(s)
+	for i, r := range runes {
+		upper := r >= 'A' && r <= 'Z'
+		if upper && i > 0 {
+			prevLower := runes[i-1] >= 'a' && runes[i-1] <= 'z'
+			nextLower := i+1 < len(runes) && runes[i+1] >= 'a' && runes[i+1] <= 'z'
+			if prevLower || nextLower {
+				b.WriteByte('_')
+			}
+		}
+		if upper {
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Counters returns every scalar counter of the snapshot as (name,
+// value) pairs in the Snapshot's declaration order.  The per-VPN
+// breakdown, abort reasons and PD verdicts are not flattened here —
+// WritePrometheus renders them with labels.
+func (s Snapshot) Counters() []Counter {
+	v := reflect.ValueOf(s)
+	out := make([]Counter, len(counterFields))
+	for k, f := range counterFields {
+		out[k] = Counter{Name: f.name, Value: v.Field(f.index).Int()}
+	}
+	return out
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format: one "# TYPE <prefix>_<name> counter" header and
+// sample per scalar counter, plus labeled series for the per-VPN
+// iteration counts and the speculation abort reasons.
+func WritePrometheus(w io.Writer, prefix string, s Snapshot) error {
+	if prefix == "" {
+		prefix = "whilepar"
+	}
+	for _, c := range s.Counters() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s_%s counter\n%s_%s %d\n",
+			prefix, c.Name, prefix, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	if len(s.VPNBusy) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE %s_vpn_busy counter\n", prefix); err != nil {
+			return err
+		}
+		for vpn, n := range s.VPNBusy {
+			if _, err := fmt.Fprintf(w, "%s_vpn_busy{vpn=\"%d\"} %d\n", prefix, vpn, n); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.AbortReasons) > 0 {
+		reasons := make([]string, 0, len(s.AbortReasons))
+		for r := range s.AbortReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_abort_reason counter\n", prefix); err != nil {
+			return err
+		}
+		for _, r := range reasons {
+			if _, err := fmt.Fprintf(w, "%s_abort_reason{reason=%q} %d\n", prefix, r, s.AbortReasons[r]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Add returns the field-wise sum of two snapshots' scalar counters
+// (VPNBusy summed index-wise, AbortReasons merged).  It is the
+// aggregation step behind a service-wide /metrics view assembled from
+// per-job Metrics.  PDVerdicts are not concatenated — a cross-job list
+// has no meaningful order.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	sv := reflect.ValueOf(&s).Elem()
+	ov := reflect.ValueOf(o)
+	for _, f := range counterFields {
+		sv.Field(f.index).SetInt(sv.Field(f.index).Int() + ov.Field(f.index).Int())
+	}
+	if len(o.VPNBusy) > 0 {
+		busy := make([]int64, len(s.VPNBusy))
+		copy(busy, s.VPNBusy)
+		for i, n := range o.VPNBusy {
+			for len(busy) <= i {
+				busy = append(busy, 0)
+			}
+			busy[i] += n
+		}
+		s.VPNBusy = busy
+	}
+	if len(o.AbortReasons) > 0 {
+		merged := make(map[string]int64, len(s.AbortReasons)+len(o.AbortReasons))
+		for k, v := range s.AbortReasons {
+			merged[k] = v
+		}
+		for k, v := range o.AbortReasons {
+			merged[k] += v
+		}
+		s.AbortReasons = merged
+	}
+	s.PDVerdicts = nil
+	return s
+}

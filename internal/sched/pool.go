@@ -55,6 +55,13 @@ type PoolConfig struct {
 	// cycles the release needs).
 	SpinArrive int
 	SpinDone   int
+	// Shared relaxes the single-coordinator discipline: concurrent Run
+	// calls are admitted one at a time in strict FIFO order instead of
+	// panicking, so many independent executions can multiplex their
+	// parallel regions onto one pool.  Each region still runs with the
+	// pool entirely to itself — sharing serializes at region
+	// granularity, it never interleaves two jobs on the barrier.
+	Shared bool
 }
 
 // spin resolves one configured spin bound against its env-adjusted
@@ -96,7 +103,10 @@ func (c PoolConfig) spin(configured, fallback int) int {
 //
 // Discipline: a Pool has a single coordinator.  Run blocks until every
 // worker has finished the job, so two concurrent Runs on one Pool are
-// a bug (Run panics on misuse rather than interleaving jobs).  Workers
+// a bug (Run panics on misuse rather than interleaving jobs).  A
+// shared pool (PoolConfig.Shared / NewSharedPool) keeps the invariant
+// by admission instead of by contract: concurrent Run calls queue in
+// FIFO order and each region still owns the barrier outright.  Workers
 // are identified by their virtual processor number 0..Size()-1, which
 // is stable across Runs — per-vpn substrates (stamp shards, busy
 // counters) see the same single-writer slots a spawn-per-call DOALL
@@ -126,6 +136,13 @@ type Pool struct {
 
 	busy atomic.Bool // coordinator-misuse guard
 	wg   sync.WaitGroup
+
+	// Shared-mode admission (PoolConfig.Shared): concurrent Run calls
+	// queue here in FIFO order instead of tripping the busy guard.
+	shared  bool
+	admitMu sync.Mutex
+	running bool            // a coordinator currently owns the barrier
+	waiters []chan struct{} // FIFO queue of blocked Run calls
 }
 
 // NewPool spawns procs workers (at least 1) and parks them.  The
@@ -133,6 +150,14 @@ type Pool struct {
 // its parked goroutines.
 func NewPool(procs int) *Pool {
 	return NewPoolWith(PoolConfig{Procs: procs})
+}
+
+// NewSharedPool spawns a pool whose coordinator role is admitted
+// across concurrent Run calls in strict FIFO order (PoolConfig.Shared)
+// — the substrate for services that multiplex many independent loop
+// executions onto one set of workers.
+func NewSharedPool(procs int) *Pool {
+	return NewPoolWith(PoolConfig{Procs: procs, Shared: true})
 }
 
 // NewPoolWith is NewPool with the barrier spin budget under the
@@ -147,6 +172,7 @@ func NewPoolWith(cfg PoolConfig) *Pool {
 		procs:      procs,
 		spinArrive: cfg.spin(cfg.SpinArrive, envArrive),
 		spinDone:   cfg.spin(cfg.SpinDone, envDone),
+		shared:     cfg.Shared,
 	}
 	p.cv = sync.NewCond(&p.mu)
 	p.doneCv = sync.NewCond(&p.doneMu)
@@ -159,6 +185,41 @@ func NewPoolWith(cfg PoolConfig) *Pool {
 
 // Size returns the number of workers the pool was spawned with.
 func (p *Pool) Size() int { return p.procs }
+
+// Shared reports whether the pool admits concurrent Run callers (FIFO)
+// instead of panicking on a second coordinator.
+func (p *Pool) Shared() bool { return p.shared }
+
+// acquire blocks until the caller owns the coordinator role.  Admission
+// is strict FIFO: a releasing coordinator hands the role directly to
+// the oldest waiter (running stays true across the hand-off), so no
+// caller can barge past the queue.
+func (p *Pool) acquire() {
+	p.admitMu.Lock()
+	if !p.running {
+		p.running = true
+		p.admitMu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	p.waiters = append(p.waiters, ch)
+	p.admitMu.Unlock()
+	<-ch
+}
+
+// release hands the coordinator role to the oldest waiter, or marks the
+// pool idle when none is queued.
+func (p *Pool) release() {
+	p.admitMu.Lock()
+	if len(p.waiters) > 0 {
+		ch := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		close(ch)
+	} else {
+		p.running = false
+	}
+	p.admitMu.Unlock()
+}
 
 func (p *Pool) worker(vpn int) {
 	defer p.wg.Done()
@@ -235,7 +296,14 @@ func runShielded(job func(vpn int), vpn int) (pe *cancel.PanicError) {
 // barrier always completes; the first such panic is returned as a
 // *cancel.PanicError (nil when the region ran clean).  The pool remains
 // usable after a panicked region.
+//
+// On a shared pool (NewSharedPool) concurrent Run calls do not panic:
+// each blocks until it is admitted as the coordinator, in FIFO order.
 func (p *Pool) Run(job func(vpn int)) error {
+	if p.shared {
+		p.acquire()
+		defer p.release()
+	}
 	if !p.busy.CompareAndSwap(false, true) {
 		panic("sched: concurrent Pool.Run (a Pool has a single coordinator)")
 	}

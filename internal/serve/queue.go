@@ -1,0 +1,41 @@
+package serve
+
+import "container/heap"
+
+// jobQueue is the admission queue: a max-heap on Priority with FIFO
+// order (submission sequence) among equal priorities, so a burst of
+// same-priority jobs dispatches in arrival order and a higher-priority
+// late arrival jumps the line without starving anyone already running.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].spec.Priority != q[j].spec.Priority {
+		return q[i].spec.Priority > q[j].spec.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *jobQueue) Push(x any) { *q = append(*q, x.(*job)) }
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}
+
+// push and pop keep call sites heap-safe without exposing heap.Interface.
+func (q *jobQueue) push(j *job) { heap.Push(q, j) }
+
+func (q *jobQueue) pop() *job {
+	if q.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*job)
+}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the submission rate limiter: Rate tokens per second
+// refill up to a Burst-deep bucket, one token per admitted job.  The
+// clock is injected so tests can drive it deterministically.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	tb := &tokenBucket{rate: rate, burst: float64(burst), now: now}
+	tb.tokens = tb.burst
+	tb.last = now()
+	return tb
+}
+
+// allow consumes one token if available; false means the caller is
+// over rate and must be rejected (HTTP 429 at the service boundary).
+func (tb *tokenBucket) allow() bool {
+	if tb.rate <= 0 {
+		return true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	t := tb.now()
+	tb.tokens += t.Sub(tb.last).Seconds() * tb.rate
+	tb.last = t
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}

@@ -23,7 +23,8 @@ var (
 	// ErrSparseStampThreshold: SparseUndo combined with a stamp
 	// threshold (the sparse log must record every store).
 	ErrSparseStampThreshold = core.ErrSparseStampThreshold
-	// ErrRunTwiceUnanalyzable: RunTwice with Tested/Privatized arrays.
+	// ErrRunTwiceUnanalyzable: StrategyRunTwice with Tested/Privatized
+	// arrays.
 	ErrRunTwiceUnanalyzable = core.ErrRunTwiceUnanalyzable
 	// ErrMissingBound: the transformation needs Loop.Max.
 	ErrMissingBound = core.ErrMissingBound
@@ -33,11 +34,12 @@ var (
 	ErrUnsupportedLoop = core.ErrUnsupportedLoop
 	// ErrBadRespecRounds: Options.MaxRespecRounds is negative.
 	ErrBadRespecRounds = core.ErrBadRespecRounds
-	// ErrRecoveryUnsupported: Recovery combined with SparseUndo or
-	// Privatized arrays (partial commit needs the dense stamped path).
+	// ErrRecoveryUnsupported: StrategyRecover combined with SparseUndo
+	// or Privatized arrays (partial commit needs the dense stamped
+	// path).
 	ErrRecoveryUnsupported = core.ErrRecoveryUnsupported
-	// ErrPipelineUnsupported: Pipeline combined with SparseUndo,
-	// Privatized or RunTwice, or a loop with no strip-mineable
+	// ErrPipelineUnsupported: StrategyPipeline combined with SparseUndo
+	// or Privatized arrays, or a loop with no strip-mineable
 	// (closed-form) dispatcher.
 	ErrPipelineUnsupported = core.ErrPipelineUnsupported
 	// ErrBadDeadline: Options.Deadline is negative (0 means none).
@@ -46,11 +48,9 @@ var (
 	ErrBadStrategy = core.ErrBadStrategy
 	// ErrBadValidation: Options.Validation is out of range, or a
 	// signature/trusted tier was pinned alongside a mode with no tiered
-	// strip path (SparseUndo, Privatized, RunTwice, Pipeline).
+	// strip path (SparseUndo, Privatized, StrategyRunTwice,
+	// StrategyPipeline).
 	ErrBadValidation = core.ErrBadValidation
-	// ErrStrategyConflict: an explicit Options.Strategy contradicts a
-	// legacy engine flag (e.g. StrategySequential with Pipeline).
-	ErrStrategyConflict = core.ErrStrategyConflict
 	// ErrCanceled: the execution's context was canceled; the Report
 	// carries the committed prefix.  Matches context.Canceled via
 	// errors.Is as well.

@@ -164,7 +164,7 @@ func TestTypedValidationErrors(t *testing.T) {
 		{"bad schedule", Options{Schedule: 42}, ErrBadSchedule},
 		{"bad induction method", Options{InductionMethod: 99}, ErrBadInductionMethod},
 		{"bad list method", Options{ListMethod: 99}, ErrBadListMethod},
-		{"run-twice with tested", Options{RunTwice: true, Tested: []*Array{a}}, ErrRunTwiceUnanalyzable},
+		{"run-twice with tested", Options{Strategy: StrategyRunTwice, Tested: []*Array{a}}, ErrRunTwiceUnanalyzable},
 	}
 	for _, tc := range cases {
 		if err := tc.opt.Validate(); !errors.Is(err, tc.want) {

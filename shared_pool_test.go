@@ -1,0 +1,137 @@
+package whilepar
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Options.Workers lets many independent Run/RunContext callers share
+// one pool instead of spawning workers per call.  This is the embedding
+// contract internal/serve is built on, exercised here straight through
+// the public facade: 64 concurrent callers, mixed strategies, expiring
+// deadlines and a panicking body, all on one NewSharedWorkerPool.
+
+func sharedCountLoop(a *Array, n int, perIter time.Duration) *IntLoop {
+	return &IntLoop{
+		Class: Class{Dispatcher: MonotonicInduction, Terminator: RV},
+		Disp:  IntInduction{C: 1},
+		Body: func(it *Iter, d int) bool {
+			if perIter > 0 {
+				time.Sleep(perIter)
+			}
+			it.Store(a, d, float64(d)+1)
+			return true
+		},
+		Max: n,
+	}
+}
+
+func TestSharedWorkerPoolConcurrentCallers(t *testing.T) {
+	pool := NewSharedWorkerPool(4)
+	defer pool.Close()
+
+	const callers = 64
+	const n = 256
+	strategies := []Strategy{Auto, StrategySpeculate, StrategyPipeline, StrategyRunTwice}
+
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			a := NewArray("A", n)
+			opt := Options{
+				Procs:    4,
+				Workers:  pool,
+				Strategy: strategies[c%len(strategies)],
+				Shared:   []*Array{a},
+				Tested:   []*Array{a},
+			}
+			if opt.Strategy == StrategyRunTwice {
+				// Run-twice forbids run-time-tested accesses — it exists
+				// for loops whose dependences are statically known.
+				opt.Tested = nil
+			}
+			switch {
+			case c%8 == 5:
+				// A loop that cannot finish inside its deadline: ~50ms
+				// of sleeping against a 5ms budget.
+				opt.Deadline = 5 * time.Millisecond
+				opt.Strategy = StrategySpeculate
+				_, err := Run(sharedCountLoop(a, 10_000, 200*time.Microsecond), opt)
+				if !errors.Is(err, ErrDeadline) {
+					errs[c] = err
+					return
+				}
+			case c == 9:
+				// One panicking body among the crowd: contained on its
+				// worker, typed, and the pool survives.
+				opt.Strategy = StrategySpeculate
+				loop := sharedCountLoop(a, n, 0)
+				inner := loop.Body
+				loop.Body = func(it *Iter, d int) bool {
+					if d == n/2 {
+						panic("injected")
+					}
+					return inner(it, d)
+				}
+				_, err := Run(loop, opt)
+				if !errors.Is(err, ErrWorkerPanic) {
+					errs[c] = err
+					return
+				}
+			default:
+				rep, err := RunContext(context.Background(), sharedCountLoop(a, n, 0), opt)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if rep.Valid != n {
+					t.Errorf("caller %d (%v): valid = %d, want %d", c, opt.Strategy, rep.Valid, n)
+					return
+				}
+				for i := 0; i < n; i++ {
+					if a.Data[i] != float64(i)+1 {
+						t.Errorf("caller %d: A[%d] = %v", c, i, a.Data[i])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: unexpected error %v", c, err)
+		}
+	}
+
+	// The shared pool is still serviceable after deadline unwinds and
+	// the contained panic.
+	a := NewArray("A", 64)
+	rep, err := Run(sharedCountLoop(a, 64, 0),
+		Options{Procs: 4, Workers: pool, Strategy: StrategySpeculate, Shared: []*Array{a}, Tested: []*Array{a}})
+	if err != nil || rep.Valid != 64 {
+		t.Fatalf("post-storm run: %v (rep %+v)", err, rep)
+	}
+}
+
+func TestWorkersPoolNotClosedByRun(t *testing.T) {
+	pool := NewWorkerPool(2)
+	defer pool.Close()
+
+	// An externally owned (non-shared) pool: sequential reuse across
+	// runs must work — Run must not close it.
+	for i := 0; i < 3; i++ {
+		a := NewArray("A", 128)
+		rep, err := Run(sharedCountLoop(a, 128, 0),
+			Options{Procs: 2, Workers: pool, Strategy: StrategySpeculate, Shared: []*Array{a}, Tested: []*Array{a}})
+		if err != nil || rep.Valid != 128 {
+			t.Fatalf("run %d on reused pool: %v (rep %+v)", i, err, rep)
+		}
+	}
+}

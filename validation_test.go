@@ -13,8 +13,8 @@ func TestValidationOptionTable(t *testing.T) {
 	}{
 		{"bad value", Options{Validation: Validation(99)}, ErrBadValidation},
 		{"signature+sparse", Options{Validation: ValidationSignature, SparseUndo: true}, ErrBadValidation},
-		{"signature+runtwice", Options{Validation: ValidationSignature, RunTwice: true}, ErrBadValidation},
-		{"trusted+pipeline", Options{Validation: ValidationTrusted, Pipeline: true}, ErrBadValidation},
+		{"signature+runtwice", Options{Validation: ValidationSignature, Strategy: StrategyRunTwice}, ErrBadValidation},
+		{"trusted+pipeline", Options{Validation: ValidationTrusted, Strategy: StrategyPipeline}, ErrBadValidation},
 		{"trusted+strategy-runtwice", Options{Validation: ValidationTrusted, Strategy: StrategyRunTwice}, ErrBadValidation},
 		{"full composes with anything", Options{Validation: ValidationFull, SparseUndo: true}, nil},
 		{"auto zero value", Options{}, nil},

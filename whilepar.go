@@ -122,10 +122,8 @@ type Report = core.Report
 // the choice to the adaptive selector: an online sequential probe
 // measures the body, the loop's persistent profile (keyed by call
 // site) supplies history, and the engine/schedule/strip size follow
-// from both.  The explicit values subsume the legacy boolean knobs —
-// Options{Strategy: StrategyPipeline} replaces Options{Pipeline: true},
-// which keeps working as a deprecated alias.  Conflicting combinations
-// are rejected by Options.Validate with ErrStrategyConflict.
+// from both.  The explicit values pin one engine each and are the only
+// way to request the run-twice, recovery and pipelined protocols.
 type Strategy = core.Strategy
 
 // Execution strategies.
@@ -213,6 +211,23 @@ const (
 
 // PrivSpec marks an array for privatization during speculation.
 type PrivSpec = speculate.PrivSpec
+
+// WorkerPool is a persistent worker-pool executor: workers are spawned
+// once and parked on a barrier between parallel regions.  Pass one via
+// Options.Workers to run an execution's parallel phases on it (the
+// library never closes a caller-supplied pool; Close it yourself).
+type WorkerPool = sched.Pool
+
+// NewWorkerPool spawns a single-coordinator pool of procs workers —
+// one execution at a time may run on it.  Close it when done.
+func NewWorkerPool(procs int) *WorkerPool { return sched.NewPool(procs) }
+
+// NewSharedWorkerPool spawns a pool that admits concurrent executions
+// in FIFO order: many Run/RunContext calls can set Options.Workers to
+// the same shared pool and their parallel regions serialize fairly on
+// one set of workers instead of each spawning its own.  This is the
+// substrate behind the whilepard service.  Close it when done.
+func NewSharedWorkerPool(procs int) *WorkerPool { return sched.NewSharedPool(procs) }
 
 // Observability: pass a *Metrics (and optionally a Tracer) in Options to
 // collect runtime counters and structured events from every layer of an
